@@ -1,0 +1,29 @@
+"""Benchmark-harness fixtures.
+
+One process-wide :class:`~repro.experiments.common.Lab` backs every
+benchmark, so devices are fitted once and later benchmarks reuse the cached
+models/validations — mirroring how the experiments compose. Benchmarks use
+``benchmark.pedantic(..., rounds=1)`` because each experiment is a
+seconds-long end-to-end pipeline, not a microbenchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import get_lab
+
+
+@pytest.fixture(scope="session")
+def lab():
+    return get_lab()
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def _run(function, *args):
+        return benchmark.pedantic(function, args=args, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,39 @@
+"""Bench: design-choice ablations (DESIGN.md experiment index).
+
+Shape criteria:
+* disabling the voltage modeling degrades accuracy (the paper's central
+  claim: linear-frequency models miss the V^2 curvature);
+* collapsing the per-component utilizations into a single activity degrades
+  accuracy (per-component decomposition carries signal);
+* training on only the 3 bootstrap configurations is clearly worse than the
+  full grid; a 3x3 grid sits in between;
+* disabling the measurement-chain noise drops the error to the structural
+  floor, confirming event inaccuracy drives the observed error (the paper's
+  Kepler explanation).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ablations
+
+
+def test_ablations(run_once, lab):
+    result = run_once(ablations.run, lab)
+
+    full = result.full_model_mae
+
+    # Voltage modeling matters.
+    assert result.mae_percent["no_voltage"] > full + 1.0
+
+    # Per-component decomposition matters.
+    assert result.mae_percent["single_utilization"] > full + 0.5
+
+    # Training-grid coverage matters, monotonically.
+    assert result.mae_percent["grid_3_configs"] > result.mae_percent["grid_3x3"]
+    assert result.mae_percent["grid_3_configs"] > full + 2.0
+    assert result.mae_percent["grid_3x3"] >= full - 0.5
+
+    # The noise injection is a real driver of the observed error.
+    assert result.mae_percent["noiseless"] < full
+
+    ablations.main()

@@ -1,0 +1,42 @@
+"""Bench: Sec. V-B / VI — comparison against prior-work baseline models.
+
+Shape criteria (DESIGN.md):
+* the proposed model beats the Abe-style linear regression, the
+  GPUWattch-style linear-frequency model and the fixed-configuration model
+  on both wide-frequency-range devices (Titan Xp, GTX Titan X);
+* the fixed-configuration model collapses on any DVFS sweep (> 2x the
+  proposed model's error on the multi-memory-level devices);
+* on the Tesla K40c — 4 core levels over a 1.3x range, one memory level —
+  all DVFS-aware models cluster together. (The paper's 23.5 % Kepler figure
+  for Abe et al. comes from that paper's own implementation and undisclosed
+  event set; see EXPERIMENTS.md.)
+"""
+
+from __future__ import annotations
+
+from repro.experiments import baselines
+
+
+def test_baseline_comparison(run_once, lab):
+    result = run_once(baselines.run, lab)
+
+    for device in ("Titan Xp", "GTX Titan X"):
+        entry = result.device(device)
+        proposed = entry.mae_percent["proposed"]
+        assert entry.proposed_wins, device
+        assert proposed < entry.mae_percent["abe_linear"]
+        assert proposed < entry.mae_percent["linear_frequency"]
+        assert entry.mae_percent["fixed_config"] > 2 * proposed
+
+    kepler = result.device("Tesla K40c")
+    # All DVFS-aware models within 2 pp of each other on the narrow-range
+    # device; the proposed model is not beaten by more than measurement
+    # noise.
+    dvfs_aware = [
+        kepler.mae_percent[name]
+        for name in ("proposed", "abe_linear", "linear_frequency")
+    ]
+    assert max(dvfs_aware) - min(dvfs_aware) < 2.0
+    assert kepler.mae_percent["proposed"] < 20.0
+
+    baselines.main()

@@ -1,0 +1,36 @@
+"""Bench: DVFS energy-savings study (Sec. V-B use case 3).
+
+Shape criteria:
+* compute/shared-memory-bound workloads (CUTCP, LUD) bank > 15 % measured
+  energy savings within a 10 % slowdown budget, mostly by dropping the
+  memory clock;
+* DRAM-saturated workloads (BlackScholes, LBM) have < 5 % headroom — their
+  runtime *is* the memory clock;
+* relaxing the slowdown budget never reduces any workload's saving;
+* mean savings are positive under both budgets.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import dvfs_savings
+
+
+def test_dvfs_energy_savings(run_once, lab):
+    result = run_once(dvfs_savings.run, lab)
+
+    for name in ("cutcp", "lud"):
+        entry = result.workload(name)
+        assert entry.saving(1.10) > 0.15, name
+        # The big win comes from the memory domain.
+        assert entry.config(1.10).memory_mhz < 3505, name
+
+    for name in ("blackscholes", "lbm"):
+        assert result.workload(name).saving(1.10) < 0.05, name
+
+    for entry in result.workloads:
+        assert entry.saving(1.10) >= entry.saving(1.05) - 1e-9, entry.workload
+
+    assert result.mean_saving(1.05) > 0.0
+    assert result.mean_saving(1.10) >= result.mean_saving(1.05)
+
+    dvfs_savings.main()

@@ -1,0 +1,44 @@
+"""Bench: Fig. 10 — validation-set power breakdown at two configurations.
+
+Shape criteria (DESIGN.md):
+* breakdown MAE near the paper's 5.2 % at the reference configuration and
+  8.8 % at the low-memory configuration (low-memory strictly worse);
+* a large constant share: ~80 W at the reference vs ~50-70 W at the
+  low-memory configuration (ours sits slightly higher; +-35 % band);
+* between the configurations the DRAM component shrinks dramatically while
+  the summed core components stay nearly constant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig10
+
+
+def test_fig10_power_breakdown(run_once, lab):
+    result = run_once(fig10.run, lab)
+
+    assert len(result.reference.entries) == 27
+    assert len(result.low_memory.entries) == 27
+
+    # Accuracy shape: low-memory configuration is harder.
+    reference_mae = result.reference.mean_absolute_error_percent
+    low_memory_mae = result.low_memory.mean_absolute_error_percent
+    assert reference_mae < low_memory_mae
+    assert reference_mae == pytest.approx(5.2, abs=2.5)
+    assert low_memory_mae == pytest.approx(8.8, abs=3.5)
+
+    # Constant-share anchors (paper: ~80 W and ~50 W).
+    assert result.reference.mean_constant_watts == pytest.approx(80.0, rel=0.35)
+    assert result.low_memory.mean_constant_watts == pytest.approx(50.0, rel=0.45)
+    assert (
+        result.low_memory.mean_constant_watts
+        < result.reference.mean_constant_watts
+    )
+
+    # DRAM power collapses with the memory clock; core components persist.
+    assert result.dram_power_ratio() < 0.5
+    assert result.core_power_ratio() > 0.6
+
+    fig10.main()

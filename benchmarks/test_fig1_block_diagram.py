@@ -1,0 +1,35 @@
+"""Bench: Fig. 1 — the device block diagram, generated from the spec.
+
+Shape criteria: the rendered diagram communicates Fig. 1's structural
+facts — the two independent V-F domains with the L2 cache on the core side
+and the DRAM on the memory side, the SM count, and the per-SM unit counts
+of Table II.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig1
+
+
+def test_fig1_block_diagrams(run_once, lab):
+    result = run_once(fig1.run, lab)
+
+    for device in ("Titan Xp", "GTX Titan X", "Tesla K40c"):
+        text = result.diagram(device)
+        assert "CORE DOMAIN" in text
+        assert "MEMORY DOMAIN" in text
+        # L2 belongs to the core domain: it must appear before the memory
+        # domain's banner.
+        assert text.index("L2 CACHE") < text.index("MEMORY DOMAIN")
+        assert text.index("DRAM") > text.index("MEMORY DOMAIN")
+        spec = lab.spec(device)
+        assert f"x{spec.sm_count}" in text
+        assert f"INT/FP x{spec.sp_int_units_per_sm}" in text
+        assert f"DP x{spec.dp_units_per_sm}" in text
+
+    # The domain key the figure encodes.
+    assert fig1.domain_of_block("L2 cache") == "core"
+    assert fig1.domain_of_block("DRAM") == "memory"
+    assert fig1.domain_of_block("Shared Memory") == "core"
+
+    fig1.main()

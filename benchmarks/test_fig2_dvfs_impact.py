@@ -1,0 +1,51 @@
+"""Bench: Fig. 2 — DVFS impact on BlackScholes and CUTCP (GTX Titan X).
+
+Shape criteria (DESIGN.md):
+* power anchors at the defaults: BlackScholes ~181 W, CUTCP ~135 W (+-15%);
+* the memory-frequency drop costs BlackScholes ~52 % but CUTCP only ~24 %
+  (DRAM-utilization gap), i.e. BlackScholes' drop is at least double;
+* power is non-linear in the core frequency (implicit voltage scaling).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig2
+from repro.hardware.components import Component
+
+
+def _curve_slopes(curve):
+    frequencies = sorted(curve)
+    return [
+        (curve[b] - curve[a]) / (b - a)
+        for a, b in zip(frequencies, frequencies[1:])
+    ]
+
+
+def test_fig2_dvfs_impact(run_once, lab):
+    result = run_once(fig2.run, lab)
+
+    blackscholes = result.application("blackscholes")
+    cutcp = result.application("cutcp")
+
+    # Power anchors at the default configuration (Fig. 2 annotations).
+    assert blackscholes.reference_power_watts == pytest.approx(181, rel=0.15)
+    assert cutcp.reference_power_watts == pytest.approx(135, rel=0.15)
+    assert blackscholes.reference_power_watts > cutcp.reference_power_watts
+
+    # Memory-frequency sensitivity follows the DRAM utilization gap.
+    assert blackscholes.utilizations[Component.DRAM] > 0.7
+    assert cutcp.utilizations[Component.DRAM] < 0.2
+    bs_drop = blackscholes.memory_drop_fraction()
+    cutcp_drop = cutcp.memory_drop_fraction()
+    assert bs_drop == pytest.approx(0.52, abs=0.10)
+    assert cutcp_drop == pytest.approx(0.24, abs=0.10)
+    assert bs_drop > 2 * cutcp_drop
+
+    # Non-linearity in the core frequency: the slope above the voltage
+    # breakpoint clearly exceeds the slope below it.
+    slopes = _curve_slopes(cutcp.power_curves[3505.0])
+    assert max(slopes[-3:]) > 1.2 * min(slopes[:3])
+
+    fig2.main()

@@ -1,0 +1,50 @@
+"""Bench: Fig. 5 — microbenchmark-suite utilizations and power breakdown.
+
+Shape criteria (DESIGN.md):
+* 83 microbenchmarks with the Fig. 5 group sizes;
+* along each intensity ladder the target unit's utilization rises while the
+  DRAM utilization falls;
+* the model's constant power at the defaults is ~84 W (+-20 %);
+* the maximum dynamic share lands near the paper's ~49 % (we allow a broad
+  band — our MIX kernels run slightly hotter);
+* the model fits the training suite tightly (MAE < 6 %).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig5
+from repro.hardware.components import Component
+
+
+def test_fig5_microbenchmark_suite(run_once, lab):
+    result = run_once(fig5.run, lab)
+
+    assert len(result.utilizations) == 83
+
+    ladders = {
+        "int": Component.INT,
+        "sp": Component.SP,
+        "dp": Component.DP,
+        "sf": Component.SF,
+    }
+    for group, component in ladders.items():
+        ladder = result.group_utilizations(group, component)
+        assert ladder[-1] > ladder[0], group
+        dram = result.group_utilizations(group, Component.DRAM)
+        assert dram[-1] < dram[0], group
+
+    for group, component in (
+        ("shared", Component.SHARED),
+        ("l2", Component.L2),
+        ("dram", Component.DRAM),
+    ):
+        assert max(result.group_utilizations(group, component)) > 0.7, group
+
+    # Fig. 5B anchors.
+    assert result.constant_watts == pytest.approx(84.0, rel=0.20)
+    assert 0.35 <= result.max_dynamic_share <= 0.70
+    assert result.fit_mae_percent < 6.0
+
+    fig5.main()

@@ -1,0 +1,42 @@
+"""Bench: Fig. 6 — measured vs predicted core voltage.
+
+Shape criteria (DESIGN.md):
+* the predicted curve reproduces the two regions — flat, then linearly
+  increasing — on both the GTX Titan X and the Titan Xp;
+* the detected breakpoint falls within one frequency level of the truth;
+* the worst-case voltage error stays below 7 % of the reference voltage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig6
+
+
+def test_fig6_voltage_prediction(run_once, lab):
+    result = run_once(fig6.run, lab)
+
+    level_spacing = {"GTX Titan X": 38.0, "Titan Xp": 64.0}
+    for entry in result.devices:
+        # Two distinct regions detected: a flat level and a positive slope.
+        assert entry.region_fit.has_flat_region, entry.device
+        assert entry.region_fit.slope_per_mhz > 1e-5
+
+        # Breakpoint within one frequency level of the hidden truth.
+        assert entry.breakpoint_error_mhz <= level_spacing[entry.device] + 1.0
+
+        # Voltage accuracy.
+        assert entry.errors["max_abs_error"] < 0.07, entry.device
+
+        # Predicted curve is monotone non-decreasing.
+        values = [entry.predicted_curve[f] for f in sorted(entry.predicted_curve)]
+        assert all(b >= a - 1e-6 for a, b in zip(values, values[1:]))
+
+        # Anchored at 1.0 at the device's default core frequency.
+        spec = lab.spec(entry.device)
+        assert entry.predicted_curve[spec.default_core_mhz] == pytest.approx(
+            1.0
+        )
+
+    fig6.main()

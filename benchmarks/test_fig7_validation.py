@@ -1,0 +1,37 @@
+"""Bench: Fig. 7 — validation accuracy over all V-F configurations, 3 GPUs.
+
+Shape criteria (DESIGN.md):
+* mean absolute errors in the paper's bands — Pascal and Maxwell in single
+  digits (paper: 6.9 % / 6.0 %), Kepler clearly worse (paper: 12.4 %) and
+  below 20 %;
+* the Kepler error exceeds both others (its counters characterize the
+  utilizations worst — Sec. V-B);
+* measured powers on the GTX Titan X span a wide range (paper: ~40-248 W).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig7
+
+
+def test_fig7_all_configuration_validation(run_once, lab):
+    result = run_once(fig7.run, lab)
+
+    mae = result.mae_by_architecture()
+    assert mae["Pascal"] < 10.0
+    assert mae["Maxwell"] < 10.0
+    assert 8.0 < mae["Kepler"] < 20.0
+    assert mae["Kepler"] > mae["Pascal"]
+    assert mae["Kepler"] > mae["Maxwell"]
+
+    titan_x = result.device("GTX Titan X")
+    low, high = titan_x.result.power_range_watts()
+    assert low < 80.0
+    assert high > 200.0
+
+    # Grid sizes validate the sweep actually covered every configuration.
+    assert titan_x.core_levels * titan_x.memory_levels == 64
+    xp = result.device("Titan Xp")
+    assert xp.core_levels * xp.memory_levels == 44
+
+    fig7.main()

@@ -1,0 +1,36 @@
+"""Bench: Fig. 8 — prediction error per memory frequency (GTX Titan X).
+
+Shape criteria (DESIGN.md):
+* the error grows with distance from the reference configuration:
+  MAE at 810 MHz clearly above MAE at the reference 3505 MHz
+  (paper: 8.7 % vs 4.9 %);
+* the overall error over the 2x core / 4x memory range stays near the
+  paper's 6.0 %;
+* every memory level yields errors for all 26+ workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig8
+
+
+def test_fig8_error_by_memory_frequency(run_once, lab):
+    result = run_once(fig8.run, lab)
+
+    assert set(result.mae_by_memory_mhz) == {4005.0, 3505.0, 3300.0, 810.0}
+
+    # Reference-distance structure.
+    assert result.low_memory_mae > result.reference_memory_mae
+    assert result.reference_memory_mae == pytest.approx(4.9, abs=2.0)
+    assert result.low_memory_mae == pytest.approx(8.7, abs=3.0)
+
+    # Overall accuracy near the paper's 6.0 %.
+    assert result.overall_mae_percent == pytest.approx(6.0, abs=2.5)
+
+    # Per-workload signed errors exist for the whole validation set.
+    for memory, per_workload in result.signed_errors.items():
+        assert len(per_workload) >= 26, memory
+
+    fig8.main()

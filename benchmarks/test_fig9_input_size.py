@@ -1,0 +1,40 @@
+"""Bench: Fig. 9 — matrixMulCUBLAS input-size effects (GTX Titan X).
+
+Shape criteria (DESIGN.md):
+* utilizations and power grow with the matrix size (64 -> 512 -> 4096);
+* the model tracks the measured curves (paper: 6.8 % MAE; we assert < 10 %);
+* at f_core = 1164 MHz the 4096 case trips TDP throttling and falls back to
+  1126 MHz — the paper's footnote (a).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig9
+from repro.hardware.components import Component
+
+
+def test_fig9_input_size_effects(run_once, lab):
+    result = run_once(fig9.run, lab)
+
+    by_size = {entry.matrix_size: entry for entry in result.sizes}
+
+    # Monotone utilization growth with input size.
+    for component in (Component.SP, Component.L2, Component.DRAM):
+        values = [by_size[s].utilizations[component] for s in (64, 512, 4096)]
+        assert values[0] < values[1] < values[2], component
+
+    # Monotone power growth at the reference core frequency.
+    powers = [by_size[s].reference_power_watts for s in (64, 512, 4096)]
+    assert powers[0] < powers[1] < powers[2]
+
+    # Prediction accuracy.
+    assert result.overall_mae_percent < 10.0
+    for entry in result.sizes:
+        assert entry.mae_percent < 12.0, entry.matrix_size
+
+    # TDP throttling: only the 4096 case, only at the top level.
+    assert by_size[4096].throttled_levels() == {1164.0: 1126.0}
+    assert not by_size[64].throttled_levels()
+    assert not by_size[512].throttled_levels()
+
+    fig9.main()

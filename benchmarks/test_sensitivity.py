@@ -1,0 +1,34 @@
+"""Bench: sensitivity of the model to the microbenchmarking budget.
+
+Shape criteria:
+* validation accuracy improves (weakly) monotonically with the training
+  suite size, and the full 83-kernel suite is at least as good as every
+  stratified subset;
+* even a ~20-kernel stratified subset stays within 1.5 pp of the full
+  suite (the method degrades gracefully);
+* dropping whole component families hurts: a memory-only suite is clearly
+  worse than the full one.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import sensitivity
+
+
+def test_training_budget_sensitivity(run_once, lab):
+    result = run_once(sensitivity.run, lab)
+
+    sizes = sorted(result.mae_by_suite_size)
+    maes = [result.mae_by_suite_size[size] for size in sizes]
+    # Weak monotonicity with a small tolerance for measurement noise.
+    for smaller, larger in zip(maes[1:], maes[:-1]):
+        assert smaller <= larger + 0.5
+
+    full = result.full_suite_mae
+    smallest = maes[0]
+    assert smallest - full < 1.5  # graceful degradation
+
+    assert result.mae_by_coverage["memory_only"] > full + 1.0
+    assert result.mae_by_coverage["full"] == full
+
+    sensitivity.main()

@@ -1,0 +1,30 @@
+"""Bench: Table I — performance-event tables.
+
+Shape criteria (DESIGN.md): every metric of Eq. 8-10 resolves to at least
+one raw event on each of the three devices, and the undisclosed-event ID
+prefixes match the Table-I footnote.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table1
+
+
+def test_table1_event_tables(run_once, lab):
+    result = run_once(table1.run, lab)
+
+    assert set(result.tables) == {"Titan Xp", "GTX Titan X", "Tesla K40c"}
+    for device, table in result.tables.items():
+        for label, field in table1.METRIC_FIELDS:
+            events = result.events_for(device, field)
+            assert events, f"{device}: no events for {label}"
+
+    assert result.prefixes == {
+        "Pascal": 352321, "Maxwell": 335544, "Kepler": 318767
+    }
+    # Architecture-specific quirks of Table I.
+    assert len(result.tables["Tesla K40c"].warps_sp_int) == 4
+    assert len(result.tables["GTX Titan X"].warps_sp_int) == 2
+    assert len(result.tables["Tesla K40c"].l2_read_sector_queries) == 4
+
+    table1.main()

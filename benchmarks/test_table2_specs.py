@@ -1,0 +1,37 @@
+"""Bench: Table II — device spec sheet.
+
+Shape criteria (DESIGN.md): frequency grids of 22x2 (Titan Xp), 16x4
+(GTX Titan X) and 4x1 (Tesla K40c), with the paper's defaults and unit
+counts.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table2
+
+
+def test_table2_device_specs(run_once, lab):
+    result = run_once(table2.run, lab)
+
+    assert result.grid_sizes() == {
+        "Titan Xp": (22, 2),
+        "GTX Titan X": (16, 4),
+        "Tesla K40c": (4, 1),
+    }
+
+    titan_xp = result.spec("Titan Xp")
+    assert titan_xp.default_core_mhz == 1404
+    assert titan_xp.default_memory_mhz == 5705
+    assert titan_xp.sm_count == 30
+
+    titan_x = result.spec("GTX Titan X")
+    assert titan_x.default_core_mhz == 975
+    assert titan_x.default_memory_mhz == 3505
+    assert set(titan_x.memory_frequencies_mhz) == {4005, 3505, 3300, 810}
+
+    k40c = result.spec("Tesla K40c")
+    assert k40c.default_core_mhz == 875
+    assert k40c.dp_units_per_sm == 64
+    assert k40c.tdp_watts == 235
+
+    table2.main()

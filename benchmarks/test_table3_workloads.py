@@ -1,0 +1,32 @@
+"""Bench: Table III — the validation benchmark list.
+
+Shape criteria (DESIGN.md): 26 applications across the 4 suites (27 workload
+entries — K-Means contributes two kernels, as in the paper's figures), each
+with a resolvable utilization signature.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table3
+from repro.hardware.components import Component
+from repro.workloads.registry import APPLICATION_COUNT
+
+
+def test_table3_validation_workloads(run_once, lab):
+    result = run_once(table3.run, lab)
+
+    assert APPLICATION_COUNT == 26
+    assert result.workload_count == 27
+    suites = result.suites()
+    assert len(suites["rodinia"]) == 11  # 10 apps, K-Means twice
+    assert len(suites["parboil"]) == 2
+    assert len(suites["polybench"]) == 11
+    assert len(suites["cuda_sdk"]) == 3
+
+    # Every workload exhibits measurable activity on some component.
+    for name, utilization in result.utilizations.items():
+        assert any(
+            utilization[component] > 0.03 for component in Component
+        ), name
+
+    table3.main()

@@ -1,0 +1,24 @@
+"""Bench: cross-device model transfer (Sec. VI motivation).
+
+Shape criteria: transplanting one device's fitted coefficients onto the
+other degrades the validation MAE by at least 2x in both directions —
+the quantitative case for the paper's per-device microbenchmarking.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import transfer
+
+
+def test_cross_device_transfer(run_once, lab):
+    result = run_once(transfer.run, lab)
+
+    for source, target in (
+        ("GTX Titan X", "Titan Xp"),
+        ("Titan Xp", "GTX Titan X"),
+    ):
+        native, transferred = result.pairs[(source, target)]
+        assert native < 10.0, (source, target)
+        assert transferred > 2 * native, (source, target)
+
+    transfer.main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Port the methodology to a device the paper never measured.
+
+The paper's pipeline is device-agnostic: give it a spec sheet and the
+microbenchmark campaign does the rest. This script defines a Volta-class
+device ("Titan V-ish": 80 SMs, HBM-style memory levels, wide DP), builds the
+full simulated board from the datasheet numbers, runs the complete fit, and
+validates on the standard benchmarks — exactly the steps a user with new
+hardware would follow.
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.hardware.custom import build_spec, custom_gpu
+
+
+def main() -> None:
+    spec = build_spec(
+        name="Titan V-ish",
+        architecture="Volta-like",
+        compute_capability="7.0",
+        sm_count=80,
+        core_range_mhz=(607, 1700),
+        core_levels=16,
+        default_core_mhz=1455,
+        memory_levels_mhz=(850, 810, 425),
+        default_memory_mhz=850,
+        sp_int_units_per_sm=64,
+        dp_units_per_sm=32,
+        sf_units_per_sm=16,
+        memory_bus_width_bytes=384,  # 3072-bit HBM2
+        l2_bytes_per_cycle=2048.0,
+        tdp_watts=320.0,
+    )
+    gpu = custom_gpu(
+        spec, voltage_flat_level=0.90, voltage_breakpoint_fraction=0.5
+    )
+    session = repro.ProfilingSession(gpu)
+
+    print(f"device: {spec.name} — {spec.sm_count} SMs, "
+          f"{len(spec.core_frequencies_mhz)}x{len(spec.memory_frequencies_mhz)} "
+          f"V-F grid, "
+          f"{spec.dram_peak_bandwidth(spec.default_memory_mhz)/1e9:.0f} GB/s peak")
+
+    print("running the 83-microbenchmark campaign and fitting...")
+    model, report = repro.fit_power_model(session)
+    print(f"  {report.iterations} iterations, "
+          f"training MAE {report.train_mae_percent:.2f}%")
+
+    curve = model.core_voltage_curve(spec.default_memory_mhz)
+    frequencies = sorted(curve)
+    print(f"  learned voltage curve: V({frequencies[0]:.0f})="
+          f"{curve[frequencies[0]]:.2f} ... V({frequencies[-1]:.0f})="
+          f"{curve[frequencies[-1]]:.2f}")
+
+    result = repro.validate_model(model, session, repro.all_workloads())
+    low, high = result.power_range_watts()
+    print(f"validation on the 26 standard benchmarks, full grid:")
+    print(f"  MAE {result.mean_absolute_error_percent:.2f}%  "
+          f"(power span {low:.0f}-{high:.0f} W)")
+
+    # The usual downstream products work unchanged — and reveal how the
+    # same binary behaves differently on the new part: SYRK_DOUBLE, DP-bound
+    # on the Titan X's 4 DP units/SM, barely tickles this device's wide DP
+    # array and turns memory-bound.
+    kernel = repro.workload_by_name("syrk_double")
+    utilizations = repro.MetricCalculator(spec).utilizations(
+        session.collect_events(kernel)
+    )
+    breakdown = model.predict_breakdown(utilizations, spec.reference)
+    top = max(breakdown.component_watts, key=breakdown.component_watts.get)
+    print(
+        f"\nsyrk_double at the defaults: {breakdown.total_watts:.1f} W, "
+        f"dominant dynamic component {top.value} "
+        f"({breakdown.component_watts[top]:.1f} W); "
+        f"DP utilization {utilizations[repro.Component.DP]:.2f} vs "
+        "0.50 on the GTX Titan X — the wide DP array absorbs the same "
+        "kernel without breaking a sweat"
+    )
+
+
+if __name__ == "__main__":
+    main()

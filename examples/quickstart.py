@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: build a DVFS-aware power model and predict across the grid.
+
+Reproduces the paper's core workflow end-to-end on the simulated GTX Titan X
+(Maxwell):
+
+1. run the 83-microbenchmark suite across the V-F grid and fit the model
+   (Sec. III-D — takes a few seconds);
+2. profile an *unseen* application (BlackScholes) once, at the reference
+   configuration, to obtain its component utilizations (Eq. 8-10);
+3. predict its power at every core/memory frequency configuration and
+   compare a few of them against the simulated device's measurements.
+"""
+
+from __future__ import annotations
+
+import repro
+
+
+def main() -> None:
+    gpu = repro.SimulatedGPU(repro.GTX_TITAN_X)
+    session = repro.ProfilingSession(gpu)
+
+    print(f"fitting the power model for {gpu.spec.name}...")
+    model, report = repro.fit_power_model(session)
+    print(
+        f"  converged={report.converged} after {report.iterations} "
+        f"iterations, training MAE {report.train_mae_percent:.1f}%"
+    )
+    p = model.parameters
+    print(
+        f"  beta0={p.beta0:.2f} W  beta1={p.beta1*1e3:.2f} mW/MHz  "
+        f"omega_mem={p.omega_mem*1e3:.2f} mW/MHz"
+    )
+
+    # Profile an application the model has never seen — once, at the
+    # reference configuration.
+    kernel = repro.workload_by_name("blackscholes")
+    events = session.collect_events(kernel)
+    utilizations = repro.MetricCalculator(gpu.spec).utilizations(events)
+    print(f"\nBlackScholes utilizations at {gpu.spec.reference}:")
+    for component in repro.Component:
+        value = utilizations[component]
+        if value >= 0.01:
+            print(f"  {component.value:7s} {value:.2f}")
+
+    # Predict across configurations; spot-check against measurements.
+    print("\nprediction vs measurement:")
+    for core, memory in ((975, 3505), (1164, 3505), (975, 810), (595, 810)):
+        config = repro.FrequencyConfig(core, memory)
+        predicted = model.predict_power(utilizations, config)
+        measured = session.measure_power(kernel, config).average_watts
+        error = 100.0 * abs(predicted - measured) / measured
+        print(
+            f"  fcore={core:5.0f} fmem={memory:5.0f}:  "
+            f"predicted {predicted:6.1f} W   measured {measured:6.1f} W   "
+            f"({error:.1f}% error)"
+        )
+
+    # Per-component decomposition at the defaults (Fig. 5B/10 style).
+    breakdown = model.predict_breakdown(utilizations, gpu.spec.reference)
+    print(f"\npower breakdown at the defaults "
+          f"({breakdown.total_watts:.1f} W total):")
+    print(f"  constant {breakdown.constant_watts:.1f} W")
+    for component, watts in breakdown.component_watts.items():
+        if watts >= 0.5:
+            print(f"  {component.value:7s} {watts:.1f} W")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Sensor-less power estimation (use case 1 of Sec. V-B).
+
+Many deployment GPUs expose no power sensor (or a VM hides it — the paper's
+NVIDIA GRID / Hyper-V scenario): a model *built elsewhere* still turns plain
+performance events into power estimates. This script:
+
+1. builds the model on a "lab" device that has the NVML sensor;
+2. ships only the fitted parameters to a "production" device of the same
+   part, whose sensor we refuse to read;
+3. estimates power for a stream of production kernels from their events
+   alone, and — since this is a simulation — grades the estimates against
+   the hidden truth the production host never saw.
+"""
+
+from __future__ import annotations
+
+import repro
+
+
+def main() -> None:
+    # --- lab: device with a sensor; build the model once ---------------
+    lab_gpu = repro.SimulatedGPU(repro.GTX_TITAN_X)
+    lab_session = repro.ProfilingSession(lab_gpu)
+    print("building the model on the lab device (sensor available)...")
+    model, _ = repro.fit_power_model(lab_session)
+
+    # --- production: same part, sensor off-limits ----------------------
+    production_gpu = repro.SimulatedGPU(repro.GTX_TITAN_X)
+    cupti = repro.CuptiContext(production_gpu)
+    calculator = repro.MetricCalculator(production_gpu.spec)
+
+    print("\nestimating production kernels from events only:")
+    print(f"{'kernel':24s} {'config':28s} {'estimate':>9s} {'truth':>8s} {'err':>6s}")
+    workload_names = (
+        "blackscholes", "gemm", "lbm", "cutcp", "srad_v1", "kmeans",
+    )
+    configs = (
+        repro.FrequencyConfig(975, 3505),
+        repro.FrequencyConfig(1126, 3505),
+        repro.FrequencyConfig(785, 810),
+    )
+    errors = []
+    for name in workload_names:
+        kernel = repro.workload_by_name(name)
+        # Events are measured at the reference configuration, as always.
+        events = cupti.collect_events(kernel)
+        utilizations = calculator.utilizations(events)
+        for config in configs:
+            estimate = model.predict_power(utilizations, config)
+            # Grading only: the hidden ground truth of the simulator.
+            truth = production_gpu.run(kernel, config).true_power_watts
+            error = 100.0 * abs(estimate - truth) / truth
+            errors.append(error)
+            print(
+                f"{name:24s} {str(config):28s} "
+                f"{estimate:8.1f}W {truth:7.1f}W {error:5.1f}%"
+            )
+    print(f"\nmean estimation error: {sum(errors)/len(errors):.1f}% "
+          "(no sensor reading used)")
+
+
+if __name__ == "__main__":
+    main()

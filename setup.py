@@ -1,0 +1,13 @@
+"""Legacy setuptools shim.
+
+The offline environment has no ``wheel`` package, so PEP 660 editable
+installs (``pip install -e .`` with a declared build backend) fail with
+``invalid command 'bdist_wheel'``. Keeping this shim (and no
+``[build-system]`` table in pyproject.toml) routes pip through the legacy
+``setup.py develop`` path, which works without wheel. All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

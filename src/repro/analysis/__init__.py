@@ -1,0 +1,52 @@
+"""Analysis layer: validation, power decomposition, voltage curves, DVFS.
+
+Everything here consumes only the public model/driver APIs — it is the code
+a downstream user of the library would write, packaged:
+
+* :mod:`repro.analysis.validation` — the Sec. V-B accuracy machinery
+  (predicted-vs-measured sweeps, MAE summaries);
+* :mod:`repro.analysis.breakdown` — per-component power decomposition
+  reports (Fig. 5B / Fig. 10);
+* :mod:`repro.analysis.voltage` — voltage-curve extraction and
+  flat/linear-region breakpoint detection (Fig. 6);
+* :mod:`repro.analysis.dvfs` — the DVFS-management use case of Sec. V-B:
+  searching the V-F space for energy/EDP-optimal configurations using model
+  predictions instead of exhaustive execution.
+"""
+
+from repro.analysis.validation import (
+    PredictionRecord,
+    ValidationResult,
+    validate_model,
+)
+from repro.analysis.breakdown import BreakdownReport, breakdown_report
+from repro.analysis.voltage import VoltageCurveFit, fit_voltage_regions
+from repro.analysis.dvfs import DVFSAdvisor, ConfigurationScore
+from repro.analysis.classify import (
+    DVFSClassifier,
+    ScalingClass,
+    WorkloadClassification,
+)
+from repro.analysis.stats import (
+    ConfidenceInterval,
+    bootstrap_mae_interval,
+    paired_comparison,
+)
+
+__all__ = [
+    "PredictionRecord",
+    "ValidationResult",
+    "validate_model",
+    "BreakdownReport",
+    "breakdown_report",
+    "VoltageCurveFit",
+    "fit_voltage_regions",
+    "DVFSAdvisor",
+    "ConfigurationScore",
+    "DVFSClassifier",
+    "ScalingClass",
+    "WorkloadClassification",
+    "ConfidenceInterval",
+    "bootstrap_mae_interval",
+    "paired_comparison",
+]

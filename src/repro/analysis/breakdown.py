@@ -1,0 +1,132 @@
+"""Per-component power decomposition reports (Fig. 5B and Fig. 10).
+
+Combines, for a set of workloads at one configuration, the model-predicted
+per-component powers with the measured total — the stacked bars plus the
+"Measured" line of the paper's breakdown figures. The decomposition is the
+application-analysis use case of Sec. V-B: it points developers at the
+components dominating their kernel's power draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.metrics import MetricCalculator, UtilizationVector
+from repro.core.model import DVFSPowerModel
+from repro.driver.session import ProfilingSession
+from repro.errors import ValidationError
+from repro.hardware.components import Component
+from repro.hardware.specs import FrequencyConfig
+from repro.kernels.kernel import KernelDescriptor
+
+
+@dataclass(frozen=True)
+class WorkloadBreakdown:
+    """Decomposition of one workload at one configuration."""
+
+    workload: str
+    config: FrequencyConfig
+    measured_watts: float
+    constant_watts: float
+    component_watts: Mapping[Component, float]
+    utilizations: UtilizationVector
+
+    @property
+    def predicted_watts(self) -> float:
+        return self.constant_watts + sum(self.component_watts.values())
+
+    @property
+    def dynamic_share(self) -> float:
+        """Fraction of the predicted power that is utilization-dependent."""
+        total = self.predicted_watts
+        if total <= 0:
+            return 0.0
+        return sum(self.component_watts.values()) / total
+
+    @property
+    def absolute_error_percent(self) -> float:
+        return 100.0 * abs(self.predicted_watts - self.measured_watts) / (
+            self.measured_watts
+        )
+
+
+@dataclass(frozen=True)
+class BreakdownReport:
+    """Fig. 5B / Fig. 10-style report: one entry per workload."""
+
+    device_name: str
+    config: FrequencyConfig
+    entries: Tuple[WorkloadBreakdown, ...]
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise ValidationError("breakdown report has no entries")
+
+    @property
+    def mean_absolute_error_percent(self) -> float:
+        return float(
+            np.mean([entry.absolute_error_percent for entry in self.entries])
+        )
+
+    @property
+    def mean_constant_watts(self) -> float:
+        """The "Constant" stack of the figures (static + idle V-F power)."""
+        return float(np.mean([entry.constant_watts for entry in self.entries]))
+
+    @property
+    def max_dynamic_share(self) -> float:
+        """Largest dynamic fraction across workloads (~49 % in Fig. 5B)."""
+        return float(max(entry.dynamic_share for entry in self.entries))
+
+    def component_means(self) -> Dict[Component, float]:
+        """Average per-component power across workloads."""
+        means: Dict[Component, float] = {}
+        for component in self.entries[0].component_watts:
+            means[component] = float(
+                np.mean([e.component_watts[component] for e in self.entries])
+            )
+        return means
+
+    def entry(self, workload: str) -> WorkloadBreakdown:
+        for candidate in self.entries:
+            if candidate.workload == workload:
+                return candidate
+        raise ValidationError(f"no breakdown entry for workload {workload!r}")
+
+
+def breakdown_report(
+    model: DVFSPowerModel,
+    session: ProfilingSession,
+    workloads: Sequence[KernelDescriptor],
+    config: Optional[FrequencyConfig] = None,
+) -> BreakdownReport:
+    """Build the per-component decomposition of a workload set."""
+    if not workloads:
+        raise ValidationError("no workloads supplied for breakdown")
+    spec = session.gpu.spec
+    config = spec.validate_configuration(config or spec.reference)
+    calculator = MetricCalculator(spec)
+
+    entries: List[WorkloadBreakdown] = []
+    for kernel in workloads:
+        utilizations = calculator.utilizations(session.collect_events(kernel))
+        measurement = session.measure_power(kernel, config)
+        predicted = model.predict_breakdown(
+            utilizations, measurement.applied_config
+        )
+        entries.append(
+            WorkloadBreakdown(
+                workload=kernel.name,
+                config=measurement.applied_config,
+                measured_watts=measurement.average_watts,
+                constant_watts=predicted.constant_watts,
+                component_watts=dict(predicted.component_watts),
+                utilizations=utilizations,
+            )
+        )
+    return BreakdownReport(
+        device_name=spec.name, config=config, entries=tuple(entries)
+    )

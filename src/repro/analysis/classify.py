@@ -1,0 +1,141 @@
+"""DVFS-scaling classification of workloads (the Sec. II motivation).
+
+The paper motivates the model with the observation — from the authors' own
+prior work [9] and Wu et al. [15] — that "applications that utilize the GPU
+resources differently have their performance and power consumption scale in
+distinct ways when DVFS is applied". This module turns a fitted model into
+that classification: from one reference profile it predicts how a workload's
+power and runtime respond to each domain's clock and buckets it into the
+classes those works use.
+
+Classes:
+
+* ``memory-bound`` — runtime tracks the memory clock; down-clocking the
+  core is nearly free, down-clocking the memory is ruinous;
+* ``compute-bound`` — the mirror image;
+* ``balanced`` — both domains matter;
+* ``latency-bound`` — neither domain's clock moves the runtime much
+  (occupancy/dependency limited).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.core.metrics import MetricCalculator
+from repro.core.model import DVFSPowerModel
+from repro.driver.session import ProfilingSession
+from repro.errors import ValidationError
+from repro.hardware.specs import FrequencyConfig
+from repro.kernels.kernel import KernelDescriptor
+from repro.simulator.performance import FrequencyScalingTimePredictor
+
+#: A domain "matters" when halving-ish its clock stretches the runtime by
+#: more than this fraction of the clock stretch itself.
+SENSITIVITY_THRESHOLD = 0.4
+
+
+class ScalingClass(enum.Enum):
+    MEMORY_BOUND = "memory-bound"
+    COMPUTE_BOUND = "compute-bound"
+    BALANCED = "balanced"
+    LATENCY_BOUND = "latency-bound"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class WorkloadClassification:
+    """DVFS response summary of one workload."""
+
+    workload: str
+    scaling_class: ScalingClass
+    #: Runtime stretch per unit of core-clock stretch, in [0, 1].
+    core_sensitivity: float
+    #: Runtime stretch per unit of memory-clock stretch, in [0, 1].
+    memory_sensitivity: float
+    #: Predicted power drop when the memory clock falls to its lowest level.
+    memory_power_drop_fraction: float
+
+
+class DVFSClassifier:
+    """Classify workloads by their predicted DVFS response."""
+
+    def __init__(
+        self,
+        model: DVFSPowerModel,
+        session: ProfilingSession,
+        time_predictor: Optional[FrequencyScalingTimePredictor] = None,
+    ) -> None:
+        self.model = model
+        self.session = session
+        self.spec = session.gpu.spec
+        self.time_predictor = time_predictor or FrequencyScalingTimePredictor(
+            self.spec
+        )
+        self._calculator = MetricCalculator(self.spec)
+
+    # ------------------------------------------------------------------
+    def classify(self, kernel: KernelDescriptor) -> WorkloadClassification:
+        spec = self.spec
+        reference = spec.reference
+        utilizations = self._calculator.utilizations(
+            self.session.collect_events(kernel)
+        )
+        profile = self.time_predictor.profile(
+            self.session.measure_time(kernel), utilizations
+        )
+
+        low_core = FrequencyConfig(
+            min(spec.core_frequencies_mhz), reference.memory_mhz
+        )
+        low_memory = FrequencyConfig(
+            reference.core_mhz, min(spec.memory_frequencies_mhz)
+        )
+
+        def sensitivity(config: FrequencyConfig, clock_ratio: float) -> float:
+            """Runtime stretch normalized by the clock stretch, in [0, 1]."""
+            if clock_ratio <= 1.0:
+                raise ValidationError("clock ratio must exceed 1")
+            stretch = (
+                self.time_predictor.predict_seconds(profile, config)
+                / profile.reference_seconds
+            )
+            return max(0.0, min((stretch - 1.0) / (clock_ratio - 1.0), 1.0))
+
+        core_ratio = reference.core_mhz / low_core.core_mhz
+        memory_ratio = reference.memory_mhz / low_memory.memory_mhz
+        core_sensitivity = sensitivity(low_core, core_ratio)
+        memory_sensitivity = sensitivity(low_memory, memory_ratio)
+
+        power_reference = self.model.predict_power(utilizations, reference)
+        power_low_memory = self.model.predict_power(utilizations, low_memory)
+        memory_power_drop = 1.0 - power_low_memory / power_reference
+
+        core_hot = core_sensitivity >= SENSITIVITY_THRESHOLD
+        memory_hot = memory_sensitivity >= SENSITIVITY_THRESHOLD
+        if core_hot and memory_hot:
+            scaling_class = ScalingClass.BALANCED
+        elif memory_hot:
+            scaling_class = ScalingClass.MEMORY_BOUND
+        elif core_hot:
+            scaling_class = ScalingClass.COMPUTE_BOUND
+        else:
+            scaling_class = ScalingClass.LATENCY_BOUND
+        return WorkloadClassification(
+            workload=kernel.name,
+            scaling_class=scaling_class,
+            core_sensitivity=core_sensitivity,
+            memory_sensitivity=memory_sensitivity,
+            memory_power_drop_fraction=memory_power_drop,
+        )
+
+    def classify_all(
+        self, kernels: Sequence[KernelDescriptor]
+    ) -> Dict[str, WorkloadClassification]:
+        if not kernels:
+            raise ValidationError("no kernels supplied for classification")
+        return {kernel.name: self.classify(kernel) for kernel in kernels}

@@ -1,0 +1,162 @@
+"""DVFS management (use case 3 of Sec. V-B and the future-work direction).
+
+The model's raison d'être: once an application's events have been measured
+at the reference configuration, the power at *every* configuration is a
+model evaluation instead of a measurement — "a considerable decrease of the
+design search space ... when applying DVFS in real-time" (Sec. III-E).
+
+:class:`DVFSAdvisor` pairs the power model with execution-time measurements
+(or a supplied performance estimate) to score every configuration by energy,
+energy-delay product or power, under an optional performance-loss bound, and
+recommend the optimum — the paper's alternative to the exhaustive execution
+of [29].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.metrics import MetricCalculator
+from repro.core.model import DVFSPowerModel
+from repro.driver.session import ProfilingSession
+from repro.errors import ValidationError
+from repro.hardware.specs import FrequencyConfig
+from repro.kernels.kernel import KernelDescriptor
+
+#: Supported optimization objectives.
+OBJECTIVES = ("energy", "edp", "power")
+
+
+@dataclass(frozen=True)
+class ConfigurationScore:
+    """Predicted behaviour of one workload at one configuration."""
+
+    config: FrequencyConfig
+    predicted_power_watts: float
+    time_seconds: float
+
+    @property
+    def energy_joules(self) -> float:
+        return self.predicted_power_watts * self.time_seconds
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (J*s)."""
+        return self.energy_joules * self.time_seconds
+
+    def objective_value(self, objective: str) -> float:
+        if objective == "energy":
+            return self.energy_joules
+        if objective == "edp":
+            return self.edp
+        if objective == "power":
+            return self.predicted_power_watts
+        raise ValidationError(
+            f"unknown objective {objective!r}; known: {OBJECTIVES}"
+        )
+
+
+class DVFSAdvisor:
+    """Search the V-F space for the best configuration of a workload."""
+
+    def __init__(
+        self,
+        model: DVFSPowerModel,
+        session: ProfilingSession,
+        time_estimator: Optional[
+            Callable[[KernelDescriptor, FrequencyConfig], float]
+        ] = None,
+    ) -> None:
+        """``time_estimator`` supplies execution times per configuration;
+        the default measures them on the device (the paper's iterative-kernel
+        scenario measures the first kernel invocation the same way)."""
+        self.model = model
+        self.session = session
+        self._time_estimator = time_estimator or session.measure_time
+        self._calculator = MetricCalculator(session.gpu.spec)
+
+    # ------------------------------------------------------------------
+    def score_configurations(
+        self,
+        kernel: KernelDescriptor,
+        configs: Optional[Sequence[FrequencyConfig]] = None,
+    ) -> List[ConfigurationScore]:
+        """Predicted power/time/energy of every candidate configuration."""
+        spec = self.session.gpu.spec
+        if configs is None:
+            configs = spec.all_configurations()
+        utilizations = self._calculator.utilizations(
+            self.session.collect_events(kernel)
+        )
+        scores = []
+        for config in configs:
+            config = spec.validate_configuration(config)
+            power = self.model.predict_power(utilizations, config)
+            time = self._time_estimator(kernel, config)
+            scores.append(
+                ConfigurationScore(
+                    config=config,
+                    predicted_power_watts=power,
+                    time_seconds=time,
+                )
+            )
+        return scores
+
+    def recommend(
+        self,
+        kernel: KernelDescriptor,
+        objective: str = "energy",
+        max_slowdown: Optional[float] = None,
+        configs: Optional[Sequence[FrequencyConfig]] = None,
+    ) -> ConfigurationScore:
+        """The best configuration under an objective.
+
+        ``max_slowdown`` bounds the tolerated performance loss relative to
+        the reference configuration (e.g. ``1.10`` = at most 10 % slower);
+        ``None`` places no bound.
+        """
+        if objective not in OBJECTIVES:
+            raise ValidationError(
+                f"unknown objective {objective!r}; known: {OBJECTIVES}"
+            )
+        scores = self.score_configurations(kernel, configs)
+        if max_slowdown is not None:
+            if max_slowdown < 1.0:
+                raise ValidationError("max_slowdown must be >= 1.0")
+            reference_time = self._time_estimator(
+                kernel, self.session.gpu.spec.reference
+            )
+            budget = reference_time * max_slowdown
+            admissible = [s for s in scores if s.time_seconds <= budget]
+            if admissible:
+                scores = admissible
+        return min(scores, key=lambda score: score.objective_value(objective))
+
+    def savings_versus_reference(
+        self,
+        kernel: KernelDescriptor,
+        objective: str = "energy",
+        max_slowdown: Optional[float] = None,
+    ) -> Dict[str, float]:
+        """Summary of the recommendation against the reference configuration."""
+        spec = self.session.gpu.spec
+        best = self.recommend(kernel, objective, max_slowdown)
+        reference_scores = self.score_configurations(kernel, [spec.reference])
+        reference = reference_scores[0]
+        ref_value = reference.objective_value(objective)
+        best_value = best.objective_value(objective)
+        saving = 0.0 if ref_value == 0 else 1.0 - best_value / ref_value
+        return {
+            "objective_saving_fraction": saving,
+            "best_core_mhz": best.config.core_mhz,
+            "best_memory_mhz": best.config.memory_mhz,
+            "best_energy_joules": best.energy_joules,
+            "reference_energy_joules": reference.energy_joules,
+            "slowdown": (
+                math.inf
+                if reference.time_seconds == 0
+                else best.time_seconds / reference.time_seconds
+            ),
+        }

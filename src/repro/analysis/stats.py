@@ -1,0 +1,167 @@
+"""Statistical machinery for reporting model accuracy.
+
+The paper reports point estimates (mean absolute errors); a production
+release should also state how certain those numbers are. This module adds
+bootstrap confidence intervals and paired model comparisons on top of the
+validation records:
+
+* :func:`bootstrap_mae_interval` — a percentile-bootstrap confidence
+  interval for a validation sweep's MAE, resampling *workloads* (the
+  exchangeable unit: records of one workload share its counter noise and
+  residual, so resampling raw records would understate the variance);
+* :func:`paired_comparison` — per-record error difference between two
+  models validated on the same sweep, with a bootstrap interval on the mean
+  difference — the right way to claim "model A beats model B".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.validation import ValidationResult
+from repro.config import rng_for
+from repro.errors import ValidationError
+
+#: Default bootstrap resamples. 2000 keeps the interval stable to ~0.1 pp.
+DEFAULT_RESAMPLES = 2000
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A percentile-bootstrap interval around a point estimate."""
+
+    point: float
+    lower: float
+    upper: float
+    confidence: float
+
+    def __post_init__(self) -> None:
+        if not self.lower <= self.upper:
+            raise ValidationError("interval bounds out of order")
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+    def contains(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.point:.2f} [{self.lower:.2f}, {self.upper:.2f}] "
+            f"@{100*self.confidence:.0f}%"
+        )
+
+
+def _errors_by_workload(result: ValidationResult) -> Dict[str, np.ndarray]:
+    groups: Dict[str, List[float]] = {}
+    for record in result.records:
+        groups.setdefault(record.workload, []).append(
+            record.absolute_error_percent
+        )
+    return {name: np.asarray(values) for name, values in groups.items()}
+
+
+def bootstrap_mae_interval(
+    result: ValidationResult,
+    confidence: float = 0.95,
+    resamples: int = DEFAULT_RESAMPLES,
+    seed_label: str = "mae",
+) -> ConfidenceInterval:
+    """Bootstrap CI for the sweep's MAE, resampling whole workloads."""
+    if not 0.0 < confidence < 1.0:
+        raise ValidationError("confidence must be in (0, 1)")
+    if resamples < 100:
+        raise ValidationError("use at least 100 bootstrap resamples")
+    groups = list(_errors_by_workload(result).values())
+    if len(groups) < 2:
+        raise ValidationError(
+            "bootstrap over workloads needs at least two workloads"
+        )
+    rng = rng_for("bootstrap", seed_label, result.device_name)
+    n = len(groups)
+    statistics = np.empty(resamples)
+    for i in range(resamples):
+        picks = rng.integers(0, n, size=n)
+        statistics[i] = float(
+            np.concatenate([groups[j] for j in picks]).mean()
+        )
+    alpha = (1.0 - confidence) / 2.0
+    return ConfidenceInterval(
+        point=result.mean_absolute_error_percent,
+        lower=float(np.quantile(statistics, alpha)),
+        upper=float(np.quantile(statistics, 1.0 - alpha)),
+        confidence=confidence,
+    )
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Outcome of comparing two models on the same validation sweep."""
+
+    first_name: str
+    second_name: str
+    #: Mean of (first - second) absolute error, in percentage points.
+    mean_difference: ConfidenceInterval
+    #: Fraction of records where the first model is strictly better.
+    first_wins_fraction: float
+
+    @property
+    def first_is_significantly_better(self) -> bool:
+        """Whole interval below zero: the first model's error is lower."""
+        return self.mean_difference.upper < 0.0
+
+    @property
+    def second_is_significantly_better(self) -> bool:
+        return self.mean_difference.lower > 0.0
+
+
+def paired_comparison(
+    first: ValidationResult,
+    second: ValidationResult,
+    first_name: str = "first",
+    second_name: str = "second",
+    confidence: float = 0.95,
+    resamples: int = DEFAULT_RESAMPLES,
+) -> PairedComparison:
+    """Paired per-record comparison of two models on identical sweeps."""
+    if len(first.records) != len(second.records):
+        raise ValidationError(
+            "paired comparison needs identical sweeps "
+            f"({len(first.records)} vs {len(second.records)} records)"
+        )
+    differences: Dict[str, List[float]] = {}
+    for a, b in zip(first.records, second.records):
+        if a.workload != b.workload or a.config != b.config:
+            raise ValidationError(
+                "paired comparison needs records in identical order"
+            )
+        differences.setdefault(a.workload, []).append(
+            a.absolute_error_percent - b.absolute_error_percent
+        )
+    groups = [np.asarray(v) for v in differences.values()]
+    if len(groups) < 2:
+        raise ValidationError("paired comparison needs at least two workloads")
+    flat = np.concatenate(groups)
+    rng = rng_for("bootstrap", "paired", first.device_name, first_name, second_name)
+    n = len(groups)
+    statistics = np.empty(resamples)
+    for i in range(resamples):
+        picks = rng.integers(0, n, size=n)
+        statistics[i] = float(np.concatenate([groups[j] for j in picks]).mean())
+    alpha = (1.0 - confidence) / 2.0
+    interval = ConfidenceInterval(
+        point=float(flat.mean()),
+        lower=float(np.quantile(statistics, alpha)),
+        upper=float(np.quantile(statistics, 1.0 - alpha)),
+        confidence=confidence,
+    )
+    return PairedComparison(
+        first_name=first_name,
+        second_name=second_name,
+        mean_difference=interval,
+        first_wins_fraction=float(np.mean(flat < 0.0)),
+    )

@@ -1,0 +1,161 @@
+"""Model validation machinery (Sec. V-B, Figs. 7 and 8).
+
+Runs a fitted model (or any object with a ``predict_power(utilizations,
+config)`` method — the baselines of :mod:`repro.core.baselines` qualify)
+against measured power over a set of workloads and configurations, and
+summarizes the error the way the paper reports it: overall mean absolute
+error, and sliced per workload, per memory frequency and per configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.metrics import MetricCalculator, UtilizationVector
+from repro.driver.session import ProfilingSession
+from repro.errors import ValidationError
+from repro.hardware.specs import FrequencyConfig
+from repro.kernels.kernel import KernelDescriptor
+
+
+class PowerPredictor(Protocol):
+    """Anything that predicts power from reference-config utilizations."""
+
+    def predict_power(
+        self, utilizations: UtilizationVector, config: FrequencyConfig
+    ) -> float: ...
+
+
+@dataclass(frozen=True)
+class PredictionRecord:
+    """One (workload, configuration) prediction-vs-measurement pair."""
+
+    workload: str
+    config: FrequencyConfig
+    measured_watts: float
+    predicted_watts: float
+
+    @property
+    def error_fraction(self) -> float:
+        """Signed relative error (positive = over-prediction)."""
+        return (self.predicted_watts - self.measured_watts) / self.measured_watts
+
+    @property
+    def absolute_error_percent(self) -> float:
+        return 100.0 * abs(self.error_fraction)
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """All prediction records of one validation sweep."""
+
+    device_name: str
+    records: Tuple[PredictionRecord, ...]
+
+    def __post_init__(self) -> None:
+        if not self.records:
+            raise ValidationError("validation produced no records")
+
+    # ------------------------------------------------------------------
+    @property
+    def mean_absolute_error_percent(self) -> float:
+        """The headline metric of Fig. 7."""
+        return float(
+            np.mean([record.absolute_error_percent for record in self.records])
+        )
+
+    @property
+    def max_absolute_error_percent(self) -> float:
+        return float(
+            np.max([record.absolute_error_percent for record in self.records])
+        )
+
+    def power_range_watts(self) -> Tuple[float, float]:
+        """(min, max) measured power across the sweep (Fig. 7 axis span)."""
+        measured = [record.measured_watts for record in self.records]
+        return (float(min(measured)), float(max(measured)))
+
+    # ------------------------------------------------------------------
+    def error_by_workload(self) -> Dict[str, float]:
+        """MAE (%) per workload — the bars of Fig. 8."""
+        return self._grouped_mae(lambda record: record.workload)
+
+    def error_by_memory_frequency(self) -> Dict[float, float]:
+        """MAE (%) per memory frequency — the four panels of Fig. 8."""
+        return self._grouped_mae(lambda record: record.config.memory_mhz)
+
+    def error_by_configuration(self) -> Dict[Tuple[float, float], float]:
+        """MAE (%) per full V-F configuration."""
+        return self._grouped_mae(
+            lambda record: (record.config.core_mhz, record.config.memory_mhz)
+        )
+
+    def signed_error_by_workload(self) -> Dict[str, float]:
+        """Mean *signed* error (%) per workload, as plotted in Fig. 8."""
+        groups: Dict[str, List[float]] = {}
+        for record in self.records:
+            groups.setdefault(record.workload, []).append(
+                100.0 * record.error_fraction
+            )
+        return {name: float(np.mean(v)) for name, v in groups.items()}
+
+    def restricted_to_memory_frequency(self, memory_mhz: float) -> "ValidationResult":
+        """The subset of records at one memory frequency."""
+        records = tuple(
+            record
+            for record in self.records
+            if abs(record.config.memory_mhz - memory_mhz) < 0.5
+        )
+        return ValidationResult(device_name=self.device_name, records=records)
+
+    def _grouped_mae(self, key) -> Dict:
+        groups: Dict = {}
+        for record in self.records:
+            groups.setdefault(key(record), []).append(
+                record.absolute_error_percent
+            )
+        return {name: float(np.mean(values)) for name, values in groups.items()}
+
+
+def validate_model(
+    model: PowerPredictor,
+    session: ProfilingSession,
+    workloads: Sequence[KernelDescriptor],
+    configs: Optional[Sequence[FrequencyConfig]] = None,
+) -> ValidationResult:
+    """Predicted-vs-measured sweep over workloads and configurations.
+
+    Per the paper's methodology, each workload's events are collected once at
+    the reference configuration; power is then measured at every
+    configuration and compared against the model's prediction. When TDP
+    throttling moves a run to a lower core frequency, the prediction is made
+    at the *applied* configuration (the paper handles matrixMulCUBLAS the
+    same way in Fig. 9).
+    """
+    if not workloads:
+        raise ValidationError("no workloads supplied for validation")
+    spec = session.gpu.spec
+    if configs is None:
+        configs = spec.all_configurations()
+    calculator = MetricCalculator(spec)
+
+    records: List[PredictionRecord] = []
+    for kernel in workloads:
+        utilizations = calculator.utilizations(session.collect_events(kernel))
+        for config in configs:
+            measurement = session.measure_power(kernel, config)
+            predicted = model.predict_power(
+                utilizations, measurement.applied_config
+            )
+            records.append(
+                PredictionRecord(
+                    workload=kernel.name,
+                    config=measurement.applied_config,
+                    measured_watts=measurement.average_watts,
+                    predicted_watts=predicted,
+                )
+            )
+    return ValidationResult(device_name=spec.name, records=tuple(records))

@@ -1,0 +1,115 @@
+"""Voltage-curve analysis (Fig. 6).
+
+The paper observes "two distinct regions for the core voltage when scaling
+the core frequency: i) a constant voltage region, for lower frequencies; and
+ii) after a specific frequency, the voltage starts increasing linearly".
+:func:`fit_voltage_regions` recovers that structure from a fitted model's
+voltage estimates: it scans every candidate breakpoint, fits a flat segment
+below and a linear segment above, and keeps the least-squares best.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class VoltageCurveFit:
+    """Flat-then-linear description of one V(f) curve."""
+
+    breakpoint_mhz: float
+    flat_level: float
+    slope_per_mhz: float
+    rmse: float
+
+    def voltage_at(self, frequency_mhz: float) -> float:
+        if frequency_mhz <= self.breakpoint_mhz:
+            return self.flat_level
+        return self.flat_level + self.slope_per_mhz * (
+            frequency_mhz - self.breakpoint_mhz
+        )
+
+    @property
+    def has_flat_region(self) -> bool:
+        """Whether a genuine constant-voltage region was detected."""
+        return self.slope_per_mhz > 0.0
+
+
+def fit_voltage_regions(curve: Mapping[float, float]) -> VoltageCurveFit:
+    """Fit the Fig. 6 flat+linear shape to an ``f -> V`` curve.
+
+    ``curve`` maps frequencies (MHz) to normalized voltages, as returned by
+    :meth:`repro.core.model.DVFSPowerModel.core_voltage_curve`. Every
+    interior frequency is tried as the breakpoint; for each candidate the
+    flat level is the mean of the left segment and the right segment is the
+    constrained least-squares line through ``(breakpoint, flat_level)``.
+    """
+    if len(curve) < 3:
+        raise ValidationError(
+            "voltage-region fitting needs at least three frequency levels"
+        )
+    frequencies = np.asarray(sorted(curve), dtype=float)
+    voltages = np.asarray([curve[f] for f in frequencies], dtype=float)
+
+    best: VoltageCurveFit | None = None
+    # Breakpoint candidates: each level may end the flat region. The
+    # "no flat region" case is the first candidate; "all flat" is the last.
+    for split in range(1, len(frequencies) + 1):
+        left_v = voltages[:split]
+        flat = float(np.mean(left_v))
+        right_f = frequencies[split:]
+        right_v = voltages[split:]
+        breakpoint = float(frequencies[split - 1])
+        if right_f.size > 0:
+            shifted = right_f - breakpoint
+            denominator = float(shifted @ shifted)
+            slope = (
+                float(shifted @ (right_v - flat)) / denominator
+                if denominator > 0
+                else 0.0
+            )
+            slope = max(slope, 0.0)
+        else:
+            slope = 0.0
+        predicted = np.where(
+            frequencies <= breakpoint,
+            flat,
+            flat + slope * (frequencies - breakpoint),
+        )
+        rmse = float(np.sqrt(np.mean((predicted - voltages) ** 2)))
+        candidate = VoltageCurveFit(
+            breakpoint_mhz=breakpoint,
+            flat_level=flat,
+            slope_per_mhz=slope,
+            rmse=rmse,
+        )
+        if best is None or candidate.rmse < best.rmse:
+            best = candidate
+    assert best is not None
+    return best
+
+
+def compare_curves(
+    predicted: Mapping[float, float], measured: Mapping[float, float]
+) -> Dict[str, float]:
+    """Error statistics between a predicted and a measured V(f) curve.
+
+    Only frequencies present in both curves are compared (the paper could
+    not sweep the third-party tools over the full range either).
+    """
+    common = sorted(set(predicted) & set(measured))
+    if not common:
+        raise ValidationError("curves share no frequency levels")
+    differences = np.asarray(
+        [predicted[f] - measured[f] for f in common], dtype=float
+    )
+    return {
+        "max_abs_error": float(np.max(np.abs(differences))),
+        "mean_abs_error": float(np.mean(np.abs(differences))),
+        "rmse": float(np.sqrt(np.mean(differences**2))),
+    }

@@ -1,0 +1,300 @@
+"""Command-line interface.
+
+Mirrors the workflow of the paper's released tooling (a microbenchmark
+runner plus a model-construction tool) as subcommands::
+
+    python -m repro devices
+    python -m repro fit --device "GTX Titan X" --output model.json
+    python -m repro predict --model model.json --workload blackscholes \
+        --core 595 --memory 810
+    python -m repro predict --model model.json --workload gemm --grid
+    python -m repro breakdown --model model.json --workload gemm
+    python -m repro validate --model model.json
+    python -m repro experiment fig7
+
+Every command works offline and deterministically on the simulated devices.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import Optional, Sequence
+
+from repro.config import DEFAULT_SETTINGS, NOISELESS_SETTINGS
+from repro.core.estimation import fit_power_model
+from repro.core.metrics import MetricCalculator
+from repro.driver.session import ProfilingSession
+from repro.errors import ReproError
+from repro.hardware.gpu import SimulatedGPU
+from repro.hardware.specs import ALL_GPUS, FrequencyConfig, gpu_spec_by_name
+from repro.reporting.tables import format_kv, format_table
+from repro.serialization import load_model, save_model
+from repro.workloads import all_workloads, workload_by_name
+
+#: Experiment modules the ``experiment`` subcommand can dispatch to.
+EXPERIMENTS = (
+    "table1", "table2", "table3", "fig1",
+    "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+    "baselines", "ablations", "discovery", "sensitivity", "dvfs_savings",
+    "noise_sweep", "transfer",
+)
+
+
+def _session_for(device: str, noiseless: bool) -> ProfilingSession:
+    settings = NOISELESS_SETTINGS if noiseless else DEFAULT_SETTINGS
+    gpu = SimulatedGPU(gpu_spec_by_name(device), settings=settings)
+    return ProfilingSession(gpu)
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_devices(args: argparse.Namespace) -> int:
+    rows = [
+        (
+            spec.name,
+            spec.architecture,
+            f"{len(spec.core_frequencies_mhz)}x"
+            f"{len(spec.memory_frequencies_mhz)}",
+            f"{spec.default_core_mhz:.0f}/{spec.default_memory_mhz:.0f}",
+            f"{spec.tdp_watts:.0f} W",
+        )
+        for spec in ALL_GPUS
+    ]
+    print(
+        format_table(
+            ["device", "arch", "V-F grid", "defaults (MHz)", "TDP"], rows
+        )
+    )
+    return 0
+
+
+def cmd_fit(args: argparse.Namespace) -> int:
+    session = _session_for(args.device, args.noiseless)
+    print(f"fitting the DVFS-aware power model for {session.gpu.spec.name}...")
+    model, report = fit_power_model(session)
+    print(
+        format_kv(
+            {
+                "iterations": report.iterations,
+                "converged": report.converged,
+                "training MAE": f"{report.train_mae_percent:.2f}%",
+                "final RMSE": f"{report.final_rmse:.3f} W",
+            }
+        )
+    )
+    print(model.describe())
+    path = save_model(model, args.output)
+    print(f"model written to {path}")
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    session = _session_for(model.spec.name, args.noiseless)
+    kernel = workload_by_name(args.workload)
+    utilizations = MetricCalculator(model.spec).utilizations(
+        session.collect_events(kernel)
+    )
+    if args.grid:
+        rows = [
+            (
+                f"{config.core_mhz:.0f}",
+                f"{config.memory_mhz:.0f}",
+                f"{watts:.1f}",
+            )
+            for config, watts in sorted(
+                model.predict_grid(utilizations).items(),
+                key=lambda item: (-item[0].memory_mhz, -item[0].core_mhz),
+            )
+        ]
+        print(
+            format_table(
+                ["fcore (MHz)", "fmem (MHz)", "predicted power (W)"],
+                rows,
+                title=f"{args.workload} on {model.spec.name}",
+            )
+        )
+        return 0
+    config = FrequencyConfig(
+        args.core or model.spec.default_core_mhz,
+        args.memory or model.spec.default_memory_mhz,
+    )
+    watts = model.predict_power(utilizations, config)
+    print(f"{args.workload} @ {config}: {watts:.1f} W")
+    return 0
+
+
+def cmd_breakdown(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    session = _session_for(model.spec.name, args.noiseless)
+    kernel = workload_by_name(args.workload)
+    utilizations = MetricCalculator(model.spec).utilizations(
+        session.collect_events(kernel)
+    )
+    config = FrequencyConfig(
+        args.core or model.spec.default_core_mhz,
+        args.memory or model.spec.default_memory_mhz,
+    )
+    breakdown = model.predict_breakdown(utilizations, config)
+    pairs = {"constant": f"{breakdown.constant_watts:.1f} W"}
+    for component, watts in breakdown.component_watts.items():
+        pairs[component.value] = (
+            f"{watts:.1f} W (U={utilizations[component]:.2f})"
+        )
+    pairs["total"] = f"{breakdown.total_watts:.1f} W"
+    print(
+        format_kv(pairs, title=f"{args.workload} @ {config} on {model.spec.name}")
+    )
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.analysis.validation import validate_model
+
+    model = load_model(args.model)
+    session = _session_for(model.spec.name, args.noiseless)
+    print(
+        f"validating on {model.spec.name} over the full V-F grid "
+        "(26 unseen benchmarks)..."
+    )
+    result = validate_model(model, session, all_workloads())
+    low, high = result.power_range_watts()
+    print(
+        format_kv(
+            {
+                "mean absolute error": f"{result.mean_absolute_error_percent:.2f}%",
+                "max absolute error": f"{result.max_absolute_error_percent:.1f}%",
+                "measured power span": f"{low:.0f}-{high:.0f} W",
+                "records": len(result.records),
+            }
+        )
+    )
+    if args.per_memory:
+        rows = [
+            (f"{memory:.0f}", f"{mae:.2f}%")
+            for memory, mae in sorted(
+                result.error_by_memory_frequency().items(), reverse=True
+            )
+        ]
+        print(format_table(["fmem (MHz)", "MAE"], rows))
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    module.main()
+    return 0
+
+
+def cmd_sources(args: argparse.Namespace) -> int:
+    """Dump the microbenchmark suite's CUDA (and PTX) sources — the
+    released-artifact side of the paper (Fig. 3/4)."""
+    from pathlib import Path
+
+    from repro.codegen import cuda_source_for, ptx_source_for
+    from repro.microbench import build_suite
+
+    output = Path(args.output)
+    output.mkdir(parents=True, exist_ok=True)
+    written = 0
+    for kernel in build_suite():
+        (output / f"{kernel.name}.cu").write_text(cuda_source_for(kernel))
+        written += 1
+        if kernel.tags.get("group") in ("int", "sp", "dp"):
+            (output / f"{kernel.name}.ptx").write_text(
+                ptx_source_for(kernel)
+            )
+            written += 1
+    print(f"wrote {written} source files to {output}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "DVFS-aware GPU power modeling (HPCA 2018 reproduction) — "
+            "fit, predict, validate and reproduce the paper's experiments "
+            "on simulated devices."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="list the simulated devices").set_defaults(
+        handler=cmd_devices
+    )
+
+    fit = sub.add_parser("fit", help="fit a model and save it to JSON")
+    fit.add_argument("--device", default="GTX Titan X")
+    fit.add_argument("--output", default="model.json")
+    fit.add_argument("--noiseless", action="store_true")
+    fit.set_defaults(handler=cmd_fit)
+
+    predict = sub.add_parser(
+        "predict", help="predict a workload's power at a configuration"
+    )
+    predict.add_argument("--model", required=True)
+    predict.add_argument("--workload", required=True)
+    predict.add_argument("--core", type=float, default=None)
+    predict.add_argument("--memory", type=float, default=None)
+    predict.add_argument(
+        "--grid", action="store_true", help="predict every configuration"
+    )
+    predict.add_argument("--noiseless", action="store_true")
+    predict.set_defaults(handler=cmd_predict)
+
+    breakdown = sub.add_parser(
+        "breakdown", help="per-component power decomposition of a workload"
+    )
+    breakdown.add_argument("--model", required=True)
+    breakdown.add_argument("--workload", required=True)
+    breakdown.add_argument("--core", type=float, default=None)
+    breakdown.add_argument("--memory", type=float, default=None)
+    breakdown.add_argument("--noiseless", action="store_true")
+    breakdown.set_defaults(handler=cmd_breakdown)
+
+    validate = sub.add_parser(
+        "validate", help="validate a saved model on the Table-III workloads"
+    )
+    validate.add_argument("--model", required=True)
+    validate.add_argument(
+        "--per-memory", action="store_true",
+        help="also report MAE per memory frequency (Fig. 8)",
+    )
+    validate.add_argument("--noiseless", action="store_true")
+    validate.set_defaults(handler=cmd_validate)
+
+    experiment = sub.add_parser(
+        "experiment", help="run one paper table/figure experiment"
+    )
+    experiment.add_argument("name", choices=EXPERIMENTS)
+    experiment.set_defaults(handler=cmd_experiment)
+
+    sources = sub.add_parser(
+        "sources",
+        help="dump the microbenchmark suite's CUDA/PTX sources (Fig. 3/4)",
+    )
+    sources.add_argument("--output", default="microbenchmark_sources")
+    sources.set_defaults(handler=cmd_sources)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

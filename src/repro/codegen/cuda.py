@@ -1,0 +1,226 @@
+"""CUDA C++ source generation (the Fig. 3 microbenchmark patterns).
+
+Each microbenchmark group maps onto one of the paper's code patterns:
+
+* ``int`` / ``sp`` / ``dp`` — Fig. 3a: four dependent multiply-add chains
+  over registers r0..r3, N loop iterations, one global load and one global
+  store per thread;
+* ``sf`` — Fig. 3b: the same skeleton with transcendental operations
+  (log/cos/sin) feeding the special-function units;
+* ``shared`` — Fig. 3c: a conflict-free shared-memory load/store ping-pong;
+* ``l2`` — Fig. 3d (after [26]): a streaming loop over an L2-resident
+  buffer;
+* ``dram`` — Fig. 3e: a streaming FMA loop at low arithmetic intensity;
+* ``mix`` — a fused body combining the patterns the descriptor exercises;
+* ``idle`` — a host-side sleep with the context held open.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from typing import Dict
+
+from repro.errors import ValidationError
+from repro.kernels.kernel import KernelDescriptor
+
+#: DATA_TYPE per arithmetic group (Fig. 3a: "DATA_TYPE can be switched
+#: between int, float and double").
+_DATA_TYPES = {"int": "int", "sp": "float", "dp": "double"}
+
+
+def _intensity(kernel: KernelDescriptor) -> int:
+    raw = kernel.tags.get("intensity")
+    if raw is None:
+        raise ValidationError(
+            f"kernel {kernel.name!r} carries no intensity tag"
+        )
+    return int(raw)
+
+
+def _header(kernel: KernelDescriptor, pattern: str) -> str:
+    return (
+        f"// {kernel.name} — auto-generated microbenchmark source\n"
+        f"// pattern: {pattern}; threads: {kernel.threads}\n"
+    )
+
+
+def _arithmetic_source(kernel: KernelDescriptor, group: str) -> str:
+    data_type = _DATA_TYPES[group]
+    iterations = _intensity(kernel)
+    body = f"""
+    __global__ void {kernel.name}({data_type} *A, {data_type} *B) {{
+        int threadId = blockIdx.x * blockDim.x + threadIdx.x;
+        {data_type} r0, r1, r2, r3;
+        r0 = A[threadId];
+        r1 = r2 = r3 = r0;
+        #pragma unroll 32
+        for (int i = 0; i < {iterations}; i++) {{
+            r0 = r0 * r0 + r1;
+            r1 = r1 * r1 + r2;
+            r2 = r2 * r2 + r3;
+            r3 = r3 * r3 + r0;
+        }}
+        B[threadId] = r0;
+    }}
+    """
+    return _header(kernel, "Fig. 3a arithmetic") + textwrap.dedent(body)
+
+
+def _sf_source(kernel: KernelDescriptor) -> str:
+    iterations = _intensity(kernel)
+    body = f"""
+    __global__ void {kernel.name}(float *A, float *B) {{
+        int threadId = blockIdx.x * blockDim.x + threadIdx.x;
+        float r0, r1, r2, r3;
+        r0 = A[threadId];
+        r1 = r2 = r3 = r0;
+        for (int i = 0; i < {iterations}; i++) {{
+            r0 = __logf(r1);
+            r1 = __cosf(r2);
+            r2 = __logf(r3);
+            r3 = __sinf(r0);
+        }}
+        B[threadId] = r0;
+    }}
+    """
+    return _header(kernel, "Fig. 3b special-function") + textwrap.dedent(body)
+
+
+def _shared_source(kernel: KernelDescriptor) -> str:
+    iterations = _intensity(kernel)
+    body = f"""
+    #define THREADS 1024
+    __global__ void {kernel.name}(float *cdout) {{
+        __shared__ float shared[THREADS];
+        int threadId = threadIdx.x;
+        float r0 = 0.0f;
+        for (int i = 0; i < {iterations}; i++) {{
+            r0 = shared[threadId];
+            shared[THREADS - threadId - 1] = r0;
+        }}
+        cdout[threadId] = r0;
+    }}
+    """
+    return _header(kernel, "Fig. 3c shared memory") + textwrap.dedent(body)
+
+
+def _l2_source(kernel: KernelDescriptor) -> str:
+    iterations = _intensity(kernel)
+    body = f"""
+    // Buffer sized to stay resident in the L2 cache (access pattern
+    // exploration after Lopes et al. [26]).
+    __global__ void {kernel.name}(float *cdin, float *cdout) {{
+        int threadId = blockIdx.x * blockDim.x + threadIdx.x;
+        float r0 = 0.0f;
+        for (int i = 0; i < {iterations}; i++) {{
+            r0 = cdin[threadId];
+            cdout[threadId] = r0;
+        }}
+        cdout[threadId] = r0;
+    }}
+    """
+    return _header(kernel, "Fig. 3d L2 cache") + textwrap.dedent(body)
+
+
+def _dram_source(kernel: KernelDescriptor) -> str:
+    iterations = _intensity(kernel)
+    body = f"""
+    __global__ void {kernel.name}(float4 *A, float4 *B) {{
+        int threadId = blockIdx.x * blockDim.x + threadIdx.x;
+        float4 v = A[threadId];
+        float r0 = v.x, r1 = v.y;
+        for (int i = 0; i < {iterations}; i++) {{
+            r0 = r0 * r0 + r1;
+            r1 = r1 * r1 + r0;
+        }}
+        v.x = r0; v.y = r1;
+        B[threadId] = v;
+    }}
+    """
+    return _header(kernel, "Fig. 3e DRAM streaming") + textwrap.dedent(body)
+
+
+def _mix_source(kernel: KernelDescriptor) -> str:
+    pieces = []
+    if kernel.sp_ops or kernel.int_ops or kernel.dp_ops:
+        pieces.append("arithmetic chains (Fig. 3a)")
+    if kernel.sf_ops:
+        pieces.append("transcendentals (Fig. 3b)")
+    if kernel.shared_bytes:
+        pieces.append("shared-memory ping-pong (Fig. 3c)")
+    if kernel.dram_bytes:
+        pieces.append("global streaming (Fig. 3e)")
+    lines = [
+        f"__global__ void {kernel.name}(float *A, float *B) {{",
+        "    int threadId = blockIdx.x * blockDim.x + threadIdx.x;",
+        "    float r0 = A[threadId], r1 = r0;",
+    ]
+    if kernel.shared_bytes:
+        lines.insert(1, "    __shared__ float shared[1024];")
+        shared_iterations = int(kernel.shared_bytes / 8.0)
+        lines.append(
+            f"    for (int i = 0; i < {shared_iterations}; i++) "
+            "{ r0 = shared[threadIdx.x]; "
+            "shared[1023 - threadIdx.x] = r0; }"
+        )
+    compute_iterations = int((kernel.sp_ops + kernel.int_ops) / 2.0)
+    if compute_iterations:
+        lines.append(
+            f"    for (int i = 0; i < {compute_iterations}; i++) "
+            "{ r0 = r0 * r0 + r1; r1 = r1 * r1 + r0; }"
+        )
+    if kernel.sf_ops:
+        sf_iterations = int(kernel.sf_ops / 2.0)
+        lines.append(
+            f"    for (int i = 0; i < {sf_iterations}; i++) "
+            "{ r0 = __logf(r1); r1 = __sinf(r0); }"
+        )
+    lines.append("    B[threadId] = r0;")
+    lines.append("}")
+    header = _header(kernel, "MIX: " + " + ".join(pieces))
+    return header + "\n".join(lines) + "\n"
+
+
+def _idle_source(kernel: KernelDescriptor) -> str:
+    return _header(kernel, "idle (awake GPU, no kernel)") + textwrap.dedent(
+        """
+        // Host side only: hold the CUDA context open and sample the sensor
+        // while no kernel executes.
+        int main() {
+            cudaFree(0);          // create the context
+            sleep(SAMPLE_SECONDS);
+            return 0;
+        }
+        """
+    )
+
+
+_GENERATORS = {
+    "int": lambda k: _arithmetic_source(k, "int"),
+    "sp": lambda k: _arithmetic_source(k, "sp"),
+    "dp": lambda k: _arithmetic_source(k, "dp"),
+    "sf": _sf_source,
+    "shared": _shared_source,
+    "l2": _l2_source,
+    "dram": _dram_source,
+    "mix": _mix_source,
+    "idle": _idle_source,
+}
+
+
+def cuda_source_for(kernel: KernelDescriptor) -> str:
+    """The CUDA C++ source of one microbenchmark (Fig. 3 pattern)."""
+    group = kernel.tags.get("group")
+    if group not in _GENERATORS:
+        raise ValidationError(
+            f"kernel {kernel.name!r} belongs to no known microbenchmark "
+            f"group (tags: {dict(kernel.tags)})"
+        )
+    return _GENERATORS[group](kernel)
+
+
+def suite_sources() -> Dict[str, str]:
+    """CUDA sources of the entire 83-microbenchmark suite, by kernel name."""
+    from repro.microbench import build_suite
+
+    return {kernel.name: cuda_source_for(kernel) for kernel in build_suite()}

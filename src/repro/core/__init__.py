@@ -1,0 +1,35 @@
+"""The paper's contribution: the DVFS-aware GPU power model.
+
+* :mod:`repro.core.metrics` — utilization metrics from raw events
+  (Eq. 8, 9 and the INT/SP disambiguation of Eq. 10);
+* :mod:`repro.core.model` — the power model of Eq. 6/7 with per-component
+  decomposition;
+* :mod:`repro.core.dataset` — training-data collection over the V-F grid
+  (power everywhere, events at the reference configuration only);
+* :mod:`repro.core.regression` — bounded least squares and the
+  pool-adjacent-violators isotonic regression used for the voltage
+  monotonicity constraint of Eq. 12;
+* :mod:`repro.core.estimation` — the iterative estimator of Sec. III-D;
+* :mod:`repro.core.baselines` — prior-work models the paper compares
+  against (Abe et al. linear regression, GPUWattch-style linear-frequency
+  scaling, fixed-configuration statistical models).
+"""
+
+from repro.core.metrics import MetricCalculator, UtilizationVector
+from repro.core.model import DVFSPowerModel, ModelParameters, PredictedBreakdown
+from repro.core.dataset import TrainingDataset, TrainingRow, collect_training_dataset
+from repro.core.estimation import EstimatorReport, ModelEstimator, fit_power_model
+
+__all__ = [
+    "MetricCalculator",
+    "UtilizationVector",
+    "DVFSPowerModel",
+    "ModelParameters",
+    "PredictedBreakdown",
+    "TrainingDataset",
+    "TrainingRow",
+    "collect_training_dataset",
+    "EstimatorReport",
+    "ModelEstimator",
+    "fit_power_model",
+]

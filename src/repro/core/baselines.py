@@ -1,0 +1,170 @@
+"""Prior-work baseline models (Sec. VI) the paper compares against.
+
+* :class:`AbeLinearModel` — Abe et al. [14]: per-domain power terms each
+  *linear* in the domain frequency (no voltage modeling), fitted with
+  ordinary least squares on a small grid of 3 core x 3 memory frequencies.
+  The paper reports 23.5 % error for this approach on Kepler.
+* :class:`LinearFrequencyModel` — a GPUWattch-style model [12]: identical
+  structure to the proposed model but with the voltage pinned at 1
+  everywhere, i.e. power assumed to scale linearly with the domain
+  frequency ("the considered model assumes that the power consumption of a
+  GPU domain always scales linearly with its frequency"). Implemented by
+  running the proposed estimator with the voltage step disabled.
+* :class:`FixedConfigurationModel` — the pre-DVFS statistical models
+  (Nagasaka et al. [37] and kin): a regression of power on utilizations at
+  the reference configuration only, which by construction predicts the same
+  power at every configuration.
+
+All baselines consume exactly the same training dataset as the proposed
+model, so comparisons are apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.dataset import TrainingDataset
+from repro.core.estimation import ModelEstimator
+from repro.core.metrics import UtilizationVector
+from repro.core.model import DVFSPowerModel
+from repro.errors import EstimationError, NotFittedError
+from repro.hardware.components import CORE_COMPONENTS, Component
+from repro.hardware.specs import FrequencyConfig, GPUSpec
+
+
+class AbeLinearModel:
+    """Linear-in-frequency regression model in the style of Abe et al. [14].
+
+    ``P = c0 + f_core * sum_i a_i U_i + f_mem * b * U_dram + d_c f_core
+    + d_m f_mem`` — per-domain frequency proportionality with no voltage
+    term. The paper notes the models "are estimated with linear regression by
+    using measurements taken at 3 different core and 3 different memory
+    frequencies"; :meth:`fit` therefore sub-samples the training grid
+    accordingly.
+    """
+
+    def __init__(self, spec: GPUSpec) -> None:
+        self.spec = spec
+        self._coefficients: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def training_grid(
+        spec: GPUSpec, levels_per_domain: int = 3
+    ) -> List[FrequencyConfig]:
+        """The 3x3 frequency grid of the Abe methodology (fewer levels when
+        the device does not expose three per domain)."""
+
+        def spread(values: Sequence[float]) -> List[float]:
+            ordered = sorted(set(values))
+            if len(ordered) <= levels_per_domain:
+                return list(ordered)
+            indices = np.linspace(0, len(ordered) - 1, levels_per_domain)
+            return [ordered[int(round(i))] for i in indices]
+
+        return [
+            FrequencyConfig(core, memory)
+            for memory in spread(spec.memory_frequencies_mhz)
+            for core in spread(spec.core_frequencies_mhz)
+        ]
+
+    def _design_row(
+        self, utilizations: UtilizationVector, config: FrequencyConfig
+    ) -> np.ndarray:
+        columns = [1.0, config.core_mhz, config.memory_mhz]
+        columns.extend(
+            config.core_mhz * utilizations[component]
+            for component in CORE_COMPONENTS
+        )
+        columns.append(config.memory_mhz * utilizations[Component.DRAM])
+        return np.asarray(columns, dtype=float)
+
+    def fit(self, dataset: TrainingDataset) -> "AbeLinearModel":
+        grid = self.training_grid(self.spec)
+        subset = dataset.subset(grid)
+        rows = subset.rows if subset.rows else dataset.rows
+        design = np.vstack(
+            [self._design_row(row.utilizations, row.config) for row in rows]
+        )
+        target = np.asarray([row.measured_watts for row in rows])
+        if design.shape[0] < design.shape[1]:
+            raise EstimationError(
+                "Abe baseline needs more observations than parameters"
+            )
+        solution, *_ = np.linalg.lstsq(design, target, rcond=None)
+        self._coefficients = solution
+        return self
+
+    def predict_power(
+        self, utilizations: UtilizationVector, config: FrequencyConfig
+    ) -> float:
+        if self._coefficients is None:
+            raise NotFittedError("AbeLinearModel.fit has not been called")
+        config = self.spec.validate_configuration(config)
+        return float(self._design_row(utilizations, config) @ self._coefficients)
+
+
+class LinearFrequencyModel:
+    """GPUWattch-style linear-frequency model: the proposed estimator with
+    the voltage step disabled (V = 1 at every configuration)."""
+
+    def __init__(self, spec: GPUSpec) -> None:
+        self.spec = spec
+        self._model: Optional[DVFSPowerModel] = None
+
+    def fit(self, dataset: TrainingDataset) -> "LinearFrequencyModel":
+        estimator = ModelEstimator(dataset, model_voltage=False)
+        self._model, _ = estimator.estimate()
+        return self
+
+    def predict_power(
+        self, utilizations: UtilizationVector, config: FrequencyConfig
+    ) -> float:
+        if self._model is None:
+            raise NotFittedError("LinearFrequencyModel.fit has not been called")
+        return self._model.predict_power(utilizations, config)
+
+
+class FixedConfigurationModel:
+    """Pre-DVFS statistical model: utilization regression at the reference
+    configuration, oblivious to frequency changes (Nagasaka et al. [37])."""
+
+    def __init__(self, spec: GPUSpec) -> None:
+        self.spec = spec
+        self._coefficients: Optional[np.ndarray] = None
+
+    def _design_row(self, utilizations: UtilizationVector) -> np.ndarray:
+        columns = [1.0]
+        columns.extend(
+            utilizations[component] for component in CORE_COMPONENTS
+        )
+        columns.append(utilizations[Component.DRAM])
+        return np.asarray(columns, dtype=float)
+
+    def fit(self, dataset: TrainingDataset) -> "FixedConfigurationModel":
+        reference_rows = dataset.rows_at(dataset.spec.reference)
+        rows = reference_rows if reference_rows else list(dataset.rows)
+        design = np.vstack([self._design_row(row.utilizations) for row in rows])
+        target = np.asarray([row.measured_watts for row in rows])
+        if design.shape[0] < design.shape[1]:
+            raise EstimationError(
+                "fixed-configuration baseline needs more observations "
+                "than parameters"
+            )
+        solution, *_ = np.linalg.lstsq(design, target, rcond=None)
+        self._coefficients = solution
+        return self
+
+    def predict_power(
+        self, utilizations: UtilizationVector, config: FrequencyConfig
+    ) -> float:
+        if self._coefficients is None:
+            raise NotFittedError(
+                "FixedConfigurationModel.fit has not been called"
+            )
+        # The configuration is deliberately ignored: these models have no
+        # notion of DVFS.
+        self.spec.validate_configuration(config)
+        return float(self._design_row(utilizations) @ self._coefficients)

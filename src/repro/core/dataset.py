@@ -1,0 +1,121 @@
+"""Training-data collection (Sec. III-D / V-A methodology).
+
+For every microbenchmark the power is measured at **every** V-F
+configuration of the grid, while the performance events — and thus the
+utilization vector — are measured only once, at the **reference**
+configuration. The collected rows are what the estimator consumes; nothing
+in them touches the hidden ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.metrics import MetricCalculator, UtilizationVector
+from repro.driver.session import ProfilingSession
+from repro.errors import ValidationError
+from repro.hardware.specs import FrequencyConfig, GPUSpec
+from repro.kernels.kernel import KernelDescriptor
+
+
+@dataclass(frozen=True)
+class TrainingRow:
+    """One (microbenchmark, configuration) observation."""
+
+    kernel_name: str
+    config: FrequencyConfig
+    measured_watts: float
+    #: Utilizations measured at the *reference* configuration (Sec. III-D).
+    utilizations: UtilizationVector
+
+
+@dataclass(frozen=True)
+class TrainingDataset:
+    """All observations used to estimate one device's model."""
+
+    spec: GPUSpec
+    rows: Tuple[TrainingRow, ...]
+
+    def __post_init__(self) -> None:
+        if not self.rows:
+            raise ValidationError("training dataset must not be empty")
+
+    # ------------------------------------------------------------------
+    def configurations(self) -> List[FrequencyConfig]:
+        """Distinct configurations present, in a stable order."""
+        seen: Dict[Tuple[float, float], FrequencyConfig] = {}
+        for row in self.rows:
+            key = (row.config.core_mhz, row.config.memory_mhz)
+            seen.setdefault(key, row.config)
+        return [seen[key] for key in sorted(seen)]
+
+    def rows_at(self, config: FrequencyConfig) -> List[TrainingRow]:
+        """The observations taken at one configuration."""
+        return [
+            row
+            for row in self.rows
+            if abs(row.config.core_mhz - config.core_mhz) < 0.5
+            and abs(row.config.memory_mhz - config.memory_mhz) < 0.5
+        ]
+
+    def subset(self, configs: Iterable[FrequencyConfig]) -> "TrainingDataset":
+        """Dataset restricted to a set of configurations."""
+        rows: List[TrainingRow] = []
+        for config in configs:
+            rows.extend(self.rows_at(config))
+        return TrainingDataset(spec=self.spec, rows=tuple(rows))
+
+    def measured_vector(self) -> np.ndarray:
+        return np.asarray([row.measured_watts for row in self.rows], dtype=float)
+
+    def kernel_names(self) -> List[str]:
+        names: List[str] = []
+        for row in self.rows:
+            if row.kernel_name not in names:
+                names.append(row.kernel_name)
+        return names
+
+
+def collect_training_dataset(
+    session: ProfilingSession,
+    kernels: Sequence[KernelDescriptor],
+    configs: Optional[Sequence[FrequencyConfig]] = None,
+) -> TrainingDataset:
+    """Run the full measurement campaign for a set of microbenchmarks.
+
+    * Events (hence utilizations) are collected once per kernel, at the
+      reference configuration.
+    * Power is measured (median-of-repeats) at every configuration in
+      ``configs`` — default: the device's entire V-F grid.
+
+    TDP-throttled observations are recorded at their *applied*
+    configuration, mirroring what a real campaign would see on the sensor.
+    """
+    if not kernels:
+        raise ValidationError("no kernels supplied for training")
+    spec = session.gpu.spec
+    if configs is None:
+        configs = spec.all_configurations()
+    calculator = MetricCalculator(spec)
+
+    utilization_by_kernel: Dict[str, UtilizationVector] = {}
+    for kernel in kernels:
+        record = session.collect_events(kernel)
+        utilization_by_kernel[kernel.name] = calculator.utilizations(record)
+
+    rows: List[TrainingRow] = []
+    for kernel in kernels:
+        for config in configs:
+            measurement = session.measure_power(kernel, config)
+            rows.append(
+                TrainingRow(
+                    kernel_name=kernel.name,
+                    config=measurement.applied_config,
+                    measured_watts=measurement.average_watts,
+                    utilizations=utilization_by_kernel[kernel.name],
+                )
+            )
+    return TrainingDataset(spec=spec, rows=tuple(rows))

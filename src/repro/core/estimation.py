@@ -1,0 +1,362 @@
+"""The iterative model estimator (Sec. III-D).
+
+A plain least-squares fit of Eq. 6/7 is impossible: the voltages multiply
+the hardware coefficients, so the joint problem is non-full-rank. The
+paper's remedy is an alternating heuristic:
+
+1. **Bootstrap** — assume ``V = 1`` at the reference configuration F1 and at
+   two nearby configurations F2 (core frequency changed) and F3 (memory
+   frequency changed), and solve a constrained linear least squares for the
+   parameter vector X on the measurements of those three configurations.
+2. **Voltage step** — with X fixed, estimate the normalized voltage pair of
+   *every* configuration by bounded least squares over that configuration's
+   microbenchmark measurements, then enforce the monotonicity constraint
+   (higher frequency never means lower voltage) with isotonic regression
+   along each frequency axis.
+3. **Parameter step** — with the voltages fixed, re-fit X on the
+   measurements of **all** configurations.
+4. Iterate 2-3 until the training RMSE converges (the paper reports
+   convergence in < 50 iterations).
+
+The reference configuration is pinned at ``V = (1, 1)`` throughout — that is
+the normalization of Eq. 5 and it removes the scale ambiguity between the
+voltages and the coefficients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dataset import TrainingDataset, collect_training_dataset
+from repro.core.model import (
+    DVFSPowerModel,
+    ModelParameters,
+    VoltageEstimate,
+)
+from repro.core.regression import (
+    fit_voltage_pair,
+    isotonic_regression,
+    nonnegative_least_squares,
+)
+from repro.driver.session import ProfilingSession
+from repro.errors import EstimationError
+from repro.hardware.components import CORE_COMPONENTS, Component
+from repro.hardware.specs import FrequencyConfig
+from repro.kernels.kernel import KernelDescriptor
+from repro.units import mean_absolute_percentage_error
+
+
+@dataclass(frozen=True)
+class EstimatorReport:
+    """Diagnostics of one estimation run."""
+
+    iterations: int
+    converged: bool
+    rmse_history: Tuple[float, ...]
+    train_mae_percent: float
+
+    @property
+    def final_rmse(self) -> float:
+        return self.rmse_history[-1]
+
+
+def _key(config: FrequencyConfig) -> Tuple[float, float]:
+    return (round(config.core_mhz, 1), round(config.memory_mhz, 1))
+
+
+class ModelEstimator:
+    """Runs the Sec. III-D algorithm on a training dataset.
+
+    Internally the dataset is flattened into numpy arrays (one row per
+    (microbenchmark, configuration) observation) so each alternating step is
+    a vectorized linear-algebra problem.
+    """
+
+    def __init__(
+        self,
+        dataset: TrainingDataset,
+        max_iterations: int = 50,
+        tolerance: float = 3.0e-4,
+        model_voltage: bool = True,
+    ) -> None:
+        """``model_voltage=False`` disables the voltage steps entirely
+        (every configuration keeps ``V = 1``) — the linear-frequency
+        assumption of GPUWattch-style models, kept here as an ablation."""
+        self.dataset = dataset
+        self.spec = dataset.spec
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.model_voltage = model_voltage
+
+        self._configs: List[FrequencyConfig] = dataset.configurations()
+        config_index = {_key(c): i for i, c in enumerate(self._configs)}
+        reference_key = _key(self.spec.reference)
+        if reference_key not in config_index:
+            raise EstimationError(
+                "training dataset does not include the reference "
+                f"configuration {self.spec.reference}"
+            )
+        self._reference_index = config_index[reference_key]
+
+        rows = dataset.rows
+        self._measured = dataset.measured_vector()
+        self._config_of_row = np.asarray(
+            [config_index[_key(row.config)] for row in rows], dtype=int
+        )
+        self._fc = np.asarray([row.config.core_mhz for row in rows])
+        self._fm = np.asarray([row.config.memory_mhz for row in rows])
+        self._u_core = np.vstack([row.utilizations.core_array() for row in rows])
+        self._u_dram = np.asarray(
+            [row.utilizations[Component.DRAM] for row in rows]
+        )
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def estimate(self) -> Tuple[DVFSPowerModel, EstimatorReport]:
+        """Run the full iterative algorithm."""
+        n_configs = len(self._configs)
+        v_core = np.ones(n_configs)
+        v_mem = np.ones(n_configs)
+
+        # Step 1: bootstrap X from the three near-reference configurations.
+        bootstrap_mask = self._bootstrap_mask()
+        parameters = self._fit_parameters(v_core, v_mem, bootstrap_mask)
+
+        rmse_history: List[float] = [self._rmse(parameters, v_core, v_mem)]
+        converged = False
+        iterations = 0
+        for iterations in range(1, self.max_iterations + 1):
+            if self.model_voltage:
+                v_core, v_mem = self._fit_voltages(parameters, v_core, v_mem)
+            parameters = self._fit_parameters(v_core, v_mem)  # step 3
+            rmse = self._rmse(parameters, v_core, v_mem)
+            rmse_history.append(rmse)
+            previous = rmse_history[-2]
+            if abs(previous - rmse) <= self.tolerance * max(1.0, previous):
+                converged = True
+                break
+            if not self.model_voltage:
+                converged = True  # one parameter pass is a fixed point
+                break
+
+        model = DVFSPowerModel(
+            spec=self.spec,
+            parameters=parameters,
+            voltages={
+                config: VoltageEstimate(float(v_core[i]), float(v_mem[i]))
+                for i, config in enumerate(self._configs)
+            },
+        )
+        predictions = self._predict(parameters, v_core, v_mem)
+        report = EstimatorReport(
+            iterations=iterations,
+            converged=converged,
+            rmse_history=tuple(rmse_history),
+            train_mae_percent=mean_absolute_percentage_error(
+                self._measured, predictions
+            ),
+        )
+        return model, report
+
+    # ------------------------------------------------------------------
+    # Step 1 helper: bootstrap configurations F1, F2, F3
+    # ------------------------------------------------------------------
+    def bootstrap_configurations(self) -> List[FrequencyConfig]:
+        """The F1/F2/F3 configurations step 1 bootstraps from (public for
+        the training-grid ablation)."""
+        return self._bootstrap_configs()
+
+    def _bootstrap_configs(self) -> List[FrequencyConfig]:
+        reference = self.spec.reference
+        configs = [reference]
+        core_levels = sorted(self.spec.core_frequencies_mhz)
+        other_cores = [f for f in core_levels if f != reference.core_mhz]
+        if other_cores:
+            # F2: core frequency closest to 85 % of the reference — near
+            # enough for the constant-voltage assumption to be tolerable.
+            target = 0.85 * reference.core_mhz
+            core2 = min(other_cores, key=lambda f: abs(f - target))
+            configs.append(FrequencyConfig(core2, reference.memory_mhz))
+        memory_levels = sorted(self.spec.memory_frequencies_mhz)
+        other_memories = [f for f in memory_levels if f != reference.memory_mhz]
+        if other_memories:
+            # F3: the memory level closest to the reference.
+            mem2 = min(
+                other_memories, key=lambda f: abs(f - reference.memory_mhz)
+            )
+            configs.append(FrequencyConfig(reference.core_mhz, mem2))
+        elif len(other_cores) >= 2:
+            # Single-memory devices (Tesla K40c): use a second core level.
+            core3 = min(
+                (f for f in other_cores if f != configs[-1].core_mhz),
+                key=lambda f: abs(f - reference.core_mhz),
+            )
+            configs.append(FrequencyConfig(core3, reference.memory_mhz))
+        available = {_key(c) for c in self._configs}
+        chosen = [c for c in configs if _key(c) in available]
+        if not chosen:
+            raise EstimationError(
+                "none of the bootstrap configurations appear in the dataset"
+            )
+        return chosen
+
+    def _bootstrap_mask(self) -> np.ndarray:
+        keys = {_key(c) for c in self._bootstrap_configs()}
+        indices = {
+            i for i, config in enumerate(self._configs) if _key(config) in keys
+        }
+        return np.isin(self._config_of_row, list(indices))
+
+    # ------------------------------------------------------------------
+    # Steps 1/3: parameter fit
+    # ------------------------------------------------------------------
+    def _design_matrix(
+        self, v_core: np.ndarray, v_mem: np.ndarray
+    ) -> np.ndarray:
+        vc = v_core[self._config_of_row]
+        vm = v_mem[self._config_of_row]
+        core_scale = vc**2 * self._fc
+        mem_scale = vm**2 * self._fm
+        return np.column_stack(
+            [vc, core_scale]
+            + [core_scale * self._u_core[:, j] for j in range(len(CORE_COMPONENTS))]
+            + [vm, mem_scale, mem_scale * self._u_dram]
+        )
+
+    def _fit_parameters(
+        self,
+        v_core: np.ndarray,
+        v_mem: np.ndarray,
+        row_mask: Optional[np.ndarray] = None,
+    ) -> ModelParameters:
+        design = self._design_matrix(v_core, v_mem)
+        target = self._measured
+        if row_mask is not None:
+            design = design[row_mask]
+            target = target[row_mask]
+        solution = nonnegative_least_squares(design, target)
+        return ModelParameters.from_vector(solution)
+
+    # ------------------------------------------------------------------
+    # Step 2: voltage fit + monotonicity
+    # ------------------------------------------------------------------
+    def _fit_voltages(
+        self,
+        parameters: ModelParameters,
+        v_core: np.ndarray,
+        v_mem: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        omega = np.asarray(
+            [parameters.omega_core[c] for c in CORE_COMPONENTS], dtype=float
+        )
+        core_activity = parameters.beta1 + self._u_core @ omega
+        mem_activity = parameters.beta3 + parameters.omega_mem * self._u_dram
+
+        new_core = v_core.copy()
+        new_mem = v_mem.copy()
+        for index, config in enumerate(self._configs):
+            if index == self._reference_index:
+                new_core[index] = new_mem[index] = 1.0
+                continue
+            rows = self._config_of_row == index
+            vc, vm = fit_voltage_pair(
+                self._measured[rows],
+                config.core_mhz,
+                config.memory_mhz,
+                parameters.beta0,
+                parameters.beta2,
+                core_activity[rows],
+                mem_activity[rows],
+                initial=(float(v_core[index]), float(v_mem[index])),
+            )
+            new_core[index] = vc
+            new_mem[index] = vm
+        return self._enforce_monotonicity(new_core, new_mem)
+
+    def _enforce_monotonicity(
+        self, v_core: np.ndarray, v_mem: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Project the per-configuration voltages onto the Eq. 12 constraint
+        set: non-decreasing in the domain's own frequency, with the
+        reference configuration pinned at V = 1 (Eq. 5). The pin enters the
+        isotonic projections with an overwhelming weight, so re-imposing it
+        afterwards cannot create a monotonicity violation.
+
+        Note that the per-configuration voltages are otherwise free: like
+        the paper's estimates, they may absorb structural misfit in
+        directions no tool can validate (the paper could read neither the
+        memory-domain voltage nor the Tesla K40c's voltages at all).
+        """
+        cores = np.asarray([c.core_mhz for c in self._configs])
+        memories = np.asarray([c.memory_mhz for c in self._configs])
+        reference = self._configs[self._reference_index]
+        pin_weight = 1.0e6
+
+        # Core voltage: isotonic in f_core within each memory-frequency group.
+        for memory in np.unique(memories):
+            group = np.where(memories == memory)[0]
+            order = group[np.argsort(cores[group])]
+            weights = np.ones(order.size)
+            if memory == reference.memory_mhz:
+                weights[order == self._reference_index] = pin_weight
+            v_core[order] = isotonic_regression(v_core[order], weights)
+
+        # Memory voltage: isotonic in f_mem within each core-frequency group.
+        for core in np.unique(cores):
+            group = np.where(cores == core)[0]
+            order = group[np.argsort(memories[group])]
+            weights = np.ones(order.size)
+            if core == reference.core_mhz:
+                weights[order == self._reference_index] = pin_weight
+            v_mem[order] = isotonic_regression(v_mem[order], weights)
+
+        v_core[self._reference_index] = 1.0
+        v_mem[self._reference_index] = 1.0
+        return v_core, v_mem
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def _predict(
+        self,
+        parameters: ModelParameters,
+        v_core: np.ndarray,
+        v_mem: np.ndarray,
+    ) -> np.ndarray:
+        return self._design_matrix(v_core, v_mem) @ parameters.as_vector()
+
+    def _rmse(
+        self,
+        parameters: ModelParameters,
+        v_core: np.ndarray,
+        v_mem: np.ndarray,
+    ) -> float:
+        residual = self._predict(parameters, v_core, v_mem) - self._measured
+        return float(np.sqrt(np.mean(residual**2)))
+
+
+def fit_power_model(
+    session: ProfilingSession,
+    kernels: Optional[Sequence[KernelDescriptor]] = None,
+    configs: Optional[Sequence[FrequencyConfig]] = None,
+    max_iterations: int = 50,
+    model_voltage: bool = True,
+) -> Tuple[DVFSPowerModel, EstimatorReport]:
+    """Collect the microbenchmark dataset and fit the model in one call.
+
+    ``kernels`` defaults to the full 83-microbenchmark suite and ``configs``
+    to the device's entire V-F grid.
+    """
+    if kernels is None:
+        from repro.microbench import build_suite
+
+        kernels = build_suite()
+    dataset = collect_training_dataset(session, kernels, configs)
+    estimator = ModelEstimator(
+        dataset, max_iterations=max_iterations, model_voltage=model_voltage
+    )
+    return estimator.estimate()

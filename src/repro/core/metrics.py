@@ -1,0 +1,142 @@
+"""Hardware utilization metrics (Sec. III-B/III-C).
+
+Turns the raw Table-I events of one profiled kernel into the per-component
+utilization rates ``U_i`` of the power model:
+
+* Eq. 8 for the compute units — warps executed on a unit versus the warps a
+  fully-pumped unit array would retire in the same active cycles;
+* Eq. 9 for the memory levels — achieved versus peak bandwidth;
+* Eq. 10 to split the *combined* SP/INT warp events by the ratio of executed
+  instructions of each type (the devices expose a single warp counter for
+  both unit types).
+
+The calculator performs the "aggregation step" of Sec. III-C (summing
+sub-partition counters) itself, so it consumes exactly what CUPTI exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.driver.cupti import EventRecord, SHARED_TRANSACTION_BYTES
+from repro.driver.events import EventTable, event_table_for
+from repro.errors import MetricError
+from repro.hardware.components import (
+    ALL_COMPONENTS,
+    CORE_COMPONENTS,
+    Component,
+)
+from repro.hardware.specs import GPUSpec
+from repro.units import SECTOR_BYTES, mhz_to_hz
+
+
+@dataclass(frozen=True)
+class UtilizationVector:
+    """Per-component utilization rates of one kernel (``U_i`` in Eq. 6/7)."""
+
+    values: Mapping[Component, float]
+
+    def __post_init__(self) -> None:
+        for component in ALL_COMPONENTS:
+            if component not in self.values:
+                raise MetricError(f"missing utilization for {component}")
+
+    def __getitem__(self, component: Component) -> float:
+        return self.values[component]
+
+    def core_array(self) -> np.ndarray:
+        """Core-domain utilizations in the canonical model order."""
+        return np.asarray(
+            [self.values[c] for c in CORE_COMPONENTS], dtype=float
+        )
+
+    @property
+    def dram(self) -> float:
+        return self.values[Component.DRAM]
+
+    def as_dict(self) -> Dict[Component, float]:
+        return dict(self.values)
+
+
+class MetricCalculator:
+    """Computes :class:`UtilizationVector` objects from raw event records."""
+
+    def __init__(self, spec: GPUSpec, table: EventTable | None = None) -> None:
+        self.spec = spec
+        self.table = table or event_table_for(spec.architecture)
+
+    # ------------------------------------------------------------------
+    def utilizations(self, record: EventRecord) -> UtilizationVector:
+        """All seven component utilizations of one profiled kernel."""
+        active_cycles = record.total(self.table.active_cycles)
+        if active_cycles <= 0:
+            raise MetricError(
+                f"kernel {record.kernel_name!r}: active_cycles must be "
+                "positive to compute utilizations"
+            )
+        duration = active_cycles / mhz_to_hz(record.config.core_mhz)
+
+        values: Dict[Component, float] = {}
+        values.update(self._compute_unit_utilizations(record, active_cycles))
+        values.update(self._memory_utilizations(record, duration))
+        return UtilizationVector(values=values)
+
+    # ------------------------------------------------------------------
+    # Eq. 8 + Eq. 10
+    # ------------------------------------------------------------------
+    def _compute_unit_utilizations(
+        self, record: EventRecord, active_cycles: float
+    ) -> Dict[Component, float]:
+        warps_sp_int = record.total(self.table.warps_sp_int)
+        inst_int = record.total(self.table.inst_int)
+        inst_sp = record.total(self.table.inst_sp)
+        inst_total = inst_int + inst_sp
+        if inst_total > 0:
+            warps_int = warps_sp_int * inst_int / inst_total  # Eq. 10
+            warps_sp = warps_sp_int * inst_sp / inst_total
+        else:
+            warps_int = warps_sp = 0.0
+        warp_counts = {
+            Component.INT: warps_int,
+            Component.SP: warps_sp,
+            Component.DP: record.total(self.table.warps_dp),
+            Component.SF: record.total(self.table.warps_sf),
+        }
+        utilizations = {}
+        for component, warps in warp_counts.items():
+            units = self.spec.units_per_sm(component)
+            ratio = warps * self.spec.warp_size / (active_cycles * units)  # Eq. 8
+            utilizations[component] = float(np.clip(ratio, 0.0, 1.0))
+        return utilizations
+
+    # ------------------------------------------------------------------
+    # Eq. 9
+    # ------------------------------------------------------------------
+    def _memory_utilizations(
+        self, record: EventRecord, duration_seconds: float
+    ) -> Dict[Component, float]:
+        l2_bytes = SECTOR_BYTES * (
+            record.total(self.table.l2_read_sector_queries)
+            + record.total(self.table.l2_write_sector_queries)
+        )
+        shared_bytes = SHARED_TRANSACTION_BYTES * (
+            record.total(self.table.shared_load_transactions)
+            + record.total(self.table.shared_store_transactions)
+        )
+        dram_bytes = SECTOR_BYTES * (
+            record.total(self.table.dram_read_sectors)
+            + record.total(self.table.dram_write_sectors)
+        )
+        achieved = {
+            Component.L2: l2_bytes / duration_seconds,
+            Component.SHARED: shared_bytes / duration_seconds,
+            Component.DRAM: dram_bytes / duration_seconds,
+        }
+        utilizations = {}
+        for component, bandwidth in achieved.items():
+            peak = self.spec.peak_bandwidth(component, record.config)
+            utilizations[component] = float(np.clip(bandwidth / peak, 0.0, 1.0))
+        return utilizations

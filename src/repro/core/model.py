@@ -1,0 +1,302 @@
+"""The DVFS-aware power model (Eq. 5-7) and its predictions.
+
+The model carries two kinds of state produced by the estimator:
+
+* the hardware parameter vector
+  ``X = [beta0, beta1, omega_1..omega_Ncore, beta2, beta3, omega_mem]``
+  (Sec. III-D), all non-negative;
+* the normalized voltage estimates ``(V_core, V_mem)`` for every V-F
+  configuration of the device, anchored at 1.0 for the reference
+  configuration (Eq. 5).
+
+Given the utilization vector of an application — measured at the reference
+configuration only — the model predicts the total power at *any*
+configuration (Eq. 6 + Eq. 7) and decomposes it per component (the
+breakdowns of Fig. 5B/10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.errors import EstimationError, NotFittedError
+from repro.hardware.components import CORE_COMPONENTS, Component
+from repro.hardware.specs import FrequencyConfig, GPUSpec
+from repro.core.metrics import UtilizationVector
+
+
+def _config_key(config: FrequencyConfig) -> Tuple[float, float]:
+    """Hashable, tolerance-stable key for a V-F configuration."""
+    return (round(config.core_mhz, 1), round(config.memory_mhz, 1))
+
+
+@dataclass(frozen=True)
+class ModelParameters:
+    """The fitted hardware parameter vector X (Sec. III-D)."""
+
+    beta0: float  # static power factor, core domain
+    beta1: float  # utilization-independent dynamic power, core domain
+    beta2: float  # static power factor, memory domain
+    beta3: float  # utilization-independent dynamic power, memory domain
+    omega_core: Mapping[Component, float]  # per-core-component dynamic power
+    omega_mem: float  # DRAM dynamic power
+
+    def __post_init__(self) -> None:
+        for name in ("beta0", "beta1", "beta2", "beta3", "omega_mem"):
+            if getattr(self, name) < 0:
+                raise EstimationError(f"parameter {name} must be >= 0")
+        for component in CORE_COMPONENTS:
+            if component not in self.omega_core:
+                raise EstimationError(f"missing omega for {component}")
+            if self.omega_core[component] < 0:
+                raise EstimationError(f"omega[{component}] must be >= 0")
+
+    def as_vector(self) -> np.ndarray:
+        """[beta0, beta1, omega_1..omega_N, beta2, beta3, omega_mem]."""
+        return np.asarray(
+            [self.beta0, self.beta1]
+            + [self.omega_core[c] for c in CORE_COMPONENTS]
+            + [self.beta2, self.beta3, self.omega_mem],
+            dtype=float,
+        )
+
+    @staticmethod
+    def from_vector(vector: np.ndarray) -> "ModelParameters":
+        vector = np.asarray(vector, dtype=float)
+        expected = 5 + len(CORE_COMPONENTS)
+        if vector.shape != (expected,):
+            raise EstimationError(
+                f"parameter vector must have length {expected}, "
+                f"got shape {vector.shape}"
+            )
+        n = len(CORE_COMPONENTS)
+        return ModelParameters(
+            beta0=float(vector[0]),
+            beta1=float(vector[1]),
+            omega_core={
+                component: float(vector[2 + index])
+                for index, component in enumerate(CORE_COMPONENTS)
+            },
+            beta2=float(vector[2 + n]),
+            beta3=float(vector[3 + n]),
+            omega_mem=float(vector[4 + n]),
+        )
+
+
+@dataclass(frozen=True)
+class VoltageEstimate:
+    """Estimated normalized voltages of one configuration (Eq. 12)."""
+
+    v_core: float
+    v_mem: float
+
+    def __post_init__(self) -> None:
+        if self.v_core <= 0 or self.v_mem <= 0:
+            raise EstimationError("voltages must be positive")
+
+
+@dataclass(frozen=True)
+class PredictedBreakdown:
+    """Model-predicted per-component power decomposition (Fig. 5B/10)."""
+
+    constant_watts: float
+    component_watts: Mapping[Component, float]
+
+    @property
+    def dynamic_watts(self) -> float:
+        return sum(self.component_watts.values())
+
+    @property
+    def total_watts(self) -> float:
+        return self.constant_watts + self.dynamic_watts
+
+
+class DVFSPowerModel:
+    """A fitted DVFS-aware power model for one device."""
+
+    def __init__(
+        self,
+        spec: GPUSpec,
+        parameters: ModelParameters,
+        voltages: Mapping[FrequencyConfig, VoltageEstimate],
+    ) -> None:
+        self.spec = spec
+        self.parameters = parameters
+        self._voltages: Dict[Tuple[float, float], VoltageEstimate] = {
+            _config_key(config): estimate for config, estimate in voltages.items()
+        }
+        if not self._voltages:
+            raise NotFittedError("model carries no voltage estimates")
+
+    # ------------------------------------------------------------------
+    # Voltage lookup
+    # ------------------------------------------------------------------
+    def voltage_at(
+        self, config: FrequencyConfig, extrapolate: bool = True
+    ) -> VoltageEstimate:
+        """The estimated (V_core, V_mem) of a configuration.
+
+        Configurations the estimator never saw (models fitted on a sparse
+        grid) are served by per-domain piecewise-linear inter/extrapolation
+        over the known estimates when ``extrapolate`` is true; otherwise a
+        :class:`~repro.errors.NotFittedError` is raised.
+        """
+        config = self.spec.validate_configuration(config)
+        key = _config_key(config)
+        if key in self._voltages:
+            return self._voltages[key]
+        if not extrapolate:
+            raise NotFittedError(
+                f"no voltage estimate for configuration {config}; "
+                "the model was fitted on a different V-F grid"
+            )
+        return self._interpolated_voltage(config)
+
+    def _interpolated_voltage(self, config: FrequencyConfig) -> VoltageEstimate:
+        """Per-domain 1-D interpolation over the known voltage estimates.
+
+        The core voltage is interpolated over core frequency within the
+        closest known memory level; the memory voltage over memory frequency
+        within the closest known core level. ``numpy.interp`` clamps at the
+        edges, which matches the flat regions observed in Fig. 6.
+        """
+        keys = list(self._voltages)
+        nearest_memory = min(keys, key=lambda k: abs(k[1] - config.memory_mhz))[1]
+        core_group = sorted(k for k in keys if k[1] == nearest_memory)
+        core_x = np.asarray([k[0] for k in core_group])
+        core_y = np.asarray([self._voltages[k].v_core for k in core_group])
+        v_core = float(np.interp(config.core_mhz, core_x, core_y))
+
+        nearest_core = min(keys, key=lambda k: abs(k[0] - config.core_mhz))[0]
+        mem_group = sorted(
+            (k for k in keys if k[0] == nearest_core), key=lambda k: k[1]
+        )
+        mem_x = np.asarray([k[1] for k in mem_group])
+        mem_y = np.asarray([self._voltages[k].v_mem for k in mem_group])
+        v_mem = float(np.interp(config.memory_mhz, mem_x, mem_y))
+        return VoltageEstimate(v_core=v_core, v_mem=v_mem)
+
+    def known_configurations(self) -> Tuple[FrequencyConfig, ...]:
+        """All configurations the model carries voltage estimates for."""
+        return tuple(
+            FrequencyConfig(core, memory) for core, memory in self._voltages
+        )
+
+    def core_voltage_curve(
+        self, memory_mhz: float
+    ) -> Dict[float, float]:
+        """``f_core -> V_core`` at a fixed memory frequency (Fig. 6)."""
+        curve = {
+            core: estimate.v_core
+            for (core, memory), estimate in self._voltages.items()
+            if abs(memory - memory_mhz) < 0.5
+        }
+        if not curve:
+            raise NotFittedError(
+                f"no voltage estimates at memory frequency {memory_mhz} MHz"
+            )
+        return dict(sorted(curve.items()))
+
+    # ------------------------------------------------------------------
+    # Prediction (Eq. 6 + Eq. 7)
+    # ------------------------------------------------------------------
+    def predict_breakdown(
+        self, utilizations: UtilizationVector, config: FrequencyConfig
+    ) -> PredictedBreakdown:
+        """Per-component power prediction at a configuration."""
+        config = self.spec.validate_configuration(config)
+        voltage = self.voltage_at(config)
+        p = self.parameters
+        core_scale = voltage.v_core**2 * config.core_mhz
+        mem_scale = voltage.v_mem**2 * config.memory_mhz
+
+        constant = (
+            p.beta0 * voltage.v_core
+            + core_scale * p.beta1
+            + p.beta2 * voltage.v_mem
+            + mem_scale * p.beta3
+        )
+        component_watts: Dict[Component, float] = {}
+        for component in CORE_COMPONENTS:
+            component_watts[component] = (
+                core_scale * p.omega_core[component] * utilizations[component]
+            )
+        component_watts[Component.DRAM] = (
+            mem_scale * p.omega_mem * utilizations[Component.DRAM]
+        )
+        return PredictedBreakdown(
+            constant_watts=float(constant),
+            component_watts=component_watts,
+        )
+
+    def predict_power(
+        self, utilizations: UtilizationVector, config: FrequencyConfig
+    ) -> float:
+        """Total power prediction (W) at a configuration."""
+        return self.predict_breakdown(utilizations, config).total_watts
+
+    def predict_grid(
+        self, utilizations: UtilizationVector
+    ) -> Dict[FrequencyConfig, float]:
+        """Predictions for every configuration the model knows — the
+        design-space sweep of Sec. III-E."""
+        return {
+            config: self.predict_power(utilizations, config)
+            for config in self.known_configurations()
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def full_scale_watts(self) -> Dict[Component, float]:
+        """Each component's dynamic power at full utilization at the
+        reference configuration — the physically interpretable form of the
+        fitted omegas (omega * f_domain at V = 1)."""
+        reference = self.spec.reference
+        watts = {
+            component: self.parameters.omega_core[component]
+            * reference.core_mhz
+            for component in CORE_COMPONENTS
+        }
+        watts[Component.DRAM] = (
+            self.parameters.omega_mem * reference.memory_mhz
+        )
+        return watts
+
+    def constant_watts_at_reference(self) -> float:
+        """The utilization-independent power at the reference configuration
+        (the "Constant" stack of Fig. 5B/10)."""
+        p = self.parameters
+        reference = self.spec.reference
+        return (
+            p.beta0
+            + p.beta2
+            + reference.core_mhz * p.beta1
+            + reference.memory_mhz * p.beta3
+        )
+
+    def describe(self) -> str:
+        """Human-readable summary of the fitted model."""
+        lines = [
+            f"DVFS-aware power model for {self.spec.name} "
+            f"({self.spec.architecture})",
+            f"  configurations: {len(self._voltages)}",
+            f"  constant power @ reference: "
+            f"{self.constant_watts_at_reference():.1f} W",
+            "  full-scale component powers @ reference:",
+        ]
+        for component, watts in sorted(
+            self.full_scale_watts().items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(f"    {component.value:7s} {watts:6.1f} W")
+        curve = self.core_voltage_curve(self.spec.default_memory_mhz)
+        frequencies = sorted(curve)
+        lines.append(
+            f"  core voltage: {curve[frequencies[0]]:.3f} @ "
+            f"{frequencies[0]:.0f} MHz ... {curve[frequencies[-1]]:.3f} @ "
+            f"{frequencies[-1]:.0f} MHz"
+        )
+        return "\n".join(lines)

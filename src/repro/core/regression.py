@@ -1,0 +1,191 @@
+"""Regression primitives used by the estimator.
+
+* :func:`nonnegative_least_squares` — bounded linear least squares for the
+  hardware parameter vector (all betas/omegas are physical magnitudes);
+* :func:`isotonic_regression` — pool-adjacent-violators (PAVA), enforcing
+  the Eq. 12 monotonicity constraint "f_x1 > f_x2 implies V_x1 >= V_x2"
+  along each frequency axis (implemented here because scikit-learn is not
+  available offline);
+* :func:`fit_voltage_pair` — the per-configuration 2-variable bounded
+  least-squares problem of Eq. 12 (quartic in each voltage), solved with
+  ``scipy.optimize.least_squares``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import optimize
+
+from repro.errors import EstimationError
+
+
+def nonnegative_least_squares(
+    design: np.ndarray, target: np.ndarray
+) -> np.ndarray:
+    """Solve ``min ||A x - b||`` subject to ``x >= 0``.
+
+    Uses :func:`scipy.optimize.lsq_linear`, which behaves gracefully on the
+    rank-deficient systems that arise in estimation step 1 (where the two
+    static-power columns are identical because every voltage is pinned at 1).
+    """
+    design = np.asarray(design, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if design.ndim != 2:
+        raise EstimationError("design matrix must be 2-D")
+    if design.shape[0] != target.shape[0]:
+        raise EstimationError(
+            f"design has {design.shape[0]} rows but target has "
+            f"{target.shape[0]}"
+        )
+    if design.shape[0] < design.shape[1]:
+        raise EstimationError(
+            "under-determined system: fewer observations than parameters"
+        )
+    # Column scaling: the raw design mixes O(1) voltage columns with
+    # O(1000) frequency-scaled columns, which starves lsq_linear's inner
+    # solver. Non-negativity bounds are invariant under positive scaling.
+    norms = np.linalg.norm(design, axis=0)
+    norms[norms == 0.0] = 1.0
+    result = optimize.lsq_linear(
+        design / norms, target, bounds=(0.0, np.inf), max_iter=500
+    )
+    if not result.success:  # pragma: no cover - lsq_linear rarely fails
+        raise EstimationError(f"least squares failed: {result.message}")
+    return np.maximum(result.x / norms, 0.0)
+
+
+def isotonic_regression(
+    values: Sequence[float], weights: Optional[Sequence[float]] = None
+) -> np.ndarray:
+    """Weighted PAVA: the closest non-decreasing sequence in L2.
+
+    ``values`` must already be ordered by the covariate (here: frequency
+    ascending). Runs in O(n) with the classic pooling stack.
+    """
+    y = np.asarray(values, dtype=float)
+    if y.ndim != 1:
+        raise EstimationError("isotonic regression expects a 1-D sequence")
+    if weights is None:
+        w = np.ones_like(y)
+    else:
+        w = np.asarray(weights, dtype=float)
+        if w.shape != y.shape:
+            raise EstimationError("weights must match values in shape")
+        if np.any(w <= 0):
+            raise EstimationError("weights must be positive")
+    # Each stack block holds (mean, weight, count).
+    means: list = []
+    block_weights: list = []
+    counts: list = []
+    for value, weight in zip(y, w):
+        means.append(float(value))
+        block_weights.append(float(weight))
+        counts.append(1)
+        while len(means) > 1 and means[-2] > means[-1]:
+            total = block_weights[-2] + block_weights[-1]
+            merged = (
+                means[-2] * block_weights[-2] + means[-1] * block_weights[-1]
+            ) / total
+            count = counts[-2] + counts[-1]
+            for stack in (means, block_weights, counts):
+                stack.pop()
+                stack.pop()
+            means.append(merged)
+            block_weights.append(total)
+            counts.append(count)
+    result = np.empty_like(y)
+    position = 0
+    for mean, count in zip(means, counts):
+        result[position:position + count] = mean
+        position += count
+    return result
+
+
+def minimize_voltage_1d(
+    beta: float,
+    quadratic: np.ndarray,
+    target: np.ndarray,
+    bounds: Tuple[float, float],
+) -> float:
+    """Minimize ``sum_k (beta V + quadratic_k V^2 - target_k)^2`` over V.
+
+    The objective is a quartic polynomial in V, so its stationary points are
+    the real roots of a cubic with closed-form coefficients; the minimizer is
+    the best of those roots and the bounds endpoints.
+    """
+    quadratic = np.asarray(quadratic, dtype=float)
+    target = np.asarray(target, dtype=float)
+    n = quadratic.size
+    if n == 0:
+        raise EstimationError("voltage fit needs at least one benchmark")
+    s1 = float(np.sum(quadratic))
+    s2 = float(np.sum(quadratic**2))
+    sr = float(np.sum(target))
+    srs = float(np.sum(target * quadratic))
+    # d/dV sum (beta V + s V^2 - r)^2 = 0  =>
+    # 2 s2 V^3 + 3 beta s1 V^2 + (n beta^2 - 2 srs) V - beta sr = 0
+    coefficients = [2.0 * s2, 3.0 * beta * s1, n * beta**2 - 2.0 * srs, -beta * sr]
+    # The neutral voltage leads the candidate list so that a degenerate
+    # objective (beta == 0 and no activity) resolves to V = 1 rather than to
+    # an arbitrary bound.
+    neutral = min(max(1.0, bounds[0]), bounds[1])
+    candidates = [neutral, bounds[0], bounds[1]]
+    if any(abs(c) > 0 for c in coefficients[:-1]):
+        roots = np.roots(coefficients)
+        for root in roots:
+            if abs(root.imag) < 1e-9:
+                value = float(root.real)
+                if bounds[0] <= value <= bounds[1]:
+                    candidates.append(value)
+
+    def objective(v: float) -> float:
+        residual = beta * v + quadratic * v**2 - target
+        return float(residual @ residual)
+
+    return min(candidates, key=objective)
+
+
+def fit_voltage_pair(
+    measured: np.ndarray,
+    core_frequency_mhz: float,
+    memory_frequency_mhz: float,
+    beta0: float,
+    beta2: float,
+    core_activity: np.ndarray,
+    mem_activity: np.ndarray,
+    initial: Tuple[float, float] = (1.0, 1.0),
+    bounds: Tuple[float, float] = (0.6, 1.6),
+    sweeps: int = 10,
+) -> Tuple[float, float]:
+    """Estimate (V_core, V_mem) of one configuration (step 2, Eq. 12).
+
+    ``core_activity[k] = beta1 + sum_i omega_i U_i(k)`` and
+    ``mem_activity[k] = beta3 + omega_mem U_dram(k)`` are per-benchmark
+    activity factors under the current parameter vector; the residual
+
+        P_k - beta0 Vc - Vc^2 fc core_activity_k
+            - beta2 Vm - Vm^2 fm mem_activity_k
+
+    is minimized in the bounded box by coordinate descent, each 1-D problem
+    solved in closed form (:func:`minimize_voltage_1d`). Monotonicity across
+    configurations is enforced afterwards with :func:`isotonic_regression`.
+    """
+    measured = np.asarray(measured, dtype=float)
+    core_activity = np.asarray(core_activity, dtype=float)
+    mem_activity = np.asarray(mem_activity, dtype=float)
+    if not (measured.shape == core_activity.shape == mem_activity.shape):
+        raise EstimationError("voltage fit inputs must share a shape")
+    if measured.size == 0:
+        raise EstimationError("voltage fit needs at least one benchmark")
+
+    s_core = core_frequency_mhz * core_activity
+    s_mem = memory_frequency_mhz * mem_activity
+    v_core, v_mem = initial
+    for _ in range(sweeps):
+        target_core = measured - beta2 * v_mem - s_mem * v_mem**2
+        v_core = minimize_voltage_1d(beta0, s_core, target_core, bounds)
+        target_mem = measured - beta0 * v_core - s_core * v_core**2
+        v_mem = minimize_voltage_1d(beta2, s_mem, target_mem, bounds)
+    return float(v_core), float(v_mem)

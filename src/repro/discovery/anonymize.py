@@ -1,0 +1,75 @@
+"""Anonymized event collection: the undisclosed-counter situation.
+
+On the real devices, CUPTI enumerates hundreds of raw event IDs with no
+documentation; the authors had to work out which numeric ID meant what. The
+:class:`AnonymizedCupti` wrapper recreates that starting point: it collects
+events normally but returns them under opaque ``0x…`` identifiers, with a
+stable but seed-scrambled mapping. The true mapping is available only
+through :meth:`debug_true_mapping` — the grading oracle for tests, never an
+input to identification.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.config import SimulationSettings, rng_for
+from repro.driver.cupti import CuptiContext, EventRecord
+from repro.hardware.gpu import SimulatedGPU
+from repro.hardware.specs import FrequencyConfig
+from repro.kernels.kernel import KernelDescriptor
+
+
+class AnonymizedCupti:
+    """CUPTI front-end whose event names are opaque numeric IDs."""
+
+    def __init__(
+        self,
+        gpu: SimulatedGPU,
+        settings: Optional[SimulationSettings] = None,
+        scramble_seed: int = 0,
+    ) -> None:
+        self._inner = CuptiContext(gpu, settings)
+        self._gpu = gpu
+        names = sorted(self._inner.event_table.all_event_names())
+        rng = rng_for(
+            "anonymize", gpu.spec.architecture, scramble_seed,
+            master_seed=(settings or gpu.settings).master_seed,
+        )
+        ids = rng.permutation(len(names))
+        self._to_anonymous: Dict[str, str] = {
+            name: f"event_0x{2000 + int(index):04x}"
+            for name, index in zip(names, ids)
+        }
+        self._to_true: Dict[str, str] = {
+            anonymous: true for true, anonymous in self._to_anonymous.items()
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def event_ids(self) -> tuple:
+        """The opaque identifiers the device exposes (sorted)."""
+        return tuple(sorted(self._to_true))
+
+    def collect_events(
+        self,
+        kernel: KernelDescriptor,
+        config: Optional[FrequencyConfig] = None,
+    ) -> EventRecord:
+        """Collect a launch's events under anonymous names."""
+        record = self._inner.collect_events(kernel, config)
+        return EventRecord(
+            kernel_name=record.kernel_name,
+            architecture=record.architecture,
+            config=record.config,
+            values={
+                self._to_anonymous[name]: value
+                for name, value in record.values.items()
+            },
+            elapsed_seconds=record.elapsed_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    def debug_true_mapping(self) -> Dict[str, str]:
+        """anonymous id -> true event name (grading oracle; tests only)."""
+        return dict(self._to_true)

@@ -1,0 +1,30 @@
+"""NVML/CUPTI-like driver layer.
+
+The estimation pipeline never talks to the simulated hardware directly; it
+goes through this layer, which mirrors the tooling of Sec. V-A:
+
+* :mod:`repro.driver.nvml` — clock control and the sampled power sensor
+  (NVML), including each device's sensor refresh period;
+* :mod:`repro.driver.events` — the raw performance-event tables of Table I,
+  including the undisclosed numeric event IDs;
+* :mod:`repro.driver.cupti` — event collection (CUPTI), with the
+  per-architecture counter inaccuracies;
+* :mod:`repro.driver.session` — a convenience profiling session combining
+  the two, implementing the paper's repetition/median methodology.
+"""
+
+from repro.driver.events import EventTable, event_table_for
+from repro.driver.nvml import NVMLDevice, PowerMeasurement
+from repro.driver.cupti import CuptiContext, EventRecord
+from repro.driver.session import ProfilingSession, KernelObservation
+
+__all__ = [
+    "EventTable",
+    "event_table_for",
+    "NVMLDevice",
+    "PowerMeasurement",
+    "CuptiContext",
+    "EventRecord",
+    "ProfilingSession",
+    "KernelObservation",
+]

@@ -1,0 +1,146 @@
+"""Raw performance-event tables (Table I of the paper).
+
+Each architecture exposes a different set of raw CUPTI events for the same
+semantic quantity. Events NVIDIA discloses carry descriptive names
+(``active_cycles``, ``fb_subp0_read_sectors``...); the rest were identified by
+the authors only through numeric IDs, written here — as in Table I — as a
+per-device prefix plus a short suffix (e.g. ``W580`` on the Titan Xp means
+raw event ID ``352321580``).
+
+The tables below reproduce Table I verbatim: the same event-name spellings,
+the same sub-partition counts, and the same quirks (the Tesla K40c needs four
+raw events for the combined SP/INT warp count; the L2 and shared-memory
+events are named differently on Kepler).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, FrozenSet, Tuple
+
+from repro.errors import UnknownEventError
+
+#: Undisclosed-event ID prefixes (footnote of Table I).
+EVENT_ID_PREFIXES = {
+    "Pascal": 352321,
+    "Maxwell": 335544,
+    "Kepler": 318767,
+}
+
+
+def raw_event_name(architecture: str, suffix: int) -> str:
+    """Full numeric name of an undisclosed event, e.g. ``event_352321580``."""
+    prefix = EVENT_ID_PREFIXES[architecture]
+    return f"event_{prefix}{suffix:03d}"
+
+
+@dataclass(frozen=True)
+class EventTable:
+    """The Table-I event set of one architecture.
+
+    Every field holds the tuple of raw event names whose *sum* yields the
+    semantic quantity named by the field (the "aggregation step" of
+    Sec. III-C).
+    """
+
+    architecture: str
+    active_cycles: Tuple[str, ...]
+    l2_read_sector_queries: Tuple[str, ...]
+    l2_write_sector_queries: Tuple[str, ...]
+    shared_load_transactions: Tuple[str, ...]
+    shared_store_transactions: Tuple[str, ...]
+    dram_read_sectors: Tuple[str, ...]
+    dram_write_sectors: Tuple[str, ...]
+    warps_sp_int: Tuple[str, ...]
+    warps_dp: Tuple[str, ...]
+    warps_sf: Tuple[str, ...]
+    inst_int: Tuple[str, ...]
+    inst_sp: Tuple[str, ...]
+
+    def all_event_names(self) -> FrozenSet[str]:
+        """Every raw event this architecture exposes for the model."""
+        names = []
+        for spec_field in fields(self):
+            if spec_field.name == "architecture":
+                continue
+            names.extend(getattr(self, spec_field.name))
+        return frozenset(names)
+
+    def require(self, event_name: str) -> str:
+        """Validate that an event exists on this architecture."""
+        if event_name not in self.all_event_names():
+            raise UnknownEventError(event_name, self.architecture)
+        return event_name
+
+
+def _subp(template: str, count: int) -> Tuple[str, ...]:
+    """Expand a sub-partition template, e.g. ``l2_subp{i}_...`` for i<count."""
+    return tuple(template.format(i=i) for i in range(count))
+
+
+def _undisclosed(architecture: str, *suffixes: int) -> Tuple[str, ...]:
+    return tuple(raw_event_name(architecture, suffix) for suffix in suffixes)
+
+
+_PASCAL = EventTable(
+    architecture="Pascal",
+    active_cycles=("active_cycles",),
+    l2_read_sector_queries=_subp("l2_subp{i}_total_read_sector_queries", 2),
+    l2_write_sector_queries=_subp("l2_subp{i}_total_write_sector_queries", 2),
+    shared_load_transactions=("shared_ld_transactions",),
+    shared_store_transactions=("shared_st_transactions",),
+    dram_read_sectors=_subp("fb_subp{i}_read_sectors", 2),
+    dram_write_sectors=_subp("fb_subp{i}_write_sectors", 2),
+    warps_sp_int=_undisclosed("Pascal", 580, 581),
+    warps_dp=_undisclosed("Pascal", 584),
+    warps_sf=_undisclosed("Pascal", 560),
+    inst_int=_undisclosed("Pascal", 831),
+    inst_sp=_undisclosed("Pascal", 829),
+)
+
+_MAXWELL = EventTable(
+    architecture="Maxwell",
+    active_cycles=("active_cycles",),
+    l2_read_sector_queries=_subp("l2_subp{i}_total_read_sector_queries", 2),
+    l2_write_sector_queries=_subp("l2_subp{i}_total_write_sector_queries", 2),
+    shared_load_transactions=("shared_ld_transactions",),
+    shared_store_transactions=("shared_st_transactions",),
+    dram_read_sectors=_subp("fb_subp{i}_read_sectors", 2),
+    dram_write_sectors=_subp("fb_subp{i}_write_sectors", 2),
+    warps_sp_int=_undisclosed("Maxwell", 361, 362),
+    warps_dp=_undisclosed("Maxwell", 364),
+    warps_sf=_undisclosed("Maxwell", 359),
+    inst_int=_undisclosed("Maxwell", 504),
+    inst_sp=_undisclosed("Maxwell", 502),
+)
+
+_KEPLER = EventTable(
+    architecture="Kepler",
+    active_cycles=("active_cycles",),
+    l2_read_sector_queries=_subp("l2_subp{i}_total_read_sector_queries", 4),
+    l2_write_sector_queries=_subp("l2_subp{i}_total_write_sector_queries", 4),
+    shared_load_transactions=("l1_shared_load_transactions",),
+    shared_store_transactions=("l1_shared_store_transactions",),
+    dram_read_sectors=_subp("fb_subp{i}_read_sectors", 2),
+    dram_write_sectors=_subp("fb_subp{i}_write_sectors", 2),
+    warps_sp_int=_undisclosed("Kepler", 131, 134, 136, 137),
+    warps_dp=_undisclosed("Kepler", 141),
+    warps_sf=_undisclosed("Kepler", 133),
+    inst_int=_undisclosed("Kepler", 205),
+    inst_sp=_undisclosed("Kepler", 203),
+)
+
+_TABLES: Dict[str, EventTable] = {
+    "Pascal": _PASCAL,
+    "Maxwell": _MAXWELL,
+    "Kepler": _KEPLER,
+}
+
+
+def event_table_for(architecture: str) -> EventTable:
+    """The Table-I event set of an architecture.
+
+    Architectures outside the paper fall back to the Maxwell table, the most
+    conventional of the three.
+    """
+    return _TABLES.get(architecture, _MAXWELL)

@@ -1,0 +1,239 @@
+"""NVML-like device management: clocks and the sampled power sensor.
+
+Mirrors the subset of NVML the paper uses (Sec. V-A):
+
+* querying supported memory/graphics clocks and setting application clocks
+  ("the NVML library was used for monitoring and changing the operating
+  frequencies of the GPU domains (while the voltage is automatically set)");
+* reading the power sensor, whose value refreshes only every ~35 ms on the
+  Titan Xp, ~100 ms on the GTX Titan X and ~15 ms on the Tesla K40c — hence
+  the paper's rule of repeating kernels until runs last at least one second.
+
+The measured power of one run is the mean of all sensor samples gathered
+while the kernel executes; the first sample is partially contaminated by the
+pre-run idle level, reproducing why single-shot measurements of very short
+kernels are misleading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.config import SimulationSettings
+from repro.errors import NVMLError
+from repro.hardware.gpu import KernelRunResult, SimulatedGPU
+from repro.hardware.noise import sensor_noise_matrix
+from repro.hardware.specs import FrequencyConfig
+from repro.kernels.kernel import KernelDescriptor
+from repro.kernels.launch import repetitions_for_min_duration
+
+
+@dataclass(frozen=True)
+class PowerMeasurement:
+    """One power measurement of a (possibly repeated) kernel execution."""
+
+    kernel_name: str
+    requested_config: FrequencyConfig
+    applied_config: FrequencyConfig
+    average_watts: float
+    sample_count: int
+    repetitions: int
+    total_seconds: float
+
+    @property
+    def throttled(self) -> bool:
+        return self.requested_config != self.applied_config
+
+
+class NVMLDevice:
+    """Handle to one simulated device, in the style of an NVML session."""
+
+    def __init__(
+        self, gpu: SimulatedGPU, settings: Optional[SimulationSettings] = None
+    ) -> None:
+        self._gpu = gpu
+        self._settings = settings or gpu.settings
+        self._clocks = gpu.spec.reference
+        self._open = True
+
+    # ------------------------------------------------------------------
+    # Device queries
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._gpu.spec.name
+
+    @property
+    def power_limit_watts(self) -> float:
+        return self._gpu.spec.tdp_watts
+
+    @property
+    def refresh_seconds(self) -> float:
+        """Power-sensor refresh period."""
+        return self._gpu.spec.nvml_refresh_ms / 1000.0
+
+    def supported_memory_clocks(self) -> Tuple[float, ...]:
+        return tuple(sorted(self._gpu.spec.memory_frequencies_mhz, reverse=True))
+
+    def supported_graphics_clocks(self, memory_mhz: float) -> Tuple[float, ...]:
+        """Core levels available at a memory clock (same set on all levels)."""
+        self._gpu.spec.validate_configuration(
+            FrequencyConfig(self._gpu.spec.default_core_mhz, memory_mhz)
+        )
+        return tuple(sorted(self._gpu.spec.core_frequencies_mhz, reverse=True))
+
+    # ------------------------------------------------------------------
+    # Clock control
+    # ------------------------------------------------------------------
+    def set_application_clocks(self, core_mhz: float, memory_mhz: float) -> None:
+        """Pin the device to a V-F configuration (voltage set automatically)."""
+        self._require_open()
+        self._clocks = self._gpu.spec.validate_configuration(
+            FrequencyConfig(core_mhz, memory_mhz)
+        )
+
+    def reset_application_clocks(self) -> None:
+        self._require_open()
+        self._clocks = self._gpu.spec.reference
+
+    @property
+    def application_clocks(self) -> FrequencyConfig:
+        return self._clocks
+
+    # ------------------------------------------------------------------
+    # Power measurement
+    # ------------------------------------------------------------------
+    def measure_power(
+        self,
+        kernel: KernelDescriptor,
+        repetitions: Optional[int] = None,
+        measurement_index: int = 0,
+    ) -> PowerMeasurement:
+        """Run a kernel at the current clocks and average the sensor samples.
+
+        ``repetitions`` defaults to the Sec. V-A rule: enough back-to-back
+        launches to last at least one second at the *fastest* configuration.
+        ``measurement_index`` distinguishes repeated measurements so that each
+        draws fresh sensor noise.
+        """
+        self._require_open()
+        run = self._gpu.run(kernel, self._clocks)
+        if repetitions is None:
+            repetitions = self._default_repetitions(kernel)
+        total_seconds = run.duration_seconds * repetitions
+        average = self._sample_average(run, total_seconds, measurement_index)
+        return PowerMeasurement(
+            kernel_name=kernel.name,
+            requested_config=run.requested_config,
+            applied_config=run.applied_config,
+            average_watts=average,
+            sample_count=self._sample_count(total_seconds),
+            repetitions=repetitions,
+            total_seconds=total_seconds,
+        )
+
+    def measure_median_power(
+        self, kernel: KernelDescriptor, repeats: Optional[int] = None
+    ) -> PowerMeasurement:
+        """The paper's methodology: repeat the measurement and report the
+        median (Sec. V-A: "all benchmarks were repeated 10 times, with the
+        presented values corresponding to the median value")."""
+        self._require_open()
+        if repeats is None:
+            repeats = self._settings.measurement_repeats
+        if repeats <= 0:
+            raise NVMLError("measurement repeats must be positive")
+        repetitions = self._default_repetitions(kernel)
+        run = self._gpu.run(kernel, self._clocks)
+        total_seconds = run.duration_seconds * repetitions
+        averages = self._repeat_averages(run, total_seconds, repeats)
+        return PowerMeasurement(
+            kernel_name=kernel.name,
+            requested_config=run.requested_config,
+            applied_config=run.applied_config,
+            average_watts=float(np.median(averages)),
+            sample_count=self._sample_count(total_seconds),
+            repetitions=repetitions,
+            total_seconds=total_seconds,
+        )
+
+    def close(self) -> None:
+        self._open = False
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _require_open(self) -> None:
+        if not self._open:
+            raise NVMLError("device handle has been closed")
+
+    def _default_repetitions(self, kernel: KernelDescriptor) -> int:
+        fastest = self._gpu.spec.max_configuration
+        single = self._gpu.performance_model.elapsed_seconds(kernel, fastest)
+        return repetitions_for_min_duration(
+            single, self._settings.min_run_seconds
+        )
+
+    def _sample_count(self, total_seconds: float) -> int:
+        return max(1, int(total_seconds / self.refresh_seconds))
+
+    def _sample_average(
+        self, run: KernelRunResult, total_seconds: float, measurement_index: int
+    ) -> float:
+        count = self._sample_count(total_seconds)
+        label = (
+            f"{run.applied_config.core_mhz:.0f}-"
+            f"{run.applied_config.memory_mhz:.0f}-rep{measurement_index}"
+        )
+        noise = sensor_noise_matrix(
+            self._gpu.spec.architecture,
+            run.kernel.name,
+            label,
+            1,
+            count,
+            self._settings,
+            profile=self._gpu.noise_profile,
+        )[0]
+        samples = run.true_power_watts * np.asarray(noise, dtype=float)
+        self._contaminate_first_sample(run, total_seconds, samples)
+        return float(np.mean(samples))
+
+    def _repeat_averages(
+        self, run: KernelRunResult, total_seconds: float, repeats: int
+    ) -> np.ndarray:
+        """Per-repeat sample averages, drawn from one batched noise matrix."""
+        count = self._sample_count(total_seconds)
+        label = (
+            f"{run.applied_config.core_mhz:.0f}-"
+            f"{run.applied_config.memory_mhz:.0f}-median"
+        )
+        noise = sensor_noise_matrix(
+            self._gpu.spec.architecture,
+            run.kernel.name,
+            label,
+            repeats,
+            count,
+            self._settings,
+            profile=self._gpu.noise_profile,
+        )
+        samples = run.true_power_watts * np.asarray(noise, dtype=float)
+        for row in samples:
+            self._contaminate_first_sample(run, total_seconds, row)
+        return samples.mean(axis=1)
+
+    def _contaminate_first_sample(
+        self, run: KernelRunResult, total_seconds: float, samples: np.ndarray
+    ) -> None:
+        """The first sensor window straddles the launch: it still contains a
+        fraction of the pre-run idle power level."""
+        if samples.size >= 1 and not run.kernel.is_idle:
+            idle = self._gpu.idle_power_watts(run.applied_config)
+            stale_fraction = min(
+                0.5, self.refresh_seconds / max(total_seconds, 1e-9)
+            )
+            samples[0] = (
+                stale_fraction * idle + (1.0 - stale_fraction) * samples[0]
+            )

@@ -1,0 +1,104 @@
+"""Profiling session: the Sec. V-A measurement methodology in one object.
+
+A :class:`ProfilingSession` bundles an NVML handle and a CUPTI context for
+one device and exposes the two operations the modeling pipeline needs:
+
+* ``measure_power(kernel, config)`` — set the application clocks, run the
+  kernel repeatedly (>= 1 s at the fastest configuration), average the power
+  samples, repeat 10 times, report the median;
+* ``collect_events(kernel)`` — gather the Table-I raw events at the
+  reference configuration.
+
+``observe`` combines both into the tuple the estimator trains on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import SimulationSettings
+from repro.driver.cupti import CuptiContext, EventRecord
+from repro.driver.nvml import NVMLDevice, PowerMeasurement
+from repro.hardware.gpu import SimulatedGPU
+from repro.hardware.specs import FrequencyConfig
+from repro.kernels.kernel import KernelDescriptor
+
+
+@dataclass(frozen=True)
+class KernelObservation:
+    """Everything measured about one kernel at one configuration."""
+
+    kernel: KernelDescriptor
+    power: PowerMeasurement
+    #: Raw events, collected at the reference configuration only (the
+    #: paper's methodology) — ``None`` for non-reference observations.
+    events: Optional[EventRecord]
+
+    @property
+    def config(self) -> FrequencyConfig:
+        return self.power.applied_config
+
+    @property
+    def measured_watts(self) -> float:
+        return self.power.average_watts
+
+
+class ProfilingSession:
+    """Measurement front-end for one simulated device."""
+
+    def __init__(
+        self, gpu: SimulatedGPU, settings: Optional[SimulationSettings] = None
+    ) -> None:
+        self.gpu = gpu
+        self.settings = settings or gpu.settings
+        self.nvml = NVMLDevice(gpu, self.settings)
+        self.cupti = CuptiContext(gpu, self.settings)
+
+    @property
+    def reference(self) -> FrequencyConfig:
+        return self.gpu.spec.reference
+
+    # ------------------------------------------------------------------
+    def measure_power(
+        self,
+        kernel: KernelDescriptor,
+        config: Optional[FrequencyConfig] = None,
+        median: bool = True,
+    ) -> PowerMeasurement:
+        """Median (or single) power measurement at a configuration."""
+        target = config or self.reference
+        self.nvml.set_application_clocks(target.core_mhz, target.memory_mhz)
+        if median:
+            return self.nvml.measure_median_power(kernel)
+        return self.nvml.measure_power(kernel)
+
+    def collect_events(
+        self, kernel: KernelDescriptor, config: Optional[FrequencyConfig] = None
+    ) -> EventRecord:
+        """Raw Table-I events (defaults to the reference configuration)."""
+        return self.cupti.collect_events(kernel, config or self.reference)
+
+    def measure_time(
+        self, kernel: KernelDescriptor, config: Optional[FrequencyConfig] = None
+    ) -> float:
+        """Host-side execution time of one kernel launch, in seconds."""
+        return self.gpu.run(kernel, config or self.reference).duration_seconds
+
+    def observe(
+        self,
+        kernel: KernelDescriptor,
+        config: Optional[FrequencyConfig] = None,
+        with_events: Optional[bool] = None,
+    ) -> KernelObservation:
+        """Power (always) + events (at the reference configuration only).
+
+        ``with_events`` overrides the default policy of collecting events
+        exactly when the observation is taken at the reference configuration.
+        """
+        target = self.gpu.spec.validate_configuration(config or self.reference)
+        power = self.measure_power(kernel, target)
+        if with_events is None:
+            with_events = target == self.reference
+        events = self.collect_events(kernel) if with_events else None
+        return KernelObservation(kernel=kernel, power=power, events=events)

@@ -1,0 +1,74 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch one base class. The sub-classes mirror the major subsystems: the
+simulated hardware, the NVML/CUPTI-like driver layer, the metric computation
+and the model-estimation pipeline.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SpecError(ReproError):
+    """An invalid or inconsistent GPU specification was supplied."""
+
+
+class FrequencyError(SpecError):
+    """A frequency was requested that the device does not support."""
+
+    def __init__(self, domain: str, requested: float, supported) -> None:
+        self.domain = domain
+        self.requested = requested
+        self.supported = tuple(supported)
+        super().__init__(
+            f"unsupported {domain} frequency {requested} MHz; "
+            f"supported levels: {sorted(self.supported)}"
+        )
+
+
+class KernelError(ReproError):
+    """An invalid kernel descriptor or launch configuration was supplied."""
+
+
+class DriverError(ReproError):
+    """Base class for NVML/CUPTI driver-layer failures."""
+
+
+class NVMLError(DriverError):
+    """An NVML-like operation failed (bad clock request, closed handle...)."""
+
+
+class CuptiError(DriverError):
+    """A CUPTI-like operation failed (unknown event, no active session...)."""
+
+
+class UnknownEventError(CuptiError):
+    """A raw performance event is not exposed by the target architecture."""
+
+    def __init__(self, event_name: str, architecture: str) -> None:
+        self.event_name = event_name
+        self.architecture = architecture
+        super().__init__(
+            f"event {event_name!r} is not available on the "
+            f"{architecture} architecture"
+        )
+
+
+class MetricError(ReproError):
+    """A utilization metric could not be computed from the given events."""
+
+
+class EstimationError(ReproError):
+    """Model estimation failed (degenerate data, no convergence...)."""
+
+
+class NotFittedError(EstimationError):
+    """A prediction was requested from a model that has not been fitted."""
+
+
+class ValidationError(ReproError):
+    """An experiment/validation harness received inconsistent inputs."""

@@ -1,0 +1,33 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every module exposes ``run(lab=None)`` returning a structured result object,
+and ``main()`` printing the same rows/series the paper reports. The shared
+:class:`~repro.experiments.common.Lab` caches simulated devices, training
+datasets and fitted models so a full harness run fits each device only once.
+
+====================  =========================================
+module                reproduces
+====================  =========================================
+``table1``            Table I   (performance-event tables)
+``table2``            Table II  (device spec sheet)
+``table3``            Table III (validation benchmark list)
+``fig2``              Fig. 2    (DVFS impact on two applications)
+``fig5``              Fig. 5    (microbenchmark suite behaviour)
+``fig6``              Fig. 6    (predicted vs measured core voltage)
+``fig7``              Fig. 7    (validation accuracy, 3 GPUs)
+``fig8``              Fig. 8    (error vs memory frequency)
+``fig9``              Fig. 9    (input-size effects + TDP throttling)
+``fig10``             Fig. 10   (per-component power breakdown)
+``baselines``         Sec. V-B / VI (comparison vs prior models)
+``ablations``         design-choice ablations (DESIGN.md)
+``discovery``         Sec. III-C (counter identification, L2 peak)
+``sensitivity``       microbenchmarking-budget sensitivity
+``dvfs_savings``      Sec. V-B use case 3 (measured energy savings)
+``noise_sweep``       the Kepler explanation as a noise curve
+``transfer``          cross-device transfer (per-device fitting)
+====================  =========================================
+"""
+
+from repro.experiments.common import Lab, get_lab
+
+__all__ = ["Lab", "get_lab"]

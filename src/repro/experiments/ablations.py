@@ -1,0 +1,160 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+All on the GTX Titan X (the device the paper analyses most deeply):
+
+* **no-voltage** — disable the voltage steps (V = 1 everywhere): the
+  linear-frequency assumption of prior work. Expectation: accuracy degrades,
+  most visibly at core frequencies far from the reference.
+* **single-utilization** — collapse the six per-component core utilizations
+  into one aggregate activity: no per-component decomposition. Expectation:
+  accuracy degrades because components have different power weights.
+* **training-grid size** — fit on 3 configurations (the bootstrap set), on
+  a 3x3 grid and on the full grid. Expectation: accuracy improves with
+  coverage; the 3-configuration fit cannot see the voltage curve at all.
+* **counter noise** — re-run the whole pipeline with the measurement chain
+  noise disabled. Expectation: the validation error collapses to the
+  structural model error (~1-3 %), confirming that event inaccuracy — the
+  paper's explanation for Kepler — dominates the observed error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.analysis.validation import validate_model
+from repro.config import NOISELESS_SETTINGS
+from repro.core.dataset import TrainingDataset, TrainingRow
+from repro.core.estimation import ModelEstimator
+from repro.core.metrics import UtilizationVector
+from repro.experiments.common import Lab, get_lab
+from repro.hardware.components import CORE_COMPONENTS, Component
+from repro.reporting.tables import format_kv
+
+DEVICE = "GTX Titan X"
+
+
+@dataclass(frozen=True)
+class AblationsResult:
+    device: str
+    #: variant name -> validation MAE (%).
+    mae_percent: Mapping[str, float]
+
+    @property
+    def full_model_mae(self) -> float:
+        return self.mae_percent["full_model"]
+
+    def degradation(self, variant: str) -> float:
+        """MAE increase (percentage points) of a variant vs the full model."""
+        return self.mae_percent[variant] - self.full_model_mae
+
+
+def _aggregate_utilizations(dataset: TrainingDataset) -> TrainingDataset:
+    """Collapse the per-component core utilizations into one activity."""
+    rows = []
+    for row in dataset.rows:
+        aggregate = float(
+            np.mean([row.utilizations[c] for c in CORE_COMPONENTS])
+        )
+        values = {component: 0.0 for component in CORE_COMPONENTS}
+        values[Component.INT] = aggregate
+        values[Component.DRAM] = row.utilizations[Component.DRAM]
+        rows.append(
+            TrainingRow(
+                kernel_name=row.kernel_name,
+                config=row.config,
+                measured_watts=row.measured_watts,
+                utilizations=UtilizationVector(values=values),
+            )
+        )
+    return TrainingDataset(spec=dataset.spec, rows=tuple(rows))
+
+
+class _AggregatedPredictor:
+    """Wraps a model fitted on aggregated utilizations so validation can
+    feed it full utilization vectors."""
+
+    def __init__(self, model) -> None:
+        self._model = model
+
+    def predict_power(self, utilizations: UtilizationVector, config) -> float:
+        aggregate = float(
+            np.mean([utilizations[c] for c in CORE_COMPONENTS])
+        )
+        values = {component: 0.0 for component in CORE_COMPONENTS}
+        values[Component.INT] = aggregate
+        values[Component.DRAM] = utilizations[Component.DRAM]
+        return self._model.predict_power(
+            UtilizationVector(values=values), config
+        )
+
+
+def run(lab: Optional[Lab] = None) -> AblationsResult:
+    lab = lab or get_lab()
+    spec = lab.spec(DEVICE)
+    session = lab.session(DEVICE)
+    dataset = lab.dataset(DEVICE)
+    workloads = lab.workloads(DEVICE)
+
+    mae: Dict[str, float] = {}
+    mae["full_model"] = lab.validation(DEVICE).mean_absolute_error_percent
+
+    # --- no voltage modeling -----------------------------------------
+    model, _ = ModelEstimator(dataset, model_voltage=False).estimate()
+    mae["no_voltage"] = validate_model(
+        model, session, workloads
+    ).mean_absolute_error_percent
+
+    # --- single aggregated utilization --------------------------------
+    aggregated = _aggregate_utilizations(dataset)
+    model, _ = ModelEstimator(aggregated).estimate()
+    mae["single_utilization"] = validate_model(
+        _AggregatedPredictor(model), session, workloads
+    ).mean_absolute_error_percent
+
+    # --- training-grid size -------------------------------------------
+    estimator = ModelEstimator(dataset)
+    bootstrap = dataset.subset(estimator.bootstrap_configurations())
+    model, _ = ModelEstimator(bootstrap).estimate()
+    mae["grid_3_configs"] = validate_model(
+        model, session, workloads
+    ).mean_absolute_error_percent
+
+    from repro.core.baselines import AbeLinearModel
+
+    # The estimator anchors V = 1 at the reference configuration, so the
+    # sparse grid must contain it.
+    grid9 = dataset.subset(
+        AbeLinearModel.training_grid(spec) + [spec.reference]
+    )
+    model, _ = ModelEstimator(grid9).estimate()
+    mae["grid_3x3"] = validate_model(
+        model, session, workloads
+    ).mean_absolute_error_percent
+
+    # --- noiseless measurement chain -----------------------------------
+    quiet_lab = Lab(settings=NOISELESS_SETTINGS)
+    mae["noiseless"] = quiet_lab.validation(
+        DEVICE
+    ).mean_absolute_error_percent
+
+    return AblationsResult(device=spec.name, mae_percent=mae)
+
+
+def main() -> AblationsResult:
+    result = run()
+    print(f"=== Ablations on {result.device} — validation MAE ===")
+    print(
+        format_kv(
+            {name: f"{value:.2f}%" for name, value in result.mae_percent.items()}
+        )
+    )
+    for variant in ("no_voltage", "single_utilization", "grid_3_configs"):
+        print(f"degradation of {variant}: {result.degradation(variant):+.2f} pp")
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""Shared experiment context.
+
+:class:`Lab` owns one simulated device, profiling session, training dataset
+and fitted model per GPU, created lazily and cached — fitting the model for
+the GTX Titan X takes a few seconds, and most experiments need it. Use
+:func:`get_lab` for the process-wide instance (experiments and benchmarks
+compose cheaply); construct a private ``Lab`` for isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.analysis.validation import ValidationResult, validate_model
+from repro.config import DEFAULT_SETTINGS, SimulationSettings
+from repro.core.dataset import TrainingDataset, collect_training_dataset
+from repro.core.estimation import EstimatorReport, ModelEstimator
+from repro.core.model import DVFSPowerModel
+from repro.driver.session import ProfilingSession
+from repro.hardware.gpu import SimulatedGPU
+from repro.hardware.specs import GPUSpec, gpu_spec_by_name
+from repro.kernels.kernel import KernelDescriptor
+from repro.microbench import build_suite
+from repro.workloads import all_workloads
+
+#: Device names in the order the paper reports them.
+DEVICE_NAMES = ("Titan Xp", "GTX Titan X", "Tesla K40c")
+
+
+class Lab:
+    """Lazily-built, cached simulation context for the experiments."""
+
+    def __init__(self, settings: SimulationSettings = DEFAULT_SETTINGS) -> None:
+        self.settings = settings
+        self._gpus: Dict[str, SimulatedGPU] = {}
+        self._sessions: Dict[str, ProfilingSession] = {}
+        self._datasets: Dict[str, TrainingDataset] = {}
+        self._models: Dict[str, Tuple[DVFSPowerModel, EstimatorReport]] = {}
+        self._validations: Dict[str, ValidationResult] = {}
+        self._suite: Optional[Tuple[KernelDescriptor, ...]] = None
+
+    # ------------------------------------------------------------------
+    def spec(self, device: str) -> GPUSpec:
+        return gpu_spec_by_name(device)
+
+    def gpu(self, device: str) -> SimulatedGPU:
+        name = self.spec(device).name
+        if name not in self._gpus:
+            self._gpus[name] = SimulatedGPU(
+                self.spec(name), settings=self.settings
+            )
+        return self._gpus[name]
+
+    def session(self, device: str) -> ProfilingSession:
+        name = self.spec(device).name
+        if name not in self._sessions:
+            self._sessions[name] = ProfilingSession(self.gpu(name))
+        return self._sessions[name]
+
+    # ------------------------------------------------------------------
+    @property
+    def suite(self) -> Tuple[KernelDescriptor, ...]:
+        """The 83-microbenchmark suite (shared across devices)."""
+        if self._suite is None:
+            self._suite = build_suite()
+        return self._suite
+
+    def dataset(self, device: str) -> TrainingDataset:
+        """Training dataset: full suite x full V-F grid of the device."""
+        name = self.spec(device).name
+        if name not in self._datasets:
+            self._datasets[name] = collect_training_dataset(
+                self.session(name), self.suite
+            )
+        return self._datasets[name]
+
+    def model(self, device: str) -> DVFSPowerModel:
+        return self._fitted(device)[0]
+
+    def report(self, device: str) -> EstimatorReport:
+        return self._fitted(device)[1]
+
+    def _fitted(self, device: str) -> Tuple[DVFSPowerModel, EstimatorReport]:
+        name = self.spec(device).name
+        if name not in self._models:
+            estimator = ModelEstimator(self.dataset(name))
+            self._models[name] = estimator.estimate()
+        return self._models[name]
+
+    # ------------------------------------------------------------------
+    def workloads(self, device: str) -> Sequence[KernelDescriptor]:
+        """The Table-III validation workloads (profiles are device-agnostic
+        descriptors; the same set runs on every simulated GPU)."""
+        del device  # Workloads are shared; parameter kept for symmetry.
+        return all_workloads()
+
+    def validation(self, device: str) -> ValidationResult:
+        """Proposed-model validation sweep over the full grid (Fig. 7)."""
+        name = self.spec(device).name
+        if name not in self._validations:
+            self._validations[name] = validate_model(
+                self.model(name),
+                self.session(name),
+                self.workloads(name),
+            )
+        return self._validations[name]
+
+
+_LAB: Optional[Lab] = None
+
+
+def get_lab() -> Lab:
+    """The process-wide shared :class:`Lab`."""
+    global _LAB
+    if _LAB is None:
+        _LAB = Lab()
+    return _LAB

@@ -1,0 +1,128 @@
+"""DVFS energy-savings study (use case 3 of Sec. V-B).
+
+What the model is *for*: pick a better V-F configuration per application
+without executing the grid. For every Table-III workload this experiment
+asks the advisor for the energy-optimal configuration under two slowdown
+budgets (5 % and 10 %) and accounts the resulting savings against the
+all-reference execution, using measured power and time at the chosen
+configurations (so the reported savings are real, not self-graded
+predictions).
+
+Expected structure, asserted by the bench:
+
+* compute-bound workloads (CUTCP, GEMM...) save heavily by down-clocking
+  the *memory* domain at near-zero runtime cost;
+* DRAM-saturated workloads (BlackScholes, LBM) have little headroom —
+  every down-clock costs runtime;
+* a larger slowdown budget never yields smaller savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+from repro.analysis.dvfs import DVFSAdvisor
+from repro.experiments.common import Lab, get_lab
+from repro.hardware.specs import FrequencyConfig
+from repro.reporting.tables import format_table
+
+DEVICE = "GTX Titan X"
+SLOWDOWN_BUDGETS = (1.05, 1.10)
+
+
+@dataclass(frozen=True)
+class WorkloadSaving:
+    workload: str
+    #: slowdown budget -> (chosen config, measured energy saving fraction,
+    #: measured slowdown)
+    by_budget: Mapping[float, Tuple[FrequencyConfig, float, float]]
+
+    def saving(self, budget: float) -> float:
+        return self.by_budget[budget][1]
+
+    def config(self, budget: float) -> FrequencyConfig:
+        return self.by_budget[budget][0]
+
+
+@dataclass(frozen=True)
+class DvfsSavingsResult:
+    device: str
+    workloads: Tuple[WorkloadSaving, ...]
+
+    def workload(self, name: str) -> WorkloadSaving:
+        for entry in self.workloads:
+            if entry.workload == name:
+                return entry
+        raise KeyError(name)
+
+    def mean_saving(self, budget: float) -> float:
+        return sum(w.saving(budget) for w in self.workloads) / len(
+            self.workloads
+        )
+
+
+def run(lab: Optional[Lab] = None) -> DvfsSavingsResult:
+    lab = lab or get_lab()
+    session = lab.session(DEVICE)
+    advisor = DVFSAdvisor(lab.model(DEVICE), session)
+    reference = lab.spec(DEVICE).reference
+
+    entries = []
+    for kernel in lab.workloads(DEVICE):
+        reference_power = session.measure_power(kernel, reference).average_watts
+        reference_time = session.measure_time(kernel, reference)
+        reference_energy = reference_power * reference_time
+        by_budget = {}
+        for budget in SLOWDOWN_BUDGETS:
+            best = advisor.recommend(
+                kernel, objective="energy", max_slowdown=budget
+            )
+            measured_power = session.measure_power(
+                kernel, best.config
+            ).average_watts
+            measured_time = session.measure_time(kernel, best.config)
+            measured_energy = measured_power * measured_time
+            by_budget[budget] = (
+                best.config,
+                1.0 - measured_energy / reference_energy,
+                measured_time / reference_time,
+            )
+        entries.append(
+            WorkloadSaving(workload=kernel.name, by_budget=by_budget)
+        )
+    return DvfsSavingsResult(device=lab.spec(DEVICE).name,
+                             workloads=tuple(entries))
+
+
+def main() -> DvfsSavingsResult:
+    result = run()
+    print(f"=== DVFS energy savings on {result.device} "
+          "(measured, vs all-reference) ===")
+    rows = []
+    for entry in result.workloads:
+        cells = [entry.workload]
+        for budget in SLOWDOWN_BUDGETS:
+            config, saving, slowdown = entry.by_budget[budget]
+            cells.append(
+                f"{100*saving:+.1f}% @ ({config.core_mhz:.0f},"
+                f"{config.memory_mhz:.0f}) x{slowdown:.2f}"
+            )
+        rows.append(cells)
+    print(
+        format_table(
+            ["workload"]
+            + [f"<= {100*(b-1):.0f}% slowdown" for b in SLOWDOWN_BUDGETS],
+            rows,
+        )
+    )
+    for budget in SLOWDOWN_BUDGETS:
+        print(
+            f"mean saving @ <= {100*(budget-1):.0f}% slowdown: "
+            f"{100*result.mean_saving(budget):.1f}%"
+        )
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""Figure 1 — the device block diagram, rendered from the spec.
+
+Fig. 1 shows the Titan Xp's organization: the SM array (instruction path,
+warp schedulers, the INT/FP, DP, SF and LD/ST unit groups, shared memory)
+inside the **core domain** together with the L2 cache, and the memory
+controller plus DRAM in the **memory domain**. This experiment renders that
+diagram as text from any :class:`~repro.hardware.specs.GPUSpec`, so the
+structural facts the figure communicates (which units live in which domain,
+how many of each per SM, how many SMs) are generated from the same data the
+model uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.experiments.common import DEVICE_NAMES, Lab, get_lab
+from repro.hardware.specs import GPUSpec
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    diagrams: Tuple[Tuple[str, str], ...]  # (device, rendered text)
+
+    def diagram(self, device: str) -> str:
+        for name, text in self.diagrams:
+            if name == device:
+                return text
+        raise KeyError(device)
+
+
+def render_block_diagram(spec: GPUSpec) -> str:
+    """A Fig. 1-style text block diagram of one device."""
+    width = 66
+
+    def line(text: str = "", border: str = "|") -> str:
+        return f"{border} {text:<{width - 4}} {border}"
+
+    def rule(char: str = "-") -> str:
+        return "+" + char * (width - 2) + "+"
+
+    units = (
+        f"INT/FP x{spec.sp_int_units_per_sm}   "
+        f"DP x{spec.dp_units_per_sm}   "
+        f"SFU x{spec.sf_units_per_sm}   LD/ST"
+    )
+    rows = [
+        rule("="),
+        line(f"{spec.name}  ({spec.architecture}, CC {spec.compute_capability})"),
+        rule("="),
+        line(f"CORE DOMAIN   fcore = {spec.default_core_mhz:.0f} MHz "
+             f"({len(spec.core_frequencies_mhz)} levels, "
+             f"{min(spec.core_frequencies_mhz):.0f}-"
+             f"{max(spec.core_frequencies_mhz):.0f})"),
+        rule(),
+        line(f"Streaming Multiprocessors x{spec.sm_count}"),
+        line("  Instruction Cache / Buffer -> Warp Scheduler -> Dispatch"),
+        line(f"  Register File   {units}"),
+        line(f"  Shared Memory ({spec.shared_memory_banks} banks x "
+             f"{spec.shared_bank_bytes} B)   Texture / L1 Cache"),
+        rule(),
+        line(f"L2 CACHE   ({spec.l2_bytes_per_cycle:.0f} B/cycle, "
+             f"{spec.l2_subpartitions} sub-partitions)"),
+        rule("="),
+        line(f"MEMORY DOMAIN   fmem = {spec.default_memory_mhz:.0f} MHz "
+             f"({len(spec.memory_frequencies_mhz)} levels)"),
+        rule(),
+        line(f"Memory Controller ({spec.dram_subpartitions} sub-partitions, "
+             f"{spec.memory_bus_width_bytes} B bus)"),
+        line(f"DRAM   peak "
+             f"{spec.dram_peak_bandwidth(spec.default_memory_mhz)/1e9:.0f} GB/s"),
+        rule("="),
+    ]
+    return "\n".join(rows)
+
+
+def run(lab: Optional[Lab] = None) -> Fig1Result:
+    lab = lab or get_lab()
+    diagrams = tuple(
+        (lab.spec(name).name, render_block_diagram(lab.spec(name)))
+        for name in DEVICE_NAMES
+    )
+    return Fig1Result(diagrams=diagrams)
+
+
+def main() -> Fig1Result:
+    result = run()
+    for name, text in result.diagrams:
+        print(f"\n=== Fig. 1 — block diagram of the {name} ===")
+        print(text)
+    return result
+
+
+#: Structural facts the diagram must communicate (used by tests/benches).
+def domain_of_block(block: str) -> str:
+    """Which V-F domain a named block belongs to (Fig. 1's key message)."""
+    core_blocks = {"sm", "l2", "shared", "register", "scheduler"}
+    memory_blocks = {"dram", "memory controller"}
+    lowered = block.lower()
+    if any(key in lowered for key in memory_blocks):
+        return "memory"
+    if any(key in lowered for key in core_blocks):
+        return "core"
+    raise KeyError(block)
+
+
+if __name__ == "__main__":
+    main()

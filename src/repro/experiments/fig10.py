@@ -1,0 +1,112 @@
+"""Figure 10 — power breakdown of the validation benchmarks, two configs.
+
+The 26 Table-III workloads on the GTX Titan X at the reference configuration
+(975, 3505) and the low-memory configuration (975, 810). Paper observations
+carried by the run() result:
+
+* per-benchmark breakdown MAE of 5.2 % at the reference and 8.8 % at the
+  low-memory configuration;
+* a large constant share: ~80 W at the reference vs ~50 W at the low-memory
+  configuration (static + idle + non-modeled components);
+* between the two configurations, the DRAM component shrinks dramatically
+  while every core-side component stays almost unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.breakdown import BreakdownReport, breakdown_report
+from repro.experiments.common import Lab, get_lab
+from repro.hardware.components import CORE_COMPONENTS, Component
+from repro.hardware.specs import FrequencyConfig
+from repro.reporting.tables import format_table
+
+DEVICE = "GTX Titan X"
+REFERENCE_CONFIG = FrequencyConfig(975, 3505)
+LOW_MEMORY_CONFIG = FrequencyConfig(975, 810)
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    device: str
+    reference: BreakdownReport
+    low_memory: BreakdownReport
+
+    # ------------------------------------------------------------------
+    def dram_power_ratio(self) -> float:
+        """Mean DRAM power at 810 MHz relative to 3505 MHz."""
+        high = self.reference.component_means()[Component.DRAM]
+        low = self.low_memory.component_means()[Component.DRAM]
+        return low / high if high > 0 else 0.0
+
+    def core_power_ratio(self) -> float:
+        """Mean summed core-component power, low vs reference config."""
+        high = sum(
+            self.reference.component_means()[c] for c in CORE_COMPONENTS
+        )
+        low = sum(
+            self.low_memory.component_means()[c] for c in CORE_COMPONENTS
+        )
+        return low / high if high > 0 else 0.0
+
+
+def run(lab: Optional[Lab] = None) -> Fig10Result:
+    lab = lab or get_lab()
+    session = lab.session(DEVICE)
+    model = lab.model(DEVICE)
+    workloads = lab.workloads(DEVICE)
+    reference = breakdown_report(model, session, workloads, REFERENCE_CONFIG)
+    low_memory = breakdown_report(model, session, workloads, LOW_MEMORY_CONFIG)
+    return Fig10Result(
+        device=lab.spec(DEVICE).name,
+        reference=reference,
+        low_memory=low_memory,
+    )
+
+
+def main() -> Fig10Result:
+    result = run()
+    print(f"=== Fig. 10 — validation breakdown on {result.device} ===")
+    for label, report in (
+        ("fcore=975, fmem=3505", result.reference),
+        ("fcore=975, fmem=810", result.low_memory),
+    ):
+        print(f"\n--- {label} ---")
+        rows = []
+        for entry in report.entries:
+            cw = entry.component_watts
+            rows.append(
+                (
+                    entry.workload,
+                    f"{entry.constant_watts:.0f}",
+                    f"{cw[Component.SP]:.1f}", f"{cw[Component.INT]:.1f}",
+                    f"{cw[Component.DP]:.1f}", f"{cw[Component.SF]:.1f}",
+                    f"{cw[Component.SHARED]:.1f}", f"{cw[Component.L2]:.1f}",
+                    f"{cw[Component.DRAM]:.1f}",
+                    f"{entry.predicted_watts:.1f}",
+                    f"{entry.measured_watts:.1f}",
+                )
+            )
+        print(
+            format_table(
+                ["workload", "const", "SP", "INT", "DP", "SF", "SH", "L2",
+                 "DRAM", "pred W", "meas W"],
+                rows,
+            )
+        )
+        print(
+            f"MAE {report.mean_absolute_error_percent:.1f}%  "
+            f"constant (mean) {report.mean_constant_watts:.1f} W"
+        )
+    print(
+        f"\nDRAM power ratio (810/3505): {result.dram_power_ratio():.2f}; "
+        f"core components ratio: {result.core_power_ratio():.2f} "
+        "(paper: DRAM varies strongly, core components stay ~constant)"
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

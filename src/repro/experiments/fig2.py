@@ -1,0 +1,120 @@
+"""Figure 2 — DVFS impact on the power consumption of two applications.
+
+BlackScholes (CUDA SDK) and CUTCP (Parboil) on the GTX Titan X: measured
+average power across the core-frequency range at the default (3505 MHz) and
+lowest (810 MHz) memory frequencies, plus the per-component utilizations at
+the reference configuration. The paper's observations, which the run()
+result exposes directly:
+
+* the two applications draw very different power at the defaults
+  (181 W vs 135 W in the paper);
+* the memory-frequency drop costs BlackScholes ~52 % of its power but CUTCP
+  only ~24 %, because of their DRAM utilization gap;
+* power is *not* linear in the core frequency (implicit voltage scaling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.core.metrics import MetricCalculator, UtilizationVector
+from repro.experiments.common import Lab, get_lab
+from repro.hardware.components import Component
+from repro.hardware.specs import FrequencyConfig
+from repro.reporting.tables import format_table
+from repro.workloads import workload_by_name
+
+DEVICE = "GTX Titan X"
+APPLICATIONS = ("blackscholes", "cutcp")
+MEMORY_LEVELS = (3505.0, 810.0)
+
+
+@dataclass(frozen=True)
+class ApplicationCurves:
+    """Per-application measured power curves and reference utilizations."""
+
+    name: str
+    #: memory frequency -> {core frequency -> measured watts}
+    power_curves: Mapping[float, Dict[float, float]]
+    utilizations: UtilizationVector
+    reference_power_watts: float
+
+    def memory_drop_fraction(self) -> float:
+        """Relative power drop at the reference core frequency when the
+        memory frequency falls from the default to the lowest level."""
+        high = self.power_curves[MEMORY_LEVELS[0]]
+        low = self.power_curves[MEMORY_LEVELS[1]]
+        reference_core = min(set(high) & set(low), key=lambda f: abs(f - 975.0))
+        return 1.0 - low[reference_core] / high[reference_core]
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    device: str
+    applications: Tuple[ApplicationCurves, ...]
+
+    def application(self, name: str) -> ApplicationCurves:
+        for app in self.applications:
+            if app.name == name:
+                return app
+        raise KeyError(name)
+
+
+def run(lab: Optional[Lab] = None) -> Fig2Result:
+    lab = lab or get_lab()
+    session = lab.session(DEVICE)
+    spec = lab.spec(DEVICE)
+    calculator = MetricCalculator(spec)
+
+    applications = []
+    for name in APPLICATIONS:
+        kernel = workload_by_name(name)
+        utilizations = calculator.utilizations(session.collect_events(kernel))
+        curves: Dict[float, Dict[float, float]] = {}
+        for memory in MEMORY_LEVELS:
+            curve: Dict[float, float] = {}
+            for core in sorted(spec.core_frequencies_mhz):
+                measurement = session.measure_power(
+                    kernel, FrequencyConfig(core, memory)
+                )
+                curve[core] = measurement.average_watts
+            curves[memory] = curve
+        reference = session.measure_power(kernel, spec.reference)
+        applications.append(
+            ApplicationCurves(
+                name=name,
+                power_curves=curves,
+                utilizations=utilizations,
+                reference_power_watts=reference.average_watts,
+            )
+        )
+    return Fig2Result(device=spec.name, applications=tuple(applications))
+
+
+def main() -> Fig2Result:
+    result = run()
+    for app in result.applications:
+        print(f"\n=== {app.name} on {result.device} ===")
+        print(f"power at defaults: {app.reference_power_watts:.1f} W")
+        utilizations = {
+            component.value: round(app.utilizations[component], 2)
+            for component in Component
+            if app.utilizations[component] >= 0.01
+        }
+        print(f"utilizations @ reference: {utilizations}")
+        rows = []
+        high, low = (app.power_curves[m] for m in MEMORY_LEVELS)
+        for core in sorted(high):
+            rows.append((f"{core:.0f}", f"{high[core]:.1f}", f"{low[core]:.1f}"))
+        print(
+            format_table(
+                ["fcore (MHz)", "P @ fmem=3505 (W)", "P @ fmem=810 (W)"], rows
+            )
+        )
+        print(f"memory-frequency power drop: {100*app.memory_drop_fraction():.1f}%")
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""Figure 5 — the microbenchmark suite on the GTX Titan X.
+
+Panel A: per-component utilization of all 83 microbenchmarks at the default
+configuration, showing the intensity ladders at work (compute utilization
+rises, DRAM/L2 utilization falls along each ladder).
+
+Panel B: the fitted model's per-component power breakdown next to the
+measured total. The paper highlights a constant (utilization-independent)
+power of ~84 W at the defaults, a maximum dynamic share of ~49 % on a MIX
+microbenchmark, and a close fit on the training suite itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro.analysis.breakdown import BreakdownReport, breakdown_report
+from repro.core.metrics import MetricCalculator, UtilizationVector
+from repro.experiments.common import Lab, get_lab
+from repro.hardware.components import Component
+from repro.reporting.tables import format_table
+
+DEVICE = "GTX Titan X"
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    device: str
+    #: kernel name -> utilization vector at the reference configuration.
+    utilizations: Mapping[str, UtilizationVector]
+    #: kernel name -> microbenchmark group.
+    groups: Mapping[str, str]
+    breakdown: BreakdownReport
+
+    # ------------------------------------------------------------------
+    def group_utilizations(
+        self, group: str, component: Component
+    ) -> List[float]:
+        """One component's utilization along a group's intensity ladder."""
+        return [
+            self.utilizations[name][component]
+            for name, g in self.groups.items()
+            if g == group
+        ]
+
+    @property
+    def constant_watts(self) -> float:
+        return self.breakdown.mean_constant_watts
+
+    @property
+    def max_dynamic_share(self) -> float:
+        return self.breakdown.max_dynamic_share
+
+    @property
+    def fit_mae_percent(self) -> float:
+        return self.breakdown.mean_absolute_error_percent
+
+
+def run(lab: Optional[Lab] = None) -> Fig5Result:
+    lab = lab or get_lab()
+    session = lab.session(DEVICE)
+    calculator = MetricCalculator(lab.spec(DEVICE))
+    suite = lab.suite
+
+    utilizations: Dict[str, UtilizationVector] = {}
+    groups: Dict[str, str] = {}
+    for kernel in suite:
+        utilizations[kernel.name] = calculator.utilizations(
+            session.collect_events(kernel)
+        )
+        groups[kernel.name] = kernel.tags.get("group", "")
+
+    report = breakdown_report(lab.model(DEVICE), session, suite)
+    return Fig5Result(
+        device=lab.spec(DEVICE).name,
+        utilizations=utilizations,
+        groups=groups,
+        breakdown=report,
+    )
+
+
+def main() -> Fig5Result:
+    result = run()
+    print(f"=== Fig. 5 — microbenchmark suite on {result.device} ===")
+    rows = []
+    for entry in result.breakdown.entries:
+        u = result.utilizations[entry.workload]
+        rows.append(
+            (
+                entry.workload,
+                result.groups[entry.workload],
+                f"{u[Component.INT]:.2f}", f"{u[Component.SP]:.2f}",
+                f"{u[Component.DP]:.2f}", f"{u[Component.SF]:.2f}",
+                f"{u[Component.SHARED]:.2f}", f"{u[Component.L2]:.2f}",
+                f"{u[Component.DRAM]:.2f}",
+                f"{entry.measured_watts:.1f}",
+                f"{entry.predicted_watts:.1f}",
+            )
+        )
+    print(
+        format_table(
+            ["kernel", "group", "INT", "SP", "DP", "SF", "SH", "L2", "DRAM",
+             "meas W", "pred W"],
+            rows,
+        )
+    )
+    print(f"\nconstant power (mean)   : {result.constant_watts:.1f} W")
+    print(f"max dynamic share       : {100*result.max_dynamic_share:.1f}%")
+    print(f"suite fit MAE           : {result.fit_mae_percent:.2f}%")
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""Figure 6 — measured vs. predicted core voltage.
+
+The estimator infers the normalized core voltage of every configuration as a
+by-product of model construction; the paper validates those estimates
+against read-outs from third-party tools on the GTX Titan X and Titan Xp.
+Here the "measured" curve comes from the simulator's privileged
+``debug_true_voltage`` accessor — the stand-in for NVIDIA Inspector / MSI
+Afterburner (see DESIGN.md) — and the run() result reports, per device:
+
+* the predicted and measured V(f) curves at the default memory frequency;
+* a flat+linear two-region fit of the *predicted* curve, with the detected
+  breakpoint (the paper emphasizes the model finds the "breaking point
+  between the two distinct regions");
+* error statistics between the curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+from repro.analysis.voltage import (
+    VoltageCurveFit,
+    compare_curves,
+    fit_voltage_regions,
+)
+from repro.experiments.common import Lab, get_lab
+from repro.hardware.components import Domain
+from repro.hardware.specs import FrequencyConfig
+from repro.reporting.tables import format_table
+
+DEVICES = ("GTX Titan X", "Titan Xp")
+
+
+@dataclass(frozen=True)
+class DeviceVoltageResult:
+    device: str
+    predicted_curve: Mapping[float, float]
+    measured_curve: Mapping[float, float]
+    region_fit: VoltageCurveFit
+    true_breakpoint_mhz: float
+    errors: Mapping[str, float]
+
+    @property
+    def breakpoint_error_mhz(self) -> float:
+        return abs(self.region_fit.breakpoint_mhz - self.true_breakpoint_mhz)
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    devices: Tuple[DeviceVoltageResult, ...]
+
+    def device(self, name: str) -> DeviceVoltageResult:
+        for entry in self.devices:
+            if entry.device == name:
+                return entry
+        raise KeyError(name)
+
+
+def run(lab: Optional[Lab] = None) -> Fig6Result:
+    lab = lab or get_lab()
+    results = []
+    for device in DEVICES:
+        spec = lab.spec(device)
+        gpu = lab.gpu(device)
+        model = lab.model(device)
+        memory = spec.default_memory_mhz
+        predicted = model.core_voltage_curve(memory)
+        measured = {
+            core: gpu.debug_true_voltage(
+                Domain.CORE, FrequencyConfig(core, memory)
+            )
+            for core in sorted(spec.core_frequencies_mhz)
+        }
+        fit = fit_voltage_regions(predicted)
+        results.append(
+            DeviceVoltageResult(
+                device=spec.name,
+                predicted_curve=predicted,
+                measured_curve=measured,
+                region_fit=fit,
+                true_breakpoint_mhz=gpu.voltage_table.core_curve.breakpoint_mhz,
+                errors=compare_curves(predicted, measured),
+            )
+        )
+    return Fig6Result(devices=tuple(results))
+
+
+def main() -> Fig6Result:
+    result = run()
+    for entry in result.devices:
+        print(f"\n=== Fig. 6 — core voltage on {entry.device} ===")
+        rows = [
+            (f"{core:.0f}", f"{entry.predicted_curve[core]:.3f}",
+             f"{entry.measured_curve[core]:.3f}")
+            for core in sorted(entry.predicted_curve)
+        ]
+        print(format_table(["fcore (MHz)", "predicted V", "measured V"], rows))
+        print(
+            f"two-region fit: flat {entry.region_fit.flat_level:.3f} up to "
+            f"{entry.region_fit.breakpoint_mhz:.0f} MHz, then slope "
+            f"{entry.region_fit.slope_per_mhz*1000:.3f}/GHz "
+            f"(true breakpoint {entry.true_breakpoint_mhz:.0f} MHz)"
+        )
+        print(f"max |error|: {entry.errors['max_abs_error']:.3f}")
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Figure 8 — prediction error per memory frequency on the GTX Titan X.
+
+One panel per memory frequency (4005, 3505, 3300, 810 MHz), each sweeping
+all 16 core frequencies over the validation benchmarks. The paper's
+takeaways, exposed by the run() result:
+
+* overall MAE ~6 % across the whole 2x core / 4x memory range;
+* accuracy degrades with distance from the reference configuration — 4.9 %
+  at the reference memory frequency vs 8.7 % at 810 MHz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.analysis.validation import ValidationResult
+from repro.experiments.common import Lab, get_lab
+from repro.reporting.tables import format_table
+
+DEVICE = "GTX Titan X"
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    device: str
+    overall_mae_percent: float
+    mae_by_memory_mhz: Mapping[float, float]
+    #: memory frequency -> workload -> mean signed error (%).
+    signed_errors: Mapping[float, Dict[str, float]]
+
+    @property
+    def reference_memory_mae(self) -> float:
+        return self.mae_by_memory_mhz[3505.0]
+
+    @property
+    def low_memory_mae(self) -> float:
+        return self.mae_by_memory_mhz[810.0]
+
+
+def run(lab: Optional[Lab] = None) -> Fig8Result:
+    lab = lab or get_lab()
+    validation: ValidationResult = lab.validation(DEVICE)
+    by_memory = validation.error_by_memory_frequency()
+    signed: Dict[float, Dict[str, float]] = {}
+    for memory in by_memory:
+        subset = validation.restricted_to_memory_frequency(memory)
+        signed[memory] = subset.signed_error_by_workload()
+    return Fig8Result(
+        device=validation.device_name,
+        overall_mae_percent=validation.mean_absolute_error_percent,
+        mae_by_memory_mhz=dict(sorted(by_memory.items(), reverse=True)),
+        signed_errors=signed,
+    )
+
+
+def main() -> Fig8Result:
+    result = run()
+    print(f"=== Fig. 8 — error vs memory frequency on {result.device} ===")
+    rows = [
+        (f"{memory:.0f}", f"{mae:.1f}%")
+        for memory, mae in result.mae_by_memory_mhz.items()
+    ]
+    print(format_table(["fmem (MHz)", "MAE over 16 core levels"], rows))
+    print(f"\noverall MAE: {result.overall_mae_percent:.1f}% "
+          "(paper: 6.0% overall; 4.9% at 3505 MHz, 8.7% at 810 MHz)")
+    for memory, per_workload in result.signed_errors.items():
+        worst = max(per_workload.items(), key=lambda item: abs(item[1]))
+        print(
+            f"fmem={memory:.0f}: worst workload {worst[0]} "
+            f"({worst[1]:+.1f}% mean signed error)"
+        )
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,143 @@
+"""Figure 9 — input-size effects for matrixMulCUBLAS on the GTX Titan X.
+
+Three square-matrix sizes (64, 512, 4096): larger inputs raise the SP, L2
+and DRAM utilizations and with them the power at every core frequency. The
+model, fed with events of each size at the reference configuration, tracks
+the measured curves (paper: 6.8 % MAE). At f_core = 1164 MHz the 4096 case
+would exceed TDP, so the device falls back to the closest lower level
+(1126 MHz) — the paper's footnote (a), reproduced by the simulator's TDP
+policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.metrics import MetricCalculator, UtilizationVector
+from repro.experiments.common import Lab, get_lab
+from repro.hardware.components import Component
+from repro.hardware.specs import FrequencyConfig
+from repro.reporting.tables import format_table
+from repro.workloads.cuda_sdk import matrixmul_cublas
+
+DEVICE = "GTX Titan X"
+MATRIX_SIZES = (64, 512, 4096)
+MEMORY_MHZ = 3505.0
+
+
+@dataclass(frozen=True)
+class SizeSweep:
+    matrix_size: int
+    utilizations: UtilizationVector
+    #: core frequency requested -> (applied core frequency, measured W, predicted W)
+    sweep: Mapping[float, Tuple[float, float, float]]
+
+    @property
+    def mae_percent(self) -> float:
+        errors = [
+            abs(predicted - measured) / measured
+            for (_, measured, predicted) in self.sweep.values()
+        ]
+        return 100.0 * float(np.mean(errors))
+
+    @property
+    def reference_power_watts(self) -> float:
+        applied, measured, _ = self.sweep[975.0]
+        del applied
+        return measured
+
+    def throttled_levels(self) -> Dict[float, float]:
+        """requested -> applied core frequency, where they differ."""
+        return {
+            requested: applied
+            for requested, (applied, _, _) in self.sweep.items()
+            if abs(applied - requested) > 0.5
+        }
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    device: str
+    sizes: Tuple[SizeSweep, ...]
+
+    def size(self, matrix_size: int) -> SizeSweep:
+        for entry in self.sizes:
+            if entry.matrix_size == matrix_size:
+                return entry
+        raise KeyError(matrix_size)
+
+    @property
+    def overall_mae_percent(self) -> float:
+        return float(np.mean([entry.mae_percent for entry in self.sizes]))
+
+
+def run(lab: Optional[Lab] = None) -> Fig9Result:
+    lab = lab or get_lab()
+    spec = lab.spec(DEVICE)
+    session = lab.session(DEVICE)
+    model = lab.model(DEVICE)
+    calculator = MetricCalculator(spec)
+
+    sizes = []
+    for matrix_size in MATRIX_SIZES:
+        kernel = matrixmul_cublas(matrix_size, spec)
+        utilizations = calculator.utilizations(session.collect_events(kernel))
+        sweep: Dict[float, Tuple[float, float, float]] = {}
+        for core in sorted(spec.core_frequencies_mhz):
+            measurement = session.measure_power(
+                kernel, FrequencyConfig(core, MEMORY_MHZ)
+            )
+            predicted = model.predict_power(
+                utilizations, measurement.applied_config
+            )
+            sweep[core] = (
+                measurement.applied_config.core_mhz,
+                measurement.average_watts,
+                predicted,
+            )
+        sizes.append(
+            SizeSweep(
+                matrix_size=matrix_size,
+                utilizations=utilizations,
+                sweep=sweep,
+            )
+        )
+    return Fig9Result(device=spec.name, sizes=tuple(sizes))
+
+
+def main() -> Fig9Result:
+    result = run()
+    print(f"=== Fig. 9 — matrixMulCUBLAS input sizes on {result.device} ===")
+    for entry in result.sizes:
+        u = entry.utilizations
+        print(
+            f"\nmatrix {entry.matrix_size}x{entry.matrix_size}: "
+            f"SP={u[Component.SP]:.2f} SH={u[Component.SHARED]:.2f} "
+            f"L2={u[Component.L2]:.2f} DRAM={u[Component.DRAM]:.2f}"
+        )
+        rows = [
+            (f"{requested:.0f}", f"{applied:.0f}",
+             f"{measured:.1f}", f"{predicted:.1f}")
+            for requested, (applied, measured, predicted) in sorted(
+                entry.sweep.items()
+            )
+        ]
+        print(
+            format_table(
+                ["fcore req", "fcore applied", "measured W", "predicted W"],
+                rows,
+            )
+        )
+        throttled = entry.throttled_levels()
+        if throttled:
+            print(f"TDP throttling: {throttled} (paper footnote: 1164 -> 1126)")
+        print(f"MAE: {entry.mae_percent:.1f}%")
+    print(f"\noverall MAE: {result.overall_mae_percent:.1f}% (paper: 6.8%)")
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Counter-noise sweep — the paper's Kepler explanation as a curve.
+
+Sec. V-B attributes the Tesla K40c's higher error to "a reduced accuracy of
+the hardware events when characterizing the utilization of the GPU
+components". On real silicon that claim cannot be isolated; on the
+simulated substrate it can: re-run the *entire* pipeline (measure, fit,
+validate) on the same device with the measurement-chain noise scaled to
+0x, 0.5x, 1x, 2x and 4x of the Maxwell profile, and watch the validation
+MAE respond.
+
+Expected shape: MAE rises monotonically with the noise scale; the 0x point
+exposes the method's structural floor (reference-utilization transfer);
+around 4x the Maxwell noise, the error reaches the Kepler band — the
+paper's cross-device story reproduced on one device by turning a single
+knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.analysis.validation import validate_model
+from repro.core.estimation import fit_power_model
+from repro.driver.session import ProfilingSession
+from repro.experiments.common import Lab, get_lab
+from repro.hardware.gpu import SimulatedGPU
+from repro.hardware.noise import NOISE_PROFILES, scaled_profile
+from repro.reporting.tables import format_table
+from repro.workloads import all_workloads
+
+DEVICE = "GTX Titan X"
+NOISE_SCALES = (0.0, 0.5, 1.0, 2.0, 4.0)
+
+
+@dataclass(frozen=True)
+class NoiseSweepResult:
+    device: str
+    #: noise scale -> validation MAE (%).
+    mae_by_scale: Mapping[float, float]
+
+    @property
+    def structural_floor(self) -> float:
+        """Validation MAE with the measurement chain perfectly clean."""
+        return self.mae_by_scale[0.0]
+
+    @property
+    def nominal(self) -> float:
+        return self.mae_by_scale[1.0]
+
+    def is_monotone(self, tolerance: float = 0.3) -> bool:
+        """MAE non-decreasing in the noise scale (small tolerance for the
+        re-rolled noise realizations)."""
+        ordered = [self.mae_by_scale[s] for s in sorted(self.mae_by_scale)]
+        return all(b >= a - tolerance for a, b in zip(ordered, ordered[1:]))
+
+
+def run(lab: Optional[Lab] = None) -> NoiseSweepResult:
+    lab = lab or get_lab()
+    spec = lab.spec(DEVICE)
+    base_profile = NOISE_PROFILES[spec.architecture]
+
+    mae = {}
+    for scale in NOISE_SCALES:
+        gpu = SimulatedGPU(
+            spec,
+            settings=lab.settings,
+            noise_profile=scaled_profile(base_profile, scale),
+        )
+        session = ProfilingSession(gpu)
+        model, _ = fit_power_model(session)
+        result = validate_model(model, session, all_workloads())
+        mae[scale] = result.mean_absolute_error_percent
+    return NoiseSweepResult(device=spec.name, mae_by_scale=mae)
+
+
+def main() -> NoiseSweepResult:
+    result = run()
+    print(f"=== Counter/sensor-noise sweep on {result.device} ===")
+    rows = [
+        (f"{scale:.1f}x", f"{mae:.2f}%")
+        for scale, mae in sorted(result.mae_by_scale.items())
+    ]
+    print(format_table(["noise scale (vs Maxwell)", "validation MAE"], rows))
+    print(
+        f"\nstructural floor (0x): {result.structural_floor:.2f}%  |  "
+        f"nominal (1x): {result.nominal:.2f}%  |  "
+        "paper Kepler band: ~12%"
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,133 @@
+"""Sensitivity studies: how much microbenchmarking does the model need?
+
+The paper fixes its methodology at 83 microbenchmarks, power at every grid
+point and 10 measurement repeats; this experiment quantifies how the
+validation accuracy responds when those budgets shrink — the question a
+practitioner porting the method to a new device asks first.
+
+* **Suite size** — fit on a stratified subset of the microbenchmark suite
+  (every group keeps its proportional share, intensity ladders subsampled
+  evenly) and validate on the full Table-III set.
+* **Component coverage** — fit on single-group suites (arithmetic-only,
+  memory-only) to show why the suite must span all components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional
+
+from repro.analysis.validation import validate_model
+from repro.core.dataset import collect_training_dataset
+from repro.core.estimation import ModelEstimator
+from repro.experiments.common import Lab, get_lab
+from repro.kernels.kernel import KernelDescriptor
+from repro.microbench import build_suite, suite_group
+from repro.reporting.tables import format_table
+
+DEVICE = "GTX Titan X"
+
+#: Stratified suite-size steps (83 = the paper's full suite).
+SUITE_SIZES = (20, 40, 60, 83)
+
+
+def stratified_subset(size: int) -> List[KernelDescriptor]:
+    """A ``size``-kernel subset keeping every group proportionally covered.
+
+    Ladders are subsampled evenly (first/last always kept) so the intensity
+    range stays spanned; the Idle workload is always included.
+    """
+    suite = build_suite()
+    if size >= len(suite):
+        return list(suite)
+    groups: Mapping[str, List[KernelDescriptor]] = {}
+    for kernel in suite:
+        groups.setdefault(kernel.tags["group"], []).append(kernel)
+    total = len(suite)
+    chosen: List[KernelDescriptor] = []
+    for name, kernels in groups.items():
+        if name == "idle":
+            chosen.extend(kernels)
+            continue
+        quota = max(2, round(size * len(kernels) / total))
+        quota = min(quota, len(kernels))
+        if quota == len(kernels):
+            chosen.extend(kernels)
+            continue
+        # Even subsample keeping the ladder endpoints.
+        indices = [
+            round(i * (len(kernels) - 1) / (quota - 1)) for i in range(quota)
+        ]
+        chosen.extend(kernels[i] for i in sorted(set(indices)))
+    return chosen
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    device: str
+    #: suite size actually used -> validation MAE (%).
+    mae_by_suite_size: Mapping[int, float]
+    #: coverage label -> validation MAE (%).
+    mae_by_coverage: Mapping[str, float]
+
+    @property
+    def full_suite_mae(self) -> float:
+        return self.mae_by_suite_size[max(self.mae_by_suite_size)]
+
+
+def _fit_and_validate(lab: Lab, kernels: List[KernelDescriptor]) -> float:
+    session = lab.session(DEVICE)
+    dataset = collect_training_dataset(session, kernels)
+    model, _ = ModelEstimator(dataset).estimate()
+    result = validate_model(model, session, lab.workloads(DEVICE))
+    return result.mean_absolute_error_percent
+
+
+def run(lab: Optional[Lab] = None) -> SensitivityResult:
+    lab = lab or get_lab()
+
+    by_size = {}
+    for size in SUITE_SIZES:
+        kernels = stratified_subset(size)
+        by_size[len(kernels)] = _fit_and_validate(lab, kernels)
+
+    by_coverage = {
+        "arithmetic_only": _fit_and_validate(
+            lab,
+            suite_group("int") + suite_group("sp") + suite_group("dp")
+            + suite_group("sf") + suite_group("idle"),
+        ),
+        "memory_only": _fit_and_validate(
+            lab,
+            suite_group("l2") + suite_group("shared") + suite_group("dram")
+            + suite_group("idle"),
+        ),
+        "full": by_size[max(by_size)],
+    }
+    return SensitivityResult(
+        device=lab.spec(DEVICE).name,
+        mae_by_suite_size=by_size,
+        mae_by_coverage=by_coverage,
+    )
+
+
+def main() -> SensitivityResult:
+    result = run()
+    print(f"=== Sensitivity study on {result.device} ===")
+    rows = [
+        (size, f"{mae:.2f}%")
+        for size, mae in sorted(result.mae_by_suite_size.items())
+    ]
+    print(format_table(["suite size", "validation MAE"], rows,
+                       title="training-suite size:"))
+    rows = [
+        (label, f"{mae:.2f}%")
+        for label, mae in result.mae_by_coverage.items()
+    ]
+    print(format_table(["coverage", "validation MAE"], rows,
+                       title="\ncomponent coverage:"))
+    return result
+
+
+if __name__ == "__main__":
+    main()

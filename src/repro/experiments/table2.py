@@ -1,0 +1,76 @@
+"""Table II — the device specification sheet.
+
+Prints the same rows Table II reports for the three simulated devices and
+returns them structured for the benchmark assertions (frequency grid sizes,
+defaults, unit counts, TDP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+from repro.experiments.common import DEVICE_NAMES, Lab, get_lab
+from repro.hardware.specs import GPUSpec
+from repro.reporting.tables import format_table
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    specs: Tuple[GPUSpec, ...]
+
+    def spec(self, name: str) -> GPUSpec:
+        for spec in self.specs:
+            if spec.name == name:
+                return spec
+        raise KeyError(name)
+
+    def grid_sizes(self) -> Mapping[str, Tuple[int, int]]:
+        """device -> (core levels, memory levels)."""
+        return {
+            spec.name: (
+                len(spec.core_frequencies_mhz),
+                len(spec.memory_frequencies_mhz),
+            )
+            for spec in self.specs
+        }
+
+
+def run(lab: Optional[Lab] = None) -> Table2Result:
+    lab = lab or get_lab()
+    return Table2Result(
+        specs=tuple(lab.spec(name) for name in DEVICE_NAMES)
+    )
+
+
+def main() -> Table2Result:
+    result = run()
+    print("=== Table II — GPU devices ===")
+    rows = []
+    attributes = (
+        ("Base architecture", lambda s: s.architecture),
+        ("Compute capability", lambda s: s.compute_capability),
+        ("Memory frequencies (MHz)",
+         lambda s: "{" + ", ".join(f"{f:.0f}" for f in s.memory_frequencies_mhz) + "}"),
+        ("Core freq. range (MHz)",
+         lambda s: f"[{max(s.core_frequencies_mhz):.0f}:{min(s.core_frequencies_mhz):.0f}]"),
+        ("Number of core freq. levels", lambda s: len(s.core_frequencies_mhz)),
+        ("Default Mem. Frequency", lambda s: f"{s.default_memory_mhz:.0f}"),
+        ("Default Core Frequency", lambda s: f"{s.default_core_mhz:.0f}"),
+        ("Threads per warp", lambda s: s.warp_size),
+        ("Number of SMs", lambda s: s.sm_count),
+        ("Memory Bus Width", lambda s: f"{s.memory_bus_width_bytes}B"),
+        ("Shared mem. banks", lambda s: s.shared_memory_banks),
+        ("SP/INT Units/SM", lambda s: s.sp_int_units_per_sm),
+        ("DP Units/SM", lambda s: s.dp_units_per_sm),
+        ("SF Units/SM", lambda s: s.sf_units_per_sm),
+        ("TDP (W)", lambda s: f"{s.tdp_watts:.0f}"),
+    )
+    for label, getter in attributes:
+        rows.append([label] + [getter(spec) for spec in result.specs])
+    print(format_table(["attribute"] + [s.name for s in result.specs], rows))
+    return result
+
+
+if __name__ == "__main__":
+    main()

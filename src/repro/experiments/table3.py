@@ -1,0 +1,82 @@
+"""Table III — the validation benchmark list.
+
+26 applications from 4 suites (27 workload entries: K-Means contributes two
+kernels, as in the paper's figures), with their utilization signatures at
+the profiling device's reference configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+from repro.core.metrics import MetricCalculator, UtilizationVector
+from repro.experiments.common import Lab, get_lab
+from repro.hardware.components import Component
+from repro.kernels.kernel import KernelDescriptor
+from repro.reporting.tables import format_table
+from repro.workloads.registry import APPLICATION_COUNT, WORKLOAD_COUNT
+
+DEVICE = "GTX Titan X"
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    workloads: Tuple[KernelDescriptor, ...]
+    utilizations: Mapping[str, UtilizationVector]
+
+    def suites(self) -> Mapping[str, Tuple[str, ...]]:
+        grouped: dict = {}
+        for kernel in self.workloads:
+            grouped.setdefault(kernel.suite, []).append(kernel.name)
+        return {suite: tuple(names) for suite, names in grouped.items()}
+
+    @property
+    def workload_count(self) -> int:
+        return len(self.workloads)
+
+
+def run(lab: Optional[Lab] = None) -> Table3Result:
+    lab = lab or get_lab()
+    session = lab.session(DEVICE)
+    calculator = MetricCalculator(lab.spec(DEVICE))
+    workloads = tuple(lab.workloads(DEVICE))
+    utilizations = {
+        kernel.name: calculator.utilizations(session.collect_events(kernel))
+        for kernel in workloads
+    }
+    return Table3Result(workloads=workloads, utilizations=utilizations)
+
+
+def main() -> Table3Result:
+    result = run()
+    print("=== Table III — validation benchmarks ===")
+    print(
+        f"{APPLICATION_COUNT} applications / {WORKLOAD_COUNT} workload "
+        "entries from 4 suites\n"
+    )
+    rows = []
+    for kernel in result.workloads:
+        u = result.utilizations[kernel.name]
+        rows.append(
+            (
+                kernel.suite,
+                kernel.name,
+                f"{u[Component.SP]:.2f}", f"{u[Component.INT]:.2f}",
+                f"{u[Component.DP]:.2f}", f"{u[Component.SF]:.2f}",
+                f"{u[Component.SHARED]:.2f}", f"{u[Component.L2]:.2f}",
+                f"{u[Component.DRAM]:.2f}",
+            )
+        )
+    print(
+        format_table(
+            ["suite", "application", "SP", "INT", "DP", "SF", "SH", "L2",
+             "DRAM"],
+            rows,
+        )
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

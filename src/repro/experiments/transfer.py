@@ -1,0 +1,95 @@
+"""Cross-device model transfer — why every device gets its own campaign.
+
+Sec. VI criticizes Hong & Kim's approach for "lack[ing] the ability to make
+accurate predictions for different GPU architectures"; the proposed method
+avoids that trap by re-running the microbenchmark campaign per device. This
+experiment quantifies the trap: take the parameter vector fitted on one
+device, transplant it onto another (utilizations and event collection stay
+native to the target — those are device-specific anyway), and compare
+against the target's own fitted model.
+
+Transfer keeps the source's hardware coefficients and assumes V = 1
+everywhere (the source's voltage table is meaningless on the target's
+frequency grid). Expected shape: transferred models lose badly — several
+times the native error — in both directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+from repro.analysis.validation import validate_model
+from repro.core.model import DVFSPowerModel, VoltageEstimate
+from repro.experiments.common import Lab, get_lab
+from repro.reporting.tables import format_table
+
+DEVICE_PAIRS = (
+    ("GTX Titan X", "Titan Xp"),
+    ("Titan Xp", "GTX Titan X"),
+)
+
+
+def transplant(model: DVFSPowerModel, lab: Lab, target: str) -> DVFSPowerModel:
+    """The source model's parameter vector on the target's V-F grid."""
+    spec = lab.spec(target)
+    voltages = {
+        config: VoltageEstimate(1.0, 1.0)
+        for config in spec.all_configurations()
+    }
+    return DVFSPowerModel(
+        spec=spec, parameters=model.parameters, voltages=voltages
+    )
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    #: (source, target) -> (native MAE, transferred MAE), in percent.
+    pairs: Mapping[Tuple[str, str], Tuple[float, float]]
+
+    def degradation(self, source: str, target: str) -> float:
+        native, transferred = self.pairs[(source, target)]
+        return transferred / native
+
+
+def run(lab: Optional[Lab] = None) -> TransferResult:
+    lab = lab or get_lab()
+    pairs = {}
+    for source, target in DEVICE_PAIRS:
+        native_mae = lab.validation(target).mean_absolute_error_percent
+        transferred = transplant(lab.model(source), lab, target)
+        transferred_mae = validate_model(
+            transferred, lab.session(target), lab.workloads(target)
+        ).mean_absolute_error_percent
+        pairs[(source, target)] = (native_mae, transferred_mae)
+    return TransferResult(pairs=pairs)
+
+
+def main() -> TransferResult:
+    result = run()
+    print("=== Cross-device model transfer (Sec. VI motivation) ===")
+    rows = []
+    for (source, target), (native, transferred) in result.pairs.items():
+        rows.append(
+            (
+                f"{source} -> {target}",
+                f"{native:.1f}%",
+                f"{transferred:.1f}%",
+                f"x{transferred/native:.1f}",
+            )
+        )
+    print(
+        format_table(
+            ["direction", "native fit MAE", "transferred MAE", "degradation"],
+            rows,
+        )
+    )
+    print(
+        "\nper-device microbenchmarking is not optional: hardware "
+        "coefficients do not travel between architectures."
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Simulated GPU hardware substrate.
+
+This subpackage stands in for the three physical NVIDIA GPUs used in the
+paper (Titan Xp, GTX Titan X, Tesla K40c). It provides:
+
+* :mod:`repro.hardware.specs` — the architectural spec sheet of Table II;
+* :mod:`repro.hardware.components` — the modeled components and V-F domains;
+* :mod:`repro.hardware.voltage` — hidden ground-truth V(f) curves (Fig. 6);
+* :mod:`repro.hardware.power` — the hidden ground-truth power model;
+* :mod:`repro.hardware.performance` — a bottleneck kernel-timing model;
+* :mod:`repro.hardware.noise` — sensor and counter noise;
+* :mod:`repro.hardware.thermal` — TDP throttling (Fig. 9 footnote);
+* :mod:`repro.hardware.gpu` — :class:`SimulatedGPU`, the device itself.
+
+The power-model estimation code in :mod:`repro.core` never touches the hidden
+ground truth directly; it only sees what the driver layer
+(:mod:`repro.driver`) exposes, exactly as on real hardware.
+"""
+
+from repro.hardware.components import Component, Domain, COMPONENT_DOMAINS
+from repro.hardware.specs import (
+    GPUSpec,
+    TITAN_XP,
+    GTX_TITAN_X,
+    TESLA_K40C,
+    ALL_GPUS,
+    gpu_spec_by_name,
+)
+
+_LAZY_EXPORTS = ("SimulatedGPU", "KernelRunResult")
+
+
+def __getattr__(name):
+    # SimulatedGPU pulls in the kernel-descriptor layer, which itself uses
+    # repro.hardware.components; importing it lazily keeps
+    # ``import repro.kernels`` free of a circular import.
+    if name in _LAZY_EXPORTS:
+        from repro.hardware import gpu as _gpu
+
+        return getattr(_gpu, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "Component",
+    "Domain",
+    "COMPONENT_DOMAINS",
+    "GPUSpec",
+    "TITAN_XP",
+    "GTX_TITAN_X",
+    "TESLA_K40C",
+    "ALL_GPUS",
+    "gpu_spec_by_name",
+    "SimulatedGPU",
+    "KernelRunResult",
+]

@@ -1,0 +1,92 @@
+"""GPU components and voltage-frequency domains.
+
+The paper models seven components (Sec. III-B): the integer, single- and
+double-precision and special-function units, the shared memory, the L2 cache
+and the DRAM. The first six live in the *core* V-F domain (the L2 cache is
+explicitly part of the core domain in Sec. III-A); the DRAM is the only
+component of the *memory* domain.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Mapping, Tuple
+
+
+class Domain(enum.Enum):
+    """An independent voltage-frequency domain of the GPU (Fig. 1)."""
+
+    CORE = "core"
+    MEMORY = "memory"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Component(enum.Enum):
+    """A modeled architectural component (Sec. III-B)."""
+
+    INT = "int"
+    SP = "sp"
+    DP = "dp"
+    SF = "sf"
+    SHARED = "shared"
+    L2 = "l2"
+    DRAM = "dram"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def is_compute_unit(self) -> bool:
+        """Whether utilization follows Eq. 8 (warp counting)."""
+        return self in _COMPUTE_UNITS
+
+    @property
+    def is_memory_level(self) -> bool:
+        """Whether utilization follows Eq. 9 (achieved/peak bandwidth)."""
+        return self in _MEMORY_LEVELS
+
+    @property
+    def domain(self) -> Domain:
+        """The V-F domain this component operates under."""
+        return COMPONENT_DOMAINS[self]
+
+
+_COMPUTE_UNITS = (Component.INT, Component.SP, Component.DP, Component.SF)
+_MEMORY_LEVELS = (Component.SHARED, Component.L2, Component.DRAM)
+
+#: Mapping of each component to its V-F domain.
+COMPONENT_DOMAINS: Mapping[Component, Domain] = {
+    Component.INT: Domain.CORE,
+    Component.SP: Domain.CORE,
+    Component.DP: Domain.CORE,
+    Component.SF: Domain.CORE,
+    Component.SHARED: Domain.CORE,
+    Component.L2: Domain.CORE,
+    Component.DRAM: Domain.MEMORY,
+}
+
+#: Components of the core domain, in the canonical order used by the model
+#: parameter vector (omega_1 ... omega_Ncore in Eq. 6).
+CORE_COMPONENTS: Tuple[Component, ...] = (
+    Component.INT,
+    Component.SP,
+    Component.DP,
+    Component.SF,
+    Component.SHARED,
+    Component.L2,
+)
+
+#: Components of the memory domain (omega_mem in Eq. 7).
+MEMORY_COMPONENTS: Tuple[Component, ...] = (Component.DRAM,)
+
+#: All modeled components, core first then memory.
+ALL_COMPONENTS: Tuple[Component, ...] = CORE_COMPONENTS + MEMORY_COMPONENTS
+
+
+def components_of(domain: Domain) -> Tuple[Component, ...]:
+    """The modeled components operating under ``domain``."""
+    if domain is Domain.CORE:
+        return CORE_COMPONENTS
+    return MEMORY_COMPONENTS

@@ -1,0 +1,189 @@
+"""Custom simulated devices — porting the methodology to new GPUs.
+
+The paper argues its methodology carries to any device with independent V-F
+domains; everything in the pipeline is parameterized by the
+:class:`~repro.hardware.specs.GPUSpec`. This module makes defining a new
+device ergonomic:
+
+* :func:`build_spec` — construct a spec from the quantities a datasheet
+  provides (frequency ranges, unit counts, bus width), generating an evenly
+  spaced core-frequency ladder through the default level;
+* :func:`scaled_ground_truth` — plausible hidden power physics for the new
+  device, scaled from the calibrated GTX Titan X parameters by relative
+  throughput (per-component lane counts x SMs x clocks for the core side,
+  peak bandwidth for the DRAM side);
+* :func:`custom_gpu` — the assembled :class:`SimulatedGPU`.
+
+The generated device is *not* a real product model — it is a consistent
+sandbox on which the full fit/validate pipeline runs unchanged (see
+``examples/custom_gpu.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import DEFAULT_SETTINGS, SimulationSettings
+from repro.errors import SpecError
+from repro.hardware.components import Component
+from repro.hardware.gpu import SimulatedGPU
+from repro.hardware.power import (
+    GROUND_TRUTH_PARAMETERS,
+    GroundTruthParameters,
+)
+from repro.hardware.specs import GPUSpec, GTX_TITAN_X
+from repro.hardware.voltage import (
+    VoltageCurve,
+    VoltageTable,
+    default_voltage_table,
+)
+
+
+def evenly_spaced_levels(
+    low_mhz: float, high_mhz: float, count: int, include: float
+) -> Tuple[float, ...]:
+    """``count`` rounded levels from low to high, adjusted to contain
+    ``include`` exactly (the default level must be a supported level)."""
+    if count < 2:
+        raise SpecError("need at least two frequency levels")
+    if not low_mhz < high_mhz:
+        raise SpecError("frequency range must be increasing")
+    if not low_mhz <= include <= high_mhz:
+        raise SpecError("default frequency must lie inside the range")
+    levels = list(np.round(np.linspace(low_mhz, high_mhz, count)))
+    nearest = min(range(count), key=lambda i: abs(levels[i] - include))
+    levels[nearest] = float(include)
+    if len(set(levels)) != count:
+        raise SpecError("frequency range too narrow for the level count")
+    return tuple(levels)
+
+
+def build_spec(
+    name: str,
+    sm_count: int,
+    core_range_mhz: Tuple[float, float],
+    core_levels: int,
+    default_core_mhz: float,
+    memory_levels_mhz: Sequence[float],
+    default_memory_mhz: float,
+    sp_int_units_per_sm: int = 128,
+    dp_units_per_sm: int = 4,
+    sf_units_per_sm: int = 32,
+    memory_bus_width_bytes: int = 48,
+    l2_bytes_per_cycle: float = 1024.0,
+    tdp_watts: float = 250.0,
+    architecture: str = "Custom",
+    compute_capability: str = "0.0",
+    nvml_refresh_ms: float = 50.0,
+) -> GPUSpec:
+    """A :class:`GPUSpec` from datasheet-style inputs."""
+    return GPUSpec(
+        name=name,
+        architecture=architecture,
+        compute_capability=compute_capability,
+        sm_count=sm_count,
+        warp_size=32,
+        core_frequencies_mhz=evenly_spaced_levels(
+            core_range_mhz[0], core_range_mhz[1], core_levels,
+            default_core_mhz,
+        ),
+        memory_frequencies_mhz=tuple(memory_levels_mhz),
+        default_core_mhz=default_core_mhz,
+        default_memory_mhz=default_memory_mhz,
+        sp_int_units_per_sm=sp_int_units_per_sm,
+        dp_units_per_sm=dp_units_per_sm,
+        sf_units_per_sm=sf_units_per_sm,
+        shared_memory_banks=32,
+        shared_bank_bytes=4,
+        memory_bus_width_bytes=memory_bus_width_bytes,
+        memory_data_rate=2,
+        l2_bytes_per_cycle=l2_bytes_per_cycle,
+        tdp_watts=tdp_watts,
+        nvml_refresh_ms=nvml_refresh_ms,
+    )
+
+
+def scaled_ground_truth(
+    spec: GPUSpec, reference: Optional[GroundTruthParameters] = None
+) -> GroundTruthParameters:
+    """Hidden power parameters for a custom device, scaled from Maxwell.
+
+    Core-side dynamic budgets scale with relative per-component throughput
+    (lanes x SMs x default clock); DRAM with relative peak bandwidth; static
+    and idle terms with SM count and memory bandwidth. A mild square-root
+    damping reflects that bigger parts also get better process/power tuning.
+    """
+    base_spec = GTX_TITAN_X
+    base = reference or GROUND_TRUTH_PARAMETERS[base_spec.name]
+
+    def damped(ratio: float) -> float:
+        return float(np.sqrt(max(ratio, 1e-6)))
+
+    core_clock_ratio = spec.default_core_mhz / base_spec.default_core_mhz
+    sm_ratio = spec.sm_count / base_spec.sm_count
+    dram_ratio = spec.dram_peak_bandwidth(
+        spec.default_memory_mhz
+    ) / base_spec.dram_peak_bandwidth(base_spec.default_memory_mhz)
+
+    dynamic = {}
+    for component, watts in base.dynamic_full_watts.items():
+        if component is Component.DRAM:
+            dynamic[component] = watts * damped(dram_ratio)
+            continue
+        if component.is_compute_unit:
+            unit_ratio = (
+                spec.units_per_sm(component)
+                / base_spec.units_per_sm(component)
+            )
+        elif component is Component.L2:
+            unit_ratio = spec.l2_bytes_per_cycle / base_spec.l2_bytes_per_cycle
+        else:  # shared memory
+            unit_ratio = 1.0
+        throughput_ratio = unit_ratio * sm_ratio * core_clock_ratio
+        dynamic[component] = watts * damped(throughput_ratio)
+
+    return GroundTruthParameters(
+        static_core_watts=base.static_core_watts * damped(sm_ratio),
+        static_mem_watts=base.static_mem_watts * damped(dram_ratio),
+        idle_core_watts=base.idle_core_watts * damped(sm_ratio),
+        idle_mem_watts=base.idle_mem_watts * damped(dram_ratio),
+        dynamic_full_watts=dynamic,
+        issue_full_watts=base.issue_full_watts * damped(sm_ratio),
+    )
+
+
+def custom_gpu(
+    spec: GPUSpec,
+    settings: SimulationSettings = DEFAULT_SETTINGS,
+    voltage_flat_level: float = 0.88,
+    voltage_breakpoint_fraction: float = 0.55,
+    tdp_throttling: bool = True,
+) -> SimulatedGPU:
+    """A fully assembled simulated device for a custom spec.
+
+    The hidden core-voltage curve is flat below
+    ``voltage_breakpoint_fraction`` of the frequency range and linear above,
+    anchored at 1.0 at the default core frequency — the Fig. 6 shape.
+    """
+    frequencies = spec.core_frequencies_mhz
+    breakpoint = min(frequencies) + voltage_breakpoint_fraction * (
+        max(frequencies) - min(frequencies)
+    )
+    voltage_table = VoltageTable(
+        core_curve=VoltageCurve.through_reference(
+            flat_level=voltage_flat_level,
+            breakpoint_mhz=breakpoint,
+            reference_mhz=spec.default_core_mhz,
+        ),
+        memory_curve=default_voltage_table(spec).memory_curve,
+        default_memory_mhz=spec.default_memory_mhz,
+    )
+    return SimulatedGPU(
+        spec,
+        settings=settings,
+        parameters=scaled_ground_truth(spec),
+        voltage_table=voltage_table,
+        tdp_throttling=tdp_throttling,
+    )

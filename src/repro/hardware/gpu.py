@@ -1,0 +1,164 @@
+"""The simulated GPU device.
+
+:class:`SimulatedGPU` stands in for one physical board. It combines the
+public spec sheet (:class:`~repro.hardware.specs.GPUSpec`) with the hidden
+ground truth — voltage curves, power parameters, noise profile — and executes
+kernel descriptors, producing the true execution profile and power draw that
+the driver layer (:mod:`repro.driver`) then observes imperfectly.
+
+``debug_*`` methods expose the hidden state for experiments that the paper
+also performed out-of-band (e.g. reading voltages with NVIDIA Inspector for
+Fig. 6) and for tests. The modeling code in :mod:`repro.core` must never call
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import DEFAULT_SETTINGS, SimulationSettings
+from repro.hardware.components import Domain
+from repro.hardware.noise import NoiseProfile, noise_profile_for  # noqa: F401
+from repro.hardware.performance import ExecutionProfile, PerformanceModel
+from repro.hardware.power import (
+    GroundTruthParameters,
+    GroundTruthPowerModel,
+    PowerBreakdown,
+)
+from repro.hardware.specs import FrequencyConfig, GPUSpec
+from repro.hardware.thermal import TDPPolicy, ThrottleDecision
+from repro.hardware.voltage import VoltageTable, default_voltage_table
+from repro.kernels.kernel import KernelDescriptor
+
+
+@dataclass(frozen=True)
+class KernelRunResult:
+    """Ground-truth outcome of executing one kernel on the device."""
+
+    kernel: KernelDescriptor
+    requested_config: FrequencyConfig
+    applied_config: FrequencyConfig
+    profile: ExecutionProfile
+    true_power_watts: float
+    breakdown: PowerBreakdown
+
+    @property
+    def throttled(self) -> bool:
+        """Whether TDP throttling lowered the core frequency (Fig. 9)."""
+        return self.requested_config != self.applied_config
+
+    @property
+    def duration_seconds(self) -> float:
+        """Elapsed time of a single kernel run."""
+        return self.profile.duration_seconds
+
+
+class SimulatedGPU:
+    """One simulated device (Titan Xp, GTX Titan X or Tesla K40c)."""
+
+    def __init__(
+        self,
+        spec: GPUSpec,
+        settings: SimulationSettings = DEFAULT_SETTINGS,
+        parameters: Optional[GroundTruthParameters] = None,
+        voltage_table: Optional[VoltageTable] = None,
+        tdp_throttling: bool = True,
+        noise_profile: Optional[NoiseProfile] = None,
+    ) -> None:
+        """``noise_profile`` overrides the architecture's measurement-chain
+        noise — the knob of the noise-sweep experiment."""
+        self.spec = spec
+        self.settings = settings
+        self._noise_profile = noise_profile or noise_profile_for(
+            spec.architecture
+        )
+        self.voltage_table = voltage_table or default_voltage_table(spec)
+        self.performance_model = PerformanceModel(spec)
+        self.power_model = GroundTruthPowerModel(
+            spec,
+            parameters=parameters,
+            voltage_table=self.voltage_table,
+            settings=settings,
+            noise_profile=self._noise_profile,
+        )
+        self.tdp_policy = TDPPolicy(spec, enabled=tdp_throttling)
+        # Kernel execution is deterministic in (kernel work, configuration),
+        # so results are memoized — the measurement layer re-runs the same
+        # kernel many times (median-of-10, sensor sampling, TDP probing).
+        self._run_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self, kernel: KernelDescriptor, config: Optional[FrequencyConfig] = None
+    ) -> KernelRunResult:
+        """Execute a kernel at a configuration (default: device defaults).
+
+        TDP throttling is resolved first: the device may run at a lower core
+        frequency than requested (Fig. 9 footnote). The returned result
+        reports both the requested and the applied configuration.
+        """
+        requested = self.spec.validate_configuration(config or self.spec.reference)
+        cache_key = (
+            kernel.cache_key, requested.core_mhz, requested.memory_mhz
+        )
+        cached = self._run_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        decision = self._resolve_throttle(kernel, requested)
+        profile = self.performance_model.profile(kernel, decision.applied)
+        breakdown = self.power_model.breakdown(profile)
+        result = KernelRunResult(
+            kernel=kernel,
+            requested_config=decision.requested,
+            applied_config=decision.applied,
+            profile=profile,
+            true_power_watts=breakdown.total_watts,
+            breakdown=breakdown,
+        )
+        self._run_cache[cache_key] = result
+        return result
+
+    def idle_power_watts(self, config: Optional[FrequencyConfig] = None) -> float:
+        """True power of the awake-but-idle device at a configuration."""
+        from repro.kernels.kernel import idle_kernel
+
+        return self.run(idle_kernel(), config).true_power_watts
+
+    def _resolve_throttle(
+        self, kernel: KernelDescriptor, requested: FrequencyConfig
+    ) -> ThrottleDecision:
+        def power_at(candidate: FrequencyConfig) -> float:
+            profile = self.performance_model.profile(kernel, candidate)
+            return self.power_model.average_power_watts(profile)
+
+        return self.tdp_policy.apply(requested, power_at)
+
+    # ------------------------------------------------------------------
+    # Privileged (out-of-band) accessors
+    # ------------------------------------------------------------------
+    def debug_true_voltage(self, domain: Domain, config: FrequencyConfig) -> float:
+        """Hidden normalized voltage — the Fig. 6 "measured voltage" stand-in
+        for the third-party read-out tools used in the paper."""
+        return self.voltage_table.voltage(
+            domain, self.spec.validate_configuration(config)
+        )
+
+    def debug_true_breakdown(
+        self, kernel: KernelDescriptor, config: Optional[FrequencyConfig] = None
+    ) -> PowerBreakdown:
+        """Hidden ground-truth power decomposition (tests only)."""
+        return self.run(kernel, config).breakdown
+
+    @property
+    def noise_profile(self) -> NoiseProfile:
+        """The measurement-chain noise magnitudes of this device."""
+        return self._noise_profile
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SimulatedGPU({self.spec.name!r}, {self.spec.architecture}, "
+            f"{self.spec.sm_count} SMs)"
+        )

@@ -1,0 +1,279 @@
+"""GPU specification sheets (Table II of the paper).
+
+:class:`GPUSpec` captures the publicly documented device characteristics the
+model relies on: the supported frequency levels of both V-F domains, the
+per-SM unit counts used in Eq. 8, and the quantities needed to derive the
+peak bandwidths of Eq. 9. Three instances replicate the paper's devices:
+``TITAN_XP`` (Pascal), ``GTX_TITAN_X`` (Maxwell) and ``TESLA_K40C`` (Kepler).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import FrequencyError, SpecError
+from repro.hardware.components import Component
+from repro.units import find_frequency_level, mhz_to_hz
+
+
+@dataclass(frozen=True)
+class FrequencyConfig:
+    """A (core, memory) frequency pair in MHz — one point of the V-F grid."""
+
+    core_mhz: float
+    memory_mhz: float
+
+    def __post_init__(self) -> None:
+        if self.core_mhz <= 0 or self.memory_mhz <= 0:
+            raise SpecError(
+                f"frequencies must be positive, got {self.core_mhz}/{self.memory_mhz}"
+            )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"(fcore={self.core_mhz:.0f} MHz, fmem={self.memory_mhz:.0f} MHz)"
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Architectural description of one GPU device (Table II)."""
+
+    name: str
+    architecture: str
+    compute_capability: str
+    sm_count: int
+    warp_size: int
+    core_frequencies_mhz: Tuple[float, ...]
+    memory_frequencies_mhz: Tuple[float, ...]
+    default_core_mhz: float
+    default_memory_mhz: float
+    #: SP and INT share the same execution units on these devices (Sec. III-C).
+    sp_int_units_per_sm: int
+    dp_units_per_sm: int
+    sf_units_per_sm: int
+    shared_memory_banks: int
+    #: Bytes transferred per shared-memory bank per cycle.
+    shared_bank_bytes: int
+    #: DRAM bus width in bytes (Table II reports 48 B for all three GPUs).
+    memory_bus_width_bytes: int
+    #: DRAM data-rate multiplier (GDDR5 transfers on both clock edges).
+    memory_data_rate: int
+    #: Experimentally determined L2 bandwidth, in bytes per core cycle
+    #: (Sec. III-C: not derivable from public specs; measured with the L2
+    #: microbenchmarks).
+    l2_bytes_per_cycle: float
+    tdp_watts: float
+    #: NVML power-sensor refresh period (Sec. V-A): 35 ms on the Titan Xp,
+    #: 100 ms on the GTX Titan X, 15 ms on the Tesla K40c.
+    nvml_refresh_ms: float
+    #: Number of DRAM frame-buffer sub-partitions (fb_subp events).
+    dram_subpartitions: int = 2
+    #: Number of L2 sub-partitions (l2_subp events).
+    l2_subpartitions: int = 2
+
+    def __post_init__(self) -> None:
+        if self.sm_count <= 0:
+            raise SpecError(f"{self.name}: sm_count must be positive")
+        if self.warp_size <= 0:
+            raise SpecError(f"{self.name}: warp_size must be positive")
+        if not self.core_frequencies_mhz or not self.memory_frequencies_mhz:
+            raise SpecError(f"{self.name}: frequency levels must be non-empty")
+        if find_frequency_level(self.default_core_mhz, self.core_frequencies_mhz) is None:
+            raise SpecError(
+                f"{self.name}: default core frequency {self.default_core_mhz} "
+                "is not one of the supported levels"
+            )
+        if (
+            find_frequency_level(self.default_memory_mhz, self.memory_frequencies_mhz)
+            is None
+        ):
+            raise SpecError(
+                f"{self.name}: default memory frequency {self.default_memory_mhz} "
+                "is not one of the supported levels"
+            )
+
+    # ------------------------------------------------------------------
+    # Frequency levels
+    # ------------------------------------------------------------------
+    @property
+    def reference(self) -> FrequencyConfig:
+        """The reference configuration (device defaults, Sec. III-D)."""
+        return FrequencyConfig(self.default_core_mhz, self.default_memory_mhz)
+
+    @property
+    def max_configuration(self) -> FrequencyConfig:
+        """Highest core and memory frequencies (used for the >= 1 s rule)."""
+        return FrequencyConfig(
+            max(self.core_frequencies_mhz), max(self.memory_frequencies_mhz)
+        )
+
+    def all_configurations(self) -> Tuple[FrequencyConfig, ...]:
+        """The full V-F grid, memory-major then core descending."""
+        return tuple(
+            FrequencyConfig(fc, fm)
+            for fm in sorted(self.memory_frequencies_mhz, reverse=True)
+            for fc in sorted(self.core_frequencies_mhz, reverse=True)
+        )
+
+    def validate_configuration(self, config: FrequencyConfig) -> FrequencyConfig:
+        """Snap ``config`` to supported levels or raise :class:`FrequencyError`."""
+        core = find_frequency_level(config.core_mhz, self.core_frequencies_mhz)
+        if core is None:
+            raise FrequencyError("core", config.core_mhz, self.core_frequencies_mhz)
+        memory = find_frequency_level(
+            config.memory_mhz, self.memory_frequencies_mhz
+        )
+        if memory is None:
+            raise FrequencyError(
+                "memory", config.memory_mhz, self.memory_frequencies_mhz
+            )
+        return FrequencyConfig(core, memory)
+
+    # ------------------------------------------------------------------
+    # Unit counts and peak rates
+    # ------------------------------------------------------------------
+    def units_per_sm(self, component: Component) -> int:
+        """``UnitsPerSM_x`` of Eq. 8 for a compute unit."""
+        counts = {
+            Component.INT: self.sp_int_units_per_sm,
+            Component.SP: self.sp_int_units_per_sm,
+            Component.DP: self.dp_units_per_sm,
+            Component.SF: self.sf_units_per_sm,
+        }
+        if component not in counts:
+            raise SpecError(f"{component} is not a compute unit")
+        return counts[component]
+
+    def peak_warp_rate(self, component: Component, core_mhz: float) -> float:
+        """Peak warp-instruction throughput of unit ``component`` (warps/s).
+
+        A unit array of ``UnitsPerSM`` lanes retires ``UnitsPerSM / WarpSize``
+        warp-instructions per SM per cycle when fully pumped.
+        """
+        units = self.units_per_sm(component)
+        return units / self.warp_size * self.sm_count * mhz_to_hz(core_mhz)
+
+    def dram_peak_bandwidth(self, memory_mhz: float) -> float:
+        """Peak DRAM bandwidth in bytes/s at a memory frequency (Eq. 9)."""
+        return (
+            mhz_to_hz(memory_mhz)
+            * self.memory_bus_width_bytes
+            * self.memory_data_rate
+        )
+
+    def shared_peak_bandwidth(self, core_mhz: float) -> float:
+        """Peak shared-memory bandwidth in bytes/s at a core frequency."""
+        per_sm = self.shared_memory_banks * self.shared_bank_bytes
+        return mhz_to_hz(core_mhz) * per_sm * self.sm_count
+
+    def l2_peak_bandwidth(self, core_mhz: float) -> float:
+        """Peak L2 bandwidth in bytes/s (experimentally determined B/cycle)."""
+        return mhz_to_hz(core_mhz) * self.l2_bytes_per_cycle
+
+    def peak_bandwidth(self, component: Component, config: FrequencyConfig) -> float:
+        """``PeakBand_y`` of Eq. 9 for a memory-hierarchy level."""
+        if component is Component.DRAM:
+            return self.dram_peak_bandwidth(config.memory_mhz)
+        if component is Component.SHARED:
+            return self.shared_peak_bandwidth(config.core_mhz)
+        if component is Component.L2:
+            return self.l2_peak_bandwidth(config.core_mhz)
+        raise SpecError(f"{component} is not a memory-hierarchy level")
+
+
+# ----------------------------------------------------------------------
+# Table II instances
+# ----------------------------------------------------------------------
+
+TITAN_XP = GPUSpec(
+    name="Titan Xp",
+    architecture="Pascal",
+    compute_capability="6.1",
+    sm_count=30,
+    warp_size=32,
+    core_frequencies_mhz=(
+        582, 645, 708, 771, 835, 898, 961, 1024, 1088, 1151, 1214,
+        1278, 1341, 1404, 1468, 1531, 1594, 1658, 1721, 1784, 1848, 1911,
+    ),
+    memory_frequencies_mhz=(5705, 4705),
+    default_core_mhz=1404,
+    default_memory_mhz=5705,
+    sp_int_units_per_sm=128,
+    dp_units_per_sm=4,
+    sf_units_per_sm=32,
+    shared_memory_banks=32,
+    shared_bank_bytes=4,
+    memory_bus_width_bytes=48,
+    memory_data_rate=2,
+    l2_bytes_per_cycle=1536.0,
+    tdp_watts=250.0,
+    nvml_refresh_ms=35.0,
+    dram_subpartitions=2,
+    l2_subpartitions=2,
+)
+
+GTX_TITAN_X = GPUSpec(
+    name="GTX Titan X",
+    architecture="Maxwell",
+    compute_capability="5.2",
+    sm_count=24,
+    warp_size=32,
+    core_frequencies_mhz=(
+        595, 633, 671, 709, 747, 785, 823, 861,
+        899, 937, 975, 1013, 1050, 1088, 1126, 1164,
+    ),
+    memory_frequencies_mhz=(4005, 3505, 3300, 810),
+    default_core_mhz=975,
+    default_memory_mhz=3505,
+    sp_int_units_per_sm=128,
+    dp_units_per_sm=4,
+    sf_units_per_sm=32,
+    shared_memory_banks=32,
+    shared_bank_bytes=4,
+    memory_bus_width_bytes=48,
+    memory_data_rate=2,
+    l2_bytes_per_cycle=1024.0,
+    tdp_watts=250.0,
+    nvml_refresh_ms=100.0,
+    dram_subpartitions=2,
+    l2_subpartitions=2,
+)
+
+TESLA_K40C = GPUSpec(
+    name="Tesla K40c",
+    architecture="Kepler",
+    compute_capability="3.5",
+    sm_count=15,
+    warp_size=32,
+    core_frequencies_mhz=(666, 745, 810, 875),
+    memory_frequencies_mhz=(3004,),
+    default_core_mhz=875,
+    default_memory_mhz=3004,
+    sp_int_units_per_sm=192,
+    dp_units_per_sm=64,
+    sf_units_per_sm=32,
+    shared_memory_banks=32,
+    shared_bank_bytes=4,
+    memory_bus_width_bytes=48,
+    memory_data_rate=2,
+    l2_bytes_per_cycle=512.0,
+    tdp_watts=235.0,
+    nvml_refresh_ms=15.0,
+    dram_subpartitions=2,
+    l2_subpartitions=4,
+)
+
+#: All simulated devices, in the order the paper reports them.
+ALL_GPUS: Tuple[GPUSpec, ...] = (TITAN_XP, GTX_TITAN_X, TESLA_K40C)
+
+_BY_NAME: Dict[str, GPUSpec] = {spec.name.lower(): spec for spec in ALL_GPUS}
+_BY_NAME.update({spec.architecture.lower(): spec for spec in ALL_GPUS})
+
+
+def gpu_spec_by_name(name: str) -> GPUSpec:
+    """Look up a spec by device name or architecture (case-insensitive)."""
+    key = name.strip().lower()
+    if key not in _BY_NAME:
+        known = sorted({spec.name for spec in ALL_GPUS})
+        raise SpecError(f"unknown GPU {name!r}; known devices: {known}")
+    return _BY_NAME[key]

@@ -1,0 +1,61 @@
+"""TDP throttling policy (Fig. 9 footnote).
+
+When the power drawn at a requested configuration would exceed the board's
+TDP, the real driver automatically decreases the core frequency to the
+closest lower level that does not violate the limit — the paper documents
+exactly this on the GTX Titan X, where matrixMulCUBLAS at f_core = 1164 MHz
+falls back to 1126 MHz. :class:`TDPPolicy` reproduces that rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.hardware.specs import FrequencyConfig, GPUSpec
+from repro.units import closest_lower_level
+
+
+@dataclass(frozen=True)
+class ThrottleDecision:
+    """Outcome of applying the TDP policy to one requested configuration."""
+
+    requested: FrequencyConfig
+    applied: FrequencyConfig
+
+    @property
+    def throttled(self) -> bool:
+        return self.requested != self.applied
+
+
+class TDPPolicy:
+    """Drops the core frequency level-by-level until power fits under TDP."""
+
+    def __init__(self, spec: GPUSpec, enabled: bool = True) -> None:
+        self.spec = spec
+        self.enabled = enabled
+
+    def apply(
+        self,
+        requested: FrequencyConfig,
+        power_at: Callable[[FrequencyConfig], float],
+    ) -> ThrottleDecision:
+        """Resolve the configuration the device will actually run at.
+
+        ``power_at`` evaluates the (ground-truth) average power at a candidate
+        configuration. The memory frequency is never touched; only the core
+        clock falls back, mirroring the observed driver behaviour.
+        """
+        applied = self.spec.validate_configuration(requested)
+        if not self.enabled:
+            return ThrottleDecision(requested=applied, applied=applied)
+        while power_at(applied) > self.spec.tdp_watts:
+            lower = closest_lower_level(
+                applied.core_mhz, self.spec.core_frequencies_mhz
+            )
+            if lower is None:
+                break  # Already at the lowest level; run power-limited.
+            applied = FrequencyConfig(lower, applied.memory_mhz)
+        return ThrottleDecision(
+            requested=self.spec.validate_configuration(requested), applied=applied
+        )

@@ -1,0 +1,168 @@
+"""Hidden ground-truth voltage/frequency curves (Fig. 6).
+
+On real hardware the driver sets the voltage automatically when a frequency
+is selected and does not report it; the paper could only spot-check voltages
+with third-party Windows tools. The simulated devices therefore carry a
+*hidden* :class:`VoltageCurve` per domain that the modeling code never reads —
+it must be inferred by the estimation algorithm, exactly as in the paper.
+
+The observed behaviour (Fig. 6 and Sec. II-A) is piecewise: a **flat region**
+at low frequencies where the frequency scales at constant voltage, and, above
+a breakpoint, a **linear region** where voltage grows with frequency. Memory
+voltage was observed not to change across memory frequency levels; the core
+voltage of the GTX Titan X additionally shifts slightly across memory
+frequencies (end of Sec. V-B, "significant core voltage differences are
+predicted ... across different memory frequencies").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.errors import SpecError
+from repro.hardware.components import Domain
+from repro.hardware.specs import FrequencyConfig, GPUSpec
+
+
+@dataclass(frozen=True)
+class VoltageCurve:
+    """Piecewise-linear normalized voltage curve ``V_bar(f)``.
+
+    ``V_bar`` is the voltage normalized to the reference configuration, i.e.
+    ``V_bar(f_reference) == 1`` by construction (Eq. 5).
+
+    Below ``breakpoint_mhz`` the curve is flat at ``flat_level``; above it the
+    voltage rises linearly with slope ``slope_per_mhz``.
+    """
+
+    flat_level: float
+    breakpoint_mhz: float
+    slope_per_mhz: float
+
+    def __post_init__(self) -> None:
+        if self.flat_level <= 0:
+            raise SpecError("flat voltage level must be positive")
+        if self.slope_per_mhz < 0:
+            raise SpecError("voltage slope must be non-negative")
+
+    def normalized_voltage(self, frequency_mhz: float) -> float:
+        """``V_bar`` at a frequency."""
+        if frequency_mhz <= self.breakpoint_mhz:
+            return self.flat_level
+        return self.flat_level + self.slope_per_mhz * (
+            frequency_mhz - self.breakpoint_mhz
+        )
+
+    @staticmethod
+    def through_reference(
+        flat_level: float, breakpoint_mhz: float, reference_mhz: float
+    ) -> "VoltageCurve":
+        """Curve with the given flat region that passes through
+        ``V_bar(reference_mhz) == 1``.
+
+        When the reference lies inside the flat region the curve is entirely
+        flat at 1.0 up to the breakpoint and the flat level is ignored.
+        """
+        if reference_mhz <= breakpoint_mhz:
+            return VoltageCurve(1.0, breakpoint_mhz, 0.0)
+        slope = (1.0 - flat_level) / (reference_mhz - breakpoint_mhz)
+        if slope < 0:
+            raise SpecError(
+                "flat level above 1 with a reference in the linear region "
+                "would produce a decreasing voltage curve"
+            )
+        return VoltageCurve(flat_level, breakpoint_mhz, slope)
+
+
+@dataclass(frozen=True)
+class VoltageTable:
+    """Hidden per-domain voltage behaviour of one simulated GPU.
+
+    ``core_curve`` maps the core frequency to the normalized core voltage;
+    ``memory_curve`` does the same for the memory domain (flat on all the
+    paper's devices). ``core_memory_coupling`` adds a small additive offset to
+    the core voltage per MHz of memory frequency above the default, modelling
+    the Titan X observation quoted above.
+    """
+
+    core_curve: VoltageCurve
+    memory_curve: VoltageCurve
+    core_memory_coupling_per_mhz: float = 0.0
+    default_memory_mhz: float = 0.0
+
+    def core_voltage(self, config: FrequencyConfig) -> float:
+        """Normalized core voltage at a full V-F configuration."""
+        base = self.core_curve.normalized_voltage(config.core_mhz)
+        offset = self.core_memory_coupling_per_mhz * (
+            config.memory_mhz - self.default_memory_mhz
+        )
+        return max(base + offset, 1e-3)
+
+    def memory_voltage(self, config: FrequencyConfig) -> float:
+        """Normalized memory voltage at a full V-F configuration."""
+        return self.memory_curve.normalized_voltage(config.memory_mhz)
+
+    def voltage(self, domain: Domain, config: FrequencyConfig) -> float:
+        """Normalized voltage of either domain."""
+        if domain is Domain.CORE:
+            return self.core_voltage(config)
+        return self.memory_voltage(config)
+
+
+def _flat_memory_curve() -> VoltageCurve:
+    """Memory voltage observed constant across levels on all three GPUs."""
+    return VoltageCurve(flat_level=1.0, breakpoint_mhz=float("inf"), slope_per_mhz=0.0)
+
+
+def default_voltage_table(spec: GPUSpec) -> VoltageTable:
+    """The hidden voltage table for one of the paper's devices.
+
+    Curve shapes follow Fig. 6: the GTX Titan X is flat below ~660 MHz and
+    reaches ~1.09 at 1164 MHz; the Titan Xp is flat below ~900 MHz and reaches
+    ~1.25 at 1911 MHz; the Tesla K40c has a narrow range with a late
+    breakpoint. All curves pass through ``V_bar == 1`` at the default core
+    frequency.
+    """
+    tables: Mapping[str, VoltageTable] = {
+        "GTX Titan X": VoltageTable(
+            core_curve=VoltageCurve.through_reference(
+                flat_level=0.84, breakpoint_mhz=700.0, reference_mhz=975.0
+            ),
+            memory_curve=_flat_memory_curve(),
+            core_memory_coupling_per_mhz=6.0e-6,
+            default_memory_mhz=3505.0,
+        ),
+        "Titan Xp": VoltageTable(
+            core_curve=VoltageCurve.through_reference(
+                flat_level=0.80, breakpoint_mhz=898.0, reference_mhz=1404.0
+            ),
+            memory_curve=_flat_memory_curve(),
+            core_memory_coupling_per_mhz=0.0,
+            default_memory_mhz=5705.0,
+        ),
+        "Tesla K40c": VoltageTable(
+            core_curve=VoltageCurve.through_reference(
+                flat_level=0.95, breakpoint_mhz=745.0, reference_mhz=875.0
+            ),
+            memory_curve=_flat_memory_curve(),
+            core_memory_coupling_per_mhz=0.0,
+            default_memory_mhz=3004.0,
+        ),
+    }
+    table: Optional[VoltageTable] = tables.get(spec.name)
+    if table is None:
+        # Generic fallback for user-defined devices: breakpoint at the middle
+        # of the range, flat level 0.9, anchored at the default frequency.
+        frequencies = spec.core_frequencies_mhz
+        breakpoint_mhz = (min(frequencies) + max(frequencies)) / 2.0
+        table = VoltageTable(
+            core_curve=VoltageCurve.through_reference(
+                flat_level=0.90,
+                breakpoint_mhz=breakpoint_mhz,
+                reference_mhz=spec.default_core_mhz,
+            ),
+            memory_curve=_flat_memory_curve(),
+            default_memory_mhz=spec.default_memory_mhz,
+        )
+    return table

@@ -1,0 +1,19 @@
+"""Kernel descriptors — the simulated equivalent of CUDA kernels.
+
+A :class:`~repro.kernels.kernel.KernelDescriptor` captures what a CUDA kernel
+*does* to the hardware: how many scalar operations of each type every thread
+executes and how many bytes it moves at each level of the memory hierarchy.
+The microbenchmark suite (:mod:`repro.microbench`) and the validation
+workloads (:mod:`repro.workloads`) are both expressed as kernel descriptors,
+which the simulated GPU (:mod:`repro.hardware.gpu`) can "execute".
+"""
+
+from repro.kernels.kernel import KernelDescriptor, IDLE_KERNEL_NAME, idle_kernel
+from repro.kernels.launch import repetitions_for_min_duration
+
+__all__ = [
+    "KernelDescriptor",
+    "IDLE_KERNEL_NAME",
+    "idle_kernel",
+    "repetitions_for_min_duration",
+]

@@ -1,0 +1,187 @@
+"""The kernel descriptor: per-thread work of a simulated CUDA kernel.
+
+The real paper executes CUDA kernels (Fig. 3/4) and observes their hardware
+activity through CUPTI. Here a kernel is described directly by its per-thread
+work: scalar operation counts per functional unit, and bytes moved at each
+memory-hierarchy level. This is exactly the information the PTX listings of
+Fig. 3/4 pin down — e.g. the SP microbenchmark with N=512 iterations executes
+``4 * 512`` FMA operations and one global load plus one global store per
+thread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping
+
+from repro.errors import KernelError
+from repro.hardware.components import Component
+
+#: Name of the special "GPU awake, no kernel executing" workload (Sec. IV).
+IDLE_KERNEL_NAME = "idle"
+
+
+@dataclass(frozen=True)
+class KernelDescriptor:
+    """Per-thread work of one kernel, plus its launch size.
+
+    Operation counts are *scalar* operations per thread (an FMA counts as one
+    operation on its unit); byte counts are per-thread traffic observed at
+    that hierarchy level. ``dram_read_fraction`` splits DRAM traffic into the
+    read/write sector counters of Table I.
+
+    ``min_cycles`` is a latency floor in core cycles: the kernel cannot
+    complete in fewer elapsed cycles no matter how fast its bottleneck
+    resource is. It models dependency chains and limited occupancy, which is
+    what keeps the utilization of the bottleneck component below 1.0 for most
+    real applications (compare the Fig. 2 utilizations).
+    """
+
+    name: str
+    threads: int
+    int_ops: float = 0.0
+    sp_ops: float = 0.0
+    dp_ops: float = 0.0
+    sf_ops: float = 0.0
+    shared_bytes: float = 0.0
+    l2_bytes: float = 0.0
+    dram_bytes: float = 0.0
+    dram_read_fraction: float = 0.5
+    #: Fraction of the shared-memory traffic that is loads (vs stores).
+    shared_load_fraction: float = 0.5
+    min_cycles: float = 0.0
+    suite: str = ""
+    #: Free-form labels (e.g. microbenchmark group, intensity step).
+    tags: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise KernelError("kernel name must be non-empty")
+        if self.threads <= 0:
+            raise KernelError(f"{self.name}: threads must be positive")
+        for attribute in (
+            "int_ops", "sp_ops", "dp_ops", "sf_ops",
+            "shared_bytes", "l2_bytes", "dram_bytes", "min_cycles",
+        ):
+            if getattr(self, attribute) < 0:
+                raise KernelError(f"{self.name}: {attribute} must be >= 0")
+        if not 0.0 <= self.dram_read_fraction <= 1.0:
+            raise KernelError(
+                f"{self.name}: dram_read_fraction must lie in [0, 1]"
+            )
+        if not 0.0 <= self.shared_load_fraction <= 1.0:
+            raise KernelError(
+                f"{self.name}: shared_load_fraction must lie in [0, 1]"
+            )
+        # Memoized derived values (the dataclass is frozen, hence setattr).
+        object.__setattr__(
+            self,
+            "_cache_key",
+            (
+                self.name, self.threads, self.int_ops, self.sp_ops,
+                self.dp_ops, self.sf_ops, self.shared_bytes, self.l2_bytes,
+                self.dram_bytes, self.dram_read_fraction,
+                self.shared_load_fraction, self.min_cycles,
+            ),
+        )
+        object.__setattr__(
+            self,
+            "_is_idle",
+            (
+                self.int_ops == 0.0 and self.sp_ops == 0.0
+                and self.dp_ops == 0.0 and self.sf_ops == 0.0
+                and self.shared_bytes == 0.0 and self.l2_bytes == 0.0
+                and self.dram_bytes == 0.0
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Totals
+    # ------------------------------------------------------------------
+    def total_ops(self, component: Component) -> float:
+        """Total scalar operations on a compute unit over all threads."""
+        per_thread = {
+            Component.INT: self.int_ops,
+            Component.SP: self.sp_ops,
+            Component.DP: self.dp_ops,
+            Component.SF: self.sf_ops,
+        }
+        if component not in per_thread:
+            raise KernelError(f"{component} is not a compute unit")
+        return per_thread[component] * self.threads
+
+    def total_bytes(self, component: Component) -> float:
+        """Total bytes moved at a memory-hierarchy level over all threads."""
+        per_thread = {
+            Component.SHARED: self.shared_bytes,
+            Component.L2: self.l2_bytes,
+            Component.DRAM: self.dram_bytes,
+        }
+        if component not in per_thread:
+            raise KernelError(f"{component} is not a memory-hierarchy level")
+        return per_thread[component] * self.threads
+
+    def component_work(self) -> Dict[Component, float]:
+        """Work per component: scalar ops for units, bytes for memory levels."""
+        return {
+            Component.INT: self.total_ops(Component.INT),
+            Component.SP: self.total_ops(Component.SP),
+            Component.DP: self.total_ops(Component.DP),
+            Component.SF: self.total_ops(Component.SF),
+            Component.SHARED: self.total_bytes(Component.SHARED),
+            Component.L2: self.total_bytes(Component.L2),
+            Component.DRAM: self.total_bytes(Component.DRAM),
+        }
+
+    @property
+    def cache_key(self) -> tuple:
+        """Value-identity key: two descriptors with equal work are
+        interchangeable for simulation purposes (tags excluded)."""
+        return self._cache_key  # type: ignore[attr-defined]
+
+    @property
+    def is_idle(self) -> bool:
+        """Whether the kernel performs no work at all (the Idle workload)."""
+        return self._is_idle  # type: ignore[attr-defined]
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Scalar operations per byte of DRAM traffic (inf when no traffic)."""
+        ops = (self.int_ops + self.sp_ops + self.dp_ops + self.sf_ops)
+        if self.dram_bytes == 0.0:
+            return float("inf") if ops > 0 else 0.0
+        return ops / self.dram_bytes
+
+    def scaled(self, factor: float, name: str | None = None) -> "KernelDescriptor":
+        """A copy with all per-thread work scaled by ``factor``."""
+        if factor <= 0:
+            raise KernelError("scale factor must be positive")
+        return replace(
+            self,
+            name=name or self.name,
+            int_ops=self.int_ops * factor,
+            sp_ops=self.sp_ops * factor,
+            dp_ops=self.dp_ops * factor,
+            sf_ops=self.sf_ops * factor,
+            shared_bytes=self.shared_bytes * factor,
+            l2_bytes=self.l2_bytes * factor,
+            dram_bytes=self.dram_bytes * factor,
+            min_cycles=self.min_cycles * factor,
+        )
+
+    def with_tags(self, **tags: str) -> "KernelDescriptor":
+        """A copy with additional tags merged in."""
+        merged = dict(self.tags)
+        merged.update(tags)
+        return replace(self, tags=merged)
+
+
+def idle_kernel(duration_cycles: float = 50.0e6) -> KernelDescriptor:
+    """The Idle workload: the GPU is awake but executes no work (Sec. IV)."""
+    return KernelDescriptor(
+        name=IDLE_KERNEL_NAME,
+        threads=1,
+        min_cycles=duration_cycles,
+        suite="microbench",
+        tags={"group": "idle"},
+    )

@@ -1,0 +1,35 @@
+"""Kernel repetition policy (Sec. V-A measurement methodology).
+
+Many GPU benchmarks finish in far less time than one refresh period of the
+NVML power sensor (35/100/15 ms on the three devices), which would make a
+single-shot power reading meaningless. The paper therefore repeats each
+kernel "to always reach an execution time of at least 1 second at the fastest
+GPU configuration". This module computes that repetition count.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import KernelError
+
+
+def repetitions_for_min_duration(
+    single_run_seconds: float, min_total_seconds: float = 1.0
+) -> int:
+    """Number of back-to-back kernel launches needed to reach a duration.
+
+    ``single_run_seconds`` is the kernel's execution time at the *fastest*
+    configuration; the returned count, applied at any configuration, then
+    yields at least ``min_total_seconds`` of execution everywhere (slower
+    configurations only run longer).
+    """
+    if single_run_seconds <= 0:
+        raise KernelError(
+            f"single-run duration must be positive, got {single_run_seconds}"
+        )
+    if min_total_seconds <= 0:
+        raise KernelError(
+            f"minimum total duration must be positive, got {min_total_seconds}"
+        )
+    return max(1, math.ceil(min_total_seconds / single_run_seconds))

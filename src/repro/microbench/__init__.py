@@ -1,0 +1,15 @@
+"""The 83-microbenchmark suite of Section IV.
+
+The suite stresses each modeled GPU component in isolation, sweeping the
+arithmetic intensity (the ``N`` loop bound of Fig. 3) to cover a range of
+utilization mixes. Group sizes follow Fig. 5: INT x12, SP x11, DP x12,
+SF x8, L2 x10, Shared x10, DRAM x12, MIX x7, plus the Idle workload.
+"""
+
+from repro.microbench.suite import (
+    MICROBENCHMARK_GROUPS,
+    build_suite,
+    suite_group,
+)
+
+__all__ = ["MICROBENCHMARK_GROUPS", "build_suite", "suite_group"]

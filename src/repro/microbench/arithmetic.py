@@ -1,0 +1,88 @@
+"""Arithmetic-unit microbenchmarks (Fig. 3a / Fig. 4).
+
+Each thread loads one element, runs ``N`` loop iterations of four dependent
+FMA chains on the target unit (the PTX of Fig. 4 shows the unrolled
+``fma.rn`` sequence), and stores the result. Sweeping ``N`` trades DRAM/L2
+traffic against arithmetic work: small ``N`` keeps the memory hierarchy busy,
+large ``N`` saturates the functional units — the gradual shift visible in the
+first columns of Fig. 5A.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.kernels.kernel import KernelDescriptor
+
+#: Threads launched per microbenchmark — large enough to saturate any device.
+MICROBENCH_THREADS = 4_000_000
+
+#: FMA chains per loop iteration (registers r0..r3 in Fig. 3a).
+CHAINS_PER_ITERATION = 4
+
+#: Loop-control overhead: the PTX loop of Fig. 4 is unrolled 32x, leaving an
+#: add/compare/branch triple per 32 chains worth of work.
+LOOP_INT_OPS_PER_ITERATION = 3.0 / 32.0 * CHAINS_PER_ITERATION
+
+#: Intensity ladders (values of N), sized to the Fig. 5 group counts.
+INT_LADDER: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 96, 128, 192, 256, 512)
+SP_LADDER: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 384, 512)
+DP_LADDER: Sequence[int] = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64)
+
+
+def _element_bytes(data_type: str) -> int:
+    sizes = {"int": 4, "float": 4, "double": 8}
+    return sizes[data_type]
+
+
+def _arithmetic_kernel(
+    group: str, data_type: str, iterations: int, index: int
+) -> KernelDescriptor:
+    """One instance of the Fig. 3a kernel for a data type and loop bound."""
+    ops = float(CHAINS_PER_ITERATION * iterations)
+    element = _element_bytes(data_type)
+    # One global load of the seed value, one global store of the result; the
+    # access streams through L2 on its way to DRAM.
+    traffic = 2.0 * element
+    loop_int = LOOP_INT_OPS_PER_ITERATION * iterations
+    fields = {
+        "int": {"int_ops": ops + loop_int},
+        "float": {"sp_ops": ops, "int_ops": loop_int},
+        "double": {"dp_ops": ops, "int_ops": loop_int},
+    }[data_type]
+    return KernelDescriptor(
+        name=f"{group}_n{iterations:03d}",
+        threads=MICROBENCH_THREADS,
+        dram_bytes=traffic,
+        l2_bytes=traffic,
+        dram_read_fraction=0.5,
+        suite="microbench",
+        tags={"group": group, "intensity": str(iterations), "step": str(index)},
+        **fields,
+    )
+
+
+def int_kernels() -> List[KernelDescriptor]:
+    """The 12 integer-unit microbenchmarks (DATA_TYPE = int)."""
+    return [
+        _arithmetic_kernel("int", "int", n, i) for i, n in enumerate(INT_LADDER)
+    ]
+
+
+def sp_kernels() -> List[KernelDescriptor]:
+    """The 11 single-precision microbenchmarks (DATA_TYPE = float)."""
+    return [
+        _arithmetic_kernel("sp", "float", n, i) for i, n in enumerate(SP_LADDER)
+    ]
+
+
+def dp_kernels() -> List[KernelDescriptor]:
+    """The 12 double-precision microbenchmarks (DATA_TYPE = double).
+
+    The ladder uses smaller ``N`` values than the INT/SP ones: with only 4 DP
+    units per SM on Maxwell/Pascal, the DP pipeline saturates at a far lower
+    arithmetic intensity.
+    """
+    return [
+        _arithmetic_kernel("dp", "double", n, i) for i, n in enumerate(DP_LADDER)
+    ]

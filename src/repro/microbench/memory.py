@@ -1,0 +1,107 @@
+"""Memory-hierarchy microbenchmarks (Fig. 3c-e).
+
+* **Shared** — each thread ping-pongs a value between conflict-free shared
+  memory locations (Fig. 3c); the iteration ladder scales the transaction
+  count.
+* **L2** — a streaming load/store loop over a buffer sized to stay resident
+  in the L2 cache, following the access-pattern exploration of [26]
+  (Fig. 3d); DRAM only sees the initial fill.
+* **DRAM** — the Fig. 3e kernel: a streaming FMA loop with very low
+  arithmetic intensity, so the threads spend their time waiting on global
+  memory. Larger ``N`` raises the arithmetic mix and lowers the achieved
+  DRAM utilization, covering the intensity range of Fig. 5A.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.kernels.kernel import KernelDescriptor
+from repro.microbench.arithmetic import MICROBENCH_THREADS
+
+SHARED_LADDER: Sequence[int] = (8, 16, 32, 64, 128, 256, 512, 1024, 1536, 2048)
+L2_LADDER: Sequence[int] = (4, 8, 16, 32, 64, 128, 256, 512, 768, 1024)
+DRAM_LADDER: Sequence[int] = (0, 1, 2, 4, 8, 16, 32, 64, 96, 128, 192, 256)
+
+#: Bytes accessed per shared-memory load or store (DATA_TYPE = float).
+SHARED_ELEMENT_BYTES = 4
+
+#: Bytes streamed through L2 per loop iteration (4 B load + 4 B store).
+L2_ITERATION_BYTES = 8
+
+#: Bytes of DRAM traffic per thread of the Fig. 3e kernel (float4 in + out).
+DRAM_THREAD_BYTES = 32
+
+
+def shared_kernels() -> List[KernelDescriptor]:
+    """The 10 shared-memory microbenchmarks (Fig. 3c)."""
+    kernels = []
+    for index, iterations in enumerate(SHARED_LADDER):
+        shared_bytes = 2.0 * SHARED_ELEMENT_BYTES * iterations
+        kernels.append(
+            KernelDescriptor(
+                name=f"shared_n{iterations:04d}",
+                threads=MICROBENCH_THREADS,
+                shared_bytes=shared_bytes,
+                # Address computation for the mirrored store index.
+                int_ops=2.0 * iterations,
+                dram_bytes=8.0,
+                l2_bytes=8.0,
+                dram_read_fraction=0.5,
+                suite="microbench",
+                tags={
+                    "group": "shared",
+                    "intensity": str(iterations),
+                    "step": str(index),
+                },
+            )
+        )
+    return kernels
+
+
+def l2_kernels() -> List[KernelDescriptor]:
+    """The 10 L2-cache microbenchmarks (Fig. 3d, after [26])."""
+    kernels = []
+    for index, iterations in enumerate(L2_LADDER):
+        l2_bytes = float(L2_ITERATION_BYTES * iterations)
+        kernels.append(
+            KernelDescriptor(
+                name=f"l2_n{iterations:04d}",
+                threads=MICROBENCH_THREADS,
+                l2_bytes=l2_bytes,
+                int_ops=1.0 * iterations,
+                # First touch of the L2-resident buffer comes from DRAM.
+                dram_bytes=8.0,
+                dram_read_fraction=0.5,
+                suite="microbench",
+                tags={
+                    "group": "l2",
+                    "intensity": str(iterations),
+                    "step": str(index),
+                },
+            )
+        )
+    return kernels
+
+
+def dram_kernels() -> List[KernelDescriptor]:
+    """The 12 DRAM microbenchmarks (Fig. 3e)."""
+    kernels = []
+    for index, iterations in enumerate(DRAM_LADDER):
+        kernels.append(
+            KernelDescriptor(
+                name=f"dram_n{iterations:03d}",
+                threads=MICROBENCH_THREADS,
+                sp_ops=2.0 * iterations,
+                dram_bytes=float(DRAM_THREAD_BYTES),
+                l2_bytes=float(DRAM_THREAD_BYTES),
+                dram_read_fraction=0.5,
+                suite="microbench",
+                tags={
+                    "group": "dram",
+                    "intensity": str(iterations),
+                    "step": str(index),
+                },
+            )
+        )
+    return kernels

@@ -1,0 +1,55 @@
+"""Mixed-component microbenchmarks and the Idle workload (Sec. IV).
+
+The MIX kernels combine several of the single-component patterns into one
+thread body, producing the simultaneous multi-component utilizations of the
+right-most Fig. 5 group — including the configuration where the dynamic
+power reaches its maximum share (~49 %) of the total.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.kernels.kernel import KernelDescriptor, idle_kernel
+from repro.microbench.arithmetic import MICROBENCH_THREADS
+
+
+def _mix(name: str, step: int, **work: float) -> KernelDescriptor:
+    return KernelDescriptor(
+        name=f"mix_{name}",
+        threads=MICROBENCH_THREADS,
+        suite="microbench",
+        tags={"group": "mix", "step": str(step)},
+        dram_read_fraction=0.5,
+        **work,
+    )
+
+
+def mix_kernels() -> List[KernelDescriptor]:
+    """The 7 MIX microbenchmarks."""
+    return [
+        # SP chains interleaved with conflict-free shared-memory ping-pong.
+        _mix("sp_shared", 0, sp_ops=96.0, shared_bytes=192.0,
+             dram_bytes=8.0, l2_bytes=8.0),
+        # Integer work over an L2-resident buffer.
+        _mix("int_l2", 1, int_ops=64.0, l2_bytes=176.0, dram_bytes=8.0),
+        # Compute + streaming: the high-power configuration.
+        _mix("sp_dram_shared", 2, sp_ops=72.0, int_ops=24.0,
+             shared_bytes=128.0, dram_bytes=28.0, l2_bytes=28.0),
+        # Double precision against the L2 cache.
+        _mix("dp_l2", 3, dp_ops=10.0, l2_bytes=112.0, dram_bytes=16.0),
+        # Transcendentals over streamed data.
+        _mix("sf_dram", 4, sf_ops=24.0, sp_ops=24.0,
+             dram_bytes=24.0, l2_bytes=24.0),
+        # Four-way mix across both domains.
+        _mix("int_sp_shared_dram", 5, int_ops=48.0, sp_ops=48.0,
+             shared_bytes=96.0, dram_bytes=24.0, l2_bytes=24.0),
+        # Everything at once, moderately.
+        _mix("all_units", 6, int_ops=40.0, sp_ops=48.0, dp_ops=2.0,
+             sf_ops=8.0, shared_bytes=64.0, l2_bytes=32.0, dram_bytes=20.0),
+    ]
+
+
+def idle_workload() -> KernelDescriptor:
+    """The awake-but-idle measurement of Sec. IV."""
+    return idle_kernel()

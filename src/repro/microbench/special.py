@@ -1,0 +1,52 @@
+"""Special-function-unit microbenchmarks (Fig. 3b).
+
+Same structure as the arithmetic kernels, but the loop body chains
+transcendental operations (log, cos, sin) that execute on the SFUs. Each
+transcendental also spends a handful of SP operations on range reduction,
+which is why the SF microbenchmarks in Fig. 5A show a small SP component.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.kernels.kernel import KernelDescriptor
+from repro.microbench.arithmetic import (
+    LOOP_INT_OPS_PER_ITERATION,
+    MICROBENCH_THREADS,
+)
+
+#: Transcendental operations per loop iteration (r0..r3 in Fig. 3b).
+SF_OPS_PER_ITERATION = 4
+
+#: SP helper operations per transcendental (range reduction / fixup).
+SP_OPS_PER_SF = 1.0
+
+SF_LADDER: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+def sf_kernels() -> List[KernelDescriptor]:
+    """The 8 special-function microbenchmarks."""
+    kernels = []
+    for index, iterations in enumerate(SF_LADDER):
+        sf_ops = float(SF_OPS_PER_ITERATION * iterations)
+        traffic = 2.0 * 4  # float load + store per thread.
+        kernels.append(
+            KernelDescriptor(
+                name=f"sf_n{iterations:03d}",
+                threads=MICROBENCH_THREADS,
+                sf_ops=sf_ops,
+                sp_ops=sf_ops * SP_OPS_PER_SF,
+                int_ops=LOOP_INT_OPS_PER_ITERATION * iterations,
+                dram_bytes=traffic,
+                l2_bytes=traffic,
+                dram_read_fraction=0.5,
+                suite="microbench",
+                tags={
+                    "group": "sf",
+                    "intensity": str(iterations),
+                    "step": str(index),
+                },
+            )
+        )
+    return kernels

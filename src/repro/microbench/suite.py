@@ -1,0 +1,90 @@
+"""Assembly of the 83-microbenchmark suite (Sec. IV, Fig. 5).
+
+Group sizes replicate the paper exactly:
+
+====== =====
+group  count
+====== =====
+int      12
+sp       11
+dp       12
+sf        8
+l2       10
+shared   10
+dram     12
+mix       7
+idle      1
+TOTAL    83
+====== =====
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import ValidationError
+from repro.kernels.kernel import KernelDescriptor
+from repro.microbench.arithmetic import dp_kernels, int_kernels, sp_kernels
+from repro.microbench.memory import dram_kernels, l2_kernels, shared_kernels
+from repro.microbench.mixed import idle_workload, mix_kernels
+from repro.microbench.special import sf_kernels
+
+#: Expected group sizes (Fig. 5 annotations: "INT (x12)", "SP (x11)", ...).
+MICROBENCHMARK_GROUPS: Dict[str, int] = {
+    "int": 12,
+    "sp": 11,
+    "dp": 12,
+    "sf": 8,
+    "l2": 10,
+    "shared": 10,
+    "dram": 12,
+    "mix": 7,
+    "idle": 1,
+}
+
+#: Total suite size claimed throughout the paper.
+SUITE_SIZE = 83
+
+_BUILDERS = {
+    "int": int_kernels,
+    "sp": sp_kernels,
+    "dp": dp_kernels,
+    "sf": sf_kernels,
+    "l2": l2_kernels,
+    "shared": shared_kernels,
+    "dram": dram_kernels,
+    "mix": mix_kernels,
+    "idle": lambda: [idle_workload()],
+}
+
+
+def suite_group(group: str) -> List[KernelDescriptor]:
+    """The microbenchmarks of one group, in intensity order."""
+    if group not in _BUILDERS:
+        raise ValidationError(
+            f"unknown microbenchmark group {group!r}; "
+            f"known groups: {sorted(_BUILDERS)}"
+        )
+    kernels = _BUILDERS[group]()
+    expected = MICROBENCHMARK_GROUPS[group]
+    if len(kernels) != expected:
+        raise ValidationError(
+            f"group {group!r} produced {len(kernels)} kernels, "
+            f"expected {expected}"
+        )
+    return kernels
+
+
+def build_suite() -> Tuple[KernelDescriptor, ...]:
+    """The full 83-microbenchmark suite, in the Fig. 5 group order."""
+    kernels: List[KernelDescriptor] = []
+    for group in ("int", "sp", "dp", "sf", "l2", "shared", "dram", "mix", "idle"):
+        kernels.extend(suite_group(group))
+    if len(kernels) != SUITE_SIZE:
+        raise ValidationError(
+            f"suite has {len(kernels)} microbenchmarks, expected {SUITE_SIZE}"
+        )
+    names = [kernel.name for kernel in kernels]
+    if len(set(names)) != len(names):
+        raise ValidationError("microbenchmark names must be unique")
+    return tuple(kernels)

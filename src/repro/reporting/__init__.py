@@ -1,0 +1,5 @@
+"""Plain-text reporting helpers for the experiment harness."""
+
+from repro.reporting.tables import format_table, format_kv
+
+__all__ = ["format_table", "format_kv"]

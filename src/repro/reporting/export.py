@@ -1,0 +1,98 @@
+"""CSV export of experiment results — figures as data.
+
+Each paper figure has an experiment module returning a structured result;
+these helpers flatten the common result shapes into CSV files so the series
+can be re-plotted outside this repository (the plots themselves are out of
+scope — the numbers are the artifact).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, List, Sequence, Union
+
+from repro.analysis.breakdown import BreakdownReport
+from repro.analysis.validation import ValidationResult
+from repro.errors import ValidationError
+from repro.hardware.components import ALL_COMPONENTS
+
+PathLike = Union[str, Path]
+
+
+def write_csv(
+    path: PathLike, headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> Path:
+    """Write one CSV file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        count = 0
+        for row in rows:
+            if len(row) != len(headers):
+                raise ValidationError(
+                    f"row has {len(row)} cells, expected {len(headers)}"
+                )
+            writer.writerow(row)
+            count += 1
+    if count == 0:
+        raise ValidationError(f"refusing to write empty CSV {path}")
+    return path
+
+
+def export_validation(result: ValidationResult, path: PathLike) -> Path:
+    """Fig. 7-style scatter: one row per (workload, configuration)."""
+    return write_csv(
+        path,
+        ["workload", "core_mhz", "memory_mhz", "measured_watts",
+         "predicted_watts", "error_percent"],
+        (
+            (
+                record.workload,
+                record.config.core_mhz,
+                record.config.memory_mhz,
+                f"{record.measured_watts:.3f}",
+                f"{record.predicted_watts:.3f}",
+                f"{100*record.error_fraction:.3f}",
+            )
+            for record in result.records
+        ),
+    )
+
+
+def export_breakdown(report: BreakdownReport, path: PathLike) -> Path:
+    """Fig. 5B/10-style stacks: one row per workload with component columns."""
+    headers = (
+        ["workload", "core_mhz", "memory_mhz", "measured_watts",
+         "constant_watts"]
+        + [f"{component.value}_watts" for component in ALL_COMPONENTS]
+    )
+    rows: List[List[object]] = []
+    for entry in report.entries:
+        row: List[object] = [
+            entry.workload,
+            entry.config.core_mhz,
+            entry.config.memory_mhz,
+            f"{entry.measured_watts:.3f}",
+            f"{entry.constant_watts:.3f}",
+        ]
+        row.extend(
+            f"{entry.component_watts[component]:.3f}"
+            for component in ALL_COMPONENTS
+        )
+        rows.append(row)
+    return write_csv(path, headers, rows)
+
+
+def export_curve(
+    curve: dict, path: PathLike, x_name: str = "frequency_mhz",
+    y_name: str = "value",
+) -> Path:
+    """A plain x→y series (power curves, voltage curves)."""
+    return write_csv(
+        path,
+        [x_name, y_name],
+        ((x, f"{y:.6f}") for x, y in sorted(curve.items())),
+    )

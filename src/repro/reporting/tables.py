@@ -1,0 +1,54 @@
+"""Minimal plain-text table rendering.
+
+The experiment harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output aligned and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+
+def _stringify(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    string_rows: List[List[str]] = [[_stringify(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in string_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in string_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_kv(pairs: Mapping[str, object], title: str | None = None) -> str:
+    """Render key/value pairs, one per line, keys aligned."""
+    if not pairs:
+        return title or ""
+    width = max(len(k) for k in pairs)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for key, value in pairs.items():
+        lines.append(f"{key.ljust(width)} : {_stringify(value)}")
+    return "\n".join(lines)

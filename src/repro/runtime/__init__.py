@@ -1,0 +1,57 @@
+"""Online runtime systems built on the power model (Sec. V-B / Sec. VII).
+
+The paper closes by sketching a real-time deployment: "by measuring the
+performance events during the first call to a GPU kernel and then using the
+power prediction to determine the frequency/voltage configuration that best
+suits that kernel". This subpackage builds that system, plus the related
+use cases:
+
+* :mod:`repro.runtime.policies` — frequency-selection policies (minimum
+  energy, minimum EDP, power capping, performance-constrained energy);
+* :mod:`repro.runtime.manager` — the online DVFS manager: profile each
+  kernel on its first invocation, then pin its best configuration for the
+  rest of the run;
+* :mod:`repro.runtime.trace` — application traces (sequences of kernel
+  invocations, the "iterative nature of many of the most common GPU
+  applications") and the accounting of executing them under a manager;
+* :mod:`repro.runtime.meter` — a RAPL-style event-driven power meter
+  (use case 4: "GPU hardware integration ... similarly to Intel RAPL"),
+  estimating power from counter deltas without touching the sensor;
+* :mod:`repro.runtime.virtual` — the NVIDIA GRID virtualization scenario
+  (use case 2): a hypervisor-side service that provisions guests with the
+  serialized model and attributes shared-board energy across VMs.
+"""
+
+from repro.runtime.policies import (
+    EnergyPolicy,
+    EdpPolicy,
+    PowerCapPolicy,
+    PerformanceConstrainedEnergyPolicy,
+    StaticPolicy,
+)
+from repro.runtime.manager import OnlineDVFSManager, KernelPlan
+from repro.runtime.trace import ApplicationTrace, TracePhase, TraceReport
+from repro.runtime.meter import EventDrivenPowerMeter, MeterReading
+from repro.runtime.virtual import (
+    GuestPowerEstimator,
+    GuestUsage,
+    HypervisorPowerService,
+)
+
+__all__ = [
+    "EnergyPolicy",
+    "EdpPolicy",
+    "PowerCapPolicy",
+    "PerformanceConstrainedEnergyPolicy",
+    "StaticPolicy",
+    "OnlineDVFSManager",
+    "KernelPlan",
+    "ApplicationTrace",
+    "TracePhase",
+    "TraceReport",
+    "EventDrivenPowerMeter",
+    "MeterReading",
+    "HypervisorPowerService",
+    "GuestPowerEstimator",
+    "GuestUsage",
+]

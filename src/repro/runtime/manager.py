@@ -1,0 +1,194 @@
+"""The online DVFS manager (the paper's Sec. VII real-time deployment).
+
+Flow, per distinct kernel of an application trace:
+
+1. the kernel's **first invocation** runs at the device's current (reference)
+   configuration while CUPTI collects its events — the profiling cost the
+   paper argues is amortized by the iterative nature of GPU applications;
+2. utilizations are computed (Eq. 8-10) and the DVFS-aware model predicts
+   the power at every candidate configuration — no further execution needed,
+   "a considerable decrease of the design search space" (Sec. III-E);
+3. a :class:`~repro.runtime.policies.FrequencyPolicy` picks the kernel's
+   configuration, which all remaining invocations use.
+
+Energy accounting uses the device's measured power and per-invocation
+execution time at the applied configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.dvfs import ConfigurationScore
+from repro.core.metrics import MetricCalculator, UtilizationVector
+from repro.core.model import DVFSPowerModel
+from repro.driver.session import ProfilingSession
+from repro.hardware.specs import FrequencyConfig
+from repro.kernels.kernel import KernelDescriptor
+from repro.runtime.policies import FrequencyPolicy
+from repro.runtime.trace import (
+    ApplicationTrace,
+    PhaseExecution,
+    TraceReport,
+)
+
+
+@dataclass(frozen=True)
+class KernelPlan:
+    """The manager's decision for one kernel."""
+
+    kernel_name: str
+    utilizations: UtilizationVector
+    chosen: ConfigurationScore
+    reference: ConfigurationScore
+
+    @property
+    def config(self) -> FrequencyConfig:
+        return self.chosen.config
+
+    @property
+    def predicted_energy_saving(self) -> float:
+        if self.reference.energy_joules <= 0:
+            return 0.0
+        return 1.0 - self.chosen.energy_joules / self.reference.energy_joules
+
+
+class OnlineDVFSManager:
+    """Profile-once-then-pin DVFS management for kernel traces."""
+
+    def __init__(
+        self,
+        model: DVFSPowerModel,
+        session: ProfilingSession,
+        policy: FrequencyPolicy,
+        candidate_configs: Optional[Sequence[FrequencyConfig]] = None,
+    ) -> None:
+        self.model = model
+        self.session = session
+        self.policy = policy
+        spec = session.gpu.spec
+        self.candidates = tuple(
+            spec.validate_configuration(c)
+            for c in (candidate_configs or spec.all_configurations())
+        )
+        self._calculator = MetricCalculator(spec)
+        self._plans: Dict[str, KernelPlan] = {}
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan_for(self, kernel: KernelDescriptor) -> KernelPlan:
+        """The (cached) plan for a kernel; profiles it on first sight."""
+        if kernel.name not in self._plans:
+            self._plans[kernel.name] = self._build_plan(kernel)
+        return self._plans[kernel.name]
+
+    @property
+    def planned_kernels(self) -> List[str]:
+        return list(self._plans)
+
+    def _build_plan(self, kernel: KernelDescriptor) -> KernelPlan:
+        spec = self.session.gpu.spec
+        # First invocation: profile at the reference configuration.
+        events = self.session.collect_events(kernel)
+        utilizations = self._calculator.utilizations(events)
+
+        scores = []
+        reference_score: Optional[ConfigurationScore] = None
+        for config in self.candidates:
+            predicted = self.model.predict_power(utilizations, config)
+            time = self.session.measure_time(kernel, config)
+            score = ConfigurationScore(
+                config=config,
+                predicted_power_watts=predicted,
+                time_seconds=time,
+            )
+            scores.append(score)
+            if config == spec.reference:
+                reference_score = score
+        if reference_score is None:
+            # Candidates exclude the reference: score it anyway for the
+            # policies that need the comparison point.
+            reference_score = ConfigurationScore(
+                config=spec.reference,
+                predicted_power_watts=self.model.predict_power(
+                    utilizations, spec.reference
+                ),
+                time_seconds=self.session.measure_time(kernel, spec.reference),
+            )
+        chosen = self.policy.choose(scores, reference_score)
+        return KernelPlan(
+            kernel_name=kernel.name,
+            utilizations=utilizations,
+            chosen=chosen,
+            reference=reference_score,
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_trace(self, trace: ApplicationTrace) -> TraceReport:
+        """Execute a trace under the policy and account the outcome."""
+        spec = self.session.gpu.spec
+        executions: List[PhaseExecution] = []
+        profiled: set = set()
+        for phase in trace.phases:
+            kernel = phase.kernel
+            first_sight = kernel.name not in self._plans
+            plan = self.plan_for(kernel)
+            invocations = phase.invocations
+            energy = 0.0
+            time = 0.0
+            remaining = invocations
+            if first_sight and kernel.name not in profiled:
+                # The profiling invocation ran at the reference.
+                energy += self._invocation_energy(kernel, spec.reference)
+                time += self._invocation_time(kernel, spec.reference)
+                remaining -= 1
+                profiled.add(kernel.name)
+            if remaining > 0:
+                energy += remaining * self._invocation_energy(
+                    kernel, plan.config
+                )
+                time += remaining * self._invocation_time(kernel, plan.config)
+            executions.append(
+                PhaseExecution(
+                    kernel_name=kernel.name,
+                    invocations=invocations,
+                    config=plan.config,
+                    profiled=first_sight,
+                    energy_joules=energy,
+                    time_seconds=time,
+                )
+            )
+
+        baseline_energy = 0.0
+        baseline_time = 0.0
+        for phase in trace.phases:
+            single_energy = self._invocation_energy(
+                phase.kernel, spec.reference
+            )
+            single_time = self._invocation_time(phase.kernel, spec.reference)
+            baseline_energy += phase.invocations * single_energy
+            baseline_time += phase.invocations * single_time
+        return TraceReport(
+            trace_name=trace.name,
+            device_name=spec.name,
+            executions=tuple(executions),
+            baseline_energy_joules=baseline_energy,
+            baseline_time_seconds=baseline_time,
+        )
+
+    # ------------------------------------------------------------------
+    def _invocation_time(
+        self, kernel: KernelDescriptor, config: FrequencyConfig
+    ) -> float:
+        return self.session.measure_time(kernel, config)
+
+    def _invocation_energy(
+        self, kernel: KernelDescriptor, config: FrequencyConfig
+    ) -> float:
+        measurement = self.session.measure_power(kernel, config, median=False)
+        duration = self.session.measure_time(kernel, config)
+        return measurement.average_watts * duration

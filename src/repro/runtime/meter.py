@@ -1,0 +1,140 @@
+"""Event-driven power meter (use case 4 of Sec. V-B).
+
+"GPU hardware integration, by implementing the proposed model in hardware
+(similarly to Intel RAPL)": a meter that produces power estimates from
+performance-counter activity alone, with no power sensor in the loop. The
+software rendition here consumes *cumulative* raw event counts — the way
+counters actually accumulate — takes deltas over each window, converts them
+into utilizations (Eq. 8-10), and evaluates the model at the current clocks.
+
+It also decomposes every reading per component, which is what makes a
+RAPL-like interface useful to schedulers and per-domain power capping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro.core.metrics import MetricCalculator
+from repro.core.model import DVFSPowerModel, PredictedBreakdown
+from repro.driver.cupti import EventRecord
+from repro.errors import ValidationError
+from repro.hardware.components import Component
+from repro.hardware.specs import FrequencyConfig
+from repro.units import mhz_to_hz
+
+
+@dataclass(frozen=True)
+class MeterReading:
+    """One windowed power estimate."""
+
+    window_seconds: float
+    config: FrequencyConfig
+    power_watts: float
+    breakdown: PredictedBreakdown
+    energy_joules: float
+
+    def component_watts(self, component: Component) -> float:
+        return self.breakdown.component_watts[component]
+
+
+class EventDrivenPowerMeter:
+    """Sliding-window power estimation from cumulative event counters."""
+
+    def __init__(self, model: DVFSPowerModel) -> None:
+        self.model = model
+        self._calculator = MetricCalculator(model.spec)
+        self._last_counters: Optional[Dict[str, float]] = None
+        self._readings: List[MeterReading] = []
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Forget the counter baseline and the reading history."""
+        self._last_counters = None
+        self._readings = []
+
+    @property
+    def readings(self) -> List[MeterReading]:
+        return list(self._readings)
+
+    @property
+    def total_energy_joules(self) -> float:
+        return sum(reading.energy_joules for reading in self._readings)
+
+    def average_power_watts(self) -> float:
+        """Time-weighted average power over all readings so far."""
+        total_time = sum(r.window_seconds for r in self._readings)
+        if total_time <= 0:
+            raise ValidationError("meter has no readings yet")
+        return self.total_energy_joules / total_time
+
+    # ------------------------------------------------------------------
+    def update(
+        self,
+        counters: Mapping[str, float],
+        config: FrequencyConfig,
+    ) -> Optional[MeterReading]:
+        """Feed a cumulative counter snapshot; returns the window's reading.
+
+        The first snapshot only establishes the baseline and returns
+        ``None``. Counter regressions (counts going backwards) indicate a
+        counter reset and re-baseline the meter.
+        """
+        config = self.model.spec.validate_configuration(config)
+        current = dict(counters)
+        previous = self._last_counters
+        self._last_counters = current
+        if previous is None:
+            return None
+        deltas = {}
+        for name, value in current.items():
+            before = previous.get(name, 0.0)
+            if value < before:  # counter reset
+                self._last_counters = current
+                return None
+            deltas[name] = value - before
+
+        table = self._calculator.table
+        active_cycles = sum(deltas.get(n, 0.0) for n in table.active_cycles)
+        if active_cycles <= 0:
+            return None  # idle window: nothing executed
+        window_seconds = active_cycles / mhz_to_hz(config.core_mhz)
+
+        record = EventRecord(
+            kernel_name="<meter-window>",
+            architecture=self.model.spec.architecture,
+            config=config,
+            values=deltas,
+            elapsed_seconds=window_seconds,
+        )
+        utilizations = self._calculator.utilizations(record)
+        breakdown = self.model.predict_breakdown(utilizations, config)
+        reading = MeterReading(
+            window_seconds=window_seconds,
+            config=config,
+            power_watts=breakdown.total_watts,
+            breakdown=breakdown,
+            energy_joules=breakdown.total_watts * window_seconds,
+        )
+        self._readings.append(reading)
+        return reading
+
+    # ------------------------------------------------------------------
+    def observe_kernel(self, record: EventRecord) -> MeterReading:
+        """Convenience: meter one complete kernel launch from its events.
+
+        Useful when the caller already holds per-launch event records (the
+        virtualization scenario: the guest sees events but no sensor).
+        """
+        utilizations = self._calculator.utilizations(record)
+        breakdown = self.model.predict_breakdown(utilizations, record.config)
+        reading = MeterReading(
+            window_seconds=record.elapsed_seconds,
+            config=record.config,
+            power_watts=breakdown.total_watts,
+            breakdown=breakdown,
+            energy_joules=breakdown.total_watts * record.elapsed_seconds,
+        )
+        self._readings.append(reading)
+        return reading

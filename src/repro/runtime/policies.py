@@ -1,0 +1,130 @@
+"""Frequency-selection policies for the online DVFS manager.
+
+A policy turns the model's per-configuration predictions — power from the
+DVFS-aware model, execution time from a measurement or estimate — into one
+chosen configuration. All policies work on the same
+:class:`~repro.analysis.dvfs.ConfigurationScore` lists the offline advisor
+produces, so offline analysis and online management stay consistent.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.dvfs import ConfigurationScore
+from repro.errors import ValidationError
+from repro.hardware.specs import FrequencyConfig
+
+
+class FrequencyPolicy(abc.ABC):
+    """Strategy interface: pick one configuration from scored candidates."""
+
+    @abc.abstractmethod
+    def choose(
+        self,
+        scores: Sequence[ConfigurationScore],
+        reference: ConfigurationScore,
+    ) -> ConfigurationScore:
+        """Select a configuration.
+
+        ``reference`` is the score of the device's default configuration —
+        policies that bound slowdown or compare against the default need it.
+        """
+
+    def _require_scores(
+        self, scores: Sequence[ConfigurationScore]
+    ) -> Sequence[ConfigurationScore]:
+        if not scores:
+            raise ValidationError("policy received no candidate configurations")
+        return scores
+
+
+@dataclass
+class StaticPolicy(FrequencyPolicy):
+    """Always run at one fixed configuration (baseline / pinning)."""
+
+    config: FrequencyConfig
+
+    def choose(self, scores, reference):
+        self._require_scores(scores)
+        for score in scores:
+            if score.config == self.config:
+                return score
+        raise ValidationError(
+            f"static configuration {self.config} not among the candidates"
+        )
+
+
+@dataclass
+class EnergyPolicy(FrequencyPolicy):
+    """Minimum predicted energy, optionally under a slowdown bound."""
+
+    max_slowdown: Optional[float] = None
+
+    def choose(self, scores, reference):
+        scores = self._require_scores(scores)
+        admissible = list(scores)
+        if self.max_slowdown is not None:
+            if self.max_slowdown < 1.0:
+                raise ValidationError("max_slowdown must be >= 1.0")
+            budget = reference.time_seconds * self.max_slowdown
+            bounded = [s for s in admissible if s.time_seconds <= budget]
+            if bounded:
+                admissible = bounded
+        return min(admissible, key=lambda score: score.energy_joules)
+
+
+@dataclass
+class EdpPolicy(FrequencyPolicy):
+    """Minimum energy-delay product (balances energy against runtime)."""
+
+    def choose(self, scores, reference):
+        scores = self._require_scores(scores)
+        return min(scores, key=lambda score: score.edp)
+
+
+@dataclass
+class PerformanceConstrainedEnergyPolicy(FrequencyPolicy):
+    """Minimum energy among configurations at least as fast as a target.
+
+    ``min_speed_fraction`` is relative to the reference: 0.95 keeps every
+    configuration within 5 % of the reference runtime.
+    """
+
+    min_speed_fraction: float = 0.95
+
+    def choose(self, scores, reference):
+        scores = self._require_scores(scores)
+        if not 0.0 < self.min_speed_fraction <= 1.0:
+            raise ValidationError("min_speed_fraction must be in (0, 1]")
+        budget = reference.time_seconds / self.min_speed_fraction
+        admissible = [s for s in scores if s.time_seconds <= budget]
+        if not admissible:
+            admissible = list(scores)
+        return min(admissible, key=lambda score: score.energy_joules)
+
+
+@dataclass
+class PowerCapPolicy(FrequencyPolicy):
+    """Fastest configuration whose predicted power fits under a cap.
+
+    The software analogue of the board's TDP limiter (and of datacenter
+    power budgeting): among every configuration predicted to stay below
+    ``cap_watts``, take the one with the shortest runtime; if none fits,
+    fall back to the lowest-power configuration.
+    """
+
+    cap_watts: float = 250.0
+
+    def choose(self, scores, reference):
+        scores = self._require_scores(scores)
+        if self.cap_watts <= 0:
+            raise ValidationError("power cap must be positive")
+        admissible = [
+            s for s in scores if s.predicted_power_watts <= self.cap_watts
+        ]
+        if not admissible:
+            return min(scores, key=lambda score: score.predicted_power_watts)
+        return min(admissible, key=lambda score: score.time_seconds)

@@ -1,0 +1,133 @@
+"""Application traces: sequences of kernel invocations.
+
+The paper's closing argument for a real-time deployment rests on "the
+iterative nature of many of the most common GPU applications": the same
+kernels recur, so the cost of profiling a kernel's first invocation is
+amortized over all the later ones. A :class:`TracePhase` is one batch of
+identical invocations; an :class:`ApplicationTrace` strings phases together
+(solvers alternating kernels, training loops, etc.).
+
+:class:`TraceReport` carries the accounting of executing a trace under a
+manager: per-phase configurations, energies and times, plus comparisons
+against a fixed-reference execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import ValidationError
+from repro.hardware.specs import FrequencyConfig
+from repro.kernels.kernel import KernelDescriptor
+
+
+@dataclass(frozen=True)
+class TracePhase:
+    """``invocations`` back-to-back launches of one kernel."""
+
+    kernel: KernelDescriptor
+    invocations: int = 1
+
+    def __post_init__(self) -> None:
+        if self.invocations <= 0:
+            raise ValidationError(
+                f"{self.kernel.name}: invocations must be positive"
+            )
+
+
+@dataclass(frozen=True)
+class ApplicationTrace:
+    """A named sequence of kernel-invocation phases."""
+
+    name: str
+    phases: Tuple[TracePhase, ...]
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValidationError(f"trace {self.name!r} has no phases")
+
+    @staticmethod
+    def from_pairs(
+        name: str, pairs: Sequence[Tuple[KernelDescriptor, int]]
+    ) -> "ApplicationTrace":
+        return ApplicationTrace(
+            name=name,
+            phases=tuple(
+                TracePhase(kernel=k, invocations=n) for k, n in pairs
+            ),
+        )
+
+    @property
+    def total_invocations(self) -> int:
+        return sum(phase.invocations for phase in self.phases)
+
+    def distinct_kernels(self) -> List[KernelDescriptor]:
+        seen: Dict[str, KernelDescriptor] = {}
+        for phase in self.phases:
+            seen.setdefault(phase.kernel.name, phase.kernel)
+        return list(seen.values())
+
+
+@dataclass(frozen=True)
+class PhaseExecution:
+    """Accounting of one executed phase."""
+
+    kernel_name: str
+    invocations: int
+    config: FrequencyConfig
+    #: Whether this phase included the kernel's profiling (first) invocation.
+    profiled: bool
+    energy_joules: float
+    time_seconds: float
+
+    @property
+    def average_power_watts(self) -> float:
+        if self.time_seconds <= 0:
+            return 0.0
+        return self.energy_joules / self.time_seconds
+
+
+@dataclass(frozen=True)
+class TraceReport:
+    """Full accounting of one trace execution under a manager."""
+
+    trace_name: str
+    device_name: str
+    executions: Tuple[PhaseExecution, ...]
+    #: The same trace executed entirely at the reference configuration.
+    baseline_energy_joules: float
+    baseline_time_seconds: float
+
+    def __post_init__(self) -> None:
+        if not self.executions:
+            raise ValidationError("trace report has no executions")
+
+    @property
+    def total_energy_joules(self) -> float:
+        return sum(e.energy_joules for e in self.executions)
+
+    @property
+    def total_time_seconds(self) -> float:
+        return sum(e.time_seconds for e in self.executions)
+
+    @property
+    def energy_saving_fraction(self) -> float:
+        """Energy saved versus running everything at the reference."""
+        if self.baseline_energy_joules <= 0:
+            return 0.0
+        return 1.0 - self.total_energy_joules / self.baseline_energy_joules
+
+    @property
+    def slowdown(self) -> float:
+        """Runtime relative to the all-reference execution."""
+        if self.baseline_time_seconds <= 0:
+            return 1.0
+        return self.total_time_seconds / self.baseline_time_seconds
+
+    def chosen_configs(self) -> Mapping[str, FrequencyConfig]:
+        """kernel name -> configuration the manager settled on."""
+        chosen: Dict[str, FrequencyConfig] = {}
+        for execution in self.executions:
+            chosen[execution.kernel_name] = execution.config
+        return chosen

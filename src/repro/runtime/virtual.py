@@ -1,0 +1,159 @@
+"""Virtualized power attribution (use case 2 of Sec. V-B).
+
+The paper's NVIDIA GRID / Hyper-V scenario: "the model — constructed in the
+Hypervisor — could be provided to the guest VMs, allowing them to estimate
+their corresponding total and/or per-component power consumption (which
+they currently have no way of measuring)."
+
+Two roles:
+
+* :class:`HypervisorPowerService` — owns the fitted model (built on the
+  instrumented host), hands serialized copies to guests, and attributes the
+  board's energy across time-sliced guests from their activity windows;
+* :class:`GuestPowerEstimator` — runs inside a VM: it sees only its own
+  kernels' events (no sensor, no other guests), deserializes the model and
+  meters itself with the event-driven meter.
+
+The simulation of sharing is time-slicing — each guest's kernels run in its
+own slices — which matches how GRID vGPU scheduling multiplexes a board.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.model import DVFSPowerModel
+from repro.driver.session import ProfilingSession
+from repro.errors import ValidationError
+from repro.hardware.specs import FrequencyConfig
+from repro.kernels.kernel import KernelDescriptor
+from repro.runtime.meter import EventDrivenPowerMeter, MeterReading
+from repro.serialization import model_from_dict, model_to_dict
+
+
+@dataclass(frozen=True)
+class GuestUsage:
+    """One guest's accounted usage over an attribution period."""
+
+    guest: str
+    busy_seconds: float
+    energy_joules: float
+    readings: Tuple[MeterReading, ...]
+
+    @property
+    def average_power_watts(self) -> float:
+        if self.busy_seconds <= 0:
+            return 0.0
+        return self.energy_joules / self.busy_seconds
+
+
+class GuestPowerEstimator:
+    """The in-VM side: a deserialized model + an event-driven meter."""
+
+    def __init__(self, serialized_model: Mapping) -> None:
+        self.model: DVFSPowerModel = model_from_dict(dict(serialized_model))
+        self._meter = EventDrivenPowerMeter(self.model)
+
+    def observe(self, record) -> MeterReading:
+        """Meter one of the guest's own kernel launches from its events."""
+        return self._meter.observe_kernel(record)
+
+    @property
+    def total_energy_joules(self) -> float:
+        return self._meter.total_energy_joules
+
+    @property
+    def readings(self) -> List[MeterReading]:
+        return self._meter.readings
+
+
+class HypervisorPowerService:
+    """The host side: builds/holds the model and attributes shared usage."""
+
+    def __init__(
+        self, model: DVFSPowerModel, session: ProfilingSession
+    ) -> None:
+        self.model = model
+        self.session = session
+        self.spec = session.gpu.spec
+
+    # ------------------------------------------------------------------
+    def serialized_model(self) -> Dict:
+        """The artifact handed to guests (plain data, JSON-compatible)."""
+        return model_to_dict(self.model)
+
+    def provision_guest(self) -> GuestPowerEstimator:
+        """A ready-to-use in-VM estimator."""
+        return GuestPowerEstimator(self.serialized_model())
+
+    # ------------------------------------------------------------------
+    def attribute(
+        self,
+        guest_workloads: Mapping[str, Sequence[Tuple[KernelDescriptor, int]]],
+        config: Optional[FrequencyConfig] = None,
+        include_idle_overhead: bool = True,
+    ) -> Dict[str, GuestUsage]:
+        """Attribute the board's energy across time-sliced guests.
+
+        ``guest_workloads`` maps guest name to its (kernel, launches)
+        activity during the attribution period. Each guest's *dynamic*
+        energy comes from metering its own kernels; the board's constant
+        power over the period is split proportionally to busy time when
+        ``include_idle_overhead`` is set (the usual datacenter convention),
+        or dropped entirely otherwise.
+        """
+        if not guest_workloads:
+            raise ValidationError("no guests to attribute")
+        config = self.spec.validate_configuration(config or self.spec.reference)
+
+        usages: Dict[str, GuestUsage] = {}
+        busy: Dict[str, float] = {}
+        dynamic_energy: Dict[str, float] = {}
+        readings: Dict[str, List[MeterReading]] = {}
+        for guest, activity in guest_workloads.items():
+            if not activity:
+                raise ValidationError(f"guest {guest!r} reported no activity")
+            meter = EventDrivenPowerMeter(self.model)
+            guest_busy = 0.0
+            guest_energy = 0.0
+            for kernel, launches in activity:
+                if launches <= 0:
+                    raise ValidationError(
+                        f"guest {guest!r}: launches must be positive"
+                    )
+                # Identical launches are metered once and multiplied.
+                record = self.session.cupti.collect_events(kernel, config)
+                reading = meter.observe_kernel(record)
+                guest_busy += reading.window_seconds * launches
+                guest_energy += reading.energy_joules * launches
+            busy[guest] = guest_busy
+            dynamic_energy[guest] = guest_energy
+            readings[guest] = meter.readings
+
+        total_busy = sum(busy.values())
+        for guest in guest_workloads:
+            energy = dynamic_energy[guest]
+            usages[guest] = GuestUsage(
+                guest=guest,
+                busy_seconds=busy[guest],
+                energy_joules=energy,
+                readings=tuple(readings[guest]),
+            )
+        if include_idle_overhead and total_busy > 0:
+            # Split the period's constant power by busy-time share. The
+            # guests' metered readings already include the constant power
+            # while *they* run; the overhead term covers the shared idle
+            # gaps, approximated as 10% of the busy period.
+            idle_power = self.session.gpu.idle_power_watts(config)
+            overhead_seconds = 0.10 * total_busy
+            for guest, usage in usages.items():
+                share = busy[guest] / total_busy
+                usages[guest] = GuestUsage(
+                    guest=usage.guest,
+                    busy_seconds=usage.busy_seconds,
+                    energy_joules=usage.energy_joules
+                    + idle_power * overhead_seconds * share,
+                    readings=usage.readings,
+                )
+        return usages

@@ -1,0 +1,118 @@
+"""Model serialization — the "model built elsewhere" workflows of Sec. V-B.
+
+Two of the paper's use cases move a fitted model between machines: powering
+sensor-less devices from a model built on an instrumented twin, and the
+NVIDIA GRID virtualization scenario where the hypervisor builds the model
+and hands it to guest VMs that cannot read the sensor at all. Both need the
+model to survive a round-trip through a plain-data format; this module
+provides JSON.
+
+Only the *fitted artefacts* are serialized — the parameter vector and the
+per-configuration voltage estimates — plus the device name for spec lookup.
+The training data never leaves the fitting host.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.core.model import DVFSPowerModel, ModelParameters, VoltageEstimate
+from repro.errors import ValidationError
+from repro.hardware.components import CORE_COMPONENTS, Component
+from repro.hardware.specs import FrequencyConfig, GPUSpec, gpu_spec_by_name
+
+#: Format identifier stored in every serialized model.
+FORMAT = "repro-dvfs-power-model"
+FORMAT_VERSION = 1
+
+
+def model_to_dict(model: DVFSPowerModel) -> Dict[str, Any]:
+    """Plain-data representation of a fitted model."""
+    parameters = model.parameters
+    return {
+        "format": FORMAT,
+        "version": FORMAT_VERSION,
+        "device": model.spec.name,
+        "parameters": {
+            "beta0": parameters.beta0,
+            "beta1": parameters.beta1,
+            "beta2": parameters.beta2,
+            "beta3": parameters.beta3,
+            "omega_mem": parameters.omega_mem,
+            "omega_core": {
+                component.value: parameters.omega_core[component]
+                for component in CORE_COMPONENTS
+            },
+        },
+        "voltages": [
+            {
+                "core_mhz": config.core_mhz,
+                "memory_mhz": config.memory_mhz,
+                "v_core": model.voltage_at(config).v_core,
+                "v_mem": model.voltage_at(config).v_mem,
+            }
+            for config in sorted(
+                model.known_configurations(),
+                key=lambda c: (c.memory_mhz, c.core_mhz),
+            )
+        ],
+    }
+
+
+def model_from_dict(
+    data: Dict[str, Any], spec: Union[GPUSpec, None] = None
+) -> DVFSPowerModel:
+    """Rebuild a model from :func:`model_to_dict` output.
+
+    ``spec`` overrides the device lookup — useful when deploying a model to
+    a device object constructed locally (e.g. inside a guest VM).
+    """
+    if data.get("format") != FORMAT:
+        raise ValidationError(
+            f"not a serialized power model (format={data.get('format')!r})"
+        )
+    if data.get("version") != FORMAT_VERSION:
+        raise ValidationError(
+            f"unsupported model format version {data.get('version')!r}"
+        )
+    if spec is None:
+        spec = gpu_spec_by_name(data["device"])
+
+    raw = data["parameters"]
+    parameters = ModelParameters(
+        beta0=float(raw["beta0"]),
+        beta1=float(raw["beta1"]),
+        beta2=float(raw["beta2"]),
+        beta3=float(raw["beta3"]),
+        omega_mem=float(raw["omega_mem"]),
+        omega_core={
+            Component(name): float(value)
+            for name, value in raw["omega_core"].items()
+        },
+    )
+    voltages = {
+        FrequencyConfig(entry["core_mhz"], entry["memory_mhz"]): VoltageEstimate(
+            float(entry["v_core"]), float(entry["v_mem"])
+        )
+        for entry in data["voltages"]
+    }
+    if not voltages:
+        raise ValidationError("serialized model carries no voltage estimates")
+    return DVFSPowerModel(spec=spec, parameters=parameters, voltages=voltages)
+
+
+def save_model(model: DVFSPowerModel, path: Union[str, Path]) -> Path:
+    """Write a fitted model to a JSON file; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(model_to_dict(model), indent=2))
+    return path
+
+
+def load_model(
+    path: Union[str, Path], spec: Union[GPUSpec, None] = None
+) -> DVFSPowerModel:
+    """Read a fitted model back from :func:`save_model` output."""
+    data = json.loads(Path(path).read_text())
+    return model_from_dict(data, spec=spec)

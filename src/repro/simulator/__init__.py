@@ -1,0 +1,35 @@
+"""Energy-aware trace simulation (Sec. VII: "the proposed model can be used
+for the development of novel energy-aware GPU simulators").
+
+Given one profiling pass at the reference configuration, this subpackage
+predicts — without further execution — how an application trace behaves at
+any V-F configuration:
+
+* :mod:`repro.simulator.performance` — an execution-time predictor across
+  configurations, reconstructed from the reference utilization profile (in
+  the spirit of CRISP [39], but requiring no scoreboard hardware);
+* :mod:`repro.simulator.plans` — frequency plans: a static configuration,
+  a per-kernel assignment, or a policy evaluated on predictions;
+* :mod:`repro.simulator.energy` — the simulator itself: per-phase power,
+  time and energy of a trace under a plan, plan comparison, and grading of
+  the predictions against the (simulated) device.
+"""
+
+from repro.simulator.performance import FrequencyScalingTimePredictor
+from repro.simulator.plans import FrequencyPlan, PerKernelPlan, PolicyPlan, StaticPlan
+from repro.simulator.energy import (
+    EnergyAwareSimulator,
+    PhasePrediction,
+    SimulatedTraceResult,
+)
+
+__all__ = [
+    "FrequencyScalingTimePredictor",
+    "FrequencyPlan",
+    "StaticPlan",
+    "PerKernelPlan",
+    "PolicyPlan",
+    "EnergyAwareSimulator",
+    "PhasePrediction",
+    "SimulatedTraceResult",
+]

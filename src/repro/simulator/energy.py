@@ -1,0 +1,220 @@
+"""The energy-aware trace simulator.
+
+Combines the DVFS-aware power model with the frequency-scaling time
+predictor to evaluate application traces under arbitrary frequency plans —
+entirely from the one profiling pass at the reference configuration. This is
+the "energy-aware GPU simulator" of the paper's future-work list: what-if
+analysis over the whole V-F space with zero additional executions.
+
+``grade_against_device`` closes the loop for validation: it executes the
+same trace/plan on the simulated device and compares predicted vs measured
+energy — the honesty check every simulator needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.dvfs import ConfigurationScore
+from repro.core.metrics import MetricCalculator, UtilizationVector
+from repro.core.model import DVFSPowerModel
+from repro.driver.session import ProfilingSession
+from repro.errors import ValidationError
+from repro.hardware.specs import FrequencyConfig
+from repro.kernels.kernel import KernelDescriptor
+from repro.runtime.policies import FrequencyPolicy
+from repro.runtime.trace import ApplicationTrace
+from repro.simulator.performance import (
+    FrequencyScalingTimePredictor,
+    KernelTimeProfile,
+)
+from repro.simulator.plans import FrequencyPlan, PolicyPlan
+
+
+@dataclass(frozen=True)
+class PhasePrediction:
+    """Predicted behaviour of one trace phase under a plan."""
+
+    kernel_name: str
+    invocations: int
+    config: FrequencyConfig
+    power_watts: float
+    time_seconds: float  # total over all invocations
+
+    @property
+    def energy_joules(self) -> float:
+        return self.power_watts * self.time_seconds
+
+
+@dataclass(frozen=True)
+class SimulatedTraceResult:
+    """Predicted totals of one trace under one plan."""
+
+    trace_name: str
+    plan_name: str
+    phases: Tuple[PhasePrediction, ...]
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValidationError("simulated trace has no phases")
+
+    @property
+    def total_energy_joules(self) -> float:
+        return sum(p.energy_joules for p in self.phases)
+
+    @property
+    def total_time_seconds(self) -> float:
+        return sum(p.time_seconds for p in self.phases)
+
+    @property
+    def average_power_watts(self) -> float:
+        if self.total_time_seconds <= 0:
+            return 0.0
+        return self.total_energy_joules / self.total_time_seconds
+
+
+class EnergyAwareSimulator:
+    """Predicts trace energy/time under frequency plans."""
+
+    def __init__(
+        self,
+        model: DVFSPowerModel,
+        session: ProfilingSession,
+        time_predictor: Optional[FrequencyScalingTimePredictor] = None,
+    ) -> None:
+        """``session`` is used exactly once per kernel, at the reference
+        configuration, to collect events and the reference runtime — the
+        profile-once discipline. Everything else is prediction."""
+        self.model = model
+        self.session = session
+        self.spec = session.gpu.spec
+        self.time_predictor = time_predictor or FrequencyScalingTimePredictor(
+            self.spec
+        )
+        self._calculator = MetricCalculator(self.spec)
+        self._profiles: Dict[str, Tuple[UtilizationVector, KernelTimeProfile]] = {}
+
+    # ------------------------------------------------------------------
+    # Profiling (reference configuration only)
+    # ------------------------------------------------------------------
+    def _profile(
+        self, kernel: KernelDescriptor
+    ) -> Tuple[UtilizationVector, KernelTimeProfile]:
+        if kernel.name not in self._profiles:
+            events = self.session.collect_events(kernel)
+            utilizations = self._calculator.utilizations(events)
+            reference_seconds = self.session.measure_time(kernel)
+            profile = self.time_predictor.profile(
+                reference_seconds, utilizations
+            )
+            self._profiles[kernel.name] = (utilizations, profile)
+        return self._profiles[kernel.name]
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict_kernel(
+        self, kernel: KernelDescriptor, config: FrequencyConfig
+    ) -> ConfigurationScore:
+        """Predicted (power, time) of one kernel invocation at a config."""
+        utilizations, profile = self._profile(kernel)
+        config = self.spec.validate_configuration(config)
+        return ConfigurationScore(
+            config=config,
+            predicted_power_watts=self.model.predict_power(
+                utilizations, config
+            ),
+            time_seconds=self.time_predictor.predict_seconds(profile, config),
+        )
+
+    def score_grid(
+        self, kernel: KernelDescriptor
+    ) -> Dict[FrequencyConfig, ConfigurationScore]:
+        """Predicted scores for every configuration of the device."""
+        return {
+            config: self.predict_kernel(kernel, config)
+            for config in self.spec.all_configurations()
+        }
+
+    def simulate(
+        self, trace: ApplicationTrace, plan: FrequencyPlan
+    ) -> SimulatedTraceResult:
+        """Predicted totals of a trace under a plan."""
+        phases: List[PhasePrediction] = []
+        for phase in trace.phases:
+            config = self.spec.validate_configuration(
+                plan.config_for(phase.kernel)
+            )
+            score = self.predict_kernel(phase.kernel, config)
+            phases.append(
+                PhasePrediction(
+                    kernel_name=phase.kernel.name,
+                    invocations=phase.invocations,
+                    config=config,
+                    power_watts=score.predicted_power_watts,
+                    time_seconds=score.time_seconds * phase.invocations,
+                )
+            )
+        return SimulatedTraceResult(
+            trace_name=trace.name, plan_name=plan.name, phases=tuple(phases)
+        )
+
+    def compare_plans(
+        self, trace: ApplicationTrace, plans: Sequence[FrequencyPlan]
+    ) -> List[SimulatedTraceResult]:
+        """Simulate a trace under several plans, best energy first."""
+        if not plans:
+            raise ValidationError("no plans supplied")
+        results = [self.simulate(trace, plan) for plan in plans]
+        return sorted(results, key=lambda result: result.total_energy_joules)
+
+    def policy_plan(
+        self, policy: FrequencyPolicy, label: str = ""
+    ) -> PolicyPlan:
+        """A plan that applies a runtime policy to this simulator's
+        predictions."""
+        return PolicyPlan(
+            policy=policy,
+            score_function=self.score_grid,
+            reference_config=self.spec.reference,
+            label=label,
+        )
+
+    # ------------------------------------------------------------------
+    # Grading
+    # ------------------------------------------------------------------
+    def grade_against_device(
+        self, trace: ApplicationTrace, plan: FrequencyPlan
+    ) -> Dict[str, float]:
+        """Execute the trace/plan on the device and compare with prediction.
+
+        Returns predicted and measured totals plus relative errors — the
+        simulator's accuracy statement.
+        """
+        predicted = self.simulate(trace, plan)
+        measured_energy = 0.0
+        measured_time = 0.0
+        for phase in trace.phases:
+            config = self.spec.validate_configuration(
+                plan.config_for(phase.kernel)
+            )
+            power = self.session.measure_power(
+                phase.kernel, config, median=False
+            ).average_watts
+            seconds = self.session.measure_time(phase.kernel, config)
+            measured_energy += power * seconds * phase.invocations
+            measured_time += seconds * phase.invocations
+        return {
+            "predicted_energy_joules": predicted.total_energy_joules,
+            "measured_energy_joules": measured_energy,
+            "energy_error_fraction": (
+                (predicted.total_energy_joules - measured_energy)
+                / measured_energy
+            ),
+            "predicted_time_seconds": predicted.total_time_seconds,
+            "measured_time_seconds": measured_time,
+            "time_error_fraction": (
+                (predicted.total_time_seconds - measured_time) / measured_time
+            ),
+        }

@@ -1,0 +1,114 @@
+"""Execution-time prediction across V-F configurations.
+
+The power model alone answers "how many watts at configuration F"; energy
+and DVFS decisions also need "how long at configuration F". This predictor
+reconstructs a kernel's time-scaling behaviour from quantities measured at
+the **reference configuration only** — the same profile-once discipline the
+power model follows:
+
+* each core-side component busy for a fraction ``U_c`` of the reference run
+  stretches with ``f_core_ref / f_core``;
+* the DRAM busy fraction stretches with ``f_mem_ref / f_mem``;
+* the *unattributed* remainder of the runtime (dependency stalls, limited
+  occupancy — whatever no counter explains) is treated as core-clocked
+  latency.
+
+The pieces overlap, so they combine through a smooth maximum (p-norm) rather
+than a sum — the same overlap law the bottleneck literature uses. Related in
+spirit to the CRISP DVFS performance model [39], but built purely from
+Table-I events, with no extra scoreboard hardware (the paper's criticism of
+that approach).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.metrics import UtilizationVector
+from repro.errors import ValidationError
+from repro.hardware.components import CORE_COMPONENTS, Component
+from repro.hardware.specs import FrequencyConfig, GPUSpec
+
+#: Overlap exponent of the smooth maximum. Matches the bottleneck law the
+#: substrate uses, but the predictor never reads the substrate's internals —
+#: this is a modeling assumption, stated here once.
+OVERLAP_EXPONENT = 6.0
+
+
+@dataclass(frozen=True)
+class KernelTimeProfile:
+    """Reference-configuration timing profile of one kernel."""
+
+    reference_seconds: float
+    utilizations: UtilizationVector
+
+    def __post_init__(self) -> None:
+        if self.reference_seconds <= 0:
+            raise ValidationError("reference time must be positive")
+
+
+class FrequencyScalingTimePredictor:
+    """Predicts kernel execution time at any configuration from its
+    reference profile."""
+
+    def __init__(
+        self, spec: GPUSpec, overlap_exponent: float = OVERLAP_EXPONENT
+    ) -> None:
+        if overlap_exponent < 1.0:
+            raise ValidationError("overlap exponent must be >= 1")
+        self.spec = spec
+        self.overlap_exponent = overlap_exponent
+
+    # ------------------------------------------------------------------
+    def profile(
+        self, reference_seconds: float, utilizations: UtilizationVector
+    ) -> KernelTimeProfile:
+        """Bundle the two reference measurements into a profile."""
+        return KernelTimeProfile(
+            reference_seconds=reference_seconds, utilizations=utilizations
+        )
+
+    def predict_seconds(
+        self, profile: KernelTimeProfile, config: FrequencyConfig
+    ) -> float:
+        """Predicted execution time at ``config``."""
+        config = self.spec.validate_configuration(config)
+        reference = self.spec.reference
+        core_stretch = reference.core_mhz / config.core_mhz
+        mem_stretch = reference.memory_mhz / config.memory_mhz
+        p = self.overlap_exponent
+        utilizations = profile.utilizations
+
+        mass = 0.0
+        for component in CORE_COMPONENTS:
+            mass += (utilizations[component] * core_stretch) ** p
+        mass += (utilizations[Component.DRAM] * mem_stretch) ** p
+
+        # Latency slack: the share of the reference runtime no component's
+        # busy-fraction accounts for, under the same overlap law.
+        accounted = sum(
+            utilizations[component] ** p for component in CORE_COMPONENTS
+        )
+        accounted += utilizations[Component.DRAM] ** p
+        slack_mass = max(1.0 - accounted, 0.0)
+        mass += slack_mass * core_stretch**p
+
+        return profile.reference_seconds * mass ** (1.0 / p)
+
+    def predict_speedup(
+        self, profile: KernelTimeProfile, config: FrequencyConfig
+    ) -> float:
+        """Reference time over predicted time (>1 = faster than reference)."""
+        return profile.reference_seconds / self.predict_seconds(
+            profile, config
+        )
+
+    def predict_grid(
+        self, profile: KernelTimeProfile
+    ) -> Mapping[FrequencyConfig, float]:
+        """Predicted times for every configuration of the device."""
+        return {
+            config: self.predict_seconds(profile, config)
+            for config in self.spec.all_configurations()
+        }

@@ -1,0 +1,124 @@
+"""Frequency plans: how a trace's kernels map onto V-F configurations.
+
+A plan answers "which configuration does kernel K run at" — the decision
+variable the energy-aware simulator sweeps. Three shapes cover the usual
+studies:
+
+* :class:`StaticPlan` — one configuration for everything (the baseline and
+  the exhaustive-search candidates of [29]);
+* :class:`PerKernelPlan` — an explicit kernel-to-configuration table;
+* :class:`PolicyPlan` — a :mod:`repro.runtime.policies` policy evaluated on
+  the simulator's *predictions* (the offline what-if analogue of the online
+  manager).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional
+
+from repro.analysis.dvfs import ConfigurationScore
+from repro.errors import ValidationError
+from repro.hardware.specs import FrequencyConfig
+from repro.kernels.kernel import KernelDescriptor
+from repro.runtime.policies import FrequencyPolicy
+
+#: Signature the PolicyPlan needs: score every candidate configuration of a
+#: kernel from predictions (supplied by the simulator).
+ScoreFunction = Callable[[KernelDescriptor], Dict[FrequencyConfig, ConfigurationScore]]
+
+
+class FrequencyPlan(abc.ABC):
+    """Strategy mapping kernels to configurations."""
+
+    @abc.abstractmethod
+    def config_for(self, kernel: KernelDescriptor) -> FrequencyConfig:
+        """The configuration ``kernel`` runs at under this plan."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class StaticPlan(FrequencyPlan):
+    """Every kernel at one fixed configuration."""
+
+    config: FrequencyConfig
+    label: str = ""
+
+    def config_for(self, kernel: KernelDescriptor) -> FrequencyConfig:
+        return self.config
+
+    @property
+    def name(self) -> str:
+        return self.label or f"static{self.config}"
+
+
+class PerKernelPlan(FrequencyPlan):
+    """Explicit kernel-name → configuration table."""
+
+    def __init__(
+        self,
+        assignments: Mapping[str, FrequencyConfig],
+        default: Optional[FrequencyConfig] = None,
+        label: str = "per-kernel",
+    ) -> None:
+        if not assignments and default is None:
+            raise ValidationError("per-kernel plan needs assignments or a default")
+        self._assignments = dict(assignments)
+        self._default = default
+        self._label = label
+
+    def config_for(self, kernel: KernelDescriptor) -> FrequencyConfig:
+        if kernel.name in self._assignments:
+            return self._assignments[kernel.name]
+        if self._default is None:
+            raise ValidationError(
+                f"plan has no configuration for kernel {kernel.name!r} "
+                "and no default"
+            )
+        return self._default
+
+    @property
+    def name(self) -> str:
+        return self._label
+
+
+class PolicyPlan(FrequencyPlan):
+    """A runtime policy applied to simulator predictions, lazily per kernel.
+
+    The simulator injects ``score_function`` (predicted power/time/energy of
+    every candidate configuration) and ``reference_config``; decisions are
+    cached per kernel name, like the online manager's plans.
+    """
+
+    def __init__(
+        self,
+        policy: FrequencyPolicy,
+        score_function: ScoreFunction,
+        reference_config: FrequencyConfig,
+        label: str = "",
+    ) -> None:
+        self.policy = policy
+        self._score_function = score_function
+        self._reference_config = reference_config
+        self._label = label
+        self._decisions: Dict[str, FrequencyConfig] = {}
+
+    def config_for(self, kernel: KernelDescriptor) -> FrequencyConfig:
+        if kernel.name not in self._decisions:
+            scores = self._score_function(kernel)
+            reference = scores.get(self._reference_config)
+            if reference is None:
+                raise ValidationError(
+                    "score function did not score the reference configuration"
+                )
+            chosen = self.policy.choose(list(scores.values()), reference)
+            self._decisions[kernel.name] = chosen.config
+        return self._decisions[kernel.name]
+
+    @property
+    def name(self) -> str:
+        return self._label or f"policy:{type(self.policy).__name__}"

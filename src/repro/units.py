@@ -1,0 +1,109 @@
+"""Small value helpers for frequencies, voltages, power and energy.
+
+The library works in the units the paper reports: frequencies in MHz,
+power in watts, voltages normalized to the reference configuration
+(``V_bar = V / V_ref``), time in seconds and energy in joules. These helpers
+keep conversions explicit and centralize the tolerance used when comparing
+frequency levels.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+#: Absolute tolerance (MHz) when matching a requested frequency to a level.
+FREQUENCY_TOLERANCE_MHZ = 0.5
+
+#: Number of bytes in one DRAM "sector" as counted by fb_subp events.
+SECTOR_BYTES = 32
+
+
+def mhz_to_hz(frequency_mhz: float) -> float:
+    """Convert a frequency from MHz to Hz."""
+    return float(frequency_mhz) * 1.0e6
+
+
+def hz_to_mhz(frequency_hz: float) -> float:
+    """Convert a frequency from Hz to MHz."""
+    return float(frequency_hz) / 1.0e6
+
+
+def cycles_to_seconds(cycles: float, frequency_mhz: float) -> float:
+    """Time in seconds taken by ``cycles`` clock cycles at ``frequency_mhz``."""
+    if frequency_mhz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_mhz}")
+    return float(cycles) / mhz_to_hz(frequency_mhz)
+
+
+def seconds_to_cycles(seconds: float, frequency_mhz: float) -> float:
+    """Number of clock cycles elapsed in ``seconds`` at ``frequency_mhz``."""
+    if frequency_mhz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_mhz}")
+    return float(seconds) * mhz_to_hz(frequency_mhz)
+
+
+def gib_per_second(bytes_count: float, seconds: float) -> float:
+    """Achieved bandwidth in GiB/s for ``bytes_count`` moved in ``seconds``."""
+    if seconds <= 0:
+        raise ValueError(f"duration must be positive, got {seconds}")
+    return bytes_count / seconds / 2.0**30
+
+
+def energy_joules(power_watts: float, seconds: float) -> float:
+    """Energy in joules for an average power over a duration."""
+    return float(power_watts) * float(seconds)
+
+
+def frequencies_equal(a_mhz: float, b_mhz: float) -> bool:
+    """Whether two frequencies denote the same level (within tolerance)."""
+    return math.isclose(a_mhz, b_mhz, abs_tol=FREQUENCY_TOLERANCE_MHZ)
+
+
+def find_frequency_level(
+    requested_mhz: float, levels_mhz: Iterable[float]
+) -> float | None:
+    """Return the supported level matching ``requested_mhz``, or ``None``."""
+    for level in levels_mhz:
+        if frequencies_equal(requested_mhz, level):
+            return level
+    return None
+
+
+def closest_lower_level(
+    frequency_mhz: float, levels_mhz: Sequence[float]
+) -> float | None:
+    """Largest supported level strictly below ``frequency_mhz``.
+
+    Used by the TDP-throttling policy (Fig. 9 footnote): when the power at a
+    configuration would exceed TDP, the device falls back to the closest lower
+    core-frequency level. Returns ``None`` when already at the lowest level.
+    """
+    lower = [f for f in levels_mhz if f < frequency_mhz - FREQUENCY_TOLERANCE_MHZ]
+    if not lower:
+        return None
+    return max(lower)
+
+
+def mean_absolute_percentage_error(
+    measured: Sequence[float], predicted: Sequence[float]
+) -> float:
+    """Mean absolute error in percent, as reported throughout the paper.
+
+    ``100 * mean(|predicted - measured| / measured)`` over paired samples.
+    """
+    measured = list(measured)
+    predicted = list(predicted)
+    if len(measured) != len(predicted):
+        raise ValueError(
+            f"length mismatch: {len(measured)} measured vs "
+            f"{len(predicted)} predicted"
+        )
+    if not measured:
+        raise ValueError("cannot compute error of an empty sample set")
+    total = 0.0
+    for m, p in zip(measured, predicted):
+        if m <= 0:
+            raise ValueError(f"measured power must be positive, got {m}")
+        total += abs(p - m) / m
+    return 100.0 * total / len(measured)

@@ -1,0 +1,29 @@
+"""Validation workloads — the 26 standard benchmarks of Table III.
+
+The paper validates on applications from Rodinia, Parboil, Polybench and the
+CUDA SDK, none of which were used to build the model. Here each application
+is a kernel descriptor generated from a target utilization profile observed
+at the reference configuration of the GTX Titan X (the figures of the paper
+annotate many of these profiles — e.g. BlackScholes in Fig. 2A, CUTCP in
+Fig. 2B, matrixMulCUBLAS in Fig. 9).
+
+Being generated from a different family than the microbenchmarks, and never
+entering the fitting pipeline, the registry provides the bias-free
+validation set of Sec. V-A.
+"""
+
+from repro.workloads.registry import (
+    VALIDATION_WORKLOADS,
+    all_workloads,
+    workload_by_name,
+    workloads_of_suite,
+)
+from repro.workloads.profiles import kernel_from_utilizations
+
+__all__ = [
+    "VALIDATION_WORKLOADS",
+    "all_workloads",
+    "workload_by_name",
+    "workloads_of_suite",
+    "kernel_from_utilizations",
+]

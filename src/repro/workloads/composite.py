@@ -1,0 +1,142 @@
+"""Multi-kernel applications (Sec. V-A measurement methodology).
+
+Several Table-III benchmarks launch more than one kernel (K-Means appears
+in the figures as its two kernels ``K-M`` and ``K-M_2``). The paper handles
+them by weighting: "For benchmarks with multiple kernels the total power
+consumption was obtained by weighting the consumption of each kernel with
+its relative execution time." This module implements that aggregation for
+both sides of a validation:
+
+* :meth:`MultiKernelApplication.measure_power` — the measured side:
+  per-kernel average power weighted by per-kernel execution time at the
+  *same* configuration;
+* :meth:`MultiKernelApplication.predict_power` — the modeled side: each
+  kernel's events collected once at the reference configuration, each
+  kernel's power predicted at the target configuration, weighted by the
+  kernels' execution times there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.metrics import MetricCalculator, UtilizationVector
+from repro.core.model import DVFSPowerModel
+from repro.driver.session import ProfilingSession
+from repro.errors import ValidationError
+from repro.hardware.specs import FrequencyConfig
+from repro.kernels.kernel import KernelDescriptor
+
+
+@dataclass(frozen=True)
+class MultiKernelApplication:
+    """An application composed of several kernels with launch multiplicity."""
+
+    name: str
+    #: (kernel, launches per application run) pairs.
+    kernels: Tuple[Tuple[KernelDescriptor, int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.kernels:
+            raise ValidationError(f"application {self.name!r} has no kernels")
+        for kernel, launches in self.kernels:
+            if launches <= 0:
+                raise ValidationError(
+                    f"{self.name}: kernel {kernel.name!r} must launch at "
+                    "least once"
+                )
+        names = [kernel.name for kernel, _ in self.kernels]
+        if len(set(names)) != len(names):
+            raise ValidationError(
+                f"{self.name}: kernel names must be unique"
+            )
+
+    @staticmethod
+    def of(name: str, *kernels: KernelDescriptor) -> "MultiKernelApplication":
+        """Application launching each kernel once."""
+        return MultiKernelApplication(
+            name=name, kernels=tuple((kernel, 1) for kernel in kernels)
+        )
+
+    # ------------------------------------------------------------------
+    def _kernel_times(
+        self, session: ProfilingSession, config: FrequencyConfig
+    ) -> Dict[str, float]:
+        """Total execution time per kernel at a configuration."""
+        return {
+            kernel.name: session.measure_time(kernel, config) * launches
+            for kernel, launches in self.kernels
+        }
+
+    def measure_power(
+        self,
+        session: ProfilingSession,
+        config: Optional[FrequencyConfig] = None,
+    ) -> float:
+        """Time-weighted measured average power of the application."""
+        config = session.gpu.spec.validate_configuration(
+            config or session.gpu.spec.reference
+        )
+        times = self._kernel_times(session, config)
+        total_time = sum(times.values())
+        weighted = 0.0
+        for kernel, _ in self.kernels:
+            power = session.measure_power(kernel, config).average_watts
+            weighted += power * times[kernel.name]
+        return weighted / total_time
+
+    def predict_power(
+        self,
+        model: DVFSPowerModel,
+        session: ProfilingSession,
+        config: Optional[FrequencyConfig] = None,
+        utilizations: Optional[Dict[str, UtilizationVector]] = None,
+    ) -> float:
+        """Time-weighted model prediction at a configuration.
+
+        ``utilizations`` may carry pre-collected per-kernel utilization
+        vectors (profile-once reuse); missing kernels are profiled at the
+        reference configuration.
+        """
+        spec = session.gpu.spec
+        config = spec.validate_configuration(config or spec.reference)
+        calculator = MetricCalculator(spec)
+        vectors = dict(utilizations or {})
+        for kernel, _ in self.kernels:
+            if kernel.name not in vectors:
+                vectors[kernel.name] = calculator.utilizations(
+                    session.collect_events(kernel)
+                )
+        times = self._kernel_times(session, config)
+        total_time = sum(times.values())
+        weighted = 0.0
+        for kernel, _ in self.kernels:
+            predicted = model.predict_power(vectors[kernel.name], config)
+            weighted += predicted * times[kernel.name]
+        return weighted / total_time
+
+    def dominant_kernel(
+        self, session: ProfilingSession, config: Optional[FrequencyConfig] = None
+    ) -> str:
+        """The kernel holding the largest share of the runtime."""
+        config = session.gpu.spec.validate_configuration(
+            config or session.gpu.spec.reference
+        )
+        times = self._kernel_times(session, config)
+        return max(times, key=times.get)
+
+
+def kmeans_application(
+    spec=None,
+) -> MultiKernelApplication:
+    """The K-Means benchmark as its two kernels (the paper's K-M / K-M_2)."""
+    from repro.workloads.registry import workload_by_name
+
+    return MultiKernelApplication(
+        name="kmeans_full",
+        kernels=(
+            (workload_by_name("kmeans", spec), 3),
+            (workload_by_name("kmeans_2", spec), 1),
+        ),
+    )

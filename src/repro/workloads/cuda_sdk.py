@@ -1,0 +1,69 @@
+"""CUDA SDK benchmark profiles (Table III): BlackScholes,
+ConjugateGradientUM and matrixMulCUBLAS.
+
+BlackScholes is the paper's running DRAM-bound example (Fig. 2A: DRAM
+utilization 0.85, 181 W at the GTX Titan X defaults, −52 % power at the low
+memory frequency). matrixMulCUBLAS is the Fig. 9 input-size study: its
+utilization profile depends on the (square) matrix dimension, with the
+4096x4096 case dense enough to trip TDP throttling at the highest core
+frequency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.hardware.components import Component as C
+from repro.hardware.specs import GPUSpec
+from repro.kernels.kernel import KernelDescriptor
+from repro.workloads.profiles import kernel_from_utilizations
+
+CUDA_SDK_PROFILES: Dict[str, Tuple[Dict[C, float], float]] = {
+    "blackscholes": (
+        {C.SP: 0.47, C.INT: 0.19, C.L2: 0.25, C.DRAM: 0.85},
+        0.60,
+    ),
+    "conjugategradient_um": (
+        {C.SP: 0.25, C.DP: 0.30, C.L2: 0.30, C.DRAM: 0.55},
+        0.75,
+    ),
+}
+
+#: Fig. 9 utilization profiles of matrixMulCUBLAS per square-matrix size.
+MATRIXMUL_SIZE_PROFILES: Dict[int, Tuple[Dict[C, float], float]] = {
+    64: (
+        {C.SP: 0.13, C.SHARED: 0.08, C.L2: 0.17, C.DRAM: 0.05},
+        0.70,
+    ),
+    512: (
+        {C.SP: 0.50, C.SHARED: 0.28, C.L2: 0.26, C.DRAM: 0.12},
+        0.70,
+    ),
+    4096: (
+        {C.SP: 0.92, C.SHARED: 0.50, C.L2: 0.58, C.DRAM: 0.26},
+        0.70,
+    ),
+}
+
+#: Single-run duration per matrix size: the kernel grows roughly with the
+#: cube of the dimension, but repetition (Sec. V-A) evens out measurement
+#: quality, so only representative magnitudes matter.
+_MATRIXMUL_DURATIONS = {64: 5.0e-5, 512: 5.0e-4, 4096: 4.0e-3}
+
+
+def matrixmul_cublas(size: int, spec: GPUSpec) -> KernelDescriptor:
+    """The matrixMulCUBLAS kernel for one input size (Fig. 9)."""
+    if size not in MATRIXMUL_SIZE_PROFILES:
+        known = sorted(MATRIXMUL_SIZE_PROFILES)
+        raise KeyError(f"no profile for matrix size {size}; known: {known}")
+    utilizations, read_fraction = MATRIXMUL_SIZE_PROFILES[size]
+    return kernel_from_utilizations(
+        name=f"matrixmul_cublas_{size}",
+        utilizations=utilizations,
+        spec=spec,
+        duration_seconds=_MATRIXMUL_DURATIONS[size],
+        threads=max(size * size, 1024),
+        dram_read_fraction=read_fraction,
+        suite="cuda_sdk",
+        tags={"application": "matrixmul_cublas", "matrix_size": str(size)},
+    )

@@ -1,0 +1,25 @@
+"""Parboil benchmark profiles (Table III): CUTCP and LBM.
+
+CUTCP is anchored on Fig. 2B: a compute/shared-memory-bound kernel
+(135 W at the GTX Titan X defaults) whose power barely reacts to memory
+frequency scaling. LBM is the classic lattice-Boltzmann streaming kernel —
+heavily DRAM-bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.hardware.components import Component as C
+
+PARBOIL_PROFILES: Dict[str, Tuple[Dict[C, float], float]] = {
+    "cutcp": (
+        {C.SP: 0.45, C.INT: 0.11, C.SF: 0.12, C.SHARED: 0.45,
+         C.L2: 0.10, C.DRAM: 0.06},
+        0.55,
+    ),
+    "lbm": (
+        {C.SP: 0.30, C.L2: 0.25, C.DRAM: 0.70},
+        0.50,
+    ),
+}

@@ -1,0 +1,60 @@
+"""Polybench benchmark profiles (Table III): eleven linear-algebra and
+stencil kernels.
+
+The GEMM family (2MM, 3MM, GEMM, SYRK) is compute- and shared-memory-heavy;
+GESUMMV and the stencils (FDTD-2D, 3DCONV) stream through DRAM; SYRK_DOUBLE
+is the suite's double-precision representative.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.hardware.components import Component as C
+
+POLYBENCH_PROFILES: Dict[str, Tuple[Dict[C, float], float]] = {
+    "2mm": (
+        {C.SP: 0.60, C.SHARED: 0.40, C.L2: 0.30, C.DRAM: 0.20},
+        0.65,
+    ),
+    "3mm": (
+        {C.SP: 0.58, C.SHARED: 0.38, C.L2: 0.30, C.DRAM: 0.22},
+        0.65,
+    ),
+    "fdtd_2d": (
+        {C.SP: 0.40, C.L2: 0.35, C.DRAM: 0.55},
+        0.60,
+    ),
+    "syrk": (
+        {C.SP: 0.55, C.SHARED: 0.30, C.L2: 0.25, C.DRAM: 0.25},
+        0.60,
+    ),
+    "corr": (
+        {C.SP: 0.35, C.INT: 0.25, C.L2: 0.30, C.DRAM: 0.30},
+        0.65,
+    ),
+    "gemm": (
+        {C.SP: 0.65, C.SHARED: 0.45, C.L2: 0.28, C.DRAM: 0.18},
+        0.60,
+    ),
+    "gesummv": (
+        {C.SP: 0.30, C.L2: 0.40, C.DRAM: 0.65},
+        0.80,
+    ),
+    "gramschmidt": (
+        {C.SP: 0.35, C.INT: 0.20, C.SHARED: 0.20, C.L2: 0.25, C.DRAM: 0.30},
+        0.60,
+    ),
+    "syrk_double": (
+        {C.DP: 0.50, C.SHARED: 0.25, C.L2: 0.22, C.DRAM: 0.25},
+        0.60,
+    ),
+    "3dconv": (
+        {C.SP: 0.40, C.L2: 0.45, C.DRAM: 0.50},
+        0.70,
+    ),
+    "covar": (
+        {C.SP: 0.35, C.INT: 0.25, C.L2: 0.30, C.DRAM: 0.28},
+        0.65,
+    ),
+}

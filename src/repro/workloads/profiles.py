@@ -1,0 +1,105 @@
+"""Build kernel descriptors from target utilization profiles.
+
+Applications are characterized by how they load the GPU components at the
+reference configuration (the per-component utilizations annotated throughout
+the paper's figures). :func:`kernel_from_utilizations` inverts the
+bottleneck timing model of :mod:`repro.hardware.performance` to produce a
+kernel descriptor that exhibits a requested utilization profile at the
+reference configuration of a chosen device — and then responds to DVFS, to
+other devices and to input scaling exactly like any other kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.errors import ValidationError
+from repro.hardware.components import ALL_COMPONENTS, Component
+from repro.hardware.performance import DISPATCH_OVERHEAD, OVERLAP_EXPONENT
+from repro.hardware.specs import GPUSpec
+from repro.kernels.kernel import KernelDescriptor
+from repro.units import seconds_to_cycles
+
+#: Default single-run duration of a generated workload at the reference
+#: configuration, in seconds.
+DEFAULT_DURATION_SECONDS = 2.0e-3
+
+#: Default launch size of a generated workload.
+DEFAULT_THREADS = 4_000_000
+
+
+def _component_rate(spec: GPUSpec, component: Component) -> float:
+    """Peak work rate of a component at the reference configuration
+    (scalar ops/s for units, bytes/s for memory levels)."""
+    reference = spec.reference
+    if component.is_compute_unit:
+        return spec.peak_warp_rate(component, reference.core_mhz) * spec.warp_size
+    return spec.peak_bandwidth(component, reference)
+
+
+def kernel_from_utilizations(
+    name: str,
+    utilizations: Mapping[Component, float],
+    spec: GPUSpec,
+    duration_seconds: float = DEFAULT_DURATION_SECONDS,
+    threads: int = DEFAULT_THREADS,
+    dram_read_fraction: float = 0.6,
+    suite: str = "",
+    tags: Optional[Mapping[str, str]] = None,
+) -> KernelDescriptor:
+    """A kernel showing ``utilizations`` at ``spec``'s reference config.
+
+    The total work per component is ``U_c * rate_c * T``; the latency floor
+    (``min_cycles``) absorbs whatever headroom the smooth-max timing model
+    leaves, so the generated kernel's elapsed time lands on
+    ``duration_seconds`` and its utilizations on the requested profile. When
+    the profile is so aggressive that no latency floor can make the smooth
+    max land exactly (sum of ``U^p`` too close to 1), the floor is dropped
+    and the achieved utilizations come out proportionally compressed — the
+    behaviour of a genuinely saturated kernel.
+    """
+    if duration_seconds <= 0:
+        raise ValidationError(f"{name}: duration must be positive")
+    for component, value in utilizations.items():
+        if not 0.0 <= value <= 1.0:
+            raise ValidationError(
+                f"{name}: utilization of {component} must be in [0, 1], "
+                f"got {value}"
+            )
+
+    reference = spec.reference
+    work = {
+        component: utilizations.get(component, 0.0)
+        * _component_rate(spec, component)
+        * duration_seconds
+        for component in ALL_COMPONENTS
+    }
+
+    # Solve the latency floor so the smooth max reproduces duration_seconds:
+    # ((sum_c (U_c T)^p) + floor^p)^(1/p) * (1 + overhead) = T.
+    p = OVERLAP_EXPONENT
+    target = 1.0 / (1.0 + DISPATCH_OVERHEAD) ** p
+    utilization_mass = sum(
+        utilizations.get(component, 0.0) ** p for component in ALL_COMPONENTS
+    )
+    if utilization_mass < target:
+        floor_seconds = duration_seconds * (target - utilization_mass) ** (1.0 / p)
+    else:
+        floor_seconds = 0.0
+    min_cycles = seconds_to_cycles(floor_seconds, reference.core_mhz)
+
+    return KernelDescriptor(
+        name=name,
+        threads=threads,
+        int_ops=work[Component.INT] / threads,
+        sp_ops=work[Component.SP] / threads,
+        dp_ops=work[Component.DP] / threads,
+        sf_ops=work[Component.SF] / threads,
+        shared_bytes=work[Component.SHARED] / threads,
+        l2_bytes=work[Component.L2] / threads,
+        dram_bytes=work[Component.DRAM] / threads,
+        dram_read_fraction=dram_read_fraction,
+        min_cycles=min_cycles,
+        suite=suite,
+        tags=dict(tags or {}),
+    )

@@ -1,0 +1,92 @@
+"""The validation-workload registry (Table III).
+
+26 applications from 4 suites, materialized as 27 kernel entries (K-Means
+contributes the two kernels shown as ``K-M`` and ``K-M_2`` in Fig. 7/8/10;
+matrixMulCUBLAS enters with its default 4096x4096 configuration and exposes
+the other Fig. 9 sizes through :func:`repro.workloads.cuda_sdk.matrixmul_cublas`).
+
+Workload descriptors are generated against a *profiling device* (the GTX
+Titan X by default — the device whose figures annotate the profiles) and can
+then be executed on any simulated GPU.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ValidationError
+from repro.hardware.components import Component
+from repro.hardware.specs import GPUSpec, GTX_TITAN_X
+from repro.kernels.kernel import KernelDescriptor
+from repro.workloads.cuda_sdk import CUDA_SDK_PROFILES, matrixmul_cublas
+from repro.workloads.parboil import PARBOIL_PROFILES
+from repro.workloads.polybench import POLYBENCH_PROFILES
+from repro.workloads.profiles import kernel_from_utilizations
+from repro.workloads.rodinia import RODINIA_PROFILES
+
+#: Number of distinct applications (Table III).
+APPLICATION_COUNT = 26
+
+#: Number of workload entries (K-Means counts twice, as in the figures).
+WORKLOAD_COUNT = 27
+
+#: suite name -> profile table
+_SUITES: Dict[str, Dict[str, Tuple[Dict[Component, float], float]]] = {
+    "rodinia": RODINIA_PROFILES,
+    "parboil": PARBOIL_PROFILES,
+    "polybench": POLYBENCH_PROFILES,
+    "cuda_sdk": CUDA_SDK_PROFILES,
+}
+
+#: All workload names, suite-major, in a stable order.
+VALIDATION_WORKLOADS: Tuple[str, ...] = tuple(
+    name for suite in _SUITES.values() for name in suite
+) + ("matrixmul_cublas_4096",)
+
+
+def all_workloads(spec: Optional[GPUSpec] = None) -> List[KernelDescriptor]:
+    """Every validation workload, built against ``spec`` (default Titan X)."""
+    spec = spec or GTX_TITAN_X
+    kernels: List[KernelDescriptor] = []
+    for suite_name, profiles in _SUITES.items():
+        for name, (utilizations, read_fraction) in profiles.items():
+            kernels.append(
+                kernel_from_utilizations(
+                    name=name,
+                    utilizations=utilizations,
+                    spec=spec,
+                    dram_read_fraction=read_fraction,
+                    suite=suite_name,
+                    tags={"role": "validation"},
+                )
+            )
+    kernels.append(matrixmul_cublas(4096, spec))
+    if len(kernels) != WORKLOAD_COUNT:
+        raise ValidationError(
+            f"registry produced {len(kernels)} workloads, "
+            f"expected {WORKLOAD_COUNT}"
+        )
+    return kernels
+
+
+def workloads_of_suite(
+    suite: str, spec: Optional[GPUSpec] = None
+) -> List[KernelDescriptor]:
+    """The validation workloads of one benchmark suite."""
+    if suite not in _SUITES and suite != "cuda_sdk":
+        raise ValidationError(
+            f"unknown suite {suite!r}; known: {sorted(_SUITES)}"
+        )
+    return [k for k in all_workloads(spec) if k.suite == suite]
+
+
+def workload_by_name(
+    name: str, spec: Optional[GPUSpec] = None
+) -> KernelDescriptor:
+    """One validation workload by name."""
+    for kernel in all_workloads(spec):
+        if kernel.name == name:
+            return kernel
+    raise ValidationError(
+        f"unknown workload {name!r}; known: {sorted(VALIDATION_WORKLOADS)}"
+    )

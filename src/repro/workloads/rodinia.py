@@ -1,0 +1,68 @@
+"""Rodinia benchmark profiles (Table III).
+
+Ten applications; K-Means contributes two kernels (the ``K-M`` and ``K-M_2``
+columns of Fig. 7/8/10), for eleven workload entries in total. Utilization
+profiles are anchored on the figures where the paper annotates them and
+chosen for diversity elsewhere, mirroring the observation of Sec. V-B that
+"the group of validation benchmarks is rather representative, presenting
+large differences in the utilization levels".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.hardware.components import Component as C
+
+#: name -> (utilization profile, dram_read_fraction)
+RODINIA_PROFILES: Dict[str, Tuple[Dict[C, float], float]] = {
+    "streamcluster": (
+        {C.SP: 0.35, C.INT: 0.20, C.L2: 0.30, C.DRAM: 0.47},
+        0.70,
+    ),
+    "backprop": (
+        {C.SP: 0.45, C.SHARED: 0.25, C.L2: 0.28, C.DRAM: 0.35},
+        0.60,
+    ),
+    "lud": (
+        {C.SP: 0.40, C.SHARED: 0.50, C.L2: 0.20, C.DRAM: 0.12},
+        0.55,
+    ),
+    "gaussian": (
+        {C.SP: 0.30, C.INT: 0.15, C.L2: 0.35, C.DRAM: 0.25},
+        0.65,
+    ),
+    "hotspot": (
+        {C.SP: 0.55, C.INT: 0.20, C.L2: 0.25, C.DRAM: 0.30},
+        0.60,
+    ),
+    "kmeans": (
+        {C.INT: 0.40, C.SP: 0.25, C.L2: 0.30, C.DRAM: 0.45},
+        0.75,
+    ),
+    "kmeans_2": (
+        {C.INT: 0.35, C.SP: 0.20, C.L2: 0.25, C.DRAM: 0.35},
+        0.70,
+    ),
+    "particlefilter_naive": (
+        {C.INT: 0.30, C.SP: 0.30, C.SF: 0.10, C.DRAM: 0.40, C.L2: 0.22},
+        0.60,
+    ),
+    "particlefilter_float": (
+        {C.INT: 0.25, C.SP: 0.35, C.SF: 0.12, C.SHARED: 0.15,
+         C.DRAM: 0.30, C.L2: 0.18},
+        0.60,
+    ),
+    "srad_v1": (
+        {C.SP: 0.50, C.INT: 0.15, C.L2: 0.30, C.DRAM: 0.35},
+        0.60,
+    ),
+    "srad_v2": (
+        {C.SP: 0.45, C.INT: 0.15, C.L2: 0.28, C.DRAM: 0.40},
+        0.60,
+    ),
+}
+
+
+def profile_names() -> List[str]:
+    return list(RODINIA_PROFILES)

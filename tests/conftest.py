@@ -1,0 +1,59 @@
+"""Shared fixtures.
+
+Expensive artefacts (simulated devices, fitted models, validation sweeps)
+are session-scoped; the noiseless variants let unit tests check exact
+analytic values. The :class:`repro.experiments.common.Lab` fixture backs
+the integration tests the same way it backs the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import NOISELESS_SETTINGS
+from repro.driver.session import ProfilingSession
+from repro.experiments.common import Lab
+from repro.hardware.gpu import SimulatedGPU
+from repro.hardware.specs import GTX_TITAN_X, TESLA_K40C, TITAN_XP
+
+
+@pytest.fixture(scope="session")
+def lab() -> Lab:
+    """Shared default-noise lab (models are fitted lazily per device)."""
+    return Lab()
+
+
+@pytest.fixture(scope="session")
+def quiet_lab() -> Lab:
+    """Lab with the whole measurement chain noise disabled."""
+    return Lab(settings=NOISELESS_SETTINGS)
+
+
+@pytest.fixture(scope="session")
+def titanx_gpu(lab: Lab) -> SimulatedGPU:
+    return lab.gpu("GTX Titan X")
+
+
+@pytest.fixture(scope="session")
+def titanx_session(lab: Lab) -> ProfilingSession:
+    return lab.session("GTX Titan X")
+
+
+@pytest.fixture(scope="session")
+def quiet_gpu(quiet_lab: Lab) -> SimulatedGPU:
+    return quiet_lab.gpu("GTX Titan X")
+
+
+@pytest.fixture(scope="session")
+def quiet_session(quiet_lab: Lab) -> ProfilingSession:
+    return quiet_lab.session("GTX Titan X")
+
+
+@pytest.fixture(scope="session", params=["Titan Xp", "GTX Titan X", "Tesla K40c"])
+def any_spec(request):
+    """Parametrized over the three Table-II devices."""
+    return {
+        "Titan Xp": TITAN_XP,
+        "GTX Titan X": GTX_TITAN_X,
+        "Tesla K40c": TESLA_K40C,
+    }[request.param]

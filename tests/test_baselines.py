@@ -1,0 +1,140 @@
+"""Unit tests for the prior-work baseline models
+(:mod:`repro.core.baselines`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import NOISELESS_SETTINGS
+from repro.core.baselines import (
+    AbeLinearModel,
+    FixedConfigurationModel,
+    LinearFrequencyModel,
+)
+from repro.core.dataset import collect_training_dataset
+from repro.core.metrics import MetricCalculator
+from repro.driver.session import ProfilingSession
+from repro.errors import NotFittedError
+from repro.hardware.gpu import SimulatedGPU
+from repro.hardware.specs import FrequencyConfig, GTX_TITAN_X, TESLA_K40C
+from repro.microbench import suite_group
+from repro.workloads import workload_by_name
+
+
+@pytest.fixture(scope="module")
+def session() -> ProfilingSession:
+    return ProfilingSession(
+        SimulatedGPU(GTX_TITAN_X, settings=NOISELESS_SETTINGS)
+    )
+
+
+@pytest.fixture(scope="module")
+def dataset(session):
+    kernels = (
+        suite_group("sp") + suite_group("int") + suite_group("dram")
+        + suite_group("shared") + suite_group("idle")
+    )
+    configs = [
+        FrequencyConfig(core, memory)
+        for core in (595, 899, 975, 1164)
+        for memory in (3505, 810)
+    ]
+    return collect_training_dataset(session, kernels, configs)
+
+
+@pytest.fixture(scope="module")
+def gemm_utilizations(session):
+    calculator = MetricCalculator(GTX_TITAN_X)
+    return calculator.utilizations(
+        session.collect_events(workload_by_name("gemm"))
+    )
+
+
+class TestAbeLinearModel:
+    def test_training_grid_is_3x3(self):
+        grid = AbeLinearModel.training_grid(GTX_TITAN_X)
+        assert len(grid) == 9
+        assert len({c.core_mhz for c in grid}) == 3
+        assert len({c.memory_mhz for c in grid}) == 3
+
+    def test_training_grid_on_single_memory_device(self):
+        grid = AbeLinearModel.training_grid(TESLA_K40C)
+        assert len(grid) == 3  # 3 core levels x 1 memory level
+
+    def test_predict_before_fit_raises(self, gemm_utilizations):
+        model = AbeLinearModel(GTX_TITAN_X)
+        with pytest.raises(NotFittedError):
+            model.predict_power(gemm_utilizations, GTX_TITAN_X.reference)
+
+    def test_fit_predict_reasonable_at_reference(
+        self, session, dataset, gemm_utilizations
+    ):
+        model = AbeLinearModel(GTX_TITAN_X).fit(dataset)
+        predicted = model.predict_power(
+            gemm_utilizations, GTX_TITAN_X.reference
+        )
+        measured = session.measure_power(workload_by_name("gemm")).average_watts
+        assert predicted == pytest.approx(measured, rel=0.20)
+
+    def test_prediction_linear_in_core_frequency(
+        self, dataset, gemm_utilizations
+    ):
+        """The structural assumption the paper criticizes: perfectly linear
+        frequency response, no voltage curvature."""
+        model = AbeLinearModel(GTX_TITAN_X).fit(dataset)
+        watts = [
+            model.predict_power(gemm_utilizations, FrequencyConfig(f, 3505))
+            for f in (595, 785, 975, 1164)
+        ]
+        slope1 = (watts[1] - watts[0]) / (785 - 595)
+        slope2 = (watts[3] - watts[2]) / (1164 - 975)
+        assert slope1 == pytest.approx(slope2, rel=1e-6)
+
+
+class TestLinearFrequencyModel:
+    def test_voltage_pinned_at_one(self, dataset):
+        model = LinearFrequencyModel(GTX_TITAN_X).fit(dataset)
+        inner = model._model
+        assert inner is not None
+        for config in inner.known_configurations():
+            assert inner.voltage_at(config).v_core == 1.0
+
+    def test_predict_before_fit_raises(self, gemm_utilizations):
+        with pytest.raises(NotFittedError):
+            LinearFrequencyModel(GTX_TITAN_X).predict_power(
+                gemm_utilizations, GTX_TITAN_X.reference
+            )
+
+
+class TestFixedConfigurationModel:
+    def test_prediction_ignores_configuration(
+        self, dataset, gemm_utilizations
+    ):
+        model = FixedConfigurationModel(GTX_TITAN_X).fit(dataset)
+        at_reference = model.predict_power(
+            gemm_utilizations, GTX_TITAN_X.reference
+        )
+        at_low = model.predict_power(
+            gemm_utilizations, FrequencyConfig(595, 810)
+        )
+        assert at_reference == at_low
+
+    def test_accurate_at_reference_only(
+        self, session, dataset, gemm_utilizations
+    ):
+        model = FixedConfigurationModel(GTX_TITAN_X).fit(dataset)
+        kernel = workload_by_name("gemm")
+        reference_measured = session.measure_power(kernel).average_watts
+        low_measured = session.measure_power(
+            kernel, FrequencyConfig(595, 810)
+        ).average_watts
+        predicted = model.predict_power(gemm_utilizations, GTX_TITAN_X.reference)
+        assert predicted == pytest.approx(reference_measured, rel=0.15)
+        # At the far configuration the fixed prediction is way off.
+        assert abs(predicted - low_measured) / low_measured > 0.3
+
+    def test_predict_before_fit_raises(self, gemm_utilizations):
+        with pytest.raises(NotFittedError):
+            FixedConfigurationModel(GTX_TITAN_X).predict_power(
+                gemm_utilizations, GTX_TITAN_X.reference
+            )

@@ -1,0 +1,116 @@
+"""Unit tests for the per-component breakdown reports
+(:mod:`repro.analysis.breakdown`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.breakdown import (
+    BreakdownReport,
+    WorkloadBreakdown,
+    breakdown_report,
+)
+from repro.core.metrics import UtilizationVector
+from repro.errors import ValidationError
+from repro.hardware.components import ALL_COMPONENTS, Component
+from repro.hardware.specs import FrequencyConfig
+
+
+def make_utilizations() -> UtilizationVector:
+    return UtilizationVector(
+        values={component: 0.0 for component in ALL_COMPONENTS}
+    )
+
+
+def entry(workload, measured, constant, sp, dram) -> WorkloadBreakdown:
+    component_watts = {component: 0.0 for component in ALL_COMPONENTS}
+    component_watts[Component.SP] = sp
+    component_watts[Component.DRAM] = dram
+    return WorkloadBreakdown(
+        workload=workload,
+        config=FrequencyConfig(975, 3505),
+        measured_watts=measured,
+        constant_watts=constant,
+        component_watts=component_watts,
+        utilizations=make_utilizations(),
+    )
+
+
+@pytest.fixture()
+def report() -> BreakdownReport:
+    return BreakdownReport(
+        device_name="GTX Titan X",
+        config=FrequencyConfig(975, 3505),
+        entries=(
+            entry("a", measured=150.0, constant=84.0, sp=30.0, dram=40.0),
+            entry("b", measured=100.0, constant=84.0, sp=10.0, dram=0.0),
+        ),
+    )
+
+
+class TestWorkloadBreakdown:
+    def test_predicted_total(self, report):
+        assert report.entry("a").predicted_watts == pytest.approx(154.0)
+
+    def test_dynamic_share(self, report):
+        assert report.entry("a").dynamic_share == pytest.approx(70.0 / 154.0)
+
+    def test_absolute_error(self, report):
+        assert report.entry("a").absolute_error_percent == pytest.approx(
+            100 * 4.0 / 150.0
+        )
+
+
+class TestBreakdownReport:
+    def test_mean_error(self, report):
+        a = 100 * 4.0 / 150.0
+        b = 100 * 6.0 / 100.0
+        assert report.mean_absolute_error_percent == pytest.approx((a + b) / 2)
+
+    def test_mean_constant(self, report):
+        assert report.mean_constant_watts == pytest.approx(84.0)
+
+    def test_max_dynamic_share(self, report):
+        assert report.max_dynamic_share == pytest.approx(70.0 / 154.0)
+
+    def test_component_means(self, report):
+        means = report.component_means()
+        assert means[Component.SP] == pytest.approx(20.0)
+        assert means[Component.DRAM] == pytest.approx(20.0)
+
+    def test_entry_lookup_unknown(self, report):
+        with pytest.raises(ValidationError):
+            report.entry("zzz")
+
+    def test_empty_report_rejected(self):
+        with pytest.raises(ValidationError):
+            BreakdownReport(
+                device_name="x", config=FrequencyConfig(975, 3505), entries=()
+            )
+
+
+class TestBreakdownReportEndToEnd:
+    def test_report_over_real_model(self, lab):
+        from repro.workloads import workload_by_name
+
+        device = "GTX Titan X"
+        report = breakdown_report(
+            lab.model(device),
+            lab.session(device),
+            [workload_by_name("gemm"), workload_by_name("lbm")],
+        )
+        assert len(report.entries) == 2
+        assert report.mean_absolute_error_percent < 20.0
+        # LBM is the DRAM-heavy one of the pair.
+        lbm = report.entry("lbm")
+        gemm = report.entry("gemm")
+        assert (
+            lbm.component_watts[Component.DRAM]
+            > gemm.component_watts[Component.DRAM]
+        )
+
+    def test_rejects_empty_workloads(self, lab):
+        with pytest.raises(ValidationError):
+            breakdown_report(
+                lab.model("GTX Titan X"), lab.session("GTX Titan X"), []
+            )

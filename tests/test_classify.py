@@ -1,0 +1,93 @@
+"""Tests for the DVFS-scaling classifier (:mod:`repro.analysis.classify`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.classify import DVFSClassifier, ScalingClass
+from repro.errors import ValidationError
+from repro.workloads import all_workloads, workload_by_name
+
+
+@pytest.fixture(scope="module")
+def classifier(lab) -> DVFSClassifier:
+    device = "GTX Titan X"
+    return DVFSClassifier(lab.model(device), lab.session(device))
+
+
+class TestKnownWorkloads:
+    def test_blackscholes_depends_on_the_memory_clock(self, classifier):
+        """On this substrate BlackScholes carries a core-clocked latency
+        floor as well, so it lands in the memory-bound or balanced class —
+        what matters is that its memory dependence is strong (Fig. 2A: the
+        memory down-clock halves its power)."""
+        result = classifier.classify(workload_by_name("blackscholes"))
+        assert result.scaling_class in (
+            ScalingClass.MEMORY_BOUND, ScalingClass.BALANCED
+        )
+        assert result.memory_sensitivity > 0.5
+        assert result.memory_power_drop_fraction > 0.35
+
+    def test_cutcp_is_compute_bound(self, classifier):
+        result = classifier.classify(workload_by_name("cutcp"))
+        assert result.scaling_class is ScalingClass.COMPUTE_BOUND
+        assert result.core_sensitivity > result.memory_sensitivity
+        assert result.memory_power_drop_fraction < 0.35
+
+    def test_lbm_depends_on_the_memory_clock(self, classifier):
+        result = classifier.classify(workload_by_name("lbm"))
+        assert result.scaling_class in (
+            ScalingClass.MEMORY_BOUND, ScalingClass.BALANCED
+        )
+        assert result.memory_sensitivity > 0.5
+
+    def test_cublas_64_is_latency_bound(self, classifier):
+        from repro.workloads.cuda_sdk import matrixmul_cublas
+
+        kernel = matrixmul_cublas(64, classifier.spec)
+        result = classifier.classify(kernel)
+        # Tiny matrices: neither domain saturated (Fig. 9 utilizations
+        # all below 0.2).
+        assert result.scaling_class in (
+            ScalingClass.LATENCY_BOUND, ScalingClass.COMPUTE_BOUND
+        )
+        assert result.memory_sensitivity < 0.4
+
+
+class TestStructure:
+    def test_sensitivities_bounded(self, classifier):
+        for kernel in all_workloads()[:8]:
+            result = classifier.classify(kernel)
+            assert 0.0 <= result.core_sensitivity <= 1.0
+            assert 0.0 <= result.memory_sensitivity <= 1.0
+
+    def test_classify_all(self, classifier):
+        results = classifier.classify_all(all_workloads())
+        assert len(results) == 27
+        classes = {r.scaling_class for r in results.values()}
+        # The validation set is diverse enough to populate several classes.
+        assert len(classes) >= 2
+
+    def test_classify_all_rejects_empty(self, classifier):
+        with pytest.raises(ValidationError):
+            classifier.classify_all([])
+
+    def test_memory_sensitive_workloads_drop_more_power(self, classifier):
+        """Across the whole set, memory-clock-sensitive workloads lose more
+        power to the memory down-clock than the compute-bound ones — the
+        Sec. II motivation, quantified."""
+        results = classifier.classify_all(all_workloads())
+        memory_sensitive = [
+            r.memory_power_drop_fraction
+            for r in results.values()
+            if r.memory_sensitivity >= 0.4
+        ]
+        compute_bound = [
+            r.memory_power_drop_fraction
+            for r in results.values()
+            if r.scaling_class is ScalingClass.COMPUTE_BOUND
+        ]
+        assert memory_sensitive and compute_bound
+        assert sum(memory_sensitive) / len(memory_sensitive) > sum(
+            compute_bound
+        ) / len(compute_bound)

@@ -1,0 +1,110 @@
+"""Tests for the command-line interface (:mod:`repro.cli`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+@pytest.fixture(scope="module")
+def model_path(tmp_path_factory):
+    """A fitted Tesla K40c model (smallest grid = fastest CLI fit)."""
+    path = tmp_path_factory.mktemp("cli") / "k40c.json"
+    code = main(
+        ["fit", "--device", "Tesla K40c", "--output", str(path)]
+    )
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_choices_cover_all_modules(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "table3", "fig1", "fig2", "fig5", "fig6", "fig7",
+            "fig8", "fig9", "fig10", "baselines", "ablations",
+            "discovery", "sensitivity", "dvfs_savings", "noise_sweep",
+            "transfer",
+        }
+
+
+class TestCommands:
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "GTX Titan X" in out
+        assert "Tesla K40c" in out
+
+    def test_fit_writes_valid_model(self, model_path):
+        data = json.loads(model_path.read_text())
+        assert data["device"] == "Tesla K40c"
+        assert len(data["voltages"]) == 4
+
+    def test_predict_single_config(self, model_path, capsys):
+        code = main(
+            [
+                "predict", "--model", str(model_path),
+                "--workload", "blackscholes", "--core", "666",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "blackscholes" in out
+        assert "W" in out
+
+    def test_predict_grid(self, model_path, capsys):
+        code = main(
+            ["predict", "--model", str(model_path), "--workload", "gemm",
+             "--grid"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # 4 core levels x 1 memory level on the K40c.
+        assert out.count("\n") >= 6
+
+    def test_breakdown(self, model_path, capsys):
+        code = main(
+            ["breakdown", "--model", str(model_path), "--workload", "gemm"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "constant" in out
+        assert "total" in out
+
+    def test_unknown_workload_reports_error(self, model_path, capsys):
+        code = main(
+            ["predict", "--model", str(model_path), "--workload", "doom"]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_frequency_reports_error(self, model_path, capsys):
+        code = main(
+            [
+                "predict", "--model", str(model_path),
+                "--workload", "gemm", "--core", "1000",
+            ]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_experiment_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        assert "Table II" in capsys.readouterr().out
+
+    def test_sources_dump(self, tmp_path, capsys):
+        code = main(["sources", "--output", str(tmp_path / "src")])
+        assert code == 0
+        cu_files = list((tmp_path / "src").glob("*.cu"))
+        ptx_files = list((tmp_path / "src").glob("*.ptx"))
+        assert len(cu_files) == 83
+        # PTX only for the arithmetic groups: 12 INT + 11 SP + 12 DP.
+        assert len(ptx_files) == 35
+        sample = (tmp_path / "src" / "sp_n512.cu").read_text()
+        assert "__global__" in sample

@@ -1,0 +1,114 @@
+"""Tests for the CUDA/PTX source generation (:mod:`repro.codegen`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codegen.cuda import cuda_source_for, suite_sources
+from repro.codegen.ptx import (
+    count_fma_instructions,
+    dynamic_fma_count,
+    ptx_source_for,
+)
+from repro.errors import ValidationError
+from repro.kernels.kernel import KernelDescriptor
+from repro.microbench import build_suite, suite_group
+
+
+class TestCudaSources:
+    def test_every_suite_kernel_has_a_source(self):
+        sources = suite_sources()
+        assert len(sources) == 83
+        for name, source in sources.items():
+            assert name in source
+            assert "__global__" in source or "int main" in source
+
+    @pytest.mark.parametrize(
+        "group, type_name",
+        [("int", "int"), ("sp", "float"), ("dp", "double")],
+    )
+    def test_arithmetic_pattern_uses_data_type(self, group, type_name):
+        kernel = suite_group(group)[3]
+        source = cuda_source_for(kernel)
+        assert f"{type_name} r0, r1, r2, r3;" in source
+        assert "r0 = r0 * r0 + r1;" in source  # Fig. 3a chain body
+        assert f"i < {kernel.tags['intensity']}" in source
+
+    def test_sf_pattern_uses_transcendentals(self):
+        source = cuda_source_for(suite_group("sf")[0])
+        assert "__logf" in source
+        assert "__sinf" in source
+
+    def test_shared_pattern_mirrors_fig3c(self):
+        source = cuda_source_for(suite_group("shared")[0])
+        assert "__shared__" in source
+        assert "shared[THREADS - threadId - 1]" in source
+
+    def test_l2_pattern_mirrors_fig3d(self):
+        source = cuda_source_for(suite_group("l2")[0])
+        assert "cdin[threadId]" in source
+        assert "cdout[threadId]" in source
+
+    def test_dram_pattern_streams_float4(self):
+        source = cuda_source_for(suite_group("dram")[0])
+        assert "float4" in source
+
+    def test_mix_pattern_lists_its_ingredients(self):
+        for kernel in suite_group("mix"):
+            source = cuda_source_for(kernel)
+            assert "MIX" in source
+
+    def test_idle_pattern_has_no_kernel(self):
+        source = cuda_source_for(suite_group("idle")[0])
+        assert "__global__" not in source
+        assert "sleep" in source
+
+    def test_unknown_group_rejected(self):
+        stray = KernelDescriptor(name="stray", threads=32, sp_ops=1.0)
+        with pytest.raises(ValidationError):
+            cuda_source_for(stray)
+
+
+class TestPtxSources:
+    @pytest.mark.parametrize("group", ["int", "sp", "dp"])
+    def test_fma_mnemonic_matches_data_type(self, group):
+        kernel = suite_group(group)[4]
+        ptx = ptx_source_for(kernel)
+        mnemonics = {"int": "mad.lo.s32", "sp": "fma.rn.f32", "dp": "fma.rn.f64"}
+        assert mnemonics[group] in ptx
+
+    def test_unrolled_body_size_matches_fig4(self):
+        # Fig. 4: with N = 512 the body holds 32 unrolled iterations of
+        # 4 chains = 128 FMA instructions.
+        kernel = next(
+            k for k in suite_group("sp") if k.tags["intensity"] == "512"
+        )
+        ptx = ptx_source_for(kernel)
+        assert count_fma_instructions(ptx) == 128
+
+    @pytest.mark.parametrize("group", ["int", "sp", "dp"])
+    def test_dynamic_fma_count_matches_descriptor(self, group):
+        """The instruction accounting of the generated PTX equals the
+        descriptor's declared per-thread chain work (4N)."""
+        for kernel in suite_group(group):
+            intensity = int(kernel.tags["intensity"])
+            ptx = ptx_source_for(kernel)
+            assert dynamic_fma_count(ptx) == pytest.approx(
+                4 * intensity, rel=0.05
+            ), kernel.name
+
+    def test_small_intensity_shrinks_body(self):
+        kernel = next(
+            k for k in suite_group("sp") if k.tags["intensity"] == "1"
+        )
+        ptx = ptx_source_for(kernel)
+        assert count_fma_instructions(ptx) == 4  # one iteration, 4 chains
+
+    def test_non_arithmetic_group_rejected(self):
+        with pytest.raises(ValidationError):
+            ptx_source_for(suite_group("shared")[0])
+
+    def test_ptx_has_load_store_frame(self):
+        ptx = ptx_source_for(suite_group("sp")[2])
+        assert "ld.global.f32" in ptx
+        assert "st.global.f32" in ptx

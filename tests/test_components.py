@@ -1,0 +1,62 @@
+"""Unit tests for :mod:`repro.hardware.components`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.components import (
+    ALL_COMPONENTS,
+    CORE_COMPONENTS,
+    COMPONENT_DOMAINS,
+    MEMORY_COMPONENTS,
+    Component,
+    Domain,
+    components_of,
+)
+
+
+class TestComponentTaxonomy:
+    def test_seven_modeled_components(self):
+        # Sec. III-B: Int, SP, DP, SF, shared memory, L2 cache, DRAM.
+        assert len(ALL_COMPONENTS) == 7
+
+    def test_core_domain_has_six_components(self):
+        assert len(CORE_COMPONENTS) == 6
+        assert Component.DRAM not in CORE_COMPONENTS
+
+    def test_memory_domain_is_dram_only(self):
+        assert MEMORY_COMPONENTS == (Component.DRAM,)
+
+    def test_l2_belongs_to_core_domain(self):
+        # Sec. III-A: "the core domain (Pcore), which includes the L2 cache".
+        assert Component.L2.domain is Domain.CORE
+
+    def test_dram_belongs_to_memory_domain(self):
+        assert Component.DRAM.domain is Domain.MEMORY
+
+    def test_every_component_has_a_domain(self):
+        for component in Component:
+            assert component in COMPONENT_DOMAINS
+
+    def test_compute_units(self):
+        compute = {c for c in Component if c.is_compute_unit}
+        assert compute == {
+            Component.INT, Component.SP, Component.DP, Component.SF
+        }
+
+    def test_memory_levels(self):
+        memory = {c for c in Component if c.is_memory_level}
+        assert memory == {Component.SHARED, Component.L2, Component.DRAM}
+
+    def test_compute_and_memory_partition_components(self):
+        for component in Component:
+            assert component.is_compute_unit != component.is_memory_level
+
+    def test_components_of_core(self):
+        assert components_of(Domain.CORE) == CORE_COMPONENTS
+
+    def test_components_of_memory(self):
+        assert components_of(Domain.MEMORY) == MEMORY_COMPONENTS
+
+    def test_all_components_order_is_core_then_memory(self):
+        assert ALL_COMPONENTS == CORE_COMPONENTS + MEMORY_COMPONENTS

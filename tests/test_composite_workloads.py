@@ -1,0 +1,134 @@
+"""Tests for multi-kernel applications (:mod:`repro.workloads.composite`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.hardware.specs import FrequencyConfig
+from repro.workloads import workload_by_name
+from repro.workloads.composite import (
+    MultiKernelApplication,
+    kmeans_application,
+)
+
+
+class TestStructure:
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            MultiKernelApplication(name="empty", kernels=())
+
+    def test_rejects_zero_launches(self):
+        with pytest.raises(ValidationError):
+            MultiKernelApplication(
+                name="bad", kernels=((workload_by_name("gemm"), 0),)
+            )
+
+    def test_rejects_duplicate_kernels(self):
+        gemm = workload_by_name("gemm")
+        with pytest.raises(ValidationError):
+            MultiKernelApplication(
+                name="dup", kernels=((gemm, 1), (gemm, 2))
+            )
+
+    def test_of_builder(self):
+        application = MultiKernelApplication.of(
+            "pair", workload_by_name("gemm"), workload_by_name("lbm")
+        )
+        assert len(application.kernels) == 2
+
+    def test_kmeans_has_two_kernels(self):
+        application = kmeans_application()
+        names = [kernel.name for kernel, _ in application.kernels]
+        assert names == ["kmeans", "kmeans_2"]
+
+
+class TestWeightedAggregation:
+    def test_single_kernel_reduces_to_plain_measurement(self, lab):
+        session = lab.session("GTX Titan X")
+        gemm = workload_by_name("gemm")
+        application = MultiKernelApplication.of("solo", gemm)
+        combined = application.measure_power(session)
+        plain = session.measure_power(gemm).average_watts
+        assert combined == pytest.approx(plain)
+
+    def test_weighted_power_between_components(self, lab):
+        """The application's power lies between its kernels' powers."""
+        session = lab.session("GTX Titan X")
+        application = MultiKernelApplication.of(
+            "pair", workload_by_name("blackscholes"), workload_by_name("cutcp")
+        )
+        combined = application.measure_power(session)
+        powers = [
+            session.measure_power(kernel).average_watts
+            for kernel, _ in application.kernels
+        ]
+        assert min(powers) <= combined <= max(powers)
+
+    def test_launch_multiplicity_shifts_the_weighting(self, lab):
+        session = lab.session("GTX Titan X")
+        hot = workload_by_name("blackscholes")
+        cool = workload_by_name("gaussian")
+        hot_heavy = MultiKernelApplication(
+            name="hot-heavy", kernels=((hot, 10), (cool, 1))
+        )
+        cool_heavy = MultiKernelApplication(
+            name="cool-heavy", kernels=((hot, 1), (cool, 10))
+        )
+        assert hot_heavy.measure_power(session) > cool_heavy.measure_power(
+            session
+        )
+
+    def test_dominant_kernel(self, lab):
+        session = lab.session("GTX Titan X")
+        application = MultiKernelApplication(
+            name="skewed",
+            kernels=((workload_by_name("gemm"), 10),
+                     (workload_by_name("lbm"), 1)),
+        )
+        assert application.dominant_kernel(session) == "gemm"
+
+    def test_dominance_can_flip_with_configuration(self, lab):
+        """At the low memory clock the DRAM-bound kernel's runtime balloons,
+        so the time weighting shifts toward it — the effect the paper's
+        weighted aggregation exists to capture."""
+        session = lab.session("GTX Titan X")
+        application = MultiKernelApplication(
+            name="balance",
+            kernels=((workload_by_name("cutcp"), 2),
+                     (workload_by_name("blackscholes"), 1)),
+        )
+        at_reference = application.dominant_kernel(session)
+        at_low_memory = application.dominant_kernel(
+            session, FrequencyConfig(975, 810)
+        )
+        assert at_reference == "cutcp"
+        assert at_low_memory == "blackscholes"
+
+
+class TestPrediction:
+    def test_prediction_tracks_measurement(self, lab):
+        session = lab.session("GTX Titan X")
+        model = lab.model("GTX Titan X")
+        application = kmeans_application()
+        for config in (FrequencyConfig(975, 3505), FrequencyConfig(785, 810)):
+            predicted = application.predict_power(model, session, config)
+            measured = application.measure_power(session, config)
+            assert predicted == pytest.approx(measured, rel=0.15), config
+
+    def test_pre_collected_utilizations_reused(self, lab):
+        from repro.core.metrics import MetricCalculator
+
+        session = lab.session("GTX Titan X")
+        model = lab.model("GTX Titan X")
+        application = kmeans_application()
+        calculator = MetricCalculator(session.gpu.spec)
+        vectors = {
+            kernel.name: calculator.utilizations(
+                session.collect_events(kernel)
+            )
+            for kernel, _ in application.kernels
+        }
+        a = application.predict_power(model, session, utilizations=vectors)
+        b = application.predict_power(model, session)
+        assert a == pytest.approx(b)

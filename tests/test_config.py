@@ -1,0 +1,65 @@
+"""Unit tests for :mod:`repro.config` (seeding policy & settings)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    DEFAULT_SETTINGS,
+    NOISELESS_SETTINGS,
+    SimulationSettings,
+    derive_seed,
+    rng_for,
+)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed("a", "b") == derive_seed("a", "b")
+
+    def test_label_sensitive(self):
+        assert derive_seed("a", "b") != derive_seed("a", "c")
+
+    def test_order_sensitive(self):
+        assert derive_seed("a", "b") != derive_seed("b", "a")
+
+    def test_master_seed_sensitive(self):
+        assert derive_seed("a", master_seed=1) != derive_seed("a", master_seed=2)
+
+    def test_fits_in_63_bits(self):
+        for label in ("x", "y", 42, 3.14):
+            assert 0 <= derive_seed(label) < 2**63
+
+    def test_non_string_labels_are_stringified(self):
+        assert derive_seed(1, 2.0) == derive_seed("1", "2.0")
+
+
+class TestRngFor:
+    def test_same_labels_same_stream(self):
+        a = rng_for("sensor", "kernel-x").standard_normal(5)
+        b = rng_for("sensor", "kernel-x").standard_normal(5)
+        assert list(a) == list(b)
+
+    def test_different_labels_different_stream(self):
+        a = rng_for("sensor", "kernel-x").standard_normal(5)
+        b = rng_for("sensor", "kernel-y").standard_normal(5)
+        assert list(a) != list(b)
+
+
+class TestSimulationSettings:
+    def test_defaults_match_paper_methodology(self):
+        assert DEFAULT_SETTINGS.min_run_seconds == 1.0
+        assert DEFAULT_SETTINGS.measurement_repeats == 10
+        assert DEFAULT_SETTINGS.noise_enabled
+
+    def test_noiseless_variant(self):
+        assert not NOISELESS_SETTINGS.noise_enabled
+
+    def test_settings_are_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_SETTINGS.noise_enabled = False  # type: ignore[misc]
+
+    def test_settings_rng_uses_master_seed(self):
+        a = SimulationSettings(master_seed=1).rng("label").standard_normal(3)
+        b = SimulationSettings(master_seed=2).rng("label").standard_normal(3)
+        assert list(a) != list(b)

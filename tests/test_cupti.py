@@ -1,0 +1,122 @@
+"""Unit tests for the CUPTI-like event collection (:mod:`repro.driver.cupti`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import NOISELESS_SETTINGS
+from repro.driver.cupti import CuptiContext
+from repro.errors import UnknownEventError
+from repro.hardware.gpu import SimulatedGPU
+from repro.hardware.specs import FrequencyConfig, GTX_TITAN_X, TESLA_K40C
+from repro.units import SECTOR_BYTES
+from repro.workloads import workload_by_name
+
+
+@pytest.fixture(scope="module")
+def quiet_cupti() -> CuptiContext:
+    return CuptiContext(SimulatedGPU(GTX_TITAN_X, settings=NOISELESS_SETTINGS))
+
+
+class TestEventRecord:
+    def test_contains_all_table_events(self, quiet_cupti):
+        record = quiet_cupti.collect_events(workload_by_name("gemm"))
+        expected = quiet_cupti.event_table.all_event_names()
+        assert expected == set(record.values)
+
+    def test_value_of_unknown_event_raises(self, quiet_cupti):
+        record = quiet_cupti.collect_events(workload_by_name("gemm"))
+        with pytest.raises(UnknownEventError):
+            record.value("nonexistent_event")
+
+    def test_total_aggregates_subpartitions(self, quiet_cupti):
+        record = quiet_cupti.collect_events(workload_by_name("gemm"))
+        table = quiet_cupti.event_table
+        total = record.total(table.dram_read_sectors)
+        parts = [record.value(name) for name in table.dram_read_sectors]
+        assert total == pytest.approx(sum(parts))
+
+    def test_defaults_to_reference_configuration(self, quiet_cupti):
+        record = quiet_cupti.collect_events(workload_by_name("gemm"))
+        assert record.config == GTX_TITAN_X.reference
+
+
+class TestSemanticConsistency:
+    """Noise-free events must encode the ground-truth activity exactly."""
+
+    def test_dram_sectors_match_traffic(self, quiet_cupti):
+        kernel = workload_by_name("gemm")
+        record = quiet_cupti.collect_events(kernel)
+        table = quiet_cupti.event_table
+        sectors = record.total(table.dram_read_sectors) + record.total(
+            table.dram_write_sectors
+        )
+        assert sectors * SECTOR_BYTES == pytest.approx(
+            kernel.dram_bytes * kernel.threads, rel=1e-9
+        )
+
+    def test_read_fraction_respected(self, quiet_cupti):
+        kernel = workload_by_name("gemm")  # dram_read_fraction = 0.6
+        record = quiet_cupti.collect_events(kernel)
+        table = quiet_cupti.event_table
+        reads = record.total(table.dram_read_sectors)
+        writes = record.total(table.dram_write_sectors)
+        assert reads / (reads + writes) == pytest.approx(
+            kernel.dram_read_fraction
+        )
+
+    def test_instruction_counts_match_ops(self, quiet_cupti):
+        kernel = workload_by_name("gemm")
+        record = quiet_cupti.collect_events(kernel)
+        table = quiet_cupti.event_table
+        inst_sp = record.total(table.inst_sp)
+        assert inst_sp * GTX_TITAN_X.warp_size == pytest.approx(
+            kernel.sp_ops * kernel.threads, rel=1e-9
+        )
+
+    def test_active_cycles_match_duration(self, quiet_cupti):
+        kernel = workload_by_name("gemm")
+        record = quiet_cupti.collect_events(kernel)
+        cycles = record.total(quiet_cupti.event_table.active_cycles)
+        assert cycles == pytest.approx(
+            record.elapsed_seconds * 975e6, rel=1e-9
+        )
+
+    def test_events_independent_of_noise_only_in_quiet_mode(self):
+        noisy = CuptiContext(SimulatedGPU(GTX_TITAN_X))
+        quiet = CuptiContext(SimulatedGPU(GTX_TITAN_X, settings=NOISELESS_SETTINGS))
+        kernel = workload_by_name("gemm")
+        noisy_record = noisy.collect_events(kernel)
+        quiet_record = quiet.collect_events(kernel)
+        different = [
+            name
+            for name in quiet_record.values
+            if abs(noisy_record.value(name) - quiet_record.value(name)) > 1e-9
+        ]
+        assert different  # counter noise must actually distort something
+
+    def test_counter_noise_is_systematic(self):
+        context = CuptiContext(SimulatedGPU(GTX_TITAN_X))
+        kernel = workload_by_name("gemm")
+        a = context.collect_events(kernel)
+        b = context.collect_events(kernel)
+        for name, value in a.values.items():
+            assert value == pytest.approx(b.value(name))
+
+
+class TestKeplerCollection:
+    def test_kepler_spreads_sp_int_over_four_events(self):
+        context = CuptiContext(
+            SimulatedGPU(TESLA_K40C, settings=NOISELESS_SETTINGS)
+        )
+        record = context.collect_events(workload_by_name("gemm"))
+        names = context.event_table.warps_sp_int
+        assert len(names) == 4
+        values = [record.value(name) for name in names]
+        assert all(v == pytest.approx(values[0]) for v in values)
+
+    def test_collection_at_non_reference_config(self, quiet_cupti):
+        record = quiet_cupti.collect_events(
+            workload_by_name("gemm"), FrequencyConfig(595, 810)
+        )
+        assert record.config == FrequencyConfig(595, 810)

@@ -1,0 +1,85 @@
+"""Unit tests for training-data collection (:mod:`repro.core.dataset`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import NOISELESS_SETTINGS
+from repro.core.dataset import TrainingDataset, collect_training_dataset
+from repro.driver.session import ProfilingSession
+from repro.errors import ValidationError
+from repro.hardware.gpu import SimulatedGPU
+from repro.hardware.specs import FrequencyConfig, GTX_TITAN_X
+from repro.microbench import suite_group
+
+
+@pytest.fixture(scope="module")
+def small_dataset() -> TrainingDataset:
+    """SP + DRAM ladders over a 2x2 grid — fast but representative."""
+    session = ProfilingSession(
+        SimulatedGPU(GTX_TITAN_X, settings=NOISELESS_SETTINGS)
+    )
+    kernels = suite_group("sp") + suite_group("dram")
+    configs = [
+        FrequencyConfig(975, 3505),
+        FrequencyConfig(595, 3505),
+        FrequencyConfig(975, 810),
+        FrequencyConfig(595, 810),
+    ]
+    return collect_training_dataset(session, kernels, configs)
+
+
+class TestCollection:
+    def test_row_count(self, small_dataset):
+        assert len(small_dataset.rows) == (11 + 12) * 4
+
+    def test_configurations_discovered(self, small_dataset):
+        assert len(small_dataset.configurations()) == 4
+
+    def test_rows_at_configuration(self, small_dataset):
+        rows = small_dataset.rows_at(FrequencyConfig(595, 810))
+        assert len(rows) == 23
+
+    def test_utilizations_shared_across_configs(self, small_dataset):
+        """Events are measured once, at the reference (Sec. III-D): every
+        row of a kernel carries the same utilization vector."""
+        by_kernel = {}
+        for row in small_dataset.rows:
+            by_kernel.setdefault(row.kernel_name, []).append(row.utilizations)
+        for vectors in by_kernel.values():
+            first = vectors[0]
+            assert all(v.as_dict() == first.as_dict() for v in vectors)
+
+    def test_power_varies_across_configs(self, small_dataset):
+        watts = {
+            (row.config.core_mhz, row.config.memory_mhz): row.measured_watts
+            for row in small_dataset.rows
+            if row.kernel_name == "dram_n000"
+        }
+        assert watts[(975, 3505)] > watts[(975, 810)]
+
+    def test_measured_vector_matches_rows(self, small_dataset):
+        vector = small_dataset.measured_vector()
+        assert len(vector) == len(small_dataset.rows)
+        assert vector[0] == small_dataset.rows[0].measured_watts
+
+    def test_kernel_names_ordered_unique(self, small_dataset):
+        names = small_dataset.kernel_names()
+        assert len(names) == 23
+        assert len(set(names)) == 23
+
+
+class TestSubset:
+    def test_subset_restricts_configs(self, small_dataset):
+        subset = small_dataset.subset([FrequencyConfig(975, 3505)])
+        assert len(subset.rows) == 23
+        assert subset.configurations() == [FrequencyConfig(975, 3505)]
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValidationError):
+            TrainingDataset(spec=GTX_TITAN_X, rows=())
+
+    def test_collect_rejects_empty_kernel_list(self):
+        session = ProfilingSession(SimulatedGPU(GTX_TITAN_X))
+        with pytest.raises(ValidationError):
+            collect_training_dataset(session, [])

@@ -1,0 +1,99 @@
+"""Unit tests for the DVFS advisor (:mod:`repro.analysis.dvfs`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.dvfs import ConfigurationScore, DVFSAdvisor
+from repro.errors import ValidationError
+from repro.hardware.specs import FrequencyConfig, GTX_TITAN_X
+from repro.workloads import workload_by_name
+
+
+@pytest.fixture(scope="module")
+def advisor(lab) -> DVFSAdvisor:
+    device = "GTX Titan X"
+    return DVFSAdvisor(lab.model(device), lab.session(device))
+
+
+class TestConfigurationScore:
+    def test_energy(self):
+        score = ConfigurationScore(
+            config=FrequencyConfig(975, 3505),
+            predicted_power_watts=150.0,
+            time_seconds=2.0,
+        )
+        assert score.energy_joules == pytest.approx(300.0)
+        assert score.edp == pytest.approx(600.0)
+
+    def test_objective_dispatch(self):
+        score = ConfigurationScore(
+            config=FrequencyConfig(975, 3505),
+            predicted_power_watts=150.0,
+            time_seconds=2.0,
+        )
+        assert score.objective_value("power") == 150.0
+        assert score.objective_value("energy") == 300.0
+        assert score.objective_value("edp") == 600.0
+        with pytest.raises(ValidationError):
+            score.objective_value("happiness")
+
+
+class TestAdvisor:
+    def test_scores_cover_full_grid(self, advisor):
+        scores = advisor.score_configurations(workload_by_name("cutcp"))
+        assert len(scores) == 64
+
+    def test_recommendation_beats_reference_for_compute_bound(self, advisor):
+        """CUTCP barely uses DRAM: dropping the memory clock must save
+        energy at almost no runtime cost."""
+        kernel = workload_by_name("cutcp")
+        best = advisor.recommend(kernel, objective="energy", max_slowdown=1.10)
+        reference = advisor.score_configurations(
+            kernel, [GTX_TITAN_X.reference]
+        )[0]
+        assert best.energy_joules < reference.energy_joules
+        assert best.config.memory_mhz < 3505
+
+    def test_slowdown_constraint_respected(self, advisor):
+        kernel = workload_by_name("cutcp")
+        reference_time = advisor.session.measure_time(
+            kernel, GTX_TITAN_X.reference
+        )
+        best = advisor.recommend(kernel, objective="energy", max_slowdown=1.05)
+        assert best.time_seconds <= reference_time * 1.05 * (1 + 1e-9)
+
+    def test_power_objective_picks_lowest_frequencies(self, advisor):
+        kernel = workload_by_name("gemm")
+        best = advisor.recommend(kernel, objective="power")
+        assert best.config.core_mhz == min(GTX_TITAN_X.core_frequencies_mhz)
+        assert best.config.memory_mhz == min(GTX_TITAN_X.memory_frequencies_mhz)
+
+    def test_invalid_objective_rejected(self, advisor):
+        with pytest.raises(ValidationError):
+            advisor.recommend(workload_by_name("gemm"), objective="speed")
+
+    def test_invalid_slowdown_rejected(self, advisor):
+        with pytest.raises(ValidationError):
+            advisor.recommend(
+                workload_by_name("gemm"), objective="energy", max_slowdown=0.5
+            )
+
+    def test_savings_summary_fields(self, advisor):
+        summary = advisor.savings_versus_reference(
+            workload_by_name("cutcp"), objective="energy", max_slowdown=1.10
+        )
+        assert 0.0 <= summary["objective_saving_fraction"] < 1.0
+        assert summary["best_energy_joules"] > 0
+        assert summary["slowdown"] >= 0.9
+
+    def test_custom_time_estimator(self, lab):
+        device = "GTX Titan X"
+        advisor = DVFSAdvisor(
+            lab.model(device),
+            lab.session(device),
+            time_estimator=lambda kernel, config: 1.0,  # frequency-blind
+        )
+        best = advisor.recommend(workload_by_name("gemm"), objective="energy")
+        # With constant time, minimum energy = minimum power.
+        assert best.config.core_mhz == min(GTX_TITAN_X.core_frequencies_mhz)

@@ -1,0 +1,167 @@
+"""Unit/integration tests for the iterative estimator (Sec. III-D,
+:mod:`repro.core.estimation`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import NOISELESS_SETTINGS
+from repro.core.dataset import collect_training_dataset
+from repro.core.estimation import ModelEstimator, fit_power_model
+from repro.driver.session import ProfilingSession
+from repro.errors import EstimationError
+from repro.hardware.components import Component, Domain
+from repro.hardware.gpu import SimulatedGPU
+from repro.hardware.specs import FrequencyConfig, GTX_TITAN_X, TESLA_K40C
+from repro.microbench import suite_group
+
+
+def _is_monotone(values, tolerance: float = 1e-6) -> bool:
+    """Non-decreasing up to the float epsilon of the weighted-pin PAVA."""
+    return all(b >= a - tolerance for a, b in zip(values, values[1:]))
+
+
+@pytest.fixture(scope="module")
+def quiet_fit(quiet_lab):
+    """Noise-free fit of the full suite over the full grid."""
+    device = "GTX Titan X"
+    return (
+        quiet_lab.gpu(device),
+        quiet_lab.model(device),
+        quiet_lab.report(device),
+    )
+
+
+class TestBootstrapConfigurations:
+    def test_titan_x_bootstrap(self):
+        session = ProfilingSession(SimulatedGPU(GTX_TITAN_X))
+        kernels = suite_group("idle") + suite_group("mix")
+        dataset = collect_training_dataset(session, kernels)
+        configs = ModelEstimator(dataset).bootstrap_configurations()
+        assert configs[0] == GTX_TITAN_X.reference
+        assert len(configs) == 3
+        # F2 changes the core frequency at the reference memory level.
+        assert configs[1].memory_mhz == 3505
+        assert configs[1].core_mhz != 975
+        # F3 changes the memory frequency at the reference core level.
+        assert configs[2].core_mhz == 975
+        assert configs[2].memory_mhz != 3505
+
+    def test_kepler_bootstrap_uses_two_core_levels(self):
+        """Single memory level on the K40c: F3 falls back to a core level."""
+        session = ProfilingSession(SimulatedGPU(TESLA_K40C))
+        kernels = suite_group("idle") + suite_group("mix")
+        dataset = collect_training_dataset(session, kernels)
+        configs = ModelEstimator(dataset).bootstrap_configurations()
+        assert len(configs) == 3
+        assert all(c.memory_mhz == 3004 for c in configs)
+        assert len({c.core_mhz for c in configs}) == 3
+
+    def test_requires_reference_in_dataset(self):
+        session = ProfilingSession(SimulatedGPU(GTX_TITAN_X))
+        kernels = suite_group("idle") + suite_group("mix")
+        dataset = collect_training_dataset(
+            session, kernels, [FrequencyConfig(595, 810)]
+        )
+        with pytest.raises(EstimationError):
+            ModelEstimator(dataset)
+
+
+class TestNoiseFreeRecovery:
+    def test_voltage_curve_recovered(self, quiet_fit):
+        gpu, model, _ = quiet_fit
+        for core, estimated in model.core_voltage_curve(3505).items():
+            truth = gpu.debug_true_voltage(
+                Domain.CORE, FrequencyConfig(core, 3505)
+            )
+            # The residual deviation at the lowest frequencies is the
+            # structural reference-utilization transfer error of the method
+            # itself, present with or without measurement noise.
+            assert estimated == pytest.approx(truth, abs=0.07), core
+
+    def test_memory_voltage_constraints(self, quiet_fit):
+        """V_mem is pinned at the reference, bounded, and monotone in the
+        memory frequency within the reference core group. (Away from the
+        anchor the estimates legitimately absorb the reference-utilization
+        transfer error — the same structural effect behind the paper's
+        higher 810 MHz prediction error in Fig. 8; the paper had no tool to
+        read memory voltages either.)"""
+        _, model, _ = quiet_fit
+        assert model.voltage_at(GTX_TITAN_X.reference).v_mem == 1.0
+        group = [
+            model.voltage_at(FrequencyConfig(975, memory)).v_mem
+            for memory in (810, 3300, 3505, 4005)
+        ]
+        assert _is_monotone(group)
+        for value in group:
+            assert 0.6 <= value <= 1.6
+
+    def test_training_error_small(self, quiet_fit):
+        _, _, report = quiet_fit
+        assert report.train_mae_percent < 4.0
+
+    def test_converged_within_paper_budget(self, quiet_fit):
+        _, _, report = quiet_fit
+        assert report.iterations <= 50
+
+    def test_rmse_history_decreases_overall(self, quiet_fit):
+        _, _, report = quiet_fit
+        assert report.rmse_history[-1] < report.rmse_history[0]
+
+    def test_constant_power_recovered(self, quiet_fit):
+        """beta0 + beta2 + f-scaled idle terms must reproduce the ~84 W
+        constant share at the reference configuration."""
+        _, model, _ = quiet_fit
+        p = model.parameters
+        constant = (
+            p.beta0 + p.beta2 + 975 * p.beta1 + 3505 * p.beta3
+        )
+        assert constant == pytest.approx(84.0, abs=8.0)
+
+    def test_dram_omega_dominates(self, quiet_fit):
+        """DRAM at full utilization draws far more than any single core
+        component on the Titan X ground truth."""
+        _, model, _ = quiet_fit
+        p = model.parameters
+        dram_full = p.omega_mem * 3505
+        core_fulls = [p.omega_core[c] * 975 for c in p.omega_core]
+        assert dram_full > max(core_fulls)
+
+
+class TestEstimatorModes:
+    def test_model_voltage_false_keeps_unit_voltages(self):
+        session = ProfilingSession(
+            SimulatedGPU(GTX_TITAN_X, settings=NOISELESS_SETTINGS)
+        )
+        kernels = suite_group("sp") + suite_group("dram") + suite_group("idle")
+        configs = [
+            FrequencyConfig(core, 3505) for core in (595, 823, 975, 1164)
+        ]
+        dataset = collect_training_dataset(session, kernels, configs)
+        model, report = ModelEstimator(
+            dataset, model_voltage=False
+        ).estimate()
+        assert report.converged
+        for config in model.known_configurations():
+            estimate = model.voltage_at(config)
+            assert estimate.v_core == 1.0
+            assert estimate.v_mem == 1.0
+
+    def test_voltage_monotone_after_fit(self, quiet_fit):
+        _, model, _ = quiet_fit
+        curve = model.core_voltage_curve(3505)
+        assert _is_monotone(list(curve.values()))
+
+    def test_fit_power_model_wrapper(self):
+        session = ProfilingSession(
+            SimulatedGPU(GTX_TITAN_X, settings=NOISELESS_SETTINGS)
+        )
+        kernels = suite_group("sp") + suite_group("dram") + suite_group("idle")
+        configs = [
+            FrequencyConfig(975, 3505),
+            FrequencyConfig(595, 3505),
+            FrequencyConfig(975, 810),
+        ]
+        model, report = fit_power_model(session, kernels, configs)
+        assert report.final_rmse >= 0
+        assert len(model.known_configurations()) == 3

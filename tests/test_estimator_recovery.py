@@ -1,0 +1,222 @@
+"""Recovery tests for the Sec. III-D estimator on synthetic data.
+
+The integration tests grade the estimator against the simulated GPU, where
+structural error is expected. Here the data is generated from the *model's
+own functional form* (Eq. 6/7) with known parameters and monotone voltage
+curves, isolating the optimizer from the substrate.
+
+What "correct" means here is subtle and worth stating: the alternating
+problem has **flat directions** — only one configuration (the reference) is
+pinned at V = 1, so a per-configuration voltage can trade scale against the
+coefficients of its domain without changing any prediction. The paper's
+algorithm (and ours) therefore guarantees *predictive* recovery, not
+parameter-wise uniqueness. The tests encode exactly that: predictions on
+unseen kernels recover almost exactly; individual coefficients and voltage
+levels recover up to the flat-direction smear.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataset import TrainingDataset, TrainingRow
+from repro.core.estimation import ModelEstimator
+from repro.core.metrics import UtilizationVector
+from repro.core.model import ModelParameters
+from repro.hardware.components import ALL_COMPONENTS, CORE_COMPONENTS, Component
+from repro.hardware.specs import FrequencyConfig, GTX_TITAN_X
+
+#: Grid used by the synthetic campaigns: every core level at two memory
+#: levels — enough to expose the full voltage curve at a third of the cost
+#: of the full 64-configuration grid.
+SYNTHETIC_CONFIGS = tuple(
+    FrequencyConfig(core, memory)
+    for memory in (3505, 810)
+    for core in GTX_TITAN_X.core_frequencies_mhz
+)
+
+
+def synthetic_dataset(
+    parameters: ModelParameters,
+    flat_level: float,
+    breakpoint_mhz: float,
+    kernels: int = 25,
+    seed: int = 0,
+) -> TrainingDataset:
+    """Rows generated exactly from Eq. 6/7 with a flat+linear core-voltage
+    curve anchored at V(reference) = 1 and V_mem = 1."""
+    spec = GTX_TITAN_X
+    rng = np.random.default_rng(seed)
+    reference = spec.reference
+
+    def v_core(frequency: float) -> float:
+        if frequency <= breakpoint_mhz:
+            return flat_level
+        slope = (1.0 - flat_level) / (reference.core_mhz - breakpoint_mhz)
+        return flat_level + slope * (frequency - breakpoint_mhz)
+
+    utilization_vectors = []
+    for _ in range(kernels):
+        values = {
+            component: float(rng.uniform(0.0, 0.9))
+            for component in ALL_COMPONENTS
+        }
+        utilization_vectors.append(UtilizationVector(values=values))
+
+    rows = []
+    for index, utilization in enumerate(utilization_vectors):
+        for config in SYNTHETIC_CONFIGS:
+            vc = v_core(config.core_mhz)
+            vm = 1.0
+            watts = (
+                parameters.beta0 * vc
+                + vc**2
+                * config.core_mhz
+                * (
+                    parameters.beta1
+                    + sum(
+                        parameters.omega_core[c] * utilization[c]
+                        for c in CORE_COMPONENTS
+                    )
+                )
+                + parameters.beta2 * vm
+                + vm**2
+                * config.memory_mhz
+                * (
+                    parameters.beta3
+                    + parameters.omega_mem * utilization[Component.DRAM]
+                )
+            )
+            rows.append(
+                TrainingRow(
+                    kernel_name=f"synthetic_{index}",
+                    config=config,
+                    measured_watts=watts,
+                    utilizations=utilization,
+                )
+            )
+    return TrainingDataset(spec=spec, rows=tuple(rows))
+
+
+def reference_parameters() -> ModelParameters:
+    return ModelParameters(
+        beta0=22.0,
+        beta1=0.030,
+        beta2=8.0,
+        beta3=0.010,
+        omega_core={
+            Component.INT: 0.035, Component.SP: 0.050, Component.DP: 0.018,
+            Component.SF: 0.028, Component.SHARED: 0.040, Component.L2: 0.024,
+        },
+        omega_mem=0.024,
+    )
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    """A long-budget fit: the alternation converges *linearly*, so exact
+    recovery on noiseless synthetic data needs more iterations than the
+    paper's 50-iteration budget (which suffices at realistic noise levels,
+    where the remaining alternation residual is far below the noise floor).
+    """
+    truth = reference_parameters()
+    dataset = synthetic_dataset(truth, flat_level=0.86, breakpoint_mhz=700)
+    model, report = ModelEstimator(
+        dataset, max_iterations=300, tolerance=1e-8
+    ).estimate()
+    return truth, model, report
+
+
+class TestPredictiveRecovery:
+    """The strong guarantee: predictions are recovered almost exactly."""
+
+    def test_training_error_collapses(self, fitted):
+        _, _, report = fitted
+        assert report.train_mae_percent < 0.25
+
+    def test_prediction_transfers_to_unseen_kernels(self, fitted):
+        truth, model, _ = fitted
+        test = synthetic_dataset(truth, 0.86, 700, kernels=10, seed=2)
+        errors = [
+            abs(
+                model.predict_power(row.utilizations, row.config)
+                - row.measured_watts
+            )
+            / row.measured_watts
+            for row in test.rows
+        ]
+        assert 100 * float(np.mean(errors)) < 0.8
+
+
+class TestParameterRecoveryUpToFlatDirections:
+    """The weaker guarantee: parameters recover up to the scale smear the
+    free per-configuration voltages allow."""
+
+    def test_core_omegas_recovered(self, fitted):
+        truth, model, _ = fitted
+        for component in CORE_COMPONENTS:
+            assert model.parameters.omega_core[component] == pytest.approx(
+                truth.omega_core[component], rel=0.15
+            ), component
+
+    def test_memory_omega_recovered(self, fitted):
+        truth, model, _ = fitted
+        assert model.parameters.omega_mem == pytest.approx(
+            truth.omega_mem, rel=0.10
+        )
+
+    def test_core_voltage_curve_recovered(self, fitted):
+        _, model, _ = fitted
+        flat, breakpoint = 0.86, 700.0
+        reference = GTX_TITAN_X.reference
+
+        def v_true(frequency: float) -> float:
+            if frequency <= breakpoint:
+                return flat
+            slope = (1.0 - flat) / (reference.core_mhz - breakpoint)
+            return flat + slope * (frequency - breakpoint)
+
+        for frequency, estimated in model.core_voltage_curve(3505).items():
+            assert estimated == pytest.approx(
+                v_true(frequency), abs=0.03
+            ), frequency
+
+    def test_memory_voltage_near_flat(self, fitted):
+        _, model, _ = fitted
+        for config in model.known_configurations():
+            assert model.voltage_at(config).v_mem == pytest.approx(
+                1.0, abs=0.06
+            )
+
+    @given(
+        flat=st.floats(min_value=0.80, max_value=0.94, allow_nan=False),
+        breakpoint=st.sampled_from([709.0, 785.0, 861.0]),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=4, deadline=None)
+    def test_recovery_across_random_curves(self, flat, breakpoint, seed):
+        """Property: for any flat/linear curve in the physical range, the
+        alternation lands within ~1 % training error and recovers the flat
+        level within the smear.
+
+        The bound is not tighter because the alternation is — as the paper
+        itself calls it — a *heuristic*: on some synthetic populations it
+        settles at non-global fixed points with ~1 % residual (verified to
+        be initialization-independent). That residual is an order of
+        magnitude below the measurement-noise floor of any real campaign,
+        which is why the paper's 50-iteration budget is adequate in
+        practice.
+        """
+        dataset = synthetic_dataset(
+            reference_parameters(), flat, breakpoint, kernels=15, seed=seed
+        )
+        model, report = ModelEstimator(
+            dataset, max_iterations=200, tolerance=1e-8
+        ).estimate()
+        assert report.train_mae_percent < 1.5
+        curve = model.core_voltage_curve(3505)
+        lowest = min(curve)
+        assert curve[lowest] == pytest.approx(flat, abs=0.08)

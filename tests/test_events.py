@@ -1,0 +1,98 @@
+"""Unit tests for the Table-I event tables (:mod:`repro.driver.events`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.driver.events import (
+    EVENT_ID_PREFIXES,
+    event_table_for,
+    raw_event_name,
+)
+from repro.errors import UnknownEventError
+
+
+class TestTableIContents:
+    def test_prefixes_match_table_footnote(self):
+        assert EVENT_ID_PREFIXES == {
+            "Pascal": 352321,
+            "Maxwell": 335544,
+            "Kepler": 318767,
+        }
+
+    def test_raw_event_name_format(self):
+        assert raw_event_name("Pascal", 580) == "event_352321580"
+        assert raw_event_name("Maxwell", 361) == "event_335544361"
+
+    @pytest.mark.parametrize(
+        "architecture, suffixes",
+        [
+            ("Pascal", (580, 581)),
+            ("Maxwell", (361, 362)),
+            ("Kepler", (131, 134, 136, 137)),
+        ],
+    )
+    def test_sp_int_warp_events(self, architecture, suffixes):
+        table = event_table_for(architecture)
+        expected = tuple(raw_event_name(architecture, s) for s in suffixes)
+        assert table.warps_sp_int == expected
+
+    @pytest.mark.parametrize(
+        "architecture, dp, sf, inst_int, inst_sp",
+        [
+            ("Pascal", 584, 560, 831, 829),
+            ("Maxwell", 364, 359, 504, 502),
+            ("Kepler", 141, 133, 205, 203),
+        ],
+    )
+    def test_undisclosed_event_ids(self, architecture, dp, sf, inst_int, inst_sp):
+        table = event_table_for(architecture)
+        assert table.warps_dp == (raw_event_name(architecture, dp),)
+        assert table.warps_sf == (raw_event_name(architecture, sf),)
+        assert table.inst_int == (raw_event_name(architecture, inst_int),)
+        assert table.inst_sp == (raw_event_name(architecture, inst_sp),)
+
+    def test_kepler_has_four_l2_subpartitions(self):
+        table = event_table_for("Kepler")
+        assert len(table.l2_read_sector_queries) == 4
+        assert len(event_table_for("Maxwell").l2_read_sector_queries) == 2
+
+    def test_kepler_shared_events_are_l1_prefixed(self):
+        # Table I: "l1_sh_ld_trans" naming on the K40c.
+        table = event_table_for("Kepler")
+        assert table.shared_load_transactions[0].startswith("l1_shared")
+        assert event_table_for("Maxwell").shared_load_transactions[0].startswith(
+            "shared"
+        )
+
+    def test_dram_sector_events_have_two_subpartitions(self):
+        for architecture in ("Pascal", "Maxwell", "Kepler"):
+            table = event_table_for(architecture)
+            assert len(table.dram_read_sectors) == 2
+            assert len(table.dram_write_sectors) == 2
+
+
+class TestTableBehaviour:
+    def test_all_event_names_unique_per_table(self):
+        for architecture in ("Pascal", "Maxwell", "Kepler"):
+            table = event_table_for(architecture)
+            names = table.all_event_names()
+            assert "active_cycles" in names
+
+    def test_require_accepts_known_event(self):
+        table = event_table_for("Maxwell")
+        assert table.require("active_cycles") == "active_cycles"
+
+    def test_require_rejects_unknown_event(self):
+        table = event_table_for("Maxwell")
+        with pytest.raises(UnknownEventError):
+            table.require("made_up_event")
+
+    def test_unknown_architecture_falls_back_to_maxwell(self):
+        assert event_table_for("Volta") is event_table_for("Maxwell")
+
+    def test_tables_differ_between_architectures(self):
+        assert (
+            event_table_for("Pascal").warps_sp_int
+            != event_table_for("Maxwell").warps_sp_int
+        )

@@ -1,0 +1,46 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Each example is executed in a subprocess (its own interpreter, exactly as a
+user would run it) and must exit 0 with non-trivial output. These are the
+slowest tests in the suite (~1 min total) but they are what keeps the
+examples from rotting.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_EXAMPLES = {
+    "quickstart.py",
+    "dvfs_energy_tuning.py",
+    "power_bottleneck_analysis.py",
+    "sensorless_power_meter.py",
+    "online_dvfs_runtime.py",
+    "energy_simulator_whatif.py",
+    "custom_gpu.py",
+    "virtualized_power_attribution.py",
+}
+
+
+def test_examples_inventory():
+    found = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert found == EXPECTED_EXAMPLES
+
+
+@pytest.mark.parametrize("example", sorted(EXPECTED_EXAMPLES))
+def test_example_runs(example):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / example)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert len(completed.stdout) > 100, "example produced almost no output"
+    assert "Traceback" not in completed.stderr

@@ -1,0 +1,103 @@
+"""Unit tests for experiment-module helpers (pure logic, no heavy runs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig2 import ApplicationCurves, MEMORY_LEVELS
+from repro.experiments.noise_sweep import NoiseSweepResult
+from repro.experiments.sensitivity import stratified_subset
+from repro.experiments.transfer import transplant
+from repro.experiments.common import Lab
+from repro.core.metrics import UtilizationVector
+from repro.hardware.components import ALL_COMPONENTS
+from repro.microbench import MICROBENCHMARK_GROUPS, build_suite
+
+
+class TestStratifiedSubset:
+    def test_full_size_returns_whole_suite(self):
+        assert len(stratified_subset(83)) == 83
+        assert len(stratified_subset(200)) == 83
+
+    @pytest.mark.parametrize("size", [20, 40, 60])
+    def test_subset_close_to_requested_size(self, size):
+        subset = stratified_subset(size)
+        assert abs(len(subset) - size) <= 5
+
+    @pytest.mark.parametrize("size", [20, 40, 60])
+    def test_every_group_represented(self, size):
+        subset = stratified_subset(size)
+        groups = {kernel.tags["group"] for kernel in subset}
+        assert groups == set(MICROBENCHMARK_GROUPS)
+
+    def test_ladder_endpoints_kept(self):
+        subset = stratified_subset(20)
+        names = {kernel.name for kernel in subset}
+        suite = build_suite()
+        for group in ("int", "sp", "dram"):
+            ladder = [k for k in suite if k.tags.get("group") == group]
+            assert ladder[0].name in names, group
+            assert ladder[-1].name in names, group
+
+    def test_no_duplicates(self):
+        subset = stratified_subset(40)
+        names = [kernel.name for kernel in subset]
+        assert len(set(names)) == len(names)
+
+
+class TestFig2Helpers:
+    def _curves(self, high_power, low_power):
+        utilization = UtilizationVector(
+            values={component: 0.0 for component in ALL_COMPONENTS}
+        )
+        return ApplicationCurves(
+            name="synthetic",
+            power_curves={
+                MEMORY_LEVELS[0]: {975.0: high_power, 595.0: high_power - 20},
+                MEMORY_LEVELS[1]: {975.0: low_power, 595.0: low_power - 10},
+            },
+            utilizations=utilization,
+            reference_power_watts=high_power,
+        )
+
+    def test_memory_drop_fraction(self):
+        curves = self._curves(high_power=200.0, low_power=100.0)
+        assert curves.memory_drop_fraction() == pytest.approx(0.5)
+
+    def test_no_drop(self):
+        curves = self._curves(high_power=150.0, low_power=150.0)
+        assert curves.memory_drop_fraction() == pytest.approx(0.0)
+
+
+class TestNoiseSweepResult:
+    def test_monotone_detection(self):
+        result = NoiseSweepResult(
+            device="x", mae_by_scale={0.0: 4.0, 1.0: 6.0, 2.0: 9.0}
+        )
+        assert result.is_monotone()
+        assert result.structural_floor == 4.0
+        assert result.nominal == 6.0
+
+    def test_non_monotone_detected(self):
+        result = NoiseSweepResult(
+            device="x", mae_by_scale={0.0: 4.0, 1.0: 9.0, 2.0: 5.0}
+        )
+        assert not result.is_monotone()
+
+    def test_small_wiggle_tolerated(self):
+        result = NoiseSweepResult(
+            device="x", mae_by_scale={0.0: 4.0, 1.0: 6.0, 2.0: 5.9}
+        )
+        assert result.is_monotone(tolerance=0.3)
+
+
+class TestTransplant:
+    def test_transplant_keeps_parameters_changes_grid(self, lab: Lab):
+        source_model = lab.model("GTX Titan X")
+        target = transplant(source_model, lab, "Titan Xp")
+        assert target.parameters == source_model.parameters
+        assert target.spec.name == "Titan Xp"
+        assert len(target.known_configurations()) == 44  # 22 x 2
+        # Transplanted voltages are the V = 1 assumption.
+        for config in target.known_configurations():
+            assert target.voltage_at(config).v_core == 1.0

@@ -1,0 +1,96 @@
+"""Tests of the experiment harness modules (:mod:`repro.experiments`).
+
+Each experiment's ``run()`` must return a structurally complete result; the
+*shape* criteria of every figure are asserted in full by the corresponding
+benchmark (``benchmarks/``), so these tests keep to structural sanity plus
+the cheapest shape invariants.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig2, fig5, fig6, fig9, table1, table2, table3
+from repro.hardware.components import Component
+
+
+class TestTableExperiments:
+    def test_table1_event_resolution(self, lab):
+        result = table1.run(lab)
+        assert set(result.tables) == {"Titan Xp", "GTX Titan X", "Tesla K40c"}
+        for device in result.tables:
+            for _, field in table1.METRIC_FIELDS:
+                assert result.events_for(device, field)
+
+    def test_table2_grid_sizes(self, lab):
+        result = table2.run(lab)
+        assert result.grid_sizes() == {
+            "Titan Xp": (22, 2),
+            "GTX Titan X": (16, 4),
+            "Tesla K40c": (4, 1),
+        }
+
+    def test_table3_workload_census(self, lab):
+        result = table3.run(lab)
+        assert result.workload_count == 27
+        assert set(result.suites()) == {
+            "rodinia", "parboil", "polybench", "cuda_sdk"
+        }
+
+
+class TestFigureExperiments:
+    def test_fig2_structure(self, lab):
+        result = fig2.run(lab)
+        assert {a.name for a in result.applications} == {
+            "blackscholes", "cutcp"
+        }
+        blackscholes = result.application("blackscholes")
+        assert set(blackscholes.power_curves) == {3505.0, 810.0}
+        assert len(blackscholes.power_curves[3505.0]) == 16
+
+    def test_fig2_memory_drop_ordering(self, lab):
+        result = fig2.run(lab)
+        assert (
+            result.application("blackscholes").memory_drop_fraction()
+            > result.application("cutcp").memory_drop_fraction()
+        )
+
+    def test_fig5_structure(self, lab):
+        result = fig5.run(lab)
+        assert len(result.utilizations) == 83
+        assert len(result.breakdown.entries) == 83
+        ladder = result.group_utilizations("sp", Component.SP)
+        assert len(ladder) == 11
+
+    def test_fig6_structure(self, lab):
+        result = fig6.run(lab)
+        assert {d.device for d in result.devices} == {
+            "GTX Titan X", "Titan Xp"
+        }
+        titan_x = result.device("GTX Titan X")
+        assert len(titan_x.predicted_curve) == 16
+        assert len(titan_x.measured_curve) == 16
+
+    def test_fig9_structure(self, lab):
+        result = fig9.run(lab)
+        assert [entry.matrix_size for entry in result.sizes] == [64, 512, 4096]
+        sweep = result.size(4096).sweep
+        assert len(sweep) == 16
+
+    def test_fig9_tdp_throttle_event(self, lab):
+        result = fig9.run(lab)
+        throttled = result.size(4096).throttled_levels()
+        assert throttled.get(1164.0) == 1126.0
+        assert not result.size(64).throttled_levels()
+
+
+class TestLabCaching:
+    def test_models_are_cached(self, lab):
+        assert lab.model("GTX Titan X") is lab.model("GTX Titan X")
+
+    def test_sessions_are_cached(self, lab):
+        assert lab.session("gtx titan x") is lab.session("GTX Titan X")
+
+    def test_suite_is_shared(self, lab):
+        assert lab.suite is lab.suite
+        assert len(lab.suite) == 83

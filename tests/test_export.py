@@ -1,0 +1,112 @@
+"""Tests for the CSV export helpers (:mod:`repro.reporting.export`)
+and the model introspection report."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.analysis.validation import PredictionRecord, ValidationResult
+from repro.errors import ValidationError
+from repro.hardware.components import ALL_COMPONENTS, Component
+from repro.hardware.specs import FrequencyConfig
+from repro.reporting.export import (
+    export_breakdown,
+    export_curve,
+    export_validation,
+    write_csv,
+)
+
+
+def read_rows(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+class TestWriteCsv:
+    def test_basic(self, tmp_path):
+        path = write_csv(tmp_path / "x.csv", ["a", "b"], [["1", "2"]])
+        rows = read_rows(path)
+        assert rows == [["a", "b"], ["1", "2"]]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = write_csv(
+            tmp_path / "deep" / "nested" / "x.csv", ["a"], [["1"]]
+        )
+        assert path.exists()
+
+    def test_rejects_ragged_rows(self, tmp_path):
+        with pytest.raises(ValidationError):
+            write_csv(tmp_path / "x.csv", ["a", "b"], [["only"]])
+
+    def test_rejects_empty(self, tmp_path):
+        with pytest.raises(ValidationError):
+            write_csv(tmp_path / "x.csv", ["a"], [])
+
+
+class TestExporters:
+    def test_validation_export(self, tmp_path):
+        result = ValidationResult(
+            device_name="GTX Titan X",
+            records=(
+                PredictionRecord(
+                    workload="gemm",
+                    config=FrequencyConfig(975, 3505),
+                    measured_watts=170.0,
+                    predicted_watts=165.0,
+                ),
+            ),
+        )
+        path = export_validation(result, tmp_path / "fig7.csv")
+        rows = read_rows(path)
+        assert rows[0][0] == "workload"
+        assert rows[1][0] == "gemm"
+        assert float(rows[1][3]) == pytest.approx(170.0)
+
+    def test_breakdown_export(self, lab, tmp_path):
+        from repro.analysis.breakdown import breakdown_report
+        from repro.workloads import workload_by_name
+
+        report = breakdown_report(
+            lab.model("GTX Titan X"),
+            lab.session("GTX Titan X"),
+            [workload_by_name("gemm")],
+        )
+        path = export_breakdown(report, tmp_path / "fig10.csv")
+        rows = read_rows(path)
+        assert len(rows) == 2
+        assert len(rows[0]) == 5 + len(ALL_COMPONENTS)
+
+    def test_curve_export(self, tmp_path):
+        path = export_curve(
+            {975.0: 1.0, 595.0: 0.85}, tmp_path / "fig6.csv",
+            y_name="v_core",
+        )
+        rows = read_rows(path)
+        assert rows[0] == ["frequency_mhz", "v_core"]
+        # Sorted by frequency.
+        assert float(rows[1][0]) == 595.0
+
+
+class TestModelDescribe:
+    def test_describe_mentions_key_quantities(self, lab):
+        text = lab.model("GTX Titan X").describe()
+        assert "GTX Titan X" in text
+        assert "constant power" in text
+        assert "dram" in text
+        assert "core voltage" in text
+
+    def test_full_scale_watts_interpretable(self, lab):
+        model = lab.model("GTX Titan X")
+        watts = model.full_scale_watts()
+        # The calibrated ground truth makes DRAM the single biggest
+        # full-scale consumer; the fit must recover that ordering.
+        assert watts[Component.DRAM] == max(watts.values())
+        assert all(value >= 0 for value in watts.values())
+
+    def test_constant_watts_near_anchor(self, lab):
+        model = lab.model("GTX Titan X")
+        assert model.constant_watts_at_reference() == pytest.approx(
+            84.0, rel=0.25
+        )

@@ -1,0 +1,82 @@
+"""Generalization tests: the model on workloads nobody picked.
+
+The Table-III validation set is fixed; these tests draw fresh random (but
+physically consistent) workload populations and require the fitted model to
+stay inside the paper's accuracy band on them too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.validation import validate_model
+from repro.errors import ValidationError
+from repro.hardware.components import Component
+from repro.hardware.specs import FrequencyConfig, GTX_TITAN_X
+from repro.workloads.generator import generate_workloads, random_profile
+from repro.config import rng_for
+
+
+class TestGenerator:
+    def test_deterministic_per_seed_label(self):
+        a = generate_workloads(5, seed_label="x")
+        b = generate_workloads(5, seed_label="x")
+        assert [k.cache_key for k in a] == [k.cache_key for k in b]
+
+    def test_different_labels_differ(self):
+        a = generate_workloads(5, seed_label="x")
+        b = generate_workloads(5, seed_label="y")
+        assert [k.cache_key for k in a] != [k.cache_key for k in b]
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValidationError):
+            generate_workloads(0)
+
+    def test_profiles_physically_consistent(self):
+        rng = rng_for("test-gen")
+        for _ in range(50):
+            profile = random_profile(rng)
+            mass = sum(u**6.0 for u in profile.values())
+            assert mass <= 0.75 + 1e-9
+            for value in profile.values():
+                assert 0.0 <= value <= 1.0
+
+    def test_population_is_diverse(self):
+        kernels = generate_workloads(30, seed_label="diversity")
+        dominant = set()
+        for kernel in kernels:
+            work = {
+                Component.SP: kernel.sp_ops,
+                Component.INT: kernel.int_ops,
+                Component.SHARED: kernel.shared_bytes,
+                Component.DRAM: kernel.dram_bytes,
+            }
+            dominant.add(max(work, key=work.get))
+        assert len(dominant) >= 3
+
+
+class TestModelGeneralization:
+    def test_random_population_stays_in_band(self, lab):
+        """MAE on 20 random workloads over a 6-configuration spread stays
+        within the paper's Maxwell band (+ a small margin for the random
+        population's harder corners)."""
+        device = "GTX Titan X"
+        workloads = generate_workloads(20, seed_label="band")
+        configs = [
+            FrequencyConfig(core, memory)
+            for core in (595, 975, 1164)
+            for memory in (3505, 810)
+        ]
+        result = validate_model(
+            lab.model(device), lab.session(device), workloads, configs
+        )
+        assert result.mean_absolute_error_percent < 9.0
+
+    def test_second_population_confirms(self, lab):
+        device = "GTX Titan X"
+        workloads = generate_workloads(20, seed_label="confirm")
+        configs = [GTX_TITAN_X.reference, FrequencyConfig(785, 3300)]
+        result = validate_model(
+            lab.model(device), lab.session(device), workloads, configs
+        )
+        assert result.mean_absolute_error_percent < 8.0

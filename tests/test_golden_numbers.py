@@ -1,0 +1,54 @@
+"""Golden-number regression tests.
+
+EXPERIMENTS.md records the exact values of the reference run; these tests
+pin the headline ones so any change that silently shifts the recorded
+numbers fails loudly (the file and the code must move together). Bands are
+tight (±0.5 pp) but not exact, so harmless numerical-library differences
+don't trip them; a genuinely shifted result will.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+GOLDEN_MAE = {
+    "Titan Xp": 6.14,
+    "GTX Titan X": 5.84,
+    "Tesla K40c": 12.25,
+}
+
+GOLDEN_FIG8 = {4005.0: 5.27, 3505.0: 4.48, 3300.0: 4.45, 810.0: 9.14}
+
+
+class TestHeadlineNumbers:
+    @pytest.mark.parametrize("device", sorted(GOLDEN_MAE))
+    def test_fig7_mae(self, lab, device):
+        mae = lab.validation(device).mean_absolute_error_percent
+        assert mae == pytest.approx(GOLDEN_MAE[device], abs=0.5), (
+            f"{device} validation MAE moved from the EXPERIMENTS.md record; "
+            "update the file if the shift is intentional"
+        )
+
+    def test_fig8_per_memory_mae(self, lab):
+        errors = lab.validation("GTX Titan X").error_by_memory_frequency()
+        for memory, golden in GOLDEN_FIG8.items():
+            assert errors[memory] == pytest.approx(golden, abs=0.6), memory
+
+    def test_estimator_iteration_counts(self, lab):
+        # EXPERIMENTS.md: 44 / 29 / 2 iterations.
+        assert lab.report("Titan Xp").iterations == pytest.approx(44, abs=6)
+        assert lab.report("GTX Titan X").iterations == pytest.approx(29, abs=6)
+        assert lab.report("Tesla K40c").iterations <= 10
+
+    def test_training_mae(self, lab):
+        # EXPERIMENTS.md: 6.13 / 5.55 / 9.13 %.
+        assert lab.report("Titan Xp").train_mae_percent == pytest.approx(
+            6.13, abs=0.5
+        )
+        assert lab.report("GTX Titan X").train_mae_percent == pytest.approx(
+            5.55, abs=0.5
+        )
+        assert lab.report("Tesla K40c").train_mae_percent == pytest.approx(
+            9.13, abs=0.7
+        )

@@ -1,0 +1,92 @@
+"""Unit tests for :class:`repro.hardware.gpu.SimulatedGPU`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FrequencyError
+from repro.hardware.components import Domain
+from repro.hardware.gpu import SimulatedGPU
+from repro.hardware.specs import FrequencyConfig, GTX_TITAN_X
+from repro.kernels.kernel import idle_kernel
+from repro.workloads import workload_by_name
+from repro.workloads.cuda_sdk import matrixmul_cublas
+
+
+@pytest.fixture(scope="module")
+def gpu() -> SimulatedGPU:
+    return SimulatedGPU(GTX_TITAN_X)
+
+
+class TestExecution:
+    def test_default_config_is_reference(self, gpu):
+        result = gpu.run(workload_by_name("gemm"))
+        assert result.applied_config == GTX_TITAN_X.reference
+
+    def test_run_rejects_unknown_config(self, gpu):
+        with pytest.raises(FrequencyError):
+            gpu.run(workload_by_name("gemm"), FrequencyConfig(1000, 3505))
+
+    def test_run_is_deterministic(self, gpu):
+        kernel = workload_by_name("gemm")
+        a = gpu.run(kernel, FrequencyConfig(785, 3300))
+        b = gpu.run(kernel, FrequencyConfig(785, 3300))
+        assert a.true_power_watts == b.true_power_watts
+        assert a.duration_seconds == b.duration_seconds
+
+    def test_run_cache_returns_same_object(self, gpu):
+        kernel = workload_by_name("gemm")
+        a = gpu.run(kernel, FrequencyConfig(785, 3300))
+        b = gpu.run(kernel, FrequencyConfig(785, 3300))
+        assert a is b
+
+    def test_result_reports_requested_and_applied(self, gpu):
+        kernel = matrixmul_cublas(4096, GTX_TITAN_X)
+        result = gpu.run(kernel, FrequencyConfig(1164, 3505))
+        assert result.requested_config == FrequencyConfig(1164, 3505)
+        assert result.applied_config == FrequencyConfig(1126, 3505)
+        assert result.throttled
+
+    def test_throttling_can_be_disabled(self):
+        gpu = SimulatedGPU(GTX_TITAN_X, tdp_throttling=False)
+        kernel = matrixmul_cublas(4096, GTX_TITAN_X)
+        result = gpu.run(kernel, FrequencyConfig(1164, 3505))
+        assert not result.throttled
+        assert result.true_power_watts > GTX_TITAN_X.tdp_watts
+
+    def test_throttled_power_respects_tdp(self, gpu):
+        kernel = matrixmul_cublas(4096, GTX_TITAN_X)
+        result = gpu.run(kernel, FrequencyConfig(1164, 3505))
+        assert result.true_power_watts <= GTX_TITAN_X.tdp_watts
+
+
+class TestIdleAndDebug:
+    def test_idle_power_positive(self, gpu):
+        assert gpu.idle_power_watts() > 0
+
+    def test_idle_power_drops_with_memory_frequency(self, gpu):
+        high = gpu.idle_power_watts(FrequencyConfig(975, 3505))
+        low = gpu.idle_power_watts(FrequencyConfig(975, 810))
+        assert low < high
+
+    def test_debug_true_voltage_matches_table(self, gpu):
+        config = FrequencyConfig(1164, 3505)
+        assert gpu.debug_true_voltage(Domain.CORE, config) == pytest.approx(
+            gpu.voltage_table.core_voltage(config)
+        )
+
+    def test_debug_breakdown_matches_run(self, gpu):
+        kernel = workload_by_name("gemm")
+        breakdown = gpu.debug_true_breakdown(kernel)
+        assert breakdown.total_watts == pytest.approx(
+            gpu.run(kernel).true_power_watts
+        )
+
+    def test_noise_profile_matches_architecture(self, gpu):
+        from repro.hardware.noise import NOISE_PROFILES
+
+        assert gpu.noise_profile == NOISE_PROFILES["Maxwell"]
+
+    def test_idle_kernel_never_throttles(self, gpu):
+        result = gpu.run(idle_kernel(), FrequencyConfig(1164, 4005))
+        assert not result.throttled

@@ -1,0 +1,115 @@
+"""End-to-end integration tests of the full paper pipeline.
+
+These exercise the whole chain — microbenchmark suite, driver layer, metric
+computation, iterative estimation, validation on the unseen Table-III
+workloads — under the default (noisy) measurement chain, asserting the
+paper-level accuracy claims. Heavy artefacts come from the session-scoped
+``lab`` fixture, so each device is fitted at most once per test run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.components import Component, Domain
+from repro.hardware.specs import FrequencyConfig
+
+
+class TestHeadlineAccuracy:
+    """Fig. 7: 6.9 % / 6.0 % / 12.4 % mean absolute error."""
+
+    @pytest.mark.parametrize(
+        "device, paper_mae, band",
+        [
+            ("Titan Xp", 6.9, 3.0),
+            ("GTX Titan X", 6.0, 3.0),
+            ("Tesla K40c", 12.4, 4.0),
+        ],
+    )
+    def test_validation_mae_matches_paper_band(
+        self, lab, device, paper_mae, band
+    ):
+        mae = lab.validation(device).mean_absolute_error_percent
+        assert abs(mae - paper_mae) <= band
+
+    def test_kepler_is_the_least_accurate(self, lab):
+        kepler = lab.validation("Tesla K40c").mean_absolute_error_percent
+        assert kepler > lab.validation("Titan Xp").mean_absolute_error_percent
+        assert kepler > lab.validation(
+            "GTX Titan X"
+        ).mean_absolute_error_percent
+
+    def test_training_error_below_validation_error(self, lab):
+        device = "GTX Titan X"
+        assert (
+            lab.report(device).train_mae_percent
+            <= lab.validation(device).mean_absolute_error_percent + 1.0
+        )
+
+    def test_estimator_converges_within_paper_budget(self, lab):
+        # Sec. V-A: "converged in less than 50 iterations".
+        for device in ("GTX Titan X", "Tesla K40c"):
+            assert lab.report(device).iterations <= 50
+
+
+class TestVoltageRecovery:
+    """Fig. 6: the estimated core-voltage curve matches the hidden truth."""
+
+    @pytest.mark.parametrize("device", ["GTX Titan X", "Titan Xp"])
+    def test_core_voltage_error_small(self, lab, device):
+        spec = lab.spec(device)
+        gpu = lab.gpu(device)
+        model = lab.model(device)
+        for core, estimated in model.core_voltage_curve(
+            spec.default_memory_mhz
+        ).items():
+            truth = gpu.debug_true_voltage(
+                Domain.CORE, FrequencyConfig(core, spec.default_memory_mhz)
+            )
+            assert abs(estimated - truth) < 0.07, core
+
+    def test_voltage_curve_monotone(self, lab):
+        curve = lab.model("GTX Titan X").core_voltage_curve(3505)
+        values = list(curve.values())
+        assert all(b >= a - 1e-6 for a, b in zip(values, values[1:]))
+
+
+class TestErrorStructure:
+    """Fig. 8: error grows with distance from the reference configuration."""
+
+    def test_low_memory_frequency_hardest(self, lab):
+        errors = lab.validation("GTX Titan X").error_by_memory_frequency()
+        assert errors[810.0] > errors[3505.0]
+
+    def test_reference_memory_frequency_error_near_paper(self, lab):
+        errors = lab.validation("GTX Titan X").error_by_memory_frequency()
+        # Paper: 4.9 % at 3505 MHz, 8.7 % at 810 MHz.
+        assert errors[3505.0] == pytest.approx(4.9, abs=2.0)
+        assert errors[810.0] == pytest.approx(8.7, abs=3.0)
+
+
+class TestPowerSpan:
+    def test_titan_x_power_span(self, lab):
+        # Fig. 7: measured powers span roughly 40-248 W on the GTX Titan X.
+        low, high = lab.validation("GTX Titan X").power_range_watts()
+        assert low < 80.0
+        assert high > 200.0
+        assert high <= 250.0  # TDP is never exceeded
+
+
+class TestPerComponentConsistency:
+    def test_predicted_breakdown_tracks_utilization(self, lab):
+        """A workload's biggest predicted component should be one it
+        actually utilizes heavily."""
+        from repro.analysis.breakdown import breakdown_report
+        from repro.workloads import workload_by_name
+
+        device = "GTX Titan X"
+        report = breakdown_report(
+            lab.model(device),
+            lab.session(device),
+            [workload_by_name("blackscholes")],
+        )
+        entry = report.entries[0]
+        top = max(entry.component_watts, key=entry.component_watts.get)
+        assert top is Component.DRAM  # Fig. 2A: DRAM-dominated workload

@@ -1,0 +1,146 @@
+"""Unit tests for kernel descriptors and the launch-repetition policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import KernelError
+from repro.hardware.components import Component
+from repro.kernels.kernel import (
+    IDLE_KERNEL_NAME,
+    KernelDescriptor,
+    idle_kernel,
+)
+from repro.kernels.launch import repetitions_for_min_duration
+
+
+def make_kernel(**overrides) -> KernelDescriptor:
+    base = dict(
+        name="k",
+        threads=1024,
+        int_ops=10.0,
+        sp_ops=20.0,
+        dram_bytes=8.0,
+        l2_bytes=8.0,
+    )
+    base.update(overrides)
+    return KernelDescriptor(**base)
+
+
+class TestDescriptorValidation:
+    def test_rejects_empty_name(self):
+        with pytest.raises(KernelError):
+            make_kernel(name="")
+
+    def test_rejects_nonpositive_threads(self):
+        with pytest.raises(KernelError):
+            make_kernel(threads=0)
+
+    def test_rejects_negative_work(self):
+        with pytest.raises(KernelError):
+            make_kernel(sp_ops=-1.0)
+
+    def test_rejects_bad_read_fraction(self):
+        with pytest.raises(KernelError):
+            make_kernel(dram_read_fraction=1.5)
+
+
+class TestWorkAccounting:
+    def test_total_ops(self):
+        kernel = make_kernel(sp_ops=20.0, threads=100)
+        assert kernel.total_ops(Component.SP) == 2000.0
+
+    def test_total_bytes(self):
+        kernel = make_kernel(dram_bytes=8.0, threads=100)
+        assert kernel.total_bytes(Component.DRAM) == 800.0
+
+    def test_total_ops_rejects_memory_level(self):
+        with pytest.raises(KernelError):
+            make_kernel().total_ops(Component.DRAM)
+
+    def test_total_bytes_rejects_compute_unit(self):
+        with pytest.raises(KernelError):
+            make_kernel().total_bytes(Component.SP)
+
+    def test_component_work_covers_all_components(self):
+        work = make_kernel().component_work()
+        assert set(work) == set(Component)
+
+    def test_arithmetic_intensity(self):
+        kernel = make_kernel(int_ops=10, sp_ops=22, dram_bytes=8)
+        assert kernel.arithmetic_intensity == pytest.approx(4.0)
+
+    def test_arithmetic_intensity_no_traffic(self):
+        kernel = make_kernel(dram_bytes=0.0)
+        assert kernel.arithmetic_intensity == float("inf")
+
+
+class TestScaling:
+    def test_scaled_multiplies_work(self):
+        kernel = make_kernel(sp_ops=20.0, dram_bytes=8.0, min_cycles=100.0)
+        double = kernel.scaled(2.0)
+        assert double.sp_ops == 40.0
+        assert double.dram_bytes == 16.0
+        assert double.min_cycles == 200.0
+
+    def test_scaled_keeps_threads(self):
+        assert make_kernel().scaled(3.0).threads == 1024
+
+    def test_scaled_rejects_nonpositive_factor(self):
+        with pytest.raises(KernelError):
+            make_kernel().scaled(0.0)
+
+    def test_scaled_can_rename(self):
+        assert make_kernel().scaled(2.0, name="big").name == "big"
+
+
+class TestTagsAndIdentity:
+    def test_with_tags_merges(self):
+        kernel = make_kernel().with_tags(group="sp").with_tags(step="3")
+        assert kernel.tags["group"] == "sp"
+        assert kernel.tags["step"] == "3"
+
+    def test_cache_key_ignores_tags(self):
+        a = make_kernel().with_tags(group="x")
+        b = make_kernel().with_tags(group="y")
+        assert a.cache_key == b.cache_key
+
+    def test_cache_key_sees_work_changes(self):
+        assert make_kernel().cache_key != make_kernel(sp_ops=21.0).cache_key
+
+
+class TestIdleKernel:
+    def test_idle_has_no_work(self):
+        assert idle_kernel().is_idle
+
+    def test_idle_name(self):
+        assert idle_kernel().name == IDLE_KERNEL_NAME
+
+    def test_working_kernel_is_not_idle(self):
+        assert not make_kernel().is_idle
+
+    def test_idle_still_occupies_cycles(self):
+        assert idle_kernel().min_cycles > 0
+
+
+class TestRepetitionPolicy:
+    def test_long_kernel_needs_one_run(self):
+        assert repetitions_for_min_duration(2.0) == 1
+
+    def test_short_kernel_repeats_to_one_second(self):
+        # Sec. V-A: repeat until >= 1 s at the fastest configuration.
+        assert repetitions_for_min_duration(0.001) == 1000
+
+    def test_ceiling_behaviour(self):
+        assert repetitions_for_min_duration(0.3) == 4
+
+    def test_custom_minimum(self):
+        assert repetitions_for_min_duration(0.5, min_total_seconds=2.0) == 4
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(KernelError):
+            repetitions_for_min_duration(0.0)
+
+    def test_rejects_nonpositive_minimum(self):
+        with pytest.raises(KernelError):
+            repetitions_for_min_duration(1.0, min_total_seconds=0.0)

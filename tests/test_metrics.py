@@ -1,0 +1,133 @@
+"""Unit tests for the utilization metrics (Eq. 8/9/10,
+:mod:`repro.core.metrics`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import NOISELESS_SETTINGS
+from repro.core.metrics import MetricCalculator, UtilizationVector
+from repro.driver.cupti import CuptiContext
+from repro.errors import MetricError
+from repro.hardware.components import ALL_COMPONENTS, Component
+from repro.hardware.gpu import SimulatedGPU
+from repro.hardware.specs import GTX_TITAN_X, TESLA_K40C
+from repro.kernels.kernel import KernelDescriptor
+from repro.workloads import all_workloads, workload_by_name
+
+
+@pytest.fixture(scope="module")
+def quiet_gpu_local() -> SimulatedGPU:
+    return SimulatedGPU(GTX_TITAN_X, settings=NOISELESS_SETTINGS)
+
+
+@pytest.fixture(scope="module")
+def quiet_cupti(quiet_gpu_local) -> CuptiContext:
+    return CuptiContext(quiet_gpu_local)
+
+
+@pytest.fixture(scope="module")
+def calculator() -> MetricCalculator:
+    return MetricCalculator(GTX_TITAN_X)
+
+
+class TestUtilizationVector:
+    def test_requires_all_components(self):
+        with pytest.raises(MetricError):
+            UtilizationVector(values={Component.SP: 0.5})
+
+    def test_core_array_order(self):
+        values = {component: 0.0 for component in ALL_COMPONENTS}
+        values[Component.INT] = 0.1
+        values[Component.L2] = 0.6
+        vector = UtilizationVector(values=values)
+        array = vector.core_array()
+        assert array[0] == 0.1  # INT is first in the canonical order
+        assert array[-1] == 0.6  # L2 is last among core components
+
+    def test_dram_accessor(self):
+        values = {component: 0.0 for component in ALL_COMPONENTS}
+        values[Component.DRAM] = 0.85
+        assert UtilizationVector(values=values).dram == 0.85
+
+
+class TestEquationRoundTrip:
+    """Noise-free events + Eq. 8/9/10 must reproduce the ground-truth
+    utilizations the simulator computed."""
+
+    @pytest.mark.parametrize(
+        "workload", ["blackscholes", "cutcp", "gemm", "lbm", "syrk_double"]
+    )
+    def test_reconstruction_matches_ground_truth(
+        self, quiet_gpu_local, quiet_cupti, calculator, workload
+    ):
+        kernel = workload_by_name(workload)
+        record = quiet_cupti.collect_events(kernel)
+        reconstructed = calculator.utilizations(record)
+        truth = quiet_gpu_local.run(kernel).profile.utilizations
+        for component in ALL_COMPONENTS:
+            assert reconstructed[component] == pytest.approx(
+                truth[component], abs=1e-6
+            ), component
+
+    def test_eq10_splits_int_and_sp_by_instruction_ratio(
+        self, quiet_cupti, calculator
+    ):
+        kernel = KernelDescriptor(
+            name="int-sp-mix", threads=4_000_000,
+            int_ops=30.0, sp_ops=90.0, dram_bytes=8.0, l2_bytes=8.0,
+        )
+        record = quiet_cupti.collect_events(kernel)
+        utilization = calculator.utilizations(record)
+        # Same units, same rate: utilizations must sit in the 1:3 ops ratio.
+        assert utilization[Component.SP] == pytest.approx(
+            3 * utilization[Component.INT], rel=1e-6
+        )
+
+    def test_no_instructions_means_zero_compute_utilization(
+        self, quiet_cupti, calculator
+    ):
+        kernel = KernelDescriptor(
+            name="pure-stream", threads=4_000_000, dram_bytes=32.0,
+            l2_bytes=32.0,
+        )
+        record = quiet_cupti.collect_events(kernel)
+        utilization = calculator.utilizations(record)
+        assert utilization[Component.INT] == 0.0
+        assert utilization[Component.SP] == 0.0
+
+    def test_values_clipped_to_unit_interval(self, calculator):
+        gpu = SimulatedGPU(TESLA_K40C)  # strongest counter noise
+        cupti = CuptiContext(gpu)
+        calculator_k40 = MetricCalculator(TESLA_K40C)
+        for kernel in all_workloads():
+            utilization = calculator_k40.utilizations(
+                cupti.collect_events(kernel)
+            )
+            for component in ALL_COMPONENTS:
+                assert 0.0 <= utilization[component] <= 1.0
+
+    def test_zero_active_cycles_rejected(self, calculator, quiet_cupti):
+        import dataclasses
+
+        record = quiet_cupti.collect_events(workload_by_name("gemm"))
+        broken = dataclasses.replace(
+            record,
+            values={name: 0.0 for name in record.values},
+        )
+        with pytest.raises(MetricError):
+            calculator.utilizations(broken)
+
+
+class TestCrossArchitecture:
+    def test_kepler_reconstruction_noiseless(self):
+        gpu = SimulatedGPU(TESLA_K40C, settings=NOISELESS_SETTINGS)
+        cupti = CuptiContext(gpu)
+        calculator = MetricCalculator(TESLA_K40C)
+        kernel = workload_by_name("syrk_double")
+        reconstructed = calculator.utilizations(cupti.collect_events(kernel))
+        truth = gpu.run(kernel).profile.utilizations
+        for component in ALL_COMPONENTS:
+            assert reconstructed[component] == pytest.approx(
+                truth[component], abs=1e-6
+            )

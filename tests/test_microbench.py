@@ -1,0 +1,127 @@
+"""Unit tests for the 83-microbenchmark suite (:mod:`repro.microbench`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import NOISELESS_SETTINGS
+from repro.core.metrics import MetricCalculator
+from repro.driver.cupti import CuptiContext
+from repro.errors import ValidationError
+from repro.hardware.components import Component
+from repro.hardware.gpu import SimulatedGPU
+from repro.hardware.specs import GTX_TITAN_X
+from repro.microbench import MICROBENCHMARK_GROUPS, build_suite, suite_group
+from repro.microbench.suite import SUITE_SIZE
+
+
+class TestSuiteComposition:
+    def test_total_size_is_83(self):
+        assert len(build_suite()) == SUITE_SIZE == 83
+
+    def test_group_sizes_match_fig5(self):
+        # Fig. 5 annotations: INT x12, SP x11, DP x12, SF x8, L2 x10,
+        # Shared x10, DRAM x12, MIX x7 (+ Idle).
+        assert MICROBENCHMARK_GROUPS == {
+            "int": 12, "sp": 11, "dp": 12, "sf": 8,
+            "l2": 10, "shared": 10, "dram": 12, "mix": 7, "idle": 1,
+        }
+
+    @pytest.mark.parametrize("group", list(MICROBENCHMARK_GROUPS))
+    def test_each_group_builds_declared_count(self, group):
+        assert len(suite_group(group)) == MICROBENCHMARK_GROUPS[group]
+
+    def test_unknown_group_rejected(self):
+        with pytest.raises(ValidationError):
+            suite_group("texture")
+
+    def test_names_unique(self):
+        names = [kernel.name for kernel in build_suite()]
+        assert len(set(names)) == len(names)
+
+    def test_all_tagged_with_group(self):
+        for kernel in build_suite():
+            assert kernel.tags.get("group") in MICROBENCHMARK_GROUPS
+
+    def test_suite_marker(self):
+        assert all(k.suite == "microbench" for k in build_suite())
+
+
+class TestIntensityLadders:
+    """Fig. 5A: along each ladder the target unit's utilization grows while
+    the memory hierarchy's utilization falls."""
+
+    @pytest.fixture(scope="class")
+    def utilizations(self):
+        gpu = SimulatedGPU(GTX_TITAN_X, settings=NOISELESS_SETTINGS)
+        cupti = CuptiContext(gpu)
+        calculator = MetricCalculator(GTX_TITAN_X)
+        return {
+            kernel.name: calculator.utilizations(cupti.collect_events(kernel))
+            for kernel in build_suite()
+        }
+
+    @pytest.mark.parametrize(
+        "group, component",
+        [
+            ("int", Component.INT),
+            ("sp", Component.SP),
+            ("dp", Component.DP),
+            ("sf", Component.SF),
+        ],
+    )
+    def test_target_unit_utilization_grows_with_intensity(
+        self, utilizations, group, component
+    ):
+        ladder = [utilizations[k.name][component] for k in suite_group(group)]
+        assert ladder[0] < ladder[-1]
+        # Monotone non-decreasing along the ladder.
+        assert all(b >= a - 1e-9 for a, b in zip(ladder, ladder[1:]))
+
+    @pytest.mark.parametrize("group", ["int", "sp"])
+    def test_dram_utilization_falls_with_intensity(self, utilizations, group):
+        ladder = [
+            utilizations[k.name][Component.DRAM] for k in suite_group(group)
+        ]
+        assert ladder[0] > ladder[-1]
+
+    def test_high_intensity_saturates_unit(self, utilizations):
+        final = suite_group("sp")[-1]
+        assert utilizations[final.name][Component.SP] > 0.85
+
+    @pytest.mark.parametrize(
+        "group, component",
+        [
+            ("shared", Component.SHARED),
+            ("l2", Component.L2),
+            ("dram", Component.DRAM),
+        ],
+    )
+    def test_memory_groups_stress_their_level(
+        self, utilizations, group, component
+    ):
+        peak = max(
+            utilizations[k.name][component] for k in suite_group(group)
+        )
+        assert peak > 0.7
+
+    def test_dram_ladder_covers_a_range(self, utilizations):
+        values = [
+            utilizations[k.name][Component.DRAM]
+            for k in suite_group("dram")
+        ]
+        assert max(values) - min(values) > 0.3
+
+    def test_mix_kernels_touch_multiple_components(self, utilizations):
+        for kernel in suite_group("mix"):
+            active = [
+                component
+                for component in Component
+                if utilizations[kernel.name][component] > 0.1
+            ]
+            assert len(active) >= 2, kernel.name
+
+    def test_idle_has_zero_utilization_everywhere(self, utilizations):
+        idle = utilizations["idle"]
+        for component in Component:
+            assert idle[component] == 0.0

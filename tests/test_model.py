@@ -1,0 +1,192 @@
+"""Unit tests for :mod:`repro.core.model` (Eq. 5-7 predictions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import UtilizationVector
+from repro.core.model import (
+    DVFSPowerModel,
+    ModelParameters,
+    VoltageEstimate,
+)
+from repro.errors import EstimationError, NotFittedError
+from repro.hardware.components import ALL_COMPONENTS, CORE_COMPONENTS, Component
+from repro.hardware.specs import FrequencyConfig, GTX_TITAN_X
+
+
+def make_parameters(**overrides) -> ModelParameters:
+    base = dict(
+        beta0=22.0,
+        beta1=0.030,
+        beta2=8.0,
+        beta3=0.010,
+        omega_core={
+            Component.INT: 0.030, Component.SP: 0.045, Component.DP: 0.020,
+            Component.SF: 0.028, Component.SHARED: 0.036, Component.L2: 0.022,
+        },
+        omega_mem=0.024,
+    )
+    base.update(overrides)
+    return ModelParameters(**base)
+
+
+def make_utilizations(**values) -> UtilizationVector:
+    full = {component: 0.0 for component in ALL_COMPONENTS}
+    for name, value in values.items():
+        full[Component[name.upper()]] = value
+    return UtilizationVector(values=full)
+
+
+def make_model(voltages=None) -> DVFSPowerModel:
+    if voltages is None:
+        voltages = {
+            config: VoltageEstimate(1.0, 1.0)
+            for config in GTX_TITAN_X.all_configurations()
+        }
+    return DVFSPowerModel(GTX_TITAN_X, make_parameters(), voltages)
+
+
+class TestModelParameters:
+    def test_vector_roundtrip(self):
+        parameters = make_parameters()
+        recovered = ModelParameters.from_vector(parameters.as_vector())
+        assert recovered == parameters
+
+    def test_vector_layout(self):
+        vector = make_parameters().as_vector()
+        assert vector[0] == 22.0  # beta0
+        assert vector[1] == 0.030  # beta1
+        assert vector[-1] == 0.024  # omega_mem
+        assert len(vector) == 5 + len(CORE_COMPONENTS)
+
+    def test_rejects_negative_beta(self):
+        with pytest.raises(EstimationError):
+            make_parameters(beta0=-1.0)
+
+    def test_rejects_missing_omega(self):
+        with pytest.raises(EstimationError):
+            make_parameters(omega_core={Component.INT: 0.01})
+
+    def test_from_vector_rejects_bad_shape(self):
+        with pytest.raises(EstimationError):
+            ModelParameters.from_vector(np.ones(3))
+
+
+class TestPrediction:
+    def test_eq6_eq7_by_hand(self):
+        """One configuration computed with pencil and paper."""
+        model = make_model()
+        utilization = make_utilizations(sp=0.5, dram=0.8)
+        config = FrequencyConfig(975, 3505)
+        p = model.parameters
+        expected = (
+            p.beta0
+            + 975 * (p.beta1 + p.omega_core[Component.SP] * 0.5)
+            + p.beta2
+            + 3505 * (p.beta3 + p.omega_mem * 0.8)
+        )
+        assert model.predict_power(utilization, config) == pytest.approx(
+            expected
+        )
+
+    def test_voltage_squared_scaling(self):
+        voltages = {
+            config: VoltageEstimate(1.0, 1.0)
+            for config in GTX_TITAN_X.all_configurations()
+        }
+        key_config = FrequencyConfig(1164, 3505)
+        voltages[key_config] = VoltageEstimate(1.1, 1.0)
+        model = make_model(voltages)
+        utilization = make_utilizations(sp=1.0)
+        p = model.parameters
+        expected = (
+            p.beta0 * 1.1
+            + 1.1**2 * 1164 * (p.beta1 + p.omega_core[Component.SP])
+            + p.beta2
+            + 3505 * p.beta3
+        )
+        assert model.predict_power(utilization, key_config) == pytest.approx(
+            expected
+        )
+
+    def test_power_monotone_in_utilization(self):
+        model = make_model()
+        config = GTX_TITAN_X.reference
+        low = model.predict_power(make_utilizations(sp=0.2), config)
+        high = model.predict_power(make_utilizations(sp=0.9), config)
+        assert high > low
+
+    def test_breakdown_sums_to_total(self):
+        model = make_model()
+        utilization = make_utilizations(sp=0.4, l2=0.3, dram=0.6)
+        config = GTX_TITAN_X.reference
+        breakdown = model.predict_breakdown(utilization, config)
+        assert breakdown.total_watts == pytest.approx(
+            model.predict_power(utilization, config)
+        )
+        assert breakdown.constant_watts > 0
+
+    def test_zero_utilization_gives_constant_only(self):
+        model = make_model()
+        breakdown = model.predict_breakdown(
+            make_utilizations(), GTX_TITAN_X.reference
+        )
+        assert breakdown.dynamic_watts == 0.0
+
+    def test_predict_grid_covers_all_configurations(self):
+        model = make_model()
+        grid = model.predict_grid(make_utilizations(sp=0.5))
+        assert len(grid) == 64  # 16 core x 4 memory levels
+
+
+class TestVoltageLookup:
+    def test_known_configuration(self):
+        model = make_model()
+        estimate = model.voltage_at(GTX_TITAN_X.reference)
+        assert estimate.v_core == 1.0
+
+    def test_unknown_configuration_without_extrapolation(self):
+        voltages = {GTX_TITAN_X.reference: VoltageEstimate(1.0, 1.0)}
+        model = make_model(voltages)
+        with pytest.raises(NotFittedError):
+            model.voltage_at(FrequencyConfig(595, 810), extrapolate=False)
+
+    def test_interpolation_between_known_levels(self):
+        voltages = {
+            FrequencyConfig(595, 3505): VoltageEstimate(0.9, 1.0),
+            FrequencyConfig(1164, 3505): VoltageEstimate(1.1, 1.0),
+            FrequencyConfig(975, 3505): VoltageEstimate(1.0, 1.0),
+        }
+        model = make_model(voltages)
+        estimate = model.voltage_at(FrequencyConfig(785, 3505))
+        assert 0.9 < estimate.v_core < 1.0
+
+    def test_interpolation_clamps_at_edges(self):
+        voltages = {
+            FrequencyConfig(785, 3505): VoltageEstimate(0.95, 1.0),
+            FrequencyConfig(975, 3505): VoltageEstimate(1.0, 1.0),
+        }
+        model = make_model(voltages)
+        estimate = model.voltage_at(FrequencyConfig(595, 3505))
+        assert estimate.v_core == pytest.approx(0.95)
+
+    def test_core_voltage_curve_extraction(self):
+        model = make_model()
+        curve = model.core_voltage_curve(3505)
+        assert len(curve) == 16
+        assert list(curve) == sorted(curve)
+
+    def test_core_voltage_curve_unknown_memory(self):
+        model = make_model()
+        with pytest.raises(NotFittedError):
+            model.core_voltage_curve(1234)
+
+    def test_empty_voltages_rejected(self):
+        with pytest.raises(NotFittedError):
+            DVFSPowerModel(GTX_TITAN_X, make_parameters(), {})
+
+    def test_rejects_nonpositive_voltage(self):
+        with pytest.raises(EstimationError):
+            VoltageEstimate(0.0, 1.0)

@@ -1,0 +1,112 @@
+"""Unit tests for the measurement-chain noise models
+(:mod:`repro.hardware.noise`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_SETTINGS, NOISELESS_SETTINGS
+from repro.hardware.noise import (
+    NOISE_PROFILES,
+    counter_noise_factor,
+    kernel_residual_factor,
+    noise_profile_for,
+    sensor_noise_matrix,
+    sensor_sample_noise,
+)
+
+
+class TestProfiles:
+    def test_profiles_for_paper_architectures(self):
+        assert set(NOISE_PROFILES) == {"Pascal", "Maxwell", "Kepler"}
+
+    def test_kepler_counters_least_accurate(self):
+        # Sec. V-B attributes the K40c's higher error to event inaccuracy.
+        kepler = NOISE_PROFILES["Kepler"].counter_sigma
+        assert kepler > NOISE_PROFILES["Pascal"].counter_sigma
+        assert kepler > NOISE_PROFILES["Maxwell"].counter_sigma
+
+    def test_pascal_noisier_than_maxwell(self):
+        # Matches the 6.9% vs 6.0% validation-error ordering.
+        assert (
+            NOISE_PROFILES["Pascal"].residual_sigma
+            > NOISE_PROFILES["Maxwell"].residual_sigma
+        )
+
+    def test_unknown_architecture_falls_back(self):
+        assert noise_profile_for("Volta") is not None
+
+
+class TestDeterminism:
+    def test_residual_is_stable(self):
+        a = kernel_residual_factor("Maxwell", "gemm", DEFAULT_SETTINGS)
+        b = kernel_residual_factor("Maxwell", "gemm", DEFAULT_SETTINGS)
+        assert a == b
+
+    def test_residual_differs_per_kernel(self):
+        a = kernel_residual_factor("Maxwell", "gemm", DEFAULT_SETTINGS)
+        b = kernel_residual_factor("Maxwell", "lbm", DEFAULT_SETTINGS)
+        assert a != b
+
+    def test_residual_differs_per_architecture(self):
+        a = kernel_residual_factor("Maxwell", "gemm", DEFAULT_SETTINGS)
+        b = kernel_residual_factor("Kepler", "gemm", DEFAULT_SETTINGS)
+        assert a != b
+
+    def test_counter_noise_is_stable_per_event(self):
+        a = counter_noise_factor("Kepler", "gemm", "active_cycles", DEFAULT_SETTINGS)
+        b = counter_noise_factor("Kepler", "gemm", "active_cycles", DEFAULT_SETTINGS)
+        assert a == b
+
+    def test_counter_noise_differs_per_event(self):
+        a = counter_noise_factor("Kepler", "gemm", "event_a", DEFAULT_SETTINGS)
+        b = counter_noise_factor("Kepler", "gemm", "event_b", DEFAULT_SETTINGS)
+        assert a != b
+
+    def test_counter_noise_nonnegative(self):
+        for i in range(50):
+            factor = counter_noise_factor(
+                "Kepler", f"kernel-{i}", "event", DEFAULT_SETTINGS
+            )
+            assert factor >= 0.0
+
+
+class TestNoiselessMode:
+    def test_residual_is_one(self):
+        assert kernel_residual_factor("Kepler", "gemm", NOISELESS_SETTINGS) == 1.0
+
+    def test_counter_factor_is_one(self):
+        assert (
+            counter_noise_factor("Kepler", "gemm", "e", NOISELESS_SETTINGS)
+            == 1.0
+        )
+
+    def test_sensor_noise_is_ones(self):
+        noise = sensor_sample_noise("Maxwell", "gemm", "cfg", 10, NOISELESS_SETTINGS)
+        assert np.all(noise == 1.0)
+
+
+class TestSensorNoise:
+    def test_matrix_shape(self):
+        matrix = sensor_noise_matrix(
+            "Maxwell", "gemm", "cfg", 10, 7, DEFAULT_SETTINGS
+        )
+        assert matrix.shape == (10, 7)
+
+    def test_rows_are_independent_draws(self):
+        matrix = sensor_noise_matrix(
+            "Maxwell", "gemm", "cfg", 2, 16, DEFAULT_SETTINGS
+        )
+        assert not np.allclose(matrix[0], matrix[1])
+
+    def test_mean_close_to_one(self):
+        matrix = sensor_noise_matrix(
+            "Maxwell", "gemm", "cfg", 20, 50, DEFAULT_SETTINGS
+        )
+        assert float(matrix.mean()) == pytest.approx(1.0, abs=0.01)
+
+    def test_zero_samples(self):
+        assert sensor_sample_noise(
+            "Maxwell", "gemm", "cfg", 0, DEFAULT_SETTINGS
+        ).size == 0

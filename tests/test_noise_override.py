@@ -1,0 +1,107 @@
+"""Tests for injectable noise profiles (the noise-sweep knob)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.driver.cupti import CuptiContext
+from repro.driver.nvml import NVMLDevice
+from repro.hardware.gpu import SimulatedGPU
+from repro.hardware.noise import (
+    NOISE_PROFILES,
+    NoiseProfile,
+    scaled_profile,
+)
+from repro.hardware.specs import GTX_TITAN_X
+from repro.workloads import workload_by_name
+
+
+class TestScaledProfile:
+    def test_scales_every_sigma(self):
+        base = NOISE_PROFILES["Maxwell"]
+        doubled = scaled_profile(base, 2.0)
+        assert doubled.counter_sigma == pytest.approx(2 * base.counter_sigma)
+        assert doubled.sensor_sigma == pytest.approx(2 * base.sensor_sigma)
+        assert doubled.residual_sigma == pytest.approx(
+            2 * base.residual_sigma
+        )
+
+    def test_zero_scale_silences_everything(self):
+        silent = scaled_profile(NOISE_PROFILES["Maxwell"], 0.0)
+        assert silent.counter_sigma == 0.0
+
+    def test_rejects_negative_scale(self):
+        with pytest.raises(ValueError):
+            scaled_profile(NOISE_PROFILES["Maxwell"], -1.0)
+
+
+class TestOverrideWiring:
+    def test_default_profile_matches_architecture(self):
+        gpu = SimulatedGPU(GTX_TITAN_X)
+        assert gpu.noise_profile == NOISE_PROFILES["Maxwell"]
+
+    def test_override_is_exposed(self):
+        custom = NoiseProfile(
+            sensor_sigma=0.0, counter_sigma=0.0, residual_sigma=0.0
+        )
+        gpu = SimulatedGPU(GTX_TITAN_X, noise_profile=custom)
+        assert gpu.noise_profile is custom
+
+    def test_zero_profile_makes_counters_exact(self):
+        """A zeroed profile behaves like NOISELESS_SETTINGS for the
+        counters: two devices, one silenced by profile and one by settings,
+        collect identical events."""
+        from repro.config import NOISELESS_SETTINGS
+
+        silent = SimulatedGPU(
+            GTX_TITAN_X,
+            noise_profile=scaled_profile(NOISE_PROFILES["Maxwell"], 0.0),
+        )
+        quiet = SimulatedGPU(GTX_TITAN_X, settings=NOISELESS_SETTINGS)
+        kernel = workload_by_name("gemm")
+        a = CuptiContext(silent).collect_events(kernel)
+        b = CuptiContext(quiet).collect_events(kernel)
+        for name, value in a.values.items():
+            assert value == pytest.approx(b.value(name))
+
+    def test_louder_counters_distort_more(self):
+        kernel = workload_by_name("gemm")
+        base = NOISE_PROFILES["Maxwell"]
+        nominal = CuptiContext(SimulatedGPU(GTX_TITAN_X)).collect_events(
+            kernel
+        )
+        loud = CuptiContext(
+            SimulatedGPU(
+                GTX_TITAN_X, noise_profile=scaled_profile(base, 4.0)
+            )
+        ).collect_events(kernel)
+        quiet = CuptiContext(
+            SimulatedGPU(
+                GTX_TITAN_X, noise_profile=scaled_profile(base, 0.0)
+            )
+        ).collect_events(kernel)
+
+        def distortion(record):
+            return sum(
+                abs(record.value(name) / quiet.value(name) - 1.0)
+                for name in quiet.values
+                if quiet.value(name) > 0
+            )
+
+        assert distortion(loud) > distortion(nominal)
+
+    def test_sensor_noise_scales_too(self):
+        kernel = workload_by_name("gemm")
+        base = NOISE_PROFILES["Maxwell"]
+        quiet_gpu = SimulatedGPU(
+            GTX_TITAN_X, noise_profile=scaled_profile(base, 0.0)
+        )
+        loud_gpu = SimulatedGPU(
+            GTX_TITAN_X, noise_profile=scaled_profile(base, 4.0)
+        )
+        quiet_watts = NVMLDevice(quiet_gpu).measure_power(kernel).average_watts
+        loud_watts = NVMLDevice(loud_gpu).measure_power(kernel).average_watts
+        truth = quiet_gpu.run(kernel).true_power_watts
+        # The loud sensor deviates further from a clean measurement than
+        # the silent one does (which only carries the idle contamination).
+        assert abs(loud_watts - truth) != abs(quiet_watts - truth)

@@ -1,0 +1,151 @@
+"""Unit tests for the bottleneck timing model
+(:mod:`repro.hardware.performance`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.components import Component
+from repro.hardware.performance import PerformanceModel
+from repro.hardware.specs import FrequencyConfig, GTX_TITAN_X
+from repro.kernels.kernel import KernelDescriptor, idle_kernel
+
+
+@pytest.fixture(scope="module")
+def model() -> PerformanceModel:
+    return PerformanceModel(GTX_TITAN_X)
+
+
+def sp_kernel(ops: float = 512.0) -> KernelDescriptor:
+    return KernelDescriptor(
+        name="sp-heavy", threads=4_000_000, sp_ops=ops,
+        dram_bytes=8.0, l2_bytes=8.0,
+    )
+
+
+def dram_kernel() -> KernelDescriptor:
+    return KernelDescriptor(
+        name="dram-heavy", threads=4_000_000, sp_ops=2.0,
+        dram_bytes=32.0, l2_bytes=32.0,
+    )
+
+
+class TestServiceTimes:
+    def test_compute_service_time(self, model):
+        kernel = sp_kernel(ops=512.0)
+        times = model.service_times(kernel, GTX_TITAN_X.reference)
+        # 512 ops x 4M threads at 128x24 lanes x 975 MHz.
+        expected = 512.0 * 4e6 / (128 * 24 * 975e6)
+        assert times[Component.SP] == pytest.approx(expected)
+
+    def test_zero_work_zero_time(self, model):
+        times = model.service_times(sp_kernel(), GTX_TITAN_X.reference)
+        assert times[Component.DP] == 0.0
+        assert times[Component.SHARED] == 0.0
+
+    def test_dram_service_time_scales_with_memory_frequency(self, model):
+        kernel = dram_kernel()
+        ref = model.service_times(kernel, FrequencyConfig(975, 3505))
+        low = model.service_times(kernel, FrequencyConfig(975, 810))
+        assert low[Component.DRAM] / ref[Component.DRAM] == pytest.approx(
+            3505 / 810
+        )
+
+    def test_compute_time_independent_of_memory_frequency(self, model):
+        kernel = sp_kernel()
+        ref = model.service_times(kernel, FrequencyConfig(975, 3505))
+        low = model.service_times(kernel, FrequencyConfig(975, 810))
+        assert low[Component.SP] == pytest.approx(ref[Component.SP])
+
+
+class TestElapsedTime:
+    def test_elapsed_at_least_bottleneck(self, model):
+        kernel = sp_kernel()
+        config = GTX_TITAN_X.reference
+        bottleneck = max(model.service_times(kernel, config).values())
+        assert model.elapsed_seconds(kernel, config) >= bottleneck
+
+    def test_elapsed_decreases_with_core_frequency_for_compute_bound(self, model):
+        kernel = sp_kernel()
+        slow = model.elapsed_seconds(kernel, FrequencyConfig(595, 3505))
+        fast = model.elapsed_seconds(kernel, FrequencyConfig(1164, 3505))
+        assert fast < slow
+
+    def test_elapsed_of_memory_bound_barely_reacts_to_core_frequency(self, model):
+        kernel = dram_kernel()
+        slow = model.elapsed_seconds(kernel, FrequencyConfig(595, 3505))
+        fast = model.elapsed_seconds(kernel, FrequencyConfig(1164, 3505))
+        assert fast <= slow
+        assert (slow - fast) / slow < 0.10  # < 10% sensitivity
+
+    def test_latency_floor_dominates_idle(self, model):
+        kernel = idle_kernel(duration_cycles=975e6)  # one second at 975 MHz
+        elapsed = model.elapsed_seconds(kernel, GTX_TITAN_X.reference)
+        assert elapsed == pytest.approx(1.03, rel=1e-6)  # dispatch overhead
+
+    def test_rejects_invalid_overlap_exponent(self):
+        with pytest.raises(ValueError):
+            PerformanceModel(GTX_TITAN_X, overlap_exponent=0.5)
+
+    def test_rejects_negative_overhead(self):
+        with pytest.raises(ValueError):
+            PerformanceModel(GTX_TITAN_X, dispatch_overhead=-0.1)
+
+
+class TestProfile:
+    def test_utilizations_bounded(self, model):
+        profile = model.profile(dram_kernel(), GTX_TITAN_X.reference)
+        for value in profile.utilizations.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_bottleneck_has_highest_utilization(self, model):
+        profile = model.profile(dram_kernel(), GTX_TITAN_X.reference)
+        assert profile.utilizations[Component.DRAM] == max(
+            profile.utilizations.values()
+        )
+
+    def test_dram_bound_kernel_saturates_dram(self, model):
+        profile = model.profile(dram_kernel(), GTX_TITAN_X.reference)
+        assert profile.utilizations[Component.DRAM] > 0.9
+
+    def test_fig2_behaviour_memory_downclock(self, model):
+        """Lowering f_mem on a DRAM-heavy kernel: DRAM stays saturated and
+        core-side utilizations collapse (BlackScholes in Fig. 2A)."""
+        kernel = dram_kernel()
+        ref = model.profile(kernel, FrequencyConfig(975, 3505))
+        low = model.profile(kernel, FrequencyConfig(975, 810))
+        assert low.utilizations[Component.DRAM] >= ref.utilizations[
+            Component.DRAM
+        ] - 0.05
+        assert low.utilizations[Component.SP] < ref.utilizations[Component.SP]
+
+    def test_core_downclock_raises_memory_utilization_of_balanced_kernel(
+        self, model
+    ):
+        kernel = KernelDescriptor(
+            name="balanced", threads=4_000_000, sp_ops=100.0,
+            dram_bytes=12.0, l2_bytes=12.0,
+        )
+        ref = model.profile(kernel, FrequencyConfig(975, 3505))
+        slow = model.profile(kernel, FrequencyConfig(595, 3505))
+        assert slow.utilizations[Component.DRAM] < ref.utilizations[
+            Component.DRAM
+        ]
+
+    def test_active_cycles(self, model):
+        profile = model.profile(sp_kernel(), GTX_TITAN_X.reference)
+        assert profile.active_cycles == pytest.approx(
+            profile.duration_seconds * 975e6
+        )
+
+    def test_issue_activity_bounded(self, model):
+        profile = model.profile(sp_kernel(), GTX_TITAN_X.reference)
+        assert 0.0 < profile.issue_activity <= 1.0
+
+    def test_idle_issue_activity_is_zero(self, model):
+        profile = model.profile(idle_kernel(), GTX_TITAN_X.reference)
+        assert profile.issue_activity == 0.0
+
+    def test_profile_snaps_configuration(self, model):
+        profile = model.profile(sp_kernel(), FrequencyConfig(975.2, 3505.1))
+        assert profile.config == FrequencyConfig(975, 3505)

@@ -1,0 +1,187 @@
+"""Unit tests for the hidden ground-truth power model
+(:mod:`repro.hardware.power`), checked against the paper's anchors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import NOISELESS_SETTINGS
+from repro.hardware.components import Component
+from repro.hardware.gpu import SimulatedGPU
+from repro.hardware.performance import PerformanceModel
+from repro.hardware.power import (
+    GROUND_TRUTH_PARAMETERS,
+    GroundTruthParameters,
+    GroundTruthPowerModel,
+    ground_truth_parameters_for,
+)
+from repro.hardware.specs import FrequencyConfig, GTX_TITAN_X
+from repro.kernels.kernel import idle_kernel
+from repro.workloads import workload_by_name
+
+
+@pytest.fixture(scope="module")
+def power_model() -> GroundTruthPowerModel:
+    return GroundTruthPowerModel(GTX_TITAN_X, settings=NOISELESS_SETTINGS)
+
+
+@pytest.fixture(scope="module")
+def perf_model() -> PerformanceModel:
+    return PerformanceModel(GTX_TITAN_X)
+
+
+class TestParameters:
+    def test_tables_exist_for_all_devices(self):
+        assert set(GROUND_TRUTH_PARAMETERS) == {
+            "Titan Xp", "GTX Titan X", "Tesla K40c"
+        }
+
+    def test_lookup_falls_back_for_unknown_device(self):
+        import dataclasses
+
+        custom = dataclasses.replace(GTX_TITAN_X, name="Custom")
+        assert (
+            ground_truth_parameters_for(custom)
+            is GROUND_TRUTH_PARAMETERS["GTX Titan X"]
+        )
+
+    def test_rejects_negative_parameters(self):
+        with pytest.raises(ValueError):
+            GroundTruthParameters(
+                static_core_watts=-1, static_mem_watts=0,
+                idle_core_watts=0, idle_mem_watts=0,
+                dynamic_full_watts={}, issue_full_watts=0,
+            )
+
+    def test_kepler_is_dp_heavy(self):
+        # 64 DP units/SM on the K40c vs 4 on Maxwell: its DP power budget
+        # must dominate the Maxwell one.
+        kepler = GROUND_TRUTH_PARAMETERS["Tesla K40c"]
+        maxwell = GROUND_TRUTH_PARAMETERS["GTX Titan X"]
+        assert (
+            kepler.dynamic_full_watts[Component.DP]
+            > maxwell.dynamic_full_watts[Component.DP]
+        )
+
+
+class TestPaperAnchors:
+    """DESIGN.md §6 calibration anchors."""
+
+    def test_idle_constant_power_at_reference(self, power_model, perf_model):
+        # Fig. 5B: the constant part contributes ~84 W at the defaults.
+        profile = perf_model.profile(idle_kernel(), GTX_TITAN_X.reference)
+        watts = power_model.average_power_watts(profile)
+        assert watts == pytest.approx(84.0, abs=6.0)
+
+    def test_blackscholes_power_anchor(self, power_model, perf_model):
+        # Fig. 2A: ~181 W at the defaults (tolerance per DESIGN.md: +-15%).
+        kernel = workload_by_name("blackscholes")
+        profile = perf_model.profile(kernel, GTX_TITAN_X.reference)
+        watts = power_model.average_power_watts(profile)
+        assert watts == pytest.approx(181.0, rel=0.15)
+
+    def test_blackscholes_memory_drop_anchor(self, power_model, perf_model):
+        # Fig. 2A: 3505 -> 810 MHz costs ~52% of the power.
+        kernel = workload_by_name("blackscholes")
+        high = power_model.average_power_watts(
+            perf_model.profile(kernel, FrequencyConfig(975, 3505))
+        )
+        low = power_model.average_power_watts(
+            perf_model.profile(kernel, FrequencyConfig(975, 810))
+        )
+        assert 1 - low / high == pytest.approx(0.52, abs=0.08)
+
+    def test_cutcp_power_anchor(self, power_model, perf_model):
+        # Fig. 2B: ~135 W at the defaults.
+        kernel = workload_by_name("cutcp")
+        profile = perf_model.profile(kernel, GTX_TITAN_X.reference)
+        watts = power_model.average_power_watts(profile)
+        assert watts == pytest.approx(135.0, rel=0.15)
+
+    def test_cutcp_memory_drop_much_smaller_than_blackscholes(
+        self, power_model, perf_model
+    ):
+        def drop(name: str) -> float:
+            kernel = workload_by_name(name)
+            high = power_model.average_power_watts(
+                perf_model.profile(kernel, FrequencyConfig(975, 3505))
+            )
+            low = power_model.average_power_watts(
+                perf_model.profile(kernel, FrequencyConfig(975, 810))
+            )
+            return 1 - low / high
+
+        assert drop("blackscholes") > 2 * drop("cutcp")
+
+
+class TestScalingStructure:
+    def test_power_increases_with_core_frequency(self, power_model, perf_model):
+        kernel = workload_by_name("gemm")
+        watts = [
+            power_model.average_power_watts(
+                perf_model.profile(kernel, FrequencyConfig(core, 3505))
+            )
+            for core in (595, 785, 975, 1164)
+        ]
+        assert watts == sorted(watts)
+
+    def test_power_superlinear_in_core_frequency(self, power_model, perf_model):
+        """Above the voltage breakpoint, V^2 f grows faster than f — the
+        non-linearity Fig. 2 shows and linear models miss."""
+        kernel = workload_by_name("gemm")
+
+        def watts(core):
+            return power_model.average_power_watts(
+                perf_model.profile(kernel, FrequencyConfig(core, 3505))
+            )
+
+        # Slope above the breakpoint exceeds the slope below it.
+        low_slope = (watts(709) - watts(595)) / (709 - 595)
+        high_slope = (watts(1164) - watts(1050)) / (1164 - 1050)
+        assert high_slope > 1.2 * low_slope
+
+    def test_breakdown_sums_to_total(self, power_model, perf_model):
+        kernel = workload_by_name("blackscholes")
+        profile = perf_model.profile(kernel, GTX_TITAN_X.reference)
+        breakdown = power_model.breakdown(profile)
+        assert breakdown.total_watts == pytest.approx(
+            breakdown.constant_watts + breakdown.dynamic_watts
+        )
+
+    def test_residual_is_deterministic_per_kernel(self):
+        gpu_a = SimulatedGPU(GTX_TITAN_X)
+        gpu_b = SimulatedGPU(GTX_TITAN_X)
+        kernel = workload_by_name("gemm")
+        assert gpu_a.run(kernel).true_power_watts == pytest.approx(
+            gpu_b.run(kernel).true_power_watts
+        )
+
+    def test_noiseless_model_has_unit_residual(self, power_model, perf_model):
+        profile = perf_model.profile(
+            workload_by_name("gemm"), GTX_TITAN_X.reference
+        )
+        assert power_model.breakdown(profile).residual_factor == 1.0
+
+    def test_dram_power_scales_with_memory_frequency_only(
+        self, power_model, perf_model
+    ):
+        kernel = workload_by_name("blackscholes")
+        ref = power_model.breakdown(
+            perf_model.profile(kernel, FrequencyConfig(975, 3505))
+        )
+        slow_core = power_model.breakdown(
+            perf_model.profile(kernel, FrequencyConfig(595, 3505))
+        )
+        # Down-clocking the core drags the DRAM power only through the
+        # slower request stream (utilization), while the SP power drops with
+        # both utilization and the V^2 f factor — so SP must fall by a larger
+        # ratio than DRAM.
+        dram_ratio = (
+            slow_core.component_watts[Component.DRAM]
+            / ref.component_watts[Component.DRAM]
+        )
+        sp_ratio = (
+            slow_core.component_watts[Component.SP]
+            / ref.component_watts[Component.SP]
+        )
+        assert sp_ratio < dram_ratio < 1.0

@@ -1,0 +1,195 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.voltage import fit_voltage_regions
+from repro.core.regression import isotonic_regression, minimize_voltage_1d
+from repro.hardware.components import ALL_COMPONENTS, Component
+from repro.hardware.performance import PerformanceModel
+from repro.hardware.specs import FrequencyConfig, GTX_TITAN_X
+from repro.kernels.kernel import KernelDescriptor
+from repro.units import mean_absolute_percentage_error
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestIsotonicRegressionProperties:
+    @given(st.lists(finite_floats, min_size=1, max_size=60))
+    def test_output_monotone(self, values):
+        result = isotonic_regression(values)
+        assert np.all(np.diff(result) >= -1e-9 * (1 + np.abs(result[:-1])))
+
+    @given(st.lists(finite_floats, min_size=1, max_size=60))
+    def test_mean_preserved(self, values):
+        result = isotonic_regression(values)
+        scale = max(1.0, float(np.max(np.abs(values))))
+        assert float(result.mean()) == pytest.approx(
+            float(np.mean(values)), abs=1e-9 * scale
+        )
+
+    @given(st.lists(finite_floats, min_size=1, max_size=60))
+    def test_idempotent(self, values):
+        once = isotonic_regression(values)
+        twice = isotonic_regression(once)
+        assert np.allclose(once, twice)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=60))
+    def test_within_input_range(self, values):
+        result = isotonic_regression(values)
+        assert result.min() >= min(values) - 1e-9
+        assert result.max() <= max(values) + 1e-9
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=2,
+            max_size=40,
+        )
+    )
+    def test_projection_optimality_vs_naive_candidates(self, values):
+        """The PAVA result is at least as close (in L2) as two trivial
+        monotone candidates: the running maximum and the constant mean."""
+        result = isotonic_regression(values)
+        y = np.asarray(values)
+
+        def loss(candidate):
+            return float(np.sum((candidate - y) ** 2))
+
+        running_max = np.maximum.accumulate(y)
+        constant = np.full_like(y, y.mean())
+        assert loss(result) <= loss(running_max) + 1e-6
+        assert loss(result) <= loss(constant) + 1e-6
+
+
+class TestVoltageSolverProperties:
+    @given(
+        beta=st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        v_true=st.floats(min_value=0.65, max_value=1.55, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_recovers_generator_within_bounds(self, beta, v_true, seed):
+        rng = np.random.default_rng(seed)
+        quadratic = rng.uniform(5.0, 60.0, 30)
+        target = beta * v_true + quadratic * v_true**2
+        solution = minimize_voltage_1d(beta, quadratic, target, (0.6, 1.6))
+        assert solution == pytest.approx(v_true, abs=1e-4)
+
+    @given(
+        beta=st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_solution_always_within_bounds(self, beta, seed):
+        rng = np.random.default_rng(seed)
+        quadratic = rng.uniform(0.0, 60.0, 20)
+        target = rng.uniform(-50.0, 400.0, 20)
+        solution = minimize_voltage_1d(beta, quadratic, target, (0.6, 1.6))
+        assert 0.6 <= solution <= 1.6
+
+
+class TestMAPEProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=1.0, max_value=1e4, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_zero_for_perfect_prediction(self, measured):
+        assert mean_absolute_percentage_error(measured, measured) == 0.0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1.0, max_value=1e4, allow_nan=False),
+                st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_nonnegative(self, pairs):
+        measured = [m for m, _ in pairs]
+        predicted = [p for _, p in pairs]
+        assert mean_absolute_percentage_error(measured, predicted) >= 0.0
+
+
+class TestPerformanceModelProperties:
+    model = PerformanceModel(GTX_TITAN_X)
+
+    @st.composite
+    def kernels(draw):
+        work = st.floats(min_value=0.0, max_value=512.0, allow_nan=False)
+        kernel = KernelDescriptor(
+            name="hyp",
+            threads=draw(st.integers(min_value=1024, max_value=8_000_000)),
+            int_ops=draw(work),
+            sp_ops=draw(work),
+            dp_ops=draw(st.floats(min_value=0.0, max_value=16.0)),
+            sf_ops=draw(st.floats(min_value=0.0, max_value=64.0)),
+            shared_bytes=draw(st.floats(min_value=0.0, max_value=512.0)),
+            l2_bytes=draw(st.floats(min_value=0.0, max_value=256.0)),
+            dram_bytes=draw(st.floats(min_value=0.0, max_value=64.0)),
+            min_cycles=draw(st.floats(min_value=0.0, max_value=1e7)),
+        )
+        return kernel
+
+    @given(kernel=kernels())
+    @settings(max_examples=60, deadline=None)
+    def test_utilizations_in_unit_interval(self, kernel):
+        if kernel.is_idle and kernel.min_cycles == 0.0:
+            return  # no work, no floor: undefined elapsed time
+        profile = self.model.profile(kernel, GTX_TITAN_X.reference)
+        for component in ALL_COMPONENTS:
+            assert 0.0 <= profile.utilizations[component] <= 1.0
+        assert 0.0 <= profile.issue_activity <= 1.0
+
+    @given(kernel=kernels())
+    @settings(max_examples=60, deadline=None)
+    def test_time_never_improves_when_both_clocks_drop(self, kernel):
+        if kernel.is_idle and kernel.min_cycles == 0.0:
+            return
+        fast = self.model.elapsed_seconds(kernel, FrequencyConfig(1164, 4005))
+        slow = self.model.elapsed_seconds(kernel, FrequencyConfig(595, 810))
+        assert slow >= fast * (1 - 1e-12)
+
+    @given(
+        kernel=kernels(),
+        scale=st.floats(min_value=1.5, max_value=8.0, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_scaling_work_scales_time(self, kernel, scale):
+        if kernel.is_idle and kernel.min_cycles == 0.0:
+            return
+        base = self.model.elapsed_seconds(kernel, GTX_TITAN_X.reference)
+        scaled = self.model.elapsed_seconds(
+            kernel.scaled(scale), GTX_TITAN_X.reference
+        )
+        assert scaled == pytest.approx(base * scale, rel=1e-6)
+
+
+class TestVoltageRegionFitProperties:
+    @given(
+        flat=st.floats(min_value=0.7, max_value=1.0, allow_nan=False),
+        slope=st.floats(min_value=1e-5, max_value=1e-3, allow_nan=False),
+        breakpoint=st.sampled_from([595, 709, 823, 937, 1050]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_exact_recovery_of_synthetic_curves(self, flat, slope, breakpoint):
+        frequencies = sorted(GTX_TITAN_X.core_frequencies_mhz)
+        curve = {
+            f: flat if f <= breakpoint else flat + slope * (f - breakpoint)
+            for f in frequencies
+        }
+        fit = fit_voltage_regions(curve)
+        assert fit.rmse < 1e-9
+        assert fit.breakpoint_mhz == breakpoint
+        assert fit.flat_level == pytest.approx(flat)

@@ -1,0 +1,197 @@
+"""Extended property-based tests: serialization, model structure,
+time-predictor invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import UtilizationVector
+from repro.core.model import (
+    DVFSPowerModel,
+    ModelParameters,
+    VoltageEstimate,
+)
+from repro.hardware.components import ALL_COMPONENTS, CORE_COMPONENTS, Component
+from repro.hardware.specs import FrequencyConfig, GTX_TITAN_X
+from repro.serialization import model_from_dict, model_to_dict
+from repro.simulator.performance import FrequencyScalingTimePredictor
+
+coefficients = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+utilization_values = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def random_parameters(draw):
+    return ModelParameters(
+        beta0=draw(st.floats(min_value=0, max_value=50, allow_nan=False)),
+        beta1=draw(st.floats(min_value=0, max_value=0.1, allow_nan=False)),
+        beta2=draw(st.floats(min_value=0, max_value=50, allow_nan=False)),
+        beta3=draw(st.floats(min_value=0, max_value=0.05, allow_nan=False)),
+        omega_core={
+            component: draw(
+                st.floats(min_value=0, max_value=0.1, allow_nan=False)
+            )
+            for component in CORE_COMPONENTS
+        },
+        omega_mem=draw(st.floats(min_value=0, max_value=0.05, allow_nan=False)),
+    )
+
+
+@st.composite
+def random_model(draw):
+    parameters = draw(random_parameters())
+    voltages = {}
+    # Monotone voltage curves through the reference anchor.
+    cores = sorted(GTX_TITAN_X.core_frequencies_mhz)
+    base = draw(st.floats(min_value=0.7, max_value=1.0, allow_nan=False))
+    slope = draw(st.floats(min_value=0.0, max_value=4e-4, allow_nan=False))
+    for memory in GTX_TITAN_X.memory_frequencies_mhz:
+        for core in cores:
+            v_core = base + slope * (core - cores[0])
+            voltages[FrequencyConfig(core, memory)] = VoltageEstimate(
+                v_core=v_core, v_mem=1.0
+            )
+    return DVFSPowerModel(GTX_TITAN_X, parameters, voltages)
+
+
+@st.composite
+def random_utilizations(draw):
+    return UtilizationVector(
+        values={
+            component: draw(utilization_values)
+            for component in ALL_COMPONENTS
+        }
+    )
+
+
+class TestSerializationProperties:
+    @given(model=random_model(), utilization=random_utilizations())
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_preserves_all_predictions(self, model, utilization):
+        clone = model_from_dict(model_to_dict(model))
+        for config in (
+            GTX_TITAN_X.reference,
+            FrequencyConfig(595, 810),
+            FrequencyConfig(1164, 4005),
+        ):
+            assert clone.predict_power(utilization, config) == pytest.approx(
+                model.predict_power(utilization, config)
+            )
+
+    @given(parameters=random_parameters())
+    @settings(max_examples=50, deadline=None)
+    def test_parameter_vector_roundtrip(self, parameters):
+        assert ModelParameters.from_vector(parameters.as_vector()) == parameters
+
+
+class TestModelStructureProperties:
+    @given(
+        model=random_model(),
+        utilization=random_utilizations(),
+        bump=st.sampled_from(list(ALL_COMPONENTS)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_power_monotone_in_each_utilization(self, model, utilization, bump):
+        config = GTX_TITAN_X.reference
+        base = model.predict_power(utilization, config)
+        raised_values = dict(utilization.values)
+        raised_values[bump] = min(1.0, raised_values[bump] + 0.3)
+        raised = UtilizationVector(values=raised_values)
+        assert model.predict_power(raised, config) >= base - 1e-9
+
+    @given(model=random_model(), utilization=random_utilizations())
+    @settings(max_examples=40, deadline=None)
+    def test_power_monotone_in_core_frequency(self, model, utilization):
+        """With monotone voltages, Eq. 6 is monotone in f_core."""
+        memory = 3505.0
+        watts = [
+            model.predict_power(utilization, FrequencyConfig(core, memory))
+            for core in sorted(GTX_TITAN_X.core_frequencies_mhz)
+        ]
+        assert all(b >= a - 1e-9 for a, b in zip(watts, watts[1:]))
+
+    @given(model=random_model(), utilization=random_utilizations())
+    @settings(max_examples=40, deadline=None)
+    def test_breakdown_sums_to_prediction(self, model, utilization):
+        config = FrequencyConfig(785, 3300)
+        breakdown = model.predict_breakdown(utilization, config)
+        assert breakdown.total_watts == pytest.approx(
+            model.predict_power(utilization, config)
+        )
+        assert breakdown.constant_watts >= 0
+        for watts in breakdown.component_watts.values():
+            assert watts >= 0
+
+
+class TestTimePredictorProperties:
+    predictor = FrequencyScalingTimePredictor(GTX_TITAN_X)
+
+    @given(
+        utilization=random_utilizations(),
+        reference_seconds=st.floats(
+            min_value=1e-5, max_value=10.0, allow_nan=False
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_time_never_shrinks_when_clocks_drop(
+        self, utilization, reference_seconds
+    ):
+        profile = self.predictor.profile(reference_seconds, utilization)
+        fast = self.predictor.predict_seconds(
+            profile, FrequencyConfig(1164, 4005)
+        )
+        slow = self.predictor.predict_seconds(
+            profile, FrequencyConfig(595, 810)
+        )
+        assert slow >= fast * (1 - 1e-12)
+
+    @given(
+        utilization=random_utilizations(),
+        reference_seconds=st.floats(
+            min_value=1e-5, max_value=10.0, allow_nan=False
+        ),
+        scale=st.floats(min_value=1.5, max_value=10.0, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_prediction_linear_in_reference_time(
+        self, utilization, reference_seconds, scale
+    ):
+        config = FrequencyConfig(785, 3300)
+        short = self.predictor.predict_seconds(
+            self.predictor.profile(reference_seconds, utilization), config
+        )
+        long = self.predictor.predict_seconds(
+            self.predictor.profile(reference_seconds * scale, utilization),
+            config,
+        )
+        assert long == pytest.approx(short * scale, rel=1e-9)
+
+    @given(utilization=random_utilizations())
+    @settings(max_examples=40, deadline=None)
+    def test_reference_prediction_bounded_by_overlap_law(self, utilization):
+        """At the reference configuration the predicted time is within the
+        p-norm overlap envelope: never below the busiest component's share,
+        and — for physically consistent profiles, whose overlap mass does
+        not exceed 1 — never above the reference time itself."""
+        profile = self.predictor.profile(1.0, utilization)
+        predicted = self.predictor.predict_seconds(
+            profile, GTX_TITAN_X.reference
+        )
+        busiest = max(utilization[c] for c in ALL_COMPONENTS)
+        assert predicted >= busiest - 1e-9
+        p = self.predictor.overlap_exponent
+        mass = sum(utilization[c] ** p for c in ALL_COMPONENTS)
+        if mass <= 1.0:
+            # The unattributed slack tops the envelope up to exactly 1.
+            assert predicted == pytest.approx(1.0)
+        else:
+            # Over-committed profiles (only reachable through noise-clipped
+            # inputs) predict proportionally above the reference.
+            assert predicted == pytest.approx(mass ** (1.0 / p))

@@ -1,0 +1,70 @@
+"""Public API surface tests (:mod:`repro`)."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_key_entry_points_present(self):
+        for name in (
+            "SimulatedGPU", "ProfilingSession", "fit_power_model",
+            "MetricCalculator", "validate_model", "DVFSAdvisor",
+            "save_model", "load_model", "build_suite", "all_workloads",
+        ):
+            assert name in repro.__all__, name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.hardware", "repro.driver", "repro.kernels",
+            "repro.microbench", "repro.workloads", "repro.core",
+            "repro.analysis", "repro.runtime", "repro.simulator",
+            "repro.discovery", "repro.codegen", "repro.experiments",
+            "repro.reporting", "repro.serialization", "repro.cli",
+        ],
+    )
+    def test_subpackages_import_cleanly(self, module):
+        importlib.import_module(module)
+
+    def test_lazy_hardware_exports(self):
+        from repro import hardware
+
+        assert hardware.SimulatedGPU is repro.SimulatedGPU
+        with pytest.raises(AttributeError):
+            hardware.DoesNotExist  # noqa: B018
+
+    def test_quickstart_snippet_from_docstring(self):
+        """The module docstring's quickstart must actually run."""
+        gpu = repro.SimulatedGPU(repro.GTX_TITAN_X)
+        session = repro.ProfilingSession(gpu)
+        # A tiny fit keeps this test fast; the snippet's full-suite call is
+        # exercised by the integration tests.
+        from repro.microbench import suite_group
+
+        kernels = suite_group("sp") + suite_group("dram") + suite_group("idle")
+        configs = [
+            repro.FrequencyConfig(975, 3505),
+            repro.FrequencyConfig(595, 3505),
+            repro.FrequencyConfig(975, 810),
+        ]
+        model, report = repro.fit_power_model(session, kernels, configs)
+        kernel = repro.workload_by_name("blackscholes")
+        utilizations = repro.MetricCalculator(gpu.spec).utilizations(
+            session.collect_events(kernel)
+        )
+        watts = model.predict_power(
+            utilizations, repro.FrequencyConfig(595, 810)
+        )
+        assert watts > 0

@@ -1,0 +1,180 @@
+"""Unit tests for the regression primitives (:mod:`repro.core.regression`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.regression import (
+    fit_voltage_pair,
+    isotonic_regression,
+    minimize_voltage_1d,
+    nonnegative_least_squares,
+)
+from repro.errors import EstimationError
+
+
+class TestNonnegativeLeastSquares:
+    def test_recovers_exact_nonnegative_solution(self):
+        rng = np.random.default_rng(0)
+        design = rng.uniform(0.1, 2.0, size=(50, 4))
+        truth = np.asarray([1.5, 0.0, 3.0, 0.25])
+        target = design @ truth
+        solution = nonnegative_least_squares(design, target)
+        assert solution == pytest.approx(truth, abs=1e-4)
+
+    def test_clips_negative_tendency_to_zero(self):
+        rng = np.random.default_rng(1)
+        design = rng.uniform(0.1, 2.0, size=(60, 2))
+        # The unconstrained solution would need a negative second weight.
+        target = design @ np.asarray([2.0, -1.0])
+        solution = nonnegative_least_squares(design, target)
+        assert solution[1] <= 1e-4
+        assert np.all(solution >= 0.0)
+
+    def test_handles_badly_scaled_columns(self):
+        """The estimator mixes O(1) and O(1000) columns; scaling must cope."""
+        rng = np.random.default_rng(2)
+        design = np.column_stack(
+            [rng.uniform(0.8, 1.2, 200), rng.uniform(500, 2000, 200)]
+        )
+        truth = np.asarray([30.0, 0.05])
+        solution = nonnegative_least_squares(design, design @ truth)
+        assert solution == pytest.approx(truth, rel=1e-4)
+
+    def test_handles_duplicate_columns_gracefully(self):
+        """Step 1 of the estimator produces two identical static columns."""
+        column = np.ones(30)
+        design = np.column_stack([column, column])
+        target = 10.0 * column
+        solution = nonnegative_least_squares(design, target)
+        assert solution.sum() == pytest.approx(10.0, rel=1e-6)
+        assert np.all(solution >= 0.0)
+
+    def test_rejects_underdetermined(self):
+        with pytest.raises(EstimationError):
+            nonnegative_least_squares(np.ones((2, 3)), np.ones(2))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(EstimationError):
+            nonnegative_least_squares(np.ones((5, 2)), np.ones(4))
+
+
+class TestIsotonicRegression:
+    def test_identity_on_sorted_input(self):
+        values = [0.8, 0.9, 1.0, 1.1]
+        assert list(isotonic_regression(values)) == values
+
+    def test_pools_single_violation(self):
+        result = isotonic_regression([1.0, 3.0, 2.0, 4.0])
+        assert list(result) == [1.0, 2.5, 2.5, 4.0]
+
+    def test_fully_decreasing_pools_to_mean(self):
+        result = isotonic_regression([3.0, 2.0, 1.0])
+        assert list(result) == [2.0, 2.0, 2.0]
+
+    def test_respects_weights(self):
+        result = isotonic_regression([2.0, 1.0], weights=[3.0, 1.0])
+        assert result[0] == pytest.approx(1.75)
+        assert result[1] == pytest.approx(1.75)
+
+    def test_output_is_monotone(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(size=100)
+        result = isotonic_regression(values)
+        assert np.all(np.diff(result) >= -1e-12)
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(4)
+        values = rng.normal(size=50)
+        once = isotonic_regression(values)
+        twice = isotonic_regression(once)
+        assert twice == pytest.approx(once)
+
+    def test_preserves_weighted_mean(self):
+        rng = np.random.default_rng(5)
+        values = rng.normal(size=30)
+        result = isotonic_regression(values)
+        assert result.mean() == pytest.approx(values.mean())
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(EstimationError):
+            isotonic_regression([1.0, 2.0], weights=[1.0, 0.0])
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(EstimationError):
+            isotonic_regression(np.ones((2, 2)))
+
+
+class TestVoltageSolvers:
+    def test_minimize_voltage_1d_exact(self):
+        """With consistent data the closed-form cubic finds the generator."""
+        rng = np.random.default_rng(6)
+        quadratic = rng.uniform(10, 50, 40)
+        v_true = 1.12
+        target = 7.0 * v_true + quadratic * v_true**2
+        solution = minimize_voltage_1d(7.0, quadratic, target, (0.6, 1.6))
+        assert solution == pytest.approx(v_true, abs=1e-6)
+
+    def test_minimize_voltage_1d_respects_bounds(self):
+        quadratic = np.asarray([10.0, 20.0])
+        # Data generated far above the box: solver must stop at the bound.
+        target = 7.0 * 3.0 + quadratic * 9.0
+        solution = minimize_voltage_1d(7.0, quadratic, target, (0.6, 1.6))
+        assert solution == 1.6
+
+    def test_minimize_voltage_1d_degenerate_returns_neutral(self):
+        solution = minimize_voltage_1d(
+            0.0, np.zeros(5), np.zeros(5), (0.6, 1.6)
+        )
+        assert solution == 1.0
+
+    def test_minimize_voltage_1d_rejects_empty(self):
+        with pytest.raises(EstimationError):
+            minimize_voltage_1d(1.0, np.asarray([]), np.asarray([]), (0.6, 1.6))
+
+    def test_fit_voltage_pair_recovers_both(self):
+        rng = np.random.default_rng(7)
+        n = 60
+        core_activity = rng.uniform(0.01, 0.08, n)
+        mem_activity = rng.uniform(0.005, 0.03, n)
+        beta0, beta2 = 14.0, 8.0
+        fc, fm = 1164.0, 3505.0
+        vc_true, vm_true = 1.08, 0.97
+        measured = (
+            beta0 * vc_true
+            + vc_true**2 * fc * core_activity
+            + beta2 * vm_true
+            + vm_true**2 * fm * mem_activity
+        )
+        vc, vm = fit_voltage_pair(
+            measured, fc, fm, beta0, beta2, core_activity, mem_activity,
+            sweeps=100,
+        )
+        assert vc == pytest.approx(vc_true, abs=1e-3)
+        assert vm == pytest.approx(vm_true, abs=1e-3)
+
+    def test_fit_voltage_pair_shape_mismatch(self):
+        with pytest.raises(EstimationError):
+            fit_voltage_pair(
+                np.ones(3), 975, 3505, 1.0, 1.0, np.ones(2), np.ones(3)
+            )
+
+    def test_fit_voltage_pair_robust_to_noise(self):
+        rng = np.random.default_rng(8)
+        n = 80
+        core_activity = rng.uniform(0.01, 0.08, n)
+        mem_activity = rng.uniform(0.005, 0.03, n)
+        vc_true, vm_true = 0.90, 1.00
+        clean = (
+            14.0 * vc_true
+            + vc_true**2 * 785.0 * core_activity
+            + 8.0 * vm_true
+            + vm_true**2 * 3505.0 * mem_activity
+        )
+        noisy = clean * (1 + 0.02 * rng.standard_normal(n))
+        vc, vm = fit_voltage_pair(
+            noisy, 785.0, 3505.0, 14.0, 8.0, core_activity, mem_activity
+        )
+        assert vc == pytest.approx(vc_true, abs=0.05)
+        assert vm == pytest.approx(vm_true, abs=0.05)

@@ -1,0 +1,51 @@
+"""Unit tests for the plain-text reporting helpers
+(:mod:`repro.reporting.tables`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reporting.tables import format_kv, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header + rule + 2 rows
+        assert lines[0].startswith("a")
+        assert "---" in lines[1]
+
+    def test_columns_aligned(self):
+        text = format_table(["name", "w"], [["x", "1"], ["longer", "2"]])
+        lines = text.splitlines()
+        positions = {line.index("1") for line in lines[2:3]}
+        positions |= {line.index("2") for line in lines[3:4]}
+        assert len(positions) == 1
+
+    def test_floats_formatted(self):
+        text = format_table(["v"], [[3.14159]])
+        assert "3.14" in text
+        assert "3.14159" not in text
+
+    def test_title_prepended(self):
+        text = format_table(["a"], [["1"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+
+class TestFormatKV:
+    def test_alignment(self):
+        text = format_kv({"a": 1, "long_key": 2})
+        lines = text.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_title(self):
+        text = format_kv({"a": 1}, title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_empty(self):
+        assert format_kv({}) == ""

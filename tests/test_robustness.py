@@ -1,0 +1,181 @@
+"""Failure-injection and robustness tests for the estimation pipeline.
+
+A production measurement campaign occasionally misbehaves: a sensor glitch
+doubles one reading, a configuration's data goes missing, a counter sticks
+at zero. The estimator must degrade, not detonate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import NOISELESS_SETTINGS
+from repro.core.dataset import TrainingDataset, TrainingRow, collect_training_dataset
+from repro.core.estimation import ModelEstimator
+from repro.core.metrics import MetricCalculator, UtilizationVector
+from repro.driver.session import ProfilingSession
+from repro.hardware.components import ALL_COMPONENTS
+from repro.hardware.gpu import SimulatedGPU
+from repro.hardware.specs import FrequencyConfig, GTX_TITAN_X
+from repro.microbench import suite_group
+from repro.workloads import workload_by_name
+
+
+@pytest.fixture(scope="module")
+def base_session() -> ProfilingSession:
+    return ProfilingSession(
+        SimulatedGPU(GTX_TITAN_X, settings=NOISELESS_SETTINGS)
+    )
+
+
+@pytest.fixture(scope="module")
+def base_dataset(base_session) -> TrainingDataset:
+    kernels = (
+        suite_group("sp") + suite_group("int") + suite_group("dram")
+        + suite_group("shared") + suite_group("l2") + suite_group("idle")
+    )
+    configs = [
+        FrequencyConfig(core, memory)
+        for core in (595, 785, 975, 1164)
+        for memory in (3505, 810)
+    ]
+    return collect_training_dataset(base_session, kernels, configs)
+
+
+def validation_mae(model, session) -> float:
+    from repro.analysis.validation import validate_model
+    from repro.workloads import all_workloads
+
+    configs = [
+        FrequencyConfig(core, memory)
+        for core in (595, 975, 1164)
+        for memory in (3505, 810)
+    ]
+    return validate_model(
+        model, session, all_workloads(), configs
+    ).mean_absolute_error_percent
+
+
+class TestOutlierMeasurements:
+    def test_single_doubled_reading_barely_moves_the_model(
+        self, base_session, base_dataset
+    ):
+        clean_model, _ = ModelEstimator(base_dataset).estimate()
+        clean_mae = validation_mae(clean_model, base_session)
+
+        rows = list(base_dataset.rows)
+        victim = rows[7]
+        rows[7] = dataclasses.replace(
+            victim, measured_watts=victim.measured_watts * 2.0
+        )
+        corrupted = TrainingDataset(spec=base_dataset.spec, rows=tuple(rows))
+        dirty_model, report = ModelEstimator(corrupted).estimate()
+        assert report.iterations <= 50
+        dirty_mae = validation_mae(dirty_model, base_session)
+        # One bad row in ~360: the damage must stay under 1.5 pp.
+        assert dirty_mae - clean_mae < 1.5
+
+    def test_corrupted_configuration_is_contained(
+        self, base_session, base_dataset
+    ):
+        """A whole configuration's power readings inflated by 30 % distorts
+        that configuration's voltage estimate but not the rest."""
+        target = FrequencyConfig(785, 3505)
+        rows = []
+        for row in base_dataset.rows:
+            if row.config == target:
+                row = dataclasses.replace(
+                    row, measured_watts=row.measured_watts * 1.3
+                )
+            rows.append(row)
+        corrupted = TrainingDataset(spec=base_dataset.spec, rows=tuple(rows))
+        model, _ = ModelEstimator(corrupted).estimate()
+        clean_model, _ = ModelEstimator(base_dataset).estimate()
+        # The corrupted configuration absorbs the inflation in its voltage...
+        assert (
+            model.voltage_at(target).v_core
+            > clean_model.voltage_at(target).v_core
+        )
+        # ...while the reference stays pinned and the far corner stays sane.
+        far = FrequencyConfig(1164, 810)
+        assert model.voltage_at(far).v_core == pytest.approx(
+            clean_model.voltage_at(far).v_core, abs=0.08
+        )
+
+
+class TestDegenerateInputs:
+    def test_zeroed_utilizations_still_fit(self, base_dataset):
+        """All-zero utilization vectors (stuck counters) reduce the model to
+        its constant terms without crashing."""
+        zero = UtilizationVector(
+            values={component: 0.0 for component in ALL_COMPONENTS}
+        )
+        rows = tuple(
+            TrainingRow(
+                kernel_name=row.kernel_name,
+                config=row.config,
+                measured_watts=row.measured_watts,
+                utilizations=zero,
+            )
+            for row in base_dataset.rows
+        )
+        dataset = TrainingDataset(spec=base_dataset.spec, rows=rows)
+        model, report = ModelEstimator(dataset).estimate()
+        assert report.final_rmse >= 0
+        # Predictions collapse to the constant part, identical per config.
+        gemm = zero
+        a = model.predict_power(gemm, FrequencyConfig(975, 3505))
+        assert a > 0
+
+    def test_single_configuration_dataset_fits_constants(self, base_session):
+        kernels = suite_group("sp") + suite_group("dram") + suite_group("idle")
+        dataset = collect_training_dataset(
+            base_session, kernels, [GTX_TITAN_X.reference]
+        )
+        model, report = ModelEstimator(dataset).estimate()
+        assert report.iterations <= 50
+        # At the only seen configuration the fit must be tight.
+        assert report.train_mae_percent < 5.0
+
+    def test_duplicate_rows_are_harmless(self, base_dataset):
+        doubled = TrainingDataset(
+            spec=base_dataset.spec,
+            rows=base_dataset.rows + base_dataset.rows,
+        )
+        model, _ = ModelEstimator(doubled).estimate()
+        clean_model, _ = ModelEstimator(base_dataset).estimate()
+        utilizations = MetricCalculator(GTX_TITAN_X).utilizations(
+            ProfilingSession(
+                SimulatedGPU(GTX_TITAN_X, settings=NOISELESS_SETTINGS)
+            ).collect_events(workload_by_name("gemm"))
+        )
+        config = FrequencyConfig(975, 810)
+        assert model.predict_power(utilizations, config) == pytest.approx(
+            clean_model.predict_power(utilizations, config), rel=0.01
+        )
+
+
+class TestSeedStability:
+    def test_different_master_seed_same_conclusions(self):
+        """Re-rolling every noise source keeps the headline result in band:
+        the accuracy claims do not hinge on one lucky seed."""
+        from repro.analysis.validation import validate_model
+        from repro.config import SimulationSettings
+        from repro.core.estimation import fit_power_model
+        from repro.workloads import all_workloads
+
+        settings = SimulationSettings(master_seed=987654321)
+        session = ProfilingSession(
+            SimulatedGPU(GTX_TITAN_X, settings=settings)
+        )
+        model, _ = fit_power_model(session)
+        configs = [
+            FrequencyConfig(core, memory)
+            for core in (595, 975, 1164)
+            for memory in (3505, 810)
+        ]
+        result = validate_model(model, session, all_workloads(), configs)
+        assert result.mean_absolute_error_percent < 9.0

@@ -1,0 +1,106 @@
+"""Unit tests for the event-driven power meter (:mod:`repro.runtime.meter`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.hardware.specs import FrequencyConfig, GTX_TITAN_X
+from repro.runtime.meter import EventDrivenPowerMeter
+from repro.workloads import workload_by_name
+
+
+@pytest.fixture()
+def meter(lab) -> EventDrivenPowerMeter:
+    return EventDrivenPowerMeter(lab.model("GTX Titan X"))
+
+
+def cumulative_counters(record, scale=1.0):
+    return {name: value * scale for name, value in record.values.items()}
+
+
+class TestObserveKernel:
+    def test_estimate_close_to_truth(self, lab, meter):
+        session = lab.session("GTX Titan X")
+        kernel = workload_by_name("gemm")
+        record = session.collect_events(kernel)
+        reading = meter.observe_kernel(record)
+        truth = lab.gpu("GTX Titan X").run(kernel).true_power_watts
+        assert reading.power_watts == pytest.approx(truth, rel=0.15)
+
+    def test_reading_accumulates_energy(self, lab, meter):
+        session = lab.session("GTX Titan X")
+        record = session.collect_events(workload_by_name("gemm"))
+        reading = meter.observe_kernel(record)
+        assert meter.total_energy_joules == pytest.approx(
+            reading.energy_joules
+        )
+
+    def test_breakdown_available_per_reading(self, lab, meter):
+        from repro.hardware.components import Component
+
+        session = lab.session("GTX Titan X")
+        record = session.collect_events(workload_by_name("lbm"))
+        reading = meter.observe_kernel(record)
+        assert reading.component_watts(Component.DRAM) > 0
+
+
+class TestCumulativeUpdates:
+    def test_first_snapshot_is_baseline(self, lab, meter):
+        session = lab.session("GTX Titan X")
+        record = session.collect_events(workload_by_name("gemm"))
+        assert meter.update(cumulative_counters(record), record.config) is None
+
+    def test_delta_window_produces_reading(self, lab, meter):
+        session = lab.session("GTX Titan X")
+        record = session.collect_events(workload_by_name("gemm"))
+        meter.update(cumulative_counters(record), record.config)
+        reading = meter.update(
+            cumulative_counters(record, scale=2.0), record.config
+        )
+        assert reading is not None
+        # The delta equals one kernel launch, so the estimate matches the
+        # per-launch observation.
+        direct = EventDrivenPowerMeter(meter.model).observe_kernel(record)
+        assert reading.power_watts == pytest.approx(direct.power_watts)
+
+    def test_counter_reset_rebaselines(self, lab, meter):
+        session = lab.session("GTX Titan X")
+        record = session.collect_events(workload_by_name("gemm"))
+        meter.update(cumulative_counters(record, 5.0), record.config)
+        # Counters went backwards: must re-baseline, not report nonsense.
+        assert meter.update(cumulative_counters(record, 1.0), record.config) is None
+
+    def test_idle_window_returns_none(self, lab, meter):
+        session = lab.session("GTX Titan X")
+        record = session.collect_events(workload_by_name("gemm"))
+        counters = cumulative_counters(record)
+        meter.update(counters, record.config)
+        assert meter.update(dict(counters), record.config) is None
+
+    def test_average_power_requires_readings(self, meter):
+        with pytest.raises(ValidationError):
+            meter.average_power_watts()
+
+    def test_reset_clears_state(self, lab, meter):
+        session = lab.session("GTX Titan X")
+        record = session.collect_events(workload_by_name("gemm"))
+        meter.observe_kernel(record)
+        meter.reset()
+        assert meter.readings == []
+        assert meter.total_energy_joules == 0.0
+
+
+class TestAcrossConfigurations:
+    def test_metering_tracks_configuration(self, lab):
+        """The same activity at a lower-memory configuration meters lower."""
+        meter = EventDrivenPowerMeter(lab.model("GTX Titan X"))
+        session = lab.session("GTX Titan X")
+        kernel = workload_by_name("blackscholes")
+        reference_record = session.collect_events(kernel)
+        low_record = session.cupti.collect_events(
+            kernel, FrequencyConfig(975, 810)
+        )
+        high = meter.observe_kernel(reference_record)
+        low = meter.observe_kernel(low_record)
+        assert low.power_watts < high.power_watts

@@ -1,0 +1,122 @@
+"""Unit tests for the frequency-selection policies
+(:mod:`repro.runtime.policies`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.dvfs import ConfigurationScore
+from repro.errors import ValidationError
+from repro.hardware.specs import FrequencyConfig
+from repro.runtime.policies import (
+    EdpPolicy,
+    EnergyPolicy,
+    PerformanceConstrainedEnergyPolicy,
+    PowerCapPolicy,
+    StaticPolicy,
+)
+
+
+def score(core, memory, watts, seconds) -> ConfigurationScore:
+    return ConfigurationScore(
+        config=FrequencyConfig(core, memory),
+        predicted_power_watts=watts,
+        time_seconds=seconds,
+    )
+
+
+@pytest.fixture()
+def scores():
+    return [
+        score(1164, 3505, 220.0, 1.00),   # fast, hot      -> E=220, EDP=220
+        score(975, 3505, 170.0, 1.10),    # reference      -> E=187, EDP=205.7
+        score(785, 3505, 130.0, 1.30),    # slower, cooler -> E=169, EDP=219.7
+        score(595, 810, 70.0, 3.00),      # slowest        -> E=210, EDP=630
+    ]
+
+
+@pytest.fixture()
+def reference(scores):
+    return scores[1]
+
+
+class TestStaticPolicy:
+    def test_picks_requested_config(self, scores, reference):
+        policy = StaticPolicy(FrequencyConfig(785, 3505))
+        assert policy.choose(scores, reference).config == FrequencyConfig(
+            785, 3505
+        )
+
+    def test_missing_config_rejected(self, scores, reference):
+        policy = StaticPolicy(FrequencyConfig(595, 3505))
+        with pytest.raises(ValidationError):
+            policy.choose(scores, reference)
+
+
+class TestEnergyPolicy:
+    def test_unbounded_minimum_energy(self, scores, reference):
+        chosen = EnergyPolicy().choose(scores, reference)
+        assert chosen.config == FrequencyConfig(785, 3505)
+
+    def test_slowdown_bound_excludes_slow_configs(self, scores, reference):
+        # Budget: 1.10 * 1.10 = 1.21 s -> the 1.30 s and 3.0 s configs drop.
+        chosen = EnergyPolicy(max_slowdown=1.10).choose(scores, reference)
+        assert chosen.config == FrequencyConfig(975, 3505)
+
+    def test_infeasible_bound_falls_back_to_all(self, reference):
+        only_slow = [score(595, 810, 70.0, 5.0)]
+        chosen = EnergyPolicy(max_slowdown=1.01).choose(only_slow, reference)
+        assert chosen.config == FrequencyConfig(595, 810)
+
+    def test_invalid_bound_rejected(self, scores, reference):
+        with pytest.raises(ValidationError):
+            EnergyPolicy(max_slowdown=0.9).choose(scores, reference)
+
+    def test_empty_scores_rejected(self, reference):
+        with pytest.raises(ValidationError):
+            EnergyPolicy().choose([], reference)
+
+
+class TestEdpPolicy:
+    def test_minimum_edp(self, scores, reference):
+        chosen = EdpPolicy().choose(scores, reference)
+        assert chosen.config == FrequencyConfig(975, 3505)
+
+
+class TestPerformanceConstrainedEnergyPolicy:
+    def test_strict_constraint_keeps_fast_configs(self, scores, reference):
+        policy = PerformanceConstrainedEnergyPolicy(min_speed_fraction=1.0)
+        chosen = policy.choose(scores, reference)
+        # Budget = reference time exactly: only the two fastest qualify;
+        # of those, the reference itself has lower energy (187 < 220).
+        assert chosen.config == FrequencyConfig(975, 3505)
+
+    def test_loose_constraint_finds_cheaper_config(self, scores, reference):
+        policy = PerformanceConstrainedEnergyPolicy(min_speed_fraction=0.8)
+        chosen = policy.choose(scores, reference)
+        assert chosen.config == FrequencyConfig(785, 3505)
+
+    def test_invalid_fraction_rejected(self, scores, reference):
+        policy = PerformanceConstrainedEnergyPolicy(min_speed_fraction=1.5)
+        with pytest.raises(ValidationError):
+            policy.choose(scores, reference)
+
+
+class TestPowerCapPolicy:
+    def test_fastest_under_cap(self, scores, reference):
+        chosen = PowerCapPolicy(cap_watts=180.0).choose(scores, reference)
+        assert chosen.config == FrequencyConfig(975, 3505)
+
+    def test_cap_below_everything_falls_back_to_min_power(
+        self, scores, reference
+    ):
+        chosen = PowerCapPolicy(cap_watts=50.0).choose(scores, reference)
+        assert chosen.config == FrequencyConfig(595, 810)
+
+    def test_generous_cap_picks_fastest(self, scores, reference):
+        chosen = PowerCapPolicy(cap_watts=500.0).choose(scores, reference)
+        assert chosen.config == FrequencyConfig(1164, 3505)
+
+    def test_invalid_cap_rejected(self, scores, reference):
+        with pytest.raises(ValidationError):
+            PowerCapPolicy(cap_watts=0.0).choose(scores, reference)

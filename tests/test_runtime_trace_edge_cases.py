@@ -1,0 +1,105 @@
+"""Edge-case tests for trace accounting structures
+(:mod:`repro.runtime.trace`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.hardware.specs import FrequencyConfig
+from repro.runtime.trace import (
+    ApplicationTrace,
+    PhaseExecution,
+    TraceReport,
+)
+from repro.workloads import workload_by_name
+
+
+def execution(name="k", energy=10.0, seconds=2.0, profiled=False):
+    return PhaseExecution(
+        kernel_name=name,
+        invocations=1,
+        config=FrequencyConfig(975, 3505),
+        profiled=profiled,
+        energy_joules=energy,
+        time_seconds=seconds,
+    )
+
+
+class TestPhaseExecution:
+    def test_average_power(self):
+        assert execution(energy=10.0, seconds=2.0).average_power_watts == 5.0
+
+    def test_zero_time_average_power(self):
+        assert execution(energy=0.0, seconds=0.0).average_power_watts == 0.0
+
+
+class TestTraceReport:
+    def test_rejects_empty_executions(self):
+        with pytest.raises(ValidationError):
+            TraceReport(
+                trace_name="t",
+                device_name="d",
+                executions=(),
+                baseline_energy_joules=1.0,
+                baseline_time_seconds=1.0,
+            )
+
+    def test_totals(self):
+        report = TraceReport(
+            trace_name="t",
+            device_name="d",
+            executions=(execution(energy=10.0), execution(energy=5.0)),
+            baseline_energy_joules=20.0,
+            baseline_time_seconds=4.0,
+        )
+        assert report.total_energy_joules == 15.0
+        assert report.energy_saving_fraction == pytest.approx(0.25)
+        assert report.slowdown == pytest.approx(1.0)
+
+    def test_degenerate_baselines(self):
+        report = TraceReport(
+            trace_name="t",
+            device_name="d",
+            executions=(execution(),),
+            baseline_energy_joules=0.0,
+            baseline_time_seconds=0.0,
+        )
+        assert report.energy_saving_fraction == 0.0
+        assert report.slowdown == 1.0
+
+    def test_chosen_configs_last_wins(self):
+        """When a kernel appears in several phases, the last phase's
+        configuration is reported — managers may only ever use one, but the
+        accounting must not crash on re-plans."""
+        a = execution(name="k")
+        b = PhaseExecution(
+            kernel_name="k",
+            invocations=1,
+            config=FrequencyConfig(595, 810),
+            profiled=False,
+            energy_joules=1.0,
+            time_seconds=1.0,
+        )
+        report = TraceReport(
+            trace_name="t",
+            device_name="d",
+            executions=(a, b),
+            baseline_energy_joules=1.0,
+            baseline_time_seconds=1.0,
+        )
+        assert report.chosen_configs()["k"] == FrequencyConfig(595, 810)
+
+
+class TestApplicationTrace:
+    def test_from_pairs_roundtrip(self):
+        gemm = workload_by_name("gemm")
+        trace = ApplicationTrace.from_pairs("t", [(gemm, 5), (gemm, 3)])
+        assert trace.total_invocations == 8
+        assert len(trace.distinct_kernels()) == 1
+
+    def test_phase_order_preserved(self):
+        gemm = workload_by_name("gemm")
+        lbm = workload_by_name("lbm")
+        trace = ApplicationTrace.from_pairs("t", [(lbm, 1), (gemm, 1)])
+        assert [p.kernel.name for p in trace.phases] == ["lbm", "gemm"]

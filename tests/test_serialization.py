@@ -1,0 +1,89 @@
+"""Unit tests for model serialization (:mod:`repro.serialization`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.metrics import UtilizationVector
+from repro.errors import ValidationError
+from repro.hardware.components import ALL_COMPONENTS, Component
+from repro.hardware.specs import FrequencyConfig, GTX_TITAN_X
+from repro.serialization import (
+    FORMAT,
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted_model(lab):
+    return lab.model("GTX Titan X")
+
+
+def sample_utilizations() -> UtilizationVector:
+    values = {component: 0.0 for component in ALL_COMPONENTS}
+    values[Component.SP] = 0.5
+    values[Component.DRAM] = 0.7
+    return UtilizationVector(values=values)
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_preserves_predictions(self, fitted_model):
+        clone = model_from_dict(model_to_dict(fitted_model))
+        utilizations = sample_utilizations()
+        for config in (
+            FrequencyConfig(975, 3505),
+            FrequencyConfig(595, 810),
+            FrequencyConfig(1164, 4005),
+        ):
+            assert clone.predict_power(utilizations, config) == pytest.approx(
+                fitted_model.predict_power(utilizations, config)
+            )
+
+    def test_dict_roundtrip_preserves_voltages(self, fitted_model):
+        clone = model_from_dict(model_to_dict(fitted_model))
+        for config in fitted_model.known_configurations():
+            assert clone.voltage_at(config).v_core == pytest.approx(
+                fitted_model.voltage_at(config).v_core
+            )
+
+    def test_file_roundtrip(self, fitted_model, tmp_path):
+        path = save_model(fitted_model, tmp_path / "model.json")
+        clone = load_model(path)
+        assert clone.spec.name == "GTX Titan X"
+        assert clone.parameters == fitted_model.parameters
+
+    def test_serialized_form_is_plain_json(self, fitted_model, tmp_path):
+        path = save_model(fitted_model, tmp_path / "model.json")
+        data = json.loads(path.read_text())
+        assert data["format"] == FORMAT
+        assert data["device"] == "GTX Titan X"
+        assert len(data["voltages"]) == 64
+
+    def test_explicit_spec_override(self, fitted_model):
+        clone = model_from_dict(
+            model_to_dict(fitted_model), spec=GTX_TITAN_X
+        )
+        assert clone.spec is GTX_TITAN_X
+
+
+class TestValidationErrors:
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ValidationError):
+            model_from_dict({"format": "something-else"})
+
+    def test_rejects_wrong_version(self, fitted_model):
+        data = model_to_dict(fitted_model)
+        data["version"] = 99
+        with pytest.raises(ValidationError):
+            model_from_dict(data)
+
+    def test_rejects_empty_voltages(self, fitted_model):
+        data = model_to_dict(fitted_model)
+        data["voltages"] = []
+        with pytest.raises(ValidationError):
+            model_from_dict(data)

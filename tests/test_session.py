@@ -1,0 +1,66 @@
+"""Unit tests for the profiling session (:mod:`repro.driver.session`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.driver.session import ProfilingSession
+from repro.hardware.gpu import SimulatedGPU
+from repro.hardware.specs import FrequencyConfig, GTX_TITAN_X
+from repro.workloads import workload_by_name
+
+
+@pytest.fixture()
+def session() -> ProfilingSession:
+    return ProfilingSession(SimulatedGPU(GTX_TITAN_X))
+
+
+class TestMeasurement:
+    def test_measure_power_defaults_to_reference(self, session):
+        measurement = session.measure_power(workload_by_name("gemm"))
+        assert measurement.applied_config == GTX_TITAN_X.reference
+
+    def test_measure_power_sets_clocks(self, session):
+        session.measure_power(workload_by_name("gemm"), FrequencyConfig(595, 810))
+        assert session.nvml.application_clocks == FrequencyConfig(595, 810)
+
+    def test_median_versus_single(self, session):
+        kernel = workload_by_name("gemm")
+        median = session.measure_power(kernel, median=True)
+        single = session.measure_power(kernel, median=False)
+        # Both are valid measurements of the same kernel...
+        assert median.average_watts == pytest.approx(
+            single.average_watts, rel=0.05
+        )
+        # ...but not byte-identical (different noise draws).
+        assert median.average_watts != single.average_watts
+
+    def test_measure_time_scales_with_core_frequency(self, session):
+        kernel = workload_by_name("cutcp")  # compute-bound
+        fast = session.measure_time(kernel, FrequencyConfig(1164, 3505))
+        slow = session.measure_time(kernel, FrequencyConfig(595, 3505))
+        assert slow > fast
+
+
+class TestObserve:
+    def test_observe_at_reference_includes_events(self, session):
+        observation = session.observe(workload_by_name("gemm"))
+        assert observation.events is not None
+        assert observation.config == GTX_TITAN_X.reference
+
+    def test_observe_elsewhere_skips_events(self, session):
+        observation = session.observe(
+            workload_by_name("gemm"), FrequencyConfig(595, 810)
+        )
+        assert observation.events is None
+        assert observation.measured_watts > 0
+
+    def test_observe_with_events_override(self, session):
+        observation = session.observe(
+            workload_by_name("gemm"),
+            FrequencyConfig(595, 810),
+            with_events=True,
+        )
+        assert observation.events is not None
+        # Events are still collected at the reference configuration.
+        assert observation.events.config == GTX_TITAN_X.reference

@@ -1,0 +1,137 @@
+"""Tests for the energy-aware trace simulator and frequency plans
+(:mod:`repro.simulator.energy` / :mod:`repro.simulator.plans`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.hardware.specs import FrequencyConfig, GTX_TITAN_X
+from repro.runtime.policies import EnergyPolicy
+from repro.runtime.trace import ApplicationTrace
+from repro.simulator.energy import EnergyAwareSimulator
+from repro.simulator.plans import PerKernelPlan, StaticPlan
+from repro.workloads import workload_by_name
+
+
+@pytest.fixture(scope="module")
+def simulator(lab) -> EnergyAwareSimulator:
+    device = "GTX Titan X"
+    return EnergyAwareSimulator(lab.model(device), lab.session(device))
+
+
+@pytest.fixture(scope="module")
+def trace() -> ApplicationTrace:
+    return ApplicationTrace.from_pairs(
+        "pipeline",
+        [
+            (workload_by_name("gemm"), 30),
+            (workload_by_name("blackscholes"), 10),
+            (workload_by_name("cutcp"), 20),
+        ],
+    )
+
+
+class TestPlans:
+    def test_static_plan(self):
+        plan = StaticPlan(FrequencyConfig(785, 3505))
+        assert plan.config_for(workload_by_name("gemm")) == FrequencyConfig(
+            785, 3505
+        )
+
+    def test_per_kernel_plan_with_default(self):
+        plan = PerKernelPlan(
+            {"gemm": FrequencyConfig(785, 3505)},
+            default=FrequencyConfig(975, 3505),
+        )
+        assert plan.config_for(workload_by_name("gemm")) == FrequencyConfig(
+            785, 3505
+        )
+        assert plan.config_for(workload_by_name("lbm")) == FrequencyConfig(
+            975, 3505
+        )
+
+    def test_per_kernel_plan_without_default_rejects_unknown(self):
+        plan = PerKernelPlan({"gemm": FrequencyConfig(785, 3505)})
+        with pytest.raises(ValidationError):
+            plan.config_for(workload_by_name("lbm"))
+
+    def test_empty_per_kernel_plan_rejected(self):
+        with pytest.raises(ValidationError):
+            PerKernelPlan({})
+
+    def test_policy_plan_caches_decisions(self, simulator):
+        plan = simulator.policy_plan(EnergyPolicy(max_slowdown=1.10))
+        first = plan.config_for(workload_by_name("gemm"))
+        second = plan.config_for(workload_by_name("gemm"))
+        assert first == second
+
+
+class TestSimulation:
+    def test_phase_accounting(self, simulator, trace):
+        result = simulator.simulate(trace, StaticPlan(GTX_TITAN_X.reference))
+        assert len(result.phases) == 3
+        assert result.total_energy_joules == pytest.approx(
+            sum(p.energy_joules for p in result.phases)
+        )
+        assert result.average_power_watts > 0
+
+    def test_invocations_multiply_time(self, simulator):
+        single = ApplicationTrace.from_pairs(
+            "one", [(workload_by_name("gemm"), 1)]
+        )
+        many = ApplicationTrace.from_pairs(
+            "many", [(workload_by_name("gemm"), 10)]
+        )
+        plan = StaticPlan(GTX_TITAN_X.reference)
+        t1 = simulator.simulate(single, plan).total_time_seconds
+        t10 = simulator.simulate(many, plan).total_time_seconds
+        assert t10 == pytest.approx(10 * t1)
+
+    def test_compare_plans_sorted_by_energy(self, simulator, trace):
+        plans = [
+            StaticPlan(GTX_TITAN_X.reference, "reference"),
+            StaticPlan(FrequencyConfig(785, 810), "low"),
+            simulator.policy_plan(EnergyPolicy(max_slowdown=1.10), "policy"),
+        ]
+        results = simulator.compare_plans(trace, plans)
+        energies = [r.total_energy_joules for r in results]
+        assert energies == sorted(energies)
+
+    def test_policy_plan_never_worse_than_reference(self, simulator, trace):
+        results = simulator.compare_plans(
+            trace,
+            [
+                StaticPlan(GTX_TITAN_X.reference, "reference"),
+                simulator.policy_plan(EnergyPolicy(max_slowdown=1.10), "policy"),
+            ],
+        )
+        by_name = {r.plan_name: r for r in results}
+        assert (
+            by_name["policy"].total_energy_joules
+            <= by_name["reference"].total_energy_joules + 1e-9
+        )
+
+    def test_empty_plan_list_rejected(self, simulator, trace):
+        with pytest.raises(ValidationError):
+            simulator.compare_plans(trace, [])
+
+
+class TestGrading:
+    @pytest.mark.parametrize(
+        "config",
+        [FrequencyConfig(975, 3505), FrequencyConfig(785, 810)],
+    )
+    def test_energy_prediction_within_fifteen_percent(
+        self, simulator, trace, config
+    ):
+        grade = simulator.grade_against_device(trace, StaticPlan(config))
+        assert abs(grade["energy_error_fraction"]) < 0.15
+        assert abs(grade["time_error_fraction"]) < 0.15
+
+    def test_grade_reports_both_sides(self, simulator, trace):
+        grade = simulator.grade_against_device(
+            trace, StaticPlan(GTX_TITAN_X.reference)
+        )
+        assert grade["predicted_energy_joules"] > 0
+        assert grade["measured_energy_joules"] > 0

@@ -1,0 +1,105 @@
+"""Unit tests for the frequency-scaling time predictor
+(:mod:`repro.simulator.performance`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import MetricCalculator
+from repro.errors import ValidationError
+from repro.hardware.specs import FrequencyConfig, GTX_TITAN_X
+from repro.simulator.performance import FrequencyScalingTimePredictor
+from repro.workloads import all_workloads, workload_by_name
+
+
+@pytest.fixture(scope="module")
+def predictor() -> FrequencyScalingTimePredictor:
+    return FrequencyScalingTimePredictor(GTX_TITAN_X)
+
+
+def profile_of(lab, predictor, name):
+    session = lab.session("GTX Titan X")
+    kernel = workload_by_name(name)
+    utilizations = MetricCalculator(GTX_TITAN_X).utilizations(
+        session.collect_events(kernel)
+    )
+    reference_seconds = session.measure_time(kernel)
+    return kernel, predictor.profile(reference_seconds, utilizations)
+
+
+class TestStructure:
+    def test_reference_prediction_is_reference_time(self, lab, predictor):
+        _, profile = profile_of(lab, predictor, "gemm")
+        predicted = predictor.predict_seconds(profile, GTX_TITAN_X.reference)
+        assert predicted == pytest.approx(
+            profile.reference_seconds, rel=0.02
+        )
+
+    def test_time_monotone_in_core_frequency(self, lab, predictor):
+        _, profile = profile_of(lab, predictor, "cutcp")
+        times = [
+            predictor.predict_seconds(profile, FrequencyConfig(core, 3505))
+            for core in (595, 785, 975, 1164)
+        ]
+        assert times == sorted(times, reverse=True)
+
+    def test_memory_bound_kernel_tracks_memory_clock(self, lab, predictor):
+        _, profile = profile_of(lab, predictor, "blackscholes")
+        fast = predictor.predict_seconds(profile, FrequencyConfig(975, 3505))
+        slow = predictor.predict_seconds(profile, FrequencyConfig(975, 810))
+        # A DRAM utilization of 0.85 makes the 4.3x memory stretch dominate.
+        assert slow / fast > 3.0
+
+    def test_compute_bound_kernel_ignores_memory_clock(self, lab, predictor):
+        _, profile = profile_of(lab, predictor, "cutcp")
+        fast = predictor.predict_seconds(profile, FrequencyConfig(975, 3505))
+        slow = predictor.predict_seconds(profile, FrequencyConfig(975, 810))
+        assert slow / fast < 1.2
+
+    def test_speedup_helper(self, lab, predictor):
+        _, profile = profile_of(lab, predictor, "gemm")
+        speedup = predictor.predict_speedup(profile, FrequencyConfig(1164, 3505))
+        assert speedup > 1.0
+
+    def test_grid_covers_device(self, lab, predictor):
+        _, profile = profile_of(lab, predictor, "gemm")
+        assert len(predictor.predict_grid(profile)) == 64
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ValidationError):
+            FrequencyScalingTimePredictor(GTX_TITAN_X, overlap_exponent=0.5)
+
+    def test_rejects_nonpositive_reference_time(self, predictor, lab):
+        _, profile = profile_of(lab, predictor, "gemm")
+        with pytest.raises(ValidationError):
+            predictor.profile(0.0, profile.utilizations)
+
+
+class TestAccuracyAgainstDevice:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            FrequencyConfig(595, 3505),
+            FrequencyConfig(1164, 3505),
+            FrequencyConfig(975, 810),
+            FrequencyConfig(595, 810),
+        ],
+    )
+    def test_prediction_within_twenty_percent(self, lab, predictor, config):
+        """Across the validation set, the time predictor stays within 20 %
+        of the device at every corner of the V-F grid."""
+        session = lab.session("GTX Titan X")
+        calculator = MetricCalculator(GTX_TITAN_X)
+        errors = []
+        for kernel in all_workloads():
+            utilizations = calculator.utilizations(
+                session.collect_events(kernel)
+            )
+            profile = predictor.profile(
+                session.measure_time(kernel), utilizations
+            )
+            predicted = predictor.predict_seconds(profile, config)
+            actual = session.measure_time(kernel, config)
+            errors.append(abs(predicted - actual) / actual)
+        mean_error = sum(errors) / len(errors)
+        assert mean_error < 0.20, config

@@ -1,0 +1,202 @@
+"""Unit tests for :mod:`repro.hardware.specs` (Table II)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import FrequencyError, SpecError
+from repro.hardware.components import Component
+from repro.hardware.specs import (
+    ALL_GPUS,
+    FrequencyConfig,
+    GPUSpec,
+    GTX_TITAN_X,
+    TESLA_K40C,
+    TITAN_XP,
+    gpu_spec_by_name,
+)
+
+
+class TestTableII:
+    """The spec sheet values the paper reports."""
+
+    def test_three_devices(self):
+        assert len(ALL_GPUS) == 3
+
+    @pytest.mark.parametrize(
+        "spec, architecture, capability, sms",
+        [
+            (TITAN_XP, "Pascal", "6.1", 30),
+            (GTX_TITAN_X, "Maxwell", "5.2", 24),
+            (TESLA_K40C, "Kepler", "3.5", 15),
+        ],
+    )
+    def test_architecture_row(self, spec, architecture, capability, sms):
+        assert spec.architecture == architecture
+        assert spec.compute_capability == capability
+        assert spec.sm_count == sms
+
+    @pytest.mark.parametrize(
+        "spec, core_levels, memory_levels",
+        [(TITAN_XP, 22, 2), (GTX_TITAN_X, 16, 4), (TESLA_K40C, 4, 1)],
+    )
+    def test_frequency_level_counts(self, spec, core_levels, memory_levels):
+        assert len(spec.core_frequencies_mhz) == core_levels
+        assert len(spec.memory_frequencies_mhz) == memory_levels
+
+    @pytest.mark.parametrize(
+        "spec, default_core, default_memory",
+        [
+            (TITAN_XP, 1404, 5705),
+            (GTX_TITAN_X, 975, 3505),
+            (TESLA_K40C, 875, 3004),
+        ],
+    )
+    def test_defaults(self, spec, default_core, default_memory):
+        assert spec.default_core_mhz == default_core
+        assert spec.default_memory_mhz == default_memory
+
+    @pytest.mark.parametrize(
+        "spec, low, high",
+        [
+            (TITAN_XP, 582, 1911),
+            (GTX_TITAN_X, 595, 1164),
+            (TESLA_K40C, 666, 875),
+        ],
+    )
+    def test_core_ranges(self, spec, low, high):
+        assert min(spec.core_frequencies_mhz) == low
+        assert max(spec.core_frequencies_mhz) == high
+
+    def test_titan_x_has_fig9_throttle_level(self):
+        # The Fig. 9 footnote: throttling from 1164 falls to 1126 MHz.
+        assert 1126 in GTX_TITAN_X.core_frequencies_mhz
+
+    def test_unit_counts(self, any_spec):
+        assert any_spec.warp_size == 32
+        assert any_spec.sf_units_per_sm == 32
+        assert any_spec.shared_memory_banks == 32
+
+    def test_kepler_unit_counts_differ(self):
+        assert TESLA_K40C.sp_int_units_per_sm == 192
+        assert TESLA_K40C.dp_units_per_sm == 64
+        assert GTX_TITAN_X.dp_units_per_sm == 4
+
+    @pytest.mark.parametrize(
+        "spec, tdp", [(TITAN_XP, 250), (GTX_TITAN_X, 250), (TESLA_K40C, 235)]
+    )
+    def test_tdp(self, spec, tdp):
+        assert spec.tdp_watts == tdp
+
+    @pytest.mark.parametrize(
+        "spec, refresh", [(TITAN_XP, 35), (GTX_TITAN_X, 100), (TESLA_K40C, 15)]
+    )
+    def test_nvml_refresh_periods(self, spec, refresh):
+        assert spec.nvml_refresh_ms == refresh
+
+
+class TestFrequencyConfig:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(SpecError):
+            FrequencyConfig(0, 3505)
+
+    def test_equality(self):
+        assert FrequencyConfig(975, 3505) == FrequencyConfig(975, 3505)
+
+    def test_reference(self):
+        assert GTX_TITAN_X.reference == FrequencyConfig(975, 3505)
+
+    def test_max_configuration(self):
+        assert GTX_TITAN_X.max_configuration == FrequencyConfig(1164, 4005)
+
+
+class TestConfigurationGrid:
+    def test_grid_size(self, any_spec):
+        grid = any_spec.all_configurations()
+        expected = len(any_spec.core_frequencies_mhz) * len(
+            any_spec.memory_frequencies_mhz
+        )
+        assert len(grid) == expected
+        assert len(set(grid)) == expected
+
+    def test_grid_contains_reference(self, any_spec):
+        assert any_spec.reference in any_spec.all_configurations()
+
+    def test_validate_snaps_to_level(self):
+        snapped = GTX_TITAN_X.validate_configuration(
+            FrequencyConfig(975.3, 3505.2)
+        )
+        assert snapped == FrequencyConfig(975, 3505)
+
+    def test_validate_rejects_unknown_core(self):
+        with pytest.raises(FrequencyError):
+            GTX_TITAN_X.validate_configuration(FrequencyConfig(1000, 3505))
+
+    def test_validate_rejects_unknown_memory(self):
+        with pytest.raises(FrequencyError):
+            GTX_TITAN_X.validate_configuration(FrequencyConfig(975, 2000))
+
+
+class TestPeakRates:
+    def test_dram_peak_bandwidth_matches_public_figure(self):
+        # 3505 MHz x 48 B x DDR = ~336.5 GB/s, the Titan X datasheet figure.
+        assert GTX_TITAN_X.dram_peak_bandwidth(3505) == pytest.approx(
+            336.48e9, rel=1e-3
+        )
+
+    def test_dram_peak_scales_with_memory_frequency(self):
+        full = GTX_TITAN_X.dram_peak_bandwidth(3505)
+        low = GTX_TITAN_X.dram_peak_bandwidth(810)
+        assert low / full == pytest.approx(810 / 3505)
+
+    def test_shared_peak_scales_with_core_frequency(self):
+        full = GTX_TITAN_X.shared_peak_bandwidth(975)
+        half = GTX_TITAN_X.shared_peak_bandwidth(487.5)
+        assert half == pytest.approx(full / 2)
+
+    def test_peak_warp_rate_sp(self):
+        # 128 lanes / 32 = 4 warps per SM per cycle, 24 SMs at 975 MHz.
+        expected = 4 * 24 * 975e6
+        assert GTX_TITAN_X.peak_warp_rate(Component.SP, 975) == pytest.approx(
+            expected
+        )
+
+    def test_peak_warp_rate_rejects_memory_level(self):
+        with pytest.raises(SpecError):
+            GTX_TITAN_X.peak_warp_rate(Component.DRAM, 975)
+
+    def test_peak_bandwidth_rejects_compute_unit(self):
+        with pytest.raises(SpecError):
+            GTX_TITAN_X.peak_bandwidth(Component.SP, GTX_TITAN_X.reference)
+
+    def test_units_per_sm_int_equals_sp(self, any_spec):
+        # Sec. III-C: SP and INT share the same execution units.
+        assert any_spec.units_per_sm(Component.INT) == any_spec.units_per_sm(
+            Component.SP
+        )
+
+
+class TestSpecValidationAndLookup:
+    def test_lookup_by_name(self):
+        assert gpu_spec_by_name("gtx titan x") is GTX_TITAN_X
+
+    def test_lookup_by_architecture(self):
+        assert gpu_spec_by_name("Pascal") is TITAN_XP
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(SpecError):
+            gpu_spec_by_name("Volta")
+
+    def test_default_core_must_be_a_level(self):
+        with pytest.raises(SpecError):
+            dataclasses.replace(GTX_TITAN_X, default_core_mhz=1000)
+
+    def test_default_memory_must_be_a_level(self):
+        with pytest.raises(SpecError):
+            dataclasses.replace(GTX_TITAN_X, default_memory_mhz=9999)
+
+    def test_sm_count_must_be_positive(self):
+        with pytest.raises(SpecError):
+            dataclasses.replace(GTX_TITAN_X, sm_count=0)

@@ -1,0 +1,146 @@
+"""Tests for the bootstrap statistics (:mod:`repro.analysis.stats`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import (
+    ConfidenceInterval,
+    bootstrap_mae_interval,
+    paired_comparison,
+)
+from repro.analysis.validation import PredictionRecord, ValidationResult
+from repro.errors import ValidationError
+from repro.hardware.specs import FrequencyConfig
+
+
+def make_result(errors_by_workload, device="GTX Titan X") -> ValidationResult:
+    """Build a synthetic sweep: one record per (workload, error) pair."""
+    records = []
+    for workload, errors in errors_by_workload.items():
+        for index, error in enumerate(errors):
+            measured = 100.0
+            records.append(
+                PredictionRecord(
+                    workload=workload,
+                    config=FrequencyConfig(595 + 38 * (index % 16), 3505),
+                    measured_watts=measured,
+                    predicted_watts=measured * (1 + error / 100.0),
+                )
+            )
+    return ValidationResult(device_name=device, records=tuple(records))
+
+
+class TestConfidenceInterval:
+    def test_contains(self):
+        interval = ConfidenceInterval(5.0, 4.0, 6.0, 0.95)
+        assert interval.contains(5.5)
+        assert not interval.contains(7.0)
+        assert interval.width == pytest.approx(2.0)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValidationError):
+            ConfidenceInterval(5.0, 6.0, 4.0, 0.95)
+
+
+class TestBootstrapMAE:
+    def test_interval_brackets_point_estimate(self):
+        result = make_result(
+            {f"w{i}": [3.0 + 0.5 * i, 4.0 + 0.5 * i] for i in range(10)}
+        )
+        interval = bootstrap_mae_interval(result, resamples=500)
+        assert interval.lower <= interval.point <= interval.upper
+
+    def test_deterministic(self):
+        result = make_result({f"w{i}": [5.0, 6.0] for i in range(6)})
+        a = bootstrap_mae_interval(result, resamples=300)
+        b = bootstrap_mae_interval(result, resamples=300)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+    def test_homogeneous_errors_give_tight_interval(self):
+        result = make_result({f"w{i}": [5.0, 5.0, 5.0] for i in range(8)})
+        interval = bootstrap_mae_interval(result, resamples=300)
+        assert interval.width < 1e-9
+
+    def test_heterogeneous_errors_widen_interval(self):
+        tight = bootstrap_mae_interval(
+            make_result({f"w{i}": [5.0] for i in range(8)}), resamples=300
+        )
+        wide = bootstrap_mae_interval(
+            make_result(
+                {f"w{i}": [1.0 if i % 2 else 12.0] for i in range(8)}
+            ),
+            resamples=300,
+        )
+        assert wide.width > tight.width
+
+    def test_needs_two_workloads(self):
+        with pytest.raises(ValidationError):
+            bootstrap_mae_interval(
+                make_result({"only": [5.0, 6.0]}), resamples=300
+            )
+
+    def test_rejects_bad_confidence(self):
+        result = make_result({f"w{i}": [5.0] for i in range(4)})
+        with pytest.raises(ValidationError):
+            bootstrap_mae_interval(result, confidence=1.5)
+
+    def test_rejects_too_few_resamples(self):
+        result = make_result({f"w{i}": [5.0] for i in range(4)})
+        with pytest.raises(ValidationError):
+            bootstrap_mae_interval(result, resamples=10)
+
+
+class TestPairedComparison:
+    def test_clearly_better_model_is_significant(self):
+        better = make_result({f"w{i}": [2.0, 2.5] for i in range(10)})
+        worse = make_result({f"w{i}": [8.0, 9.0] for i in range(10)})
+        comparison = paired_comparison(
+            better, worse, "better", "worse", resamples=300
+        )
+        assert comparison.first_is_significantly_better
+        assert not comparison.second_is_significantly_better
+        assert comparison.first_wins_fraction == 1.0
+
+    def test_identical_models_not_significant(self):
+        a = make_result({f"w{i}": [4.0, 5.0] for i in range(10)})
+        b = make_result({f"w{i}": [4.0, 5.0] for i in range(10)})
+        comparison = paired_comparison(a, b, resamples=300)
+        assert not comparison.first_is_significantly_better
+        assert not comparison.second_is_significantly_better
+        assert comparison.mean_difference.point == pytest.approx(0.0)
+
+    def test_rejects_mismatched_sweeps(self):
+        a = make_result({f"w{i}": [4.0] for i in range(4)})
+        b = make_result({f"w{i}": [4.0, 5.0] for i in range(4)})
+        with pytest.raises(ValidationError):
+            paired_comparison(a, b)
+
+
+class TestOnRealValidation:
+    def test_interval_on_fitted_model(self, lab):
+        result = lab.validation("GTX Titan X")
+        interval = bootstrap_mae_interval(result, resamples=300)
+        # The paper-band MAE with a non-degenerate but informative interval.
+        assert interval.contains(result.mean_absolute_error_percent)
+        assert 0.1 < interval.width < 4.0
+
+    def test_proposed_vs_fixed_config_is_significant(self, lab):
+        from repro.analysis.validation import validate_model
+        from repro.core.baselines import FixedConfigurationModel
+
+        device = "GTX Titan X"
+        baseline = FixedConfigurationModel(lab.spec(device)).fit(
+            lab.dataset(device)
+        )
+        baseline_result = validate_model(
+            baseline, lab.session(device), lab.workloads(device)
+        )
+        comparison = paired_comparison(
+            lab.validation(device),
+            baseline_result,
+            "proposed",
+            "fixed",
+            resamples=300,
+        )
+        assert comparison.first_is_significantly_better

@@ -1,0 +1,66 @@
+"""Unit tests for the TDP throttling policy (:mod:`repro.hardware.thermal`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.specs import FrequencyConfig, GTX_TITAN_X
+from repro.hardware.thermal import TDPPolicy
+
+
+class TestTDPPolicy:
+    def test_no_throttle_under_limit(self):
+        policy = TDPPolicy(GTX_TITAN_X)
+        decision = policy.apply(
+            FrequencyConfig(1164, 3505), power_at=lambda config: 200.0
+        )
+        assert not decision.throttled
+        assert decision.applied == FrequencyConfig(1164, 3505)
+
+    def test_throttles_one_level(self):
+        """The Fig. 9 footnote: 1164 MHz exceeds TDP, 1126 MHz does not."""
+        policy = TDPPolicy(GTX_TITAN_X)
+
+        def power_at(config: FrequencyConfig) -> float:
+            return 260.0 if config.core_mhz > 1130 else 240.0
+
+        decision = policy.apply(FrequencyConfig(1164, 3505), power_at)
+        assert decision.throttled
+        assert decision.applied == FrequencyConfig(1126, 3505)
+        assert decision.requested == FrequencyConfig(1164, 3505)
+
+    def test_throttles_multiple_levels(self):
+        policy = TDPPolicy(GTX_TITAN_X)
+
+        def power_at(config: FrequencyConfig) -> float:
+            return 200.0 + config.core_mhz / 10.0  # > 250 above ~500 MHz... no:
+            # 200 + 1164/10 = 316 at the top, 200 + 59.5 = 259.5 at the bottom.
+
+        decision = policy.apply(FrequencyConfig(1164, 3505), power_at)
+        # Power never fits: the policy must stop at the lowest level.
+        assert decision.applied.core_mhz == min(
+            GTX_TITAN_X.core_frequencies_mhz
+        )
+
+    def test_memory_frequency_never_touched(self):
+        policy = TDPPolicy(GTX_TITAN_X)
+
+        def power_at(config: FrequencyConfig) -> float:
+            return 260.0 if config.core_mhz > 1000 else 100.0
+
+        decision = policy.apply(FrequencyConfig(1164, 810), power_at)
+        assert decision.applied.memory_mhz == 810
+
+    def test_disabled_policy_is_identity(self):
+        policy = TDPPolicy(GTX_TITAN_X, enabled=False)
+        decision = policy.apply(
+            FrequencyConfig(1164, 3505), power_at=lambda config: 1000.0
+        )
+        assert not decision.throttled
+
+    def test_requested_configuration_is_snapped(self):
+        policy = TDPPolicy(GTX_TITAN_X)
+        decision = policy.apply(
+            FrequencyConfig(1164.2, 3505.3), power_at=lambda config: 10.0
+        )
+        assert decision.requested == FrequencyConfig(1164, 3505)

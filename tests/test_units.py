@@ -1,0 +1,103 @@
+"""Unit tests for :mod:`repro.units`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestFrequencyConversions:
+    def test_mhz_to_hz(self):
+        assert units.mhz_to_hz(975) == 975e6
+
+    def test_hz_to_mhz(self):
+        assert units.hz_to_mhz(975e6) == 975
+
+    def test_roundtrip(self):
+        assert units.hz_to_mhz(units.mhz_to_hz(3505.5)) == pytest.approx(3505.5)
+
+    def test_cycles_to_seconds(self):
+        assert units.cycles_to_seconds(975e6, 975) == pytest.approx(1.0)
+
+    def test_seconds_to_cycles(self):
+        assert units.seconds_to_cycles(2.0, 100) == pytest.approx(2.0e8)
+
+    def test_cycles_roundtrip(self):
+        cycles = 1.25e9
+        seconds = units.cycles_to_seconds(cycles, 875)
+        assert units.seconds_to_cycles(seconds, 875) == pytest.approx(cycles)
+
+    def test_cycles_to_seconds_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            units.cycles_to_seconds(100, 0)
+
+    def test_seconds_to_cycles_rejects_negative_frequency(self):
+        with pytest.raises(ValueError):
+            units.seconds_to_cycles(1.0, -1)
+
+
+class TestBandwidthAndEnergy:
+    def test_gib_per_second(self):
+        assert units.gib_per_second(2.0**30, 1.0) == pytest.approx(1.0)
+
+    def test_gib_per_second_rejects_zero_duration(self):
+        with pytest.raises(ValueError):
+            units.gib_per_second(1024, 0.0)
+
+    def test_energy(self):
+        assert units.energy_joules(100.0, 2.5) == pytest.approx(250.0)
+
+
+class TestFrequencyMatching:
+    def test_frequencies_equal_within_tolerance(self):
+        assert units.frequencies_equal(975.0, 975.4)
+
+    def test_frequencies_not_equal_outside_tolerance(self):
+        assert not units.frequencies_equal(975.0, 976.0)
+
+    def test_find_frequency_level_hits(self):
+        assert units.find_frequency_level(975.2, (595, 975, 1164)) == 975
+
+    def test_find_frequency_level_misses(self):
+        assert units.find_frequency_level(1000, (595, 975, 1164)) is None
+
+    def test_closest_lower_level(self):
+        levels = (595, 899, 975, 1126, 1164)
+        assert units.closest_lower_level(1164, levels) == 1126
+
+    def test_closest_lower_level_skips_equal(self):
+        levels = (595, 899, 975)
+        assert units.closest_lower_level(975, levels) == 899
+
+    def test_closest_lower_level_at_bottom(self):
+        assert units.closest_lower_level(595, (595, 975)) is None
+
+
+class TestMeanAbsolutePercentageError:
+    def test_perfect_prediction_is_zero(self):
+        assert units.mean_absolute_percentage_error([100, 200], [100, 200]) == 0
+
+    def test_known_value(self):
+        # |90-100|/100 = 10% and |220-200|/200 = 10% -> mean 10%.
+        error = units.mean_absolute_percentage_error([100, 200], [90, 220])
+        assert error == pytest.approx(10.0)
+
+    def test_symmetric_in_error_sign(self):
+        over = units.mean_absolute_percentage_error([100], [110])
+        under = units.mean_absolute_percentage_error([100], [90])
+        assert over == pytest.approx(under)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            units.mean_absolute_percentage_error([1, 2], [1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            units.mean_absolute_percentage_error([], [])
+
+    def test_rejects_nonpositive_measured(self):
+        with pytest.raises(ValueError):
+            units.mean_absolute_percentage_error([0.0], [1.0])

@@ -1,0 +1,111 @@
+"""Unit tests for the validation machinery
+(:mod:`repro.analysis.validation`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.validation import (
+    PredictionRecord,
+    ValidationResult,
+    validate_model,
+)
+from repro.errors import ValidationError
+from repro.hardware.specs import FrequencyConfig
+
+
+def record(workload, core, memory, measured, predicted) -> PredictionRecord:
+    return PredictionRecord(
+        workload=workload,
+        config=FrequencyConfig(core, memory),
+        measured_watts=measured,
+        predicted_watts=predicted,
+    )
+
+
+@pytest.fixture()
+def result() -> ValidationResult:
+    return ValidationResult(
+        device_name="GTX Titan X",
+        records=(
+            record("a", 975, 3505, 100.0, 110.0),   # +10%
+            record("a", 975, 810, 50.0, 45.0),      # -10%
+            record("b", 975, 3505, 200.0, 200.0),   # 0%
+            record("b", 975, 810, 80.0, 96.0),      # +20%
+        ),
+    )
+
+
+class TestPredictionRecord:
+    def test_signed_error(self):
+        r = record("x", 975, 3505, 100.0, 90.0)
+        assert r.error_fraction == pytest.approx(-0.10)
+
+    def test_absolute_error_percent(self):
+        r = record("x", 975, 3505, 100.0, 90.0)
+        assert r.absolute_error_percent == pytest.approx(10.0)
+
+
+class TestValidationResult:
+    def test_mean_absolute_error(self, result):
+        assert result.mean_absolute_error_percent == pytest.approx(10.0)
+
+    def test_max_absolute_error(self, result):
+        assert result.max_absolute_error_percent == pytest.approx(20.0)
+
+    def test_power_range(self, result):
+        assert result.power_range_watts() == (50.0, 200.0)
+
+    def test_error_by_workload(self, result):
+        errors = result.error_by_workload()
+        assert errors["a"] == pytest.approx(10.0)
+        assert errors["b"] == pytest.approx(10.0)
+
+    def test_error_by_memory_frequency(self, result):
+        errors = result.error_by_memory_frequency()
+        assert errors[3505.0] == pytest.approx(5.0)
+        assert errors[810.0] == pytest.approx(15.0)
+
+    def test_signed_error_by_workload(self, result):
+        signed = result.signed_error_by_workload()
+        assert signed["a"] == pytest.approx(0.0)
+        assert signed["b"] == pytest.approx(10.0)
+
+    def test_restricted_to_memory_frequency(self, result):
+        subset = result.restricted_to_memory_frequency(810.0)
+        assert len(subset.records) == 2
+        assert subset.mean_absolute_error_percent == pytest.approx(15.0)
+
+    def test_error_by_configuration(self, result):
+        errors = result.error_by_configuration()
+        assert errors[(975.0, 3505.0)] == pytest.approx(5.0)
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(ValidationError):
+            ValidationResult(device_name="x", records=())
+
+
+class TestValidateModel:
+    class _ConstantModel:
+        def predict_power(self, utilizations, config):
+            return 120.0
+
+    def test_rejects_empty_workloads(self, titanx_session):
+        with pytest.raises(ValidationError):
+            validate_model(self._ConstantModel(), titanx_session, [])
+
+    def test_sweep_shape(self, titanx_session):
+        from repro.workloads import workload_by_name
+
+        result = validate_model(
+            self._ConstantModel(),
+            titanx_session,
+            [workload_by_name("gemm")],
+            configs=[
+                FrequencyConfig(975, 3505),
+                FrequencyConfig(595, 810),
+            ],
+        )
+        assert len(result.records) == 2
+        assert result.device_name == "GTX Titan X"
+        assert all(r.predicted_watts == 120.0 for r in result.records)

@@ -1,0 +1,115 @@
+"""Tests for the virtualization power-attribution scenario
+(:mod:`repro.runtime.virtual`, Sec. V-B use case 2)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.hardware.specs import FrequencyConfig
+from repro.runtime.virtual import (
+    GuestPowerEstimator,
+    HypervisorPowerService,
+)
+from repro.workloads import workload_by_name
+
+
+@pytest.fixture(scope="module")
+def service(lab) -> HypervisorPowerService:
+    device = "GTX Titan X"
+    return HypervisorPowerService(lab.model(device), lab.session(device))
+
+
+class TestProvisioning:
+    def test_serialized_model_is_json_compatible(self, service):
+        blob = json.dumps(service.serialized_model())
+        assert "voltages" in blob
+
+    def test_guest_estimator_predicts_like_the_host(self, service, lab):
+        from repro.core.metrics import MetricCalculator
+
+        guest = service.provision_guest()
+        session = lab.session("GTX Titan X")
+        record = session.collect_events(workload_by_name("gemm"))
+        guest_reading = guest.observe(record)
+        host_prediction = service.model.predict_power(
+            MetricCalculator(service.spec).utilizations(record),
+            record.config,
+        )
+        assert guest_reading.power_watts == pytest.approx(host_prediction)
+
+    def test_guest_accumulates_energy_without_sensor(self, service, lab):
+        guest = service.provision_guest()
+        session = lab.session("GTX Titan X")
+        for name in ("gemm", "lbm"):
+            guest.observe(session.collect_events(workload_by_name(name)))
+        assert guest.total_energy_joules > 0
+        assert len(guest.readings) == 2
+
+
+class TestAttribution:
+    def test_rejects_empty_inputs(self, service):
+        with pytest.raises(ValidationError):
+            service.attribute({})
+        with pytest.raises(ValidationError):
+            service.attribute({"vm0": []})
+        with pytest.raises(ValidationError):
+            service.attribute({"vm0": [(workload_by_name("gemm"), 0)]})
+
+    def test_busy_guest_gets_more_energy(self, service):
+        gemm = workload_by_name("gemm")
+        usages = service.attribute(
+            {"heavy": [(gemm, 10)], "light": [(gemm, 1)]}
+        )
+        assert usages["heavy"].energy_joules > usages["light"].energy_joules
+        assert usages["heavy"].busy_seconds == pytest.approx(
+            10 * usages["light"].busy_seconds, rel=1e-6
+        )
+
+    def test_hotter_workload_costs_more_at_equal_time(self, service, lab):
+        """Two guests busy for similar time, one running the DRAM-saturated
+        kernel: the hot guest pays more — attribution is power-aware, not
+        just time-slicing."""
+        session = lab.session("GTX Titan X")
+        hot = workload_by_name("blackscholes")
+        cool = workload_by_name("gaussian")
+        usages = service.attribute({"hot": [(hot, 4)], "cool": [(cool, 4)]})
+        hot_usage, cool_usage = usages["hot"], usages["cool"]
+        # Same kernel count and similar durations on this substrate...
+        assert hot_usage.busy_seconds == pytest.approx(
+            cool_usage.busy_seconds, rel=0.2
+        )
+        # ...but the hot guest's average power is clearly higher.
+        assert (
+            hot_usage.average_power_watts
+            > 1.1 * cool_usage.average_power_watts
+        )
+
+    def test_idle_overhead_split_by_busy_share(self, service):
+        gemm = workload_by_name("gemm")
+        with_overhead = service.attribute(
+            {"a": [(gemm, 3)], "b": [(gemm, 1)]}, include_idle_overhead=True
+        )
+        without = service.attribute(
+            {"a": [(gemm, 3)], "b": [(gemm, 1)]}, include_idle_overhead=False
+        )
+        overhead_a = (
+            with_overhead["a"].energy_joules - without["a"].energy_joules
+        )
+        overhead_b = (
+            with_overhead["b"].energy_joules - without["b"].energy_joules
+        )
+        assert overhead_a == pytest.approx(3 * overhead_b, rel=1e-6)
+
+    def test_attribution_respects_configuration(self, service):
+        gemm = workload_by_name("gemm")
+        at_reference = service.attribute({"vm": [(gemm, 1)]})
+        at_low = service.attribute(
+            {"vm": [(gemm, 1)]}, config=FrequencyConfig(595, 810)
+        )
+        assert (
+            at_low["vm"].average_power_watts
+            < at_reference["vm"].average_power_watts
+        )

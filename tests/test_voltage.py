@@ -1,0 +1,142 @@
+"""Unit tests for the hidden voltage curves (:mod:`repro.hardware.voltage`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SpecError
+from repro.hardware.components import Domain
+from repro.hardware.specs import (
+    FrequencyConfig,
+    GTX_TITAN_X,
+    TESLA_K40C,
+    TITAN_XP,
+)
+from repro.hardware.voltage import (
+    VoltageCurve,
+    VoltageTable,
+    default_voltage_table,
+)
+
+
+class TestVoltageCurve:
+    def test_flat_region(self):
+        curve = VoltageCurve(flat_level=0.9, breakpoint_mhz=700, slope_per_mhz=1e-3)
+        assert curve.normalized_voltage(500) == 0.9
+        assert curve.normalized_voltage(700) == 0.9
+
+    def test_linear_region(self):
+        curve = VoltageCurve(flat_level=0.9, breakpoint_mhz=700, slope_per_mhz=1e-3)
+        assert curve.normalized_voltage(800) == pytest.approx(1.0)
+
+    def test_monotone_nondecreasing(self):
+        curve = VoltageCurve(flat_level=0.8, breakpoint_mhz=600, slope_per_mhz=5e-4)
+        values = [curve.normalized_voltage(f) for f in range(400, 1300, 50)]
+        assert values == sorted(values)
+
+    def test_rejects_negative_slope(self):
+        with pytest.raises(SpecError):
+            VoltageCurve(flat_level=0.9, breakpoint_mhz=700, slope_per_mhz=-1e-4)
+
+    def test_rejects_nonpositive_flat_level(self):
+        with pytest.raises(SpecError):
+            VoltageCurve(flat_level=0.0, breakpoint_mhz=700, slope_per_mhz=0)
+
+    def test_through_reference_anchors_at_one(self):
+        curve = VoltageCurve.through_reference(
+            flat_level=0.85, breakpoint_mhz=700, reference_mhz=975
+        )
+        assert curve.normalized_voltage(975) == pytest.approx(1.0)
+
+    def test_through_reference_in_flat_region(self):
+        # Reference below the breakpoint: whole flat region pinned at 1.
+        curve = VoltageCurve.through_reference(
+            flat_level=0.85, breakpoint_mhz=900, reference_mhz=800
+        )
+        assert curve.normalized_voltage(800) == 1.0
+        assert curve.normalized_voltage(850) == 1.0
+
+    def test_through_reference_rejects_decreasing(self):
+        with pytest.raises(SpecError):
+            VoltageCurve.through_reference(
+                flat_level=1.2, breakpoint_mhz=700, reference_mhz=975
+            )
+
+
+class TestVoltageTables:
+    def test_reference_is_unity(self, any_spec):
+        table = default_voltage_table(any_spec)
+        assert table.core_voltage(any_spec.reference) == pytest.approx(1.0)
+        assert table.memory_voltage(any_spec.reference) == pytest.approx(1.0)
+
+    def test_memory_voltage_constant_across_levels(self, any_spec):
+        # Sec. V-B: "no voltage differences were observed across the
+        # different memory frequency levels".
+        table = default_voltage_table(any_spec)
+        voltages = {
+            table.memory_voltage(
+                FrequencyConfig(any_spec.default_core_mhz, memory)
+            )
+            for memory in any_spec.memory_frequencies_mhz
+        }
+        assert len(voltages) == 1
+
+    def test_core_voltage_has_two_regions(self):
+        table = default_voltage_table(GTX_TITAN_X)
+        reference_memory = GTX_TITAN_X.default_memory_mhz
+        low = [
+            table.core_voltage(FrequencyConfig(f, reference_memory))
+            for f in (595, 633, 671)
+        ]
+        high = [
+            table.core_voltage(FrequencyConfig(f, reference_memory))
+            for f in (899, 1050, 1164)
+        ]
+        assert low[0] == pytest.approx(low[-1])  # flat region
+        assert high[0] < high[1] < high[2]  # linear region
+
+    def test_core_voltage_monotone_in_core_frequency(self, any_spec):
+        table = default_voltage_table(any_spec)
+        memory = any_spec.default_memory_mhz
+        values = [
+            table.core_voltage(FrequencyConfig(core, memory))
+            for core in sorted(any_spec.core_frequencies_mhz)
+        ]
+        assert values == sorted(values)
+
+    def test_titan_x_memory_coupling_shifts_core_voltage(self):
+        # End of Sec. V-B: "significant core voltage differences are
+        # predicted on the GTX Titan X across different memory frequencies".
+        table = default_voltage_table(GTX_TITAN_X)
+        at_default = table.core_voltage(FrequencyConfig(975, 3505))
+        at_low = table.core_voltage(FrequencyConfig(975, 810))
+        assert at_default != at_low
+
+    def test_titan_xp_has_no_memory_coupling(self):
+        table = default_voltage_table(TITAN_XP)
+        at_default = table.core_voltage(FrequencyConfig(1404, 5705))
+        at_low = table.core_voltage(FrequencyConfig(1404, 4705))
+        assert at_default == pytest.approx(at_low)
+
+    def test_voltage_by_domain_dispatch(self):
+        table = default_voltage_table(GTX_TITAN_X)
+        config = FrequencyConfig(1164, 3505)
+        assert table.voltage(Domain.CORE, config) == table.core_voltage(config)
+        assert table.voltage(Domain.MEMORY, config) == table.memory_voltage(
+            config
+        )
+
+    def test_generic_fallback_for_unknown_device(self):
+        import dataclasses
+
+        custom = dataclasses.replace(GTX_TITAN_X, name="Custom GPU")
+        table = default_voltage_table(custom)
+        assert table.core_voltage(custom.reference) == pytest.approx(1.0)
+
+    def test_fig6_magnitudes(self):
+        # Fig. 6a: the Titan X curve spans roughly [0.85, 1.15].
+        table = default_voltage_table(GTX_TITAN_X)
+        low = table.core_voltage(FrequencyConfig(595, 3505))
+        high = table.core_voltage(FrequencyConfig(1164, 3505))
+        assert 0.80 <= low <= 0.92
+        assert 1.05 <= high <= 1.25

@@ -1,0 +1,91 @@
+"""Unit tests for the voltage-curve analysis (:mod:`repro.analysis.voltage`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.voltage import (
+    VoltageCurveFit,
+    compare_curves,
+    fit_voltage_regions,
+)
+from repro.errors import ValidationError
+
+
+def synthetic_curve(flat, breakpoint, slope, frequencies):
+    return {
+        f: flat if f <= breakpoint else flat + slope * (f - breakpoint)
+        for f in frequencies
+    }
+
+
+class TestFitVoltageRegions:
+    def test_recovers_flat_then_linear(self):
+        frequencies = list(range(500, 1250, 50))
+        curve = synthetic_curve(0.85, 700, 5e-4, frequencies)
+        fit = fit_voltage_regions(curve)
+        assert fit.flat_level == pytest.approx(0.85, abs=1e-6)
+        assert fit.breakpoint_mhz == 700
+        assert fit.slope_per_mhz == pytest.approx(5e-4, rel=1e-6)
+        assert fit.rmse == pytest.approx(0.0, abs=1e-9)
+        assert fit.has_flat_region
+
+    def test_all_flat_curve(self):
+        curve = {f: 0.9 for f in range(500, 1200, 100)}
+        fit = fit_voltage_regions(curve)
+        assert fit.flat_level == pytest.approx(0.9)
+        assert fit.slope_per_mhz == 0.0
+        assert not fit.has_flat_region  # no linear region = no "two regions"
+
+    def test_fully_linear_curve(self):
+        frequencies = list(range(500, 1200, 100))
+        curve = {f: 0.5 + 5e-4 * f for f in frequencies}
+        fit = fit_voltage_regions(curve)
+        # Breakpoint collapses to the first level; the rest is linear.
+        assert fit.breakpoint_mhz == 500
+        assert fit.rmse < 1e-9
+
+    def test_noisy_curve_breakpoint_within_one_level(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        frequencies = list(range(500, 1250, 50))
+        clean = synthetic_curve(0.85, 700, 5e-4, frequencies)
+        noisy = {f: v + 0.004 * rng.standard_normal() for f, v in clean.items()}
+        fit = fit_voltage_regions(noisy)
+        assert abs(fit.breakpoint_mhz - 700) <= 50
+
+    def test_voltage_at_evaluates_fit(self):
+        fit = VoltageCurveFit(
+            breakpoint_mhz=700, flat_level=0.85, slope_per_mhz=5e-4, rmse=0.0
+        )
+        assert fit.voltage_at(600) == 0.85
+        assert fit.voltage_at(900) == pytest.approx(0.95)
+
+    def test_needs_three_levels(self):
+        with pytest.raises(ValidationError):
+            fit_voltage_regions({500: 0.9, 600: 0.95})
+
+
+class TestCompareCurves:
+    def test_identical_curves(self):
+        curve = {500: 0.9, 700: 0.95, 900: 1.0}
+        stats = compare_curves(curve, dict(curve))
+        assert stats["max_abs_error"] == 0.0
+        assert stats["rmse"] == 0.0
+
+    def test_known_offset(self):
+        a = {500: 0.9, 700: 0.95}
+        b = {500: 0.92, 700: 0.97}
+        stats = compare_curves(a, b)
+        assert stats["mean_abs_error"] == pytest.approx(0.02)
+
+    def test_only_common_frequencies_compared(self):
+        a = {500: 0.9, 700: 0.95, 900: 10.0}
+        b = {500: 0.9, 700: 0.95, 1100: -10.0}
+        stats = compare_curves(a, b)
+        assert stats["max_abs_error"] == 0.0
+
+    def test_disjoint_curves_rejected(self):
+        with pytest.raises(ValidationError):
+            compare_curves({500: 0.9}, {600: 0.9})

@@ -1,0 +1,173 @@
+"""Unit tests for the validation workloads (Table III,
+:mod:`repro.workloads`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import NOISELESS_SETTINGS
+from repro.errors import ValidationError
+from repro.hardware.components import ALL_COMPONENTS, Component
+from repro.hardware.gpu import SimulatedGPU
+from repro.hardware.specs import GTX_TITAN_X, TITAN_XP
+from repro.workloads import (
+    all_workloads,
+    kernel_from_utilizations,
+    workload_by_name,
+    workloads_of_suite,
+)
+from repro.workloads.cuda_sdk import MATRIXMUL_SIZE_PROFILES, matrixmul_cublas
+from repro.workloads.registry import (
+    APPLICATION_COUNT,
+    VALIDATION_WORKLOADS,
+    WORKLOAD_COUNT,
+)
+
+
+class TestRegistry:
+    def test_workload_count(self):
+        assert len(all_workloads()) == WORKLOAD_COUNT == 27
+
+    def test_application_count_matches_table_iii(self):
+        assert APPLICATION_COUNT == 26
+
+    def test_suite_partition(self):
+        # Table III: 10 Rodinia apps (11 kernels with K-Means twice),
+        # 2 Parboil, 11 Polybench, 3 CUDA SDK.
+        assert len(workloads_of_suite("rodinia")) == 11
+        assert len(workloads_of_suite("parboil")) == 2
+        assert len(workloads_of_suite("polybench")) == 11
+        assert len(workloads_of_suite("cuda_sdk")) == 3
+
+    def test_names_unique(self):
+        names = [k.name for k in all_workloads()]
+        assert len(set(names)) == len(names)
+        assert set(names) == set(VALIDATION_WORKLOADS)
+
+    def test_workload_by_name(self):
+        assert workload_by_name("blackscholes").suite == "cuda_sdk"
+
+    def test_workload_by_name_unknown(self):
+        with pytest.raises(ValidationError):
+            workload_by_name("doom")
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValidationError):
+            workloads_of_suite("spec2006")
+
+    def test_workloads_never_overlap_microbenchmarks(self):
+        """The bias-free validation property: no kernel of the training
+        suite shares a name with a validation workload."""
+        from repro.microbench import build_suite
+
+        training = {k.name for k in build_suite()}
+        validation = {k.name for k in all_workloads()}
+        assert not training & validation
+
+
+class TestProfileAnchors:
+    @pytest.fixture(scope="class")
+    def quiet_gpu_module(self):
+        return SimulatedGPU(GTX_TITAN_X, settings=NOISELESS_SETTINGS)
+
+    def test_blackscholes_fig2_utilizations(self, quiet_gpu_module):
+        result = quiet_gpu_module.run(workload_by_name("blackscholes"))
+        utilization = result.profile.utilizations
+        # Fig. 2A annotations: SP 0.47, INT 0.19, L2 0.25, DRAM 0.85.
+        assert utilization[Component.SP] == pytest.approx(0.47, abs=0.03)
+        assert utilization[Component.INT] == pytest.approx(0.19, abs=0.03)
+        assert utilization[Component.L2] == pytest.approx(0.25, abs=0.03)
+        assert utilization[Component.DRAM] == pytest.approx(0.85, abs=0.03)
+
+    def test_cutcp_is_shared_memory_heavy(self, quiet_gpu_module):
+        result = quiet_gpu_module.run(workload_by_name("cutcp"))
+        utilization = result.profile.utilizations
+        assert utilization[Component.SHARED] > 0.35
+        assert utilization[Component.DRAM] < 0.15
+
+    def test_syrk_double_uses_dp(self, quiet_gpu_module):
+        result = quiet_gpu_module.run(workload_by_name("syrk_double"))
+        assert result.profile.utilizations[Component.DP] > 0.4
+
+    def test_profiles_diverse(self, quiet_gpu_module):
+        """Sec. V-B: the validation set presents 'large differences in the
+        utilization levels of the different GPU components'."""
+        dram = [
+            quiet_gpu_module.run(k).profile.utilizations[Component.DRAM]
+            for k in all_workloads()
+        ]
+        assert max(dram) - min(dram) > 0.6
+
+
+class TestMatrixMulSizes:
+    def test_three_sizes(self):
+        assert set(MATRIXMUL_SIZE_PROFILES) == {64, 512, 4096}
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(KeyError):
+            matrixmul_cublas(1024, GTX_TITAN_X)
+
+    def test_utilizations_grow_with_size(self):
+        gpu = SimulatedGPU(GTX_TITAN_X, settings=NOISELESS_SETTINGS)
+        sp = [
+            gpu.run(
+                matrixmul_cublas(size, GTX_TITAN_X)
+            ).profile.utilizations[Component.SP]
+            for size in (64, 512, 4096)
+        ]
+        assert sp[0] < sp[1] < sp[2]
+
+    def test_threads_scale_with_size(self):
+        small = matrixmul_cublas(64, GTX_TITAN_X)
+        large = matrixmul_cublas(4096, GTX_TITAN_X)
+        assert large.threads > small.threads
+
+
+class TestKernelFromUtilizations:
+    def test_inversion_reproduces_profile(self):
+        targets = {
+            Component.SP: 0.55, Component.SHARED: 0.30,
+            Component.L2: 0.20, Component.DRAM: 0.40,
+        }
+        kernel = kernel_from_utilizations("probe", targets, GTX_TITAN_X)
+        gpu = SimulatedGPU(GTX_TITAN_X, settings=NOISELESS_SETTINGS)
+        achieved = gpu.run(kernel).profile.utilizations
+        for component, value in targets.items():
+            assert achieved[component] == pytest.approx(value, abs=0.03)
+
+    def test_inversion_hits_requested_duration(self):
+        kernel = kernel_from_utilizations(
+            "probe", {Component.SP: 0.5}, GTX_TITAN_X,
+            duration_seconds=1.0e-3,
+        )
+        gpu = SimulatedGPU(GTX_TITAN_X, settings=NOISELESS_SETTINGS)
+        assert gpu.run(kernel).duration_seconds == pytest.approx(
+            1.0e-3, rel=0.05
+        )
+
+    def test_saturated_profile_drops_floor(self):
+        kernel = kernel_from_utilizations(
+            "hot", {Component.SP: 0.99}, GTX_TITAN_X
+        )
+        assert kernel.min_cycles == 0.0
+
+    def test_rejects_out_of_range_utilization(self):
+        with pytest.raises(ValidationError):
+            kernel_from_utilizations("bad", {Component.SP: 1.5}, GTX_TITAN_X)
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValidationError):
+            kernel_from_utilizations(
+                "bad", {Component.SP: 0.5}, GTX_TITAN_X, duration_seconds=0.0
+            )
+
+    def test_profiles_transfer_across_devices(self):
+        """A workload built against the Titan X still runs (with shifted
+        utilizations) on the Titan Xp — as real binaries do."""
+        kernel = workload_by_name("gemm")
+        gpu = SimulatedGPU(TITAN_XP, settings=NOISELESS_SETTINGS)
+        result = gpu.run(kernel)
+        assert result.true_power_watts > 0
+        assert any(
+            result.profile.utilizations[c] > 0.05 for c in ALL_COMPONENTS
+        )
