@@ -1,0 +1,25 @@
+#!/usr/bin/env python
+"""Pipeline benchmark harness — runnable wrapper around
+:mod:`repro.benchmarking`.
+
+Times collect / estimate / validate per device (grid fast path vs the
+scalar walk) and writes ``BENCH_pipeline.json``::
+
+    python benchmarks/bench_pipeline.py             # full grid, all devices
+    python benchmarks/bench_pipeline.py --quick     # tier-2 smoke (< 60 s)
+    python benchmarks/bench_pipeline.py --device "GTX Titan X" --repeats 3
+
+Equivalent: ``python -m repro.cli bench ...``.
+"""
+
+import sys
+from pathlib import Path
+
+try:
+    from repro.benchmarking import main
+except ImportError:  # running from a source checkout without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.benchmarking import main
+
+if __name__ == "__main__":
+    sys.exit(main())

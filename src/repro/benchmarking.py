@@ -1,0 +1,254 @@
+"""End-to-end pipeline benchmark: collect -> estimate -> validate.
+
+Times the measurement campaign (`collect_training_dataset`), the model fit
+(`ModelEstimator.estimate`) and the Table-III validation sweep per device,
+for both the batched grid fast path and the legacy scalar walk, and writes
+the results to ``BENCH_pipeline.json`` so successive PRs accumulate a
+performance trajectory. ``benchmarks/bench_pipeline.py`` is a runnable
+wrapper around this module; ``python -m repro.cli bench`` reaches the same
+code.
+
+The recorded speedups are measured against two baselines:
+
+* ``speedup_vs_scalar`` — the scalar path of the *same* tree, re-timed in
+  the same run (``use_grid=False`` + ``vectorized=False``);
+* ``speedup_vs_seed`` — the pre-optimization tree, whose GTX Titan X
+  timings (~13 s collect, ~9 s estimate; see ISSUE 1) are kept as fixed
+  reference constants since that code no longer exists in the tree.
+
+Alongside the timings, every run re-checks drop-in equivalence: the scalar
+and grid campaigns must produce identical training rows, and the scalar and
+vectorized estimators must agree on every fitted voltage and on the RMSE
+history (tolerance 1e-9; observed agreement is ~1e-15).
+
+Usage::
+
+    python benchmarks/bench_pipeline.py                 # full grid, all devices
+    python benchmarks/bench_pipeline.py --quick         # tier-2 smoke (< 60 s)
+    python -m repro.cli bench --device "GTX Titan X"    # same, via the CLI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+#: GTX Titan X timings of the pre-optimization (seed) pipeline, measured
+#: before the grid fast path and the closed-form voltage step existed.
+#: Kept as constants: the seed code path is gone, but the acceptance
+#: criterion ("fast path >= 5x the seed") stays checkable.
+SEED_BASELINE_SECONDS = {"collect": 13.0, "estimate": 9.0}
+SEED_BASELINE_DEVICE = "GTX Titan X"
+
+#: Subset sizes of the --quick smoke tier.
+QUICK_KERNELS = 12
+QUICK_CONFIGS = 8
+
+
+def _quick_configs(spec) -> List:
+    """A small configuration subset that still spans the grid.
+
+    Always contains the reference configuration (the estimator requires
+    it) plus evenly-spaced core/memory levels around it.
+    """
+    configs = spec.all_configurations()
+    reference = spec.reference
+    chosen = [reference]
+    stride = max(1, len(configs) // QUICK_CONFIGS)
+    for config in configs[::stride]:
+        if config != reference and len(chosen) < QUICK_CONFIGS:
+            chosen.append(config)
+    return chosen
+
+
+def bench_device(
+    device: str, quick: bool = False, repeats: int = 1
+) -> Dict[str, object]:
+    """Benchmark one device; returns the result record."""
+    from repro.analysis.validation import validate_model
+    from repro.core.dataset import collect_training_dataset
+    from repro.core.estimation import ModelEstimator
+    from repro.driver.session import ProfilingSession
+    from repro.hardware.gpu import SimulatedGPU
+    from repro.hardware.specs import gpu_spec_by_name
+    from repro.microbench import build_suite
+    from repro.workloads import all_workloads
+
+    spec = gpu_spec_by_name(device)
+    kernels = build_suite()
+    configs = None
+    workloads = all_workloads()
+    if quick:
+        kernels = kernels[:QUICK_KERNELS]
+        configs = _quick_configs(spec)
+        workloads = workloads[:4]
+
+    def run_fast():
+        gpu = SimulatedGPU(spec)
+        session = ProfilingSession(gpu)
+        t0 = time.perf_counter()
+        dataset = collect_training_dataset(session, kernels, configs)
+        t1 = time.perf_counter()
+        model, report = ModelEstimator(dataset).estimate()
+        t2 = time.perf_counter()
+        validate_model(model, session, workloads, configs)
+        t3 = time.perf_counter()
+        return (t1 - t0, t2 - t1, t3 - t2), dataset, model, report
+
+    def run_scalar():
+        gpu = SimulatedGPU(spec)
+        session = ProfilingSession(gpu)
+        t0 = time.perf_counter()
+        dataset = collect_training_dataset(
+            session, kernels, configs, use_grid=False
+        )
+        t1 = time.perf_counter()
+        model, report = ModelEstimator(dataset, vectorized=False).estimate()
+        t2 = time.perf_counter()
+        return (t1 - t0, t2 - t1), dataset, model, report
+
+    # Best-of-N wall-clock per path (fresh device each time, so no run
+    # caches leak between repeats); the last repeat's artifacts feed the
+    # equivalence checks.
+    fast_times = []
+    for _ in range(repeats):
+        times, dataset, model, report = run_fast()
+        fast_times.append(times)
+    fast_collect, fast_estimate, fast_validate = map(min, zip(*fast_times))
+
+    scalar_times = []
+    for _ in range(repeats):
+        times, dataset_s, model_s, report_s = run_scalar()
+        scalar_times.append(times)
+    scalar_collect, scalar_estimate = map(min, zip(*scalar_times))
+
+    rows_identical = dataset.rows == dataset_s.rows
+    voltage_diff = 0.0
+    for config in model.known_configurations():
+        a = model.voltage_at(config)
+        b = model_s.voltage_at(config)
+        voltage_diff = max(
+            voltage_diff, abs(a.v_core - b.v_core), abs(a.v_mem - b.v_mem)
+        )
+    history_diff = (
+        max(
+            abs(a - b)
+            for a, b in zip(report.rmse_history, report_s.rmse_history)
+        )
+        if len(report.rmse_history) == len(report_s.rmse_history)
+        else float("inf")
+    )
+
+    fast_total = fast_collect + fast_estimate
+    scalar_total = scalar_collect + scalar_estimate
+    record: Dict[str, object] = {
+        "device": spec.name,
+        "kernels": len(kernels),
+        "configurations": len(configs) if configs else len(spec.all_configurations()),
+        "fast": {
+            "collect_seconds": round(fast_collect, 4),
+            "estimate_seconds": round(fast_estimate, 4),
+            "validate_seconds": round(fast_validate, 4),
+            "total_seconds": round(fast_total, 4),
+        },
+        "scalar": {
+            "collect_seconds": round(scalar_collect, 4),
+            "estimate_seconds": round(scalar_estimate, 4),
+            "total_seconds": round(scalar_total, 4),
+        },
+        "speedup_vs_scalar": round(scalar_total / fast_total, 2),
+        "equivalence": {
+            "rows_identical": bool(rows_identical),
+            "max_voltage_diff": float(voltage_diff),
+            "max_rmse_history_diff": float(history_diff),
+            "iterations": [report.iterations, report_s.iterations],
+        },
+    }
+    if spec.name == SEED_BASELINE_DEVICE and not quick:
+        seed_total = sum(SEED_BASELINE_SECONDS.values())
+        record["speedup_vs_seed"] = round(seed_total / fast_total, 1)
+    return record
+
+
+def run_benchmark(
+    devices: Optional[Sequence[str]] = None,
+    quick: bool = False,
+    repeats: int = 1,
+) -> Dict[str, object]:
+    """Run the harness and return the full report dict."""
+    from repro.errors import ValidationError
+    from repro.experiments.common import DEVICE_NAMES
+
+    if repeats < 1:
+        raise ValidationError("benchmark repeats must be positive")
+    names = list(devices) if devices else list(DEVICE_NAMES)
+    results = []
+    for name in names:
+        started = time.perf_counter()
+        record = bench_device(name, quick=quick, repeats=repeats)
+        elapsed = time.perf_counter() - started
+        fast = record["fast"]
+        line = (
+            f"{record['device']}: collect {fast['collect_seconds']:.2f}s + "
+            f"estimate {fast['estimate_seconds']:.2f}s + "
+            f"validate {fast['validate_seconds']:.2f}s "
+            f"(scalar path {record['scalar']['total_seconds']:.2f}s, "
+            f"{record['speedup_vs_scalar']:.1f}x; harness {elapsed:.1f}s)"
+        )
+        if "speedup_vs_seed" in record:
+            line += f" [vs seed baseline: {record['speedup_vs_seed']:.0f}x]"
+        print(line)
+        results.append(record)
+    return {
+        "benchmark": "pipeline",
+        "mode": "quick" if quick else "full",
+        "repeats": repeats,
+        "seed_baseline": {
+            "device": SEED_BASELINE_DEVICE,
+            "collect_seconds": SEED_BASELINE_SECONDS["collect"],
+            "estimate_seconds": SEED_BASELINE_SECONDS["estimate"],
+        },
+        "devices": results,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Time the collect/estimate/validate pipeline per device."
+    )
+    parser.add_argument(
+        "--device",
+        action="append",
+        help="device name (repeatable; default: all three)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"smoke tier: {QUICK_KERNELS} kernels x {QUICK_CONFIGS} configs",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=1, help="best-of-N timing repeats"
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_pipeline.json",
+        help="path of the JSON report (default: ./BENCH_pipeline.json)",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+    report = run_benchmark(
+        devices=args.device, quick=args.quick, repeats=args.repeats
+    )
+    path = Path(args.output)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"report written to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -189,6 +189,22 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Time the collect/estimate/validate pipeline (fast vs scalar path)."""
+    import json
+    from pathlib import Path
+
+    from repro.benchmarking import run_benchmark
+
+    report = run_benchmark(
+        devices=args.device, quick=args.quick, repeats=args.repeats
+    )
+    path = Path(args.output)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"report written to {path}")
+    return 0
+
+
 def cmd_sources(args: argparse.Namespace) -> int:
     """Dump the microbenchmark suite's CUDA (and PTX) sources — the
     released-artifact side of the paper (Fig. 3/4)."""
@@ -275,6 +291,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("name", choices=EXPERIMENTS)
     experiment.set_defaults(handler=cmd_experiment)
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark the collect/estimate/validate pipeline "
+        "(writes BENCH_pipeline.json)",
+    )
+    bench.add_argument(
+        "--device",
+        action="append",
+        help="device name (repeatable; default: all three)",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced suite/grid smoke tier (runs in well under a minute)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=1, help="best-of-N timing repeats"
+    )
+    bench.add_argument("--output", default="BENCH_pipeline.json")
+    bench.set_defaults(handler=cmd_bench)
 
     sources = sub.add_parser(
         "sources",

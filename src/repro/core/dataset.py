@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.metrics import MetricCalculator, UtilizationVector
 from repro.driver.session import ProfilingSession
 from repro.errors import ValidationError
+from repro.hardware.components import Component
 from repro.hardware.specs import FrequencyConfig, GPUSpec
 from repro.kernels.kernel import KernelDescriptor
 
@@ -44,22 +45,106 @@ class TrainingDataset:
             raise ValidationError("training dataset must not be empty")
 
     # ------------------------------------------------------------------
-    def configurations(self) -> List[FrequencyConfig]:
-        """Distinct configurations present, in a stable order."""
-        seen: Dict[Tuple[float, float], FrequencyConfig] = {}
+    # Struct-of-arrays view
+    # ------------------------------------------------------------------
+    def _soa(self) -> Dict[str, object]:
+        """Columnar view of the rows, built once and cached.
+
+        The dataset is frozen, so the arrays are computed on first access
+        and reused by every consumer (the estimator, the baselines, the
+        configuration-subset helpers). Callers must treat them as
+        read-only.
+        """
+        cached = self.__dict__.get("_soa_cache")
+        if cached is not None:
+            return cached
+        configs: Dict[Tuple[float, float], FrequencyConfig] = {}
         for row in self.rows:
             key = (row.config.core_mhz, row.config.memory_mhz)
-            seen.setdefault(key, row.config)
-        return [seen[key] for key in sorted(seen)]
+            configs.setdefault(key, row.config)
+        ordered_keys = sorted(configs)
+        config_list = [configs[key] for key in ordered_keys]
+        index_of_key = {key: i for i, key in enumerate(ordered_keys)}
+        config_indices = np.asarray(
+            [
+                index_of_key[(row.config.core_mhz, row.config.memory_mhz)]
+                for row in self.rows
+            ],
+            dtype=int,
+        )
+        rows_by_config: List[List[int]] = [[] for _ in config_list]
+        for position, index in enumerate(config_indices):
+            rows_by_config[index].append(position)
+        soa = {
+            "configurations": config_list,
+            "config_indices": config_indices,
+            "rows_by_config": rows_by_config,
+            "measured": np.asarray(
+                [row.measured_watts for row in self.rows], dtype=float
+            ),
+            "core_mhz": np.asarray(
+                [row.config.core_mhz for row in self.rows], dtype=float
+            ),
+            "memory_mhz": np.asarray(
+                [row.config.memory_mhz for row in self.rows], dtype=float
+            ),
+            "u_core": np.vstack(
+                [row.utilizations.core_array() for row in self.rows]
+            ),
+            "u_dram": np.asarray(
+                [row.utilizations[Component.DRAM] for row in self.rows],
+                dtype=float,
+            ),
+        }
+        object.__setattr__(self, "_soa_cache", soa)
+        return soa
+
+    def configurations(self) -> List[FrequencyConfig]:
+        """Distinct configurations present, in a stable order."""
+        return list(self._soa()["configurations"])
+
+    def config_indices(self) -> np.ndarray:
+        """Per-row index into :meth:`configurations` (read-only view)."""
+        return self._soa()["config_indices"]
+
+    def measured_vector(self) -> np.ndarray:
+        """Measured watts per row (read-only cached array)."""
+        return self._soa()["measured"]
+
+    def core_mhz_vector(self) -> np.ndarray:
+        """Per-row core frequency in MHz (read-only cached array)."""
+        return self._soa()["core_mhz"]
+
+    def memory_mhz_vector(self) -> np.ndarray:
+        """Per-row memory frequency in MHz (read-only cached array)."""
+        return self._soa()["memory_mhz"]
+
+    def core_utilization_matrix(self) -> np.ndarray:
+        """``(n_rows, len(CORE_COMPONENTS))`` utilization matrix."""
+        return self._soa()["u_core"]
+
+    def dram_utilization_vector(self) -> np.ndarray:
+        """Per-row DRAM utilization (read-only cached array)."""
+        return self._soa()["u_dram"]
 
     def rows_at(self, config: FrequencyConfig) -> List[TrainingRow]:
         """The observations taken at one configuration."""
-        return [
-            row
-            for row in self.rows
-            if abs(row.config.core_mhz - config.core_mhz) < 0.5
-            and abs(row.config.memory_mhz - config.memory_mhz) < 0.5
-        ]
+        soa = self._soa()
+        key = (config.core_mhz, config.memory_mhz)
+        ordered = {
+            (c.core_mhz, c.memory_mhz): i
+            for i, c in enumerate(soa["configurations"])
+        }
+        index = ordered.get(key)
+        if index is not None:
+            return [self.rows[i] for i in soa["rows_by_config"][index]]
+        # Tolerant fallback for queries that are near-but-not-exactly a
+        # grid level (historic behavior: +-0.5 MHz), in row order.
+        positions: List[int] = []
+        for (core, memory), i in ordered.items():
+            if abs(core - key[0]) < 0.5 and abs(memory - key[1]) < 0.5:
+                positions.extend(soa["rows_by_config"][i])
+        return [self.rows[i] for i in sorted(positions)]
 
     def subset(self, configs: Iterable[FrequencyConfig]) -> "TrainingDataset":
         """Dataset restricted to a set of configurations."""
@@ -67,9 +152,6 @@ class TrainingDataset:
         for config in configs:
             rows.extend(self.rows_at(config))
         return TrainingDataset(spec=self.spec, rows=tuple(rows))
-
-    def measured_vector(self) -> np.ndarray:
-        return np.asarray([row.measured_watts for row in self.rows], dtype=float)
 
     def kernel_names(self) -> List[str]:
         names: List[str] = []
@@ -83,6 +165,7 @@ def collect_training_dataset(
     session: ProfilingSession,
     kernels: Sequence[KernelDescriptor],
     configs: Optional[Sequence[FrequencyConfig]] = None,
+    use_grid: bool = True,
 ) -> TrainingDataset:
     """Run the full measurement campaign for a set of microbenchmarks.
 
@@ -90,6 +173,12 @@ def collect_training_dataset(
       reference configuration.
     * Power is measured (median-of-repeats) at every configuration in
       ``configs`` — default: the device's entire V-F grid.
+
+    By default the power matrix comes from the batched grid fast path
+    (:meth:`ProfilingSession.measure_grid`), which reports measurements
+    bitwise identical to stepping the clocks cell by cell;
+    ``use_grid=False`` keeps the scalar walk (the equivalence tests compare
+    the two).
 
     TDP-throttled observations are recorded at their *applied*
     configuration, mirroring what a real campaign would see on the sensor.
@@ -107,15 +196,29 @@ def collect_training_dataset(
         utilization_by_kernel[kernel.name] = calculator.utilizations(record)
 
     rows: List[TrainingRow] = []
-    for kernel in kernels:
-        for config in configs:
-            measurement = session.measure_power(kernel, config)
-            rows.append(
-                TrainingRow(
-                    kernel_name=kernel.name,
-                    config=measurement.applied_config,
-                    measured_watts=measurement.average_watts,
-                    utilizations=utilization_by_kernel[kernel.name],
+    if use_grid:
+        grid = session.measure_grid(kernels, configs)
+        for kernel, measurements in zip(kernels, grid.measurements):
+            utilizations = utilization_by_kernel[kernel.name]
+            for measurement in measurements:
+                rows.append(
+                    TrainingRow(
+                        kernel_name=kernel.name,
+                        config=measurement.applied_config,
+                        measured_watts=measurement.average_watts,
+                        utilizations=utilizations,
+                    )
                 )
-            )
+    else:
+        for kernel in kernels:
+            for config in configs:
+                measurement = session.measure_power(kernel, config)
+                rows.append(
+                    TrainingRow(
+                        kernel_name=kernel.name,
+                        config=measurement.applied_config,
+                        measured_watts=measurement.average_watts,
+                        utilizations=utilization_by_kernel[kernel.name],
+                    )
+                )
     return TrainingDataset(spec=spec, rows=tuple(rows))

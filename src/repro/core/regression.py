@@ -13,7 +13,8 @@
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+import math
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import optimize
@@ -103,6 +104,203 @@ def isotonic_regression(
     return result
 
 
+def cubic_real_roots(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray, d: np.ndarray
+) -> np.ndarray:
+    """Real roots of ``a x^3 + b x^2 + c x + d = 0``, vectorized.
+
+    Returns an ``(n, 3)`` array padded with NaN where fewer real roots
+    exist. Lanes with a vanishing leading coefficient fall back to the
+    quadratic / linear formulas, mirroring ``np.roots``'s trimming of
+    leading zeros — but without its O(n^3) companion-matrix eigensolve,
+    which dominated the estimator's profile. Closed-form (Cardano /
+    trigonometric) roots are polished with two Newton steps, leaving them
+    accurate to the last few ulps.
+    """
+    a = np.atleast_1d(np.asarray(a, dtype=float))
+    b = np.atleast_1d(np.asarray(b, dtype=float))
+    c = np.atleast_1d(np.asarray(c, dtype=float))
+    d = np.atleast_1d(np.asarray(d, dtype=float))
+    a, b, c, d = np.broadcast_arrays(a, b, c, d)
+    n = a.size
+    roots = np.full((n, 3), np.nan)
+
+    cubic = a != 0.0
+    all_cubic = bool(cubic.all())
+    quadratic = (~cubic) & (b != 0.0)
+    linear = (~cubic) & (~quadratic) & (c != 0.0)
+
+    if all_cubic or np.any(cubic):
+        # The common case (every lane a true cubic) skips the mask copies.
+        if all_cubic:
+            A, B, C, D = a, b, c, d
+        else:
+            A, B, C, D = a[cubic], b[cubic], c[cubic], d[cubic]
+        with np.errstate(all="ignore"):
+            shift = B / (3.0 * A)
+            p = (3.0 * A * C - B * B) / (3.0 * A * A)
+            q = (2.0 * B**3 - 9.0 * A * B * C + 27.0 * A * A * D) / (
+                27.0 * A**3
+            )
+            disc = (q / 2.0) ** 2 + (p / 3.0) ** 3
+            block = np.full((A.size, 3), np.nan)
+            one = disc > 0.0
+            if np.any(one):
+                sq = np.sqrt(disc[one])
+                block[one, 0] = (
+                    np.cbrt(-q[one] / 2.0 + sq) + np.cbrt(-q[one] / 2.0 - sq)
+                )
+            three = ~one
+            if np.any(three):
+                all_three = bool(three.all())
+                pp = p if all_three else p[three]
+                qq = q if all_three else q[three]
+                radius = np.sqrt(np.maximum(-pp / 3.0, 0.0))
+                # p == 0 with disc <= 0 forces q == 0: a triple root at 0.
+                safe = radius > 0.0
+                cos_arg = np.where(
+                    safe, 3.0 * qq / np.where(safe, 2.0 * pp * radius, 1.0), 0.0
+                )
+                theta = np.arccos(np.clip(cos_arg, -1.0, 1.0))
+                angles = (
+                    theta[:, None] / 3.0
+                    - (2.0 * np.pi / 3.0) * np.arange(3.0)
+                )
+                trig = 2.0 * radius[:, None] * np.cos(angles)
+                if all_three:
+                    block = trig
+                else:
+                    block[three] = trig
+            block -= shift[:, None]
+            # Newton polish against the original cubic (NaN lanes pass
+            # through untouched).
+            for _ in range(2):
+                value = ((A[:, None] * block + B[:, None]) * block
+                         + C[:, None]) * block + D[:, None]
+                slope = (3.0 * A[:, None] * block + 2.0 * B[:, None]) * block
+                slope = slope + C[:, None]
+                step = np.where(np.abs(slope) > 0.0, value / slope, 0.0)
+                block = block - step
+        if all_cubic:
+            return block
+        roots[cubic] = block
+
+    if np.any(quadratic):
+        B, C, D = b[quadratic], c[quadratic], d[quadratic]
+        with np.errstate(all="ignore"):
+            disc = C * C - 4.0 * B * D
+            ok = disc >= 0.0
+            sq = np.sqrt(np.where(ok, disc, np.nan))
+            block = np.full((B.size, 3), np.nan)
+            block[:, 0] = (-C + sq) / (2.0 * B)
+            block[:, 1] = (-C - sq) / (2.0 * B)
+        roots[quadratic] = block
+
+    if np.any(linear):
+        roots[linear, 0] = -d[linear] / c[linear]
+
+    return roots
+
+
+def minimize_voltage_1d_stats(
+    beta: float,
+    counts: np.ndarray,
+    s1: np.ndarray,
+    s2: np.ndarray,
+    sr: np.ndarray,
+    srs: np.ndarray,
+    bounds: Tuple[float, float],
+) -> np.ndarray:
+    """Vectorized core of :func:`minimize_voltage_1d`.
+
+    For each lane, minimize the quartic ``f(V) = sum_k (beta V + s_k V^2 -
+    t_k)^2`` given the sufficient statistics ``counts = n``, ``s1 = sum
+    s_k``, ``s2 = sum s_k^2``, ``sr = sum t_k``, ``srs = sum t_k s_k``.
+    The candidate set and tie-breaking replicate the scalar algorithm:
+    neutral voltage first, then the bounds, then the in-bounds stationary
+    points.
+    """
+    lo, hi = bounds
+    neutral = min(max(1.0, lo), hi)
+    # Stationary points: 2 s2 V^3 + 3 beta s1 V^2 + (n beta^2 - 2 srs) V
+    #                    - beta sr = 0
+    a = 2.0 * s2
+    b = 3.0 * beta * s1
+    c = counts * beta**2 - 2.0 * srs
+    d = -beta * sr
+    roots = cubic_real_roots(a, b, c, d)
+    # Scalar gate: when every non-constant coefficient vanishes there are
+    # no stationary points worth considering.
+    gate = (np.abs(a) > 0) | (np.abs(b) > 0) | (np.abs(c) > 0)
+    valid = np.isfinite(roots) & (roots >= lo) & (roots <= hi)
+    valid &= gate[:, None]
+    n = np.atleast_1d(a).size
+    candidates = np.empty((n, 6))
+    candidates[:, 0] = neutral
+    candidates[:, 1] = lo
+    candidates[:, 2] = hi
+    candidates[:, 3:] = np.where(valid, roots, neutral)
+    # Objective up to a V-independent constant (enough for the argmin):
+    # g(V) = s2 V^4 + 2 beta s1 V^3 + (n beta^2 - 2 srs) V^2 - 2 beta sr V
+    a4 = np.asarray(s2, dtype=float).reshape(-1, 1)
+    a3 = np.asarray(2.0 * beta * s1, dtype=float).reshape(-1, 1)
+    a2 = np.asarray(counts * beta**2 - 2.0 * srs, dtype=float).reshape(-1, 1)
+    a1 = np.asarray(-2.0 * beta * sr, dtype=float).reshape(-1, 1)
+    g = (((a4 * candidates + a3) * candidates + a2) * candidates + a1)
+    g = g * candidates
+    return candidates[np.arange(n), np.argmin(g, axis=1)]
+
+
+def _cubic_real_roots_scalar(
+    a: float, b: float, c: float, d: float
+) -> List[float]:
+    """Scalar counterpart of :func:`cubic_real_roots`, on Python floats.
+
+    The voltage coordinate descent calls this tens of thousands of times
+    per fit, so avoiding per-call numpy array construction matters.
+    """
+    if a != 0.0:
+        shift = b / (3.0 * a)
+        p = (3.0 * a * c - b * b) / (3.0 * a * a)
+        q = (2.0 * b**3 - 9.0 * a * b * c + 27.0 * a * a * d) / (27.0 * a**3)
+        disc = (q / 2.0) ** 2 + (p / 3.0) ** 3
+        if disc > 0.0:
+            sq = math.sqrt(disc)
+            roots = [math.cbrt(-q / 2.0 + sq) + math.cbrt(-q / 2.0 - sq)]
+        else:
+            radius = math.sqrt(max(-p / 3.0, 0.0))
+            if radius > 0.0:
+                cos_arg = 3.0 * q / (2.0 * p * radius)
+                theta = math.acos(max(-1.0, min(1.0, cos_arg)))
+                roots = [
+                    2.0 * radius * math.cos(theta / 3.0 - 2.0 * math.pi * k / 3.0)
+                    for k in range(3)
+                ]
+            else:
+                # p == 0 with disc <= 0 forces q == 0: a triple root at 0.
+                roots = [0.0]
+        polished = []
+        for root in roots:
+            root -= shift
+            for _ in range(2):  # Newton polish, as in the vectorized solver
+                slope = (3.0 * a * root + 2.0 * b) * root + c
+                if slope == 0.0:
+                    break
+                value = ((a * root + b) * root + c) * root + d
+                root -= value / slope
+            polished.append(root)
+        return polished
+    if b != 0.0:
+        disc = c * c - 4.0 * b * d
+        if disc < 0.0:
+            return []
+        sq = math.sqrt(disc)
+        return [(-c + sq) / (2.0 * b), (-c - sq) / (2.0 * b)]
+    if c != 0.0:
+        return [-d / c]
+    return []
+
+
 def minimize_voltage_1d(
     beta: float,
     quadratic: np.ndarray,
@@ -112,8 +310,11 @@ def minimize_voltage_1d(
     """Minimize ``sum_k (beta V + quadratic_k V^2 - target_k)^2`` over V.
 
     The objective is a quartic polynomial in V, so its stationary points are
-    the real roots of a cubic with closed-form coefficients; the minimizer is
-    the best of those roots and the bounds endpoints.
+    the real roots of a cubic solved in closed form
+    (:func:`_cubic_real_roots_scalar`); the minimizer is the best of those
+    roots and the bounds endpoints, with the neutral voltage V = 1 leading
+    the candidate list so that a degenerate objective (beta == 0 and no
+    activity) resolves to V = 1 rather than to an arbitrary bound.
     """
     quadratic = np.asarray(quadratic, dtype=float)
     target = np.asarray(target, dtype=float)
@@ -126,23 +327,24 @@ def minimize_voltage_1d(
     srs = float(np.sum(target * quadratic))
     # d/dV sum (beta V + s V^2 - r)^2 = 0  =>
     # 2 s2 V^3 + 3 beta s1 V^2 + (n beta^2 - 2 srs) V - beta sr = 0
-    coefficients = [2.0 * s2, 3.0 * beta * s1, n * beta**2 - 2.0 * srs, -beta * sr]
-    # The neutral voltage leads the candidate list so that a degenerate
-    # objective (beta == 0 and no activity) resolves to V = 1 rather than to
-    # an arbitrary bound.
+    a = 2.0 * s2
+    b = 3.0 * beta * s1
+    c = n * beta**2 - 2.0 * srs
+    d = -beta * sr
     neutral = min(max(1.0, bounds[0]), bounds[1])
     candidates = [neutral, bounds[0], bounds[1]]
-    if any(abs(c) > 0 for c in coefficients[:-1]):
-        roots = np.roots(coefficients)
-        for root in roots:
-            if abs(root.imag) < 1e-9:
-                value = float(root.real)
-                if bounds[0] <= value <= bounds[1]:
-                    candidates.append(value)
+    if abs(a) > 0 or abs(b) > 0 or abs(c) > 0:
+        for root in _cubic_real_roots_scalar(a, b, c, d):
+            if bounds[0] <= root <= bounds[1]:
+                candidates.append(root)
+
+    # Objective up to a V-independent constant (enough for the argmin):
+    # g(V) = s2 V^4 + 2 beta s1 V^3 + (n beta^2 - 2 srs) V^2 - 2 beta sr V
+    a3 = 2.0 * beta * s1
+    a1 = -2.0 * beta * sr
 
     def objective(v: float) -> float:
-        residual = beta * v + quadratic * v**2 - target
-        return float(residual @ residual)
+        return (((s2 * v + a3) * v + c) * v + a1) * v
 
     return min(candidates, key=objective)
 

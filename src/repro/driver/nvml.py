@@ -18,16 +18,16 @@ kernels are misleading.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.config import SimulationSettings
 from repro.errors import NVMLError
 from repro.hardware.gpu import KernelRunResult, SimulatedGPU
-from repro.hardware.noise import sensor_noise_matrix
+from repro.hardware.noise import sensor_noise_matrix, sensor_noise_stack
 from repro.hardware.specs import FrequencyConfig
-from repro.kernels.kernel import KernelDescriptor
+from repro.kernels.kernel import KernelDescriptor, idle_kernel
 from repro.kernels.launch import repetitions_for_min_duration
 
 
@@ -48,6 +48,38 @@ class PowerMeasurement:
         return self.requested_config != self.applied_config
 
 
+@dataclass(frozen=True)
+class PowerGrid:
+    """The full kernel x configuration power matrix of one campaign.
+
+    ``measurements[i][j]`` is the median power measurement of kernel ``i``
+    at requested configuration ``j`` — each bitwise identical to what
+    :meth:`NVMLDevice.measure_median_power` reports for the same cell.
+    """
+
+    kernel_names: Tuple[str, ...]
+    configs: Tuple[FrequencyConfig, ...]
+    measurements: Tuple[Tuple[PowerMeasurement, ...], ...]
+
+    def watts_matrix(self) -> np.ndarray:
+        """Median watts as a ``(n_kernels, n_configs)`` matrix."""
+        return np.asarray(
+            [
+                [measurement.average_watts for measurement in row]
+                for row in self.measurements
+            ],
+            dtype=float,
+        )
+
+    def row(self, kernel_name: str) -> Tuple[PowerMeasurement, ...]:
+        """All measurements of one kernel, in configuration order."""
+        try:
+            index = self.kernel_names.index(kernel_name)
+        except ValueError:
+            raise NVMLError(f"kernel {kernel_name!r} not in this grid") from None
+        return self.measurements[index]
+
+
 class NVMLDevice:
     """Handle to one simulated device, in the style of an NVML session."""
 
@@ -58,6 +90,11 @@ class NVMLDevice:
         self._settings = settings or gpu.settings
         self._clocks = gpu.spec.reference
         self._open = True
+        # Repetition counts are a function of the kernel alone (they are
+        # derived at the fastest configuration), but computing one requires
+        # a full performance-model elapsed-time solve — memoized because the
+        # measurement campaign re-asks for every kernel at every grid point.
+        self._repetitions_cache: Dict[tuple, int] = {}
 
     # ------------------------------------------------------------------
     # Device queries
@@ -160,6 +197,62 @@ class NVMLDevice:
             total_seconds=total_seconds,
         )
 
+    def measure_power_grid(
+        self,
+        kernels: Sequence[KernelDescriptor],
+        configs: Optional[Sequence[FrequencyConfig]] = None,
+        repeats: Optional[int] = None,
+    ) -> PowerGrid:
+        """Median power of every (kernel, configuration) cell, batched.
+
+        The fast path of the Sec. V-A measurement campaign: the ground-truth
+        executions run through the vectorized grid simulator, repetition
+        counts are derived once per kernel, and the repeat-median arithmetic
+        (noise application, first-sample contamination, per-repeat means)
+        is performed on stacked arrays. Every reported
+        :class:`PowerMeasurement` is bitwise identical to the scalar
+        :meth:`measure_median_power` at the same configuration — same seed
+        derivation labels, same draw shapes — the device clocks are simply
+        not stepped through the grid.
+        """
+        self._require_open()
+        if configs is None:
+            configs = self._gpu.spec.all_configurations()
+        if repeats is None:
+            repeats = self._settings.measurement_repeats
+        if repeats <= 0:
+            raise NVMLError("measurement repeats must be positive")
+        requested = tuple(
+            self._gpu.spec.validate_configuration(config) for config in configs
+        )
+        idle_cache: Dict[Tuple[float, float], float] = {}
+        rows: List[Tuple[PowerMeasurement, ...]] = []
+        for kernel in kernels:
+            runs = self._gpu.run_grid(kernel, requested)
+            repetitions = self._default_repetitions(kernel)
+            totals = [run.duration_seconds * repetitions for run in runs]
+            counts = [self._sample_count(total) for total in totals]
+            medians = self._grid_medians(kernel, runs, totals, counts, repeats, idle_cache)
+            rows.append(
+                tuple(
+                    PowerMeasurement(
+                        kernel_name=kernel.name,
+                        requested_config=run.requested_config,
+                        applied_config=run.applied_config,
+                        average_watts=medians[i],
+                        sample_count=counts[i],
+                        repetitions=repetitions,
+                        total_seconds=totals[i],
+                    )
+                    for i, run in enumerate(runs)
+                )
+            )
+        return PowerGrid(
+            kernel_names=tuple(kernel.name for kernel in kernels),
+            configs=requested,
+            measurements=tuple(rows),
+        )
+
     def close(self) -> None:
         self._open = False
 
@@ -171,11 +264,16 @@ class NVMLDevice:
             raise NVMLError("device handle has been closed")
 
     def _default_repetitions(self, kernel: KernelDescriptor) -> int:
+        cached = self._repetitions_cache.get(kernel.cache_key)
+        if cached is not None:
+            return cached
         fastest = self._gpu.spec.max_configuration
         single = self._gpu.performance_model.elapsed_seconds(kernel, fastest)
-        return repetitions_for_min_duration(
+        repetitions = repetitions_for_min_duration(
             single, self._settings.min_run_seconds
         )
+        self._repetitions_cache[kernel.cache_key] = repetitions
+        return repetitions
 
     def _sample_count(self, total_seconds: float) -> int:
         return max(1, int(total_seconds / self.refresh_seconds))
@@ -223,6 +321,85 @@ class NVMLDevice:
         for row in samples:
             self._contaminate_first_sample(run, total_seconds, row)
         return samples.mean(axis=1)
+
+    def _grid_medians(
+        self,
+        kernel: KernelDescriptor,
+        runs: Sequence[KernelRunResult],
+        totals: Sequence[float],
+        counts: Sequence[int],
+        repeats: int,
+        idle_cache: Dict[Tuple[float, float], float],
+    ) -> List[float]:
+        """Median measured watts per grid cell, batched by sample count.
+
+        Cells sharing a sample count stack into one ``(cells, repeats,
+        samples)`` noise tensor; the contamination and per-repeat means then
+        run as array ops. Expression order matches the scalar helpers
+        (``_repeat_averages`` / ``_contaminate_first_sample``) exactly.
+        """
+        contaminate = not kernel.is_idle
+        if contaminate:
+            pending: Dict[Tuple[float, float], FrequencyConfig] = {}
+            for run in runs:
+                key = (run.applied_config.core_mhz, run.applied_config.memory_mhz)
+                if key not in idle_cache and key not in pending:
+                    pending[key] = run.applied_config
+            if pending:
+                idle_runs = self._gpu.run_grid(idle_kernel(), list(pending.values()))
+                for key, idle_run in zip(pending, idle_runs):
+                    idle_cache[key] = idle_run.true_power_watts
+        by_count: Dict[int, List[int]] = {}
+        for i, count in enumerate(counts):
+            by_count.setdefault(count, []).append(i)
+        medians = [0.0] * len(runs)
+        for count, indices in by_count.items():
+            labels = [
+                f"{runs[i].applied_config.core_mhz:.0f}-"
+                f"{runs[i].applied_config.memory_mhz:.0f}-median"
+                for i in indices
+            ]
+            noise = sensor_noise_stack(
+                self._gpu.spec.architecture,
+                kernel.name,
+                labels,
+                repeats,
+                count,
+                self._settings,
+                profile=self._gpu.noise_profile,
+            )
+            power = np.asarray(
+                [runs[i].true_power_watts for i in indices], dtype=float
+            )
+            samples = power[:, None, None] * np.asarray(noise, dtype=float)
+            if contaminate and count >= 1:
+                # Per-cell stale fractions and idle offsets are computed with
+                # the same Python-float arithmetic as the scalar helper.
+                stale = [
+                    min(0.5, self.refresh_seconds / max(totals[i], 1e-9))
+                    for i in indices
+                ]
+                offsets = np.asarray(
+                    [
+                        fraction
+                        * idle_cache[
+                            (
+                                runs[i].applied_config.core_mhz,
+                                runs[i].applied_config.memory_mhz,
+                            )
+                        ]
+                        for fraction, i in zip(stale, indices)
+                    ]
+                )
+                keep = np.asarray([1.0 - fraction for fraction in stale])
+                samples[:, :, 0] = (
+                    offsets[:, None] + keep[:, None] * samples[:, :, 0]
+                )
+            averages = samples.mean(axis=2)
+            cell_medians = np.median(averages, axis=1)
+            for j, i in enumerate(indices):
+                medians[i] = float(cell_medians[j])
+        return medians
 
     def _contaminate_first_sample(
         self, run: KernelRunResult, total_seconds: float, samples: np.ndarray

@@ -15,11 +15,11 @@ one device and exposes the two operations the modeling pipeline needs:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.config import SimulationSettings
 from repro.driver.cupti import CuptiContext, EventRecord
-from repro.driver.nvml import NVMLDevice, PowerMeasurement
+from repro.driver.nvml import NVMLDevice, PowerGrid, PowerMeasurement
 from repro.hardware.gpu import SimulatedGPU
 from repro.hardware.specs import FrequencyConfig
 from repro.kernels.kernel import KernelDescriptor
@@ -72,6 +72,19 @@ class ProfilingSession:
         if median:
             return self.nvml.measure_median_power(kernel)
         return self.nvml.measure_power(kernel)
+
+    def measure_grid(
+        self,
+        kernels: Sequence[KernelDescriptor],
+        configs: Optional[Sequence[FrequencyConfig]] = None,
+    ) -> PowerGrid:
+        """The whole kernel x configuration power matrix, batched.
+
+        Delegates to :meth:`NVMLDevice.measure_power_grid`; every cell is
+        bitwise identical to a scalar :meth:`measure_power` call at the same
+        (kernel, configuration). The application clocks are left untouched.
+        """
+        return self.nvml.measure_power_grid(kernels, configs)
 
     def collect_events(
         self, kernel: KernelDescriptor, config: Optional[FrequencyConfig] = None

@@ -9,6 +9,7 @@ compose cheaply); construct a private ``Lab`` for isolation.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.analysis.validation import ValidationResult, validate_model
@@ -28,10 +29,20 @@ DEVICE_NAMES = ("Titan Xp", "GTX Titan X", "Tesla K40c")
 
 
 class Lab:
-    """Lazily-built, cached simulation context for the experiments."""
+    """Lazily-built, cached simulation context for the experiments.
+
+    All lazily-built caches are guarded by one reentrant lock, so a
+    ``Lab`` may be shared by concurrent threads (e.g. experiments driven
+    from a thread pool, or pytest-xdist-style in-process parallelism):
+    each artifact is built exactly once and every caller sees the same
+    instance. The lock is held across builds, so two threads asking for
+    the same device's model serialize rather than fitting it twice.
+    """
 
     def __init__(self, settings: SimulationSettings = DEFAULT_SETTINGS) -> None:
         self.settings = settings
+        # Reentrant: model() -> dataset() -> session() -> gpu() nest.
+        self._lock = threading.RLock()
         self._gpus: Dict[str, SimulatedGPU] = {}
         self._sessions: Dict[str, ProfilingSession] = {}
         self._datasets: Dict[str, TrainingDataset] = {}
@@ -45,34 +56,38 @@ class Lab:
 
     def gpu(self, device: str) -> SimulatedGPU:
         name = self.spec(device).name
-        if name not in self._gpus:
-            self._gpus[name] = SimulatedGPU(
-                self.spec(name), settings=self.settings
-            )
-        return self._gpus[name]
+        with self._lock:
+            if name not in self._gpus:
+                self._gpus[name] = SimulatedGPU(
+                    self.spec(name), settings=self.settings
+                )
+            return self._gpus[name]
 
     def session(self, device: str) -> ProfilingSession:
         name = self.spec(device).name
-        if name not in self._sessions:
-            self._sessions[name] = ProfilingSession(self.gpu(name))
-        return self._sessions[name]
+        with self._lock:
+            if name not in self._sessions:
+                self._sessions[name] = ProfilingSession(self.gpu(name))
+            return self._sessions[name]
 
     # ------------------------------------------------------------------
     @property
     def suite(self) -> Tuple[KernelDescriptor, ...]:
         """The 83-microbenchmark suite (shared across devices)."""
-        if self._suite is None:
-            self._suite = build_suite()
-        return self._suite
+        with self._lock:
+            if self._suite is None:
+                self._suite = build_suite()
+            return self._suite
 
     def dataset(self, device: str) -> TrainingDataset:
         """Training dataset: full suite x full V-F grid of the device."""
         name = self.spec(device).name
-        if name not in self._datasets:
-            self._datasets[name] = collect_training_dataset(
-                self.session(name), self.suite
-            )
-        return self._datasets[name]
+        with self._lock:
+            if name not in self._datasets:
+                self._datasets[name] = collect_training_dataset(
+                    self.session(name), self.suite
+                )
+            return self._datasets[name]
 
     def model(self, device: str) -> DVFSPowerModel:
         return self._fitted(device)[0]
@@ -82,10 +97,11 @@ class Lab:
 
     def _fitted(self, device: str) -> Tuple[DVFSPowerModel, EstimatorReport]:
         name = self.spec(device).name
-        if name not in self._models:
-            estimator = ModelEstimator(self.dataset(name))
-            self._models[name] = estimator.estimate()
-        return self._models[name]
+        with self._lock:
+            if name not in self._models:
+                estimator = ModelEstimator(self.dataset(name))
+                self._models[name] = estimator.estimate()
+            return self._models[name]
 
     # ------------------------------------------------------------------
     def workloads(self, device: str) -> Sequence[KernelDescriptor]:
@@ -97,21 +113,29 @@ class Lab:
     def validation(self, device: str) -> ValidationResult:
         """Proposed-model validation sweep over the full grid (Fig. 7)."""
         name = self.spec(device).name
-        if name not in self._validations:
-            self._validations[name] = validate_model(
-                self.model(name),
-                self.session(name),
-                self.workloads(name),
-            )
-        return self._validations[name]
+        with self._lock:
+            if name not in self._validations:
+                self._validations[name] = validate_model(
+                    self.model(name),
+                    self.session(name),
+                    self.workloads(name),
+                )
+            return self._validations[name]
 
 
 _LAB: Optional[Lab] = None
+_LAB_LOCK = threading.Lock()
 
 
 def get_lab() -> Lab:
-    """The process-wide shared :class:`Lab`."""
+    """The process-wide shared :class:`Lab`.
+
+    There is exactly one instance per process; every experiment, benchmark
+    and test that calls this shares its caches (and its lock). Creation is
+    itself thread-safe.
+    """
     global _LAB
-    if _LAB is None:
-        _LAB = Lab()
-    return _LAB
+    with _LAB_LOCK:
+        if _LAB is None:
+            _LAB = Lab()
+        return _LAB

@@ -15,12 +15,15 @@ them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
+
+import numpy as np
 
 from repro.config import DEFAULT_SETTINGS, SimulationSettings
-from repro.hardware.components import Domain
+from repro.hardware.components import ALL_COMPONENTS, Domain
 from repro.hardware.noise import NoiseProfile, noise_profile_for  # noqa: F401
 from repro.hardware.performance import ExecutionProfile, PerformanceModel
+from repro.units import closest_lower_level
 from repro.hardware.power import (
     GroundTruthParameters,
     GroundTruthPowerModel,
@@ -87,6 +90,13 @@ class SimulatedGPU:
         # so results are memoized — the measurement layer re-runs the same
         # kernel many times (median-of-10, sensor sampling, TDP probing).
         self._run_cache: dict = {}
+        # Voltage arrays over a (core, memory) pair list are kernel
+        # independent; the grid path reuses them across the whole campaign.
+        self._voltage_grid_cache: dict = {}
+        # Spec validation snaps frequencies to grid levels by scanning the
+        # level lists; campaigns validate the same few dozen configurations
+        # thousands of times, so the canonical results are memoized.
+        self._validated_configs: dict = {}
 
     # ------------------------------------------------------------------
     # Execution
@@ -100,7 +110,7 @@ class SimulatedGPU:
         frequency than requested (Fig. 9 footnote). The returned result
         reports both the requested and the applied configuration.
         """
-        requested = self.spec.validate_configuration(config or self.spec.reference)
+        requested = self._validated(config or self.spec.reference)
         cache_key = (
             kernel.cache_key, requested.core_mhz, requested.memory_mhz
         )
@@ -120,6 +130,129 @@ class SimulatedGPU:
         )
         self._run_cache[cache_key] = result
         return result
+
+    def run_grid(
+        self,
+        kernel: KernelDescriptor,
+        configs: Optional[Sequence[FrequencyConfig]] = None,
+    ) -> List[KernelRunResult]:
+        """Execute one kernel at many configurations in batched numpy.
+
+        Produces :class:`KernelRunResult` objects bitwise identical to
+        per-configuration :meth:`run` calls — including TDP throttle
+        decisions — and populates the same run cache, so the scalar and
+        grid paths are interchangeable mid-campaign. This is the hardware
+        half of the measurement-campaign fast path: the elapsed-time,
+        utilization and power arithmetic runs once over (n_configs,)
+        arrays instead of once per configuration.
+        """
+        if configs is None:
+            configs = self.spec.all_configurations()
+        requested = [self._validated(c) for c in configs]
+        missing = {}
+        for config in requested:
+            key = (kernel.cache_key, config.core_mhz, config.memory_mhz)
+            if key not in self._run_cache and key not in missing:
+                missing[key] = config
+        if missing:
+            self._compute_grid(kernel, list(missing.values()))
+        return [
+            self._run_cache[(kernel.cache_key, c.core_mhz, c.memory_mhz)]
+            for c in requested
+        ]
+
+    def _compute_grid(
+        self, kernel: KernelDescriptor, requested: List[FrequencyConfig]
+    ) -> None:
+        """Vectorized execution of the uncached (kernel, config) cells.
+
+        The candidate set is the cross product of *all* core levels with the
+        requested memory levels: TDP throttling only ever walks the core
+        frequency downward (Fig. 9 footnote), so every probe the scalar
+        policy would make is already in the batch.
+        """
+        memories = list(dict.fromkeys(c.memory_mhz for c in requested))
+        cores = list(self.spec.core_frequencies_mhz)
+        pairs = [(fc, fm) for fm in memories for fc in cores]
+        index = {pair: i for i, pair in enumerate(pairs)}
+        core_arr = np.asarray([fc for fc, _ in pairs], dtype=float)
+        mem_arr = np.asarray([fm for _, fm in pairs], dtype=float)
+
+        profiles = self.performance_model.profile_grid(kernel, core_arr, mem_arr)
+        voltage_key = tuple(pairs)
+        cached_voltages = self._voltage_grid_cache.get(voltage_key)
+        if cached_voltages is None:
+            v_core = np.asarray(
+                [
+                    self.voltage_table.voltage(Domain.CORE, FrequencyConfig(fc, fm))
+                    for fc, fm in pairs
+                ]
+            )
+            v_mem = np.asarray(
+                [
+                    self.voltage_table.voltage(Domain.MEMORY, FrequencyConfig(fc, fm))
+                    for fc, fm in pairs
+                ]
+            )
+            cached_voltages = (v_core, v_mem)
+            self._voltage_grid_cache[voltage_key] = cached_voltages
+        v_core, v_mem = cached_voltages
+        grid = self.power_model.breakdown_grid(
+            profiles, core_arr, mem_arr, v_core, v_mem
+        )
+        totals = grid.total_watts
+        utilization_columns = [
+            (component, profiles.utilizations[component])
+            for component in ALL_COMPONENTS
+        ]
+
+        for config in requested:
+            applied = config
+            if self.tdp_policy.enabled:
+                core = config.core_mhz
+                # Same walk as TDPPolicy.apply, against the batched powers.
+                while totals[index[(core, config.memory_mhz)]] > self.spec.tdp_watts:
+                    lower = closest_lower_level(
+                        core, self.spec.core_frequencies_mhz
+                    )
+                    if lower is None:
+                        break
+                    core = lower
+                if core != config.core_mhz:
+                    applied = self._validated(
+                        FrequencyConfig(core, config.memory_mhz)
+                    )
+            i = index[(applied.core_mhz, applied.memory_mhz)]
+            profile = ExecutionProfile(
+                kernel=kernel,
+                config=applied,
+                duration_seconds=float(profiles.duration_seconds[i]),
+                utilizations={
+                    component: float(column[i])
+                    for component, column in utilization_columns
+                },
+                issue_activity=float(profiles.issue_activity[i]),
+            )
+            breakdown = grid.breakdown_at(i)
+            result = KernelRunResult(
+                kernel=kernel,
+                requested_config=config,
+                applied_config=applied,
+                profile=profile,
+                true_power_watts=breakdown.total_watts,
+                breakdown=breakdown,
+            )
+            cache_key = (kernel.cache_key, config.core_mhz, config.memory_mhz)
+            self._run_cache[cache_key] = result
+
+    def _validated(self, config: FrequencyConfig) -> FrequencyConfig:
+        """Memoized :meth:`GPUSpec.validate_configuration`."""
+        key = (config.core_mhz, config.memory_mhz)
+        cached = self._validated_configs.get(key)
+        if cached is None:
+            cached = self.spec.validate_configuration(config)
+            self._validated_configs[key] = cached
+        return cached
 
     def idle_power_watts(self, config: Optional[FrequencyConfig] = None) -> float:
         """True power of the awake-but-idle device at a configuration."""

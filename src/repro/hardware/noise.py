@@ -20,6 +20,9 @@ seeded deterministically (see :mod:`repro.config`):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
 
 from repro.config import SimulationSettings, rng_for
 
@@ -134,8 +137,6 @@ def sensor_noise_matrix(
 ):
     """Noise factors for ``repeats`` independent measurements of the same
     kernel/configuration (one row per repeated measurement)."""
-    import numpy as np
-
     repeats = max(repeats, 0)
     sample_count = max(sample_count, 0)
     if not settings.noise_enabled or sample_count == 0 or repeats == 0:
@@ -148,3 +149,32 @@ def sensor_noise_matrix(
     return 1.0 + profile.sensor_sigma * rng.standard_normal(
         (repeats, sample_count)
     )
+
+
+def sensor_noise_stack(
+    architecture: str,
+    kernel_name: str,
+    config_labels: Sequence[str],
+    repeats: int,
+    sample_count: int,
+    settings: SimulationSettings,
+    profile: NoiseProfile | None = None,
+) -> np.ndarray:
+    """Stacked sensor-noise matrices for many configurations of one kernel.
+
+    Returns a ``(len(config_labels), repeats, sample_count)`` array whose
+    slice ``[i]`` is exactly :func:`sensor_noise_matrix` for
+    ``config_labels[i]`` — one independent seed derivation per label, the
+    same labels and draw shapes the scalar measurement path uses, so the
+    grid fast path observes bit-identical noise.
+    """
+    matrices: List[np.ndarray] = [
+        sensor_noise_matrix(
+            architecture, kernel_name, label, repeats, sample_count,
+            settings, profile=profile,
+        )
+        for label in config_labels
+    ]
+    if not matrices:
+        return np.ones((0, max(repeats, 0), max(sample_count, 0)))
+    return np.stack(matrices, axis=0)

@@ -27,6 +27,24 @@ from repro.hardware.specs import FrequencyConfig, GPUSpec
 from repro.kernels.kernel import KernelDescriptor
 from repro.units import mhz_to_hz
 
+
+@dataclass(frozen=True)
+class GridProfiles:
+    """Vectorized execution profiles of one kernel over many configurations.
+
+    Every array has one entry per configuration, in the order the
+    configurations were supplied. The values are bitwise identical to what
+    :meth:`PerformanceModel.profile` computes one configuration at a time —
+    the arrays exist so the measurement-campaign fast path can batch the
+    arithmetic without changing a single observable bit.
+    """
+
+    kernel: KernelDescriptor
+    duration_seconds: np.ndarray
+    #: ``utilizations[component]`` is an array over configurations.
+    utilizations: Dict[Component, np.ndarray]
+    issue_activity: np.ndarray
+
 #: Exponent of the p-norm smooth maximum. Larger values approach a hard max;
 #: 6 leaves the bottleneck utilization of a fully saturating kernel at ~0.97.
 OVERLAP_EXPONENT = 6.0
@@ -135,13 +153,93 @@ class PerformanceModel:
             issue_activity=issue,
         )
 
+    def profile_grid(
+        self, kernel: KernelDescriptor, core_mhz: np.ndarray, memory_mhz: np.ndarray
+    ) -> GridProfiles:
+        """Vectorized :meth:`profile` over arrays of (core, memory) MHz pairs.
+
+        The per-element arithmetic replicates the scalar code operation by
+        operation (same expression shapes, reductions over the contiguous
+        trailing axis), so every produced value is bitwise identical to the
+        scalar path — the contract the grid measurement fast path relies on.
+        """
+        core_mhz = np.ascontiguousarray(core_mhz, dtype=float)
+        memory_mhz = np.ascontiguousarray(memory_mhz, dtype=float)
+        hz_core = core_mhz * 1.0e6
+        hz_memory = memory_mhz * 1.0e6
+        n = core_mhz.size
+
+        service: Dict[Component, np.ndarray] = {}
+        for component in ALL_COMPONENTS:
+            if component.is_compute_unit:
+                work = kernel.total_ops(component)
+                # peak_warp_rate is warps/s; scalar ops/s is warp rate * width.
+                rate = (
+                    self.spec.units_per_sm(component) / self.spec.warp_size
+                    * self.spec.sm_count * hz_core
+                ) * self.spec.warp_size
+            elif component is Component.DRAM:
+                work = kernel.total_bytes(component)
+                rate = (
+                    hz_memory
+                    * self.spec.memory_bus_width_bytes
+                    * self.spec.memory_data_rate
+                )
+            elif component is Component.SHARED:
+                work = kernel.total_bytes(component)
+                per_sm = self.spec.shared_memory_banks * self.spec.shared_bank_bytes
+                rate = hz_core * per_sm * self.spec.sm_count
+            else:  # L2
+                work = kernel.total_bytes(component)
+                rate = hz_core * self.spec.l2_bytes_per_cycle
+            service[component] = work / rate if work > 0 else np.zeros(n)
+
+        # Which terms are positive is configuration-independent (rates are
+        # always positive and finite), so the scalar path's per-config filter
+        # reduces to a fixed column selection in the same component order.
+        columns = [
+            service[c] for c in ALL_COMPONENTS
+            if (kernel.total_ops(c) if c.is_compute_unit else kernel.total_bytes(c)) > 0
+        ]
+        if kernel.min_cycles > 0:
+            columns.append(kernel.min_cycles / hz_core)
+        if not columns:
+            raise ValueError(
+                f"kernel {kernel.name!r} has no work and no latency floor"
+            )
+        positive = np.ascontiguousarray(np.stack(columns, axis=1))
+        p = self.overlap_exponent
+        peak = positive.max(axis=1)
+        sums = np.sum((positive / peak[:, None]) ** p, axis=1)
+        # The outer ``x ** (1/p)`` must run through the Python float pow the
+        # scalar path uses: numpy's pow differs from libm by one ulp on some
+        # inputs, which would break the bitwise-equality contract. One pow
+        # per configuration keeps this loop negligible.
+        exponent = 1.0 / p
+        roots = np.asarray([value**exponent for value in sums.tolist()])
+        smooth = peak * roots
+        elapsed = smooth * (1.0 + self.dispatch_overhead)
+
+        utilizations = {
+            component: np.minimum(service[component] / elapsed, 1.0)
+            for component in ALL_COMPONENTS
+        }
+        warp_instructions = self._warp_instructions(kernel)
+        slots = elapsed * hz_core * self.spec.sm_count * 2.0
+        issue = np.where(
+            slots > 0, np.minimum(warp_instructions / slots, 1.0), 0.0
+        )
+        return GridProfiles(
+            kernel=kernel,
+            duration_seconds=elapsed,
+            utilizations=utilizations,
+            issue_activity=issue,
+        )
+
     # ------------------------------------------------------------------
-    def _issue_activity(
-        self, kernel: KernelDescriptor, elapsed: float, config: FrequencyConfig
-    ) -> float:
-        """Fraction of issue slots busy — feeds the *non-modeled* fetch/decode
-        power of the hidden ground truth (the paper's "other non-modelled GPU
-        components", Sec. V-B)."""
+    def _warp_instructions(self, kernel: KernelDescriptor) -> float:
+        """Warp-level instruction count of one kernel run (Eq. 8 numerator
+        plus one warp instruction per 128-byte memory transaction)."""
         warp_instructions = (
             kernel.total_ops(Component.INT)
             + kernel.total_ops(Component.SP)
@@ -153,6 +251,15 @@ class PerformanceModel:
         warp_instructions += kernel.threads * (
             kernel.shared_bytes + kernel.l2_bytes + kernel.dram_bytes
         ) / (128.0 * self.spec.warp_size) * self.spec.warp_size
+        return warp_instructions
+
+    def _issue_activity(
+        self, kernel: KernelDescriptor, elapsed: float, config: FrequencyConfig
+    ) -> float:
+        """Fraction of issue slots busy — feeds the *non-modeled* fetch/decode
+        power of the hidden ground truth (the paper's "other non-modelled GPU
+        components", Sec. V-B)."""
+        warp_instructions = self._warp_instructions(kernel)
         # Dual-issue schedulers: 2 instructions per SM per cycle.
         slots = elapsed * mhz_to_hz(config.core_mhz) * self.spec.sm_count * 2.0
         if slots <= 0:

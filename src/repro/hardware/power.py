@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Mapping
 
+import numpy as np
+
 from repro.config import SimulationSettings, DEFAULT_SETTINGS
 from repro.hardware.components import (
     CORE_COMPONENTS,
@@ -31,7 +33,7 @@ from repro.hardware.components import (
     Domain,
 )
 from repro.hardware.noise import NoiseProfile, kernel_residual_factor
-from repro.hardware.performance import ExecutionProfile
+from repro.hardware.performance import ExecutionProfile, GridProfiles
 from repro.hardware.specs import GPUSpec
 from repro.hardware.voltage import VoltageTable, default_voltage_table
 
@@ -126,6 +128,37 @@ def ground_truth_parameters_for(spec: GPUSpec) -> GroundTruthParameters:
 
 
 @dataclass(frozen=True)
+class GridBreakdown:
+    """Vectorized ground-truth power terms over many configurations.
+
+    Arrays are indexed by configuration, in supply order; the scalar terms
+    reassemble into exactly the :class:`PowerBreakdown` the scalar path
+    would produce (same operation order, hence the same bits)."""
+
+    static_watts: np.ndarray
+    idle_core_watts: np.ndarray
+    idle_mem_watts: np.ndarray
+    component_watts: Mapping[Component, np.ndarray]
+    issue_watts: np.ndarray
+    residual_factor: float
+    total_watts: np.ndarray
+
+    def breakdown_at(self, index: int) -> "PowerBreakdown":
+        """Materialize the scalar :class:`PowerBreakdown` of one entry."""
+        return PowerBreakdown(
+            static_watts=float(self.static_watts[index]),
+            idle_core_watts=float(self.idle_core_watts[index]),
+            idle_mem_watts=float(self.idle_mem_watts[index]),
+            component_watts={
+                component: float(watts[index])
+                for component, watts in self.component_watts.items()
+            },
+            issue_watts=float(self.issue_watts[index]),
+            residual_factor=self.residual_factor,
+        )
+
+
+@dataclass(frozen=True)
 class PowerBreakdown:
     """Ground-truth decomposition of one execution's average power."""
 
@@ -168,6 +201,11 @@ class GroundTruthPowerModel:
         self.voltage_table = voltage_table or default_voltage_table(spec)
         self.settings = settings
         self.noise_profile = noise_profile
+        # The residual is deterministic in (settings, architecture, kernel
+        # name) but costs a seed derivation + RNG construction per call —
+        # memoized because the measurement campaign evaluates every kernel
+        # at dozens of configurations.
+        self._residual_cache: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     def breakdown(self, profile: ExecutionProfile) -> PowerBreakdown:
@@ -196,12 +234,7 @@ class GroundTruthPowerModel:
         )
         issue = params.issue_full_watts * profile.issue_activity * core_scale
 
-        residual = kernel_residual_factor(
-            spec.architecture,
-            profile.kernel.name,
-            self.settings,
-            profile=self.noise_profile,
-        )
+        residual = self.residual_factor(profile.kernel.name)
         return PowerBreakdown(
             static_watts=static,
             idle_core_watts=idle_core,
@@ -214,3 +247,67 @@ class GroundTruthPowerModel:
     def average_power_watts(self, profile: ExecutionProfile) -> float:
         """True average power (W) of one execution, before sensor effects."""
         return self.breakdown(profile).total_watts
+
+    def residual_factor(self, kernel_name: str) -> float:
+        """Memoized fixed per-kernel dynamic-power residual."""
+        factor = self._residual_cache.get(kernel_name)
+        if factor is None:
+            factor = kernel_residual_factor(
+                self.spec.architecture,
+                kernel_name,
+                self.settings,
+                profile=self.noise_profile,
+            )
+            self._residual_cache[kernel_name] = factor
+        return factor
+
+    # ------------------------------------------------------------------
+    def breakdown_grid(
+        self,
+        profiles: GridProfiles,
+        core_mhz: np.ndarray,
+        memory_mhz: np.ndarray,
+        v_core: np.ndarray,
+        v_mem: np.ndarray,
+    ) -> GridBreakdown:
+        """Vectorized :meth:`breakdown` over configuration arrays.
+
+        Term-by-term the arithmetic mirrors the scalar path (including the
+        sequential component summation of ``PowerBreakdown.dynamic_watts``),
+        so each array entry is bitwise identical to the scalar result."""
+        params = self.parameters
+        core_scale = v_core**2 * (core_mhz / self.spec.default_core_mhz)
+        mem_scale = v_mem**2 * (memory_mhz / self.spec.default_memory_mhz)
+
+        static = params.static_core_watts * v_core + params.static_mem_watts * v_mem
+        idle_core = params.idle_core_watts * core_scale
+        idle_mem = params.idle_mem_watts * mem_scale
+
+        component_watts: Dict[Component, np.ndarray] = {}
+        for component in CORE_COMPONENTS:
+            full = params.dynamic_full_watts.get(component, 0.0)
+            component_watts[component] = (
+                full * profiles.utilizations[component] * core_scale
+            )
+        dram_full = params.dynamic_full_watts.get(Component.DRAM, 0.0)
+        component_watts[Component.DRAM] = (
+            dram_full * profiles.utilizations[Component.DRAM] * mem_scale
+        )
+        issue = params.issue_full_watts * profiles.issue_activity * core_scale
+        residual = self.residual_factor(profiles.kernel.name)
+
+        # Replicate ``sum(component_watts.values()) + issue`` left to right.
+        raw = np.zeros_like(static)
+        for watts in component_watts.values():
+            raw = raw + watts
+        dynamic = (raw + issue) * residual
+        constant = static + idle_core + idle_mem
+        return GridBreakdown(
+            static_watts=static,
+            idle_core_watts=idle_core,
+            idle_mem_watts=idle_mem,
+            component_watts=component_watts,
+            issue_watts=issue,
+            residual_factor=residual,
+            total_watts=constant + dynamic,
+        )
