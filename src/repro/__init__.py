@@ -31,7 +31,19 @@ from repro.config import (
     NOISELESS_SETTINGS,
     SimulationSettings,
 )
-from repro.errors import ReproError
+from repro.errors import (
+    DriverError,
+    PersistentDriverError,
+    ReproError,
+    TransientDriverError,
+)
+from repro.driver.faults import (
+    BackoffClock,
+    FaultPlan,
+    FaultStats,
+    RetryPolicy,
+    robust_median,
+)
 from repro.hardware.components import Component, Domain
 from repro.hardware.specs import (
     ALL_GPUS,
@@ -55,7 +67,12 @@ from repro.workloads import (
 )
 from repro.core.metrics import MetricCalculator, UtilizationVector
 from repro.core.model import DVFSPowerModel, ModelParameters
-from repro.core.dataset import TrainingDataset, collect_training_dataset
+from repro.core.dataset import (
+    CampaignReport,
+    TrainingDataset,
+    collect_campaign,
+    collect_training_dataset,
+)
 from repro.core.estimation import (
     EstimatorReport,
     ModelEstimator,
@@ -79,7 +96,11 @@ __all__ = [
     # configuration
     "SimulationSettings", "DEFAULT_SETTINGS", "NOISELESS_SETTINGS",
     # errors
-    "ReproError",
+    "ReproError", "DriverError", "TransientDriverError",
+    "PersistentDriverError",
+    # fault injection & resilience
+    "FaultPlan", "FaultStats", "RetryPolicy", "BackoffClock",
+    "robust_median",
     # hardware
     "Component", "Domain", "GPUSpec", "FrequencyConfig",
     "TITAN_XP", "GTX_TITAN_X", "TESLA_K40C", "ALL_GPUS", "gpu_spec_by_name",
@@ -93,6 +114,7 @@ __all__ = [
     "MetricCalculator", "UtilizationVector",
     "DVFSPowerModel", "ModelParameters",
     "TrainingDataset", "collect_training_dataset",
+    "CampaignReport", "collect_campaign",
     "ModelEstimator", "EstimatorReport", "fit_power_model",
     "AbeLinearModel", "LinearFrequencyModel", "FixedConfigurationModel",
     # analysis

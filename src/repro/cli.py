@@ -22,9 +22,10 @@ import importlib
 import sys
 from typing import Optional, Sequence
 
-from repro.config import DEFAULT_SETTINGS, NOISELESS_SETTINGS
+from repro.config import DEFAULT_SETTINGS, MASTER_SEED, NOISELESS_SETTINGS
 from repro.core.estimation import fit_power_model
 from repro.core.metrics import MetricCalculator
+from repro.driver.faults import FaultPlan
 from repro.driver.session import ProfilingSession
 from repro.errors import ReproError
 from repro.hardware.gpu import SimulatedGPU
@@ -42,9 +43,19 @@ EXPERIMENTS = (
 )
 
 
-def _session_for(device: str, noiseless: bool) -> ProfilingSession:
+def _session_for(
+    device: str,
+    noiseless: bool,
+    chaos: float = 0.0,
+    chaos_seed: int = MASTER_SEED,
+) -> ProfilingSession:
     settings = NOISELESS_SETTINGS if noiseless else DEFAULT_SETTINGS
-    gpu = SimulatedGPU(gpu_spec_by_name(device), settings=settings)
+    fault_plan = (
+        FaultPlan.transient(chaos, seed=chaos_seed) if chaos > 0 else None
+    )
+    gpu = SimulatedGPU(
+        gpu_spec_by_name(device), settings=settings, fault_plan=fault_plan
+    )
     return ProfilingSession(gpu)
 
 
@@ -72,9 +83,24 @@ def cmd_devices(args: argparse.Namespace) -> int:
 
 
 def cmd_fit(args: argparse.Namespace) -> int:
-    session = _session_for(args.device, args.noiseless)
+    session = _session_for(
+        args.device, args.noiseless, args.chaos, args.chaos_seed
+    )
     print(f"fitting the DVFS-aware power model for {session.gpu.spec.name}...")
-    model, report = fit_power_model(session)
+    if args.chaos > 0:
+        from repro.core.dataset import collect_campaign
+        from repro.core.estimation import ModelEstimator
+        from repro.microbench import build_suite
+
+        print(
+            f"chaos mode: {args.chaos:.1%} transient-fault plan "
+            f"(seed {args.chaos_seed})"
+        )
+        dataset, campaign = collect_campaign(session, build_suite())
+        print(campaign.summary())
+        model, report = ModelEstimator(dataset).estimate()
+    else:
+        model, report = fit_power_model(session)
     print(
         format_kv(
             {
@@ -250,6 +276,21 @@ def build_parser() -> argparse.ArgumentParser:
     fit.add_argument("--device", default="GTX Titan X")
     fit.add_argument("--output", default="model.json")
     fit.add_argument("--noiseless", action="store_true")
+    fit.add_argument(
+        "--chaos",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="inject transient driver faults at this per-call probability "
+        "(e.g. 0.05) and fit through the resilient campaign path",
+    )
+    fit.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=MASTER_SEED,
+        help="seed of the deterministic fault universe (default: the "
+        "repro master seed)",
+    )
     fit.set_defaults(handler=cmd_fit)
 
     predict = sub.add_parser(

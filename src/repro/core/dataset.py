@@ -15,8 +15,9 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.metrics import MetricCalculator, UtilizationVector
+from repro.driver import faults as faultlib
 from repro.driver.session import ProfilingSession
-from repro.errors import ValidationError
+from repro.errors import PersistentDriverError, ValidationError
 from repro.hardware.components import Component
 from repro.hardware.specs import FrequencyConfig, GPUSpec
 from repro.kernels.kernel import KernelDescriptor
@@ -31,6 +32,9 @@ class TrainingRow:
     measured_watts: float
     #: Utilizations measured at the *reference* configuration (Sec. III-D).
     utilizations: UtilizationVector
+    #: Per-cell quality flags from the resilient measurement path (empty
+    #: when the cell was measured cleanly) — see :mod:`repro.driver.faults`.
+    quality: Tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -161,6 +165,194 @@ class TrainingDataset:
         return names
 
 
+@dataclass(frozen=True)
+class CampaignReport:
+    """Health record of one measurement campaign.
+
+    Summarizes how the resilience layer handled faults: how many rows came
+    back clean versus flagged, which cells/kernels had to be skipped, and
+    the raw fault tallies and virtual backoff time from the session.
+    A fault-free campaign reports all-zero counts and ``complete == True``.
+    """
+
+    device_name: str
+    kernel_count: int
+    config_count: int
+    row_count: int
+    clean_rows: int
+    retried_rows: int
+    dropout_rows: int
+    throttle_injected_rows: int
+    #: Cells dropped after the full retry budget, as (kernel, config).
+    skipped_cells: Tuple[Tuple[str, FrequencyConfig], ...]
+    #: Kernels dropped entirely (event collection kept failing).
+    skipped_kernels: Tuple[str, ...]
+    read_faults: int
+    clock_faults: int
+    event_faults: int
+    dropped_samples: int
+    injected_throttles: int
+    corrupted_counters: int
+    #: Virtual seconds the retry backoff would have waited.
+    backoff_seconds: float
+
+    @property
+    def complete(self) -> bool:
+        """Whether every requested (kernel, configuration) cell made it in."""
+        return not self.skipped_cells and not self.skipped_kernels
+
+    @property
+    def flagged_rows(self) -> int:
+        return self.row_count - self.clean_rows
+
+    def summary(self) -> str:
+        """One-paragraph human-readable campaign summary."""
+        lines = [
+            f"campaign on {self.device_name}: {self.row_count} rows "
+            f"({self.kernel_count} kernels x {self.config_count} configs), "
+            f"{self.clean_rows} clean / {self.flagged_rows} flagged",
+            f"  retried: {self.retried_rows}  dropouts: {self.dropout_rows}  "
+            f"throttle-injected: {self.throttle_injected_rows}",
+            f"  faults: {self.read_faults} read, {self.event_faults} event, "
+            f"{self.clock_faults} clock-set; {self.dropped_samples} samples "
+            f"dropped, {self.corrupted_counters} counters corrupted",
+            f"  backoff: {self.backoff_seconds:.3f} s (virtual)",
+        ]
+        if self.skipped_kernels:
+            lines.append(
+                "  skipped kernels: " + ", ".join(self.skipped_kernels)
+            )
+        if self.skipped_cells:
+            cells = ", ".join(
+                f"{name}@{config.core_mhz:.0f}/{config.memory_mhz:.0f}"
+                for name, config in self.skipped_cells
+            )
+            lines.append(f"  skipped cells: {cells}")
+        return "\n".join(lines)
+
+
+def collect_campaign(
+    session: ProfilingSession,
+    kernels: Sequence[KernelDescriptor],
+    configs: Optional[Sequence[FrequencyConfig]] = None,
+    use_grid: bool = True,
+) -> Tuple[TrainingDataset, CampaignReport]:
+    """Run the measurement campaign and report its health.
+
+    The fault-tolerant entry point: under an active
+    :class:`~repro.driver.faults.FaultPlan` the campaign degrades
+    gracefully — kernels whose event collection keeps failing and cells
+    that stay unreadable after the retry budget are skipped and recorded in
+    the :class:`CampaignReport` instead of aborting the run. With faults
+    disabled the dataset is bitwise identical to the historical
+    :func:`collect_training_dataset` output and the report is all-clean.
+    """
+    if not kernels:
+        raise ValidationError("no kernels supplied for training")
+    spec = session.gpu.spec
+    if configs is None:
+        configs = spec.all_configurations()
+    calculator = MetricCalculator(spec)
+    stats = session.fault_stats
+    baseline = (
+        stats.read_faults,
+        stats.clock_faults,
+        stats.event_faults,
+        stats.dropped_samples,
+        stats.injected_throttles,
+        stats.corrupted_counters,
+    )
+    backoff_before = session.backoff_clock.total_seconds
+
+    utilization_by_kernel: Dict[str, UtilizationVector] = {}
+    skipped_kernels: List[str] = []
+    surviving: List[KernelDescriptor] = []
+    for kernel in kernels:
+        try:
+            record = session.collect_events(kernel)
+        except PersistentDriverError:
+            skipped_kernels.append(kernel.name)
+            continue
+        utilization_by_kernel[kernel.name] = calculator.utilizations(record)
+        surviving.append(kernel)
+
+    rows: List[TrainingRow] = []
+    skipped_cells: List[Tuple[str, FrequencyConfig]] = []
+    if use_grid:
+        if surviving:
+            grid = session.measure_grid(
+                surviving, configs, on_unreadable="skip"
+            )
+            for kernel, measurements in zip(surviving, grid.measurements):
+                utilizations = utilization_by_kernel[kernel.name]
+                for measurement in measurements:
+                    if faultlib.UNREADABLE in measurement.quality:
+                        skipped_cells.append(
+                            (kernel.name, measurement.requested_config)
+                        )
+                        continue
+                    rows.append(
+                        TrainingRow(
+                            kernel_name=kernel.name,
+                            config=measurement.applied_config,
+                            measured_watts=measurement.average_watts,
+                            utilizations=utilizations,
+                            quality=measurement.quality,
+                        )
+                    )
+    else:
+        for kernel in surviving:
+            for config in configs:
+                try:
+                    measurement = session.measure_power(kernel, config)
+                except PersistentDriverError:
+                    skipped_cells.append(
+                        (kernel.name, spec.validate_configuration(config))
+                    )
+                    continue
+                rows.append(
+                    TrainingRow(
+                        kernel_name=kernel.name,
+                        config=measurement.applied_config,
+                        measured_watts=measurement.average_watts,
+                        utilizations=utilization_by_kernel[kernel.name],
+                        quality=measurement.quality,
+                    )
+                )
+    if not rows:
+        raise ValidationError(
+            "measurement campaign produced no usable rows (every kernel or "
+            "cell was skipped)"
+        )
+    dataset = TrainingDataset(spec=spec, rows=tuple(rows))
+    report = CampaignReport(
+        device_name=spec.name,
+        kernel_count=len(surviving),
+        config_count=len(configs),
+        row_count=len(rows),
+        clean_rows=sum(1 for row in rows if not row.quality),
+        retried_rows=sum(
+            1 for row in rows if faultlib.RETRIED in row.quality
+        ),
+        dropout_rows=sum(
+            1 for row in rows if faultlib.DROPOUTS in row.quality
+        ),
+        throttle_injected_rows=sum(
+            1 for row in rows if faultlib.THROTTLE_INJECTED in row.quality
+        ),
+        skipped_cells=tuple(skipped_cells),
+        skipped_kernels=tuple(skipped_kernels),
+        read_faults=stats.read_faults - baseline[0],
+        clock_faults=stats.clock_faults - baseline[1],
+        event_faults=stats.event_faults - baseline[2],
+        dropped_samples=stats.dropped_samples - baseline[3],
+        injected_throttles=stats.injected_throttles - baseline[4],
+        corrupted_counters=stats.corrupted_counters - baseline[5],
+        backoff_seconds=session.backoff_clock.total_seconds - backoff_before,
+    )
+    return dataset, report
+
+
 def collect_training_dataset(
     session: ProfilingSession,
     kernels: Sequence[KernelDescriptor],
@@ -182,43 +374,9 @@ def collect_training_dataset(
 
     TDP-throttled observations are recorded at their *applied*
     configuration, mirroring what a real campaign would see on the sensor.
+
+    Thin wrapper over :func:`collect_campaign` that drops the report;
+    campaigns under an active fault plan degrade gracefully the same way
+    (skipped cells/kernels are simply not visible without the report).
     """
-    if not kernels:
-        raise ValidationError("no kernels supplied for training")
-    spec = session.gpu.spec
-    if configs is None:
-        configs = spec.all_configurations()
-    calculator = MetricCalculator(spec)
-
-    utilization_by_kernel: Dict[str, UtilizationVector] = {}
-    for kernel in kernels:
-        record = session.collect_events(kernel)
-        utilization_by_kernel[kernel.name] = calculator.utilizations(record)
-
-    rows: List[TrainingRow] = []
-    if use_grid:
-        grid = session.measure_grid(kernels, configs)
-        for kernel, measurements in zip(kernels, grid.measurements):
-            utilizations = utilization_by_kernel[kernel.name]
-            for measurement in measurements:
-                rows.append(
-                    TrainingRow(
-                        kernel_name=kernel.name,
-                        config=measurement.applied_config,
-                        measured_watts=measurement.average_watts,
-                        utilizations=utilizations,
-                    )
-                )
-    else:
-        for kernel in kernels:
-            for config in configs:
-                measurement = session.measure_power(kernel, config)
-                rows.append(
-                    TrainingRow(
-                        kernel_name=kernel.name,
-                        config=measurement.applied_config,
-                        measured_watts=measurement.average_watts,
-                        utilizations=utilization_by_kernel[kernel.name],
-                    )
-                )
-    return TrainingDataset(spec=spec, rows=tuple(rows))
+    return collect_campaign(session, kernels, configs, use_grid=use_grid)[0]

@@ -10,11 +10,23 @@ goes through this layer, which mirrors the tooling of Sec. V-A:
 * :mod:`repro.driver.cupti` — event collection (CUPTI), with the
   per-architecture counter inaccuracies;
 * :mod:`repro.driver.session` — a convenience profiling session combining
-  the two, implementing the paper's repetition/median methodology.
+  the two, implementing the paper's repetition/median methodology;
+* :mod:`repro.driver.faults` — the seeded fault-injection chaos layer
+  (transient read failures, sample dropouts, counter saturation, spurious
+  throttling) and the resilience primitives (retry policy, virtual backoff
+  clock, robust median).
 """
 
 from repro.driver.events import EventTable, event_table_for
-from repro.driver.nvml import NVMLDevice, PowerMeasurement
+from repro.driver.faults import (
+    DEFAULT_RETRY_POLICY,
+    BackoffClock,
+    FaultPlan,
+    FaultStats,
+    RetryPolicy,
+    robust_median,
+)
+from repro.driver.nvml import NVMLDevice, PowerGrid, PowerMeasurement
 from repro.driver.cupti import CuptiContext, EventRecord
 from repro.driver.session import ProfilingSession, KernelObservation
 
@@ -22,9 +34,16 @@ __all__ = [
     "EventTable",
     "event_table_for",
     "NVMLDevice",
+    "PowerGrid",
     "PowerMeasurement",
     "CuptiContext",
     "EventRecord",
     "ProfilingSession",
     "KernelObservation",
+    "FaultPlan",
+    "FaultStats",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "BackoffClock",
+    "robust_median",
 ]

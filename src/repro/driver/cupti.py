@@ -17,7 +17,8 @@ from typing import Dict, Iterable, Mapping, Optional
 
 from repro.config import SimulationSettings
 from repro.driver.events import EventTable, event_table_for
-from repro.errors import CuptiError, UnknownEventError
+from repro.driver.faults import FaultPlan, FaultStats
+from repro.errors import CuptiError, TransientCuptiError, UnknownEventError
 from repro.hardware.components import Component
 from repro.hardware.gpu import SimulatedGPU
 from repro.hardware.noise import counter_noise_factor
@@ -55,11 +56,20 @@ class CuptiContext:
     """Event-collection handle for one simulated device."""
 
     def __init__(
-        self, gpu: SimulatedGPU, settings: Optional[SimulationSettings] = None
+        self,
+        gpu: SimulatedGPU,
+        settings: Optional[SimulationSettings] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        stats: Optional[FaultStats] = None,
     ) -> None:
         self._gpu = gpu
         self._settings = settings or gpu.settings
         self._table = event_table_for(gpu.spec.architecture)
+        if fault_plan is None:
+            fault_plan = getattr(gpu, "fault_plan", None)
+        self.fault_plan = fault_plan
+        self.fault_stats = stats if stats is not None else FaultStats()
+        self._faults_active = fault_plan is not None and fault_plan.enabled
 
     @property
     def event_table(self) -> EventTable:
@@ -67,17 +77,40 @@ class CuptiContext:
 
     # ------------------------------------------------------------------
     def collect_events(
-        self, kernel: KernelDescriptor, config: Optional[FrequencyConfig] = None
+        self,
+        kernel: KernelDescriptor,
+        config: Optional[FrequencyConfig] = None,
+        attempt: int = 0,
     ) -> EventRecord:
         """Profile one kernel launch and return its raw event values.
 
         The model methodology only profiles at the reference configuration
         (the default when ``config`` is omitted), but — like real CUPTI — the
         context will happily collect at any configuration.
+
+        Under an active fault plan a collection attempt may raise
+        :class:`TransientCuptiError` (``attempt`` keys the seeded decision
+        so each retry draws afresh), and saturated counters read back as
+        the plan's 32-bit saturation value — corruption is systematic per
+        (device, kernel, event), so re-profiling reproduces it.
         """
+        if self._faults_active and self.fault_plan.cupti_read_fails(
+            self._gpu.spec.name, kernel.name, attempt
+        ):
+            self.fault_stats.event_faults += 1
+            raise TransientCuptiError(
+                f"transient event-collection failure for {kernel.name} on "
+                f"{self._gpu.spec.name} (attempt {attempt})"
+            )
         run = self._gpu.run(kernel, config or self._gpu.spec.reference)
         semantic = self._semantic_totals(run.profile)
         values = self._distribute(kernel.name, semantic)
+        if self._faults_active:
+            for name in self.fault_plan.corrupted_events(
+                self._gpu.spec.name, kernel.name, tuple(values)
+            ):
+                values[name] = self.fault_plan.counter_saturation_value
+                self.fault_stats.corrupted_counters += 1
         return EventRecord(
             kernel_name=kernel.name,
             architecture=self._gpu.spec.architecture,

@@ -1,0 +1,309 @@
+"""Deterministic fault injection for the driver stack (the chaos layer).
+
+Real NVML/CUPTI campaigns are not clean: power reads fail transiently, the
+sensor drops samples, counters saturate, the driver refuses a clock change,
+and the board throttles for reasons unrelated to the workload. The run-time
+power-modelling literature (Nunez-Yanez et al.; Mei et al.'s DVFS
+measurement survey) reports that such sampling artifacts dominate
+measurement error. This module reproduces those failure modes on the
+simulated driver stack so the resilience layer — bounded retry with
+exponential backoff, outlier-rejecting medians, skip-and-record degradation
+— can be exercised deterministically.
+
+Design rules:
+
+* **Seeded and label-keyed.** Every fault decision is a pure function of
+  ``(plan seed, fault kind, device, kernel, cell, attempt)`` through the same
+  SHA-256 label derivation the noise chain uses (:func:`repro.config.rng_for`).
+  There is no shared mutable random stream, so the scalar measurement walk
+  and the vectorized grid path observe *identical* fault streams, and a
+  retried attempt draws a fresh, independent decision.
+* **Zero-cost when disabled.** With no plan (or an all-zero plan) every
+  injected code path collapses to the original arithmetic: outputs are
+  bitwise identical to the fault-free implementation.
+* **No wall-clock sleeping.** Retry backoff accumulates on a
+  :class:`BackoffClock`, a virtual clock that records every delay; tests
+  assert the exponential schedule without ever sleeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import MASTER_SEED, rng_for
+
+# ----------------------------------------------------------------------
+# Per-cell quality flags (carried on PowerMeasurement / TrainingRow)
+# ----------------------------------------------------------------------
+#: The measurement succeeded only after one or more transient-fault retries.
+RETRIED = "retried"
+#: Some power-sensor samples were lost during the measurement window.
+DROPOUTS = "dropouts"
+#: A spurious thermal-throttle episode lowered the applied core clock.
+THROTTLE_INJECTED = "throttle-injected"
+#: The cell stayed unreadable after the full retry budget (skip-and-record).
+UNREADABLE = "unreadable"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic plan of driver-fault probabilities.
+
+    Each rate is a per-decision probability in ``[0, 1]``; which decisions a
+    rate gates is documented on the corresponding ``*_fails`` helper. A plan
+    is immutable: attach it to a device/session at construction and keep it
+    for the session's lifetime (run results are memoized, so changing plans
+    mid-campaign would mix fault universes).
+    """
+
+    #: Seed of the fault universe (independent of the noise master seed).
+    seed: int = MASTER_SEED
+    #: Transient NVML power-read failure, per (cell, attempt).
+    nvml_read_rate: float = 0.0
+    #: Transient CUPTI event-collection failure, per (kernel, attempt).
+    cupti_read_rate: float = 0.0
+    #: Power-sample dropout *episode*, per (cell, attempt); within an
+    #: episode each sample is lost with :attr:`dropout_density`.
+    sample_dropout_rate: float = 0.0
+    #: Per-sample loss probability inside a dropout episode.
+    dropout_density: float = 0.25
+    #: Systematic counter saturation, per (kernel, raw event) — like the
+    #: counter-noise chain, re-profiling reproduces the same corruption.
+    counter_corruption_rate: float = 0.0
+    #: Spurious thermal-throttle episode, per (cell, attempt).
+    thermal_throttle_rate: float = 0.0
+    #: ``set_application_clocks`` failure, per driver call.
+    clock_set_failure_rate: float = 0.0
+    #: Value a saturated counter reads (a 32-bit counter pegged at max).
+    counter_saturation_value: float = float(2**32 - 1)
+
+    def __post_init__(self) -> None:
+        for spec in fields(self):
+            if spec.name.endswith(("_rate", "_density")):
+                value = getattr(self, spec.name)
+                if not 0.0 <= value <= 1.0:
+                    raise ValueError(
+                        f"{spec.name} must be in [0, 1], got {value}"
+                    )
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault can ever fire under this plan."""
+        return any(
+            getattr(self, spec.name) > 0.0
+            for spec in fields(self)
+            if spec.name.endswith("_rate")
+        )
+
+    @classmethod
+    def transient(cls, rate: float, seed: int = MASTER_SEED) -> "FaultPlan":
+        """A uniform *transient*-fault plan: read failures, dropout
+        episodes, spurious throttling and clock-set failures all at
+        ``rate``. Systematic counter corruption stays off — it is a
+        different fault class (it biases, it does not flake) with its own
+        knob."""
+        return cls(
+            seed=seed,
+            nvml_read_rate=rate,
+            cupti_read_rate=rate,
+            sample_dropout_rate=rate,
+            thermal_throttle_rate=rate,
+            clock_set_failure_rate=rate,
+        )
+
+    # ------------------------------------------------------------------
+    # Decision helpers (pure functions of the labels)
+    # ------------------------------------------------------------------
+    def _trips(self, rate: float, kind: str, *labels: object) -> bool:
+        if rate <= 0.0:
+            return False
+        rng = rng_for("fault", kind, *labels, master_seed=self.seed)
+        return bool(rng.random() < rate)
+
+    def nvml_read_fails(
+        self, device: str, kernel_name: str, cell: str, attempt: int
+    ) -> bool:
+        """Transient power-read failure of one measurement attempt."""
+        return self._trips(
+            self.nvml_read_rate, "nvml-read", device, kernel_name, cell, attempt
+        )
+
+    def cupti_read_fails(
+        self, device: str, kernel_name: str, attempt: int
+    ) -> bool:
+        """Transient event-collection failure of one profiling attempt."""
+        return self._trips(
+            self.cupti_read_rate, "cupti-read", device, kernel_name, attempt
+        )
+
+    def clock_set_fails(
+        self, device: str, core_mhz: float, memory_mhz: float, call_index: int
+    ) -> bool:
+        """Failure of one ``set_application_clocks`` driver call."""
+        return self._trips(
+            self.clock_set_failure_rate,
+            "clock-set", device, core_mhz, memory_mhz, call_index,
+        )
+
+    def spurious_throttle(
+        self, device: str, kernel_name: str, cell: str, attempt: int
+    ) -> bool:
+        """Spurious thermal-throttle episode during one measurement."""
+        return self._trips(
+            self.thermal_throttle_rate,
+            "thermal-throttle", device, kernel_name, cell, attempt,
+        )
+
+    def dropout_episode(
+        self, device: str, kernel_name: str, cell: str, attempt: int
+    ) -> bool:
+        """Whether a sample-dropout episode hits one measurement."""
+        return self._trips(
+            self.sample_dropout_rate,
+            "dropout", device, kernel_name, cell, attempt,
+        )
+
+    def dropout_mask(
+        self,
+        device: str,
+        kernel_name: str,
+        cell: str,
+        attempt: int,
+        repeats: int,
+        sample_count: int,
+    ) -> Optional[np.ndarray]:
+        """Boolean ``(repeats, sample_count)`` mask of lost samples.
+
+        ``None`` when no episode hits this measurement (or the episode
+        happens to lose no sample), so callers can branch cheaply.
+        """
+        if not self.dropout_episode(device, kernel_name, cell, attempt):
+            return None
+        rng = rng_for(
+            "fault", "dropout-mask", device, kernel_name, cell, attempt,
+            master_seed=self.seed,
+        )
+        mask = rng.random((repeats, sample_count)) < self.dropout_density
+        return mask if mask.any() else None
+
+    def corrupted_events(
+        self, device: str, kernel_name: str, event_names: Sequence[str]
+    ) -> Tuple[str, ...]:
+        """The raw events whose counters saturate for this kernel.
+
+        Keyed per (device, kernel, event) with no attempt component:
+        corruption is systematic, so re-profiling reproduces it — the same
+        contract as the counter-noise chain.
+        """
+        if self.counter_corruption_rate <= 0.0:
+            return ()
+        return tuple(
+            name
+            for name in event_names
+            if self._trips(
+                self.counter_corruption_rate,
+                "counter-saturation", device, kernel_name, name,
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# Resilience primitives
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with deterministic exponential backoff."""
+
+    #: Total attempts (first try included); must be at least 1.
+    max_attempts: int = 4
+    #: Backoff before the second attempt, in (virtual) seconds.
+    backoff_base_seconds: float = 0.05
+    #: Growth factor of successive backoffs.
+    backoff_multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff_base_seconds < 0:
+            raise ValueError("backoff_base_seconds must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+
+    def delay_for(self, failure_index: int) -> float:
+        """Backoff after the ``failure_index``-th failure (0-based)."""
+        return self.backoff_base_seconds * self.backoff_multiplier**failure_index
+
+
+#: Retry policy used by the driver layer unless a caller overrides it.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+class BackoffClock:
+    """Virtual clock accumulating retry backoff.
+
+    The simulation has no reason to actually stall, so ``sleep`` only
+    records: tests assert the exponential schedule from :attr:`sleep_log`
+    without wall-clock delays. A real deployment can pass ``time.sleep``
+    as ``sleeper`` to get genuine pauses.
+    """
+
+    def __init__(self, sleeper: Optional[Callable[[float], None]] = None) -> None:
+        self.total_seconds = 0.0
+        self.sleep_log: List[float] = []
+        self._sleeper = sleeper
+
+    def sleep(self, seconds: float) -> None:
+        self.total_seconds += seconds
+        self.sleep_log.append(seconds)
+        if self._sleeper is not None:
+            self._sleeper(seconds)
+
+
+@dataclass
+class FaultStats:
+    """Mutable tally of faults observed/injected during one session."""
+
+    read_faults: int = 0
+    clock_faults: int = 0
+    event_faults: int = 0
+    unreadable_cells: int = 0
+    dropped_samples: int = 0
+    injected_throttles: int = 0
+    corrupted_counters: int = 0
+
+    @property
+    def total_faults(self) -> int:
+        return (
+            self.read_faults
+            + self.clock_faults
+            + self.event_faults
+            + self.corrupted_counters
+            + self.injected_throttles
+        )
+
+
+def robust_median(values: np.ndarray, z_threshold: float = 3.5) -> float:
+    """Median after MAD-based outlier rejection (modified z-score).
+
+    The campaign's repeat-median already tolerates mild noise; this guards
+    the *faulted* path, where a dropout-thinned repeat can average far from
+    its peers. With no outliers past ``z_threshold`` the result is exactly
+    ``np.median(values)``, keeping clean cells bitwise consistent with the
+    batched fast path.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("robust_median needs at least one value")
+    median = float(np.median(values))
+    mad = float(np.median(np.abs(values - median)))
+    if mad == 0.0:
+        return median
+    z_scores = 0.6745 * (values - median) / mad
+    kept = values[np.abs(z_scores) <= z_threshold]
+    if kept.size == 0 or kept.size == values.size:
+        return median
+    return float(np.median(kept))

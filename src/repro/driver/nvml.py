@@ -23,12 +23,22 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.config import SimulationSettings
-from repro.errors import NVMLError
+from repro.driver import faults as faultlib
+from repro.driver.faults import (
+    DEFAULT_RETRY_POLICY,
+    BackoffClock,
+    FaultPlan,
+    FaultStats,
+    RetryPolicy,
+    robust_median,
+)
+from repro.errors import NVMLError, PersistentDriverError, TransientNVMLError
 from repro.hardware.gpu import KernelRunResult, SimulatedGPU
 from repro.hardware.noise import sensor_noise_matrix, sensor_noise_stack
 from repro.hardware.specs import FrequencyConfig
 from repro.kernels.kernel import KernelDescriptor, idle_kernel
 from repro.kernels.launch import repetitions_for_min_duration
+from repro.units import closest_lower_level
 
 
 @dataclass(frozen=True)
@@ -42,10 +52,20 @@ class PowerMeasurement:
     sample_count: int
     repetitions: int
     total_seconds: float
+    #: Quality flags recording how faults touched this cell (empty when the
+    #: measurement was clean) — see :mod:`repro.driver.faults`.
+    quality: Tuple[str, ...] = ()
+    #: Transient-fault retries this measurement needed (0 when clean).
+    retries: int = 0
 
     @property
     def throttled(self) -> bool:
         return self.requested_config != self.applied_config
+
+    @property
+    def clean(self) -> bool:
+        """No fault touched this measurement."""
+        return not self.quality
 
 
 @dataclass(frozen=True)
@@ -84,12 +104,34 @@ class NVMLDevice:
     """Handle to one simulated device, in the style of an NVML session."""
 
     def __init__(
-        self, gpu: SimulatedGPU, settings: Optional[SimulationSettings] = None
+        self,
+        gpu: SimulatedGPU,
+        settings: Optional[SimulationSettings] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
+        clock: Optional[BackoffClock] = None,
+        stats: Optional[FaultStats] = None,
     ) -> None:
+        """``fault_plan`` defaults to the plan attached to the board (if
+        any); ``retry``/``clock``/``stats`` let a session share one retry
+        policy, virtual backoff clock and fault tally across its NVML and
+        CUPTI handles."""
         self._gpu = gpu
         self._settings = settings or gpu.settings
         self._clocks = gpu.spec.reference
         self._open = True
+        if fault_plan is None:
+            fault_plan = getattr(gpu, "fault_plan", None)
+        self.fault_plan = fault_plan
+        self.retry_policy = retry or DEFAULT_RETRY_POLICY
+        self.backoff_clock = clock if clock is not None else BackoffClock()
+        self.fault_stats = stats if stats is not None else FaultStats()
+        # Hot paths branch on this once instead of re-testing the plan.
+        self._faults_active = fault_plan is not None and fault_plan.enabled
+        # Driver calls that mutate clocks are numbered so clock-set fault
+        # decisions are keyed by call sequence (the operation has no stable
+        # per-cell identity: the grid fast path never sets clocks at all).
+        self._clock_set_calls = 0
         # Repetition counts are a function of the kernel alone (they are
         # derived at the fastest configuration), but computing one requires
         # a full performance-model elapsed-time solve — memoized because the
@@ -113,10 +155,12 @@ class NVMLDevice:
         return self._gpu.spec.nvml_refresh_ms / 1000.0
 
     def supported_memory_clocks(self) -> Tuple[float, ...]:
+        self._require_open()
         return tuple(sorted(self._gpu.spec.memory_frequencies_mhz, reverse=True))
 
     def supported_graphics_clocks(self, memory_mhz: float) -> Tuple[float, ...]:
         """Core levels available at a memory clock (same set on all levels)."""
+        self._require_open()
         self._gpu.spec.validate_configuration(
             FrequencyConfig(self._gpu.spec.default_core_mhz, memory_mhz)
         )
@@ -126,11 +170,37 @@ class NVMLDevice:
     # Clock control
     # ------------------------------------------------------------------
     def set_application_clocks(self, core_mhz: float, memory_mhz: float) -> None:
-        """Pin the device to a V-F configuration (voltage set automatically)."""
+        """Pin the device to a V-F configuration (voltage set automatically).
+
+        Under an active fault plan the driver call itself may fail
+        transiently; such failures are retried with backoff, and a
+        :class:`PersistentDriverError` signals an exhausted retry budget
+        (the clocks are left unchanged in that case).
+        """
         self._require_open()
-        self._clocks = self._gpu.spec.validate_configuration(
+        validated = self._gpu.spec.validate_configuration(
             FrequencyConfig(core_mhz, memory_mhz)
         )
+        if self._faults_active and self.fault_plan.clock_set_failure_rate > 0:
+            policy = self.retry_policy
+            for attempt in range(policy.max_attempts):
+                self._clock_set_calls += 1
+                if not self.fault_plan.clock_set_fails(
+                    self.name,
+                    validated.core_mhz,
+                    validated.memory_mhz,
+                    self._clock_set_calls,
+                ):
+                    break
+                self.fault_stats.clock_faults += 1
+                if attempt + 1 >= policy.max_attempts:
+                    raise PersistentDriverError(
+                        f"set_application_clocks({validated.core_mhz:.0f}, "
+                        f"{validated.memory_mhz:.0f}) on {self.name} still "
+                        f"failing after {policy.max_attempts} attempts"
+                    )
+                self.backoff_clock.sleep(policy.delay_for(attempt))
+        self._clocks = validated
 
     def reset_application_clocks(self) -> None:
         self._require_open()
@@ -155,21 +225,33 @@ class NVMLDevice:
         launches to last at least one second at the *fastest* configuration.
         ``measurement_index`` distinguishes repeated measurements so that each
         draws fresh sensor noise.
+
+        Under an active fault plan the sensor read may fail transiently;
+        failed reads are retried with backoff and the successful re-read is
+        flagged ``retried``.
         """
         self._require_open()
         run = self._gpu.run(kernel, self._clocks)
-        if repetitions is None:
-            repetitions = self._default_repetitions(kernel)
-        total_seconds = run.duration_seconds * repetitions
-        average = self._sample_average(run, total_seconds, measurement_index)
-        return PowerMeasurement(
-            kernel_name=kernel.name,
-            requested_config=run.requested_config,
-            applied_config=run.applied_config,
-            average_watts=average,
-            sample_count=self._sample_count(total_seconds),
-            repetitions=repetitions,
-            total_seconds=total_seconds,
+        if not self._faults_active:
+            return self._single_measurement(
+                kernel, run, repetitions, measurement_index
+            )
+        policy = self.retry_policy
+        cell = f"{self._cell_label(run.requested_config)}-rep{measurement_index}"
+        for attempt in range(policy.max_attempts):
+            if not self.fault_plan.nvml_read_fails(
+                self.name, kernel.name, cell, attempt
+            ):
+                return self._single_measurement(
+                    kernel, run, repetitions, measurement_index, attempt
+                )
+            self.fault_stats.read_faults += 1
+            if attempt + 1 < policy.max_attempts:
+                self.backoff_clock.sleep(policy.delay_for(attempt))
+        self.fault_stats.unreadable_cells += 1
+        raise PersistentDriverError(
+            f"power read for {kernel.name} at {cell} on {self.name} still "
+            f"failing after {policy.max_attempts} attempts"
         )
 
     def measure_median_power(
@@ -177,12 +259,21 @@ class NVMLDevice:
     ) -> PowerMeasurement:
         """The paper's methodology: repeat the measurement and report the
         median (Sec. V-A: "all benchmarks were repeated 10 times, with the
-        presented values corresponding to the median value")."""
+        presented values corresponding to the median value").
+
+        Under an active fault plan the resilient path takes over: transient
+        read failures retry with backoff, dropout-thinned repeats go
+        through an outlier-rejecting median, and the returned measurement
+        carries quality flags. With faults disabled the arithmetic below is
+        untouched (bitwise identical to the pre-chaos implementation).
+        """
         self._require_open()
         if repeats is None:
             repeats = self._settings.measurement_repeats
         if repeats <= 0:
             raise NVMLError("measurement repeats must be positive")
+        if self._faults_active:
+            return self._measure_median_resilient(kernel, self._clocks, repeats)
         repetitions = self._default_repetitions(kernel)
         run = self._gpu.run(kernel, self._clocks)
         total_seconds = run.duration_seconds * repetitions
@@ -202,6 +293,7 @@ class NVMLDevice:
         kernels: Sequence[KernelDescriptor],
         configs: Optional[Sequence[FrequencyConfig]] = None,
         repeats: Optional[int] = None,
+        on_unreadable: str = "raise",
     ) -> PowerGrid:
         """Median power of every (kernel, configuration) cell, batched.
 
@@ -214,8 +306,19 @@ class NVMLDevice:
         :meth:`measure_median_power` at the same configuration — same seed
         derivation labels, same draw shapes — the device clocks are simply
         not stepped through the grid.
+
+        Under an active fault plan, cells that a fault touches fall back to
+        the scalar resilient path (which observes the same seeded fault
+        stream, so grid and scalar campaigns stay equivalent), and
+        ``on_unreadable`` selects between aborting on a persistently
+        unreadable cell (``"raise"``, the default) or recording it as a
+        NaN-valued measurement flagged ``unreadable`` (``"skip"``).
         """
         self._require_open()
+        if on_unreadable not in ("raise", "skip"):
+            raise NVMLError(
+                f"on_unreadable must be 'raise' or 'skip', got {on_unreadable!r}"
+            )
         if configs is None:
             configs = self._gpu.spec.all_configurations()
         if repeats is None:
@@ -225,6 +328,10 @@ class NVMLDevice:
         requested = tuple(
             self._gpu.spec.validate_configuration(config) for config in configs
         )
+        if self._faults_active:
+            return self._measure_grid_faulted(
+                kernels, requested, repeats, on_unreadable
+            )
         idle_cache: Dict[Tuple[float, float], float] = {}
         rows: List[Tuple[PowerMeasurement, ...]] = []
         for kernel in kernels:
@@ -254,14 +361,24 @@ class NVMLDevice:
         )
 
     def close(self) -> None:
+        """Release the handle. Idempotent: closing an already-closed handle
+        is a no-op, mirroring ``nvmlShutdown`` semantics — only *using* a
+        closed handle is an error."""
         self._open = False
+
+    @property
+    def closed(self) -> bool:
+        return not self._open
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _require_open(self) -> None:
         if not self._open:
-            raise NVMLError("device handle has been closed")
+            raise NVMLError(
+                f"NVML handle for {self._gpu.spec.name!r} has been closed; "
+                "open a new NVMLDevice to keep measuring"
+            )
 
     def _default_repetitions(self, kernel: KernelDescriptor) -> int:
         cached = self._repetitions_cache.get(kernel.cache_key)
@@ -303,10 +420,24 @@ class NVMLDevice:
         self, run: KernelRunResult, total_seconds: float, repeats: int
     ) -> np.ndarray:
         """Per-repeat sample averages, drawn from one batched noise matrix."""
+        return self._noisy_samples(run, total_seconds, repeats).mean(axis=1)
+
+    def _noisy_samples(
+        self,
+        run: KernelRunResult,
+        total_seconds: float,
+        repeats: int,
+        label_suffix: str = "",
+    ) -> np.ndarray:
+        """Contaminated ``(repeats, samples)`` sensor-sample matrix.
+
+        ``label_suffix`` keys retried attempts to fresh noise draws; the
+        empty suffix reproduces the original first-attempt labels exactly.
+        """
         count = self._sample_count(total_seconds)
         label = (
             f"{run.applied_config.core_mhz:.0f}-"
-            f"{run.applied_config.memory_mhz:.0f}-median"
+            f"{run.applied_config.memory_mhz:.0f}-median{label_suffix}"
         )
         noise = sensor_noise_matrix(
             self._gpu.spec.architecture,
@@ -320,7 +451,225 @@ class NVMLDevice:
         samples = run.true_power_watts * np.asarray(noise, dtype=float)
         for row in samples:
             self._contaminate_first_sample(run, total_seconds, row)
-        return samples.mean(axis=1)
+        return samples
+
+    # ------------------------------------------------------------------
+    # Fault-aware measurement paths
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _cell_label(config: FrequencyConfig) -> str:
+        """Stable cell identity used to key per-cell fault decisions."""
+        return f"{config.core_mhz:.0f}-{config.memory_mhz:.0f}"
+
+    def _single_measurement(
+        self,
+        kernel: KernelDescriptor,
+        run: KernelRunResult,
+        repetitions: Optional[int],
+        measurement_index: int,
+        attempt: int = 0,
+    ) -> PowerMeasurement:
+        """The original single-shot arithmetic, annotated with the retry
+        count when a fault plan made earlier attempts fail."""
+        if repetitions is None:
+            repetitions = self._default_repetitions(kernel)
+        total_seconds = run.duration_seconds * repetitions
+        average = self._sample_average(run, total_seconds, measurement_index)
+        return PowerMeasurement(
+            kernel_name=kernel.name,
+            requested_config=run.requested_config,
+            applied_config=run.applied_config,
+            average_watts=average,
+            sample_count=self._sample_count(total_seconds),
+            repetitions=repetitions,
+            total_seconds=total_seconds,
+            quality=(faultlib.RETRIED,) if attempt else (),
+            retries=attempt,
+        )
+
+    def _measure_median_resilient(
+        self,
+        kernel: KernelDescriptor,
+        requested: FrequencyConfig,
+        repeats: int,
+    ) -> PowerMeasurement:
+        """Retry loop around one median measurement under an active plan.
+
+        Backoff accumulates on the shared virtual clock; an exhausted
+        budget surfaces as :class:`PersistentDriverError` so campaigns can
+        skip-and-record instead of aborting.
+        """
+        policy = self.retry_policy
+        last_error: Optional[TransientNVMLError] = None
+        for attempt in range(policy.max_attempts):
+            try:
+                return self._attempt_median(kernel, requested, repeats, attempt)
+            except TransientNVMLError as error:
+                last_error = error
+                if attempt + 1 < policy.max_attempts:
+                    self.backoff_clock.sleep(policy.delay_for(attempt))
+        self.fault_stats.unreadable_cells += 1
+        cell = self._cell_label(requested)
+        raise PersistentDriverError(
+            f"cell {kernel.name}@{cell} on {self.name} unreadable after "
+            f"{policy.max_attempts} attempts"
+        ) from last_error
+
+    def _attempt_median(
+        self,
+        kernel: KernelDescriptor,
+        requested: FrequencyConfig,
+        repeats: int,
+        attempt: int,
+    ) -> PowerMeasurement:
+        """One measurement attempt with the plan's faults applied.
+
+        A clean first attempt follows the exact clean-path arithmetic
+        (same labels, same draw shapes, plain ``np.median``), so a cell no
+        fault touches is bitwise identical to the fault-free measurement.
+        """
+        plan = self.fault_plan
+        run = self._gpu.run(kernel, requested)
+        cell = self._cell_label(run.requested_config)
+        if plan.nvml_read_fails(self.name, kernel.name, cell, attempt):
+            self.fault_stats.read_faults += 1
+            raise TransientNVMLError(
+                f"transient power-read failure for {kernel.name} at {cell} "
+                f"on {self.name} (attempt {attempt})"
+            )
+        quality: List[str] = []
+        reported_requested = run.requested_config
+        if plan.spurious_throttle(self.name, kernel.name, cell, attempt):
+            lower = closest_lower_level(
+                run.applied_config.core_mhz,
+                self._gpu.spec.core_frequencies_mhz,
+            )
+            if lower is not None:
+                run = self._gpu.run(
+                    kernel,
+                    FrequencyConfig(lower, run.applied_config.memory_mhz),
+                )
+                quality.append(faultlib.THROTTLE_INJECTED)
+                self.fault_stats.injected_throttles += 1
+        repetitions = self._default_repetitions(kernel)
+        total_seconds = run.duration_seconds * repetitions
+        count = self._sample_count(total_seconds)
+        suffix = f"-a{attempt}" if attempt else ""
+        samples = self._noisy_samples(run, total_seconds, repeats, suffix)
+        mask = plan.dropout_mask(
+            self.name, kernel.name, cell, attempt, repeats, count
+        )
+        if mask is None:
+            average = float(np.median(samples.mean(axis=1)))
+        else:
+            quality.append(faultlib.DROPOUTS)
+            self.fault_stats.dropped_samples += int(mask.sum())
+            kept_averages: List[float] = []
+            for row, lost in zip(samples, mask):
+                keep = ~lost
+                if keep.any():
+                    kept_averages.append(float(np.mean(row[keep])))
+            if not kept_averages:
+                self.fault_stats.read_faults += 1
+                raise TransientNVMLError(
+                    f"every power sample dropped for {kernel.name} at {cell} "
+                    f"on {self.name} (attempt {attempt})"
+                )
+            average = robust_median(np.asarray(kept_averages))
+        if attempt > 0:
+            quality.insert(0, faultlib.RETRIED)
+        return PowerMeasurement(
+            kernel_name=kernel.name,
+            requested_config=reported_requested,
+            applied_config=run.applied_config,
+            average_watts=average,
+            sample_count=count,
+            repetitions=repetitions,
+            total_seconds=total_seconds,
+            quality=tuple(quality),
+            retries=attempt,
+        )
+
+    def _measure_grid_faulted(
+        self,
+        kernels: Sequence[KernelDescriptor],
+        requested: Tuple[FrequencyConfig, ...],
+        repeats: int,
+        on_unreadable: str,
+    ) -> PowerGrid:
+        """Grid campaign under an active plan.
+
+        Cells are screened against the first-attempt fault stream: clean
+        cells keep the batched fast path (bitwise identical to the scalar
+        clean path), cells a fault touches fall back to the scalar
+        resilient routine — which draws the *same* seeded decisions, so a
+        full scalar walk produces the identical grid.
+        """
+        plan = self.fault_plan
+        idle_cache: Dict[Tuple[float, float], float] = {}
+        rows: List[Tuple[PowerMeasurement, ...]] = []
+        for kernel in kernels:
+            runs = self._gpu.run_grid(kernel, requested)
+            repetitions = self._default_repetitions(kernel)
+            totals = [run.duration_seconds * repetitions for run in runs]
+            counts = [self._sample_count(total) for total in totals]
+            clean: List[int] = []
+            faulted: List[int] = []
+            for i, run in enumerate(runs):
+                cell = self._cell_label(run.requested_config)
+                if (
+                    plan.nvml_read_fails(self.name, kernel.name, cell, 0)
+                    or plan.spurious_throttle(self.name, kernel.name, cell, 0)
+                    or plan.dropout_episode(self.name, kernel.name, cell, 0)
+                ):
+                    faulted.append(i)
+                else:
+                    clean.append(i)
+            measurements: List[Optional[PowerMeasurement]] = [None] * len(runs)
+            if clean:
+                medians = self._grid_medians(
+                    kernel,
+                    [runs[i] for i in clean],
+                    [totals[i] for i in clean],
+                    [counts[i] for i in clean],
+                    repeats,
+                    idle_cache,
+                )
+                for j, i in enumerate(clean):
+                    measurements[i] = PowerMeasurement(
+                        kernel_name=kernel.name,
+                        requested_config=runs[i].requested_config,
+                        applied_config=runs[i].applied_config,
+                        average_watts=medians[j],
+                        sample_count=counts[i],
+                        repetitions=repetitions,
+                        total_seconds=totals[i],
+                    )
+            for i in faulted:
+                try:
+                    measurements[i] = self._measure_median_resilient(
+                        kernel, runs[i].requested_config, repeats
+                    )
+                except PersistentDriverError:
+                    if on_unreadable == "raise":
+                        raise
+                    measurements[i] = PowerMeasurement(
+                        kernel_name=kernel.name,
+                        requested_config=runs[i].requested_config,
+                        applied_config=runs[i].applied_config,
+                        average_watts=float("nan"),
+                        sample_count=counts[i],
+                        repetitions=repetitions,
+                        total_seconds=totals[i],
+                        quality=(faultlib.UNREADABLE,),
+                        retries=self.retry_policy.max_attempts - 1,
+                    )
+            rows.append(tuple(measurements))
+        return PowerGrid(
+            kernel_names=tuple(kernel.name for kernel in kernels),
+            configs=requested,
+            measurements=tuple(rows),
+        )
 
     def _grid_medians(
         self,

@@ -19,7 +19,15 @@ from typing import Optional, Sequence
 
 from repro.config import SimulationSettings
 from repro.driver.cupti import CuptiContext, EventRecord
+from repro.driver.faults import (
+    DEFAULT_RETRY_POLICY,
+    BackoffClock,
+    FaultPlan,
+    FaultStats,
+    RetryPolicy,
+)
 from repro.driver.nvml import NVMLDevice, PowerGrid, PowerMeasurement
+from repro.errors import PersistentDriverError, TransientCuptiError
 from repro.hardware.gpu import SimulatedGPU
 from repro.hardware.specs import FrequencyConfig
 from repro.kernels.kernel import KernelDescriptor
@@ -48,12 +56,34 @@ class ProfilingSession:
     """Measurement front-end for one simulated device."""
 
     def __init__(
-        self, gpu: SimulatedGPU, settings: Optional[SimulationSettings] = None
+        self,
+        gpu: SimulatedGPU,
+        settings: Optional[SimulationSettings] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
+        """``fault_plan`` defaults to the plan attached to the board (if
+        any); the session then shares one retry policy, virtual backoff
+        clock and fault tally across its NVML and CUPTI handles."""
         self.gpu = gpu
         self.settings = settings or gpu.settings
-        self.nvml = NVMLDevice(gpu, self.settings)
-        self.cupti = CuptiContext(gpu, self.settings)
+        if fault_plan is None:
+            fault_plan = getattr(gpu, "fault_plan", None)
+        self.fault_plan = fault_plan
+        self.retry_policy = retry or DEFAULT_RETRY_POLICY
+        self.backoff_clock = BackoffClock()
+        self.fault_stats = FaultStats()
+        self.nvml = NVMLDevice(
+            gpu,
+            self.settings,
+            fault_plan=fault_plan,
+            retry=self.retry_policy,
+            clock=self.backoff_clock,
+            stats=self.fault_stats,
+        )
+        self.cupti = CuptiContext(
+            gpu, self.settings, fault_plan=fault_plan, stats=self.fault_stats
+        )
 
     @property
     def reference(self) -> FrequencyConfig:
@@ -77,20 +107,46 @@ class ProfilingSession:
         self,
         kernels: Sequence[KernelDescriptor],
         configs: Optional[Sequence[FrequencyConfig]] = None,
+        on_unreadable: str = "raise",
     ) -> PowerGrid:
         """The whole kernel x configuration power matrix, batched.
 
         Delegates to :meth:`NVMLDevice.measure_power_grid`; every cell is
         bitwise identical to a scalar :meth:`measure_power` call at the same
         (kernel, configuration). The application clocks are left untouched.
+        ``on_unreadable`` (``"raise"``/``"skip"``) controls what happens to
+        cells that stay unreadable under an active fault plan.
         """
-        return self.nvml.measure_power_grid(kernels, configs)
+        return self.nvml.measure_power_grid(
+            kernels, configs, on_unreadable=on_unreadable
+        )
 
     def collect_events(
         self, kernel: KernelDescriptor, config: Optional[FrequencyConfig] = None
     ) -> EventRecord:
-        """Raw Table-I events (defaults to the reference configuration)."""
-        return self.cupti.collect_events(kernel, config or self.reference)
+        """Raw Table-I events (defaults to the reference configuration).
+
+        Under an active fault plan, transient CUPTI failures retry with
+        backoff on the session's virtual clock; an exhausted budget raises
+        :class:`PersistentDriverError`.
+        """
+        target = config or self.reference
+        plan = self.fault_plan
+        if plan is None or not plan.enabled:
+            return self.cupti.collect_events(kernel, target)
+        policy = self.retry_policy
+        last_error: Optional[TransientCuptiError] = None
+        for attempt in range(policy.max_attempts):
+            try:
+                return self.cupti.collect_events(kernel, target, attempt=attempt)
+            except TransientCuptiError as error:
+                last_error = error
+                if attempt + 1 < policy.max_attempts:
+                    self.backoff_clock.sleep(policy.delay_for(attempt))
+        raise PersistentDriverError(
+            f"event collection for {kernel.name} on {self.gpu.spec.name} "
+            f"still failing after {policy.max_attempts} attempts"
+        ) from last_error
 
     def measure_time(
         self, kernel: KernelDescriptor, config: Optional[FrequencyConfig] = None

@@ -38,12 +38,37 @@ class DriverError(ReproError):
     """Base class for NVML/CUPTI driver-layer failures."""
 
 
+class TransientDriverError(DriverError):
+    """A driver call failed in a way that a bounded retry may recover from
+    (flaky sensor read, momentary counter-collection failure). The
+    resilience layer retries these with exponential backoff; anything that
+    survives the retry budget is re-raised as
+    :class:`PersistentDriverError`."""
+
+
+class PersistentDriverError(DriverError):
+    """A driver operation kept failing after the full retry budget.
+
+    Campaign code treats this as "skip and record": the affected cell or
+    kernel is dropped from the dataset and reported in the
+    :class:`~repro.core.dataset.CampaignReport` instead of aborting the run.
+    """
+
+
 class NVMLError(DriverError):
     """An NVML-like operation failed (bad clock request, closed handle...)."""
 
 
+class TransientNVMLError(NVMLError, TransientDriverError):
+    """A transient NVML failure (power read / clock set), retryable."""
+
+
 class CuptiError(DriverError):
     """A CUPTI-like operation failed (unknown event, no active session...)."""
+
+
+class TransientCuptiError(CuptiError, TransientDriverError):
+    """A transient CUPTI event-collection failure, retryable."""
 
 
 class UnknownEventError(CuptiError):

@@ -15,7 +15,10 @@ them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.driver.faults import FaultPlan
 
 import numpy as np
 
@@ -68,11 +71,19 @@ class SimulatedGPU:
         voltage_table: Optional[VoltageTable] = None,
         tdp_throttling: bool = True,
         noise_profile: Optional[NoiseProfile] = None,
+        fault_plan: Optional["FaultPlan"] = None,
     ) -> None:
         """``noise_profile`` overrides the architecture's measurement-chain
-        noise — the knob of the noise-sweep experiment."""
+        noise — the knob of the noise-sweep experiment. ``fault_plan``
+        attaches a :class:`~repro.driver.faults.FaultPlan` to the board:
+        driver handles opened on this device inherit it, so a chaos
+        campaign needs the plan in exactly one place."""
         self.spec = spec
         self.settings = settings
+        #: Fault plan inherited by driver layers opened on this device.
+        #: The plan never alters the ground-truth physics — only how the
+        #: NVML/CUPTI observation layer perceives it.
+        self.fault_plan = fault_plan
         self._noise_profile = noise_profile or noise_profile_for(
             spec.architecture
         )

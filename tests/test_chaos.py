@@ -1,0 +1,184 @@
+"""Chaos tests: the measurement campaign under seeded driver faults.
+
+The headline resilience guarantees of the fault-injection layer:
+
+* a 5 % transient-fault plan never aborts the campaign — every device's
+  full suite x grid dataset completes, with per-cell quality flags;
+* the estimator fitted on the faulted dataset stays within 2 % RMSE (and
+  small voltage deviations) of the fault-free fit;
+* the vectorized grid path and the scalar walk observe the *same* seeded
+  fault stream, so their datasets are identical row by row;
+* everything is deterministic and no retry ever sleeps on the wall clock.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import collect_campaign, collect_training_dataset
+from repro.core.estimation import ModelEstimator
+from repro.driver.faults import FaultPlan
+from repro.driver.session import ProfilingSession
+from repro.hardware.gpu import SimulatedGPU
+from repro.microbench import build_suite
+
+#: The acceptance setting: every transient fault class at 5 %.
+CHAOS_RATE = 0.05
+CHAOS_SEED = 20180224
+
+
+def _chaos_session(spec, seed: int = CHAOS_SEED) -> ProfilingSession:
+    plan = FaultPlan.transient(CHAOS_RATE, seed=seed)
+    return ProfilingSession(SimulatedGPU(spec, fault_plan=plan))
+
+
+@pytest.fixture(autouse=True)
+def _no_wall_clock_sleeps(monkeypatch):
+    """Chaos runs must never stall: backoff is virtual by construction."""
+    import time
+
+    def forbidden(_seconds):  # pragma: no cover - tripping it is the bug
+        raise AssertionError(
+            "fault-injection retry slept on the wall clock"
+        )
+
+    monkeypatch.setattr(time, "sleep", forbidden)
+
+
+class TestChaosCampaign:
+    """Full-suite campaign under the 5 % plan, per device (acceptance)."""
+
+    def test_campaign_completes_with_quality_flags(self, lab, any_spec):
+        session = _chaos_session(any_spec)
+        dataset, campaign = collect_campaign(session, lab.suite)
+
+        clean = lab.dataset(any_spec.name)
+        # Graceful degradation may only ever *remove* cells, and at 5 %
+        # transient rates nothing should actually be lost.
+        assert campaign.skipped_kernels == ()
+        assert campaign.skipped_cells == ()
+        assert campaign.complete
+        assert campaign.row_count == len(clean.rows)
+
+        # Faults demonstrably fired and were recorded per cell.
+        assert campaign.flagged_rows > 0
+        assert campaign.read_faults > 0
+        assert campaign.dropped_samples > 0
+        assert campaign.backoff_seconds > 0
+        flags = {flag for row in dataset.rows for flag in row.quality}
+        assert "dropouts" in flags
+        assert np.isfinite(dataset.measured_vector()).all()
+
+    def test_estimator_fit_within_tolerance_of_fault_free(self, lab, any_spec):
+        session = _chaos_session(any_spec)
+        dataset, _ = collect_campaign(session, lab.suite)
+        model, report = ModelEstimator(dataset).estimate()
+
+        clean_model = lab.model(any_spec.name)
+        clean_report = lab.report(any_spec.name)
+        # Acceptance: <= 2 % RMSE deviation from the fault-free fit
+        # (measured ~0.1-0.4 % across the three devices).
+        rmse_deviation = (
+            abs(report.final_rmse - clean_report.final_rmse)
+            / clean_report.final_rmse
+        )
+        assert rmse_deviation <= 0.02
+        assert report.train_mae_percent == pytest.approx(
+            clean_report.train_mae_percent, abs=0.5
+        )
+        # Fitted voltages stay close cell by cell (measured <= 0.03).
+        for config in clean_model.known_configurations():
+            chaos_v = model.voltage_at(config)
+            clean_v = clean_model.voltage_at(config)
+            assert abs(chaos_v.v_core - clean_v.v_core) <= 0.05
+            assert abs(chaos_v.v_mem - clean_v.v_mem) <= 0.05
+
+    def test_campaign_deterministic_in_seed(self, lab):
+        spec = lab.spec("Tesla K40c")  # smallest grid: fastest double run
+        kernels = lab.suite[:12]
+        first, report_a = collect_campaign(_chaos_session(spec), kernels)
+        second, report_b = collect_campaign(_chaos_session(spec), kernels)
+        assert first.rows == second.rows
+        assert report_a == report_b
+
+    def test_different_seed_different_fault_stream(self, lab):
+        spec = lab.spec("Tesla K40c")
+        kernels = lab.suite[:12]
+        _, report_a = collect_campaign(_chaos_session(spec, seed=1), kernels)
+        _, report_b = collect_campaign(_chaos_session(spec, seed=2), kernels)
+        assert (
+            report_a.read_faults,
+            report_a.dropped_samples,
+            report_a.retried_rows,
+        ) != (
+            report_b.read_faults,
+            report_b.dropped_samples,
+            report_b.retried_rows,
+        )
+
+
+class TestChaosGridScalarEquivalence:
+    """Grid fast path and scalar walk observe identical fault streams."""
+
+    def test_grid_rows_identical_to_scalar_under_faults(self, lab, any_spec):
+        kernels = lab.suite[:6]
+        configs = any_spec.all_configurations()[:8]
+        # Clock-set faults stay off: the grid path performs no clock-set
+        # driver calls at all, so they are inherently path dependent.
+        plan = FaultPlan(
+            seed=CHAOS_SEED,
+            nvml_read_rate=CHAOS_RATE,
+            cupti_read_rate=CHAOS_RATE,
+            sample_dropout_rate=0.3,
+            thermal_throttle_rate=0.15,
+        )
+        grid_session = ProfilingSession(SimulatedGPU(any_spec, fault_plan=plan))
+        scalar_session = ProfilingSession(
+            SimulatedGPU(any_spec, fault_plan=plan)
+        )
+        fast, fast_report = collect_campaign(grid_session, kernels, configs)
+        slow, slow_report = collect_campaign(
+            scalar_session, kernels, configs, use_grid=False
+        )
+        assert fast.rows == slow.rows
+        assert fast_report.flagged_rows == slow_report.flagged_rows
+        assert fast_report.flagged_rows > 0  # the rates guarantee faults
+        assert fast_report.dropped_samples == slow_report.dropped_samples
+
+    def test_faults_disabled_bitwise_identical_to_no_plan(self, any_spec):
+        kernels = build_suite()[:4]
+        configs = any_spec.all_configurations()[:5]
+        bare = collect_training_dataset(
+            ProfilingSession(SimulatedGPU(any_spec)), kernels, configs
+        )
+        gated = collect_training_dataset(
+            ProfilingSession(SimulatedGPU(any_spec, fault_plan=FaultPlan())),
+            kernels,
+            configs,
+        )
+        assert bare.rows == gated.rows
+
+
+class TestChaosReport:
+    def test_clean_campaign_reports_all_clean(self, lab):
+        spec = lab.spec("Tesla K40c")
+        session = ProfilingSession(SimulatedGPU(spec))
+        dataset, report = collect_campaign(session, lab.suite[:6])
+        assert report.complete
+        assert report.flagged_rows == 0
+        assert report.read_faults == 0
+        assert report.backoff_seconds == 0.0
+        assert "clean" in report.summary()
+
+    def test_summary_mentions_skips(self, lab):
+        spec = lab.spec("Tesla K40c")
+        # Event collection always fails -> some kernels must be skipped.
+        plan = FaultPlan(cupti_read_rate=0.9, seed=5)
+        session = ProfilingSession(SimulatedGPU(spec, fault_plan=plan))
+        dataset, report = collect_campaign(session, lab.suite[:12])
+        assert report.skipped_kernels  # 0.9^4 ~ 66 % per kernel
+        assert not report.complete
+        assert "skipped kernels" in report.summary()
+        surviving = set(dataset.kernel_names())
+        assert surviving.isdisjoint(report.skipped_kernels)

@@ -199,6 +199,95 @@ def test_minimize_voltage_1d_matches_brute_force():
         assert value <= brute + 1e-6 * scale
 
 
+def _adversarial_cases():
+    """Hand-crafted pathologies for the closed-form stationary cubic.
+
+    The minimizer solves ``2 s2 V^3 + 3 beta s1 V^2 + (n beta^2 - 2 srs) V
+    - beta sr = 0``; these cases drive that cubic toward its degenerate
+    corners: vanishing leading coefficient, repeated roots, zero-derivative
+    plateaus, and stationary points parked exactly on the bounds.
+    """
+    cases = []
+    # Near-degenerate quadratic term: s -> 0 collapses the cubic toward a
+    # linear equation; the solver must not blow up on the tiny leading
+    # coefficient (a classic np.roots ill-conditioning trap).
+    for s in (1e-14, 1e-10, 1e-7, 1e-4):
+        cases.append((37.5, np.asarray([s]), np.asarray([41.0])))
+        cases.append((-12.0, np.asarray([s]), np.asarray([-8.0])))
+    # Exactly-zero quadratic term with nonzero beta: pure linear model.
+    cases.append((25.0, np.asarray([0.0]), np.asarray([20.0])))
+    # Both terms zero: the objective is constant in V; any in-bounds
+    # answer is optimal and the solver must still return one.
+    cases.append((0.0, np.asarray([0.0]), np.asarray([15.0])))
+    # Repeated root of the residual: for n=1 the single-term objective
+    # (beta V + s V^2 - t)^2 has a double root of its gradient wherever
+    # beta V + s V^2 = t has a repeated solution, i.e. t = -beta^2/(4 s).
+    for beta, s in ((30.0, 50.0), (-20.0, 80.0), (4.0, 400.0)):
+        cases.append(
+            (beta, np.asarray([s]), np.asarray([-(beta**2) / (4.0 * s)]))
+        )
+    # Stationary point parked exactly on each bound: V* solves
+    # beta V + s V^2 = t, so pick t accordingly.
+    for v_star in BOUNDS:
+        beta, s = 10.0, 120.0
+        cases.append(
+            (beta, np.asarray([s]), np.asarray([beta * v_star + s * v_star**2]))
+        )
+    # Opposed targets with mismatched scales: the optimum balances one
+    # huge and one tiny residual (exercises candidate comparison).
+    cases.append(
+        (5.0, np.asarray([300.0, 0.001]), np.asarray([250.0, -40.0]))
+    )
+    # Large-coefficient stress: magnitudes near the top of the physical
+    # range amplify any root-polishing error.
+    cases.append(
+        (
+            -60.0,
+            np.asarray([1200.0, 950.0, 1100.0]),
+            np.asarray([300.0, -50.0, 120.0]),
+        )
+    )
+    return cases
+
+
+def test_minimize_voltage_1d_adversarial_cases_match_brute_force():
+    """Degenerate/repeated-root pathologies: closed form vs 20k-point scan."""
+    for beta, quadratic, target in _adversarial_cases():
+        found = minimize_voltage_1d(beta, quadratic, target, BOUNDS)
+        assert BOUNDS[0] <= found <= BOUNDS[1]
+        assert np.isfinite(found)
+        brute = float(np.min(_objective(beta, quadratic, target, BRUTE_GRID)))
+        value = float(_objective(beta, quadratic, target, found))
+        scale = max(1.0, abs(brute))
+        assert value <= brute + 1e-6 * scale
+
+
+def test_minimize_voltage_1d_stats_adversarial_cases_lane_by_lane():
+    """The batched minimizer survives the same pathologies, per lane."""
+    for beta, quadratic, target in _adversarial_cases():
+        lane = minimize_voltage_1d_stats(
+            beta,
+            np.asarray([float(quadratic.size)]),
+            np.asarray([np.sum(quadratic)]),
+            np.asarray([np.sum(quadratic**2)]),
+            np.asarray([np.sum(target)]),
+            np.asarray([np.sum(target * quadratic)]),
+            BOUNDS,
+        )
+        found = float(lane[0])
+        assert BOUNDS[0] <= found <= BOUNDS[1]
+        assert np.isfinite(found)
+        brute = float(np.min(_objective(beta, quadratic, target, BRUTE_GRID)))
+        value = float(_objective(beta, quadratic, target, found))
+        scale = max(1.0, abs(brute))
+        assert value <= brute + 1e-6 * scale
+        scalar = minimize_voltage_1d(beta, quadratic, target, BOUNDS)
+        assert abs(found - scalar) <= 1e-9 or (
+            abs(value - float(_objective(beta, quadratic, target, scalar)))
+            <= 1e-9 * scale
+        )
+
+
 def test_minimize_voltage_1d_stats_matches_scalar_and_brute_force():
     """The batched minimizer agrees lane-by-lane with the scalar one."""
     cases = list(_random_cases(250))

@@ -1,0 +1,133 @@
+"""Property tests (seeded fuzz) for the Eq. 8-10 utilization metrics.
+
+Whatever raw event values CUPTI hands back — including the corner cases the
+chaos layer injects (zero counters, 32-bit saturated counters, wildly
+inconsistent mixtures) — the computed utilizations must always be finite
+and land in [0, 1], and the only rejection the calculator is allowed is the
+documented ``active_cycles <= 0`` :class:`MetricError`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.metrics import MetricCalculator
+from repro.driver.cupti import EventRecord
+from repro.driver.events import event_table_for
+from repro.errors import MetricError
+from repro.hardware.components import ALL_COMPONENTS
+from repro.hardware.specs import ALL_GPUS
+
+#: The value a pegged 32-bit hardware counter reads back.
+SATURATED = float(2**32 - 1)
+
+#: The event-table groups the calculator consumes.
+GROUPS = (
+    "active_cycles",
+    "warps_sp_int",
+    "warps_dp",
+    "warps_sf",
+    "inst_int",
+    "inst_sp",
+    "l2_read_sector_queries",
+    "l2_write_sector_queries",
+    "shared_load_transactions",
+    "shared_store_transactions",
+    "dram_read_sectors",
+    "dram_write_sectors",
+)
+
+
+def _event_names(spec):
+    table = event_table_for(spec.architecture)
+    names = []
+    for group in GROUPS:
+        names.extend(getattr(table, group))
+    return tuple(dict.fromkeys(names))
+
+
+def _record(spec, values, config=None):
+    return EventRecord(
+        kernel_name="fuzz",
+        architecture=spec.architecture,
+        config=config or spec.reference,
+        values=values,
+        elapsed_seconds=1e-3,
+    )
+
+
+#: One raw counter value: zero, tiny, plausible, huge, or 32-bit saturated.
+counter_values = st.one_of(
+    st.just(0.0),
+    st.just(SATURATED),
+    st.floats(
+        min_value=0.0,
+        max_value=SATURATED,
+        allow_nan=False,
+        allow_infinity=False,
+    ),
+)
+
+
+@pytest.mark.parametrize(
+    "spec", ALL_GPUS, ids=[spec.name for spec in ALL_GPUS]
+)
+class TestUtilizationProperties:
+    @settings(max_examples=120, deadline=None, derandomize=True)
+    @given(data=st.data())
+    def test_utilizations_always_in_unit_interval(self, spec, data):
+        names = _event_names(spec)
+        values = {
+            name: data.draw(counter_values, label=name) for name in names
+        }
+        configs = spec.all_configurations()
+        config = configs[data.draw(
+            st.integers(min_value=0, max_value=len(configs) - 1),
+            label="config",
+        )]
+        calculator = MetricCalculator(spec)
+        record = _record(spec, values, config)
+        active_cycles = record.total(calculator.table.active_cycles)
+        if active_cycles <= 0:
+            with pytest.raises(MetricError):
+                calculator.utilizations(record)
+            return
+        vector = calculator.utilizations(record)
+        for component in ALL_COMPONENTS:
+            value = vector[component]
+            assert np.isfinite(value)
+            assert 0.0 <= value <= 1.0
+        assert np.isfinite(vector.core_array()).all()
+
+    def test_zero_cycle_record_raises_metric_error(self, spec):
+        values = {name: 0.0 for name in _event_names(spec)}
+        with pytest.raises(MetricError):
+            MetricCalculator(spec).utilizations(_record(spec, values))
+
+    def test_all_saturated_counters_clip_to_one(self, spec):
+        """Every counter pegged at 2^32-1: the chaos layer's saturation
+        fault in its most extreme form. Everything must clip into [0, 1]
+        (the SP/INT split sees a 50/50 instruction mix, so those two land
+        at most at 1 after clipping, never above)."""
+        values = {name: SATURATED for name in _event_names(spec)}
+        vector = MetricCalculator(spec).utilizations(_record(spec, values))
+        for component in ALL_COMPONENTS:
+            assert np.isfinite(vector[component])
+            assert 0.0 <= vector[component] <= 1.0
+
+    def test_zero_instructions_zero_sp_int_split(self, spec):
+        """Eq. 10 with inst_int + inst_sp == 0 must not divide by zero."""
+        names = _event_names(spec)
+        table = event_table_for(spec.architecture)
+        values = {name: 0.0 for name in names}
+        for name in table.active_cycles:
+            values[name] = 1e6
+        for name in table.warps_sp_int:
+            values[name] = SATURATED  # warps counted, instructions lost
+        vector = MetricCalculator(spec).utilizations(_record(spec, values))
+        from repro.hardware.components import Component
+
+        assert vector[Component.SP] == 0.0
+        assert vector[Component.INT] == 0.0

@@ -69,6 +69,44 @@ class TestClockControl:
             nvml.measure_power(idle_kernel())
 
 
+class TestHandleLifecycle:
+    def test_close_is_idempotent(self, nvml):
+        nvml.close()
+        nvml.close()  # double-close must be a silent no-op
+        assert nvml.closed
+
+    def test_closed_property_tracks_state(self, nvml):
+        assert not nvml.closed
+        nvml.close()
+        assert nvml.closed
+
+    def test_every_public_method_rejects_use_after_close(self, nvml):
+        nvml.close()
+        kernel = idle_kernel()
+        operations = [
+            lambda: nvml.supported_memory_clocks(),
+            lambda: nvml.supported_graphics_clocks(3505),
+            lambda: nvml.set_application_clocks(975, 3505),
+            lambda: nvml.reset_application_clocks(),
+            lambda: nvml.measure_power(kernel),
+            lambda: nvml.measure_median_power(kernel),
+            lambda: nvml.measure_power_grid([kernel]),
+        ]
+        for operation in operations:
+            with pytest.raises(NVMLError) as excinfo:
+                operation()
+            # The message names the device and says what happened.
+            assert "closed" in str(excinfo.value)
+            assert "GTX Titan X" in str(excinfo.value)
+
+    def test_use_after_close_raises_before_argument_validation(self, nvml):
+        """A closed handle reports the close, not a frequency error."""
+        nvml.close()
+        with pytest.raises(NVMLError) as excinfo:
+            nvml.set_application_clocks(123456, 3505)
+        assert "closed" in str(excinfo.value)
+
+
 class TestPowerMeasurement:
     def test_noiseless_measurement_matches_truth(self, quiet_nvml):
         kernel = workload_by_name("gemm")

@@ -91,6 +91,67 @@ class TestCumulativeUpdates:
         assert meter.total_energy_joules == 0.0
 
 
+class TestMeterEdgeCases:
+    def test_fresh_meter_is_empty(self, meter):
+        assert meter.readings == []
+        assert meter.total_energy_joules == 0.0
+
+    def test_readings_property_returns_a_copy(self, lab, meter):
+        session = lab.session("GTX Titan X")
+        record = session.collect_events(workload_by_name("gemm"))
+        meter.observe_kernel(record)
+        snapshot = meter.readings
+        snapshot.clear()
+        assert len(meter.readings) == 1
+
+    def test_reading_resumes_after_counter_reset(self, lab, meter):
+        """A reset drops one window but the next delta meters normally."""
+        session = lab.session("GTX Titan X")
+        record = session.collect_events(workload_by_name("gemm"))
+        meter.update(cumulative_counters(record, 5.0), record.config)
+        assert meter.update(
+            cumulative_counters(record, 1.0), record.config
+        ) is None
+        reading = meter.update(
+            cumulative_counters(record, 2.0), record.config
+        )
+        assert reading is not None
+        assert reading.power_watts > 0
+
+    def test_counter_absent_from_baseline_counts_from_zero(self, lab, meter):
+        """A counter that appears mid-stream deltas against zero rather
+        than crashing the window."""
+        session = lab.session("GTX Titan X")
+        record = session.collect_events(workload_by_name("gemm"))
+        counters = cumulative_counters(record)
+        missing = next(iter(counters))
+        baseline = {k: v for k, v in counters.items() if k != missing}
+        meter.update(baseline, record.config)
+        reading = meter.update(
+            cumulative_counters(record, 2.0), record.config
+        )
+        assert reading is not None
+        assert reading.power_watts > 0
+
+    def test_update_rejects_unsupported_config(self, lab, meter):
+        from repro.errors import FrequencyError
+
+        session = lab.session("GTX Titan X")
+        record = session.collect_events(workload_by_name("gemm"))
+        with pytest.raises(FrequencyError):
+            meter.update(
+                cumulative_counters(record), FrequencyConfig(123, 456)
+            )
+
+    def test_average_power_matches_single_window(self, lab, meter):
+        session = lab.session("GTX Titan X")
+        record = session.collect_events(workload_by_name("gemm"))
+        reading = meter.observe_kernel(record)
+        assert meter.average_power_watts() == pytest.approx(
+            reading.power_watts
+        )
+
+
 class TestAcrossConfigurations:
     def test_metering_tracks_configuration(self, lab):
         """The same activity at a lower-memory configuration meters lower."""

@@ -7,9 +7,12 @@ import pytest
 
 from repro.errors import ValidationError
 from repro.hardware.specs import FrequencyConfig
+from repro.runtime.manager import OnlineDVFSManager
+from repro.runtime.policies import StaticPolicy
 from repro.runtime.trace import (
     ApplicationTrace,
     PhaseExecution,
+    TracePhase,
     TraceReport,
 )
 from repro.workloads import workload_by_name
@@ -68,6 +71,20 @@ class TestTraceReport:
         assert report.energy_saving_fraction == 0.0
         assert report.slowdown == 1.0
 
+    def test_baseline_equals_totals_is_exact_identity(self):
+        """When the executed trace *is* the baseline, the comparison
+        metrics are exactly neutral — not merely approximately."""
+        runs = (execution(energy=7.5, seconds=1.25),)
+        report = TraceReport(
+            trace_name="t",
+            device_name="d",
+            executions=runs,
+            baseline_energy_joules=7.5,
+            baseline_time_seconds=1.25,
+        )
+        assert report.energy_saving_fraction == 0.0
+        assert report.slowdown == 1.0
+
     def test_chosen_configs_last_wins(self):
         """When a kernel appears in several phases, the last phase's
         configuration is reported — managers may only ever use one, but the
@@ -92,6 +109,27 @@ class TestTraceReport:
 
 
 class TestApplicationTrace:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValidationError):
+            ApplicationTrace(name="empty", phases=())
+
+    def test_from_pairs_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            ApplicationTrace.from_pairs("empty", [])
+
+    def test_nonpositive_invocations_rejected(self):
+        gemm = workload_by_name("gemm")
+        with pytest.raises(ValidationError):
+            TracePhase(kernel=gemm, invocations=0)
+        with pytest.raises(ValidationError):
+            TracePhase(kernel=gemm, invocations=-3)
+
+    def test_single_phase_trace(self):
+        gemm = workload_by_name("gemm")
+        trace = ApplicationTrace.from_pairs("solo", [(gemm, 1)])
+        assert trace.total_invocations == 1
+        assert [k.name for k in trace.distinct_kernels()] == ["gemm"]
+
     def test_from_pairs_roundtrip(self):
         gemm = workload_by_name("gemm")
         trace = ApplicationTrace.from_pairs("t", [(gemm, 5), (gemm, 3)])
@@ -103,3 +141,57 @@ class TestApplicationTrace:
         lbm = workload_by_name("lbm")
         trace = ApplicationTrace.from_pairs("t", [(lbm, 1), (gemm, 1)])
         assert [p.kernel.name for p in trace.phases] == ["lbm", "gemm"]
+
+
+class TestManagedTraceEdgeCases:
+    """run_trace on the degenerate traces the accounting must not mangle."""
+
+    def _manager(self, lab, candidates=None):
+        spec = lab.spec("GTX Titan X")
+        return OnlineDVFSManager(
+            model=lab.model("GTX Titan X"),
+            session=lab.session("GTX Titan X"),
+            policy=StaticPolicy(spec.reference),
+            candidate_configs=candidates or [spec.reference],
+        )
+
+    def test_single_phase_single_invocation_trace(self, lab):
+        """One phase, one launch: the sole invocation is the profiling run
+        at the reference, so the report is the baseline itself."""
+        gemm = workload_by_name("gemm")
+        trace = ApplicationTrace.from_pairs("solo", [(gemm, 1)])
+        report = self._manager(lab).run_trace(trace)
+        assert len(report.executions) == 1
+        only = report.executions[0]
+        assert only.profiled
+        assert only.invocations == 1
+        assert report.total_energy_joules == report.baseline_energy_joules
+        assert report.total_time_seconds == report.baseline_time_seconds
+
+    def test_reference_pinned_policy_is_exactly_neutral(self, lab):
+        """Chosen config == baseline config: zero saving, unit slowdown,
+        bitwise (the two accountings take identical measurement paths)."""
+        spec = lab.spec("GTX Titan X")
+        gemm = workload_by_name("gemm")
+        lbm = workload_by_name("lbm")
+        trace = ApplicationTrace.from_pairs("pinned", [(gemm, 4), (lbm, 2)])
+        report = self._manager(lab).run_trace(trace)
+        for phase_run in report.executions:
+            assert phase_run.config == spec.reference
+        assert report.energy_saving_fraction == 0.0
+        assert report.slowdown == 1.0
+
+    def test_reference_pinned_among_full_candidates(self, lab):
+        """The identity holds even when the policy picked the reference out
+        of the full candidate grid, not a singleton list."""
+        spec = lab.spec("GTX Titan X")
+        gemm = workload_by_name("gemm")
+        trace = ApplicationTrace.from_pairs("pinned", [(gemm, 3)])
+        manager = self._manager(
+            lab,
+            candidates=list(spec.all_configurations()[:6]) + [spec.reference],
+        )
+        report = manager.run_trace(trace)
+        assert report.chosen_configs()["gemm"] == spec.reference
+        assert report.energy_saving_fraction == 0.0
+        assert report.slowdown == 1.0
