@@ -21,6 +21,13 @@ and grid campaigns must produce identical training rows, and the scalar and
 vectorized estimators must agree on every fitted voltage and on the RMSE
 history (tolerance 1e-9; observed agreement is ~1e-15).
 
+Since ISSUE 3 the harness also times a telemetry-ON pass (a live
+``TraceRecorder`` attached to the board and the estimator) and enforces the
+telemetry overhead guard: with telemetry *off*, GTX Titan X
+collect+estimate must stay within ``OVERHEAD_TOLERANCE`` (5%) of the PR 1
+recorded total, otherwise a :class:`BenchmarkRegression` is raised — the
+no-op recorder on the hot path must be free.
+
 Usage::
 
     python benchmarks/bench_pipeline.py                 # full grid, all devices
@@ -43,6 +50,21 @@ from typing import Dict, List, Optional, Sequence
 #: criterion ("fast path >= 5x the seed") stays checkable.
 SEED_BASELINE_SECONDS = {"collect": 13.0, "estimate": 9.0}
 SEED_BASELINE_DEVICE = "GTX Titan X"
+
+#: GTX Titan X fast-path timings recorded by the PR 1 harness (best of 3,
+#: full suite x grid). The telemetry overhead guard asserts that the
+#: instrumented-but-disabled pipeline stays within ``OVERHEAD_TOLERANCE``
+#: of these numbers: the no-op recorder must be free.
+PR1_BASELINE_SECONDS = {
+    "GTX Titan X": {"collect": 0.3896, "estimate": 0.2069, "total": 0.5965}
+}
+#: Allowed fractional regression of telemetry-off collect+estimate vs PR 1.
+OVERHEAD_TOLERANCE = 0.05
+
+
+class BenchmarkRegression(AssertionError):
+    """The telemetry-off pipeline regressed past the PR 1 guard band."""
+
 
 #: Subset sizes of the --quick smoke tier.
 QUICK_KERNELS = 12
@@ -111,6 +133,19 @@ def bench_device(
         t2 = time.perf_counter()
         return (t1 - t0, t2 - t1), dataset, model, report
 
+    def run_traced():
+        from repro.telemetry import TraceRecorder
+
+        recorder = TraceRecorder()
+        gpu = SimulatedGPU(spec, recorder=recorder)
+        session = ProfilingSession(gpu)
+        t0 = time.perf_counter()
+        dataset = collect_training_dataset(session, kernels, configs)
+        t1 = time.perf_counter()
+        ModelEstimator(dataset, recorder=recorder).estimate()
+        t2 = time.perf_counter()
+        return (t1 - t0, t2 - t1)
+
     # Best-of-N wall-clock per path (fresh device each time, so no run
     # caches leak between repeats); the last repeat's artifacts feed the
     # equivalence checks.
@@ -143,8 +178,12 @@ def bench_device(
         else float("inf")
     )
 
+    traced_times = [run_traced() for _ in range(repeats)]
+    traced_collect, traced_estimate = map(min, zip(*traced_times))
+
     fast_total = fast_collect + fast_estimate
     scalar_total = scalar_collect + scalar_estimate
+    traced_total = traced_collect + traced_estimate
     record: Dict[str, object] = {
         "device": spec.name,
         "kernels": len(kernels),
@@ -161,6 +200,14 @@ def bench_device(
             "total_seconds": round(scalar_total, 4),
         },
         "speedup_vs_scalar": round(scalar_total / fast_total, 2),
+        "telemetry": {
+            "collect_seconds": round(traced_collect, 4),
+            "estimate_seconds": round(traced_estimate, 4),
+            "total_seconds": round(traced_total, 4),
+            "overhead_vs_off_percent": round(
+                100.0 * (traced_total / fast_total - 1.0), 2
+            ),
+        },
         "equivalence": {
             "rows_identical": bool(rows_identical),
             "max_voltage_diff": float(voltage_diff),
@@ -171,6 +218,24 @@ def bench_device(
     if spec.name == SEED_BASELINE_DEVICE and not quick:
         seed_total = sum(SEED_BASELINE_SECONDS.values())
         record["speedup_vs_seed"] = round(seed_total / fast_total, 1)
+    if spec.name in PR1_BASELINE_SECONDS and not quick:
+        baseline_total = PR1_BASELINE_SECONDS[spec.name]["total"]
+        limit = baseline_total * (1.0 + OVERHEAD_TOLERANCE)
+        record["overhead_guard"] = {
+            "pr1_total_seconds": baseline_total,
+            "tolerance_percent": 100.0 * OVERHEAD_TOLERANCE,
+            "limit_seconds": round(limit, 4),
+            "measured_total_seconds": round(fast_total, 4),
+            "within_tolerance": bool(fast_total <= limit),
+        }
+        if fast_total > limit:
+            raise BenchmarkRegression(
+                f"{spec.name}: telemetry-off collect+estimate took "
+                f"{fast_total:.4f}s, above the PR 1 guard band of "
+                f"{limit:.4f}s ({baseline_total:.4f}s "
+                f"+{100.0 * OVERHEAD_TOLERANCE:.0f}%); the disabled "
+                "recorder must stay free on the hot path"
+            )
     return record
 
 
@@ -201,6 +266,11 @@ def run_benchmark(
         )
         if "speedup_vs_seed" in record:
             line += f" [vs seed baseline: {record['speedup_vs_seed']:.0f}x]"
+        telemetry = record["telemetry"]
+        line += (
+            f" [telemetry on: {telemetry['total_seconds']:.2f}s, "
+            f"{telemetry['overhead_vs_off_percent']:+.1f}%]"
+        )
         print(line)
         results.append(record)
     return {

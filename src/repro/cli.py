@@ -32,6 +32,12 @@ from repro.hardware.gpu import SimulatedGPU
 from repro.hardware.specs import ALL_GPUS, FrequencyConfig, gpu_spec_by_name
 from repro.reporting.tables import format_kv, format_table
 from repro.serialization import load_model, save_model
+from repro.telemetry import (
+    NULL_RECORDER,
+    TelemetryRecorder,
+    TraceRecorder,
+    write_trace,
+)
 from repro.workloads import all_workloads, workload_by_name
 
 #: Experiment modules the ``experiment`` subcommand can dispatch to.
@@ -48,13 +54,17 @@ def _session_for(
     noiseless: bool,
     chaos: float = 0.0,
     chaos_seed: int = MASTER_SEED,
+    recorder: Optional["TelemetryRecorder"] = None,
 ) -> ProfilingSession:
     settings = NOISELESS_SETTINGS if noiseless else DEFAULT_SETTINGS
     fault_plan = (
         FaultPlan.transient(chaos, seed=chaos_seed) if chaos > 0 else None
     )
     gpu = SimulatedGPU(
-        gpu_spec_by_name(device), settings=settings, fault_plan=fault_plan
+        gpu_spec_by_name(device),
+        settings=settings,
+        fault_plan=fault_plan,
+        recorder=recorder or NULL_RECORDER,
     )
     return ProfilingSession(gpu)
 
@@ -83,8 +93,9 @@ def cmd_devices(args: argparse.Namespace) -> int:
 
 
 def cmd_fit(args: argparse.Namespace) -> int:
+    recorder = TraceRecorder() if args.telemetry else None
     session = _session_for(
-        args.device, args.noiseless, args.chaos, args.chaos_seed
+        args.device, args.noiseless, args.chaos, args.chaos_seed, recorder
     )
     print(f"fitting the DVFS-aware power model for {session.gpu.spec.name}...")
     if args.chaos > 0:
@@ -98,9 +109,16 @@ def cmd_fit(args: argparse.Namespace) -> int:
         )
         dataset, campaign = collect_campaign(session, build_suite())
         print(campaign.summary())
-        model, report = ModelEstimator(dataset).estimate()
+        model, report = ModelEstimator(
+            dataset, recorder=session.recorder
+        ).estimate()
     else:
         model, report = fit_power_model(session)
+    if args.telemetry:
+        trace_path = write_trace(
+            recorder, args.telemetry, format=args.telemetry_format
+        )
+        print(f"telemetry trace written to {trace_path}")
     print(
         format_kv(
             {
@@ -290,6 +308,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=MASTER_SEED,
         help="seed of the deterministic fault universe (default: the "
         "repro master seed)",
+    )
+    fit.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="record a structured telemetry trace of the fit (spans, "
+        "counters, gauges) and write it to PATH; deterministic under the "
+        "master seed (byte-identical across same-seed runs)",
+    )
+    fit.add_argument(
+        "--telemetry-format",
+        choices=("jsonl", "prom"),
+        default="jsonl",
+        help="trace format: JSONL span/counter events or Prometheus "
+        "text exposition (default: jsonl)",
     )
     fit.set_defaults(handler=cmd_fit)
 

@@ -21,6 +21,7 @@ from repro.errors import PersistentDriverError, ValidationError
 from repro.hardware.components import Component
 from repro.hardware.specs import FrequencyConfig, GPUSpec
 from repro.kernels.kernel import KernelDescriptor
+from repro.telemetry.recorder import TelemetryRecorder
 
 
 @dataclass(frozen=True)
@@ -253,6 +254,7 @@ def collect_campaign(
     if configs is None:
         configs = spec.all_configurations()
     calculator = MetricCalculator(spec)
+    recorder: TelemetryRecorder = session.recorder
     stats = session.fault_stats
     baseline = (
         stats.read_faults,
@@ -264,61 +266,91 @@ def collect_campaign(
     )
     backoff_before = session.backoff_clock.total_seconds
 
-    utilization_by_kernel: Dict[str, UtilizationVector] = {}
-    skipped_kernels: List[str] = []
-    surviving: List[KernelDescriptor] = []
-    for kernel in kernels:
-        try:
-            record = session.collect_events(kernel)
-        except PersistentDriverError:
-            skipped_kernels.append(kernel.name)
-            continue
-        utilization_by_kernel[kernel.name] = calculator.utilizations(record)
-        surviving.append(kernel)
-
-    rows: List[TrainingRow] = []
-    skipped_cells: List[Tuple[str, FrequencyConfig]] = []
-    if use_grid:
-        if surviving:
-            grid = session.measure_grid(
-                surviving, configs, on_unreadable="skip"
-            )
-            for kernel, measurements in zip(surviving, grid.measurements):
-                utilizations = utilization_by_kernel[kernel.name]
-                for measurement in measurements:
-                    if faultlib.UNREADABLE in measurement.quality:
-                        skipped_cells.append(
-                            (kernel.name, measurement.requested_config)
-                        )
-                        continue
-                    rows.append(
-                        TrainingRow(
-                            kernel_name=kernel.name,
-                            config=measurement.applied_config,
-                            measured_watts=measurement.average_watts,
-                            utilizations=utilizations,
-                            quality=measurement.quality,
-                        )
-                    )
-    else:
-        for kernel in surviving:
-            for config in configs:
+    with recorder.span(
+        "campaign",
+        device=spec.name,
+        kernels=len(kernels),
+        configs=len(configs),
+        grid=use_grid,
+    ) as campaign_span:
+        utilization_by_kernel: Dict[str, UtilizationVector] = {}
+        skipped_kernels: List[str] = []
+        surviving: List[KernelDescriptor] = []
+        for kernel in kernels:
+            with recorder.span("profile", kernel=kernel.name) as profile_span:
                 try:
-                    measurement = session.measure_power(kernel, config)
+                    record = session.collect_events(kernel)
                 except PersistentDriverError:
-                    skipped_cells.append(
-                        (kernel.name, spec.validate_configuration(config))
-                    )
+                    profile_span.set(skipped=True)
+                    recorder.add("kernels.skipped")
+                    skipped_kernels.append(kernel.name)
                     continue
-                rows.append(
-                    TrainingRow(
-                        kernel_name=kernel.name,
-                        config=measurement.applied_config,
-                        measured_watts=measurement.average_watts,
-                        utilizations=utilization_by_kernel[kernel.name],
-                        quality=measurement.quality,
-                    )
+            utilization_by_kernel[kernel.name] = calculator.utilizations(record)
+            surviving.append(kernel)
+
+        rows: List[TrainingRow] = []
+        skipped_cells: List[Tuple[str, FrequencyConfig]] = []
+
+        def record_row(kernel_name: str, measurement) -> None:
+            """One usable cell: emit its span/counters, append its row."""
+            with recorder.span(
+                "cell",
+                core=measurement.applied_config.core_mhz,
+                memory=measurement.applied_config.memory_mhz,
+            ) as cell_span:
+                if measurement.quality:
+                    cell_span.set(quality=list(measurement.quality))
+                    recorder.add("rows.degraded")
+                recorder.add("rows.collected")
+            rows.append(
+                TrainingRow(
+                    kernel_name=kernel_name,
+                    config=measurement.applied_config,
+                    measured_watts=measurement.average_watts,
+                    utilizations=utilization_by_kernel[kernel_name],
+                    quality=measurement.quality,
                 )
+            )
+
+        def record_skip(kernel_name: str, config: FrequencyConfig) -> None:
+            with recorder.span(
+                "cell", core=config.core_mhz, memory=config.memory_mhz
+            ) as cell_span:
+                cell_span.set(skipped=True)
+                recorder.add("cells.skipped")
+            skipped_cells.append((kernel_name, config))
+
+        if use_grid:
+            if surviving:
+                grid = session.measure_grid(
+                    surviving, configs, on_unreadable="skip"
+                )
+                for kernel, measurements in zip(surviving, grid.measurements):
+                    with recorder.span("measure", kernel=kernel.name):
+                        for measurement in measurements:
+                            if faultlib.UNREADABLE in measurement.quality:
+                                record_skip(
+                                    kernel.name, measurement.requested_config
+                                )
+                                continue
+                            record_row(kernel.name, measurement)
+        else:
+            for kernel in surviving:
+                with recorder.span("measure", kernel=kernel.name):
+                    for config in configs:
+                        try:
+                            measurement = session.measure_power(kernel, config)
+                        except PersistentDriverError:
+                            record_skip(
+                                kernel.name, spec.validate_configuration(config)
+                            )
+                            continue
+                        record_row(kernel.name, measurement)
+        campaign_span.set(
+            rows=len(rows),
+            skipped_cells=len(skipped_cells),
+            skipped_kernels=len(skipped_kernels),
+        )
     if not rows:
         raise ValidationError(
             "measurement campaign produced no usable rows (every kernel or "

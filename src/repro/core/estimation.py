@@ -47,6 +47,7 @@ from repro.errors import EstimationError
 from repro.hardware.components import CORE_COMPONENTS, Component
 from repro.hardware.specs import FrequencyConfig
 from repro.kernels.kernel import KernelDescriptor
+from repro.telemetry.recorder import NULL_RECORDER, TelemetryRecorder
 from repro.units import mean_absolute_percentage_error
 
 
@@ -83,6 +84,7 @@ class ModelEstimator:
         tolerance: float = 3.0e-4,
         model_voltage: bool = True,
         vectorized: bool = True,
+        recorder: TelemetryRecorder = NULL_RECORDER,
     ) -> None:
         """``model_voltage=False`` disables the voltage steps entirely
         (every configuration keeps ``V = 1``) — the linear-frequency
@@ -92,13 +94,20 @@ class ModelEstimator:
         configuration's coordinate-descent sweep as array operations over
         per-configuration sufficient statistics. ``vectorized=False`` keeps
         the per-configuration loop; the two agree to well below 1e-9 in
-        every fitted voltage (the equivalence tests assert this)."""
+        every fitted voltage (the equivalence tests assert this).
+
+        ``recorder`` (no-op by default) traces the alternating loop: one
+        ``estimate`` span with an ``iteration`` child per pass, an
+        ``estimator.iterations`` counter and an ``estimator.rmse`` gauge —
+        telemetry only observes, the fitted model is bitwise identical
+        with it on or off."""
         self.dataset = dataset
         self.spec = dataset.spec
         self.max_iterations = max_iterations
         self.tolerance = tolerance
         self.model_voltage = model_voltage
         self.vectorized = vectorized
+        self.recorder = recorder
 
         self._configs: List[FrequencyConfig] = dataset.configurations()
         config_index = {_key(c): i for i, c in enumerate(self._configs)}
@@ -138,35 +147,57 @@ class ModelEstimator:
     # ------------------------------------------------------------------
     def estimate(self) -> Tuple[DVFSPowerModel, EstimatorReport]:
         """Run the full iterative algorithm."""
+        recorder = self.recorder
         n_configs = len(self._configs)
         v_core = np.ones(n_configs)
         v_mem = np.ones(n_configs)
 
-        # Step 1: bootstrap X from the three near-reference configurations.
-        # The design matrix depends only on the voltages, so each iteration
-        # builds it once and shares it between the parameter fit and the
-        # RMSE evaluation.
-        bootstrap_mask = self._bootstrap_mask()
-        design = self._design_matrix(v_core, v_mem)
-        parameters = self._fit_parameters_design(design, bootstrap_mask)
+        with recorder.span(
+            "estimate",
+            device=self.spec.name,
+            rows=len(self.dataset.rows),
+            configs=n_configs,
+        ) as estimate_span:
+            # Step 1: bootstrap X from the three near-reference
+            # configurations. The design matrix depends only on the
+            # voltages, so each iteration builds it once and shares it
+            # between the parameter fit and the RMSE evaluation.
+            bootstrap_mask = self._bootstrap_mask()
+            design = self._design_matrix(v_core, v_mem)
+            parameters = self._fit_parameters_design(design, bootstrap_mask)
 
-        rmse_history: List[float] = [self._rmse_design(design, parameters)]
-        converged = False
-        iterations = 0
-        for iterations in range(1, self.max_iterations + 1):
-            if self.model_voltage:
-                v_core, v_mem = self._fit_voltages(parameters, v_core, v_mem)
-                design = self._design_matrix(v_core, v_mem)
-            parameters = self._fit_parameters_design(design)  # step 3
-            rmse = self._rmse_design(design, parameters)
-            rmse_history.append(rmse)
-            previous = rmse_history[-2]
-            if abs(previous - rmse) <= self.tolerance * max(1.0, previous):
-                converged = True
-                break
-            if not self.model_voltage:
-                converged = True  # one parameter pass is a fixed point
-                break
+            rmse_history: List[float] = [self._rmse_design(design, parameters)]
+            estimate_span.set(bootstrap_rmse=rmse_history[0])
+            converged = False
+            iterations = 0
+            for iterations in range(1, self.max_iterations + 1):
+                with recorder.span("iteration", index=iterations) as it_span:
+                    if self.model_voltage:
+                        v_core, v_mem = self._fit_voltages(
+                            parameters, v_core, v_mem
+                        )
+                        design = self._design_matrix(v_core, v_mem)
+                    parameters = self._fit_parameters_design(design)  # step 3
+                    rmse = self._rmse_design(design, parameters)
+                    rmse_history.append(rmse)
+                    it_span.set(rmse=rmse)
+                recorder.add("estimator.iterations")
+                recorder.set_gauge("estimator.rmse", rmse)
+                previous = rmse_history[-2]
+                if abs(previous - rmse) <= self.tolerance * max(1.0, previous):
+                    converged = True
+                    break
+                if not self.model_voltage:
+                    converged = True  # one parameter pass is a fixed point
+                    break
+            estimate_span.set(
+                iterations=iterations,
+                converged=converged,
+                final_rmse=rmse_history[-1],
+            )
+            recorder.set_gauge(
+                "estimator.converged", 1.0 if converged else 0.0
+            )
 
         model = DVFSPowerModel(
             spec=self.spec,
@@ -476,6 +507,9 @@ def fit_power_model(
         kernels = build_suite()
     dataset = collect_training_dataset(session, kernels, configs)
     estimator = ModelEstimator(
-        dataset, max_iterations=max_iterations, model_voltage=model_voltage
+        dataset,
+        max_iterations=max_iterations,
+        model_voltage=model_voltage,
+        recorder=session.recorder,
     )
     return estimator.estimate()

@@ -25,6 +25,7 @@ from repro.hardware.noise import counter_noise_factor
 from repro.hardware.performance import ExecutionProfile
 from repro.hardware.specs import FrequencyConfig
 from repro.kernels.kernel import KernelDescriptor
+from repro.telemetry.recorder import NULL_RECORDER, TelemetryRecorder
 from repro.units import SECTOR_BYTES
 
 #: Bytes moved by one warp-level shared-memory transaction (32 banks x 4 B).
@@ -61,6 +62,7 @@ class CuptiContext:
         settings: Optional[SimulationSettings] = None,
         fault_plan: Optional[FaultPlan] = None,
         stats: Optional[FaultStats] = None,
+        recorder: Optional[TelemetryRecorder] = None,
     ) -> None:
         self._gpu = gpu
         self._settings = settings or gpu.settings
@@ -68,6 +70,9 @@ class CuptiContext:
         if fault_plan is None:
             fault_plan = getattr(gpu, "fault_plan", None)
         self.fault_plan = fault_plan
+        if recorder is None:
+            recorder = getattr(gpu, "recorder", None) or NULL_RECORDER
+        self.recorder = recorder
         self.fault_stats = stats if stats is not None else FaultStats()
         self._faults_active = fault_plan is not None and fault_plan.enabled
 
@@ -98,6 +103,8 @@ class CuptiContext:
             self._gpu.spec.name, kernel.name, attempt
         ):
             self.fault_stats.event_faults += 1
+            self.recorder.add("faults.cupti_read")
+            self.recorder.add("faults.injected")
             raise TransientCuptiError(
                 f"transient event-collection failure for {kernel.name} on "
                 f"{self._gpu.spec.name} (attempt {attempt})"
@@ -111,6 +118,9 @@ class CuptiContext:
             ):
                 values[name] = self.fault_plan.counter_saturation_value
                 self.fault_stats.corrupted_counters += 1
+                self.recorder.add("counters.corrupted")
+                self.recorder.add("faults.injected")
+        self.recorder.add("cupti.collections")
         return EventRecord(
             kernel_name=kernel.name,
             architecture=self._gpu.spec.architecture,

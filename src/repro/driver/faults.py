@@ -34,6 +34,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.config import MASTER_SEED, rng_for
+from repro.telemetry.recorder import NULL_RECORDER, TelemetryRecorder
 
 # ----------------------------------------------------------------------
 # Per-cell quality flags (carried on PowerMeasurement / TrainingRow)
@@ -251,14 +252,20 @@ class BackoffClock:
     as ``sleeper`` to get genuine pauses.
     """
 
-    def __init__(self, sleeper: Optional[Callable[[float], None]] = None) -> None:
+    def __init__(
+        self,
+        sleeper: Optional[Callable[[float], None]] = None,
+        recorder: TelemetryRecorder = NULL_RECORDER,
+    ) -> None:
         self.total_seconds = 0.0
         self.sleep_log: List[float] = []
         self._sleeper = sleeper
+        self._recorder = recorder
 
     def sleep(self, seconds: float) -> None:
         self.total_seconds += seconds
         self.sleep_log.append(seconds)
+        self._recorder.add("backoff.virtual_seconds", seconds)
         if self._sleeper is not None:
             self._sleeper(seconds)
 

@@ -38,6 +38,7 @@ from repro.hardware.noise import sensor_noise_matrix, sensor_noise_stack
 from repro.hardware.specs import FrequencyConfig
 from repro.kernels.kernel import KernelDescriptor, idle_kernel
 from repro.kernels.launch import repetitions_for_min_duration
+from repro.telemetry.recorder import NULL_RECORDER, TelemetryRecorder
 from repro.units import closest_lower_level
 
 
@@ -111,11 +112,13 @@ class NVMLDevice:
         retry: Optional[RetryPolicy] = None,
         clock: Optional[BackoffClock] = None,
         stats: Optional[FaultStats] = None,
+        recorder: Optional[TelemetryRecorder] = None,
     ) -> None:
         """``fault_plan`` defaults to the plan attached to the board (if
         any); ``retry``/``clock``/``stats`` let a session share one retry
         policy, virtual backoff clock and fault tally across its NVML and
-        CUPTI handles."""
+        CUPTI handles. ``recorder`` (default: the board's, else no-op)
+        mirrors the fault tallies into telemetry counters."""
         self._gpu = gpu
         self._settings = settings or gpu.settings
         self._clocks = gpu.spec.reference
@@ -123,8 +126,13 @@ class NVMLDevice:
         if fault_plan is None:
             fault_plan = getattr(gpu, "fault_plan", None)
         self.fault_plan = fault_plan
+        if recorder is None:
+            recorder = getattr(gpu, "recorder", None) or NULL_RECORDER
+        self.recorder = recorder
         self.retry_policy = retry or DEFAULT_RETRY_POLICY
-        self.backoff_clock = clock if clock is not None else BackoffClock()
+        self.backoff_clock = (
+            clock if clock is not None else BackoffClock(recorder=recorder)
+        )
         self.fault_stats = stats if stats is not None else FaultStats()
         # Hot paths branch on this once instead of re-testing the plan.
         self._faults_active = fault_plan is not None and fault_plan.enabled
@@ -193,6 +201,8 @@ class NVMLDevice:
                 ):
                     break
                 self.fault_stats.clock_faults += 1
+                self.recorder.add("faults.clock_set")
+                self.recorder.add("faults.injected")
                 if attempt + 1 >= policy.max_attempts:
                     raise PersistentDriverError(
                         f"set_application_clocks({validated.core_mhz:.0f}, "
@@ -246,9 +256,13 @@ class NVMLDevice:
                     kernel, run, repetitions, measurement_index, attempt
                 )
             self.fault_stats.read_faults += 1
+            self.recorder.add("faults.nvml_read")
+            self.recorder.add("faults.injected")
             if attempt + 1 < policy.max_attempts:
+                self.recorder.add("nvml.retries")
                 self.backoff_clock.sleep(policy.delay_for(attempt))
         self.fault_stats.unreadable_cells += 1
+        self.recorder.add("cells.unreadable")
         raise PersistentDriverError(
             f"power read for {kernel.name} at {cell} on {self.name} still "
             f"failing after {policy.max_attempts} attempts"
@@ -507,8 +521,10 @@ class NVMLDevice:
             except TransientNVMLError as error:
                 last_error = error
                 if attempt + 1 < policy.max_attempts:
+                    self.recorder.add("nvml.retries")
                     self.backoff_clock.sleep(policy.delay_for(attempt))
         self.fault_stats.unreadable_cells += 1
+        self.recorder.add("cells.unreadable")
         cell = self._cell_label(requested)
         raise PersistentDriverError(
             f"cell {kernel.name}@{cell} on {self.name} unreadable after "
@@ -533,6 +549,8 @@ class NVMLDevice:
         cell = self._cell_label(run.requested_config)
         if plan.nvml_read_fails(self.name, kernel.name, cell, attempt):
             self.fault_stats.read_faults += 1
+            self.recorder.add("faults.nvml_read")
+            self.recorder.add("faults.injected")
             raise TransientNVMLError(
                 f"transient power-read failure for {kernel.name} at {cell} "
                 f"on {self.name} (attempt {attempt})"
@@ -551,6 +569,8 @@ class NVMLDevice:
                 )
                 quality.append(faultlib.THROTTLE_INJECTED)
                 self.fault_stats.injected_throttles += 1
+                self.recorder.add("throttle.injected")
+                self.recorder.add("faults.injected")
         repetitions = self._default_repetitions(kernel)
         total_seconds = run.duration_seconds * repetitions
         count = self._sample_count(total_seconds)
@@ -564,6 +584,7 @@ class NVMLDevice:
         else:
             quality.append(faultlib.DROPOUTS)
             self.fault_stats.dropped_samples += int(mask.sum())
+            self.recorder.add("samples.dropped", float(mask.sum()))
             kept_averages: List[float] = []
             for row, lost in zip(samples, mask):
                 keep = ~lost
@@ -571,6 +592,8 @@ class NVMLDevice:
                     kept_averages.append(float(np.mean(row[keep])))
             if not kept_averages:
                 self.fault_stats.read_faults += 1
+                self.recorder.add("faults.nvml_read")
+                self.recorder.add("faults.injected")
                 raise TransientNVMLError(
                     f"every power sample dropped for {kernel.name} at {cell} "
                     f"on {self.name} (attempt {attempt})"

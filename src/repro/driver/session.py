@@ -31,6 +31,7 @@ from repro.errors import PersistentDriverError, TransientCuptiError
 from repro.hardware.gpu import SimulatedGPU
 from repro.hardware.specs import FrequencyConfig
 from repro.kernels.kernel import KernelDescriptor
+from repro.telemetry.recorder import NULL_RECORDER, TelemetryRecorder
 
 
 @dataclass(frozen=True)
@@ -61,17 +62,24 @@ class ProfilingSession:
         settings: Optional[SimulationSettings] = None,
         fault_plan: Optional[FaultPlan] = None,
         retry: Optional[RetryPolicy] = None,
+        recorder: Optional[TelemetryRecorder] = None,
     ) -> None:
         """``fault_plan`` defaults to the plan attached to the board (if
         any); the session then shares one retry policy, virtual backoff
-        clock and fault tally across its NVML and CUPTI handles."""
+        clock and fault tally across its NVML and CUPTI handles.
+        ``recorder`` (default: the board's, else the no-op recorder) is
+        shared the same way — the campaign/estimator layers read it back
+        via :attr:`recorder`."""
         self.gpu = gpu
         self.settings = settings or gpu.settings
         if fault_plan is None:
             fault_plan = getattr(gpu, "fault_plan", None)
         self.fault_plan = fault_plan
+        if recorder is None:
+            recorder = getattr(gpu, "recorder", None) or NULL_RECORDER
+        self.recorder = recorder
         self.retry_policy = retry or DEFAULT_RETRY_POLICY
-        self.backoff_clock = BackoffClock()
+        self.backoff_clock = BackoffClock(recorder=recorder)
         self.fault_stats = FaultStats()
         self.nvml = NVMLDevice(
             gpu,
@@ -80,9 +88,14 @@ class ProfilingSession:
             retry=self.retry_policy,
             clock=self.backoff_clock,
             stats=self.fault_stats,
+            recorder=recorder,
         )
         self.cupti = CuptiContext(
-            gpu, self.settings, fault_plan=fault_plan, stats=self.fault_stats
+            gpu,
+            self.settings,
+            fault_plan=fault_plan,
+            stats=self.fault_stats,
+            recorder=recorder,
         )
 
     @property
@@ -142,6 +155,7 @@ class ProfilingSession:
             except TransientCuptiError as error:
                 last_error = error
                 if attempt + 1 < policy.max_attempts:
+                    self.recorder.add("cupti.retries")
                     self.backoff_clock.sleep(policy.delay_for(attempt))
         raise PersistentDriverError(
             f"event collection for {kernel.name} on {self.gpu.spec.name} "

@@ -23,6 +23,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 import numpy as np
 
 from repro.config import DEFAULT_SETTINGS, SimulationSettings
+from repro.telemetry.recorder import NULL_RECORDER, TelemetryRecorder
 from repro.hardware.components import ALL_COMPONENTS, Domain
 from repro.hardware.noise import NoiseProfile, noise_profile_for  # noqa: F401
 from repro.hardware.performance import ExecutionProfile, PerformanceModel
@@ -72,14 +73,20 @@ class SimulatedGPU:
         tdp_throttling: bool = True,
         noise_profile: Optional[NoiseProfile] = None,
         fault_plan: Optional["FaultPlan"] = None,
+        recorder: TelemetryRecorder = NULL_RECORDER,
     ) -> None:
         """``noise_profile`` overrides the architecture's measurement-chain
         noise — the knob of the noise-sweep experiment. ``fault_plan``
         attaches a :class:`~repro.driver.faults.FaultPlan` to the board:
         driver handles opened on this device inherit it, so a chaos
-        campaign needs the plan in exactly one place."""
+        campaign needs the plan in exactly one place. ``recorder`` counts
+        run-cache hits/misses; driver handles opened on this device inherit
+        it the same way they inherit the fault plan."""
         self.spec = spec
         self.settings = settings
+        #: Telemetry recorder inherited by driver layers opened on this
+        #: device (no-op by default; observation only, never arithmetic).
+        self.recorder = recorder
         #: Fault plan inherited by driver layers opened on this device.
         #: The plan never alters the ground-truth physics — only how the
         #: NVML/CUPTI observation layer perceives it.
@@ -127,7 +134,9 @@ class SimulatedGPU:
         )
         cached = self._run_cache.get(cache_key)
         if cached is not None:
+            self.recorder.add("run.cache_hits")
             return cached
+        self.recorder.add("run.cache_misses")
         decision = self._resolve_throttle(kernel, requested)
         profile = self.performance_model.profile(kernel, decision.applied)
         breakdown = self.power_model.breakdown(profile)
@@ -165,6 +174,11 @@ class SimulatedGPU:
             key = (kernel.cache_key, config.core_mhz, config.memory_mhz)
             if key not in self._run_cache and key not in missing:
                 missing[key] = config
+        if self.recorder.enabled:
+            self.recorder.add(
+                "run.cache_hits", float(len(requested) - len(missing))
+            )
+            self.recorder.add("run.cache_misses", float(len(missing)))
         if missing:
             self._compute_grid(kernel, list(missing.values()))
         return [

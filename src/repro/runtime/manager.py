@@ -32,6 +32,7 @@ from repro.runtime.trace import (
     PhaseExecution,
     TraceReport,
 )
+from repro.telemetry.recorder import NULL_RECORDER, TelemetryRecorder
 
 
 @dataclass(frozen=True)
@@ -63,10 +64,18 @@ class OnlineDVFSManager:
         session: ProfilingSession,
         policy: FrequencyPolicy,
         candidate_configs: Optional[Sequence[FrequencyConfig]] = None,
+        recorder: Optional[TelemetryRecorder] = None,
     ) -> None:
+        """``recorder`` defaults to the session's; it traces one ``plan``
+        span per profiled kernel plus ``runtime.plans`` /
+        ``runtime.plan_cache_hits`` counters and a ``trace`` span per
+        executed application trace."""
         self.model = model
         self.session = session
         self.policy = policy
+        if recorder is None:
+            recorder = getattr(session, "recorder", None) or NULL_RECORDER
+        self.recorder = recorder
         spec = session.gpu.spec
         self.candidates = tuple(
             spec.validate_configuration(c)
@@ -82,6 +91,8 @@ class OnlineDVFSManager:
         """The (cached) plan for a kernel; profiles it on first sight."""
         if kernel.name not in self._plans:
             self._plans[kernel.name] = self._build_plan(kernel)
+        else:
+            self.recorder.add("runtime.plan_cache_hits")
         return self._plans[kernel.name]
 
     @property
@@ -90,34 +101,43 @@ class OnlineDVFSManager:
 
     def _build_plan(self, kernel: KernelDescriptor) -> KernelPlan:
         spec = self.session.gpu.spec
-        # First invocation: profile at the reference configuration.
-        events = self.session.collect_events(kernel)
-        utilizations = self._calculator.utilizations(events)
+        with self.recorder.span(
+            "plan", kernel=kernel.name, candidates=len(self.candidates)
+        ) as plan_span:
+            # First invocation: profile at the reference configuration.
+            events = self.session.collect_events(kernel)
+            utilizations = self._calculator.utilizations(events)
 
-        scores = []
-        reference_score: Optional[ConfigurationScore] = None
-        for config in self.candidates:
-            predicted = self.model.predict_power(utilizations, config)
-            time = self.session.measure_time(kernel, config)
-            score = ConfigurationScore(
-                config=config,
-                predicted_power_watts=predicted,
-                time_seconds=time,
+            scores = []
+            reference_score: Optional[ConfigurationScore] = None
+            for config in self.candidates:
+                predicted = self.model.predict_power(utilizations, config)
+                time = self.session.measure_time(kernel, config)
+                score = ConfigurationScore(
+                    config=config,
+                    predicted_power_watts=predicted,
+                    time_seconds=time,
+                )
+                scores.append(score)
+                if config == spec.reference:
+                    reference_score = score
+            if reference_score is None:
+                # Candidates exclude the reference: score it anyway for the
+                # policies that need the comparison point.
+                reference_score = ConfigurationScore(
+                    config=spec.reference,
+                    predicted_power_watts=self.model.predict_power(
+                        utilizations, spec.reference
+                    ),
+                    time_seconds=self.session.measure_time(
+                        kernel, spec.reference
+                    ),
+                )
+            chosen = self.policy.choose(scores, reference_score)
+            plan_span.set(
+                core=chosen.config.core_mhz, memory=chosen.config.memory_mhz
             )
-            scores.append(score)
-            if config == spec.reference:
-                reference_score = score
-        if reference_score is None:
-            # Candidates exclude the reference: score it anyway for the
-            # policies that need the comparison point.
-            reference_score = ConfigurationScore(
-                config=spec.reference,
-                predicted_power_watts=self.model.predict_power(
-                    utilizations, spec.reference
-                ),
-                time_seconds=self.session.measure_time(kernel, spec.reference),
-            )
-        chosen = self.policy.choose(scores, reference_score)
+        self.recorder.add("runtime.plans")
         return KernelPlan(
             kernel_name=kernel.name,
             utilizations=utilizations,
@@ -130,6 +150,30 @@ class OnlineDVFSManager:
     # ------------------------------------------------------------------
     def run_trace(self, trace: ApplicationTrace) -> TraceReport:
         """Execute a trace under the policy and account the outcome."""
+        spec = self.session.gpu.spec
+        with self.recorder.span(
+            "trace", trace=trace.name, phases=len(trace.phases)
+        ):
+            executions, _ = self._execute_phases(trace)
+
+        baseline_energy = 0.0
+        baseline_time = 0.0
+        for phase in trace.phases:
+            single_energy = self._invocation_energy(
+                phase.kernel, spec.reference
+            )
+            single_time = self._invocation_time(phase.kernel, spec.reference)
+            baseline_energy += phase.invocations * single_energy
+            baseline_time += phase.invocations * single_time
+        return TraceReport(
+            trace_name=trace.name,
+            device_name=spec.name,
+            executions=tuple(executions),
+            baseline_energy_joules=baseline_energy,
+            baseline_time_seconds=baseline_time,
+        )
+
+    def _execute_phases(self, trace: ApplicationTrace):
         spec = self.session.gpu.spec
         executions: List[PhaseExecution] = []
         profiled: set = set()
@@ -162,23 +206,7 @@ class OnlineDVFSManager:
                     time_seconds=time,
                 )
             )
-
-        baseline_energy = 0.0
-        baseline_time = 0.0
-        for phase in trace.phases:
-            single_energy = self._invocation_energy(
-                phase.kernel, spec.reference
-            )
-            single_time = self._invocation_time(phase.kernel, spec.reference)
-            baseline_energy += phase.invocations * single_energy
-            baseline_time += phase.invocations * single_time
-        return TraceReport(
-            trace_name=trace.name,
-            device_name=spec.name,
-            executions=tuple(executions),
-            baseline_energy_joules=baseline_energy,
-            baseline_time_seconds=baseline_time,
-        )
+        return executions, profiled
 
     # ------------------------------------------------------------------
     def _invocation_time(

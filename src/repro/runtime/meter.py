@@ -22,6 +22,7 @@ from repro.driver.cupti import EventRecord
 from repro.errors import ValidationError
 from repro.hardware.components import Component
 from repro.hardware.specs import FrequencyConfig
+from repro.telemetry.recorder import NULL_RECORDER, TelemetryRecorder
 from repro.units import mhz_to_hz
 
 
@@ -42,8 +43,16 @@ class MeterReading:
 class EventDrivenPowerMeter:
     """Sliding-window power estimation from cumulative event counters."""
 
-    def __init__(self, model: DVFSPowerModel) -> None:
+    def __init__(
+        self,
+        model: DVFSPowerModel,
+        recorder: TelemetryRecorder = NULL_RECORDER,
+    ) -> None:
+        """``recorder`` (no-op by default) counts ``meter.readings``,
+        ``meter.rebaselines`` and ``meter.idle_windows`` and tracks the
+        latest estimate in a ``meter.watts`` gauge."""
         self.model = model
+        self.recorder = recorder
         self._calculator = MetricCalculator(model.spec)
         self._last_counters: Optional[Dict[str, float]] = None
         self._readings: List[MeterReading] = []
@@ -92,12 +101,14 @@ class EventDrivenPowerMeter:
             before = previous.get(name, 0.0)
             if value < before:  # counter reset
                 self._last_counters = current
+                self.recorder.add("meter.rebaselines")
                 return None
             deltas[name] = value - before
 
         table = self._calculator.table
         active_cycles = sum(deltas.get(n, 0.0) for n in table.active_cycles)
         if active_cycles <= 0:
+            self.recorder.add("meter.idle_windows")
             return None  # idle window: nothing executed
         window_seconds = active_cycles / mhz_to_hz(config.core_mhz)
 
@@ -118,6 +129,8 @@ class EventDrivenPowerMeter:
             energy_joules=breakdown.total_watts * window_seconds,
         )
         self._readings.append(reading)
+        self.recorder.add("meter.readings")
+        self.recorder.set_gauge("meter.watts", reading.power_watts)
         return reading
 
     # ------------------------------------------------------------------
@@ -137,4 +150,6 @@ class EventDrivenPowerMeter:
             energy_joules=breakdown.total_watts * record.elapsed_seconds,
         )
         self._readings.append(reading)
+        self.recorder.add("meter.readings")
+        self.recorder.set_gauge("meter.watts", reading.power_watts)
         return reading

@@ -1,0 +1,33 @@
+"""Structured telemetry for the modeling pipeline (spans/counters/gauges).
+
+See :mod:`repro.telemetry.recorder` for the recording model and
+:mod:`repro.telemetry.export` for the JSONL / Prometheus exporters.
+"""
+
+from repro.telemetry.export import (
+    JSONL_SCHEMA,
+    to_jsonl,
+    to_prometheus,
+    write_trace,
+)
+from repro.telemetry.recorder import (
+    NULL_RECORDER,
+    Span,
+    SpanHandle,
+    TelemetryRecorder,
+    TraceRecorder,
+    VirtualClock,
+)
+
+__all__ = [
+    "JSONL_SCHEMA",
+    "NULL_RECORDER",
+    "Span",
+    "SpanHandle",
+    "TelemetryRecorder",
+    "TraceRecorder",
+    "VirtualClock",
+    "to_jsonl",
+    "to_prometheus",
+    "write_trace",
+]

@@ -1,0 +1,153 @@
+"""Trace exporters: JSONL span/metric dumps and Prometheus text format.
+
+Both exporters are deterministic: series are emitted in sorted order, spans
+in start order, JSON objects with sorted keys and no whitespace variance —
+two runs of the same seeded pipeline export byte-identical files (the
+golden-trace suite asserts this).
+
+JSONL schema (``repro.telemetry/v1``), one object per line::
+
+    {"kind":"meta","schema":"repro.telemetry/v1","spans":N,"ticks":T}
+    {"kind":"span","id":1,"parent":null,"name":"campaign",
+     "start":1,"end":42,"attrs":{...}}                      # start order
+    {"kind":"counter","name":"faults.injected","labels":{},"value":3}
+    {"kind":"gauge","name":"estimator.rmse","labels":{},"value":1.25}
+
+Prometheus text format: counters/gauges only (spans have no Prometheus
+equivalent beyond a total), names mangled ``a.b`` -> ``repro_a_b``::
+
+    # TYPE repro_faults_injected counter
+    repro_faults_injected{device="GTX Titan X"} 3
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.telemetry.recorder import LabelKey, TraceRecorder
+
+__all__ = [
+    "JSONL_SCHEMA",
+    "to_jsonl",
+    "to_prometheus",
+    "write_trace",
+]
+
+JSONL_SCHEMA = "repro.telemetry/v1"
+
+
+def _dump(obj: object) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def to_jsonl(recorder: TraceRecorder) -> str:
+    """The full trace as JSONL text (trailing newline included)."""
+    lines: List[str] = [
+        _dump(
+            {
+                "kind": "meta",
+                "schema": JSONL_SCHEMA,
+                "spans": len(recorder.finished_spans()),
+                "ticks": recorder.clock.ticks,
+            }
+        )
+    ]
+    for span in recorder.finished_spans():
+        lines.append(
+            _dump(
+                {
+                    "kind": "span",
+                    "id": span.span_id,
+                    "parent": span.parent_id,
+                    "name": span.name,
+                    "start": span.start_tick,
+                    "end": span.end_tick,
+                    "attrs": span.attributes,
+                }
+            )
+        )
+    for name, labels, value in recorder.raw_counter_items():
+        lines.append(
+            _dump(
+                {
+                    "kind": "counter",
+                    "name": name,
+                    "labels": dict(labels),
+                    "value": value,
+                }
+            )
+        )
+    for name, labels, value in recorder.raw_gauge_items():
+        lines.append(
+            _dump(
+                {
+                    "kind": "gauge",
+                    "name": name,
+                    "labels": dict(labels),
+                    "value": value,
+                }
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _prom_name(name: str) -> str:
+    mangled = name.replace(".", "_").replace("-", "_")
+    return f"repro_{mangled}"
+
+
+def _prom_labels(labels: LabelKey) -> str:
+    if not labels:
+        return ""
+    escaped = (
+        (key, value.replace("\\", "\\\\").replace('"', '\\"'))
+        for key, value in labels
+    )
+    return "{" + ",".join(f'{key}="{value}"' for key, value in escaped) + "}"
+
+
+def _prom_value(value: float) -> str:
+    # Integral values print without a fractional part, like Prometheus
+    # clients do; everything else keeps full repr precision.
+    return str(int(value)) if float(value).is_integer() else repr(value)
+
+
+def to_prometheus(recorder: TraceRecorder) -> str:
+    """Counters + gauges in the Prometheus exposition text format."""
+    lines: List[str] = []
+    seen_types = set()
+
+    def emit(name: str, labels: LabelKey, value: float, kind: str) -> None:
+        prom = _prom_name(name)
+        if prom not in seen_types:
+            lines.append(f"# TYPE {prom} {kind}")
+            seen_types.add(prom)
+        lines.append(f"{prom}{_prom_labels(labels)} {_prom_value(value)}")
+
+    emit("spans.total", (), len(recorder.finished_spans()), "counter")
+    for name, labels, value in recorder.raw_counter_items():
+        emit(name, labels, value, "counter")
+    for name, labels, value in recorder.raw_gauge_items():
+        emit(name, labels, value, "gauge")
+    return "\n".join(lines) + "\n"
+
+
+def write_trace(
+    recorder: TraceRecorder,
+    path: Union[str, Path],
+    format: str = "jsonl",
+) -> Path:
+    """Write the trace to ``path`` in ``format`` (``jsonl`` or ``prom``)."""
+    if format == "jsonl":
+        text = to_jsonl(recorder)
+    elif format == "prom":
+        text = to_prometheus(recorder)
+    else:
+        raise ValueError(
+            f"unknown telemetry format {format!r} (expected 'jsonl' or 'prom')"
+        )
+    target = Path(path)
+    target.write_text(text)
+    return target

@@ -1,0 +1,283 @@
+"""Structured telemetry: hierarchical spans, counters and gauges.
+
+The pipeline (measurement campaign -> Eq. 8-10 utilizations -> iterative
+estimator -> prediction) is instrumented with a :class:`TelemetryRecorder`
+that every layer threads through: the driver stack counts faults, retries
+and virtual backoff, the campaign emits a ``campaign -> kernel -> cell``
+span tree, and the estimator records one span per alternating iteration
+with its RMSE. Run-time power-modelling systems (Nunez-Yanez et al.; DSO)
+lean on continuously observable counters to drive decisions; here the same
+counters additionally make the pipeline's *internal* behavior testable —
+the golden-trace suite pins exact span trees and counter values.
+
+Design rules:
+
+* **No-op by default.** :class:`TelemetryRecorder` itself records nothing:
+  every method is a ``pass`` (or returns a shared inert span handle), so
+  instrumented hot paths cost one dynamic dispatch when telemetry is off
+  and the pipeline's outputs stay bitwise identical — telemetry only ever
+  observes, it never draws randomness or touches the arithmetic.
+* **Deterministic time.** :class:`TraceRecorder` timestamps spans on a
+  :class:`VirtualClock` — a monotonic tick counter advanced by recording
+  events themselves, never by the wall clock — so two runs with the same
+  ``MASTER_SEED`` produce byte-identical traces.
+* **Monotonic counters, last-write gauges.** Counters only ever increase
+  (``nvml.retries``, ``faults.injected``, ``samples.dropped``,
+  ``backoff.virtual_seconds``, ``rows.degraded``, ``run.cache_hits`` ...);
+  gauges record the latest value (``estimator.rmse``). Both carry optional
+  key=value labels, Prometheus-style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "NULL_RECORDER",
+    "Span",
+    "SpanHandle",
+    "TelemetryRecorder",
+    "TraceRecorder",
+    "VirtualClock",
+]
+
+#: Label sets are normalized to a sorted tuple of (key, value) pairs so the
+#: same labels always map to the same counter/gauge series.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class VirtualClock:
+    """Monotonic tick counter: deterministic time for traces.
+
+    Real timestamps would make traces unreproducible; the virtual clock
+    advances one tick per recorded event instead, so span start/end values
+    encode the exact event order of the run — byte-identical across runs
+    with the same seed and workload.
+    """
+
+    def __init__(self) -> None:
+        self._ticks = 0
+
+    @property
+    def ticks(self) -> int:
+        return self._ticks
+
+    def tick(self) -> int:
+        """Advance and return the new tick value."""
+        self._ticks += 1
+        return self._ticks
+
+
+@dataclass
+class Span:
+    """One finished (or still-open) node of the span tree."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start_tick: int
+    end_tick: Optional[int] = None
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def open(self) -> bool:
+        return self.end_tick is None
+
+
+class SpanHandle:
+    """Context manager guarding one span; ``set`` annotates it in flight."""
+
+    __slots__ = ("_recorder", "_span")
+
+    def __init__(
+        self, recorder: Optional["TraceRecorder"], span: Optional[Span]
+    ) -> None:
+        self._recorder = recorder
+        self._span = span
+
+    def __enter__(self) -> "SpanHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._recorder is not None:
+            if exc_type is not None:
+                self._span.attributes.setdefault("error", exc_type.__name__)
+            self._recorder._close_span(self._span)
+        return None  # never swallow exceptions
+
+    def set(self, **attributes: object) -> "SpanHandle":
+        """Attach attributes to the live span (no-op on the null handle)."""
+        if self._span is not None:
+            self._span.attributes.update(attributes)
+        return self
+
+
+#: Shared inert handle returned by the no-op recorder: entering/exiting it
+#: does nothing, so ``with recorder.span(...)`` costs no allocation when
+#: telemetry is off.
+_NULL_SPAN = SpanHandle(None, None)
+
+
+class TelemetryRecorder:
+    """The no-op recorder: the default everywhere telemetry plugs in.
+
+    Subclasses override the four hooks; callers never need to test whether
+    telemetry is active (though hot loops may branch on :attr:`enabled` to
+    skip building attribute dicts).
+    """
+
+    #: Whether this recorder keeps anything. The base class never does.
+    enabled: bool = False
+
+    def span(self, name: str, **attributes: object) -> SpanHandle:
+        """Open a child span of the innermost open span."""
+        return _NULL_SPAN
+
+    def add(self, name: str, value: float = 1.0, **labels: object) -> None:
+        """Increment a monotonic counter (negative increments are an error)."""
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        """Record the latest value of a gauge."""
+
+    # Introspection helpers shared by the exporters and the tests; the
+    # no-op recorder is permanently empty.
+    def counters(self) -> Dict[str, float]:
+        """Flat ``name{labels}`` -> value view of every counter series."""
+        return {}
+
+    def gauges(self) -> Dict[str, float]:
+        return {}
+
+    def finished_spans(self) -> List[Span]:
+        return []
+
+
+#: The process-wide default recorder (stateless, safe to share).
+NULL_RECORDER = TelemetryRecorder()
+
+
+def _series_name(name: str, labels: LabelKey) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={value}" for key, value in labels)
+    return f"{name}{{{inner}}}"
+
+
+class TraceRecorder(TelemetryRecorder):
+    """Recorder that keeps everything: spans, counters and gauges.
+
+    Not thread-safe by design — one recorder instruments one pipeline run
+    (the same contract as a :class:`~repro.driver.session.ProfilingSession`).
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Optional[VirtualClock] = None) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self._spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._counters: Dict[Tuple[str, LabelKey], float] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], float] = {}
+        self._next_span_id = 1
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attributes: object) -> SpanHandle:
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(
+            span_id=self._next_span_id,
+            parent_id=parent,
+            name=name,
+            start_tick=self.clock.tick(),
+            attributes=dict(attributes),
+        )
+        self._next_span_id += 1
+        self._spans.append(span)
+        self._stack.append(span)
+        return SpanHandle(self, span)
+
+    def _close_span(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise RuntimeError(
+                f"span {span.name!r} closed out of order (the recorder is "
+                "single-threaded: close children before parents)"
+            )
+        self._stack.pop()
+        span.end_tick = self.clock.tick()
+
+    def finished_spans(self) -> List[Span]:
+        """Spans in start order (open spans excluded)."""
+        return [span for span in self._spans if not span.open]
+
+    @property
+    def open_spans(self) -> int:
+        return len(self._stack)
+
+    def span_tree(self) -> List[Tuple[str, ...]]:
+        """Every finished span as its root-to-leaf name path, in start
+        order — the golden-trace suite pins this shape."""
+        by_id = {span.span_id: span for span in self._spans}
+        paths: List[Tuple[str, ...]] = []
+        for span in self.finished_spans():
+            path = [span.name]
+            cursor = span
+            while cursor.parent_id is not None:
+                cursor = by_id[cursor.parent_id]
+                path.append(cursor.name)
+            paths.append(tuple(reversed(path)))
+        return paths
+
+    # ------------------------------------------------------------------
+    # Counters and gauges
+    # ------------------------------------------------------------------
+    def add(self, name: str, value: float = 1.0, **labels: object) -> None:
+        if value < 0:
+            raise ValueError(
+                f"counter {name!r} is monotonic; got increment {value}"
+            )
+        key = (name, _label_key(labels))
+        self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        self._gauges[(name, _label_key(labels))] = float(value)
+
+    def counter(self, name: str, **labels: object) -> float:
+        """Current value of one counter series (0.0 if never incremented)."""
+        return self._counters.get((name, _label_key(labels)), 0.0)
+
+    def gauge(self, name: str, **labels: object) -> Optional[float]:
+        return self._gauges.get((name, _label_key(labels)))
+
+    def counters(self) -> Dict[str, float]:
+        return {
+            _series_name(name, labels): value
+            for (name, labels), value in sorted(self._counters.items())
+        }
+
+    def gauges(self) -> Dict[str, float]:
+        return {
+            _series_name(name, labels): value
+            for (name, labels), value in sorted(self._gauges.items())
+        }
+
+    # ------------------------------------------------------------------
+    def raw_counter_items(
+        self,
+    ) -> List[Tuple[str, LabelKey, float]]:
+        """Sorted (name, labels, value) triples for the exporters."""
+        return [
+            (name, labels, value)
+            for (name, labels), value in sorted(self._counters.items())
+        ]
+
+    def raw_gauge_items(self) -> List[Tuple[str, LabelKey, float]]:
+        return [
+            (name, labels, value)
+            for (name, labels), value in sorted(self._gauges.items())
+        ]

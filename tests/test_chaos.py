@@ -18,10 +18,13 @@ import pytest
 
 from repro.core.dataset import collect_campaign, collect_training_dataset
 from repro.core.estimation import ModelEstimator
+from repro.driver import faults as faultlib
 from repro.driver.faults import FaultPlan
 from repro.driver.session import ProfilingSession
 from repro.hardware.gpu import SimulatedGPU
 from repro.microbench import build_suite
+from repro.telemetry import TraceRecorder
+from repro.units import closest_lower_level
 
 #: The acceptance setting: every transient fault class at 5 %.
 CHAOS_RATE = 0.05
@@ -31,6 +34,14 @@ CHAOS_SEED = 20180224
 def _chaos_session(spec, seed: int = CHAOS_SEED) -> ProfilingSession:
     plan = FaultPlan.transient(CHAOS_RATE, seed=seed)
     return ProfilingSession(SimulatedGPU(spec, fault_plan=plan))
+
+
+def _traced_chaos_session(spec, seed: int = CHAOS_SEED) -> ProfilingSession:
+    plan = FaultPlan.transient(CHAOS_RATE, seed=seed)
+    recorder = TraceRecorder()
+    return ProfilingSession(
+        SimulatedGPU(spec, fault_plan=plan, recorder=recorder)
+    )
 
 
 @pytest.fixture(autouse=True)
@@ -158,6 +169,119 @@ class TestChaosGridScalarEquivalence:
             configs,
         )
         assert bare.rows == gated.rows
+
+
+class TestChaosTelemetryCrossCheck:
+    """Telemetry counters audited against two independent sources: the
+    campaign's own :class:`CampaignReport` tallies, and a from-scratch
+    replay of the seeded :class:`FaultPlan` decision stream."""
+
+    def test_counters_mirror_campaign_report(self, lab, any_spec):
+        session = _traced_chaos_session(any_spec)
+        recorder = session.recorder
+        kernels = lab.suite[:10]
+        _, report = collect_campaign(session, kernels)
+
+        c = recorder.counter
+        assert c("faults.nvml_read") == report.read_faults
+        assert c("faults.cupti_read") == report.event_faults
+        assert c("faults.clock_set") == report.clock_faults
+        assert c("samples.dropped") == report.dropped_samples
+        assert c("throttle.injected") == report.injected_throttles
+        assert c("counters.corrupted") == report.corrupted_counters
+        # faults.injected is the grand total of every injected fault event.
+        assert c("faults.injected") == (
+            report.read_faults
+            + report.event_faults
+            + report.clock_faults
+            + report.injected_throttles
+            + report.corrupted_counters
+        )
+        assert c("rows.collected") == report.row_count
+        assert c("rows.degraded") == report.flagged_rows
+        assert c("cells.skipped") == len(report.skipped_cells)
+        assert c("kernels.skipped") == len(report.skipped_kernels)
+        # Same floats added in the same order: exact equality, not approx.
+        assert c("backoff.virtual_seconds") == report.backoff_seconds
+        assert report.flagged_rows > 0  # the 5 % plan demonstrably fired
+
+    def test_counters_equal_replayed_fault_plan_stream(self, lab, any_spec):
+        """Replay the plan's pure decision functions cell by cell and
+        demand the recorder saw exactly that stream — nothing dropped,
+        nothing double-counted."""
+        plan = FaultPlan.transient(CHAOS_RATE, seed=CHAOS_SEED)
+        recorder = TraceRecorder()
+        session = ProfilingSession(
+            SimulatedGPU(any_spec, fault_plan=plan, recorder=recorder)
+        )
+        kernels = lab.suite[:16]
+        configs = any_spec.all_configurations()[:8]
+        repeats = session.settings.measurement_repeats
+        grid = session.measure_grid(kernels, configs, on_unreadable="skip")
+
+        # Fault-free twin board: reproduces each cell's pre-injection
+        # applied configuration (fault plans never alter execution).
+        twin = SimulatedGPU(any_spec)
+        name = any_spec.name
+        read_faults = retries = throttles = dropped = 0
+        for kernel, row in zip(kernels, grid.measurements):
+            for m in row:
+                assert faultlib.UNREADABLE not in m.quality
+                cell = (
+                    f"{m.requested_config.core_mhz:.0f}-"
+                    f"{m.requested_config.memory_mhz:.0f}"
+                )
+                # Every attempt before the successful one must have been
+                # a seeded read failure; the successful one a clean read.
+                for attempt in range(m.retries):
+                    assert plan.nvml_read_fails(name, kernel.name, cell, attempt)
+                assert not plan.nvml_read_fails(
+                    name, kernel.name, cell, m.retries
+                )
+                read_faults += m.retries
+                retries += m.retries
+                success = m.retries
+                if plan.spurious_throttle(name, kernel.name, cell, success):
+                    applied = twin.run(kernel, m.requested_config).applied_config
+                    if (
+                        closest_lower_level(
+                            applied.core_mhz, any_spec.core_frequencies_mhz
+                        )
+                        is not None
+                    ):
+                        throttles += 1
+                mask = plan.dropout_mask(
+                    name, kernel.name, cell, success, repeats, m.sample_count
+                )
+                if mask is not None:
+                    dropped += int(mask.sum())
+
+        assert recorder.counter("faults.nvml_read") == read_faults
+        assert recorder.counter("nvml.retries") == retries
+        assert recorder.counter("throttle.injected") == throttles
+        assert recorder.counter("samples.dropped") == dropped
+        assert recorder.counter("faults.injected") == read_faults + throttles
+        assert read_faults > 0 and dropped > 0  # the stream demonstrably fired
+
+    def test_profile_replay_matches_cupti_counters(self, lab):
+        """The event-collection retry loop against the replayed plan."""
+        spec = lab.spec("Tesla K40c")
+        session = _traced_chaos_session(spec)
+        plan = session.fault_plan
+        recorder = session.recorder
+        kernels = lab.suite[:20]
+        for kernel in kernels:
+            session.collect_events(kernel)
+
+        expected_faults = 0
+        for kernel in kernels:
+            attempt = 0
+            while plan.cupti_read_fails(spec.name, kernel.name, attempt):
+                expected_faults += 1
+                attempt += 1
+        assert recorder.counter("faults.cupti_read") == expected_faults
+        assert recorder.counter("cupti.retries") == expected_faults
+        assert recorder.counter("cupti.collections") == len(kernels)
 
 
 class TestChaosReport:

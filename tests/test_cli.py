@@ -108,3 +108,60 @@ class TestCommands:
         assert len(ptx_files) == 35
         sample = (tmp_path / "src" / "sp_n512.cu").read_text()
         assert "__global__" in sample
+
+
+class TestTelemetryFlag:
+    def _fit_with_trace(self, tmp_path, name, extra=()):
+        trace = tmp_path / name
+        code = main(
+            [
+                "fit",
+                "--device",
+                "Tesla K40c",
+                "--output",
+                str(tmp_path / "model.json"),
+                "--telemetry",
+                str(trace),
+                *extra,
+            ]
+        )
+        assert code == 0
+        return trace
+
+    def test_fit_telemetry_jsonl_deterministic(self, tmp_path, capsys):
+        """The acceptance criterion: two same-seed fits export
+        byte-identical JSONL traces."""
+        first = self._fit_with_trace(tmp_path, "a.jsonl")
+        second = self._fit_with_trace(tmp_path, "b.jsonl")
+        assert "telemetry trace written" in capsys.readouterr().out
+        assert first.read_bytes() == second.read_bytes()
+
+        lines = [json.loads(l) for l in first.read_text().splitlines()]
+        assert lines[0]["kind"] == "meta"
+        assert lines[0]["schema"] == "repro.telemetry/v1"
+        kinds = {line["kind"] for line in lines}
+        assert kinds == {"meta", "span", "counter", "gauge"}
+        campaigns = [
+            l for l in lines if l["kind"] == "span" and l["name"] == "campaign"
+        ]
+        assert len(campaigns) == 1
+        assert campaigns[0]["attrs"]["device"] == "Tesla K40c"
+
+    def test_fit_telemetry_prometheus_format(self, tmp_path, capsys):
+        trace = self._fit_with_trace(
+            tmp_path, "trace.prom", extra=["--telemetry-format", "prom"]
+        )
+        text = trace.read_text()
+        assert "# TYPE repro_rows_collected counter" in text
+        assert "# TYPE repro_estimator_rmse gauge" in text
+
+    def test_fit_telemetry_traces_chaos_campaign(self, tmp_path, capsys):
+        trace = self._fit_with_trace(
+            tmp_path, "chaos.jsonl", extra=["--chaos", "0.05"]
+        )
+        lines = [json.loads(l) for l in trace.read_text().splitlines()]
+        counters = {
+            l["name"]: l["value"] for l in lines if l["kind"] == "counter"
+        }
+        assert counters.get("faults.injected", 0) > 0
+        assert counters.get("backoff.virtual_seconds", 0) > 0

@@ -18,10 +18,12 @@ from repro.core.regression import (
     minimize_voltage_1d,
     minimize_voltage_1d_stats,
 )
+from repro.driver.faults import FaultPlan
 from repro.driver.session import ProfilingSession
 from repro.hardware.gpu import SimulatedGPU
 from repro.hardware.specs import ALL_GPUS
 from repro.microbench import build_suite
+from repro.telemetry import TraceRecorder
 
 SPEC_IDS = [spec.name for spec in ALL_GPUS]
 
@@ -144,6 +146,68 @@ def test_vectorized_estimator_matches_scalar(spec, lab):
         b = model_s.voltage_at(config)
         assert abs(a.v_core - b.v_core) <= 1e-9
         assert abs(a.v_mem - b.v_mem) <= 1e-9
+
+
+def _logical_counters(recorder: TraceRecorder) -> dict:
+    """Counter totals minus the ``run.*`` cache series.
+
+    The run cache is the one deliberately path-dependent observable: the
+    grid path batches executions (and resolves idle-power baselines through
+    ``run_grid``), so its hit/miss split differs from the scalar walk even
+    though every *logical* event — faults, retries, rows, cells, samples —
+    is identical. Everything else must match exactly.
+    """
+    return {
+        name: value
+        for name, value in recorder.counters().items()
+        if not name.startswith("run.")
+    }
+
+
+@pytest.mark.parametrize("spec", ALL_GPUS, ids=SPEC_IDS)
+def test_grid_and_scalar_campaigns_emit_identical_counters(spec):
+    """Fault-free campaigns: same logical telemetry stream on both paths."""
+    kernels = build_suite()[:5]
+    configs = _sample_configs(spec, count=6)
+    recorders = {}
+    for use_grid in (True, False):
+        recorder = TraceRecorder()
+        session = ProfilingSession(SimulatedGPU(spec, recorder=recorder))
+        collect_training_dataset(session, kernels, configs, use_grid=use_grid)
+        recorders[use_grid] = recorder
+    assert _logical_counters(recorders[True]) == _logical_counters(
+        recorders[False]
+    )
+    # The span trees agree shape-for-shape as well: cells are traced per
+    # logical measurement, not per driver call.
+    assert recorders[True].span_tree() == recorders[False].span_tree()
+
+
+@pytest.mark.parametrize("spec", ALL_GPUS, ids=SPEC_IDS)
+def test_grid_and_scalar_campaigns_emit_identical_counters_under_faults(spec):
+    """Under a seeded fault plan both paths observe the same fault stream,
+    so retries, injected faults and degraded rows count identically.
+    Clock-set faults stay off — the grid path performs no clock-set driver
+    calls, making that class inherently path dependent."""
+    kernels = build_suite()[:6]
+    configs = spec.all_configurations()[:8]
+    counters = {}
+    for use_grid in (True, False):
+        plan = FaultPlan(
+            seed=20180224,
+            nvml_read_rate=0.05,
+            cupti_read_rate=0.05,
+            sample_dropout_rate=0.3,
+            thermal_throttle_rate=0.15,
+        )
+        recorder = TraceRecorder()
+        session = ProfilingSession(
+            SimulatedGPU(spec, fault_plan=plan, recorder=recorder)
+        )
+        collect_training_dataset(session, kernels, configs, use_grid=use_grid)
+        counters[use_grid] = _logical_counters(recorder)
+    assert counters[True] == counters[False]
+    assert counters[True].get("faults.injected", 0) > 0
 
 
 def test_estimator_identical_on_grid_and_scalar_datasets():

@@ -1,0 +1,274 @@
+"""Unit tests for the telemetry subsystem (recorder, spans, exporters).
+
+The contracts under test:
+
+* the no-op recorder records nothing and allocates nothing per call;
+* the trace recorder builds a correct span tree on the virtual clock;
+* counters are monotonic, gauges last-write-wins, labels normalized;
+* both exporters are deterministic (byte-identical across identical runs)
+  and the JSONL exporter round-trips through ``json.loads``;
+* instrumented pipeline outputs are bitwise identical with telemetry on
+  and off — the recorder only ever observes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.dataset import collect_campaign
+from repro.core.estimation import ModelEstimator
+from repro.driver.session import ProfilingSession
+from repro.errors import ValidationError
+from repro.hardware.gpu import SimulatedGPU
+from repro.hardware.specs import TESLA_K40C
+from repro.microbench import build_suite
+from repro.telemetry import (
+    JSONL_SCHEMA,
+    NULL_RECORDER,
+    TelemetryRecorder,
+    TraceRecorder,
+    VirtualClock,
+    to_jsonl,
+    to_prometheus,
+    write_trace,
+)
+from repro.telemetry.recorder import _NULL_SPAN
+
+
+class TestNullRecorder:
+    def test_disabled_and_empty(self):
+        assert NULL_RECORDER.enabled is False
+        assert NULL_RECORDER.counters() == {}
+        assert NULL_RECORDER.gauges() == {}
+        assert NULL_RECORDER.finished_spans() == []
+
+    def test_span_returns_shared_inert_handle(self):
+        handle = NULL_RECORDER.span("anything", device="x")
+        assert handle is _NULL_SPAN
+        with handle as entered:
+            entered.set(attr=1)  # must be a silent no-op
+        assert NULL_RECORDER.finished_spans() == []
+
+    def test_null_span_does_not_swallow_exceptions(self):
+        with pytest.raises(RuntimeError):
+            with NULL_RECORDER.span("x"):
+                raise RuntimeError("boom")
+
+    def test_add_and_gauge_are_noops(self):
+        NULL_RECORDER.add("faults.injected", 3)
+        NULL_RECORDER.set_gauge("estimator.rmse", 1.5)
+        assert NULL_RECORDER.counters() == {}
+        assert NULL_RECORDER.gauges() == {}
+
+
+class TestVirtualClock:
+    def test_monotonic_ticks(self):
+        clock = VirtualClock()
+        assert clock.ticks == 0
+        assert [clock.tick() for _ in range(3)] == [1, 2, 3]
+        assert clock.ticks == 3
+
+
+class TestSpans:
+    def test_span_tree_nesting(self):
+        recorder = TraceRecorder()
+        with recorder.span("campaign", device="d"):
+            with recorder.span("profile", kernel="k1"):
+                pass
+            with recorder.span("measure", kernel="k1"):
+                with recorder.span("cell", core=1000, memory=3000):
+                    pass
+        tree = recorder.span_tree()
+        assert tree == [  # start order
+            ("campaign",),
+            ("campaign", "profile"),
+            ("campaign", "measure"),
+            ("campaign", "measure", "cell"),
+        ]
+        assert recorder.open_spans == 0
+
+    def test_ticks_encode_event_order(self):
+        recorder = TraceRecorder()
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                pass
+        spans = {s.name: s for s in recorder.finished_spans()}
+        assert spans["outer"].start_tick == 1
+        assert spans["inner"].start_tick == 2
+        assert spans["inner"].end_tick == 3
+        assert spans["outer"].end_tick == 4
+
+    def test_set_attaches_attributes(self):
+        recorder = TraceRecorder()
+        with recorder.span("estimate", rows=10) as span:
+            span.set(converged=True, rmse=1.25)
+        (span,) = recorder.finished_spans()
+        assert span.attributes == {
+            "rows": 10,
+            "converged": True,
+            "rmse": 1.25,
+        }
+
+    def test_exception_annotates_and_propagates(self):
+        recorder = TraceRecorder()
+        with pytest.raises(ValidationError):
+            with recorder.span("campaign"):
+                raise ValidationError("empty")
+        (span,) = recorder.finished_spans()
+        assert span.attributes["error"] == "ValidationError"
+        assert not span.open
+
+    def test_out_of_order_close_is_an_error(self):
+        recorder = TraceRecorder()
+        outer = recorder.span("outer")
+        recorder.span("inner")
+        with pytest.raises(RuntimeError, match="out of order"):
+            outer.__exit__(None, None, None)
+
+    def test_open_spans_excluded_from_finished(self):
+        recorder = TraceRecorder()
+        recorder.span("left-open")
+        assert recorder.finished_spans() == []
+        assert recorder.open_spans == 1
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates(self):
+        recorder = TraceRecorder()
+        recorder.add("nvml.retries")
+        recorder.add("nvml.retries", 2.0)
+        assert recorder.counter("nvml.retries") == 3.0
+        assert recorder.counters() == {"nvml.retries": 3.0}
+
+    def test_negative_increment_rejected(self):
+        recorder = TraceRecorder()
+        with pytest.raises(ValueError, match="monotonic"):
+            recorder.add("faults.injected", -1.0)
+
+    def test_labels_normalize_to_one_series(self):
+        recorder = TraceRecorder()
+        recorder.add("rows.collected", device="a", kernel="k")
+        recorder.add("rows.collected", kernel="k", device="a")
+        assert recorder.counter("rows.collected", device="a", kernel="k") == 2.0
+        assert recorder.counters() == {
+            "rows.collected{device=a,kernel=k}": 2.0
+        }
+
+    def test_gauge_last_write_wins(self):
+        recorder = TraceRecorder()
+        recorder.set_gauge("estimator.rmse", 5.0)
+        recorder.set_gauge("estimator.rmse", 2.5)
+        assert recorder.gauge("estimator.rmse") == 2.5
+        assert recorder.gauge("missing") is None
+
+
+def _small_trace() -> TraceRecorder:
+    recorder = TraceRecorder()
+    with recorder.span("campaign", device="Tesla K40c"):
+        with recorder.span("cell", core=745, memory=3004) as cell:
+            cell.set(quality=["retried"])
+        recorder.add("rows.collected")
+        recorder.add("faults.injected", 2.0, device="Tesla K40c")
+    recorder.set_gauge("estimator.rmse", 1.25)
+    return recorder
+
+
+class TestJsonlExport:
+    def test_schema_and_roundtrip(self):
+        text = to_jsonl(_small_trace())
+        assert text.endswith("\n")
+        lines = [json.loads(line) for line in text.splitlines()]
+        meta = lines[0]
+        assert meta["kind"] == "meta"
+        assert meta["schema"] == JSONL_SCHEMA
+        assert meta["spans"] == 2
+        kinds = [line["kind"] for line in lines]
+        assert kinds == ["meta", "span", "span", "counter", "counter", "gauge"]
+        spans = [line for line in lines if line["kind"] == "span"]
+        # Start order: cell finished first but campaign started first.
+        assert spans[0]["name"] == "campaign"
+        assert spans[0]["parent"] is None
+        assert spans[1]["name"] == "cell"
+        assert spans[1]["parent"] == spans[0]["id"]
+        assert spans[1]["attrs"]["quality"] == ["retried"]
+
+    def test_byte_identical_across_identical_runs(self):
+        assert to_jsonl(_small_trace()) == to_jsonl(_small_trace())
+
+    def test_counter_lines_sorted_with_labels(self):
+        lines = [
+            json.loads(line)
+            for line in to_jsonl(_small_trace()).splitlines()
+        ]
+        counters = [line for line in lines if line["kind"] == "counter"]
+        assert [c["name"] for c in counters] == [
+            "faults.injected",
+            "rows.collected",
+        ]
+        assert counters[0]["labels"] == {"device": "Tesla K40c"}
+
+
+class TestPrometheusExport:
+    def test_format(self):
+        text = to_prometheus(_small_trace())
+        lines = text.splitlines()
+        assert lines[0] == "# TYPE repro_spans_total counter"
+        assert lines[1] == "repro_spans_total 2"
+        assert "# TYPE repro_faults_injected counter" in lines
+        assert 'repro_faults_injected{device="Tesla K40c"} 2' in lines
+        assert "# TYPE repro_estimator_rmse gauge" in lines
+        assert "repro_estimator_rmse 1.25" in lines
+
+    def test_byte_identical_across_identical_runs(self):
+        assert to_prometheus(_small_trace()) == to_prometheus(_small_trace())
+
+    def test_label_values_escaped(self):
+        recorder = TraceRecorder()
+        recorder.add("x", kernel='with"quote\\slash')
+        assert 'kernel="with\\"quote\\\\slash"' in to_prometheus(recorder)
+
+
+class TestWriteTrace:
+    def test_writes_jsonl_and_prom(self, tmp_path):
+        recorder = _small_trace()
+        jsonl = write_trace(recorder, tmp_path / "trace.jsonl")
+        prom = write_trace(recorder, tmp_path / "trace.prom", format="prom")
+        assert jsonl.read_text() == to_jsonl(recorder)
+        assert prom.read_text() == to_prometheus(recorder)
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown telemetry format"):
+            write_trace(_small_trace(), tmp_path / "t", format="xml")
+
+
+class TestTelemetryIsPureObservation:
+    """Telemetry on vs off: pipeline outputs stay bitwise identical."""
+
+    def test_campaign_and_fit_bitwise_identical(self):
+        kernels = build_suite()[:4]
+        configs = TESLA_K40C.all_configurations()[:5]
+
+        plain = ProfilingSession(SimulatedGPU(TESLA_K40C))
+        recorder = TraceRecorder()
+        traced = ProfilingSession(
+            SimulatedGPU(TESLA_K40C, recorder=recorder)
+        )
+
+        dataset_off, report_off = collect_campaign(plain, kernels, configs)
+        dataset_on, report_on = collect_campaign(traced, kernels, configs)
+        assert dataset_off.rows == dataset_on.rows
+        assert report_off == report_on
+
+        _, fit_off = ModelEstimator(dataset_off).estimate()
+        _, fit_on = ModelEstimator(
+            dataset_on, recorder=recorder
+        ).estimate()
+        assert fit_off.rmse_history == fit_on.rmse_history
+
+        # ... and the trace actually captured the run.
+        assert recorder.counter("rows.collected") == len(dataset_on.rows)
+        assert recorder.counter("estimator.iterations") == fit_on.iterations
+        assert ("campaign",) in recorder.span_tree()
+        assert ("estimate", "iteration") in recorder.span_tree()
