@@ -1,0 +1,26 @@
+#!/usr/bin/env python
+"""Serving benchmark harness — runnable wrapper around the CLI load test.
+
+Fits (or resolves) the device model in a registry, replays a seeded
+request stream against the asyncio prediction server at several
+concurrency levels (cold cache, then warm) and writes
+``BENCH_serving.json``::
+
+    python benchmarks/bench_serving.py              # full stream, Titan Xp
+    python benchmarks/bench_serving.py --quick      # CI smoke tier
+    python benchmarks/bench_serving.py --device "Tesla K40c" --requests 500
+
+Equivalent: ``python -m repro.cli load-test ...``.
+"""
+
+import sys
+from pathlib import Path
+
+try:
+    from repro.cli import main
+except ImportError:  # running from a source checkout without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["load-test", *sys.argv[1:]]))

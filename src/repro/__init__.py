@@ -88,6 +88,12 @@ from repro.analysis.breakdown import BreakdownReport, breakdown_report
 from repro.analysis.voltage import fit_voltage_regions
 from repro.analysis.dvfs import DVFSAdvisor
 from repro.serialization import load_model, save_model
+from repro.serving import (
+    ModelRegistry,
+    PredictionEngine,
+    PredictionServer,
+    ServerConfig,
+)
 
 __version__ = "1.0.0"
 
@@ -123,4 +129,6 @@ __all__ = [
     "fit_voltage_regions", "DVFSAdvisor",
     # serialization
     "save_model", "load_model",
+    # serving
+    "ModelRegistry", "PredictionEngine", "PredictionServer", "ServerConfig",
 ]

@@ -8,9 +8,15 @@ runner plus a model-construction tool) as subcommands::
     python -m repro predict --model model.json --workload blackscholes \
         --core 595 --memory 810
     python -m repro predict --model model.json --workload gemm --grid
+    python -m repro predict --model model.json --batch rows.csv
     python -m repro breakdown --model model.json --workload gemm
     python -m repro validate --model model.json
     python -m repro experiment fig7
+
+The serving subsystem adds traffic-facing verbs::
+
+    python -m repro serve --registry ./registry --device "Titan Xp" --fit
+    python -m repro load-test --quick --output BENCH_serving.json
 
 Every command works offline and deterministically on the simulated devices.
 """
@@ -18,6 +24,7 @@ Every command works offline and deterministically on the simulated devices.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import importlib
 import sys
 from typing import Optional, Sequence
@@ -135,8 +142,68 @@ def cmd_fit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_batch_rows(path: str):
+    """Utilization rows from a JSON or CSV batch file.
+
+    JSON: a list of ``{"sp": 0.4, "dram": 0.7, ...}`` objects. CSV: a
+    header of component names followed by one numeric row per request.
+    Missing components default to zero; unknown names are an error.
+    """
+    import csv
+    import json as _json
+    from pathlib import Path
+
+    from repro.serving.engine import vector_from_mapping
+
+    source = Path(path)
+    text = source.read_text()
+    if source.suffix.lower() in (".json", ".jsonl"):
+        data = _json.loads(text)
+        if not isinstance(data, list):
+            raise ReproError(
+                f"batch file {source} must hold a JSON list of objects"
+            )
+        return [vector_from_mapping(entry) for entry in data]
+    rows = []
+    reader = csv.DictReader(text.splitlines())
+    for entry in reader:
+        rows.append(
+            vector_from_mapping(
+                {key: float(value) for key, value in entry.items() if value}
+            )
+        )
+    if not rows:
+        raise ReproError(f"batch file {source} holds no utilization rows")
+    return rows
+
+
 def cmd_predict(args: argparse.Namespace) -> int:
     model = load_model(args.model)
+    if args.batch:
+        from repro.serving.engine import PredictionEngine
+
+        engine = PredictionEngine(model)
+        vectors = _read_batch_rows(args.batch)
+        matrix = engine.utilization_matrix(vectors)
+        config = FrequencyConfig(
+            args.core or model.spec.default_core_mhz,
+            args.memory or model.spec.default_memory_mhz,
+        )
+        watts = engine.predict_at(matrix, config)
+        rows = [
+            (str(index), f"{value:.2f}")
+            for index, value in enumerate(watts)
+        ]
+        print(
+            format_table(
+                ["row", "predicted power (W)"],
+                rows,
+                title=f"{len(rows)} rows @ {config} on {model.spec.name}",
+            )
+        )
+        return 0
+    if not args.workload:
+        raise ReproError("predict needs --workload (or --batch FILE)")
     session = _session_for(model.spec.name, args.noiseless)
     kernel = workload_by_name(args.workload)
     utilizations = MetricCalculator(model.spec).utilizations(
@@ -249,6 +316,98 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the asyncio prediction service over a registry model."""
+    import asyncio
+
+    from repro.serving import ModelRegistry, PredictionServer, ServerConfig
+    from repro.serving.loadgen import ensure_model
+    from repro.serving.registry import slugify
+    from repro.serving.server import serve_tcp
+
+    registry = ModelRegistry(args.registry)
+    name = args.model or slugify(args.device)
+    if args.fit:
+        record = ensure_model(registry, args.device, name)
+        print(f"serving {record.version_key} ({record.device})")
+
+    async def _serve() -> int:
+        server = PredictionServer(
+            registry,
+            name,
+            config=ServerConfig(
+                max_queue=args.max_queue, max_batch=args.max_batch
+            ),
+        )
+        record = await server.start()
+        tcp, finished = await serve_tcp(
+            server,
+            host=args.host,
+            port=args.port,
+            max_requests=args.max_requests or None,
+        )
+        address = tcp.sockets[0].getsockname()
+        print(
+            f"model {record.version_key}: listening on "
+            f"{address[0]}:{address[1]} "
+            f"(JSON lines; grid of {server.engine.grid_size} configs)"
+        )
+        try:
+            if args.max_requests:
+                await finished.wait()
+            else:  # pragma: no cover - interactive mode runs until killed
+                await asyncio.Event().wait()
+        finally:
+            tcp.close()
+            await tcp.wait_closed()
+            await server.stop()
+        return 0
+
+    return asyncio.run(_serve())
+
+
+def cmd_load_test(args: argparse.Namespace) -> int:
+    """Benchmark the serving path; write BENCH_serving.json."""
+    import json
+    import tempfile
+    from pathlib import Path
+
+    from repro.serving import LoadTestPlan, ModelRegistry, run_load_test
+    from repro.serving.loadgen import summarize
+
+    if args.quick:
+        plan = LoadTestPlan.quick_tier(args.device)
+    else:
+        plan = LoadTestPlan(device=args.device)
+    if args.requests:
+        plan = dataclasses.replace(plan, requests=args.requests)
+    if args.concurrency:
+        plan = dataclasses.replace(
+            plan, concurrency_levels=tuple(args.concurrency)
+        )
+
+    if args.registry:
+        report = run_load_test(ModelRegistry(args.registry), plan)
+    else:
+        with tempfile.TemporaryDirectory() as scratch:
+            report = run_load_test(ModelRegistry(scratch), plan)
+    print(summarize(report))
+    path = Path(args.output)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"report written to {path}")
+    if not report["acceptance"]["pass"]:
+        print("error: warm-cache throughput below the floor", file=sys.stderr)
+        return 1
+    if args.strict and report["errors_total"] > 0:
+        print(
+            f"error: {report['errors_total']} rejected/timed-out requests "
+            "under --strict",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_sources(args: argparse.Namespace) -> int:
     """Dump the microbenchmark suite's CUDA (and PTX) sources — the
     released-artifact side of the paper (Fig. 3/4)."""
@@ -330,7 +489,20 @@ def build_parser() -> argparse.ArgumentParser:
         "predict", help="predict a workload's power at a configuration"
     )
     predict.add_argument("--model", required=True)
-    predict.add_argument("--workload", required=True)
+    predict.add_argument(
+        "--workload",
+        default=None,
+        help="profile this workload on the simulated device "
+        "(mutually exclusive with --batch)",
+    )
+    predict.add_argument(
+        "--batch",
+        default=None,
+        metavar="FILE",
+        help="predict one row per utilization vector in FILE (JSON list of "
+        "component->value objects, or CSV with component-name header); "
+        "shares the serving PredictionEngine batch path",
+    )
     predict.add_argument("--core", type=float, default=None)
     predict.add_argument("--memory", type=float, default=None)
     predict.add_argument(
@@ -393,6 +565,74 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sources.add_argument("--output", default="microbenchmark_sources")
     sources.set_defaults(handler=cmd_sources)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the asyncio prediction service over a registry model "
+        "(JSON-lines over TCP)",
+    )
+    serve.add_argument(
+        "--registry", default="registry", help="model registry directory"
+    )
+    serve.add_argument(
+        "--model",
+        default=None,
+        help="registry model name (default: derived from --device)",
+    )
+    serve.add_argument("--device", default="Titan Xp")
+    serve.add_argument(
+        "--fit",
+        action="store_true",
+        help="fit and publish the device's model first if the registry "
+        "does not hold it yet",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="0 picks a free port"
+    )
+    serve.add_argument("--max-queue", type=int, default=256)
+    serve.add_argument("--max-batch", type=int, default=32)
+    serve.add_argument(
+        "--max-requests",
+        type=int,
+        default=0,
+        help="stop after answering N requests (0 = serve forever); "
+        "the smoke tests use this for bounded runs",
+    )
+    serve.set_defaults(handler=cmd_serve)
+
+    load_test = sub.add_parser(
+        "load-test",
+        help="drive the prediction server with a seeded request stream "
+        "(writes BENCH_serving.json)",
+    )
+    load_test.add_argument(
+        "--registry",
+        default=None,
+        help="model registry directory (default: a throwaway temp registry)",
+    )
+    load_test.add_argument("--device", default="Titan Xp")
+    load_test.add_argument(
+        "--requests", type=int, default=0, help="requests per phase"
+    )
+    load_test.add_argument(
+        "--concurrency",
+        action="append",
+        type=int,
+        help="concurrency level (repeatable; default: plan levels)",
+    )
+    load_test.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke tier: small stream, two concurrency levels",
+    )
+    load_test.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero if any request was rejected or timed out",
+    )
+    load_test.add_argument("--output", default="BENCH_serving.json")
+    load_test.set_defaults(handler=cmd_load_test)
 
     return parser
 

@@ -97,3 +97,38 @@ class NotFittedError(EstimationError):
 
 class ValidationError(ReproError):
     """An experiment/validation harness received inconsistent inputs."""
+
+
+class SerializationError(ValidationError):
+    """A serialized model artifact could not be read back.
+
+    Raised for truncated or syntactically invalid JSON, unknown or missing
+    format versions, and structurally incomplete documents — every way a
+    model file can fail to round-trip surfaces as this one class instead of
+    a raw :class:`KeyError`/:class:`json.JSONDecodeError`.
+    """
+
+
+class ServingError(ReproError):
+    """Base class for model-serving subsystem failures."""
+
+
+class RegistryError(ServingError):
+    """A model-registry operation failed (unknown model/version, corrupt
+    or tampered artifact, malformed manifest)."""
+
+
+class ServerOverloadedError(ServingError):
+    """The prediction server's admission queue is full.
+
+    The 503-style fast rejection of the backpressure path: the request was
+    never queued, so the caller can retry elsewhere immediately.
+    """
+
+
+class RequestTimeoutError(ServingError):
+    """A queued prediction request exceeded its per-request deadline."""
+
+
+class ServerClosedError(ServingError):
+    """A request was submitted to a server that is not running."""

@@ -19,7 +19,7 @@ from pathlib import Path
 from typing import Any, Dict, Union
 
 from repro.core.model import DVFSPowerModel, ModelParameters, VoltageEstimate
-from repro.errors import ValidationError
+from repro.errors import SerializationError
 from repro.hardware.components import CORE_COMPONENTS, Component
 from repro.hardware.specs import FrequencyConfig, GPUSpec, gpu_spec_by_name
 
@@ -69,37 +69,56 @@ def model_from_dict(
     ``spec`` overrides the device lookup — useful when deploying a model to
     a device object constructed locally (e.g. inside a guest VM).
     """
+    if not isinstance(data, dict):
+        raise SerializationError(
+            f"serialized model must be a JSON object, got {type(data).__name__}"
+        )
     if data.get("format") != FORMAT:
-        raise ValidationError(
+        raise SerializationError(
             f"not a serialized power model (format={data.get('format')!r})"
         )
-    if data.get("version") != FORMAT_VERSION:
-        raise ValidationError(
-            f"unsupported model format version {data.get('version')!r}"
+    if "version" not in data:
+        raise SerializationError(
+            "serialized model carries no format version "
+            f"(expected version={FORMAT_VERSION})"
         )
-    if spec is None:
-        spec = gpu_spec_by_name(data["device"])
+    if data["version"] != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported model format version {data['version']!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    try:
+        if spec is None:
+            spec = gpu_spec_by_name(data["device"])
 
-    raw = data["parameters"]
-    parameters = ModelParameters(
-        beta0=float(raw["beta0"]),
-        beta1=float(raw["beta1"]),
-        beta2=float(raw["beta2"]),
-        beta3=float(raw["beta3"]),
-        omega_mem=float(raw["omega_mem"]),
-        omega_core={
-            Component(name): float(value)
-            for name, value in raw["omega_core"].items()
-        },
-    )
-    voltages = {
-        FrequencyConfig(entry["core_mhz"], entry["memory_mhz"]): VoltageEstimate(
-            float(entry["v_core"]), float(entry["v_mem"])
+        raw = data["parameters"]
+        parameters = ModelParameters(
+            beta0=float(raw["beta0"]),
+            beta1=float(raw["beta1"]),
+            beta2=float(raw["beta2"]),
+            beta3=float(raw["beta3"]),
+            omega_mem=float(raw["omega_mem"]),
+            omega_core={
+                Component(name): float(value)
+                for name, value in raw["omega_core"].items()
+            },
         )
-        for entry in data["voltages"]
-    }
+        voltages = {
+            FrequencyConfig(entry["core_mhz"], entry["memory_mhz"]): VoltageEstimate(
+                float(entry["v_core"]), float(entry["v_mem"])
+            )
+            for entry in data["voltages"]
+        }
+    except KeyError as missing:
+        raise SerializationError(
+            f"serialized model is missing required field {missing}"
+        ) from missing
+    except (TypeError, ValueError) as bad:
+        raise SerializationError(
+            f"serialized model carries a malformed field: {bad}"
+        ) from bad
     if not voltages:
-        raise ValidationError("serialized model carries no voltage estimates")
+        raise SerializationError("serialized model carries no voltage estimates")
     return DVFSPowerModel(spec=spec, parameters=parameters, voltages=voltages)
 
 
@@ -113,6 +132,18 @@ def save_model(model: DVFSPowerModel, path: Union[str, Path]) -> Path:
 def load_model(
     path: Union[str, Path], spec: Union[GPUSpec, None] = None
 ) -> DVFSPowerModel:
-    """Read a fitted model back from :func:`save_model` output."""
-    data = json.loads(Path(path).read_text())
+    """Read a fitted model back from :func:`save_model` output.
+
+    Truncated or syntactically invalid files raise
+    :class:`~repro.errors.SerializationError` (a :class:`ReproError`), never
+    a bare :class:`json.JSONDecodeError` — callers that hold a last-known-good
+    model (the serving registry's stale-fallback path) rely on this.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as bad:
+        raise SerializationError(
+            f"model file {path} is not valid JSON (truncated or corrupt): {bad}"
+        ) from bad
     return model_from_dict(data, spec=spec)

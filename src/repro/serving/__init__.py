@@ -1,0 +1,48 @@
+"""Model serving: versioned registry + batched async prediction service.
+
+The paper's headline use case — predict power at *every* V-F configuration
+from one reference-frequency profile — is exactly the query a DVFS governor
+or cluster scheduler issues at high rate (Ilager et al.'s deadline-aware
+frequency-scaling scheduler; DSO's online energy optimizer). This package
+turns a fitted :class:`~repro.core.model.DVFSPowerModel` into a long-lived,
+concurrent, cached prediction service:
+
+* :class:`ModelRegistry` — versioned, content-hashed model artifacts on
+  disk (built on :mod:`repro.serialization`), with ``publish`` / ``latest``
+  / ``pin`` semantics and corrupt-artifact detection;
+* :class:`PredictionEngine` — one vectorized NumPy pass answering many
+  utilization vectors x the full V-F grid, bitwise identical to the scalar
+  :meth:`~repro.core.model.DVFSPowerModel.predict_power` path;
+* :class:`PredictionServer` — an asyncio front-end with request coalescing,
+  an LRU prediction cache keyed by (model version, quantized utilization
+  vector), bounded worker concurrency, per-request timeouts, queue-full
+  fast rejection and graceful degradation to the last good model version;
+* :func:`run_load_test` — the seeded load generator behind
+  ``repro.cli load-test`` and ``BENCH_serving.json``.
+"""
+
+from repro.serving.cache import CacheStats, PredictionCache
+from repro.serving.engine import BatchBreakdown, PredictionEngine
+from repro.serving.loadgen import LoadTestPlan, run_load_test
+from repro.serving.registry import ArtifactRecord, ModelRegistry
+from repro.serving.server import (
+    PredictionResponse,
+    PredictionServer,
+    ServerConfig,
+    serve_tcp,
+)
+
+__all__ = [
+    "ArtifactRecord",
+    "BatchBreakdown",
+    "CacheStats",
+    "LoadTestPlan",
+    "ModelRegistry",
+    "PredictionCache",
+    "PredictionEngine",
+    "PredictionResponse",
+    "PredictionServer",
+    "ServerConfig",
+    "run_load_test",
+    "serve_tcp",
+]

@@ -1,0 +1,345 @@
+"""Batched prediction over the full V-F grid — the serving hot path.
+
+One :class:`PredictionEngine` wraps one fitted model and answers *many*
+utilization vectors against *all* configurations in a single NumPy pass.
+The arithmetic replicates :meth:`DVFSPowerModel.predict_breakdown`
+operation by operation — same expression shapes, same left-to-right
+accumulation order — so every produced value is **bitwise identical** to
+the scalar per-row path (the same contract the measurement-campaign fast
+path honours; see ``hardware/performance.py``). That lets the serving
+layer batch and cache aggressively without introducing even one-ulp
+drift between a cached and a freshly computed answer.
+
+Per-configuration quantities (voltage-squared frequency scales, the
+utilization-independent constant term, the scaled omegas) are precomputed
+once at construction with the exact scalar expressions, so a batch of B
+vectors costs eight elementwise passes over a ``B x C`` array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.analysis.dvfs import ConfigurationScore
+from repro.core.metrics import UtilizationVector
+from repro.core.model import DVFSPowerModel, _config_key
+from repro.errors import ServingError, ValidationError
+from repro.hardware.components import (
+    ALL_COMPONENTS,
+    CORE_COMPONENTS,
+    Component,
+)
+from repro.hardware.specs import FrequencyConfig
+from repro.runtime.policies import (
+    EdpPolicy,
+    EnergyPolicy,
+    FrequencyPolicy,
+)
+
+#: Index of the DRAM column in the canonical utilization matrix.
+_DRAM_INDEX = len(CORE_COMPONENTS)
+
+
+def utilization_row(
+    utilizations: Union[UtilizationVector, Mapping[Component, float]],
+) -> List[float]:
+    """One matrix row in the canonical ``ALL_COMPONENTS`` order."""
+    return [float(utilizations[c]) for c in ALL_COMPONENTS]
+
+
+def vector_from_mapping(values: Mapping[str, float]) -> UtilizationVector:
+    """Build a :class:`UtilizationVector` from component-name keys.
+
+    The batch-file front-ends (``predict --batch``, the TCP server) accept
+    plain ``{"sp": 0.4, "dram": 0.7, ...}`` objects; missing components
+    default to zero, unknown names raise.
+    """
+    known = {component.value for component in ALL_COMPONENTS}
+    unknown = set(values) - known
+    if unknown:
+        raise ValidationError(
+            f"unknown utilization component(s) {sorted(unknown)}; "
+            f"known: {sorted(known)}"
+        )
+    full = {component: 0.0 for component in ALL_COMPONENTS}
+    for name, value in values.items():
+        value = float(value)
+        if not 0.0 <= value <= 1.0:
+            raise ValidationError(
+                f"utilization {name!r} must be in [0, 1], got {value}"
+            )
+        full[Component(name)] = value
+    return UtilizationVector(values=full)
+
+
+@dataclass(frozen=True)
+class BatchBreakdown:
+    """Per-component decomposition of one batch (Fig. 5B/10, batched).
+
+    ``constant_watts`` has one entry per configuration; each component
+    array is ``(batch, configurations)``.
+    """
+
+    configs: Tuple[FrequencyConfig, ...]
+    constant_watts: np.ndarray
+    component_watts: Dict[Component, np.ndarray]
+
+    @property
+    def total_watts(self) -> np.ndarray:
+        total = np.zeros_like(next(iter(self.component_watts.values())))
+        for component in ALL_COMPONENTS:
+            total = total + self.component_watts[component]
+        return self.constant_watts[None, :] + total
+
+
+class PredictionEngine:
+    """Vectorized grid predictions for one fitted model."""
+
+    def __init__(
+        self,
+        model: DVFSPowerModel,
+        configs: Optional[Sequence[FrequencyConfig]] = None,
+    ) -> None:
+        self.model = model
+        self.spec = model.spec
+        if configs is None:
+            configs = model.known_configurations()
+        self.configs: Tuple[FrequencyConfig, ...] = tuple(
+            self.spec.validate_configuration(config) for config in configs
+        )
+        if not self.configs:
+            raise ServingError("prediction engine needs at least one configuration")
+        self._index = {
+            _config_key(config): column
+            for column, config in enumerate(self.configs)
+        }
+
+        # Per-configuration scalars, computed with the exact expressions of
+        # DVFSPowerModel.predict_breakdown so every downstream element-wise
+        # NumPy op reproduces the scalar path bit for bit.
+        p = model.parameters
+        core_scale = []
+        mem_scale = []
+        constant = []
+        for config in self.configs:
+            voltage = model.voltage_at(config)
+            cs = voltage.v_core**2 * config.core_mhz
+            ms = voltage.v_mem**2 * config.memory_mhz
+            core_scale.append(cs)
+            mem_scale.append(ms)
+            constant.append(
+                p.beta0 * voltage.v_core
+                + cs * p.beta1
+                + p.beta2 * voltage.v_mem
+                + ms * p.beta3
+            )
+        self._core_scale = np.asarray(core_scale, dtype=float)
+        self._mem_scale = np.asarray(mem_scale, dtype=float)
+        self._constant = np.asarray(constant, dtype=float)
+        #: ``scaled_core[i][c] == core_scale[c] * omega_i`` — the first
+        #: multiplication of the scalar component term, hoisted per config.
+        self._scaled_core = [
+            self._core_scale * p.omega_core[component]
+            for component in CORE_COMPONENTS
+        ]
+        self._scaled_mem = self._mem_scale * p.omega_mem
+
+    # ------------------------------------------------------------------
+    # Shapes
+    # ------------------------------------------------------------------
+    @property
+    def grid_size(self) -> int:
+        return len(self.configs)
+
+    def config_index(self, config: FrequencyConfig) -> int:
+        """Column of a configuration in every batch result."""
+        key = _config_key(self.spec.validate_configuration(config))
+        if key not in self._index:
+            raise ServingError(
+                f"configuration {config} is not on the engine's grid of "
+                f"{self.grid_size} configurations"
+            )
+        return self._index[key]
+
+    def utilization_matrix(
+        self,
+        vectors: Sequence[Union[UtilizationVector, Mapping[Component, float]]],
+    ) -> np.ndarray:
+        """``(batch, components)`` matrix in canonical component order."""
+        if not len(vectors):
+            raise ServingError("utilization batch must be non-empty")
+        return np.asarray(
+            [utilization_row(vector) for vector in vectors], dtype=float
+        )
+
+    # ------------------------------------------------------------------
+    # Batched prediction
+    # ------------------------------------------------------------------
+    def predict_batch(self, matrix: np.ndarray) -> np.ndarray:
+        """Total power of every row at every configuration.
+
+        ``matrix`` is ``(B, 7)`` in ``ALL_COMPONENTS`` order; the result is
+        ``(B, C)`` with ``result[b, c]`` bitwise equal to
+        ``model.predict_power(vectors[b], configs[c])``.
+        """
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[1] != len(ALL_COMPONENTS):
+            raise ServingError(
+                f"utilization matrix must be (batch, {len(ALL_COMPONENTS)}), "
+                f"got {matrix.shape}"
+            )
+        # Accumulate in the exact order PredictedBreakdown.dynamic_watts
+        # sums its terms: the core components in canonical order, then DRAM.
+        dynamic = np.zeros((matrix.shape[0], self.grid_size))
+        for column, scaled in enumerate(self._scaled_core):
+            dynamic = dynamic + scaled[None, :] * matrix[:, column][:, None]
+        dynamic = dynamic + self._scaled_mem[None, :] * matrix[:, _DRAM_INDEX][:, None]
+        return self._constant[None, :] + dynamic
+
+    def predict_vectors(
+        self,
+        vectors: Sequence[Union[UtilizationVector, Mapping[Component, float]]],
+    ) -> np.ndarray:
+        """:meth:`predict_batch` over unpacked utilization vectors."""
+        return self.predict_batch(self.utilization_matrix(vectors))
+
+    def predict_at(
+        self, matrix: np.ndarray, config: FrequencyConfig
+    ) -> np.ndarray:
+        """Total power of every row at one configuration, ``(B,)``.
+
+        Works for any configuration the model can evaluate, including
+        off-grid ones served by voltage interpolation.
+        """
+        matrix = np.asarray(matrix, dtype=float)
+        key = _config_key(self.spec.validate_configuration(config))
+        if key in self._index:
+            return self.predict_batch(matrix)[:, self._index[key]]
+        config = self.spec.validate_configuration(config)
+        voltage = self.model.voltage_at(config)
+        p = self.model.parameters
+        core_scale = voltage.v_core**2 * config.core_mhz
+        mem_scale = voltage.v_mem**2 * config.memory_mhz
+        constant = (
+            p.beta0 * voltage.v_core
+            + core_scale * p.beta1
+            + p.beta2 * voltage.v_mem
+            + mem_scale * p.beta3
+        )
+        dynamic = np.zeros(matrix.shape[0])
+        for column, component in enumerate(CORE_COMPONENTS):
+            dynamic = dynamic + (
+                core_scale * p.omega_core[component]
+            ) * matrix[:, column]
+        dynamic = dynamic + (mem_scale * p.omega_mem) * matrix[:, _DRAM_INDEX]
+        return constant + dynamic
+
+    def breakdown_batch(self, matrix: np.ndarray) -> BatchBreakdown:
+        """Per-component decomposition of every row at every configuration."""
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[1] != len(ALL_COMPONENTS):
+            raise ServingError(
+                f"utilization matrix must be (batch, {len(ALL_COMPONENTS)}), "
+                f"got {matrix.shape}"
+            )
+        component_watts: Dict[Component, np.ndarray] = {}
+        for column, component in enumerate(CORE_COMPONENTS):
+            component_watts[component] = (
+                self._scaled_core[column][None, :] * matrix[:, column][:, None]
+            )
+        component_watts[Component.DRAM] = (
+            self._scaled_mem[None, :] * matrix[:, _DRAM_INDEX][:, None]
+        )
+        return BatchBreakdown(
+            configs=self.configs,
+            constant_watts=self._constant,
+            component_watts=component_watts,
+        )
+
+    # ------------------------------------------------------------------
+    # Optimal-configuration queries (reuses runtime/policies scoring)
+    # ------------------------------------------------------------------
+    def score_grid(
+        self,
+        utilizations: Union[UtilizationVector, Mapping[Component, float]],
+        times_seconds: Optional[Sequence[float]] = None,
+    ) -> List[ConfigurationScore]:
+        """One :class:`ConfigurationScore` per grid configuration.
+
+        ``times_seconds`` supplies per-configuration execution times (same
+        order as :attr:`configs`); without it every configuration gets a
+        unit runtime, which makes energy ordering collapse to power
+        ordering — the right semantics for a pure power query.
+        """
+        powers = self.predict_batch(
+            np.asarray([utilization_row(utilizations)], dtype=float)
+        )[0]
+        if times_seconds is None:
+            times = np.ones(self.grid_size)
+        else:
+            times = np.asarray(times_seconds, dtype=float)
+            if times.shape != (self.grid_size,):
+                raise ServingError(
+                    f"times_seconds must have one entry per configuration "
+                    f"({self.grid_size}), got shape {times.shape}"
+                )
+        return [
+            ConfigurationScore(
+                config=config,
+                predicted_power_watts=float(powers[column]),
+                time_seconds=float(times[column]),
+            )
+            for column, config in enumerate(self.configs)
+        ]
+
+    def best_configuration(
+        self,
+        utilizations: Union[UtilizationVector, Mapping[Component, float]],
+        objective: str = "energy",
+        policy: Optional[FrequencyPolicy] = None,
+        times_seconds: Optional[Sequence[float]] = None,
+    ) -> ConfigurationScore:
+        """The optimal configuration under a policy or named objective.
+
+        ``policy`` takes any :class:`~repro.runtime.policies.FrequencyPolicy`
+        (power caps, slowdown bounds...); without one, ``objective`` picks
+        the stock energy or EDP policy.
+        """
+        if policy is None:
+            if objective == "energy":
+                policy = EnergyPolicy()
+            elif objective == "edp":
+                policy = EdpPolicy()
+            else:
+                raise ValidationError(
+                    f"unknown objective {objective!r} (known: energy, edp); "
+                    "pass a FrequencyPolicy for anything richer"
+                )
+        scores = self.score_grid(utilizations, times_seconds)
+        reference = self._reference_score(scores, utilizations)
+        return policy.choose(scores, reference)
+
+    def _reference_score(
+        self,
+        scores: Sequence[ConfigurationScore],
+        utilizations: Union[UtilizationVector, Mapping[Component, float]],
+    ) -> ConfigurationScore:
+        reference = self.spec.validate_configuration(self.spec.reference)
+        key = _config_key(reference)
+        for score in scores:
+            if _config_key(score.config) == key:
+                return score
+        # Models fitted on a sparse grid may not carry the reference
+        # configuration; score it separately via voltage interpolation.
+        powers = self.predict_at(
+            np.asarray([utilization_row(utilizations)], dtype=float),
+            reference,
+        )
+        return ConfigurationScore(
+            config=reference,
+            predicted_power_watts=float(powers[0]),
+            time_seconds=1.0,
+        )

@@ -1,0 +1,291 @@
+"""Seeded load generator: throughput/latency benchmark of the server.
+
+Drives a :class:`~repro.serving.server.PredictionServer` with a
+deterministic request stream shaped like governor traffic: utilization
+vectors drawn (with replacement) from the Table-III workloads profiled on
+the simulated device, a fixed fraction of them jittered so they miss the
+cache the first time. Each concurrency level runs the stream twice against
+one server — **cold** (empty cache) and **warm** (every key resident) —
+and records wall time, throughput and latency percentiles, plus the
+server's own cache/batch/rejection counters.
+
+``repro.cli load-test`` wraps :func:`run_load_test` and writes the report
+to ``BENCH_serving.json``; the CI smoke job runs the quick tier and fails
+on any rejected or errored request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import MASTER_SEED
+from repro.core.estimation import fit_power_model
+from repro.core.metrics import MetricCalculator
+from repro.driver.session import ProfilingSession
+from repro.errors import (
+    RegistryError,
+    RequestTimeoutError,
+    ServerOverloadedError,
+)
+from repro.hardware.components import ALL_COMPONENTS
+from repro.hardware.gpu import SimulatedGPU
+from repro.hardware.specs import gpu_spec_by_name
+from repro.serving.engine import utilization_row
+from repro.serving.registry import ArtifactRecord, ModelRegistry, slugify
+from repro.serving.server import PredictionServer, ServerConfig
+from repro.telemetry import TraceRecorder
+from repro.workloads import all_workloads
+
+#: Report schema identifier.
+BENCH_SCHEMA = "repro.serving.bench/v1"
+
+#: Acceptance floor: warm-cache predictions per second.
+THROUGHPUT_FLOOR_RPS = 1000.0
+
+#: Magnitude of the jitter applied to perturbed requests (cache-miss
+#: traffic); well above the cache quantum, well below model error.
+_JITTER = 5e-3
+
+#: Component-name keys of a request row, canonical order.
+_COMPONENT_NAMES = tuple(component.value for component in ALL_COMPONENTS)
+
+
+@dataclass(frozen=True)
+class LoadTestPlan:
+    """Shape of one load-test run."""
+
+    device: str = "Titan Xp"
+    requests: int = 2000
+    concurrency_levels: Tuple[int, ...] = (1, 8, 32)
+    #: Fraction of requests whose vector is jittered into a fresh cache key.
+    perturb_fraction: float = 0.25
+    seed: int = MASTER_SEED
+    quick: bool = False
+    server: ServerConfig = ServerConfig()
+
+    @staticmethod
+    def quick_tier(device: str = "Titan Xp") -> "LoadTestPlan":
+        """The CI smoke shape: small stream, two levels, same semantics."""
+        return LoadTestPlan(
+            device=device,
+            requests=300,
+            concurrency_levels=(1, 8),
+            quick=True,
+        )
+
+
+def ensure_model(
+    registry: ModelRegistry, device: str, name: Optional[str] = None
+) -> ArtifactRecord:
+    """Resolve (or fit and publish) the device's model in the registry."""
+    name = name or slugify(device)
+    try:
+        return registry.latest(name)
+    except RegistryError:
+        session = ProfilingSession(SimulatedGPU(gpu_spec_by_name(device)))
+        model, _ = fit_power_model(session)
+        return registry.publish(model, name=name)
+
+
+def build_stream(
+    device: str, plan: LoadTestPlan
+) -> Tuple[List[List[float]], int]:
+    """The deterministic request stream: utilization rows + unique count.
+
+    Base vectors come from profiling every Table-III workload once at the
+    reference configuration; the stream samples them with replacement and
+    jitters ``perturb_fraction`` of the draws.
+    """
+    spec = gpu_spec_by_name(device)
+    session = ProfilingSession(SimulatedGPU(spec))
+    calculator = MetricCalculator(spec)
+    workloads = all_workloads()
+    if plan.quick:
+        workloads = workloads[:8]
+    base = [
+        utilization_row(
+            calculator.utilizations(session.collect_events(kernel))
+        )
+        for kernel in workloads
+    ]
+    rng = np.random.default_rng(plan.seed)
+    rows: List[List[float]] = []
+    for _ in range(plan.requests):
+        row = list(base[int(rng.integers(len(base)))])
+        if rng.random() < plan.perturb_fraction:
+            jitter = rng.uniform(-_JITTER, _JITTER, size=len(row))
+            row = [float(np.clip(u + j, 0.0, 1.0)) for u, j in zip(row, jitter)]
+        rows.append(row)
+    unique = len({tuple(row) for row in rows})
+    return rows, unique
+
+
+async def _run_phase(
+    server: PredictionServer,
+    rows: Sequence[Sequence[float]],
+    concurrency: int,
+) -> Dict[str, object]:
+    """Replay the stream at a bounded concurrency; gather stats."""
+    semaphore = asyncio.Semaphore(concurrency)
+    latencies: List[float] = []
+    rejections = 0
+    timeouts = 0
+
+    async def one(row: Sequence[float]) -> None:
+        nonlocal rejections, timeouts
+        async with semaphore:
+            started = time.perf_counter()
+            try:
+                await server.predict(dict(zip(_COMPONENT_NAMES, row)))
+            except ServerOverloadedError:
+                rejections += 1
+                return
+            except RequestTimeoutError:
+                timeouts += 1
+                return
+            latencies.append((time.perf_counter() - started) * 1000.0)
+
+    before = server.cache.stats()
+    wall_start = time.perf_counter()
+    await asyncio.gather(*(one(row) for row in rows))
+    wall = time.perf_counter() - wall_start
+    after = server.cache.stats()
+
+    answered = len(latencies)
+    ordered = np.sort(np.asarray(latencies)) if latencies else np.asarray([0.0])
+    return {
+        "requests": len(rows),
+        "answered": answered,
+        "rejections": rejections,
+        "timeouts": timeouts,
+        "wall_seconds": round(wall, 4),
+        "throughput_rps": round(answered / wall, 1) if wall > 0 else 0.0,
+        "latency_ms": {
+            "p50": round(float(np.percentile(ordered, 50)), 4),
+            "p95": round(float(np.percentile(ordered, 95)), 4),
+            "p99": round(float(np.percentile(ordered, 99)), 4),
+            "max": round(float(ordered[-1]), 4),
+        },
+        "cache": {
+            "hits": after.hits - before.hits,
+            "misses": after.misses - before.misses,
+            "entries": after.entries,
+        },
+    }
+
+
+async def _run_level(
+    registry: ModelRegistry,
+    name: str,
+    plan: LoadTestPlan,
+    rows: Sequence[Sequence[float]],
+    concurrency: int,
+) -> Dict[str, object]:
+    recorder = TraceRecorder()
+    server = PredictionServer(
+        registry, name, config=plan.server, recorder=recorder
+    )
+    await server.start()
+    try:
+        cold = await _run_phase(server, rows, concurrency)
+        warm = await _run_phase(server, rows, concurrency)
+    finally:
+        await server.stop()
+    return {
+        "concurrency": concurrency,
+        "cold": cold,
+        "warm": warm,
+        "batches": int(recorder.counter("serving.batches")),
+        "coalesced_batches": int(recorder.counter("serving.coalesced_batches")),
+        "coalesced_requests": int(recorder.counter("serving.coalesced")),
+    }
+
+
+def run_load_test(
+    registry: ModelRegistry,
+    plan: Optional[LoadTestPlan] = None,
+    model_name: Optional[str] = None,
+) -> Dict[str, object]:
+    """Fit/resolve the model, replay the stream per level, build the report."""
+    plan = plan or LoadTestPlan()
+    if plan.requests < 1:
+        raise ValueError("load-test needs at least one request")
+    record = ensure_model(registry, plan.device, model_name)
+    rows, unique = build_stream(plan.device, plan)
+
+    levels = []
+    for concurrency in plan.concurrency_levels:
+        levels.append(
+            asyncio.run(
+                _run_level(registry, record.name, plan, rows, concurrency)
+            )
+        )
+
+    warm_rps = max(level["warm"]["throughput_rps"] for level in levels)
+    errors_total = sum(
+        phase["rejections"] + phase["timeouts"]
+        for level in levels
+        for phase in (level["cold"], level["warm"])
+    )
+    return {
+        "benchmark": "serving",
+        "schema": BENCH_SCHEMA,
+        "mode": "quick" if plan.quick else "full",
+        "device": plan.device,
+        "model": {
+            "name": record.name,
+            "version": record.version,
+            "sha256": record.sha256,
+            "configurations": record.configurations,
+        },
+        "seed": plan.seed,
+        "requests_per_phase": plan.requests,
+        "unique_vectors": unique,
+        "server": {
+            "max_queue": plan.server.max_queue,
+            "max_batch": plan.server.max_batch,
+            "workers": plan.server.workers,
+            "cache_capacity": plan.server.cache_capacity,
+        },
+        "levels": levels,
+        "errors_total": errors_total,
+        "acceptance": {
+            "warm_throughput_rps": warm_rps,
+            "threshold_rps": THROUGHPUT_FLOOR_RPS,
+            "pass": bool(warm_rps >= THROUGHPUT_FLOOR_RPS),
+        },
+    }
+
+
+def summarize(report: Dict[str, object]) -> str:
+    """Human-readable one-screen summary of a load-test report."""
+    lines = [
+        f"serving load test — {report['device']} "
+        f"(model {report['model']['name']} v{report['model']['version']}, "
+        f"{report['model']['configurations']} configs, "
+        f"{report['requests_per_phase']} requests/phase, "
+        f"{report['unique_vectors']} unique vectors)"
+    ]
+    for level in report["levels"]:
+        for phase in ("cold", "warm"):
+            stats = level[phase]
+            lines.append(
+                f"  c={level['concurrency']:<3d} {phase:4s}: "
+                f"{stats['throughput_rps']:>9.1f} req/s  "
+                f"p50 {stats['latency_ms']['p50']:.3f} ms  "
+                f"p99 {stats['latency_ms']['p99']:.3f} ms  "
+                f"hits {stats['cache']['hits']}/{stats['requests']}  "
+                f"rej {stats['rejections']} to {stats['timeouts']}"
+            )
+    acceptance = report["acceptance"]
+    verdict = "PASS" if acceptance["pass"] else "FAIL"
+    lines.append(
+        f"  acceptance: warm {acceptance['warm_throughput_rps']:.0f} req/s "
+        f">= {acceptance['threshold_rps']:.0f} req/s — {verdict}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,284 @@
+"""Versioned on-disk model registry with content-hashed artifacts.
+
+The registry is the handoff point between training and traffic: ``fit``
+publishes a model once, and every serving process resolves it by name —
+``latest`` by default, or a ``pin`` that freezes rollouts to a known-good
+version. Artifacts are the exact JSON that :func:`repro.serialization.
+save_model` writes, stored immutably under a monotonically increasing
+version number, with a SHA-256 content hash recorded in a per-model
+manifest. Loads re-hash the file before parsing, so a truncated, corrupted
+or hand-edited artifact surfaces as a :class:`~repro.errors.RegistryError`
+instead of silently serving wrong predictions.
+
+Layout on disk (everything plain JSON, no timestamps — two registries
+built from the same models are byte-identical)::
+
+    <root>/<name>/manifest.json     # versions + optional pin
+    <root>/<name>/v0001.json        # save_model artifact, immutable
+    <root>/<name>/v0002.json
+
+Publishing the same model twice is idempotent: the content hash of the new
+artifact matches the newest version and no new version is minted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.core.model import DVFSPowerModel
+from repro.errors import RegistryError, SerializationError
+from repro.serialization import model_from_dict, model_to_dict
+
+#: Manifest schema identifier, bumped on incompatible layout changes.
+MANIFEST_SCHEMA = "repro.registry/v1"
+
+_MANIFEST_FILE = "manifest.json"
+
+
+def slugify(name: str) -> str:
+    """Registry-safe model name from a device name (``"Titan Xp"`` ->
+    ``"titan-xp"``)."""
+    slug = re.sub(r"[^a-z0-9]+", "-", name.lower()).strip("-")
+    if not slug:
+        raise RegistryError(f"cannot derive a registry name from {name!r}")
+    return slug
+
+
+def _sha256(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+@dataclass(frozen=True)
+class ArtifactRecord:
+    """One published model version as the manifest records it."""
+
+    name: str
+    version: int
+    sha256: str
+    device: str
+    configurations: int
+    path: Path
+
+    @property
+    def version_key(self) -> str:
+        """Cache/telemetry identifier: name, version and hash prefix."""
+        return f"{self.name}@v{self.version}:{self.sha256[:12]}"
+
+
+class ModelRegistry:
+    """Versioned, content-hashed model store rooted at one directory."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Manifest I/O
+    # ------------------------------------------------------------------
+    def _model_dir(self, name: str) -> Path:
+        return self.root / name
+
+    def _manifest_path(self, name: str) -> Path:
+        return self._model_dir(name) / _MANIFEST_FILE
+
+    def _read_manifest(self, name: str) -> Dict[str, Any]:
+        path = self._manifest_path(name)
+        if not path.exists():
+            raise RegistryError(
+                f"unknown model {name!r} in registry {self.root} "
+                f"(known: {self.models() or 'none'})"
+            )
+        try:
+            manifest = json.loads(path.read_text())
+        except json.JSONDecodeError as bad:
+            raise RegistryError(
+                f"manifest of model {name!r} is not valid JSON: {bad}"
+            ) from bad
+        if manifest.get("schema") != MANIFEST_SCHEMA:
+            raise RegistryError(
+                f"manifest of model {name!r} has unsupported schema "
+                f"{manifest.get('schema')!r} (expected {MANIFEST_SCHEMA})"
+            )
+        return manifest
+
+    def _write_manifest(self, name: str, manifest: Dict[str, Any]) -> None:
+        path = self._manifest_path(name)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        tmp.replace(path)
+
+    def _record(self, name: str, entry: Dict[str, Any]) -> ArtifactRecord:
+        return ArtifactRecord(
+            name=name,
+            version=int(entry["version"]),
+            sha256=str(entry["sha256"]),
+            device=str(entry["device"]),
+            configurations=int(entry["configurations"]),
+            path=self._model_dir(name) / str(entry["file"]),
+        )
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def publish(
+        self, model: DVFSPowerModel, name: Optional[str] = None
+    ) -> ArtifactRecord:
+        """Store a fitted model; returns the minted (or matched) version.
+
+        The artifact bytes are exactly ``save_model`` output; re-publishing
+        a model whose bytes hash to the newest version is a no-op that
+        returns the existing record.
+        """
+        name = name or slugify(model.spec.name)
+        payload = json.dumps(model_to_dict(model), indent=2).encode()
+        digest = _sha256(payload)
+
+        directory = self._model_dir(name)
+        directory.mkdir(parents=True, exist_ok=True)
+        if self._manifest_path(name).exists():
+            manifest = self._read_manifest(name)
+        else:
+            manifest = {
+                "schema": MANIFEST_SCHEMA,
+                "model": name,
+                "pinned": None,
+                "versions": [],
+            }
+        versions: List[Dict[str, Any]] = manifest["versions"]
+        if versions and versions[-1]["sha256"] == digest:
+            return self._record(name, versions[-1])
+
+        version = versions[-1]["version"] + 1 if versions else 1
+        filename = f"v{version:04d}.json"
+        (directory / filename).write_bytes(payload)
+        entry = {
+            "version": version,
+            "file": filename,
+            "sha256": digest,
+            "device": model.spec.name,
+            "configurations": len(model.known_configurations()),
+        }
+        versions.append(entry)
+        self._write_manifest(name, manifest)
+        return self._record(name, entry)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def models(self) -> List[str]:
+        """Names with a manifest, sorted."""
+        return sorted(
+            path.parent.name for path in self.root.glob(f"*/{_MANIFEST_FILE}")
+        )
+
+    def versions(self, name: str) -> List[ArtifactRecord]:
+        manifest = self._read_manifest(name)
+        return [self._record(name, entry) for entry in manifest["versions"]]
+
+    def latest(self, name: str) -> ArtifactRecord:
+        records = self.versions(name)
+        if not records:
+            raise RegistryError(f"model {name!r} has no published versions")
+        return records[-1]
+
+    def resolve(
+        self, name: str, version: Optional[int] = None
+    ) -> ArtifactRecord:
+        """The record an unqualified request maps to.
+
+        Explicit ``version`` wins; otherwise a pin, if set; otherwise the
+        newest version.
+        """
+        if version is None:
+            version = self.pinned(name)
+        if version is None:
+            return self.latest(name)
+        for record in self.versions(name):
+            if record.version == version:
+                return record
+        raise RegistryError(
+            f"model {name!r} has no version {version} "
+            f"(published: {[r.version for r in self.versions(name)]})"
+        )
+
+    # ------------------------------------------------------------------
+    # Pinning
+    # ------------------------------------------------------------------
+    def pinned(self, name: str) -> Optional[int]:
+        """The pinned version number, or None when serving follows latest."""
+        pinned = self._read_manifest(name).get("pinned")
+        return int(pinned) if pinned is not None else None
+
+    def pin(self, name: str, version: int) -> ArtifactRecord:
+        """Freeze unqualified resolution of ``name`` to ``version``."""
+        record = None
+        for candidate in self.versions(name):
+            if candidate.version == version:
+                record = candidate
+        if record is None:
+            raise RegistryError(
+                f"cannot pin model {name!r} to unpublished version {version}"
+            )
+        manifest = self._read_manifest(name)
+        manifest["pinned"] = version
+        self._write_manifest(name, manifest)
+        return record
+
+    def unpin(self, name: str) -> None:
+        manifest = self._read_manifest(name)
+        manifest["pinned"] = None
+        self._write_manifest(name, manifest)
+
+    # ------------------------------------------------------------------
+    # Loading and integrity
+    # ------------------------------------------------------------------
+    def load(
+        self, name: str, version: Optional[int] = None
+    ) -> Tuple[DVFSPowerModel, ArtifactRecord]:
+        """Load a model after verifying its artifact against the manifest.
+
+        The file's bytes are re-hashed before parsing; any mismatch —
+        truncation, bit-rot, manual edits — raises
+        :class:`~repro.errors.RegistryError` so callers can fall back to a
+        different version instead of serving corrupt predictions.
+        """
+        record = self.resolve(name, version)
+        try:
+            payload = record.path.read_bytes()
+        except OSError as gone:
+            raise RegistryError(
+                f"artifact {record.path} of {record.version_key} is "
+                f"unreadable: {gone}"
+            ) from gone
+        digest = _sha256(payload)
+        if digest != record.sha256:
+            raise RegistryError(
+                f"artifact {record.path} of {record.version_key} is corrupt: "
+                f"content hash {digest[:12]} does not match the manifest"
+            )
+        try:
+            model = model_from_dict(json.loads(payload.decode()))
+        except (SerializationError, json.JSONDecodeError, UnicodeDecodeError) as bad:
+            raise RegistryError(
+                f"artifact {record.path} of {record.version_key} does not "
+                f"parse as a serialized model: {bad}"
+            ) from bad
+        return model, record
+
+    def verify(self, name: str) -> List[Tuple[ArtifactRecord, Optional[str]]]:
+        """Integrity sweep: every version with ``None`` (ok) or the failure
+        message a load would raise."""
+        results: List[Tuple[ArtifactRecord, Optional[str]]] = []
+        for record in self.versions(name):
+            try:
+                self.load(name, record.version)
+            except RegistryError as bad:
+                results.append((record, str(bad)))
+            else:
+                results.append((record, None))
+        return results

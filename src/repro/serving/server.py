@@ -1,0 +1,506 @@
+"""Asyncio prediction service: coalescing, caching, backpressure.
+
+:class:`PredictionServer` is the long-lived front-end over one registry
+model. The request path:
+
+1. **Admission** (synchronous): the utilization vector is quantized to the
+   cache quantum; a cache hit answers immediately. A miss with an identical
+   request already in flight attaches to that computation (coalescing). A
+   genuinely new vector is enqueued — and if the bounded queue is full the
+   request is rejected *now* with :class:`~repro.errors.
+   ServerOverloadedError` (the 503-style fast path) instead of adding
+   latency to everyone behind it.
+2. **Batching** (worker): each worker drains up to ``max_batch`` queued
+   requests in one go and answers them with a single
+   :meth:`~repro.serving.engine.PredictionEngine.predict_batch` pass,
+   filling the cache so repeats become hits.
+3. **Deadline**: awaiting callers time out after
+   ``request_timeout_seconds`` with :class:`~repro.errors.
+   RequestTimeoutError`; the shared computation keeps running and still
+   warms the cache.
+
+Model rollouts go through :meth:`PredictionServer.refresh`: the registry is
+re-resolved and the engine swapped atomically between batches. When the
+resolved artifact fails to load (corrupt file, broken manifest), the server
+**degrades gracefully** — it keeps serving the last good model version,
+counts ``serving.stale_fallbacks`` and reports :attr:`stale` until a later
+refresh succeeds.
+
+Telemetry: every stage feeds the session recorder — counters
+(``serving.requests``, ``serving.cache_hits``/``misses``,
+``serving.coalesced``, ``serving.rejections``, ``serving.timeouts``,
+``serving.batches``, ``serving.coalesced_batches``,
+``serving.stale_fallbacks``, ``serving.model_swaps``) and spans
+(``serving.admit`` -> ``serving.batch`` -> ``serving.predict``) opened only
+around synchronous sections, preserving the recorder's strict nesting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections.abc import Mapping as MappingABC
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.metrics import UtilizationVector
+from repro.errors import (
+    RegistryError,
+    ReproError,
+    RequestTimeoutError,
+    ServerClosedError,
+    ServerOverloadedError,
+    ServingError,
+)
+from repro.hardware.components import Component
+from repro.hardware.specs import FrequencyConfig
+from repro.serving.cache import DEFAULT_QUANTUM, CacheKey, PredictionCache
+from repro.serving.engine import (
+    PredictionEngine,
+    utilization_row,
+    vector_from_mapping,
+)
+from repro.serving.registry import ArtifactRecord, ModelRegistry
+from repro.telemetry import NULL_RECORDER, TelemetryRecorder
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunable limits of one prediction server."""
+
+    #: Admission-queue bound; a full queue rejects instead of buffering.
+    max_queue: int = 256
+    #: Largest number of queued requests one engine pass answers.
+    max_batch: int = 32
+    #: Concurrent batch workers (0 is valid and leaves requests queued —
+    #: the deterministic way to exercise deadlines in tests).
+    workers: int = 1
+    #: Default per-request deadline while awaiting a computed result.
+    request_timeout_seconds: float = 5.0
+    #: LRU entries (full-grid vectors) kept per server.
+    cache_capacity: int = 4096
+    #: Utilization quantum of the cache key space.
+    utilization_quantum: float = DEFAULT_QUANTUM
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise ServingError("max_queue must be >= 1")
+        if self.max_batch < 1:
+            raise ServingError("max_batch must be >= 1")
+        if self.workers < 0:
+            raise ServingError("workers must be >= 0")
+        if self.request_timeout_seconds <= 0:
+            raise ServingError("request_timeout_seconds must be positive")
+
+
+@dataclass(frozen=True)
+class PredictionResponse:
+    """One answered prediction request."""
+
+    model: str
+    version: int
+    #: Power at the requested configuration (None for pure grid queries).
+    watts: Optional[float]
+    #: Full-grid powers in :attr:`configs` order (None unless requested).
+    grid_watts: Optional[np.ndarray]
+    configs: Optional[Tuple[FrequencyConfig, ...]]
+    #: Whether the admission-time cache answered without any computation.
+    cached: bool
+
+    def grid_mapping(self) -> Dict[FrequencyConfig, float]:
+        """The grid as a config -> watts mapping (grid queries only)."""
+        if self.grid_watts is None or self.configs is None:
+            raise ServingError("response carries no grid")
+        return {
+            config: float(watts)
+            for config, watts in zip(self.configs, self.grid_watts)
+        }
+
+
+class _Pending:
+    """One enqueued computation: quantized buckets plus the shared future."""
+
+    __slots__ = ("key", "buckets", "future")
+
+    def __init__(
+        self,
+        key: CacheKey,
+        buckets: Tuple[int, ...],
+        future: "asyncio.Future[np.ndarray]",
+    ) -> None:
+        self.key = key
+        self.buckets = buckets
+        self.future = future
+
+
+class PredictionServer:
+    """Serve one registry model over asyncio with caching and batching."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        model_name: str,
+        config: Optional[ServerConfig] = None,
+        version: Optional[int] = None,
+        recorder: TelemetryRecorder = NULL_RECORDER,
+    ) -> None:
+        self.registry = registry
+        self.model_name = model_name
+        self.config = config or ServerConfig()
+        self.recorder = recorder
+        self._requested_version = version
+        self._engine: Optional[PredictionEngine] = None
+        self._record: Optional[ArtifactRecord] = None
+        self._cache: Optional[PredictionCache] = None
+        self._queue: Optional["asyncio.Queue[_Pending]"] = None
+        self._inflight: Dict[CacheKey, "asyncio.Future[np.ndarray]"] = {}
+        self._workers: list = []
+        self._running = False
+        self._stale = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> ArtifactRecord:
+        """Load the model and start the workers; returns the served record."""
+        if self._running:
+            raise ServingError("server is already running")
+        model, record = self.registry.load(
+            self.model_name, self._requested_version
+        )
+        self._engine = PredictionEngine(model)
+        self._record = record
+        self._cache = PredictionCache(
+            capacity=self.config.cache_capacity,
+            quantum=self.config.utilization_quantum,
+        )
+        self._queue = asyncio.Queue(maxsize=self.config.max_queue)
+        self._running = True
+        self._stale = False
+        self._workers = [
+            asyncio.ensure_future(self._worker())
+            for _ in range(self.config.workers)
+        ]
+        return record
+
+    async def stop(self) -> None:
+        """Cancel the workers and fail anything still queued."""
+        self._running = False
+        for worker in self._workers:
+            worker.cancel()
+        for worker in self._workers:
+            try:
+                await worker
+            except asyncio.CancelledError:
+                pass
+        self._workers = []
+        for future in self._inflight.values():
+            if not future.done():
+                future.set_exception(
+                    ServerClosedError("server stopped before answering")
+                )
+        self._inflight.clear()
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def stale(self) -> bool:
+        """Whether the last refresh failed and an older model is serving."""
+        return self._stale
+
+    @property
+    def record(self) -> ArtifactRecord:
+        if self._record is None:
+            raise ServerClosedError("server has not been started")
+        return self._record
+
+    @property
+    def engine(self) -> PredictionEngine:
+        if self._engine is None:
+            raise ServerClosedError("server has not been started")
+        return self._engine
+
+    @property
+    def cache(self) -> PredictionCache:
+        if self._cache is None:
+            raise ServerClosedError("server has not been started")
+        return self._cache
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize() if self._queue is not None else 0
+
+    # ------------------------------------------------------------------
+    # Model rollout / graceful degradation
+    # ------------------------------------------------------------------
+    async def refresh(self, version: Optional[int] = None) -> bool:
+        """Re-resolve the model from the registry and swap if it changed.
+
+        Returns True when the server is now serving the freshly resolved
+        artifact. A failed load (corrupt artifact, broken manifest) leaves
+        the current engine serving — stale, but live — and returns False.
+        """
+        if not self._running:
+            raise ServerClosedError("cannot refresh a stopped server")
+        try:
+            model, record = self.registry.load(
+                self.model_name,
+                version if version is not None else self._requested_version,
+            )
+        except RegistryError:
+            self._stale = True
+            self.recorder.add("serving.stale_fallbacks")
+            return False
+        if record.sha256 != self.record.sha256:
+            self._engine = PredictionEngine(model)
+            self._record = record
+            self.recorder.add("serving.model_swaps")
+        self._stale = False
+        return True
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    async def predict(
+        self,
+        utilizations: Union[
+            UtilizationVector, Mapping[Component, float], Mapping[str, float]
+        ],
+        config: Optional[FrequencyConfig] = None,
+        grid: bool = False,
+        timeout: Optional[float] = None,
+    ) -> PredictionResponse:
+        """Answer one prediction request.
+
+        ``config`` picks a single configuration (default: the device's
+        reference); ``grid=True`` returns the full-grid vector instead.
+        Raises :class:`ServerOverloadedError` on a full queue and
+        :class:`RequestTimeoutError` past the deadline.
+        """
+        if not self._running:
+            raise ServerClosedError("server is not running")
+        if isinstance(utilizations, UtilizationVector):
+            row = utilization_row(utilizations)
+        elif isinstance(utilizations, MappingABC) and not any(
+            isinstance(key, Component) for key in utilizations
+        ):
+            row = utilization_row(vector_from_mapping(utilizations))
+        else:
+            row = utilization_row(utilizations)
+
+        with self.recorder.span("serving.admit"):
+            self.recorder.add("serving.requests")
+            buckets = self.cache.quantize(row)
+            key = (self.record.version_key, buckets)
+            cached_grid = self.cache.get(key)
+            if cached_grid is not None:
+                self.recorder.add("serving.cache_hits")
+                return self._respond(cached_grid, config, grid, cached=True)
+            self.recorder.add("serving.cache_misses")
+            shared = self._inflight.get(key)
+            if shared is not None:
+                self.recorder.add("serving.coalesced")
+            else:
+                shared = asyncio.get_running_loop().create_future()
+                pending = _Pending(key, buckets, shared)
+                try:
+                    self._queue.put_nowait(pending)
+                except asyncio.QueueFull:
+                    self.recorder.add("serving.rejections")
+                    raise ServerOverloadedError(
+                        f"admission queue full ({self.config.max_queue} "
+                        "pending computations); retry later"
+                    ) from None
+                self._inflight[key] = shared
+
+        deadline = (
+            timeout
+            if timeout is not None
+            else self.config.request_timeout_seconds
+        )
+        try:
+            grid_watts = await asyncio.wait_for(
+                asyncio.shield(shared), deadline
+            )
+        except asyncio.TimeoutError:
+            self.recorder.add("serving.timeouts")
+            raise RequestTimeoutError(
+                f"prediction not ready within {deadline:.3f}s "
+                f"(queue depth {self.queue_depth})"
+            ) from None
+        return self._respond(grid_watts, config, grid, cached=False)
+
+    def _respond(
+        self,
+        grid_watts: np.ndarray,
+        config: Optional[FrequencyConfig],
+        want_grid: bool,
+        cached: bool,
+    ) -> PredictionResponse:
+        record = self.record
+        if want_grid:
+            return PredictionResponse(
+                model=record.name,
+                version=record.version,
+                watts=None,
+                grid_watts=grid_watts,
+                configs=self.engine.configs,
+                cached=cached,
+            )
+        target = config or self.engine.spec.reference
+        column = self.engine.config_index(target)
+        return PredictionResponse(
+            model=record.name,
+            version=record.version,
+            watts=float(grid_watts[column]),
+            grid_watts=None,
+            configs=None,
+            cached=cached,
+        )
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+    async def _worker(self) -> None:
+        while True:
+            first = await self._queue.get()
+            batch = [first]
+            while len(batch) < self.config.max_batch:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            try:
+                self._process_batch(batch)
+            finally:
+                for _ in batch:
+                    self._queue.task_done()
+
+    def _process_batch(self, batch: list) -> None:
+        """One engine pass over a drained batch — fully synchronous, so the
+        telemetry spans nest correctly and the engine swap in refresh()
+        can never interleave with a half-computed batch."""
+        cache = self.cache
+        engine = self.engine
+        version_key = self.record.version_key
+        with self.recorder.span("serving.batch", size=len(batch)):
+            rows = np.stack(
+                [cache.dequantize(pending.buckets) for pending in batch]
+            )
+            with self.recorder.span("serving.predict"):
+                grids = engine.predict_batch(rows)
+            for index, pending in enumerate(batch):
+                grid_watts = grids[index]
+                cache.put((version_key, pending.buckets), grid_watts)
+                self._inflight.pop(pending.key, None)
+                if not pending.future.done():
+                    pending.future.set_result(grid_watts)
+            self.recorder.add("serving.batches")
+            self.recorder.add("serving.batched_predictions", len(batch))
+            if len(batch) > 1:
+                self.recorder.add("serving.coalesced_batches")
+
+
+# ----------------------------------------------------------------------
+# TCP front-end (JSON lines)
+# ----------------------------------------------------------------------
+async def serve_tcp(
+    server: PredictionServer,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_requests: Optional[int] = None,
+) -> Tuple[asyncio.AbstractServer, asyncio.Event]:
+    """Expose a server over TCP: one JSON object per line, each way.
+
+    Request fields: ``utilizations`` (component-name -> value, required),
+    then either ``core``/``memory`` MHz for a single-configuration answer
+    (defaults: the device reference), ``"grid": true`` for the full grid,
+    or ``"best": "energy"|"edp"`` for an optimal-configuration query.
+
+    Responses carry ``ok``; failures map to HTTP-style codes: 400 malformed
+    request, 408 deadline, 503 overloaded.
+
+    Returns the listening server and an event set once ``max_requests``
+    requests have been answered (for bounded smoke runs).
+    """
+    finished = asyncio.Event()
+    answered = 0
+
+    async def _answer(request: dict) -> dict:
+        utilizations = request.get("utilizations")
+        if not isinstance(utilizations, dict):
+            raise ServingError("request must carry a 'utilizations' object")
+        best = request.get("best")
+        if best is not None:
+            score = server.engine.best_configuration(
+                vector_from_mapping(utilizations), objective=str(best)
+            )
+            return {
+                "ok": True,
+                "model": server.record.name,
+                "version": server.record.version,
+                "best": {
+                    "core_mhz": score.config.core_mhz,
+                    "memory_mhz": score.config.memory_mhz,
+                    "watts": score.predicted_power_watts,
+                },
+            }
+        want_grid = bool(request.get("grid"))
+        config = None
+        if request.get("core") is not None or request.get("memory") is not None:
+            spec = server.engine.spec
+            config = FrequencyConfig(
+                float(request.get("core") or spec.default_core_mhz),
+                float(request.get("memory") or spec.default_memory_mhz),
+            )
+        response = await server.predict(
+            utilizations, config=config, grid=want_grid
+        )
+        payload = {
+            "ok": True,
+            "model": response.model,
+            "version": response.version,
+            "cached": response.cached,
+        }
+        if want_grid:
+            payload["grid"] = [
+                [c.core_mhz, c.memory_mhz, float(w)]
+                for c, w in zip(response.configs, response.grid_watts)
+            ]
+        else:
+            payload["watts"] = response.watts
+        return payload
+
+    async def _handle(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        nonlocal answered
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                    payload = await _answer(request)
+                except ServerOverloadedError as busy:
+                    payload = {"ok": False, "code": 503, "error": str(busy)}
+                except RequestTimeoutError as late:
+                    payload = {"ok": False, "code": 408, "error": str(late)}
+                except (ReproError, json.JSONDecodeError, TypeError) as bad:
+                    payload = {"ok": False, "code": 400, "error": str(bad)}
+                writer.write(json.dumps(payload).encode() + b"\n")
+                await writer.drain()
+                answered += 1
+                if max_requests is not None and answered >= max_requests:
+                    finished.set()
+                    break
+        finally:
+            writer.close()
+
+    tcp = await asyncio.start_server(_handle, host, port)
+    return tcp, finished

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -108,6 +109,166 @@ class TestCommands:
         assert len(ptx_files) == 35
         sample = (tmp_path / "src" / "sp_n512.cu").read_text()
         assert "__global__" in sample
+
+
+class TestPredictBatch:
+    def test_json_batch(self, model_path, tmp_path, capsys):
+        batch = tmp_path / "batch.json"
+        batch.write_text(
+            json.dumps(
+                [
+                    {"sp": 0.4, "dram": 0.7},
+                    {"int": 0.2, "l2": 0.1},
+                    {"dp": 1.0},
+                ]
+            )
+        )
+        code = main(
+            ["predict", "--model", str(model_path), "--batch", str(batch)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 rows" in out
+        assert "predicted power (W)" in out
+
+    def test_csv_batch(self, model_path, tmp_path, capsys):
+        batch = tmp_path / "batch.csv"
+        batch.write_text("sp,dram\n0.4,0.7\n0.9,\n")
+        code = main(
+            [
+                "predict", "--model", str(model_path),
+                "--batch", str(batch), "--core", "666",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 rows" in out
+        assert "666" in out
+
+    def test_batch_matches_single_row_scalar_path(
+        self, model_path, tmp_path, capsys
+    ):
+        batch = tmp_path / "one.json"
+        batch.write_text(json.dumps([{"sp": 0.5, "dram": 0.5}]))
+        assert main(
+            ["predict", "--model", str(model_path), "--batch", str(batch)]
+        ) == 0
+        table = capsys.readouterr().out
+        from repro.serialization import load_model
+        from repro.serving.engine import vector_from_mapping
+
+        model = load_model(model_path)
+        expected = model.predict_power(
+            vector_from_mapping({"sp": 0.5, "dram": 0.5}),
+            model.spec.reference,
+        )
+        assert f"{expected:.2f}" in table
+
+    def test_unknown_component_reports_error(
+        self, model_path, tmp_path, capsys
+    ):
+        batch = tmp_path / "bad.json"
+        batch.write_text(json.dumps([{"tensor": 0.5}]))
+        code = main(
+            ["predict", "--model", str(model_path), "--batch", str(batch)]
+        )
+        assert code == 1
+        assert "unknown utilization" in capsys.readouterr().err
+
+    def test_empty_batch_reports_error(self, model_path, tmp_path, capsys):
+        batch = tmp_path / "empty.csv"
+        batch.write_text("sp,dram\n")
+        code = main(
+            ["predict", "--model", str(model_path), "--batch", str(batch)]
+        )
+        assert code == 1
+        assert "no utilization rows" in capsys.readouterr().err
+
+    def test_predict_without_workload_or_batch(self, model_path, capsys):
+        code = main(["predict", "--model", str(model_path)])
+        assert code == 1
+        assert "--workload" in capsys.readouterr().err
+
+
+class TestLoadTest:
+    def test_quick_run_writes_report(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_serving.json"
+        registry = tmp_path / "registry"
+        code = main(
+            [
+                "load-test", "--quick", "--device", "Tesla K40c",
+                "--requests", "60", "--concurrency", "4",
+                "--registry", str(registry),
+                "--output", str(output),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serving load test" in out
+        assert "report written" in out
+        report = json.loads(output.read_text())
+        assert report["schema"] == "repro.serving.bench/v1"
+        assert report["device"] == "Tesla K40c"
+        assert report["requests_per_phase"] == 60
+        assert [l["concurrency"] for l in report["levels"]] == [4]
+        # The model the run fitted stays published for reuse.
+        assert (registry / "tesla-k40c" / "manifest.json").exists()
+
+    def test_strict_passes_on_clean_run(self, tmp_path):
+        code = main(
+            [
+                "load-test", "--quick", "--device", "Tesla K40c",
+                "--requests", "40", "--concurrency", "2", "--strict",
+                "--output", str(tmp_path / "bench.json"),
+            ]
+        )
+        assert code == 0
+
+
+class TestServeSmoke:
+    def test_bounded_serve_answers_and_exits(self, tmp_path):
+        """End-to-end through a real process: fit, listen, answer one
+        request, exit cleanly at --max-requests."""
+        import os
+        import socket
+        import subprocess
+        import sys as _sys
+
+        import repro
+
+        src = str(Path(repro.__file__).resolve().parent.parent)
+        env = {**os.environ, "PYTHONPATH": src}
+        process = subprocess.Popen(
+            [
+                _sys.executable, "-u", "-m", "repro.cli", "serve",
+                "--registry", str(tmp_path / "registry"),
+                "--device", "Tesla K40c", "--fit",
+                "--port", "0", "--max-requests", "1",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            text=True,
+        )
+        try:
+            for line in process.stdout:
+                if "listening on" in line:
+                    port = int(line.split("listening on ")[1].split()[0].rsplit(":", 1)[1])
+                    break
+            else:
+                pytest.fail("server never reported its port")
+            with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+                sock.sendall(
+                    json.dumps({"utilizations": {"sp": 0.5}}).encode() + b"\n"
+                )
+                payload = json.loads(sock.makefile().readline())
+            assert payload["ok"] is True
+            assert payload["watts"] > 0
+            assert process.wait(timeout=30) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
 
 
 class TestTelemetryFlag:

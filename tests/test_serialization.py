@@ -5,13 +5,21 @@ from __future__ import annotations
 import json
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.metrics import UtilizationVector
-from repro.errors import ValidationError
-from repro.hardware.components import ALL_COMPONENTS, Component
+from repro.core.model import DVFSPowerModel, ModelParameters, VoltageEstimate
+from repro.errors import ReproError, SerializationError, ValidationError
+from repro.hardware.components import (
+    ALL_COMPONENTS,
+    CORE_COMPONENTS,
+    Component,
+)
 from repro.hardware.specs import FrequencyConfig, GTX_TITAN_X
 from repro.serialization import (
     FORMAT,
+    FORMAT_VERSION,
     load_model,
     model_from_dict,
     model_to_dict,
@@ -87,3 +95,120 @@ class TestValidationErrors:
         data["voltages"] = []
         with pytest.raises(ValidationError):
             model_from_dict(data)
+
+
+class TestHardening:
+    """Explicit failure modes: every one a SerializationError (and through
+    it a ReproError), never a bare KeyError/TypeError/JSONDecodeError."""
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(SerializationError, match="JSON object"):
+            model_from_dict(["not", "a", "model"])
+
+    def test_missing_version_named_explicitly(self, fitted_model):
+        data = model_to_dict(fitted_model)
+        del data["version"]
+        with pytest.raises(SerializationError, match="no format version"):
+            model_from_dict(data)
+
+    def test_unknown_version_named_explicitly(self, fitted_model):
+        data = model_to_dict(fitted_model)
+        data["version"] = FORMAT_VERSION + 1
+        with pytest.raises(
+            SerializationError, match="unsupported model format version"
+        ):
+            model_from_dict(data)
+
+    def test_missing_parameter_field_wrapped(self, fitted_model):
+        data = model_to_dict(fitted_model)
+        del data["parameters"]["beta2"]
+        with pytest.raises(
+            SerializationError, match="missing required field"
+        ):
+            model_from_dict(data)
+
+    def test_malformed_field_wrapped(self, fitted_model):
+        data = model_to_dict(fitted_model)
+        data["parameters"]["beta0"] = "not-a-number"
+        with pytest.raises(SerializationError, match="malformed field"):
+            model_from_dict(data)
+
+    def test_truncated_file_wrapped(self, fitted_model, tmp_path):
+        path = save_model(fitted_model, tmp_path / "model.json")
+        path.write_text(path.read_text()[:80])
+        with pytest.raises(SerializationError, match="not valid JSON"):
+            load_model(path)
+
+    def test_hardening_errors_are_repro_errors(self, fitted_model, tmp_path):
+        path = tmp_path / "model.json"
+        path.write_text("{")
+        with pytest.raises(ReproError):
+            load_model(path)
+        with pytest.raises(ReproError):
+            model_from_dict(42)
+
+
+# ModelParameters enforces non-negative betas and omegas.
+finite = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+voltage = st.floats(
+    min_value=0.1, max_value=2.0, allow_nan=False, allow_infinity=False
+)
+
+_GRID = [
+    FrequencyConfig(core, memory)
+    for memory in GTX_TITAN_X.memory_frequencies_mhz
+    for core in GTX_TITAN_X.core_frequencies_mhz
+]
+
+
+@st.composite
+def models(draw) -> DVFSPowerModel:
+    parameters = ModelParameters(
+        beta0=draw(finite),
+        beta1=draw(finite),
+        beta2=draw(finite),
+        beta3=draw(finite),
+        omega_mem=draw(finite),
+        omega_core={c: draw(finite) for c in CORE_COMPONENTS},
+    )
+    configs = draw(
+        st.lists(
+            st.sampled_from(_GRID), min_size=1, max_size=8, unique=True
+        )
+    )
+    voltages = {
+        config: VoltageEstimate(draw(voltage), draw(voltage))
+        for config in configs
+    }
+    return DVFSPowerModel(
+        spec=GTX_TITAN_X, parameters=parameters, voltages=voltages
+    )
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(model=models())
+    def test_dict_round_trip_is_exact(self, model):
+        """model_from_dict(model_to_dict(m)) preserves every fitted
+        artefact bit for bit, even through a JSON text round-trip."""
+        clone = model_from_dict(
+            json.loads(json.dumps(model_to_dict(model)))
+        )
+        assert clone.spec is GTX_TITAN_X
+        assert clone.parameters == model.parameters
+        assert set(clone.known_configurations()) == set(
+            model.known_configurations()
+        )
+        for config in model.known_configurations():
+            assert clone.voltage_at(config) == model.voltage_at(config)
+
+    @settings(max_examples=25, deadline=None)
+    @given(model=models())
+    def test_to_dict_is_json_stable(self, model):
+        """Serializing twice yields identical bytes — the registry's
+        content-hash idempotence depends on this."""
+        first = json.dumps(model_to_dict(model), indent=2)
+        second = json.dumps(model_to_dict(model), indent=2)
+        assert first == second

@@ -1,0 +1,123 @@
+"""LRU prediction-cache tests (:mod:`repro.serving.cache`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.serving.cache import DEFAULT_QUANTUM, PredictionCache
+
+
+def key_of(cache, *values, version="m@v1:abc"):
+    return cache.key(version, list(values))
+
+
+class TestKeys:
+    def test_quantize_buckets_nearby_values_together(self):
+        cache = PredictionCache(quantum=0.01)
+        assert cache.quantize([0.500, 0.5004]) == (50, 50)
+        assert cache.quantize([0.506]) == (51,)
+
+    def test_default_quantum_separates_distinct_utilizations(self):
+        cache = PredictionCache()
+        assert cache.quantum == DEFAULT_QUANTUM
+        assert cache.quantize([0.5]) != cache.quantize([0.500002])
+
+    def test_dequantize_is_canonical(self):
+        cache = PredictionCache(quantum=0.01)
+        row = cache.dequantize(cache.quantize([0.123, 0.9999]))
+        assert row == pytest.approx([0.12, 1.0])
+        # Idempotent: quantizing the canonical row changes nothing.
+        assert cache.quantize(row) == cache.quantize([0.123, 0.9999])
+
+    def test_key_carries_model_version(self):
+        cache = PredictionCache()
+        a = cache.key("m@v1:abc", [0.5])
+        b = cache.key("m@v2:def", [0.5])
+        assert a != b
+        assert a[1] == b[1]
+
+
+class TestLRU:
+    def test_hit_returns_stored_vector(self):
+        cache = PredictionCache()
+        key = key_of(cache, 0.5)
+        cache.put(key, np.asarray([1.0, 2.0]))
+        stored = cache.get(key)
+        assert list(stored) == [1.0, 2.0]
+
+    def test_stored_vectors_are_read_only(self):
+        cache = PredictionCache()
+        key = key_of(cache, 0.5)
+        cache.put(key, np.asarray([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            cache.get(key)[0] = 99.0
+
+    def test_capacity_evicts_least_recent(self):
+        cache = PredictionCache(capacity=2)
+        first, second, third = (key_of(cache, v) for v in (0.1, 0.2, 0.3))
+        cache.put(first, np.asarray([1.0]))
+        cache.put(second, np.asarray([2.0]))
+        cache.put(third, np.asarray([3.0]))
+        assert first not in cache
+        assert second in cache and third in cache
+        assert len(cache) == 2
+
+    def test_get_refreshes_recency(self):
+        cache = PredictionCache(capacity=2)
+        first, second, third = (key_of(cache, v) for v in (0.1, 0.2, 0.3))
+        cache.put(first, np.asarray([1.0]))
+        cache.put(second, np.asarray([2.0]))
+        cache.get(first)
+        cache.put(third, np.asarray([3.0]))
+        assert first in cache
+        assert second not in cache
+
+    def test_put_overwrites_and_refreshes(self):
+        cache = PredictionCache(capacity=2)
+        first, second, third = (key_of(cache, v) for v in (0.1, 0.2, 0.3))
+        cache.put(first, np.asarray([1.0]))
+        cache.put(second, np.asarray([2.0]))
+        cache.put(first, np.asarray([1.5]))
+        cache.put(third, np.asarray([3.0]))
+        assert list(cache.get(first)) == [1.5]
+        assert second not in cache
+
+    def test_clear_empties_entries(self):
+        cache = PredictionCache()
+        cache.put(key_of(cache, 0.5), np.asarray([1.0]))
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestStats:
+    def test_counters_track_hits_misses_evictions(self):
+        cache = PredictionCache(capacity=1)
+        key = key_of(cache, 0.5)
+        assert cache.get(key) is None
+        cache.put(key, np.asarray([1.0]))
+        cache.get(key)
+        cache.put(key_of(cache, 0.6), np.asarray([2.0]))
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.evictions == 1
+        assert stats.entries == 1
+        assert stats.capacity == 1
+        assert stats.hit_rate == 0.5
+
+    def test_hit_rate_of_idle_cache_is_zero(self):
+        assert PredictionCache().stats().hit_rate == 0.0
+
+
+class TestValidation:
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ServingError, match="capacity"):
+            PredictionCache(capacity=0)
+
+    def test_bad_quantum_rejected(self):
+        with pytest.raises(ServingError, match="quantum"):
+            PredictionCache(quantum=0.0)
+        with pytest.raises(ServingError, match="quantum"):
+            PredictionCache(quantum=1.5)

@@ -1,0 +1,199 @@
+"""Batched-prediction engine tests (:mod:`repro.serving.engine`).
+
+The load-bearing contract is *bitwise* equivalence with the scalar
+model path, checked with ``==`` (not ``allclose``) across all three
+Table-II devices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError, ValidationError
+from repro.core.metrics import UtilizationVector
+from repro.hardware.components import ALL_COMPONENTS, Component
+from repro.runtime.policies import PowerCapPolicy
+from repro.serving.engine import (
+    PredictionEngine,
+    utilization_row,
+    vector_from_mapping,
+)
+
+
+def sample_vectors(count: int, seed: int = 7) -> list:
+    """Deterministic utilization vectors including the hull corners."""
+    rng = np.random.default_rng(seed)
+    vectors = [
+        UtilizationVector(values={c: 0.0 for c in ALL_COMPONENTS}),
+        UtilizationVector(values={c: 1.0 for c in ALL_COMPONENTS}),
+    ]
+    for _ in range(count - 2):
+        row = rng.uniform(0.0, 1.0, size=len(ALL_COMPONENTS))
+        vectors.append(
+            UtilizationVector(
+                values=dict(zip(ALL_COMPONENTS, (float(u) for u in row)))
+            )
+        )
+    return vectors
+
+
+class TestBitwiseEquivalence:
+    def test_batch_matches_scalar_on_every_device(self, lab, any_spec):
+        model = lab.model(any_spec.name)
+        engine = PredictionEngine(model)
+        vectors = sample_vectors(12)
+        grid = engine.predict_vectors(vectors)
+        assert grid.shape == (len(vectors), engine.grid_size)
+        for row, vector in enumerate(vectors):
+            for column, config in enumerate(engine.configs):
+                assert grid[row, column] == model.predict_power(vector, config)
+
+    def test_predict_at_on_grid_matches_scalar(self, lab, any_spec):
+        model = lab.model(any_spec.name)
+        engine = PredictionEngine(model)
+        vectors = sample_vectors(6)
+        matrix = engine.utilization_matrix(vectors)
+        config = engine.configs[-1]
+        powers = engine.predict_at(matrix, config)
+        for row, vector in enumerate(vectors):
+            assert powers[row] == model.predict_power(vector, config)
+
+    def test_predict_at_off_grid_matches_scalar(self, lab):
+        """A sub-grid engine still answers any device configuration the
+        model can evaluate, through the same interpolated-voltage path."""
+        model = lab.model("GTX Titan X")
+        known = model.known_configurations()
+        engine = PredictionEngine(model, configs=known[:3])
+        off_grid = known[-1]
+        with pytest.raises(ServingError):
+            engine.config_index(off_grid)
+        vectors = sample_vectors(5)
+        matrix = engine.utilization_matrix(vectors)
+        powers = engine.predict_at(matrix, off_grid)
+        for row, vector in enumerate(vectors):
+            assert powers[row] == model.predict_power(vector, off_grid)
+
+    def test_breakdown_matches_scalar_components(self, lab):
+        model = lab.model("Tesla K40c")
+        engine = PredictionEngine(model)
+        vectors = sample_vectors(4)
+        breakdown = engine.breakdown_batch(engine.utilization_matrix(vectors))
+        for row, vector in enumerate(vectors):
+            for column, config in enumerate(engine.configs):
+                scalar = model.predict_breakdown(vector, config)
+                for component in ALL_COMPONENTS:
+                    assert (
+                        breakdown.component_watts[component][row, column]
+                        == scalar.component_watts[component]
+                    )
+        totals = breakdown.total_watts
+        grid = engine.predict_vectors(vectors)
+        assert np.allclose(totals, grid, rtol=0, atol=1e-9)
+
+
+class TestShapes:
+    def test_utilization_row_order(self):
+        values = {
+            component: 0.1 * index
+            for index, component in enumerate(ALL_COMPONENTS)
+        }
+        row = utilization_row(UtilizationVector(values=values))
+        assert row == [0.1 * index for index in range(len(ALL_COMPONENTS))]
+
+    def test_empty_batch_rejected(self, lab):
+        engine = PredictionEngine(lab.model("Tesla K40c"))
+        with pytest.raises(ServingError, match="non-empty"):
+            engine.utilization_matrix([])
+
+    def test_wrong_width_rejected(self, lab):
+        engine = PredictionEngine(lab.model("Tesla K40c"))
+        with pytest.raises(ServingError, match="utilization matrix"):
+            engine.predict_batch(np.zeros((3, 4)))
+        with pytest.raises(ServingError, match="utilization matrix"):
+            engine.breakdown_batch(np.zeros((2, 3)))
+
+    def test_config_index_round_trips(self, lab):
+        engine = PredictionEngine(lab.model("Tesla K40c"))
+        for column, config in enumerate(engine.configs):
+            assert engine.config_index(config) == column
+
+    def test_needs_at_least_one_configuration(self, lab):
+        with pytest.raises(ServingError):
+            PredictionEngine(lab.model("Tesla K40c"), configs=[])
+
+
+class TestVectorFromMapping:
+    def test_missing_components_default_to_zero(self):
+        vector = vector_from_mapping({"sp": 0.5, "dram": 0.25})
+        assert vector[Component.SP] == 0.5
+        assert vector[Component.DRAM] == 0.25
+        assert vector[Component.INT] == 0.0
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(ValidationError, match="unknown utilization"):
+            vector_from_mapping({"sp": 0.5, "tensor": 0.1})
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError, match="must be in"):
+            vector_from_mapping({"sp": 1.5})
+        with pytest.raises(ValidationError, match="must be in"):
+            vector_from_mapping({"dram": -0.1})
+
+
+class TestOptimalConfiguration:
+    def test_energy_objective_is_min_power_under_unit_times(self, lab):
+        model = lab.model("Tesla K40c")
+        engine = PredictionEngine(model)
+        vector = sample_vectors(3)[-1]
+        best = engine.best_configuration(vector, objective="energy")
+        scores = engine.score_grid(vector)
+        assert best.predicted_power_watts == min(
+            score.predicted_power_watts for score in scores
+        )
+
+    def test_scores_carry_scalar_powers(self, lab):
+        model = lab.model("Tesla K40c")
+        engine = PredictionEngine(model)
+        vector = sample_vectors(3)[-1]
+        for score in engine.score_grid(vector):
+            assert score.predicted_power_watts == model.predict_power(
+                vector, score.config
+            )
+
+    def test_times_reweigh_the_energy_ranking(self, lab):
+        engine = PredictionEngine(lab.model("Tesla K40c"))
+        vector = sample_vectors(3)[-1]
+        # Make every configuration but the highest-power one painfully slow:
+        # the energy optimum must flip to that configuration.
+        scores = engine.score_grid(vector)
+        greedy = max(
+            range(len(scores)),
+            key=lambda column: scores[column].predicted_power_watts,
+        )
+        times = [1000.0] * engine.grid_size
+        times[greedy] = 1.0
+        best = engine.best_configuration(
+            vector, objective="energy", times_seconds=times
+        )
+        assert best.config == engine.configs[greedy]
+
+    def test_custom_policy_is_honoured(self, lab):
+        engine = PredictionEngine(lab.model("Tesla K40c"))
+        vector = sample_vectors(3)[-1]
+        scores = engine.score_grid(vector)
+        cap = sorted(s.predicted_power_watts for s in scores)[1] + 1e-9
+        best = engine.best_configuration(
+            vector, policy=PowerCapPolicy(cap_watts=cap)
+        )
+        assert best.predicted_power_watts <= cap
+
+    def test_unknown_objective_rejected(self, lab):
+        engine = PredictionEngine(lab.model("Tesla K40c"))
+        with pytest.raises(ValidationError, match="unknown objective"):
+            engine.best_configuration(sample_vectors(3)[-1], objective="speed")
+
+    def test_wrong_times_shape_rejected(self, lab):
+        engine = PredictionEngine(lab.model("Tesla K40c"))
+        with pytest.raises(ServingError, match="times_seconds"):
+            engine.score_grid(sample_vectors(3)[0], times_seconds=[1.0])

@@ -1,0 +1,121 @@
+"""Load-generator tests (:mod:`repro.serving.loadgen`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.loadgen import (
+    BENCH_SCHEMA,
+    LoadTestPlan,
+    THROUGHPUT_FLOOR_RPS,
+    build_stream,
+    ensure_model,
+    run_load_test,
+    summarize,
+)
+from repro.serving.registry import ModelRegistry
+
+
+@pytest.fixture(scope="module")
+def tiny_plan():
+    """A small-but-real plan on the 4-configuration device."""
+    return LoadTestPlan(
+        device="Tesla K40c",
+        requests=80,
+        concurrency_levels=(4,),
+        quick=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory, tiny_plan):
+    registry = ModelRegistry(tmp_path_factory.mktemp("registry"))
+    return run_load_test(registry, tiny_plan)
+
+
+class TestEnsureModel:
+    def test_fits_once_then_reuses(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "registry")
+        first = ensure_model(registry, "Tesla K40c")
+        second = ensure_model(registry, "Tesla K40c")
+        assert first == second
+        assert first.version == 1
+        assert registry.models() == ["tesla-k40c"]
+
+
+class TestStream:
+    def test_stream_is_deterministic(self, tiny_plan):
+        first_rows, first_unique = build_stream("Tesla K40c", tiny_plan)
+        second_rows, second_unique = build_stream("Tesla K40c", tiny_plan)
+        assert first_rows == second_rows
+        assert first_unique == second_unique
+
+    def test_perturbation_creates_fresh_keys(self, tiny_plan):
+        rows, unique = build_stream("Tesla K40c", tiny_plan)
+        assert len(rows) == tiny_plan.requests
+        # Sampling 8 base workloads with replacement would yield at most 8
+        # unique vectors; the jittered fraction must push past that.
+        assert unique > 8
+
+    def test_rows_stay_in_unit_interval(self, tiny_plan):
+        rows, _ = build_stream("Tesla K40c", tiny_plan)
+        assert all(0.0 <= u <= 1.0 for row in rows for u in row)
+
+
+class TestReport:
+    def test_schema_and_identity(self, report, tiny_plan):
+        assert report["benchmark"] == "serving"
+        assert report["schema"] == BENCH_SCHEMA
+        assert report["mode"] == "quick"
+        assert report["device"] == "Tesla K40c"
+        assert report["model"]["name"] == "tesla-k40c"
+        assert report["model"]["version"] == 1
+        assert len(report["model"]["sha256"]) == 64
+        assert report["seed"] == tiny_plan.seed
+        assert report["requests_per_phase"] == tiny_plan.requests
+
+    def test_levels_carry_cold_and_warm_phases(self, report):
+        assert [level["concurrency"] for level in report["levels"]] == [4]
+        for level in report["levels"]:
+            for phase in ("cold", "warm"):
+                stats = level[phase]
+                assert stats["requests"] == 80
+                assert stats["answered"] == 80
+                assert stats["throughput_rps"] > 0
+                assert stats["latency_ms"]["p50"] <= stats["latency_ms"]["p99"]
+
+    def test_no_rejections_or_timeouts(self, report):
+        assert report["errors_total"] == 0
+
+    def test_warm_phase_is_all_cache_hits(self, report):
+        level = report["levels"][0]
+        assert level["cold"]["cache"]["misses"] > 0
+        assert level["warm"]["cache"]["hits"] == 80
+        assert level["warm"]["cache"]["misses"] == 0
+
+    def test_acceptance_records_the_floor(self, report):
+        acceptance = report["acceptance"]
+        assert acceptance["threshold_rps"] == THROUGHPUT_FLOOR_RPS
+        assert acceptance["warm_throughput_rps"] > 0
+        assert acceptance["pass"] == (
+            acceptance["warm_throughput_rps"] >= THROUGHPUT_FLOOR_RPS
+        )
+
+    def test_summary_mentions_verdict_and_device(self, report):
+        text = summarize(report)
+        assert "Tesla K40c" in text
+        assert ("PASS" in text) or ("FAIL" in text)
+
+    def test_empty_plan_rejected(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "registry")
+        with pytest.raises(ValueError, match="at least one request"):
+            run_load_test(registry, LoadTestPlan(requests=0))
+
+
+class TestQuickTier:
+    def test_quick_tier_shape(self):
+        plan = LoadTestPlan.quick_tier()
+        assert plan.quick is True
+        assert plan.requests == 300
+        assert plan.concurrency_levels == (1, 8)
+        assert plan.device == "Titan Xp"

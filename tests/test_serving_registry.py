@@ -1,0 +1,214 @@
+"""Registry lifecycle tests (:mod:`repro.serving.registry`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import RegistryError, ReproError
+from repro.serving.registry import MANIFEST_SCHEMA, ModelRegistry, slugify
+
+
+@pytest.fixture(scope="module")
+def k40c_model(lab):
+    return lab.model("Tesla K40c")
+
+
+@pytest.fixture(scope="module")
+def titanx_model(lab):
+    return lab.model("GTX Titan X")
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "registry")
+
+
+class TestSlug:
+    def test_device_names(self):
+        assert slugify("Titan Xp") == "titan-xp"
+        assert slugify("GTX Titan X") == "gtx-titan-x"
+        assert slugify("Tesla K40c") == "tesla-k40c"
+
+    def test_empty_rejected(self):
+        with pytest.raises(RegistryError):
+            slugify("---")
+
+
+class TestPublish:
+    def test_first_publish_mints_v1(self, registry, k40c_model):
+        record = registry.publish(k40c_model)
+        assert record.name == "tesla-k40c"
+        assert record.version == 1
+        assert record.device == "Tesla K40c"
+        assert record.configurations == 4
+        assert record.path.exists()
+        assert len(record.sha256) == 64
+
+    def test_republish_identical_is_idempotent(self, registry, k40c_model):
+        first = registry.publish(k40c_model)
+        second = registry.publish(k40c_model)
+        assert second == first
+        assert len(registry.versions("tesla-k40c")) == 1
+
+    def test_changed_model_mints_next_version(
+        self, registry, k40c_model, quiet_lab
+    ):
+        registry.publish(k40c_model)
+        retrained = quiet_lab.model("Tesla K40c")
+        record = registry.publish(retrained, name="tesla-k40c")
+        assert record.version == 2
+        assert [r.version for r in registry.versions("tesla-k40c")] == [1, 2]
+
+    def test_models_lists_all_names(self, registry, k40c_model, titanx_model):
+        registry.publish(k40c_model)
+        registry.publish(titanx_model)
+        assert registry.models() == ["gtx-titan-x", "tesla-k40c"]
+
+    def test_artifact_is_plain_save_model_json(self, registry, k40c_model):
+        record = registry.publish(k40c_model)
+        data = json.loads(record.path.read_text())
+        assert data["format"] == "repro-dvfs-power-model"
+        assert data["device"] == "Tesla K40c"
+
+    def test_version_key_carries_hash_prefix(self, registry, k40c_model):
+        record = registry.publish(k40c_model)
+        assert record.version_key == (
+            f"tesla-k40c@v1:{record.sha256[:12]}"
+        )
+
+
+class TestResolveAndPin:
+    def test_latest_wins_by_default(self, registry, k40c_model, quiet_lab):
+        registry.publish(k40c_model)
+        registry.publish(quiet_lab.model("Tesla K40c"), name="tesla-k40c")
+        assert registry.resolve("tesla-k40c").version == 2
+
+    def test_pin_freezes_resolution(self, registry, k40c_model, quiet_lab):
+        registry.publish(k40c_model)
+        registry.publish(quiet_lab.model("Tesla K40c"), name="tesla-k40c")
+        registry.pin("tesla-k40c", 1)
+        assert registry.pinned("tesla-k40c") == 1
+        assert registry.resolve("tesla-k40c").version == 1
+        registry.unpin("tesla-k40c")
+        assert registry.pinned("tesla-k40c") is None
+        assert registry.resolve("tesla-k40c").version == 2
+
+    def test_explicit_version_beats_pin(self, registry, k40c_model, quiet_lab):
+        registry.publish(k40c_model)
+        registry.publish(quiet_lab.model("Tesla K40c"), name="tesla-k40c")
+        registry.pin("tesla-k40c", 1)
+        assert registry.resolve("tesla-k40c", version=2).version == 2
+
+    def test_pin_unpublished_version_rejected(self, registry, k40c_model):
+        registry.publish(k40c_model)
+        with pytest.raises(RegistryError):
+            registry.pin("tesla-k40c", 7)
+
+    def test_unknown_model_rejected(self, registry):
+        with pytest.raises(RegistryError, match="unknown model"):
+            registry.latest("nope")
+
+    def test_unknown_version_rejected(self, registry, k40c_model):
+        registry.publish(k40c_model)
+        with pytest.raises(RegistryError, match="no version 9"):
+            registry.resolve("tesla-k40c", version=9)
+
+
+class TestLoadIntegrity:
+    def test_round_trip_preserves_parameters(self, registry, k40c_model):
+        record = registry.publish(k40c_model)
+        loaded, loaded_record = registry.load("tesla-k40c")
+        assert loaded_record == record
+        assert loaded.parameters == k40c_model.parameters
+
+    def test_truncated_artifact_detected(self, registry, k40c_model):
+        record = registry.publish(k40c_model)
+        record.path.write_bytes(record.path.read_bytes()[:100])
+        with pytest.raises(RegistryError, match="corrupt"):
+            registry.load("tesla-k40c")
+
+    def test_flipped_byte_detected(self, registry, k40c_model):
+        record = registry.publish(k40c_model)
+        payload = bytearray(record.path.read_bytes())
+        payload[50] ^= 0xFF
+        record.path.write_bytes(bytes(payload))
+        with pytest.raises(RegistryError, match="corrupt"):
+            registry.load("tesla-k40c")
+
+    def test_deleted_artifact_detected(self, registry, k40c_model):
+        record = registry.publish(k40c_model)
+        record.path.unlink()
+        with pytest.raises(RegistryError, match="unreadable"):
+            registry.load("tesla-k40c")
+
+    def test_malformed_manifest_detected(self, registry, k40c_model):
+        registry.publish(k40c_model)
+        manifest = registry._manifest_path("tesla-k40c")
+        manifest.write_text("{not json")
+        with pytest.raises(RegistryError, match="not valid JSON"):
+            registry.load("tesla-k40c")
+
+    def test_wrong_manifest_schema_detected(self, registry, k40c_model):
+        registry.publish(k40c_model)
+        manifest = registry._manifest_path("tesla-k40c")
+        data = json.loads(manifest.read_text())
+        data["schema"] = "something/else"
+        manifest.write_text(json.dumps(data))
+        with pytest.raises(RegistryError, match="unsupported schema"):
+            registry.load("tesla-k40c")
+
+    def test_corruption_errors_are_repro_errors(self, registry, k40c_model):
+        record = registry.publish(k40c_model)
+        record.path.write_bytes(b"")
+        with pytest.raises(ReproError):
+            registry.load("tesla-k40c")
+
+    def test_verify_flags_only_the_bad_version(
+        self, registry, k40c_model, quiet_lab
+    ):
+        registry.publish(k40c_model)
+        second = registry.publish(
+            quiet_lab.model("Tesla K40c"), name="tesla-k40c"
+        )
+        second.path.write_bytes(b"garbage")
+        results = dict(
+            (record.version, failure)
+            for record, failure in registry.verify("tesla-k40c")
+        )
+        assert results[1] is None
+        assert "corrupt" in results[2]
+
+    def test_corrupt_latest_still_allows_pinned_load(
+        self, registry, k40c_model, quiet_lab
+    ):
+        registry.publish(k40c_model)
+        second = registry.publish(
+            quiet_lab.model("Tesla K40c"), name="tesla-k40c"
+        )
+        second.path.write_bytes(b"garbage")
+        model, record = registry.load("tesla-k40c", version=1)
+        assert record.version == 1
+        assert model.parameters == k40c_model.parameters
+
+
+class TestDeterminism:
+    def test_same_model_same_bytes_same_hash(
+        self, tmp_path, k40c_model
+    ):
+        a = ModelRegistry(tmp_path / "a").publish(k40c_model)
+        b = ModelRegistry(tmp_path / "b").publish(k40c_model)
+        assert a.sha256 == b.sha256
+        assert a.path.read_bytes() == b.path.read_bytes()
+
+    def test_manifest_has_no_timestamps(self, registry, k40c_model):
+        registry.publish(k40c_model)
+        manifest = json.loads(
+            registry._manifest_path("tesla-k40c").read_text()
+        )
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert set(manifest) == {"schema", "model", "pinned", "versions"}
+        assert set(manifest["versions"][0]) == {
+            "version", "file", "sha256", "device", "configurations",
+        }

@@ -1,0 +1,456 @@
+"""Async prediction-server tests (:mod:`repro.serving.server`).
+
+Covers the request path end to end: cache hits, coalescing determinism
+under a seeded request stream, backpressure rejection, deadlines
+(through the ``workers=0`` hook), stale-model fallback after a corrupted
+rollout, and the JSON-lines TCP front-end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    RequestTimeoutError,
+    ServerClosedError,
+    ServerOverloadedError,
+    ServingError,
+)
+from repro.hardware.components import ALL_COMPONENTS, Component
+from repro.serving.cache import PredictionCache
+from repro.serving.registry import ModelRegistry
+from repro.serving.server import PredictionServer, ServerConfig, serve_tcp
+from repro.telemetry import TraceRecorder
+
+_NAMES = tuple(component.value for component in ALL_COMPONENTS)
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+@pytest.fixture(scope="module")
+def k40c_model(lab):
+    return lab.model("Tesla K40c")
+
+
+@pytest.fixture()
+def registry(tmp_path, k40c_model):
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.publish(k40c_model)
+    return registry
+
+
+def make_server(registry, recorder=None, **overrides):
+    config = ServerConfig(**overrides)
+    return PredictionServer(
+        registry,
+        "tesla-k40c",
+        config=config,
+        recorder=recorder if recorder is not None else TraceRecorder(),
+    )
+
+
+def request_rows(count: int, seed: int = 11):
+    """A seeded stream of component-name request dicts, with repeats."""
+    rng = np.random.default_rng(seed)
+    base = [rng.uniform(0.0, 1.0, size=len(_NAMES)) for _ in range(5)]
+    rows = []
+    for _ in range(count):
+        row = base[int(rng.integers(len(base)))]
+        rows.append({name: float(u) for name, u in zip(_NAMES, row)})
+    return rows
+
+
+class TestRequestPath:
+    def test_answers_match_the_scalar_model(self, registry, k40c_model):
+        async def scenario():
+            server = make_server(registry)
+            await server.start()
+            try:
+                request = {name: 0.5 for name in _NAMES}
+                response = await server.predict(request)
+            finally:
+                await server.stop()
+            return response
+
+        response = run(scenario())
+        # The server predicts the quantized (canonical) vector; reconstruct
+        # it the same way and compare bitwise against the scalar model.
+        cache = PredictionCache()
+        canonical = cache.dequantize(cache.quantize([0.5] * len(_NAMES)))
+        from repro.core.metrics import UtilizationVector
+
+        vector = UtilizationVector(
+            values=dict(zip(ALL_COMPONENTS, (float(u) for u in canonical)))
+        )
+        expected = k40c_model.predict_power(vector, k40c_model.spec.reference)
+        assert response.watts == expected
+        assert response.model == "tesla-k40c"
+        assert response.version == 1
+        assert response.cached is False
+
+    def test_input_forms_are_equivalent(self, registry, k40c_model):
+        async def scenario():
+            server = make_server(registry)
+            await server.start()
+            try:
+                by_name = await server.predict({"sp": 0.4, "dram": 0.6})
+                by_component = await server.predict(
+                    {
+                        **{c: 0.0 for c in ALL_COMPONENTS},
+                        Component.SP: 0.4,
+                        Component.DRAM: 0.6,
+                    }
+                )
+            finally:
+                await server.stop()
+            return by_name, by_component
+
+        by_name, by_component = run(scenario())
+        assert by_name.watts == by_component.watts
+        assert by_component.cached is True  # same cache key
+
+    def test_grid_query_matches_engine_columns(self, registry):
+        async def scenario():
+            server = make_server(registry)
+            await server.start()
+            try:
+                request = {name: 0.3 for name in _NAMES}
+                full = await server.predict(request, grid=True)
+                picked = await server.predict(
+                    request, config=server.engine.configs[-1]
+                )
+            finally:
+                await server.stop()
+            return full, picked
+
+        full, picked = run(scenario())
+        assert full.watts is None
+        assert len(full.grid_watts) == len(full.configs)
+        assert picked.watts == full.grid_mapping()[full.configs[-1]]
+        assert picked.cached is True
+
+    def test_repeat_requests_hit_the_cache(self, registry):
+        recorder = TraceRecorder()
+
+        async def scenario():
+            server = make_server(registry, recorder=recorder)
+            await server.start()
+            try:
+                request = {name: 0.7 for name in _NAMES}
+                first = await server.predict(request)
+                second = await server.predict(request)
+            finally:
+                await server.stop()
+            return first, second
+
+        first, second = run(scenario())
+        assert first.cached is False
+        assert second.cached is True
+        assert second.watts == first.watts
+        assert recorder.counter("serving.requests") == 2
+        assert recorder.counter("serving.cache_hits") == 1
+        assert recorder.counter("serving.cache_misses") == 1
+        assert recorder.counter("serving.batches") == 1
+
+    def test_predict_before_start_rejected(self, registry):
+        server = make_server(registry)
+        with pytest.raises(ServerClosedError):
+            run(server.predict({name: 0.1 for name in _NAMES}))
+
+    def test_double_start_rejected(self, registry):
+        async def scenario():
+            server = make_server(registry)
+            await server.start()
+            try:
+                with pytest.raises(ServingError, match="already running"):
+                    await server.start()
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+
+class TestCoalescingDeterminism:
+    @staticmethod
+    async def _replay(registry, rows):
+        recorder = TraceRecorder()
+        server = make_server(registry, recorder=recorder, max_queue=1024)
+        await server.start()
+        try:
+            responses = await asyncio.gather(
+                *(server.predict(row) for row in rows)
+            )
+        finally:
+            await server.stop()
+        watts = [response.watts for response in responses]
+        return watts, recorder.counters()
+
+    def test_seeded_stream_replays_identically(self, registry):
+        rows = request_rows(80, seed=23)
+        first_watts, first_counters = run(self._replay(registry, rows))
+        second_watts, second_counters = run(self._replay(registry, rows))
+        assert first_watts == second_watts
+        assert first_counters == second_counters
+        # The stream has only 5 distinct vectors: everything beyond the
+        # first occurrence of each was answered by the cache or coalesced
+        # onto an in-flight computation — never recomputed.
+        assert first_counters["serving.requests"] == 80
+        assert first_counters["serving.batched_predictions"] == 5
+        assert (
+            first_counters.get("serving.cache_hits", 0)
+            + first_counters.get("serving.coalesced", 0)
+            == 75
+        )
+
+    def test_concurrent_identical_requests_compute_once(self, registry):
+        recorder = TraceRecorder()
+
+        async def scenario():
+            server = make_server(registry, recorder=recorder)
+            await server.start()
+            try:
+                request = {name: 0.9 for name in _NAMES}
+                responses = await asyncio.gather(
+                    *(server.predict(request) for _ in range(16))
+                )
+            finally:
+                await server.stop()
+            return responses
+
+        responses = run(scenario())
+        assert len({response.watts for response in responses}) == 1
+        assert recorder.counter("serving.batched_predictions") == 1
+        assert recorder.counter("serving.coalesced") == 15
+
+
+class TestBackpressureAndDeadlines:
+    def test_full_queue_rejects_fast(self, registry):
+        recorder = TraceRecorder()
+        rows = [
+            {name: round(0.1 * (index + 1), 3) for name in _NAMES}
+            for index in range(3)
+        ]
+
+        async def scenario():
+            # No workers: nothing drains, so the third distinct vector
+            # must be rejected at admission.
+            server = make_server(
+                registry, recorder=recorder, workers=0, max_queue=2
+            )
+            await server.start()
+            try:
+                outcomes = await asyncio.gather(
+                    *(server.predict(row, timeout=0.05) for row in rows),
+                    return_exceptions=True,
+                )
+            finally:
+                await server.stop()
+            return outcomes
+
+        outcomes = run(scenario())
+        rejected = [
+            o for o in outcomes if isinstance(o, ServerOverloadedError)
+        ]
+        timed_out = [
+            o for o in outcomes if isinstance(o, RequestTimeoutError)
+        ]
+        assert len(rejected) == 1
+        assert len(timed_out) == 2
+        assert recorder.counter("serving.rejections") == 1
+        assert recorder.counter("serving.timeouts") == 2
+
+    def test_deadline_raises_timeout(self, registry):
+        async def scenario():
+            server = make_server(registry, workers=0)
+            await server.start()
+            try:
+                with pytest.raises(RequestTimeoutError, match="not ready"):
+                    await server.predict(
+                        {name: 0.2 for name in _NAMES}, timeout=0.01
+                    )
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_stop_fails_queued_requests(self, registry):
+        async def scenario():
+            server = make_server(registry, workers=0)
+            await server.start()
+            pending = asyncio.ensure_future(
+                server.predict({name: 0.2 for name in _NAMES}, timeout=30.0)
+            )
+            await asyncio.sleep(0)  # let the request enqueue
+            await server.stop()
+            with pytest.raises(ServerClosedError):
+                await pending
+
+        run(scenario())
+
+
+class TestRollout:
+    def test_refresh_swaps_to_newer_version(
+        self, registry, k40c_model, quiet_lab
+    ):
+        recorder = TraceRecorder()
+
+        async def scenario():
+            server = make_server(registry, recorder=recorder)
+            await server.start()
+            request = {name: 0.5 for name in _NAMES}
+            try:
+                before = await server.predict(request)
+                registry.publish(
+                    quiet_lab.model("Tesla K40c"), name="tesla-k40c"
+                )
+                assert await server.refresh() is True
+                after = await server.predict(request)
+            finally:
+                await server.stop()
+            return before, after, server.record.version
+
+        before, after, version = run(scenario())
+        assert version == 2
+        assert after.version == 2
+        # The new engine answered: the old cache entry keyed by v1 missed.
+        assert after.cached is False
+        assert after.watts != before.watts
+        assert recorder.counter("serving.model_swaps") == 1
+
+    def test_corrupt_rollout_degrades_to_stale_model(
+        self, registry, quiet_lab
+    ):
+        recorder = TraceRecorder()
+
+        async def scenario():
+            server = make_server(registry, recorder=recorder)
+            await server.start()
+            request = {name: 0.5 for name in _NAMES}
+            try:
+                before = await server.predict(request)
+                second = registry.publish(
+                    quiet_lab.model("Tesla K40c"), name="tesla-k40c"
+                )
+                good_bytes = second.path.read_bytes()
+                second.path.write_bytes(b"garbage")
+
+                assert await server.refresh() is False
+                assert server.stale is True
+                assert server.record.version == 1
+                during = await server.predict(request)
+
+                second.path.write_bytes(good_bytes)
+                assert await server.refresh() is True
+                assert server.stale is False
+            finally:
+                await server.stop()
+            return before, during, server.record.version
+
+        before, during, version = run(scenario())
+        # Degraded but live: the stale v1 model kept answering (cached).
+        assert during.version == 1
+        assert during.watts == before.watts
+        assert during.cached is True
+        assert version == 2
+        assert recorder.counter("serving.stale_fallbacks") == 1
+        assert recorder.counter("serving.model_swaps") == 1
+
+    def test_refresh_requires_running_server(self, registry):
+        server = make_server(registry)
+        with pytest.raises(ServerClosedError):
+            run(server.refresh())
+
+
+class TestTelemetrySpans:
+    def test_request_stages_appear_in_span_tree(self, registry):
+        recorder = TraceRecorder()
+
+        async def scenario():
+            server = make_server(registry, recorder=recorder)
+            await server.start()
+            try:
+                await server.predict({name: 0.4 for name in _NAMES})
+            finally:
+                await server.stop()
+
+        run(scenario())
+        paths = recorder.span_tree()
+        assert ("serving.admit",) in paths
+        assert ("serving.batch",) in paths
+        assert ("serving.batch", "serving.predict") in paths
+
+
+class TestTcpFrontend:
+    def test_json_lines_round_trip(self, registry):
+        async def scenario():
+            server = make_server(registry)
+            await server.start()
+            tcp, finished = await serve_tcp(server, port=0, max_requests=4)
+            port = tcp.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+
+            async def ask(payload):
+                writer.write(json.dumps(payload).encode() + b"\n")
+                await writer.drain()
+                return json.loads(await reader.readline())
+
+            utilizations = {name: 0.5 for name in _NAMES}
+            try:
+                single = await ask({"utilizations": utilizations})
+                grid = await ask(
+                    {"utilizations": utilizations, "grid": True}
+                )
+                best = await ask(
+                    {"utilizations": utilizations, "best": "energy"}
+                )
+                bad = await ask({"utilizations": {"tensor": 0.5}})
+            finally:
+                writer.close()
+                await asyncio.wait_for(finished.wait(), timeout=5.0)
+                tcp.close()
+                await tcp.wait_closed()
+                await server.stop()
+            return single, grid, best, bad
+
+        single, grid, best, bad = run(scenario())
+        assert single["ok"] is True
+        assert single["watts"] > 0
+        assert single["model"] == "tesla-k40c"
+        assert grid["ok"] is True
+        assert len(grid["grid"]) == 4  # Tesla K40c grid size
+        grid_watts = {
+            (core, memory): watts for core, memory, watts in grid["grid"]
+        }
+        assert best["ok"] is True
+        assert best["best"]["watts"] == min(grid_watts.values())
+        assert bad["ok"] is False
+        assert bad["code"] == 400
+        assert "unknown utilization" in bad["error"]
+
+    def test_malformed_json_gets_400(self, registry):
+        async def scenario():
+            server = make_server(registry)
+            await server.start()
+            tcp, _ = await serve_tcp(server, port=0)
+            port = tcp.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                payload = json.loads(await reader.readline())
+            finally:
+                writer.close()
+                tcp.close()
+                await tcp.wait_closed()
+                await server.stop()
+            return payload
+
+        payload = run(scenario())
+        assert payload["ok"] is False
+        assert payload["code"] == 400
