@@ -3,7 +3,8 @@
 :mod:`repro.benchmarking`.
 
 Times collect / estimate / validate per device (grid fast path vs the
-scalar walk) and writes ``BENCH_pipeline.json``::
+scalar walk vs the sharded multi-process campaign) and writes
+``BENCH_pipeline.json``::
 
     python benchmarks/bench_pipeline.py             # full grid, all devices
     python benchmarks/bench_pipeline.py --quick     # tier-2 smoke (< 60 s)

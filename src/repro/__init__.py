@@ -94,6 +94,13 @@ from repro.serving import (
     PredictionServer,
     ServerConfig,
 )
+from repro.parallel import (
+    DeviceSpec,
+    Shard,
+    collect_campaign_sharded,
+    collect_training_dataset_sharded,
+    partition_grid,
+)
 
 __version__ = "1.0.0"
 
@@ -131,4 +138,7 @@ __all__ = [
     "save_model", "load_model",
     # serving
     "ModelRegistry", "PredictionEngine", "PredictionServer", "ServerConfig",
+    # sharded campaign
+    "DeviceSpec", "Shard", "partition_grid",
+    "collect_campaign_sharded", "collect_training_dataset_sharded",
 ]

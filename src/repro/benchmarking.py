@@ -28,6 +28,12 @@ collect+estimate must stay within ``OVERHEAD_TOLERANCE`` (5%) of the PR 1
 recorded total, otherwise a :class:`BenchmarkRegression` is raised — the
 no-op recorder on the hot path must be free.
 
+Since ISSUE 5 a sharded-campaign pass (``SHARDED_WORKERS`` worker
+processes, :mod:`repro.parallel`) re-collects the dataset, asserts it is
+bitwise identical to the serial grid campaign's, and records its speedup
+against the serial scalar walk plus the machine's ``os.cpu_count()`` (the
+fan-out cannot beat the vectorized single-process path on a single core).
+
 Usage::
 
     python benchmarks/bench_pipeline.py                 # full grid, all devices
@@ -39,6 +45,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -60,6 +67,15 @@ PR1_BASELINE_SECONDS = {
 }
 #: Allowed fractional regression of telemetry-off collect+estimate vs PR 1.
 OVERHEAD_TOLERANCE = 0.05
+
+#: Worker-process count of the sharded-campaign pass (ISSUE 5). The pass
+#: re-checks the bitwise dataset equivalence and records two speedups:
+#: ``speedup_vs_serial_collect`` against the scalar serial walk (the
+#: acceptance baseline) and ``speedup_vs_grid_collect`` against the batched
+#: grid fast path (honest on single-core machines, where process fan-out
+#: cannot beat an already-vectorized serial pass — ``cpu_count`` is recorded
+#: alongside so readers can interpret the number).
+SHARDED_WORKERS = 4
 
 
 class BenchmarkRegression(AssertionError):
@@ -146,6 +162,16 @@ def bench_device(
         t2 = time.perf_counter()
         return (t1 - t0, t2 - t1)
 
+    def run_sharded():
+        gpu = SimulatedGPU(spec)
+        session = ProfilingSession(gpu)
+        t0 = time.perf_counter()
+        dataset = collect_training_dataset(
+            session, kernels, configs, workers=SHARDED_WORKERS
+        )
+        t1 = time.perf_counter()
+        return t1 - t0, dataset
+
     # Best-of-N wall-clock per path (fresh device each time, so no run
     # caches leak between repeats); the last repeat's artifacts feed the
     # equivalence checks.
@@ -181,6 +207,13 @@ def bench_device(
     traced_times = [run_traced() for _ in range(repeats)]
     traced_collect, traced_estimate = map(min, zip(*traced_times))
 
+    sharded_times = []
+    for _ in range(repeats):
+        sharded_seconds, dataset_p = run_sharded()
+        sharded_times.append(sharded_seconds)
+    sharded_collect = min(sharded_times)
+    sharded_rows_identical = dataset_p.rows == dataset.rows
+
     fast_total = fast_collect + fast_estimate
     scalar_total = scalar_collect + scalar_estimate
     traced_total = traced_collect + traced_estimate
@@ -213,6 +246,24 @@ def bench_device(
             "max_voltage_diff": float(voltage_diff),
             "max_rmse_history_diff": float(history_diff),
             "iterations": [report.iterations, report_s.iterations],
+        },
+        "sharded": {
+            "workers": SHARDED_WORKERS,
+            "cpu_count": os.cpu_count(),
+            "collect_seconds": round(sharded_collect, 4),
+            "rows_identical": bool(sharded_rows_identical),
+            # The acceptance baseline: the sharded campaign vs the serial
+            # scalar walk (the "serial collect" of the seed tree's
+            # vocabulary, re-timed in this same run).
+            "speedup_vs_serial_collect": round(
+                scalar_collect / sharded_collect, 2
+            ),
+            # The honest single-machine comparison vs the batched grid
+            # fast path; < 1 on single-core boxes (os.cpu_count() above),
+            # > 1 once real cores are available.
+            "speedup_vs_grid_collect": round(
+                fast_collect / sharded_collect, 2
+            ),
         },
     }
     if spec.name == SEED_BASELINE_DEVICE and not quick:
@@ -271,9 +322,16 @@ def run_benchmark(
             f" [telemetry on: {telemetry['total_seconds']:.2f}s, "
             f"{telemetry['overhead_vs_off_percent']:+.1f}%]"
         )
+        sharded = record["sharded"]
+        line += (
+            f" [sharded x{sharded['workers']}: "
+            f"{sharded['collect_seconds']:.2f}s collect, "
+            f"{sharded['speedup_vs_serial_collect']:.1f}x vs serial, "
+            f"rows identical: {sharded['rows_identical']}]"
+        )
         print(line)
         results.append(record)
-    return {
+    report: Dict[str, object] = {
         "benchmark": "pipeline",
         "mode": "quick" if quick else "full",
         "repeats": repeats,
@@ -284,6 +342,18 @@ def run_benchmark(
         },
         "devices": results,
     }
+    for record in results:
+        if record["device"] == SEED_BASELINE_DEVICE:
+            sharded = record["sharded"]
+            report["sharded_collect"] = {
+                "device": SEED_BASELINE_DEVICE,
+                "workers": sharded["workers"],
+                "speedup_vs_serial_collect": sharded[
+                    "speedup_vs_serial_collect"
+                ],
+                "rows_identical": sharded["rows_identical"],
+            }
+    return report
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

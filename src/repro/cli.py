@@ -105,6 +105,15 @@ def cmd_fit(args: argparse.Namespace) -> int:
         args.device, args.noiseless, args.chaos, args.chaos_seed, recorder
     )
     print(f"fitting the DVFS-aware power model for {session.gpu.spec.name}...")
+    if args.workers:
+        print(
+            f"sharded campaign: {args.workers} worker processes"
+            + (
+                f", {args.shard_size} cells per shard"
+                if args.shard_size
+                else ""
+            )
+        )
     if args.chaos > 0:
         from repro.core.dataset import collect_campaign
         from repro.core.estimation import ModelEstimator
@@ -114,13 +123,20 @@ def cmd_fit(args: argparse.Namespace) -> int:
             f"chaos mode: {args.chaos:.1%} transient-fault plan "
             f"(seed {args.chaos_seed})"
         )
-        dataset, campaign = collect_campaign(session, build_suite())
+        dataset, campaign = collect_campaign(
+            session,
+            build_suite(),
+            workers=args.workers,
+            shard_size=args.shard_size,
+        )
         print(campaign.summary())
         model, report = ModelEstimator(
             dataset, recorder=session.recorder
         ).estimate()
     else:
-        model, report = fit_power_model(session)
+        model, report = fit_power_model(
+            session, workers=args.workers, shard_size=args.shard_size
+        )
     if args.telemetry:
         trace_path = write_trace(
             recorder, args.telemetry, format=args.telemetry_format
@@ -475,6 +491,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a structured telemetry trace of the fit (spans, "
         "counters, gauges) and write it to PATH; deterministic under the "
         "master seed (byte-identical across same-seed runs)",
+    )
+    fit.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="shard the measurement campaign across N worker processes; "
+        "the merged dataset is bitwise identical to the serial campaign's "
+        "(0 = serial, the default)",
+    )
+    fit.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        metavar="M",
+        help="grid cells per shard (default: four whole kernel rows); the "
+        "partition — and hence the merged telemetry trace — depends only "
+        "on this, never on --workers",
     )
     fit.add_argument(
         "--telemetry-format",

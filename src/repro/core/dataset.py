@@ -232,11 +232,60 @@ class CampaignReport:
         return "\n".join(lines)
 
 
+def build_campaign_report(
+    session: ProfilingSession,
+    spec: GPUSpec,
+    surviving_count: int,
+    config_count: int,
+    rows: Sequence[TrainingRow],
+    skipped_cells: Sequence[Tuple[str, FrequencyConfig]],
+    skipped_kernels: Tuple[str, ...],
+    stats_baseline: Tuple[int, int, int, int, int, int],
+    backoff_before: float,
+) -> CampaignReport:
+    """Assemble a :class:`CampaignReport` from a campaign's outcome.
+
+    Shared by the serial campaign and the sharded executor
+    (:mod:`repro.parallel.executor`): fault tallies are reported as deltas
+    of the session's stats against ``stats_baseline`` — the sharded path
+    folds its workers' tallies into the session first, so both paths
+    produce identical reports for identical campaigns.
+    """
+    stats = session.fault_stats
+    return CampaignReport(
+        device_name=spec.name,
+        kernel_count=surviving_count,
+        config_count=config_count,
+        row_count=len(rows),
+        clean_rows=sum(1 for row in rows if not row.quality),
+        retried_rows=sum(
+            1 for row in rows if faultlib.RETRIED in row.quality
+        ),
+        dropout_rows=sum(
+            1 for row in rows if faultlib.DROPOUTS in row.quality
+        ),
+        throttle_injected_rows=sum(
+            1 for row in rows if faultlib.THROTTLE_INJECTED in row.quality
+        ),
+        skipped_cells=tuple(skipped_cells),
+        skipped_kernels=skipped_kernels,
+        read_faults=stats.read_faults - stats_baseline[0],
+        clock_faults=stats.clock_faults - stats_baseline[1],
+        event_faults=stats.event_faults - stats_baseline[2],
+        dropped_samples=stats.dropped_samples - stats_baseline[3],
+        injected_throttles=stats.injected_throttles - stats_baseline[4],
+        corrupted_counters=stats.corrupted_counters - stats_baseline[5],
+        backoff_seconds=session.backoff_clock.total_seconds - backoff_before,
+    )
+
+
 def collect_campaign(
     session: ProfilingSession,
     kernels: Sequence[KernelDescriptor],
     configs: Optional[Sequence[FrequencyConfig]] = None,
     use_grid: bool = True,
+    workers: int = 0,
+    shard_size: Optional[int] = None,
 ) -> Tuple[TrainingDataset, CampaignReport]:
     """Run the measurement campaign and report its health.
 
@@ -247,7 +296,25 @@ def collect_campaign(
     the :class:`CampaignReport` instead of aborting the run. With faults
     disabled the dataset is bitwise identical to the historical
     :func:`collect_training_dataset` output and the report is all-clean.
+
+    ``workers > 0`` delegates to the sharded multi-process executor
+    (:func:`repro.parallel.executor.collect_campaign_sharded`), whose
+    dataset and report are bitwise identical to the serial grid path for
+    any worker count; ``shard_size`` (cells per shard) defaults to four
+    kernels' worth of configurations.
     """
+    if workers:
+        if not use_grid:
+            raise ValidationError(
+                "the sharded campaign only supports the grid path "
+                "(use_grid=True); grid cells are bitwise identical to the "
+                "scalar walk anyway"
+            )
+        from repro.parallel.executor import collect_campaign_sharded
+
+        return collect_campaign_sharded(
+            session, kernels, configs, workers=workers, shard_size=shard_size
+        )
     if not kernels:
         raise ValidationError("no kernels supplied for training")
     spec = session.gpu.spec
@@ -357,30 +424,16 @@ def collect_campaign(
             "cell was skipped)"
         )
     dataset = TrainingDataset(spec=spec, rows=tuple(rows))
-    report = CampaignReport(
-        device_name=spec.name,
-        kernel_count=len(surviving),
+    report = build_campaign_report(
+        session,
+        spec=spec,
+        surviving_count=len(surviving),
         config_count=len(configs),
-        row_count=len(rows),
-        clean_rows=sum(1 for row in rows if not row.quality),
-        retried_rows=sum(
-            1 for row in rows if faultlib.RETRIED in row.quality
-        ),
-        dropout_rows=sum(
-            1 for row in rows if faultlib.DROPOUTS in row.quality
-        ),
-        throttle_injected_rows=sum(
-            1 for row in rows if faultlib.THROTTLE_INJECTED in row.quality
-        ),
-        skipped_cells=tuple(skipped_cells),
+        rows=rows,
+        skipped_cells=skipped_cells,
         skipped_kernels=tuple(skipped_kernels),
-        read_faults=stats.read_faults - baseline[0],
-        clock_faults=stats.clock_faults - baseline[1],
-        event_faults=stats.event_faults - baseline[2],
-        dropped_samples=stats.dropped_samples - baseline[3],
-        injected_throttles=stats.injected_throttles - baseline[4],
-        corrupted_counters=stats.corrupted_counters - baseline[5],
-        backoff_seconds=session.backoff_clock.total_seconds - backoff_before,
+        stats_baseline=baseline,
+        backoff_before=backoff_before,
     )
     return dataset, report
 
@@ -390,6 +443,8 @@ def collect_training_dataset(
     kernels: Sequence[KernelDescriptor],
     configs: Optional[Sequence[FrequencyConfig]] = None,
     use_grid: bool = True,
+    workers: int = 0,
+    shard_size: Optional[int] = None,
 ) -> TrainingDataset:
     """Run the full measurement campaign for a set of microbenchmarks.
 
@@ -410,5 +465,14 @@ def collect_training_dataset(
     Thin wrapper over :func:`collect_campaign` that drops the report;
     campaigns under an active fault plan degrade gracefully the same way
     (skipped cells/kernels are simply not visible without the report).
+    ``workers > 0`` shards the campaign across that many worker processes
+    (bitwise-identical output; see :mod:`repro.parallel`).
     """
-    return collect_campaign(session, kernels, configs, use_grid=use_grid)[0]
+    return collect_campaign(
+        session,
+        kernels,
+        configs,
+        use_grid=use_grid,
+        workers=workers,
+        shard_size=shard_size,
+    )[0]

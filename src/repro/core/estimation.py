@@ -495,17 +495,23 @@ def fit_power_model(
     configs: Optional[Sequence[FrequencyConfig]] = None,
     max_iterations: int = 50,
     model_voltage: bool = True,
+    workers: int = 0,
+    shard_size: Optional[int] = None,
 ) -> Tuple[DVFSPowerModel, EstimatorReport]:
     """Collect the microbenchmark dataset and fit the model in one call.
 
     ``kernels`` defaults to the full 83-microbenchmark suite and ``configs``
-    to the device's entire V-F grid.
+    to the device's entire V-F grid. ``workers > 0`` shards the measurement
+    campaign across worker processes (bitwise-identical dataset, hence an
+    identical fit; see :mod:`repro.parallel`).
     """
     if kernels is None:
         from repro.microbench import build_suite
 
         kernels = build_suite()
-    dataset = collect_training_dataset(session, kernels, configs)
+    dataset = collect_training_dataset(
+        session, kernels, configs, workers=workers, shard_size=shard_size
+    )
     estimator = ModelEstimator(
         dataset,
         max_iterations=max_iterations,

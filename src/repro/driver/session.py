@@ -102,6 +102,16 @@ class ProfilingSession:
     def reference(self) -> FrequencyConfig:
         return self.gpu.spec.reference
 
+    def device_spec(self):
+        """The frozen, picklable reconstruction recipe for this session.
+
+        Worker processes of the sharded campaign executor rebuild an
+        equivalent session from it — see :mod:`repro.parallel.spec`.
+        """
+        from repro.parallel.spec import DeviceSpec
+
+        return DeviceSpec.from_session(self)
+
     # ------------------------------------------------------------------
     def measure_power(
         self,

@@ -1,0 +1,46 @@
+"""Sharded multi-process execution of the measurement campaign.
+
+The paper's methodology measures every microbenchmark at every V-F
+configuration (Sec. III-D / V-A) — the dominant cost of the pipeline. This
+package fans that grid out over a :class:`concurrent.futures.ProcessPoolExecutor`
+while preserving the serial campaign's outputs *bitwise*: workers rebuild
+the simulated device from a frozen :class:`DeviceSpec` (every noise and
+fault draw is label-seeded, so rebuilt sessions observe identical
+measurements), the grid is partitioned deterministically, and results are
+merged in shard order regardless of scheduling.
+"""
+
+from repro.parallel.executor import (
+    PROFILE_CHUNK_KERNELS,
+    collect_campaign_sharded,
+    collect_training_dataset_sharded,
+    merge_measurements,
+)
+from repro.parallel.sharding import Cell, Shard, covered_cells, partition_grid
+from repro.parallel.spec import DeviceSpec
+from repro.parallel.worker import (
+    MeasureTaskResult,
+    ProfileTaskResult,
+    ShardCrashError,
+    WorkerStats,
+    measure_shard,
+    profile_kernels,
+)
+
+__all__ = [
+    "Cell",
+    "DeviceSpec",
+    "MeasureTaskResult",
+    "PROFILE_CHUNK_KERNELS",
+    "ProfileTaskResult",
+    "Shard",
+    "ShardCrashError",
+    "WorkerStats",
+    "collect_campaign_sharded",
+    "collect_training_dataset_sharded",
+    "covered_cells",
+    "measure_shard",
+    "merge_measurements",
+    "partition_grid",
+    "profile_kernels",
+]

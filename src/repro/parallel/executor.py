@@ -1,0 +1,325 @@
+"""The sharded campaign executor: process-pool fan-out, deterministic merge.
+
+Drop-in parallel twin of :func:`repro.core.dataset.collect_campaign`. The
+(kernel x configuration) grid is partitioned into deterministic shards
+(:mod:`repro.parallel.sharding`), each shard is measured by a worker that
+rebuilds the device from a :class:`~repro.parallel.spec.DeviceSpec`
+(:mod:`repro.parallel.worker`), and the results are merged **in shard
+order** — futures are consumed by index, never by completion — so the
+output is a pure function of (device spec, kernels, configurations,
+shard size): the merged :class:`~repro.core.dataset.TrainingDataset` is
+bitwise identical to the serial campaign's for every worker count,
+including under an active fault plan and with telemetry enabled.
+
+Crash recovery follows the campaign's existing skip-and-record contract: a
+shard whose worker raises degrades into skipped cells on the
+:class:`~repro.core.dataset.CampaignReport` (a crashed profile chunk into
+skipped kernels) instead of aborting the run.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor, ProcessPoolExecutor
+from typing import (
+    Collection,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.dataset import (
+    CampaignReport,
+    TrainingDataset,
+    TrainingRow,
+    build_campaign_report,
+)
+from repro.core.metrics import UtilizationVector
+from repro.driver import faults as faultlib
+from repro.driver.session import ProfilingSession
+from repro.errors import ValidationError
+from repro.hardware.specs import FrequencyConfig
+from repro.kernels.kernel import KernelDescriptor
+from repro.parallel import worker as workerlib
+from repro.parallel.sharding import Cell, Shard, partition_grid
+from repro.parallel.spec import DeviceSpec
+from repro.parallel.worker import KernelCells, MeasureTaskResult
+
+__all__ = [
+    "PROFILE_CHUNK_KERNELS",
+    "collect_campaign_sharded",
+    "collect_training_dataset_sharded",
+    "merge_measurements",
+]
+
+#: Kernels per phase-1 profiling task. Fixed (never derived from the worker
+#: count) so the order in which worker recorders are absorbed — and hence
+#: the merged trace — depends only on the workload.
+PROFILE_CHUNK_KERNELS = 8
+
+#: Default phase-2 shard size, in whole kernel rows. Several rows per shard
+#: keep the batched grid path wide inside each worker while still cutting
+#: the campaign into enough shards for any sane worker count; like the
+#: profile chunking, the default never depends on the worker count.
+DEFAULT_SHARD_KERNELS = 4
+
+
+def _profile_chunks(
+    kernels: Sequence[KernelDescriptor],
+) -> List[Tuple[KernelDescriptor, ...]]:
+    return [
+        tuple(kernels[start : start + PROFILE_CHUNK_KERNELS])
+        for start in range(0, len(kernels), PROFILE_CHUNK_KERNELS)
+    ]
+
+
+def _shard_groups(
+    shard: Shard,
+    kernels: Sequence[KernelDescriptor],
+    configs: Sequence[FrequencyConfig],
+) -> KernelCells:
+    """Group a shard's cells per kernel, preserving kernel-major order."""
+    grouped: Dict[int, List[Tuple[int, FrequencyConfig]]] = {}
+    for kernel_index, config_index in shard.cells:
+        grouped.setdefault(kernel_index, []).append(
+            (config_index, configs[config_index])
+        )
+    return tuple(
+        (kernel_index, kernels[kernel_index], tuple(cells))
+        for kernel_index, cells in grouped.items()
+    )
+
+
+def merge_measurements(
+    kernels: Sequence[KernelDescriptor],
+    configs: Sequence[FrequencyConfig],
+    utilization_by_kernel: Mapping[str, UtilizationVector],
+    cell_measurements: Mapping[Cell, object],
+    crashed_cells: Collection[Cell] = frozenset(),
+) -> Tuple[
+    Tuple[TrainingRow, ...], Tuple[Tuple[str, FrequencyConfig], ...]
+]:
+    """Rebuild the serial campaign's row/skip sequences from cell results.
+
+    Pure function of its inputs: cells are visited kernel-major in grid
+    order regardless of which shard produced which measurement, which makes
+    the merge invariant under any permutation of shard results (the
+    hypothesis suite pins this property).
+    """
+    rows: List[TrainingRow] = []
+    skipped: List[Tuple[str, FrequencyConfig]] = []
+    for kernel_index, kernel in enumerate(kernels):
+        for config_index, config in enumerate(configs):
+            cell = (kernel_index, config_index)
+            if cell in crashed_cells:
+                skipped.append((kernel.name, config))
+                continue
+            measurement = cell_measurements.get(cell)
+            if measurement is None:
+                raise ValidationError(
+                    f"shard merge is missing cell {cell} "
+                    f"({kernel.name} @ {config}): the shards do not cover "
+                    "the requested grid"
+                )
+            if faultlib.UNREADABLE in measurement.quality:
+                skipped.append((kernel.name, measurement.requested_config))
+                continue
+            rows.append(
+                TrainingRow(
+                    kernel_name=kernel.name,
+                    config=measurement.applied_config,
+                    measured_watts=measurement.average_watts,
+                    utilizations=utilization_by_kernel[kernel.name],
+                    quality=measurement.quality,
+                )
+            )
+    return tuple(rows), tuple(skipped)
+
+
+def collect_campaign_sharded(
+    session: ProfilingSession,
+    kernels: Sequence[KernelDescriptor],
+    configs: Optional[Sequence[FrequencyConfig]] = None,
+    *,
+    workers: int = 2,
+    shard_size: Optional[int] = None,
+    fail_shards: Collection[int] = (),
+    executor: Optional[Executor] = None,
+) -> Tuple[TrainingDataset, CampaignReport]:
+    """Run the measurement campaign sharded across worker processes.
+
+    Bitwise-equivalent to :func:`repro.core.dataset.collect_campaign` on
+    the grid path: same dataset, same report (fault tallies and virtual
+    backoff are folded back into ``session``'s stats, so the report deltas
+    match the serial session's). ``fail_shards`` injects
+    :class:`~repro.parallel.worker.ShardCrashError` into the named
+    phase-2 shards to exercise crash recovery. Pass ``executor`` to reuse
+    a live pool across campaigns (``workers`` then only caps pool creation,
+    not the partition, which depends solely on ``shard_size``).
+    """
+    if not kernels:
+        raise ValidationError("no kernels supplied for training")
+    if workers < 1:
+        raise ValidationError(f"workers must be >= 1, got {workers}")
+    spec = session.gpu.spec
+    if configs is None:
+        configs = spec.all_configurations()
+    requested = tuple(spec.validate_configuration(c) for c in configs)
+    device = DeviceSpec.from_session(session)
+    recorder = session.recorder
+    stats = session.fault_stats
+    baseline = (
+        stats.read_faults,
+        stats.clock_faults,
+        stats.event_faults,
+        stats.dropped_samples,
+        stats.injected_throttles,
+        stats.corrupted_counters,
+    )
+    backoff_before = session.backoff_clock.total_seconds
+
+    own_pool = executor is None
+    pool = (
+        executor
+        if executor is not None
+        else ProcessPoolExecutor(max_workers=workers)
+    )
+    try:
+        with recorder.span(
+            "campaign",
+            device=spec.name,
+            kernels=len(kernels),
+            configs=len(requested),
+            grid=True,
+            sharded=True,
+            workers=workers,
+        ) as campaign_span:
+            # ----------------------------------------------------------
+            # Phase 1 — profile every kernel at the reference config.
+            # ----------------------------------------------------------
+            chunks = _profile_chunks(kernels)
+            profile_futures = [
+                pool.submit(workerlib.profile_kernels, device, index, chunk)
+                for index, chunk in enumerate(chunks)
+            ]
+            utilization_by_kernel: Dict[str, UtilizationVector] = {}
+            skipped_kernels: List[str] = []
+            failed_tasks = 0
+            for chunk, future in zip(chunks, profile_futures):
+                try:
+                    result = future.result()
+                except Exception:
+                    # A crashed profiling chunk degrades like persistently
+                    # failing event collection: its kernels are skipped.
+                    failed_tasks += 1
+                    recorder.add("shards.failed")
+                    skipped_kernels.extend(k.name for k in chunk)
+                    continue
+                if result.recorder is not None:
+                    recorder.absorb(result.recorder)
+                workerlib.apply_stats(
+                    stats, session.backoff_clock, result.stats
+                )
+                for name, utilization in result.utilizations:
+                    if utilization is None:
+                        skipped_kernels.append(name)
+                    else:
+                        utilization_by_kernel[name] = utilization
+            surviving = [
+                k for k in kernels if k.name in utilization_by_kernel
+            ]
+
+            # ----------------------------------------------------------
+            # Phase 2 — measure the (surviving kernel x config) grid.
+            # ----------------------------------------------------------
+            if shard_size is None:
+                shard_size = len(requested) * DEFAULT_SHARD_KERNELS or 1
+            shards = partition_grid(
+                len(surviving), len(requested), shard_size
+            )
+            fail_set = frozenset(fail_shards)
+            measure_futures = [
+                pool.submit(
+                    workerlib.measure_shard,
+                    device,
+                    shard.index,
+                    _shard_groups(shard, surviving, requested),
+                    shard.index in fail_set,
+                )
+                for shard in shards
+            ]
+            cell_measurements: Dict[Cell, object] = {}
+            crashed_cells: set = set()
+            for shard, future in zip(shards, measure_futures):
+                try:
+                    result: MeasureTaskResult = future.result()
+                except Exception:
+                    failed_tasks += 1
+                    recorder.add("shards.failed")
+                    crashed_cells.update(shard.cells)
+                    continue
+                if result.recorder is not None:
+                    recorder.absorb(result.recorder)
+                workerlib.apply_stats(
+                    stats, session.backoff_clock, result.stats
+                )
+                cell_measurements.update(dict(result.measurements))
+
+            rows, skipped_cells = merge_measurements(
+                surviving,
+                requested,
+                utilization_by_kernel,
+                cell_measurements,
+                crashed_cells,
+            )
+            campaign_span.set(
+                rows=len(rows),
+                skipped_cells=len(skipped_cells),
+                skipped_kernels=len(skipped_kernels),
+                shards=len(shards),
+                failed_tasks=failed_tasks,
+            )
+    finally:
+        if own_pool:
+            pool.shutdown(wait=True)
+
+    if not rows:
+        raise ValidationError(
+            "measurement campaign produced no usable rows (every kernel or "
+            "cell was skipped)"
+        )
+    dataset = TrainingDataset(spec=spec, rows=rows)
+    report = build_campaign_report(
+        session,
+        spec=spec,
+        surviving_count=len(surviving),
+        config_count=len(requested),
+        rows=rows,
+        skipped_cells=skipped_cells,
+        skipped_kernels=tuple(skipped_kernels),
+        stats_baseline=baseline,
+        backoff_before=backoff_before,
+    )
+    return dataset, report
+
+
+def collect_training_dataset_sharded(
+    session: ProfilingSession,
+    kernels: Sequence[KernelDescriptor],
+    configs: Optional[Sequence[FrequencyConfig]] = None,
+    *,
+    workers: int = 2,
+    shard_size: Optional[int] = None,
+    executor: Optional[Executor] = None,
+) -> TrainingDataset:
+    """Sharded twin of :func:`repro.core.dataset.collect_training_dataset`."""
+    return collect_campaign_sharded(
+        session,
+        kernels,
+        configs,
+        workers=workers,
+        shard_size=shard_size,
+        executor=executor,
+    )[0]

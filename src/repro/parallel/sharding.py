@@ -1,0 +1,69 @@
+"""Deterministic partitioning of the (kernel x configuration) grid.
+
+The measurement grid is flattened kernel-major — exactly the order the
+serial campaign walks it — and chunked into fixed-size shards. The
+partition is a pure function of ``(n_kernels, n_configs, shard_size)``:
+worker count and scheduling never influence which cells land in which
+shard, which is half of the sharded campaign's determinism contract (the
+other half is the label-seeded noise/fault substrate, see
+:mod:`repro.parallel.spec`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import ValidationError
+
+__all__ = ["Cell", "Shard", "covered_cells", "partition_grid"]
+
+#: One grid cell as (kernel index, configuration index).
+Cell = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous slice of the flattened measurement grid."""
+
+    index: int
+    cells: Tuple[Cell, ...]
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+
+def partition_grid(
+    n_kernels: int, n_configs: int, shard_size: Optional[int] = None
+) -> Tuple[Shard, ...]:
+    """Split the grid into deterministic shards of ``shard_size`` cells.
+
+    Cells are enumerated kernel-major (all configurations of kernel 0, then
+    kernel 1, ...), matching the serial campaign's row order. The default
+    shard size is one kernel's worth of cells (``n_configs``), so by default
+    each shard is exactly one kernel row and workers reuse the batched
+    per-kernel grid path at full width.
+    """
+    if n_kernels < 0 or n_configs < 0:
+        raise ValidationError(
+            f"grid dimensions must be non-negative, got "
+            f"{n_kernels} x {n_configs}"
+        )
+    if shard_size is None:
+        shard_size = n_configs or 1
+    if shard_size < 1:
+        raise ValidationError(f"shard size must be >= 1, got {shard_size}")
+    cells = [
+        (kernel, config)
+        for kernel in range(n_kernels)
+        for config in range(n_configs)
+    ]
+    return tuple(
+        Shard(index=index, cells=tuple(cells[start : start + shard_size]))
+        for index, start in enumerate(range(0, len(cells), shard_size))
+    )
+
+
+def covered_cells(shards: Sequence[Shard]) -> Tuple[Cell, ...]:
+    """Every cell of a shard list, concatenated in shard order."""
+    return tuple(cell for shard in shards for cell in shard.cells)

@@ -1,0 +1,108 @@
+"""Worker-side device reconstruction — the sharded campaign's seed plumbing.
+
+A worker process cannot inherit a live :class:`~repro.hardware.gpu.SimulatedGPU`
+(run caches, recorders and fault tallies are per-session state), so the
+executor ships a :class:`DeviceSpec` instead: the frozen, picklable closure of
+everything needed to rebuild the device and a profiling session around it
+*bit for bit*. Every stochastic element of the substrate — sensor/counter
+noise, kernel residuals, fault decisions — is a pure function of
+``(master seed, label path)`` (see :mod:`repro.config` and
+:mod:`repro.driver.faults`), so a session rebuilt from the same spec observes
+exactly the measurements the originating session would have, regardless of
+which worker runs which shard in which order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import SimulationSettings
+from repro.driver.faults import DEFAULT_RETRY_POLICY, FaultPlan, RetryPolicy
+from repro.driver.session import ProfilingSession
+from repro.hardware.gpu import SimulatedGPU
+from repro.hardware.noise import NoiseProfile
+from repro.hardware.power import GroundTruthParameters
+from repro.hardware.specs import GPUSpec
+from repro.hardware.voltage import VoltageTable
+from repro.telemetry.recorder import (
+    NULL_RECORDER,
+    TelemetryRecorder,
+    TraceRecorder,
+)
+
+__all__ = ["DeviceSpec"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Everything a worker needs to rebuild a profiling session bit-for-bit.
+
+    Frozen and picklable. ``telemetry`` records whether the originating
+    session traced — when set, rebuilt sessions get a fresh
+    :class:`~repro.telemetry.recorder.TraceRecorder` whose finished record
+    the executor later absorbs into the parent's recorder.
+    """
+
+    gpu_spec: GPUSpec
+    settings: SimulationSettings
+    fault_plan: Optional[FaultPlan] = None
+    retry: RetryPolicy = DEFAULT_RETRY_POLICY
+    noise_profile: Optional[NoiseProfile] = None
+    #: Hidden ground truth carried verbatim so experiment overrides (custom
+    #: parameters / voltage tables) survive the process boundary.
+    parameters: Optional[GroundTruthParameters] = None
+    voltage_table: Optional[VoltageTable] = None
+    tdp_throttling: bool = True
+    telemetry: bool = False
+
+    @classmethod
+    def from_session(cls, session: ProfilingSession) -> "DeviceSpec":
+        """Capture a live session's full configuration."""
+        gpu = session.gpu
+        return cls(
+            gpu_spec=gpu.spec,
+            settings=session.settings,
+            fault_plan=session.fault_plan,
+            retry=session.retry_policy,
+            noise_profile=gpu.power_model.noise_profile,
+            parameters=gpu.power_model.parameters,
+            voltage_table=gpu.voltage_table,
+            tdp_throttling=gpu.tdp_policy.enabled,
+            telemetry=bool(session.recorder.enabled),
+        )
+
+    # ------------------------------------------------------------------
+    def build_gpu(
+        self, recorder: TelemetryRecorder = NULL_RECORDER
+    ) -> SimulatedGPU:
+        """A fresh simulated board configured exactly like the original."""
+        return SimulatedGPU(
+            self.gpu_spec,
+            settings=self.settings,
+            parameters=self.parameters,
+            voltage_table=self.voltage_table,
+            tdp_throttling=self.tdp_throttling,
+            noise_profile=self.noise_profile,
+            fault_plan=self.fault_plan,
+            recorder=recorder,
+        )
+
+    def build_session(
+        self, gpu: Optional[SimulatedGPU] = None
+    ) -> ProfilingSession:
+        """A fresh session (with its own fault tally, backoff clock and —
+        when :attr:`telemetry` is set — trace recorder) on a fresh or
+        supplied board."""
+        recorder: TelemetryRecorder = (
+            TraceRecorder() if self.telemetry else NULL_RECORDER
+        )
+        if gpu is None:
+            gpu = self.build_gpu(recorder=recorder)
+        return ProfilingSession(
+            gpu,
+            settings=self.settings,
+            fault_plan=self.fault_plan,
+            retry=self.retry,
+            recorder=recorder,
+        )

@@ -1,0 +1,273 @@
+"""Process-pool task entry points of the sharded campaign.
+
+Module-level functions (picklable by reference) that rebuild the device
+from a :class:`~repro.parallel.spec.DeviceSpec`, run one chunk of work and
+hand back frozen, picklable results. Two task kinds mirror the serial
+campaign's two phases:
+
+* :func:`profile_kernels` — events (hence utilizations) at the reference
+  configuration for a chunk of kernels;
+* :func:`measure_shard` — the power measurements of one grid shard, via
+  the batched per-kernel grid path.
+
+Workers emit the same per-kernel ``profile``/``measure`` spans and the same
+``rows.collected`` / ``rows.degraded`` / ``cells.skipped`` /
+``kernels.skipped`` counters as the serial campaign, into a recorder of
+their own that the executor later absorbs in deterministic shard order.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.metrics import MetricCalculator, UtilizationVector
+from repro.driver import faults as faultlib
+from repro.driver.faults import BackoffClock, FaultStats
+from repro.driver.nvml import PowerMeasurement
+from repro.driver.session import ProfilingSession
+from repro.errors import PersistentDriverError, ReproError
+from repro.hardware.gpu import SimulatedGPU
+from repro.hardware.specs import FrequencyConfig
+from repro.kernels.kernel import KernelDescriptor
+from repro.parallel.sharding import Cell
+from repro.parallel.spec import DeviceSpec
+from repro.telemetry.recorder import TelemetryRecorder
+
+__all__ = [
+    "KernelCells",
+    "MeasureTaskResult",
+    "ProfileTaskResult",
+    "ShardCrashError",
+    "WorkerStats",
+    "measure_shard",
+    "profile_kernels",
+]
+
+
+class ShardCrashError(ReproError):
+    """Deliberate worker crash — the crash-recovery test/chaos hook."""
+
+
+#: Per-kernel slice of one shard: (kernel index, kernel, ((config index,
+#: configuration), ...)) with configurations in grid order.
+KernelCells = Tuple[
+    Tuple[int, KernelDescriptor, Tuple[Tuple[int, FrequencyConfig], ...]], ...
+]
+
+
+@dataclass(frozen=True)
+class WorkerStats:
+    """Fault tally + virtual backoff one task accumulated.
+
+    Worker sessions start from zero, so these are exactly the deltas the
+    serial campaign would have added to its session-wide
+    :class:`~repro.driver.faults.FaultStats` for the same cells.
+    """
+
+    read_faults: int = 0
+    clock_faults: int = 0
+    event_faults: int = 0
+    unreadable_cells: int = 0
+    dropped_samples: int = 0
+    injected_throttles: int = 0
+    corrupted_counters: int = 0
+    #: Every backoff the task slept, in order. The parent replays these one
+    #: by one onto its own clock: float addition is not associative, so
+    #: summing per-worker subtotals would differ from the serial campaign's
+    #: single running sum in the last bits — replaying the global sleep
+    #: sequence keeps ``CampaignReport.backoff_seconds`` bitwise identical.
+    sleep_log: Tuple[float, ...] = ()
+
+
+def _stats_of(session: ProfilingSession) -> WorkerStats:
+    stats = session.fault_stats
+    return WorkerStats(
+        read_faults=stats.read_faults,
+        clock_faults=stats.clock_faults,
+        event_faults=stats.event_faults,
+        unreadable_cells=stats.unreadable_cells,
+        dropped_samples=stats.dropped_samples,
+        injected_throttles=stats.injected_throttles,
+        corrupted_counters=stats.corrupted_counters,
+        sleep_log=tuple(session.backoff_clock.sleep_log),
+    )
+
+
+def apply_stats(
+    stats: FaultStats, clock: BackoffClock, delta: WorkerStats
+) -> None:
+    """Fold one task's tally into a parent session's stats/backoff clock."""
+    stats.read_faults += delta.read_faults
+    stats.clock_faults += delta.clock_faults
+    stats.event_faults += delta.event_faults
+    stats.unreadable_cells += delta.unreadable_cells
+    stats.dropped_samples += delta.dropped_samples
+    stats.injected_throttles += delta.injected_throttles
+    stats.corrupted_counters += delta.corrupted_counters
+    # Direct accumulation (not .sleep()): the worker's recorder already
+    # counted backoff.virtual_seconds; absorbing it must not double-count.
+    for seconds in delta.sleep_log:
+        clock.total_seconds += seconds
+        clock.sleep_log.append(seconds)
+
+
+@dataclass(frozen=True)
+class ProfileTaskResult:
+    """Utilizations of one kernel chunk (``None`` marks a skipped kernel)."""
+
+    chunk_index: int
+    utilizations: Tuple[Tuple[str, Optional[UtilizationVector]], ...]
+    stats: WorkerStats
+    recorder: Optional[TelemetryRecorder]
+
+
+@dataclass(frozen=True)
+class MeasureTaskResult:
+    """Power measurements of one shard, keyed by grid cell."""
+
+    shard_index: int
+    measurements: Tuple[Tuple[Cell, PowerMeasurement], ...]
+    stats: WorkerStats
+    recorder: Optional[TelemetryRecorder]
+
+
+# ----------------------------------------------------------------------
+# Per-process device cache
+# ----------------------------------------------------------------------
+#: Rebuilt boards, keyed by the DeviceSpec's pickled bytes (the spec holds
+#: a Mapping, so it is not hashable itself). Kernel execution is a memoized
+#: pure function of (kernel, configuration), so reusing a board across
+#: tasks changes no observable output — except the run-cache telemetry
+#: counters, which is why the cache is bypassed when telemetry is on (each
+#: traced task gets a cold board, making its trace a pure function of the
+#: task itself rather than of scheduling history).
+_GPU_CACHE: Dict[bytes, SimulatedGPU] = {}
+
+
+def _session_for(device: DeviceSpec) -> ProfilingSession:
+    if device.telemetry:
+        return device.build_session()
+    key = pickle.dumps(device, protocol=pickle.HIGHEST_PROTOCOL)
+    gpu = _GPU_CACHE.get(key)
+    if gpu is None:
+        gpu = device.build_gpu()
+        _GPU_CACHE[key] = gpu
+    return device.build_session(gpu=gpu)
+
+
+# ----------------------------------------------------------------------
+# Task bodies
+# ----------------------------------------------------------------------
+def profile_kernels(
+    device: DeviceSpec,
+    chunk_index: int,
+    kernels: Tuple[KernelDescriptor, ...],
+) -> ProfileTaskResult:
+    """Phase-1 task: collect events / utilizations for a chunk of kernels.
+
+    Mirrors the serial campaign exactly: the session-level retry loop runs
+    per kernel, and a kernel whose event collection keeps failing is
+    reported as ``None`` (the executor records it as skipped).
+    """
+    session = _session_for(device)
+    recorder = session.recorder
+    calculator = MetricCalculator(device.gpu_spec)
+    collected = []
+    for kernel in kernels:
+        with recorder.span("profile", kernel=kernel.name) as profile_span:
+            try:
+                record = session.collect_events(kernel)
+            except PersistentDriverError:
+                profile_span.set(skipped=True)
+                recorder.add("kernels.skipped")
+                collected.append((kernel.name, None))
+                continue
+        collected.append((kernel.name, calculator.utilizations(record)))
+    return ProfileTaskResult(
+        chunk_index=chunk_index,
+        utilizations=tuple(collected),
+        stats=_stats_of(session),
+        recorder=recorder if device.telemetry else None,
+    )
+
+
+def measure_shard(
+    device: DeviceSpec,
+    shard_index: int,
+    groups: KernelCells,
+    fail: bool = False,
+) -> MeasureTaskResult:
+    """Phase-2 task: measure one shard of the power grid.
+
+    Each per-kernel group goes through the batched grid path
+    (:meth:`~repro.driver.session.ProfilingSession.measure_grid`), whose
+    cells are bitwise identical to scalar walks — and, because every noise
+    and fault draw is keyed by (device, kernel, cell) labels, identical no
+    matter which configuration subset the shard happens to carry.
+    ``fail=True`` raises before measuring anything (crash-recovery hook).
+    """
+    if fail:
+        raise ShardCrashError(f"shard {shard_index} crashed (injected)")
+    session = _session_for(device)
+    recorder = session.recorder
+    measurements = []
+    # Shards holding several *whole* kernel rows share one batched grid
+    # call (every cell is bitwise identical either way — the grid path's
+    # contract — but one call keeps the vectorized fast path wide).
+    config_tuples = {tuple(index for index, _ in cells) for _, _, cells in groups}
+    if len(groups) > 1 and len(config_tuples) == 1:
+        shared_configs = tuple(config for _, config in groups[0][2])
+        grid = session.measure_grid(
+            [kernel for _, kernel, _ in groups],
+            shared_configs,
+            on_unreadable="skip",
+        )
+        per_kernel_rows = grid.measurements
+    else:
+        per_kernel_rows = tuple(
+            session.measure_grid(
+                [kernel],
+                tuple(config for _, config in cells),
+                on_unreadable="skip",
+            ).measurements[0]
+            for _, kernel, cells in groups
+        )
+    for (kernel_index, kernel, cells), row in zip(groups, per_kernel_rows):
+        with recorder.span("measure", kernel=kernel.name):
+            for (config_index, _), measurement in zip(cells, row):
+                _record_cell(recorder, measurement)
+                measurements.append(
+                    ((kernel_index, config_index), measurement)
+                )
+    return MeasureTaskResult(
+        shard_index=shard_index,
+        measurements=tuple(measurements),
+        stats=_stats_of(session),
+        recorder=recorder if device.telemetry else None,
+    )
+
+
+def _record_cell(
+    recorder: TelemetryRecorder, measurement: PowerMeasurement
+) -> None:
+    """Emit the serial campaign's per-cell span/counters for one cell."""
+    if faultlib.UNREADABLE in measurement.quality:
+        with recorder.span(
+            "cell",
+            core=measurement.requested_config.core_mhz,
+            memory=measurement.requested_config.memory_mhz,
+        ) as cell_span:
+            cell_span.set(skipped=True)
+            recorder.add("cells.skipped")
+        return
+    with recorder.span(
+        "cell",
+        core=measurement.applied_config.core_mhz,
+        memory=measurement.applied_config.memory_mhz,
+    ) as cell_span:
+        if measurement.quality:
+            cell_span.set(quality=list(measurement.quality))
+            recorder.add("rows.degraded")
+        recorder.add("rows.collected")

@@ -99,14 +99,91 @@ class OnlineDVFSManager:
     def planned_kernels(self) -> List[str]:
         return list(self._plans)
 
-    def _build_plan(self, kernel: KernelDescriptor) -> KernelPlan:
+    def prefetch_plans(
+        self,
+        kernels: Sequence[KernelDescriptor],
+        workers: int = 2,
+        executor=None,
+    ) -> List[KernelPlan]:
+        """Profile a batch of unseen kernels on worker processes, then plan.
+
+        Event collection is a pure function of (device seed, kernel), so the
+        utilizations workers report — and hence the plans built from them —
+        are identical to what serial :meth:`plan_for` calls would produce.
+        Kernels whose event collection keeps failing under an active fault
+        plan are left unplanned (a later direct :meth:`plan_for` raises the
+        same :class:`~repro.errors.PersistentDriverError` deterministically).
+        Returns the newly built plans, in first-sight order.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.parallel import worker as workerlib
+        from repro.parallel.executor import PROFILE_CHUNK_KERNELS
+        from repro.parallel.spec import DeviceSpec
+
+        unseen: List[KernelDescriptor] = []
+        seen = set(self._plans)
+        for kernel in kernels:
+            if kernel.name not in seen:
+                unseen.append(kernel)
+                seen.add(kernel.name)
+        if not unseen:
+            return []
+        device = DeviceSpec.from_session(self.session)
+        chunks = [
+            tuple(unseen[start : start + PROFILE_CHUNK_KERNELS])
+            for start in range(0, len(unseen), PROFILE_CHUNK_KERNELS)
+        ]
+        own_pool = executor is None
+        pool = (
+            executor
+            if executor is not None
+            else ProcessPoolExecutor(max_workers=max(1, workers))
+        )
+        utilization_by_kernel: Dict[str, UtilizationVector] = {}
+        try:
+            futures = [
+                pool.submit(workerlib.profile_kernels, device, index, chunk)
+                for index, chunk in enumerate(chunks)
+            ]
+            for future in futures:
+                result = future.result()
+                if result.recorder is not None:
+                    self.recorder.absorb(result.recorder)
+                workerlib.apply_stats(
+                    self.session.fault_stats,
+                    self.session.backoff_clock,
+                    result.stats,
+                )
+                for name, utilization in result.utilizations:
+                    if utilization is not None:
+                        utilization_by_kernel[name] = utilization
+        finally:
+            if own_pool:
+                pool.shutdown(wait=True)
+        plans: List[KernelPlan] = []
+        for kernel in unseen:
+            utilizations = utilization_by_kernel.get(kernel.name)
+            if utilizations is None:
+                continue
+            plan = self._build_plan(kernel, utilizations=utilizations)
+            self._plans[kernel.name] = plan
+            plans.append(plan)
+        return plans
+
+    def _build_plan(
+        self,
+        kernel: KernelDescriptor,
+        utilizations: Optional[UtilizationVector] = None,
+    ) -> KernelPlan:
         spec = self.session.gpu.spec
         with self.recorder.span(
             "plan", kernel=kernel.name, candidates=len(self.candidates)
         ) as plan_span:
-            # First invocation: profile at the reference configuration.
-            events = self.session.collect_events(kernel)
-            utilizations = self._calculator.utilizations(events)
+            if utilizations is None:
+                # First invocation: profile at the reference configuration.
+                events = self.session.collect_events(kernel)
+                utilizations = self._calculator.utilizations(events)
 
             scores = []
             reference_score: Optional[ConfigurationScore] = None

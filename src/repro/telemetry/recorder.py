@@ -72,6 +72,14 @@ class VirtualClock:
         self._ticks += 1
         return self._ticks
 
+    def advance(self, ticks: int) -> int:
+        """Jump forward by ``ticks`` (used when absorbing another recorder's
+        events, which already consumed that many ticks of their own clock)."""
+        if ticks < 0:
+            raise ValueError(f"clock can only advance, got {ticks}")
+        self._ticks += ticks
+        return self._ticks
+
 
 @dataclass
 class Span:
@@ -143,6 +151,14 @@ class TelemetryRecorder:
 
     def set_gauge(self, name: str, value: float, **labels: object) -> None:
         """Record the latest value of a gauge."""
+
+    def absorb(self, other: "TelemetryRecorder") -> None:
+        """Merge another recorder's finished record into this one.
+
+        The no-op recorder discards everything, so absorbing into it is a
+        no-op too — the sharded campaign executor calls this unconditionally
+        on the parent session's recorder.
+        """
 
     # Introspection helpers shared by the exporters and the tests; the
     # no-op recorder is permanently empty.
@@ -232,6 +248,62 @@ class TraceRecorder(TelemetryRecorder):
                 path.append(cursor.name)
             paths.append(tuple(reversed(path)))
         return paths
+
+    # ------------------------------------------------------------------
+    # Merging (the sharded campaign's deterministic trace merge)
+    # ------------------------------------------------------------------
+    def absorb(self, other: TelemetryRecorder) -> None:
+        """Merge another recorder's finished record into this one.
+
+        Each campaign shard records into its own :class:`TraceRecorder`
+        (virtual clock starting at zero); the parent absorbs them in shard
+        order, so the merged trace is a pure function of that order — never
+        of worker scheduling. Absorbed span ids are shifted past this
+        recorder's id counter, ticks are shifted by the current clock
+        reading (the absorbed events read as happening after everything
+        recorded so far), root spans are re-parented under the innermost
+        open span, counters add, and gauges keep the last written value.
+        """
+        if not getattr(other, "enabled", False):
+            return
+        if not isinstance(other, TraceRecorder):
+            raise TypeError(
+                f"cannot absorb a {type(other).__name__}: only TraceRecorder "
+                "instances carry state to merge"
+            )
+        if other._stack:
+            raise RuntimeError(
+                "cannot absorb a recorder with open spans: close every span "
+                "before handing the recorder back"
+            )
+        id_offset = self._next_span_id - 1
+        tick_offset = self.clock.ticks
+        adopted_parent = self._stack[-1].span_id if self._stack else None
+        for span in other._spans:
+            self._spans.append(
+                Span(
+                    span_id=span.span_id + id_offset,
+                    parent_id=(
+                        span.parent_id + id_offset
+                        if span.parent_id is not None
+                        else adopted_parent
+                    ),
+                    name=span.name,
+                    start_tick=span.start_tick + tick_offset,
+                    end_tick=(
+                        None
+                        if span.end_tick is None
+                        else span.end_tick + tick_offset
+                    ),
+                    attributes=dict(span.attributes),
+                )
+            )
+        self._next_span_id += other._next_span_id - 1
+        self.clock.advance(other.clock.ticks)
+        for key, value in other._counters.items():
+            self._counters[key] = self._counters.get(key, 0.0) + value
+        for key, value in other._gauges.items():
+            self._gauges[key] = value
 
     # ------------------------------------------------------------------
     # Counters and gauges

@@ -17,6 +17,25 @@ from repro.hardware.gpu import SimulatedGPU
 from repro.hardware.specs import GTX_TITAN_X, TESLA_K40C, TITAN_XP
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="also run tests marked @pytest.mark.slow (full-tier "
+        "differential sweeps, fuzz/load-generator heavy suites)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow tier: pass --runslow to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
+
 @pytest.fixture(scope="session")
 def lab() -> Lab:
     """Shared default-noise lab (models are fitted lazily per device)."""

@@ -20,6 +20,10 @@ from repro.errors import MetricError
 from repro.hardware.components import ALL_COMPONENTS
 from repro.hardware.specs import ALL_GPUS
 
+#: Hypothesis/load-generator heavy suite: part of the --runslow tier
+#: (CI's coverage job passes --runslow; see CONTRIBUTING.md).
+pytestmark = pytest.mark.slow
+
 #: The value a pegged 32-bit hardware counter reads back.
 SATURATED = float(2**32 - 1)
 

@@ -1,0 +1,484 @@
+"""Differential harness for the sharded campaign executor (ISSUE 5).
+
+The contract under test: :func:`repro.parallel.collect_campaign_sharded`
+must produce a :class:`~repro.core.dataset.TrainingDataset` **and** a
+:class:`~repro.core.dataset.CampaignReport` that compare ``==`` (dataclass
+field equality — floats bitwise, not approximately) against the serial
+:func:`~repro.core.dataset.collect_campaign`, for
+
+* all three Table-II device specs,
+* worker counts 1, 2 and 4,
+* chaos off and on (an active transient :class:`~repro.driver.faults.FaultPlan`),
+* any shard size,
+
+plus hypothesis properties of the grid partition (shards are a disjoint
+cover, the merge is invariant under shard permutation), crash recovery
+(a dying worker degrades into the report's quality flags instead of
+aborting), and deterministic telemetry merging (the absorbed trace is a
+pure function of the workload, not of the worker count).
+
+The matrix runs on a reduced (kernels x configs) tier so the whole file
+stays in tier-1 time; ``--runslow`` adds the full-suite, full-grid sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import MASTER_SEED
+from repro.core.dataset import collect_campaign, collect_training_dataset
+from repro.driver.faults import FaultPlan
+from repro.driver.session import ProfilingSession
+from repro.errors import ValidationError
+from repro.hardware.gpu import SimulatedGPU
+from repro.hardware.specs import GTX_TITAN_X, TESLA_K40C, TITAN_XP
+from repro.microbench import build_suite
+from repro.parallel import (
+    DeviceSpec,
+    collect_campaign_sharded,
+    covered_cells,
+    measure_shard,
+    merge_measurements,
+    partition_grid,
+)
+from repro.parallel.executor import _shard_groups
+from repro.telemetry import TraceRecorder
+
+SPECS = {
+    "Titan Xp": TITAN_XP,
+    "GTX Titan X": GTX_TITAN_X,
+    "Tesla K40c": TESLA_K40C,
+}
+CHAOS_RATE = 0.05
+#: Reduced tier: enough kernels to span several shards and chunk
+#: boundaries, enough configs to exercise the grid path.
+TIER_KERNELS = 10
+TIER_CONFIGS = 8
+
+
+def tier_kernels():
+    return build_suite()[:TIER_KERNELS]
+
+
+def tier_configs(spec):
+    """Reference + a stride through the rest of the grid."""
+    configs = spec.all_configurations()
+    chosen = [spec.reference]
+    stride = max(1, len(configs) // TIER_CONFIGS)
+    for config in configs[::stride]:
+        if config != spec.reference and len(chosen) < TIER_CONFIGS:
+            chosen.append(config)
+    return tuple(chosen)
+
+
+def make_session(spec, chaos: bool, recorder=None) -> ProfilingSession:
+    fault_plan = (
+        FaultPlan.transient(CHAOS_RATE, seed=MASTER_SEED) if chaos else None
+    )
+    if recorder is None:
+        gpu = SimulatedGPU(spec, fault_plan=fault_plan)
+    else:
+        gpu = SimulatedGPU(spec, fault_plan=fault_plan, recorder=recorder)
+    return ProfilingSession(gpu)
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    """Serial campaign per (device, chaos), computed once for the module."""
+    cache = {}
+
+    def result_for(device_name: str, chaos: bool):
+        key = (device_name, chaos)
+        if key not in cache:
+            spec = SPECS[device_name]
+            session = make_session(spec, chaos)
+            cache[key] = collect_campaign(
+                session, tier_kernels(), tier_configs(spec)
+            )
+        return cache[key]
+
+    return result_for
+
+
+# ----------------------------------------------------------------------
+# The differential matrix: 3 devices x workers {1, 2, 4} x chaos on/off
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("device_name", sorted(SPECS))
+@pytest.mark.parametrize("workers", [1, 2, 4])
+@pytest.mark.parametrize("chaos", [False, True], ids=["clean", "chaos"])
+class TestShardedEqualsSerial:
+    def test_dataset_and_report_bitwise_equal(
+        self, serial_results, device_name, workers, chaos
+    ):
+        spec = SPECS[device_name]
+        serial_dataset, serial_report = serial_results(device_name, chaos)
+        session = make_session(spec, chaos)
+        dataset, report = collect_campaign(
+            session,
+            tier_kernels(),
+            tier_configs(spec),
+            workers=workers,
+        )
+        # Dataclass == compares every float bitwise: rows, utilizations,
+        # quality flags, fault tallies and the virtual backoff total.
+        assert dataset == serial_dataset
+        assert report == serial_report
+
+
+@pytest.mark.parametrize("shard_size", [1, 7, 1000])
+def test_shard_size_never_changes_the_dataset(serial_results, shard_size):
+    serial_dataset, serial_report = serial_results("GTX Titan X", True)
+    session = make_session(GTX_TITAN_X, True)
+    dataset, report = collect_campaign(
+        session,
+        tier_kernels(),
+        tier_configs(GTX_TITAN_X),
+        workers=2,
+        shard_size=shard_size,
+    )
+    assert dataset == serial_dataset
+    assert report == serial_report
+
+
+def test_collect_training_dataset_threads_workers(serial_results):
+    serial_dataset, _ = serial_results("Tesla K40c", False)
+    session = make_session(TESLA_K40C, False)
+    dataset = collect_training_dataset(
+        session, tier_kernels(), tier_configs(TESLA_K40C), workers=2
+    )
+    assert dataset == serial_dataset
+
+
+@pytest.mark.slow
+def test_full_grid_full_suite_equivalence():
+    """The non-reduced tier: every kernel x the whole V-F grid."""
+    serial = collect_campaign(
+        make_session(GTX_TITAN_X, True), build_suite()
+    )
+    sharded = collect_campaign(
+        make_session(GTX_TITAN_X, True), build_suite(), workers=4
+    )
+    assert sharded[0] == serial[0]
+    assert sharded[1] == serial[1]
+
+
+# ----------------------------------------------------------------------
+# Partition properties
+# ----------------------------------------------------------------------
+class TestPartitionProperties:
+    @given(
+        n_kernels=st.integers(min_value=0, max_value=40),
+        n_configs=st.integers(min_value=0, max_value=40),
+        shard_size=st.integers(min_value=1, max_value=120),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_shards_are_a_disjoint_cover(
+        self, n_kernels, n_configs, shard_size
+    ):
+        shards = partition_grid(n_kernels, n_configs, shard_size)
+        cells = [cell for shard in shards for cell in shard.cells]
+        # Disjoint: no cell appears twice. Cover: every grid cell appears.
+        assert len(cells) == len(set(cells)) == n_kernels * n_configs
+        assert set(covered_cells(shards)) == {
+            (k, c) for k in range(n_kernels) for c in range(n_configs)
+        }
+
+    @given(
+        n_kernels=st.integers(min_value=1, max_value=40),
+        n_configs=st.integers(min_value=1, max_value=40),
+        shard_size=st.integers(min_value=1, max_value=120),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_shards_are_contiguous_and_indexed(
+        self, n_kernels, n_configs, shard_size
+    ):
+        shards = partition_grid(n_kernels, n_configs, shard_size)
+        assert [shard.index for shard in shards] == list(range(len(shards)))
+        # Every shard but the last is exactly shard_size cells; the
+        # flattened order is kernel-major.
+        flattened = [cell for shard in shards for cell in shard.cells]
+        assert flattened == [
+            (k, c) for k in range(n_kernels) for c in range(n_configs)
+        ]
+        for shard in shards[:-1]:
+            assert len(shard) == shard_size
+
+    def test_partition_rejects_bad_arguments(self):
+        with pytest.raises(ValidationError):
+            partition_grid(-1, 4)
+        with pytest.raises(ValidationError):
+            partition_grid(4, -1)
+        with pytest.raises(ValidationError):
+            partition_grid(4, 4, 0)
+
+
+# ----------------------------------------------------------------------
+# Merge properties
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def shard_results():
+    """Real per-shard results of a small chaos campaign, run in-process."""
+    spec = TESLA_K40C
+    kernels = tier_kernels()
+    configs = tier_configs(spec)
+    session = make_session(spec, True)
+    device = DeviceSpec.from_session(session)
+    # Phase 1, serially: utilizations per kernel.
+    from repro.core.metrics import MetricCalculator
+
+    calculator = MetricCalculator(spec)
+    utilization_by_kernel = {
+        kernel.name: calculator.utilizations(session.collect_events(kernel))
+        for kernel in kernels
+    }
+    shards = partition_grid(len(kernels), len(configs), 7)
+    results = [
+        measure_shard(
+            device, shard.index, _shard_groups(shard, kernels, configs)
+        )
+        for shard in shards
+    ]
+    return kernels, configs, utilization_by_kernel, results
+
+
+class TestMergeProperties:
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_merge_is_invariant_under_shard_permutation(
+        self, shard_results, seed
+    ):
+        import random
+
+        kernels, configs, utilizations, results = shard_results
+        baseline = merge_measurements(
+            kernels,
+            configs,
+            utilizations,
+            {cell: m for result in results for cell, m in result.measurements},
+        )
+        order = list(results)
+        random.Random(seed).shuffle(order)
+        cell_measurements = {}
+        for result in order:
+            cell_measurements.update(dict(result.measurements))
+        merged = merge_measurements(
+            kernels, configs, utilizations, cell_measurements
+        )
+        assert merged == baseline
+
+    def test_merge_requires_full_cover(self, shard_results):
+        kernels, configs, utilizations, results = shard_results
+        cell_measurements = {
+            cell: m for result in results for cell, m in result.measurements
+        }
+        cell_measurements.pop((0, 0))
+        with pytest.raises(ValidationError, match="missing cell"):
+            merge_measurements(
+                kernels, configs, utilizations, cell_measurements
+            )
+
+    def test_crashed_cells_become_skips_not_errors(self, shard_results):
+        kernels, configs, utilizations, results = shard_results
+        cell_measurements = {
+            cell: m for result in results for cell, m in result.measurements
+        }
+        crashed = {(0, 0), (0, 1)}
+        rows, skipped = merge_measurements(
+            kernels, configs, utilizations, cell_measurements, crashed
+        )
+        full_rows, full_skipped = merge_measurements(
+            kernels, configs, utilizations, cell_measurements
+        )
+        assert {(name, config) for name, config in skipped} >= {
+            (kernels[0].name, configs[0]),
+            (kernels[0].name, configs[1]),
+        }
+        assert len(skipped) == len(full_skipped) + len(
+            crashed
+        ) - sum(
+            1
+            for name, config in full_skipped
+            if name == kernels[0].name and config in configs[:2]
+        )
+        # Surviving rows are untouched, bitwise.
+        crashed_keys = {(kernels[0].name, configs[0]), (kernels[0].name, configs[1])}
+        expected = [
+            row
+            for row in full_rows
+            if (row.kernel_name, row.config) not in crashed_keys
+        ]
+        assert list(rows) == expected
+
+
+# ----------------------------------------------------------------------
+# Crash recovery
+# ----------------------------------------------------------------------
+class TestCrashRecovery:
+    def test_failed_shard_degrades_into_report_flags(self, serial_results):
+        spec = TESLA_K40C
+        serial_dataset, serial_report = serial_results("Tesla K40c", False)
+        session = make_session(spec, False)
+        dataset, report = collect_campaign_sharded(
+            session,
+            tier_kernels(),
+            tier_configs(spec),
+            workers=2,
+            shard_size=7,
+            fail_shards={1},
+        )
+        assert not report.complete
+        # The crashed shard's cells are reported as skipped...
+        shards = partition_grid(
+            TIER_KERNELS, len(tier_configs(spec)), 7
+        )
+        crashed = shards[1].cells
+        assert len(report.skipped_cells) == len(crashed)
+        # ...and every surviving row is bitwise identical to its serial twin.
+        serial_rows = {
+            (row.kernel_name, row.config): row for row in serial_dataset.rows
+        }
+        assert len(dataset.rows) == len(serial_dataset.rows) - len(crashed)
+        for row in dataset.rows:
+            assert row == serial_rows[(row.kernel_name, row.config)]
+
+    def test_every_shard_failing_raises(self):
+        spec = TESLA_K40C
+        session = make_session(spec, False)
+        shards = partition_grid(
+            TIER_KERNELS, len(tier_configs(spec)), len(tier_configs(spec))
+        )
+        with pytest.raises(ValidationError, match="no usable rows"):
+            collect_campaign_sharded(
+                session,
+                tier_kernels(),
+                tier_configs(spec),
+                workers=2,
+                shard_size=len(tier_configs(spec)),
+                fail_shards=set(range(len(shards))),
+            )
+
+    def test_worker_validation(self):
+        session = make_session(TESLA_K40C, False)
+        with pytest.raises(ValidationError):
+            collect_campaign_sharded(
+                session, tier_kernels(), tier_configs(TESLA_K40C), workers=0
+            )
+        with pytest.raises(ValidationError):
+            collect_campaign_sharded(session, [], workers=2)
+        with pytest.raises(ValidationError, match="grid path"):
+            collect_campaign(
+                session, tier_kernels(), use_grid=False, workers=2
+            )
+
+
+# ----------------------------------------------------------------------
+# Telemetry determinism
+# ----------------------------------------------------------------------
+def _normalized_trace(recorder):
+    """Finished spans as comparable tuples, minus the campaign's honest
+    ``workers`` annotation (the one field allowed to vary with the pool)."""
+    spans = []
+    for span in recorder.finished_spans():
+        attributes = dict(span.attributes)
+        if span.name == "campaign":
+            attributes.pop("workers", None)
+        spans.append(
+            (
+                span.span_id,
+                span.parent_id,
+                span.name,
+                span.start_tick,
+                span.end_tick,
+                tuple(sorted((k, repr(v)) for k, v in attributes.items())),
+            )
+        )
+    return spans
+
+
+#: Counters whose values legitimately differ between the serial campaign
+#: and the sharded one: workers rebuild boards per task (run cache), and
+#: the virtual-backoff counter is a float running sum (grouping-sensitive
+#: in the last bits; the *report's* backoff_seconds is exact because the
+#: executor replays the global sleep sequence).
+_NON_PORTABLE_COUNTERS = ("run.cache_hits", "run.cache_misses", "backoff.")
+
+
+def _portable_counters(recorder):
+    return {
+        name: value
+        for name, value in recorder.counters().items()
+        if not name.startswith(_NON_PORTABLE_COUNTERS)
+    }
+
+
+class TestTelemetryMerge:
+    def _traced_campaign(self, workers):
+        recorder = TraceRecorder()
+        session = make_session(GTX_TITAN_X, True, recorder=recorder)
+        collect_campaign(
+            session,
+            tier_kernels(),
+            tier_configs(GTX_TITAN_X),
+            workers=workers,
+        )
+        assert recorder.open_spans == 0
+        return recorder
+
+    def test_merged_trace_is_worker_count_invariant(self):
+        traces = {w: self._traced_campaign(w) for w in (1, 2, 4)}
+        reference = _normalized_trace(traces[1])
+        assert _normalized_trace(traces[2]) == reference
+        assert _normalized_trace(traces[4]) == reference
+        assert traces[2].counters() == traces[1].counters()
+        assert traces[4].counters() == traces[1].counters()
+
+    def test_sharded_counters_match_serial(self):
+        serial = self._traced_campaign(0)
+        sharded = self._traced_campaign(2)
+        assert _portable_counters(sharded) == _portable_counters(serial)
+        # The load-bearing campaign counters, by name:
+        for counter in ("rows.collected", "faults.injected"):
+            assert sharded.counters()[counter] == serial.counters()[counter]
+
+
+# ----------------------------------------------------------------------
+# DeviceSpec round-trip
+# ----------------------------------------------------------------------
+class TestDeviceSpec:
+    def test_session_round_trip_preserves_measurements(self):
+        session = make_session(TITAN_XP, True)
+        device = session.device_spec()
+        rebuilt = device.build_session()
+        kernel = tier_kernels()[0]
+        config = tier_configs(TITAN_XP)[1]
+        assert rebuilt.gpu.spec == session.gpu.spec
+        assert rebuilt.settings == session.settings
+        assert rebuilt.fault_plan == session.fault_plan
+        assert rebuilt.measure_power(kernel, config) == session.measure_power(
+            kernel, config
+        )
+
+    def test_pickle_round_trip(self):
+        import pickle
+
+        session = make_session(GTX_TITAN_X, True)
+        device = DeviceSpec.from_session(session)
+        clone = pickle.loads(pickle.dumps(device))
+        assert clone == device
+        rebuilt = clone.build_session()
+        kernel = tier_kernels()[2]
+        assert rebuilt.measure_power(kernel) == session.measure_power(kernel)
+
+    def test_telemetry_flag_builds_live_recorder(self):
+        recorder = TraceRecorder()
+        session = make_session(TESLA_K40C, False, recorder=recorder)
+        device = DeviceSpec.from_session(session)
+        assert device.telemetry
+        rebuilt = device.build_session()
+        assert rebuilt.recorder.enabled
+        quiet = DeviceSpec.from_session(make_session(TESLA_K40C, False))
+        assert not quiet.telemetry
+        assert not quiet.build_session().recorder.enabled

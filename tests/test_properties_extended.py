@@ -27,6 +27,10 @@ utilization_values = st.floats(
 )
 
 
+#: Hypothesis/load-generator heavy suite: part of the --runslow tier
+#: (CI's coverage job passes --runslow; see CONTRIBUTING.md).
+pytestmark = pytest.mark.slow
+
 @st.composite
 def random_parameters(draw):
     return ModelParameters(

@@ -33,6 +33,7 @@ class TestPublicSurface:
             "repro.analysis", "repro.runtime", "repro.simulator",
             "repro.discovery", "repro.codegen", "repro.experiments",
             "repro.reporting", "repro.serialization", "repro.cli",
+            "repro.parallel",
         ],
     )
     def test_subpackages_import_cleanly(self, module):

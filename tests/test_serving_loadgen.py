@@ -16,6 +16,10 @@ from repro.serving.loadgen import (
 from repro.serving.registry import ModelRegistry
 
 
+#: Hypothesis/load-generator heavy suite: part of the --runslow tier
+#: (CI's coverage job passes --runslow; see CONTRIBUTING.md).
+pytestmark = pytest.mark.slow
+
 @pytest.fixture(scope="module")
 def tiny_plan():
     """A small-but-real plan on the 4-configuration device."""

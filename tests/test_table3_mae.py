@@ -1,0 +1,79 @@
+"""End-to-end Table-III fidelity gate (ISSUE 5, satellite).
+
+Runs the paper's whole pipeline from a cold start — fit the DVFS-aware
+model on the 83 microbenchmarks, validate on the 26 unseen Table-III
+workloads over the full V-F grid — and pins the resulting mean/max
+absolute error per device inside explicit tolerance bands. Unlike the
+unit suites (which exercise layers in isolation) and the golden-number
+suite (which reads the shared session ``lab`` fixture), this file owns
+its sessions, so an estimator regression cannot hide behind a cached
+fixture or a unit-level pass.
+
+The bands bracket the reference run (MAE 6.14 / 5.84 / 12.26 %, in line
+with the paper's Fig. 7 range) with +-0.75 pp of slack for numerical-
+library drift; the max-error ceilings are looser (outliers are noisy)
+but still catch a broken fit, which typically blows MAE past 20 %.
+
+One sharded variant re-runs the GTX Titan X pipeline through
+``fit_power_model(..., workers=2)`` and must land on the *same* MAE to
+the last bit — the tentpole's bitwise-equivalence contract observed from
+the far end of the pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.validation import validate_model
+from repro.core.estimation import fit_power_model
+from repro.driver.session import ProfilingSession
+from repro.hardware.gpu import SimulatedGPU
+from repro.hardware.specs import GTX_TITAN_X, TESLA_K40C, TITAN_XP
+from repro.workloads import all_workloads
+
+#: device -> (expected MAE %, MAE tolerance pp, max-error ceiling %).
+TABLE3_BANDS = {
+    "Titan Xp": (6.14, 0.75, 45.0),
+    "GTX Titan X": (5.84, 0.75, 40.0),
+    "Tesla K40c": (12.26, 1.0, 65.0),
+}
+SPECS = {
+    "Titan Xp": TITAN_XP,
+    "GTX Titan X": GTX_TITAN_X,
+    "Tesla K40c": TESLA_K40C,
+}
+
+
+def _pipeline_mae(spec, workers: int = 0):
+    session = ProfilingSession(SimulatedGPU(spec))
+    model, _ = fit_power_model(session, workers=workers)
+    return validate_model(model, session, all_workloads())
+
+
+@pytest.mark.parametrize("device", sorted(TABLE3_BANDS))
+def test_pipeline_mae_within_band(device):
+    expected, tolerance, max_ceiling = TABLE3_BANDS[device]
+    result = _pipeline_mae(SPECS[device])
+    assert result.mean_absolute_error_percent == pytest.approx(
+        expected, abs=tolerance
+    ), (
+        f"{device}: end-to-end Table-III MAE "
+        f"{result.mean_absolute_error_percent:.2f}% left the "
+        f"{expected:.2f}+-{tolerance:.2f} pp band — the estimator or the "
+        "measurement chain regressed"
+    )
+    assert result.max_absolute_error_percent < max_ceiling
+    assert result.records, "validation sweep produced no records"
+
+
+def test_sharded_pipeline_hits_identical_mae():
+    serial = _pipeline_mae(GTX_TITAN_X)
+    sharded = _pipeline_mae(GTX_TITAN_X, workers=2)
+    assert (
+        sharded.mean_absolute_error_percent
+        == serial.mean_absolute_error_percent
+    )
+    assert (
+        sharded.max_absolute_error_percent
+        == serial.max_absolute_error_percent
+    )
