@@ -56,6 +56,23 @@ EXPERIMENTS = (
 )
 
 
+def _workers_arg(value: str):
+    """``--workers`` accepts a worker count or ``auto`` (usable cores)."""
+    if value == "auto":
+        return "auto"
+    try:
+        count = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value!r}"
+        ) from None
+    if count < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value!r}"
+        )
+    return count
+
+
 def _session_for(
     device: str,
     noiseless: bool,
@@ -106,8 +123,15 @@ def cmd_fit(args: argparse.Namespace) -> int:
     )
     print(f"fitting the DVFS-aware power model for {session.gpu.spec.name}...")
     if args.workers:
+        from repro.parallel.planner import resolve_workers
+
+        resolved_workers = resolve_workers(args.workers)
+        auto_note = (
+            " (auto: usable cores)" if args.workers == "auto" else ""
+        )
         print(
-            f"sharded campaign: {args.workers} worker processes"
+            f"sharded campaign: {resolved_workers} worker "
+            f"processes{auto_note}"
             + (
                 f", {args.shard_size} cells per shard"
                 if args.shard_size
@@ -324,7 +348,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.benchmarking import run_benchmark
 
     report = run_benchmark(
-        devices=args.device, quick=args.quick, repeats=args.repeats
+        devices=args.device,
+        quick=args.quick,
+        repeats=args.repeats,
+        min_sharded_speedup=args.min_sharded_speedup,
     )
     path = Path(args.output)
     path.write_text(json.dumps(report, indent=2) + "\n")
@@ -494,21 +521,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fit.add_argument(
         "--workers",
-        type=int,
+        type=_workers_arg,
         default=0,
         metavar="N",
-        help="shard the measurement campaign across N worker processes; "
-        "the merged dataset is bitwise identical to the serial campaign's "
-        "(0 = serial, the default)",
+        help="shard the measurement campaign across N worker processes, or "
+        "'auto' for the machine's usable (affinity-aware) core count; the "
+        "merged dataset is bitwise identical to the serial campaign's, and "
+        "grids too small to amortize worker startup transparently run "
+        "serially (0 = serial, the default)",
     )
     fit.add_argument(
         "--shard-size",
         type=int,
         default=None,
         metavar="M",
-        help="grid cells per shard (default: four whole kernel rows); the "
-        "partition — and hence the merged telemetry trace — depends only "
-        "on this, never on --workers",
+        help="grid cells per shard, rounded down to whole kernel rows "
+        "(default: an adaptive whole-row split from the grid dimensions); "
+        "the partition — and hence the output — depends only on this and "
+        "the grid, never on scheduling",
     )
     fit.add_argument(
         "--telemetry-format",
@@ -591,6 +621,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--repeats", type=int, default=1, help="best-of-N timing repeats"
     )
     bench.add_argument("--output", default="BENCH_pipeline.json")
+    bench.add_argument(
+        "--min-sharded-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless every non-fallback sharded pass reaches X times "
+        "the grid fast path (CI perf gate)",
+    )
     bench.set_defaults(handler=cmd_bench)
 
     sources = sub.add_parser(

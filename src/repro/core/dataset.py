@@ -39,15 +39,146 @@ class TrainingRow:
 
 
 @dataclass(frozen=True)
-class TrainingDataset:
-    """All observations used to estimate one device's model."""
+class DatasetColumns:
+    """Merged column blocks of one campaign: the zero-copy SoA form.
 
-    spec: GPUSpec
-    rows: Tuple[TrainingRow, ...]
+    One entry per usable row, flattened kernel-major (the serial campaign's
+    row order). ``kernel_indices[r]`` points into the per-kernel
+    ``kernel_names``/``utilizations`` blocks; the frequency columns carry
+    the *applied* clocks and ``quality_codes`` the
+    :data:`repro.driver.faults.QUALITY_BITS` bitmask. The sharded campaign
+    executor assembles these directly from the workers' shared-memory
+    column slices; :meth:`TrainingDataset.rows` materializes
+    :class:`TrainingRow` objects from them lazily — and bitwise-equal to
+    the pickled-row transport.
+    """
+
+    kernel_names: Tuple[str, ...]
+    utilizations: Tuple[UtilizationVector, ...]
+    kernel_indices: np.ndarray
+    core_mhz: np.ndarray
+    memory_mhz: np.ndarray
+    measured_watts: np.ndarray
+    quality_codes: np.ndarray
 
     def __post_init__(self) -> None:
-        if not self.rows:
-            raise ValidationError("training dataset must not be empty")
+        n = len(self.kernel_indices)
+        for name in ("core_mhz", "memory_mhz", "measured_watts", "quality_codes"):
+            if len(getattr(self, name)) != n:
+                raise ValidationError(
+                    f"column {name!r} has {len(getattr(self, name))} entries, "
+                    f"expected {n}"
+                )
+        if len(self.kernel_names) != len(self.utilizations):
+            raise ValidationError(
+                "kernel_names and utilizations blocks must align"
+            )
+        if n and np.any(
+            np.asarray(self.quality_codes)
+            & faultlib.QUALITY_BITS[faultlib.UNREADABLE]
+        ):
+            raise ValidationError(
+                "unreadable cells must be dropped before building dataset "
+                "columns (they become skipped cells, not rows)"
+            )
+
+    @property
+    def row_count(self) -> int:
+        return len(self.kernel_indices)
+
+    def materialize_rows(self) -> Tuple[TrainingRow, ...]:
+        """Rebuild the per-row objects, bitwise-equal to the serial rows."""
+        config_cache: Dict[Tuple[float, float], FrequencyConfig] = {}
+        rows: List[TrainingRow] = []
+        for r in range(self.row_count):
+            key = (float(self.core_mhz[r]), float(self.memory_mhz[r]))
+            config = config_cache.get(key)
+            if config is None:
+                config = FrequencyConfig(key[0], key[1])
+                config_cache[key] = config
+            k = int(self.kernel_indices[r])
+            rows.append(
+                TrainingRow(
+                    kernel_name=self.kernel_names[k],
+                    config=config,
+                    measured_watts=float(self.measured_watts[r]),
+                    utilizations=self.utilizations[k],
+                    quality=faultlib.decode_quality(self.quality_codes[r]),
+                )
+            )
+        return tuple(rows)
+
+
+class TrainingDataset:
+    """All observations used to estimate one device's model.
+
+    Two interchangeable constructions: from materialized ``rows`` (the
+    serial campaign) or from merged :class:`DatasetColumns` (the zero-copy
+    sharded campaign). In the columnar case the struct-of-arrays view the
+    estimator consumes is served straight from the column blocks and
+    :attr:`rows` materializes lazily on first access — rebuilt rows compare
+    bitwise-equal to the serial campaign's, so the two forms are
+    indistinguishable to every consumer (``==`` included).
+    """
+
+    __slots__ = ("spec", "_rows", "_columns", "_soa_cache")
+
+    def __init__(
+        self,
+        spec: Optional[GPUSpec] = None,
+        rows: Optional[Sequence[TrainingRow]] = None,
+        *,
+        columns: Optional[DatasetColumns] = None,
+    ) -> None:
+        if spec is None:
+            raise ValidationError("training dataset needs a device spec")
+        self.spec = spec
+        self._soa_cache: Optional[Dict[str, object]] = None
+        if columns is not None:
+            if rows:
+                raise ValidationError(
+                    "pass either rows or columns, not both"
+                )
+            if columns.row_count == 0:
+                raise ValidationError("training dataset must not be empty")
+            self._rows: Optional[Tuple[TrainingRow, ...]] = None
+            self._columns: Optional[DatasetColumns] = columns
+        else:
+            materialized = tuple(rows) if rows is not None else ()
+            if not materialized:
+                raise ValidationError("training dataset must not be empty")
+            self._rows = materialized
+            self._columns = None
+
+    @property
+    def rows(self) -> Tuple[TrainingRow, ...]:
+        """Per-row observations (materialized lazily from column blocks)."""
+        if self._rows is None:
+            self._rows = self._columns.materialize_rows()
+        return self._rows
+
+    def __eq__(self, other: object):
+        if not isinstance(other, TrainingDataset):
+            return NotImplemented
+        return self.spec == other.spec and self.rows == other.rows
+
+    __hash__ = None  # mutable caches; matches the former eq=True dataclass
+
+    def __reduce__(self):
+        # Pickle as (spec, rows): column blocks materialize on the way out,
+        # so both constructions serialize to the same canonical payload.
+        return (_rebuild_dataset, (self.spec, self.rows))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TrainingDataset({self.spec.name!r}, "
+            f"{self.row_count()} rows)"
+        )
+
+    def row_count(self) -> int:
+        if self._rows is not None:
+            return len(self._rows)
+        return self._columns.row_count
 
     # ------------------------------------------------------------------
     # Struct-of-arrays view
@@ -55,14 +186,23 @@ class TrainingDataset:
     def _soa(self) -> Dict[str, object]:
         """Columnar view of the rows, built once and cached.
 
-        The dataset is frozen, so the arrays are computed on first access
-        and reused by every consumer (the estimator, the baselines, the
-        configuration-subset helpers). Callers must treat them as
-        read-only.
+        The dataset is immutable after construction, so the arrays are
+        computed on first access and reused by every consumer (the
+        estimator, the baselines, the configuration-subset helpers).
+        Callers must treat them as read-only. Column-block datasets build
+        the view directly from the merged arrays — no row objects needed.
         """
-        cached = self.__dict__.get("_soa_cache")
+        cached = self._soa_cache
         if cached is not None:
             return cached
+        if self._rows is not None:
+            soa = self._soa_from_rows()
+        else:
+            soa = self._soa_from_columns()
+        self._soa_cache = soa
+        return soa
+
+    def _soa_from_rows(self) -> Dict[str, object]:
         configs: Dict[Tuple[float, float], FrequencyConfig] = {}
         for row in self.rows:
             key = (row.config.core_mhz, row.config.memory_mhz)
@@ -77,13 +217,12 @@ class TrainingDataset:
             ],
             dtype=int,
         )
-        rows_by_config: List[List[int]] = [[] for _ in config_list]
-        for position, index in enumerate(config_indices):
-            rows_by_config[index].append(position)
         soa = {
             "configurations": config_list,
             "config_indices": config_indices,
-            "rows_by_config": rows_by_config,
+            "rows_by_config": self._rows_by_config(
+                config_indices, len(config_list)
+            ),
             "measured": np.asarray(
                 [row.measured_watts for row in self.rows], dtype=float
             ),
@@ -101,8 +240,54 @@ class TrainingDataset:
                 dtype=float,
             ),
         }
-        object.__setattr__(self, "_soa_cache", soa)
         return soa
+
+    def _soa_from_columns(self) -> Dict[str, object]:
+        cols = self._columns
+        core = np.asarray(cols.core_mhz, dtype=float)
+        memory = np.asarray(cols.memory_mhz, dtype=float)
+        ordered_keys = sorted(
+            {(float(c), float(m)) for c, m in zip(core, memory)}
+        )
+        config_list = [FrequencyConfig(c, m) for c, m in ordered_keys]
+        index_of_key = {key: i for i, key in enumerate(ordered_keys)}
+        config_indices = np.asarray(
+            [
+                index_of_key[(float(c), float(m))]
+                for c, m in zip(core, memory)
+            ],
+            dtype=int,
+        )
+        per_kernel_core = [u.core_array() for u in cols.utilizations]
+        per_kernel_dram = [u[Component.DRAM] for u in cols.utilizations]
+        kernel_indices = cols.kernel_indices
+        soa = {
+            "configurations": config_list,
+            "config_indices": config_indices,
+            "rows_by_config": self._rows_by_config(
+                config_indices, len(config_list)
+            ),
+            "measured": np.asarray(cols.measured_watts, dtype=float),
+            "core_mhz": core,
+            "memory_mhz": memory,
+            "u_core": np.vstack(
+                [per_kernel_core[int(k)] for k in kernel_indices]
+            ),
+            "u_dram": np.asarray(
+                [per_kernel_dram[int(k)] for k in kernel_indices],
+                dtype=float,
+            ),
+        }
+        return soa
+
+    @staticmethod
+    def _rows_by_config(
+        config_indices: np.ndarray, n_configs: int
+    ) -> List[List[int]]:
+        rows_by_config: List[List[int]] = [[] for _ in range(n_configs)]
+        for position, index in enumerate(config_indices):
+            rows_by_config[index].append(position)
+        return rows_by_config
 
     def configurations(self) -> List[FrequencyConfig]:
         """Distinct configurations present, in a stable order."""
@@ -164,6 +349,64 @@ class TrainingDataset:
             if row.kernel_name not in names:
                 names.append(row.kernel_name)
         return names
+
+
+def _rebuild_dataset(
+    spec: GPUSpec, rows: Tuple[TrainingRow, ...]
+) -> TrainingDataset:
+    """Pickle reconstructor for :class:`TrainingDataset.__reduce__`."""
+    return TrainingDataset(spec=spec, rows=rows)
+
+
+@dataclass(frozen=True)
+class QualityTally:
+    """Row-quality counts of one campaign.
+
+    Computable from materialized rows (serial campaign) or straight from
+    the packed quality-code column (sharded campaign) — identical results
+    either way, since the codes round-trip losslessly through
+    :func:`repro.driver.faults.encode_quality`.
+    """
+
+    row_count: int
+    clean_rows: int
+    retried_rows: int
+    dropout_rows: int
+    throttle_injected_rows: int
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[TrainingRow]) -> "QualityTally":
+        return cls(
+            row_count=len(rows),
+            clean_rows=sum(1 for row in rows if not row.quality),
+            retried_rows=sum(
+                1 for row in rows if faultlib.RETRIED in row.quality
+            ),
+            dropout_rows=sum(
+                1 for row in rows if faultlib.DROPOUTS in row.quality
+            ),
+            throttle_injected_rows=sum(
+                1 for row in rows if faultlib.THROTTLE_INJECTED in row.quality
+            ),
+        )
+
+    @classmethod
+    def from_codes(cls, codes: np.ndarray) -> "QualityTally":
+        codes = np.asarray(codes)
+        bits = faultlib.QUALITY_BITS
+        return cls(
+            row_count=int(codes.size),
+            clean_rows=int(np.count_nonzero(codes == 0)),
+            retried_rows=int(
+                np.count_nonzero(codes & bits[faultlib.RETRIED])
+            ),
+            dropout_rows=int(
+                np.count_nonzero(codes & bits[faultlib.DROPOUTS])
+            ),
+            throttle_injected_rows=int(
+                np.count_nonzero(codes & bits[faultlib.THROTTLE_INJECTED])
+            ),
+        )
 
 
 @dataclass(frozen=True)
@@ -237,11 +480,12 @@ def build_campaign_report(
     spec: GPUSpec,
     surviving_count: int,
     config_count: int,
-    rows: Sequence[TrainingRow],
-    skipped_cells: Sequence[Tuple[str, FrequencyConfig]],
-    skipped_kernels: Tuple[str, ...],
-    stats_baseline: Tuple[int, int, int, int, int, int],
-    backoff_before: float,
+    rows: Optional[Sequence[TrainingRow]] = None,
+    skipped_cells: Sequence[Tuple[str, FrequencyConfig]] = (),
+    skipped_kernels: Tuple[str, ...] = (),
+    stats_baseline: Tuple[int, int, int, int, int, int] = (0, 0, 0, 0, 0, 0),
+    backoff_before: float = 0.0,
+    quality: Optional[QualityTally] = None,
 ) -> CampaignReport:
     """Assemble a :class:`CampaignReport` from a campaign's outcome.
 
@@ -249,24 +493,26 @@ def build_campaign_report(
     (:mod:`repro.parallel.executor`): fault tallies are reported as deltas
     of the session's stats against ``stats_baseline`` — the sharded path
     folds its workers' tallies into the session first, so both paths
-    produce identical reports for identical campaigns.
+    produce identical reports for identical campaigns. The quality counts
+    come from ``rows`` or, for the zero-copy columnar path (which never
+    materializes rows), from a precomputed ``quality`` tally.
     """
+    if quality is None:
+        if rows is None:
+            raise ValidationError(
+                "build_campaign_report needs rows or a quality tally"
+            )
+        quality = QualityTally.from_rows(rows)
     stats = session.fault_stats
     return CampaignReport(
         device_name=spec.name,
         kernel_count=surviving_count,
         config_count=config_count,
-        row_count=len(rows),
-        clean_rows=sum(1 for row in rows if not row.quality),
-        retried_rows=sum(
-            1 for row in rows if faultlib.RETRIED in row.quality
-        ),
-        dropout_rows=sum(
-            1 for row in rows if faultlib.DROPOUTS in row.quality
-        ),
-        throttle_injected_rows=sum(
-            1 for row in rows if faultlib.THROTTLE_INJECTED in row.quality
-        ),
+        row_count=quality.row_count,
+        clean_rows=quality.clean_rows,
+        retried_rows=quality.retried_rows,
+        dropout_rows=quality.dropout_rows,
+        throttle_injected_rows=quality.throttle_injected_rows,
         skipped_cells=tuple(skipped_cells),
         skipped_kernels=skipped_kernels,
         read_faults=stats.read_faults - stats_baseline[0],
@@ -286,6 +532,7 @@ def collect_campaign(
     use_grid: bool = True,
     workers: int = 0,
     shard_size: Optional[int] = None,
+    fallback: str = "auto",
 ) -> Tuple[TrainingDataset, CampaignReport]:
     """Run the measurement campaign and report its health.
 
@@ -297,11 +544,15 @@ def collect_campaign(
     disabled the dataset is bitwise identical to the historical
     :func:`collect_training_dataset` output and the report is all-clean.
 
-    ``workers > 0`` delegates to the sharded multi-process executor
+    ``workers`` > 0 (or ``"auto"``, which resolves to the machine's usable
+    core count) delegates to the sharded multi-process executor
     (:func:`repro.parallel.executor.collect_campaign_sharded`), whose
     dataset and report are bitwise identical to the serial grid path for
-    any worker count; ``shard_size`` (cells per shard) defaults to four
-    kernels' worth of configurations.
+    any worker count; ``shard_size`` (cells per shard) defaults to an
+    adaptive whole-kernel-row split. With ``fallback="auto"`` (default),
+    grids too small to amortize worker startup run the serial path
+    transparently instead (emitting a ``parallel.fallback`` counter);
+    ``fallback="never"`` forces the sharded executor regardless.
     """
     if workers:
         if not use_grid:
@@ -310,11 +561,33 @@ def collect_campaign(
                 "(use_grid=True); grid cells are bitwise identical to the "
                 "scalar walk anyway"
             )
-        from repro.parallel.executor import collect_campaign_sharded
+        if fallback not in ("auto", "never"):
+            raise ValidationError(
+                f"fallback must be 'auto' or 'never', got {fallback!r}"
+            )
+        from repro.parallel.planner import resolve_workers, should_fallback
 
-        return collect_campaign_sharded(
-            session, kernels, configs, workers=workers, shard_size=shard_size
+        resolved = resolve_workers(workers)
+        n_configs = (
+            len(configs)
+            if configs is not None
+            else len(session.gpu.spec.all_configurations())
         )
+        if fallback == "never" or not should_fallback(
+            len(kernels), n_configs, resolved
+        ):
+            from repro.parallel.executor import collect_campaign_sharded
+
+            return collect_campaign_sharded(
+                session,
+                kernels,
+                configs,
+                workers=resolved,
+                shard_size=shard_size,
+            )
+        # Grid too small for sharding to pay off: run serially, but leave
+        # a trace so callers can see the planner overrode them.
+        session.recorder.add("parallel.fallback")
     if not kernels:
         raise ValidationError("no kernels supplied for training")
     spec = session.gpu.spec
@@ -445,6 +718,7 @@ def collect_training_dataset(
     use_grid: bool = True,
     workers: int = 0,
     shard_size: Optional[int] = None,
+    fallback: str = "auto",
 ) -> TrainingDataset:
     """Run the full measurement campaign for a set of microbenchmarks.
 
@@ -465,8 +739,10 @@ def collect_training_dataset(
     Thin wrapper over :func:`collect_campaign` that drops the report;
     campaigns under an active fault plan degrade gracefully the same way
     (skipped cells/kernels are simply not visible without the report).
-    ``workers > 0`` shards the campaign across that many worker processes
-    (bitwise-identical output; see :mod:`repro.parallel`).
+    ``workers > 0`` (or ``"auto"``) shards the campaign across worker
+    processes (bitwise-identical output; see :mod:`repro.parallel`), with
+    ``fallback="auto"`` transparently keeping small grids on the serial
+    path.
     """
     return collect_campaign(
         session,
@@ -475,4 +751,5 @@ def collect_training_dataset(
         use_grid=use_grid,
         workers=workers,
         shard_size=shard_size,
+        fallback=fallback,
     )[0]

@@ -497,20 +497,27 @@ def fit_power_model(
     model_voltage: bool = True,
     workers: int = 0,
     shard_size: Optional[int] = None,
+    fallback: str = "auto",
 ) -> Tuple[DVFSPowerModel, EstimatorReport]:
     """Collect the microbenchmark dataset and fit the model in one call.
 
     ``kernels`` defaults to the full 83-microbenchmark suite and ``configs``
-    to the device's entire V-F grid. ``workers > 0`` shards the measurement
-    campaign across worker processes (bitwise-identical dataset, hence an
-    identical fit; see :mod:`repro.parallel`).
+    to the device's entire V-F grid. ``workers > 0`` (or ``"auto"``) shards
+    the measurement campaign across worker processes (bitwise-identical
+    dataset, hence an identical fit; see :mod:`repro.parallel`) — with
+    ``fallback="auto"`` small grids transparently stay serial.
     """
     if kernels is None:
         from repro.microbench import build_suite
 
         kernels = build_suite()
     dataset = collect_training_dataset(
-        session, kernels, configs, workers=workers, shard_size=shard_size
+        session,
+        kernels,
+        configs,
+        workers=workers,
+        shard_size=shard_size,
+        fallback=fallback,
     )
     estimator = ModelEstimator(
         dataset,

@@ -48,6 +48,54 @@ THROTTLE_INJECTED = "throttle-injected"
 #: The cell stayed unreadable after the full retry budget (skip-and-record).
 UNREADABLE = "unreadable"
 
+# ----------------------------------------------------------------------
+# Quality-flag bitmask codec (the zero-copy transport's uint8 column)
+# ----------------------------------------------------------------------
+#: Bit assigned to each quality flag in the transport's uint8 column.
+QUALITY_BITS = {
+    RETRIED: 1,
+    THROTTLE_INJECTED: 2,
+    DROPOUTS: 4,
+    UNREADABLE: 8,
+}
+
+#: Decode order matching the canonical tuple order the measurement paths
+#: emit: ``_attempt_median`` appends THROTTLE_INJECTED then DROPOUTS and
+#: inserts RETRIED at the front; UNREADABLE only ever appears alone.
+_QUALITY_DECODE_ORDER = (RETRIED, THROTTLE_INJECTED, DROPOUTS)
+
+
+def encode_quality(flags: Sequence[str]) -> int:
+    """Pack a quality tuple into the transport's uint8 bitmask."""
+    code = 0
+    for flag in flags:
+        try:
+            code |= QUALITY_BITS[flag]
+        except KeyError:
+            raise ValueError(f"unknown quality flag {flag!r}") from None
+    return code
+
+
+def decode_quality(code: int) -> Tuple[str, ...]:
+    """Unpack a bitmask back into the canonical quality tuple.
+
+    Round-trips every tuple the measurement paths produce bitwise: the
+    flags come back in the exact order ``PowerMeasurement.quality`` carries
+    them, so rows rebuilt from column blocks compare equal to pickled rows.
+    """
+    code = int(code)
+    if code & QUALITY_BITS[UNREADABLE]:
+        if code != QUALITY_BITS[UNREADABLE]:
+            raise ValueError(
+                f"unreadable cells carry no other quality flag, got {code:#x}"
+            )
+        return (UNREADABLE,)
+    if code >= 8 or code < 0:
+        raise ValueError(f"quality bitmask out of range: {code:#x}")
+    return tuple(
+        flag for flag in _QUALITY_DECODE_ORDER if code & QUALITY_BITS[flag]
+    )
+
 
 @dataclass(frozen=True)
 class FaultPlan:

@@ -101,6 +101,36 @@ class PowerGrid:
         return self.measurements[index]
 
 
+@dataclass(frozen=True)
+class PowerColumns:
+    """Struct-of-arrays power matrix: the zero-copy campaign transport.
+
+    The columnar twin of :class:`PowerGrid`: one entry per (kernel,
+    configuration) cell, flattened kernel-major, with no per-cell
+    :class:`PowerMeasurement` objects. ``watts[k * n_configs + j]`` is
+    bitwise identical to the corresponding ``PowerGrid`` cell's
+    ``average_watts`` (NaN for unreadable cells), ``quality`` carries the
+    :data:`repro.driver.faults.QUALITY_BITS` bitmask, and the applied
+    clocks are the post-TDP (or post-injected-throttle) frequencies.
+    Requested configurations are implicit: cell ``j`` of every kernel is
+    ``configs[j]``.
+    """
+
+    kernel_names: Tuple[str, ...]
+    configs: Tuple[FrequencyConfig, ...]
+    watts: np.ndarray
+    applied_core_mhz: np.ndarray
+    applied_mem_mhz: np.ndarray
+    quality: np.ndarray
+
+    @property
+    def n_configs(self) -> int:
+        return len(self.configs)
+
+    def __len__(self) -> int:
+        return int(self.watts.shape[0])
+
+
 class NVMLDevice:
     """Handle to one simulated device, in the style of an NVML session."""
 
@@ -372,6 +402,128 @@ class NVMLDevice:
             kernel_names=tuple(kernel.name for kernel in kernels),
             configs=requested,
             measurements=tuple(rows),
+        )
+
+    def measure_power_grid_columns(
+        self,
+        kernels: Sequence[KernelDescriptor],
+        configs: Optional[Sequence[FrequencyConfig]] = None,
+        repeats: Optional[int] = None,
+        on_unreadable: str = "raise",
+    ) -> PowerColumns:
+        """Columnar twin of :meth:`measure_power_grid`: arrays, no objects.
+
+        Same arithmetic, same seed-derivation labels, same fault screening
+        — every column entry is bitwise identical to the corresponding
+        :class:`PowerMeasurement` field — but the clean path never
+        materializes per-cell measurement/run objects: ground truth comes
+        from :meth:`SimulatedGPU.run_grid_columns` and results land
+        directly in float64/uint8 columns, which worker processes can ship
+        through shared memory without pickling. Cells a fault touches fall
+        back to the scalar resilient routine exactly like the object path;
+        unreadable cells become NaN watts with the ``unreadable`` bit set
+        (``on_unreadable="skip"``) or raise (``"raise"``).
+        """
+        self._require_open()
+        if on_unreadable not in ("raise", "skip"):
+            raise NVMLError(
+                f"on_unreadable must be 'raise' or 'skip', got {on_unreadable!r}"
+            )
+        if configs is None:
+            configs = self._gpu.spec.all_configurations()
+        if repeats is None:
+            repeats = self._settings.measurement_repeats
+        if repeats <= 0:
+            raise NVMLError("measurement repeats must be positive")
+        requested = tuple(
+            self._gpu.spec.validate_configuration(config) for config in configs
+        )
+        n_configs = len(requested)
+        n_cells = len(kernels) * n_configs
+        watts = np.empty(n_cells, dtype=float)
+        applied_core = np.empty(n_cells, dtype=float)
+        applied_mem = np.empty(n_cells, dtype=float)
+        quality = np.zeros(n_cells, dtype=np.uint8)
+        idle_cache: Dict[Tuple[float, float], float] = {}
+
+        def resolve_idle(pending: Sequence[Tuple[float, float]]):
+            idle_cols = self._gpu.run_grid_columns(
+                idle_kernel(),
+                [FrequencyConfig(core, mem) for core, mem in pending],
+            )
+            return idle_cols.true_power_watts
+
+        plan = self.fault_plan
+        for k, kernel in enumerate(kernels):
+            base = k * n_configs
+            cols = self._gpu.run_grid_columns(kernel, requested)
+            repetitions = self._default_repetitions(kernel)
+            # Python-float totals: the scalar path computes
+            # ``float(duration) * repetitions`` exactly like this.
+            totals = [
+                float(duration) * repetitions
+                for duration in cols.duration_seconds
+            ]
+            counts = [self._sample_count(total) for total in totals]
+            applied_core[base : base + n_configs] = cols.applied_core_mhz
+            applied_mem[base : base + n_configs] = cols.applied_mem_mhz
+            if self._faults_active:
+                clean: List[int] = []
+                faulted: List[int] = []
+                for i in range(n_configs):
+                    cell = self._cell_label(requested[i])
+                    if (
+                        plan.nvml_read_fails(self.name, kernel.name, cell, 0)
+                        or plan.spurious_throttle(
+                            self.name, kernel.name, cell, 0
+                        )
+                        or plan.dropout_episode(self.name, kernel.name, cell, 0)
+                    ):
+                        faulted.append(i)
+                    else:
+                        clean.append(i)
+            else:
+                clean, faulted = list(range(n_configs)), []
+            if clean:
+                medians = self._median_batch(
+                    kernel,
+                    [cols.applied_core_mhz[i] for i in clean],
+                    [cols.applied_mem_mhz[i] for i in clean],
+                    [cols.true_power_watts[i] for i in clean],
+                    [totals[i] for i in clean],
+                    [counts[i] for i in clean],
+                    repeats,
+                    idle_cache,
+                    resolve_idle,
+                )
+                for j, i in enumerate(clean):
+                    watts[base + i] = medians[j]
+            for i in faulted:
+                try:
+                    measurement = self._measure_median_resilient(
+                        kernel, requested[i], repeats
+                    )
+                except PersistentDriverError:
+                    if on_unreadable == "raise":
+                        raise
+                    watts[base + i] = float("nan")
+                    quality[base + i] = faultlib.QUALITY_BITS[
+                        faultlib.UNREADABLE
+                    ]
+                    continue
+                watts[base + i] = measurement.average_watts
+                applied_core[base + i] = measurement.applied_config.core_mhz
+                applied_mem[base + i] = measurement.applied_config.memory_mhz
+                quality[base + i] = faultlib.encode_quality(
+                    measurement.quality
+                )
+        return PowerColumns(
+            kernel_names=tuple(kernel.name for kernel in kernels),
+            configs=requested,
+            watts=watts,
+            applied_core_mhz=applied_core,
+            applied_mem_mhz=applied_mem,
+            quality=quality,
         )
 
     def close(self) -> None:
@@ -705,30 +857,71 @@ class NVMLDevice:
     ) -> List[float]:
         """Median measured watts per grid cell, batched by sample count.
 
+        Thin object-path adapter over :meth:`_median_batch`: idle levels
+        come from the object grid path (populating the run cache and its
+        telemetry counters exactly as before).
+        """
+
+        def resolve_idle(pending: Sequence[Tuple[float, float]]):
+            idle_runs = self._gpu.run_grid(
+                idle_kernel(),
+                [FrequencyConfig(core, mem) for core, mem in pending],
+            )
+            return [idle_run.true_power_watts for idle_run in idle_runs]
+
+        return self._median_batch(
+            kernel,
+            [run.applied_config.core_mhz for run in runs],
+            [run.applied_config.memory_mhz for run in runs],
+            [run.true_power_watts for run in runs],
+            totals,
+            counts,
+            repeats,
+            idle_cache,
+            resolve_idle,
+        )
+
+    def _median_batch(
+        self,
+        kernel: KernelDescriptor,
+        applied_core: Sequence[float],
+        applied_mem: Sequence[float],
+        true_watts: Sequence[float],
+        totals: Sequence[float],
+        counts: Sequence[int],
+        repeats: int,
+        idle_cache: Dict[Tuple[float, float], float],
+        resolve_idle,
+    ) -> List[float]:
+        """Median measured watts per cell from columnar ground truth.
+
         Cells sharing a sample count stack into one ``(cells, repeats,
         samples)`` noise tensor; the contamination and per-repeat means then
         run as array ops. Expression order matches the scalar helpers
         (``_repeat_averages`` / ``_contaminate_first_sample``) exactly.
+        ``resolve_idle`` maps uncached (core, memory) pairs to idle watts —
+        the object and columnar grid paths plug in their respective idle
+        executions, which report bitwise-identical levels.
         """
         contaminate = not kernel.is_idle
         if contaminate:
-            pending: Dict[Tuple[float, float], FrequencyConfig] = {}
-            for run in runs:
-                key = (run.applied_config.core_mhz, run.applied_config.memory_mhz)
-                if key not in idle_cache and key not in pending:
-                    pending[key] = run.applied_config
+            pending: List[Tuple[float, float]] = []
+            seen = set()
+            for core, mem in zip(applied_core, applied_mem):
+                key = (core, mem)
+                if key not in idle_cache and key not in seen:
+                    seen.add(key)
+                    pending.append(key)
             if pending:
-                idle_runs = self._gpu.run_grid(idle_kernel(), list(pending.values()))
-                for key, idle_run in zip(pending, idle_runs):
-                    idle_cache[key] = idle_run.true_power_watts
+                for key, idle_watts in zip(pending, resolve_idle(pending)):
+                    idle_cache[key] = idle_watts
         by_count: Dict[int, List[int]] = {}
         for i, count in enumerate(counts):
             by_count.setdefault(count, []).append(i)
-        medians = [0.0] * len(runs)
+        medians = [0.0] * len(counts)
         for count, indices in by_count.items():
             labels = [
-                f"{runs[i].applied_config.core_mhz:.0f}-"
-                f"{runs[i].applied_config.memory_mhz:.0f}-median"
+                f"{applied_core[i]:.0f}-{applied_mem[i]:.0f}-median"
                 for i in indices
             ]
             noise = sensor_noise_stack(
@@ -741,7 +934,7 @@ class NVMLDevice:
                 profile=self._gpu.noise_profile,
             )
             power = np.asarray(
-                [runs[i].true_power_watts for i in indices], dtype=float
+                [true_watts[i] for i in indices], dtype=float
             )
             samples = power[:, None, None] * np.asarray(noise, dtype=float)
             if contaminate and count >= 1:
@@ -753,13 +946,7 @@ class NVMLDevice:
                 ]
                 offsets = np.asarray(
                     [
-                        fraction
-                        * idle_cache[
-                            (
-                                runs[i].applied_config.core_mhz,
-                                runs[i].applied_config.memory_mhz,
-                            )
-                        ]
+                        fraction * idle_cache[(applied_core[i], applied_mem[i])]
                         for fraction, i in zip(stale, indices)
                     ]
                 )

@@ -144,6 +144,23 @@ class ProfilingSession:
             kernels, configs, on_unreadable=on_unreadable
         )
 
+    def measure_grid_columns(
+        self,
+        kernels: Sequence[KernelDescriptor],
+        configs: Optional[Sequence[FrequencyConfig]] = None,
+        on_unreadable: str = "raise",
+    ):
+        """Columnar grid campaign: struct-of-arrays, no per-cell objects.
+
+        Delegates to :meth:`NVMLDevice.measure_power_grid_columns`; every
+        column entry is bitwise identical to the corresponding
+        :meth:`measure_grid` cell's field. This is the path the zero-copy
+        sharded campaign executor drives inside worker processes.
+        """
+        return self.nvml.measure_power_grid_columns(
+            kernels, configs, on_unreadable=on_unreadable
+        )
+
     def collect_events(
         self, kernel: KernelDescriptor, config: Optional[FrequencyConfig] = None
     ) -> EventRecord:

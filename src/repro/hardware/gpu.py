@@ -15,7 +15,7 @@ them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.driver.faults import FaultPlan
@@ -59,6 +59,32 @@ class KernelRunResult:
     def duration_seconds(self) -> float:
         """Elapsed time of a single kernel run."""
         return self.profile.duration_seconds
+
+
+@dataclass(frozen=True)
+class GridRunColumns:
+    """Struct-of-arrays outcome of one kernel over many configurations.
+
+    The columnar twin of a :meth:`SimulatedGPU.run_grid` result list: one
+    float64 entry per requested configuration, in request order, with no
+    per-cell :class:`KernelRunResult`/:class:`ExecutionProfile` objects
+    materialized. Every entry is bitwise identical to the corresponding
+    scalar result's field (``duration_seconds``, ``true_power_watts``,
+    ``applied_config``) — the :class:`~repro.hardware.power.GridBreakdown`
+    totals replicate the scalar operation order exactly, and the TDP
+    throttle walk below is the same walk :meth:`SimulatedGPU._compute_grid`
+    performs. Arrays are cached per (kernel, configuration tuple); callers
+    must treat them as read-only.
+    """
+
+    requested: Tuple[FrequencyConfig, ...]
+    duration_seconds: np.ndarray
+    true_power_watts: np.ndarray
+    applied_core_mhz: np.ndarray
+    applied_mem_mhz: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.requested)
 
 
 class SimulatedGPU:
@@ -111,6 +137,10 @@ class SimulatedGPU:
         # Voltage arrays over a (core, memory) pair list are kernel
         # independent; the grid path reuses them across the whole campaign.
         self._voltage_grid_cache: dict = {}
+        # Columnar grid results (run_grid_columns), keyed by (kernel,
+        # configuration tuple) — separate from the per-cell object cache so
+        # the zero-copy campaign path never materializes run objects.
+        self._columns_cache: dict = {}
         # Spec validation snaps frequencies to grid levels by scanning the
         # level lists; campaigns validate the same few dozen configurations
         # thousands of times, so the canonical results are memoized.
@@ -186,15 +216,63 @@ class SimulatedGPU:
             for c in requested
         ]
 
-    def _compute_grid(
-        self, kernel: KernelDescriptor, requested: List[FrequencyConfig]
-    ) -> None:
-        """Vectorized execution of the uncached (kernel, config) cells.
+    def run_grid_columns(
+        self,
+        kernel: KernelDescriptor,
+        configs: Optional[Sequence[FrequencyConfig]] = None,
+    ) -> GridRunColumns:
+        """Columnar twin of :meth:`run_grid`: arrays, no per-cell objects.
+
+        The hot half of the zero-copy campaign transport: the vectorized
+        candidate grid and the TDP throttle walk are identical to
+        :meth:`_compute_grid`, but the per-configuration results stay in
+        float64 columns instead of being materialized into
+        :class:`KernelRunResult`/:class:`ExecutionProfile` objects — every
+        entry is bitwise identical to the scalar result's field. Results
+        are cached per (kernel, configuration tuple).
+        """
+        if configs is None:
+            configs = self.spec.all_configurations()
+        requested = tuple(self._validated(c) for c in configs)
+        cache_key = (
+            kernel.cache_key,
+            tuple((c.core_mhz, c.memory_mhz) for c in requested),
+        )
+        cached = self._columns_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        index, totals, profiles, _ = self._candidate_grid(kernel, requested)
+        n = len(requested)
+        duration = np.empty(n, dtype=float)
+        watts = np.empty(n, dtype=float)
+        applied_core = np.empty(n, dtype=float)
+        applied_mem = np.empty(n, dtype=float)
+        for j, config in enumerate(requested):
+            applied = self._applied_for(config, totals, index)
+            i = index[(applied.core_mhz, applied.memory_mhz)]
+            duration[j] = profiles.duration_seconds[i]
+            watts[j] = totals[i]
+            applied_core[j] = applied.core_mhz
+            applied_mem[j] = applied.memory_mhz
+        result = GridRunColumns(
+            requested=requested,
+            duration_seconds=duration,
+            true_power_watts=watts,
+            applied_core_mhz=applied_core,
+            applied_mem_mhz=applied_mem,
+        )
+        self._columns_cache[cache_key] = result
+        return result
+
+    def _candidate_grid(self, kernel: KernelDescriptor, requested):
+        """Vectorized candidate batch shared by the grid paths.
 
         The candidate set is the cross product of *all* core levels with the
         requested memory levels: TDP throttling only ever walks the core
         frequency downward (Fig. 9 footnote), so every probe the scalar
-        policy would make is already in the batch.
+        policy would make is already in the batch. Returns ``(index, totals,
+        profiles, grid)`` where ``index`` maps (core, memory) pairs to batch
+        positions.
         """
         memories = list(dict.fromkeys(c.memory_mhz for c in requested))
         cores = list(self.spec.core_frequencies_mhz)
@@ -225,28 +303,42 @@ class SimulatedGPU:
         grid = self.power_model.breakdown_grid(
             profiles, core_arr, mem_arr, v_core, v_mem
         )
-        totals = grid.total_watts
+        return index, grid.total_watts, profiles, grid
+
+    def _applied_for(
+        self, config: FrequencyConfig, totals: np.ndarray, index
+    ) -> FrequencyConfig:
+        """TDP throttle decision against the batched powers (same walk as
+        :meth:`~repro.hardware.thermal.TDPPolicy.apply`)."""
+        if not self.tdp_policy.enabled:
+            return config
+        core = config.core_mhz
+        while totals[index[(core, config.memory_mhz)]] > self.spec.tdp_watts:
+            lower = closest_lower_level(core, self.spec.core_frequencies_mhz)
+            if lower is None:
+                break
+            core = lower
+        if core != config.core_mhz:
+            return self._validated(FrequencyConfig(core, config.memory_mhz))
+        return config
+
+    def _compute_grid(
+        self, kernel: KernelDescriptor, requested: List[FrequencyConfig]
+    ) -> None:
+        """Vectorized execution of the uncached (kernel, config) cells.
+
+        Candidate batch via :meth:`_candidate_grid`; per-cell results are
+        materialized into :class:`KernelRunResult` objects and stored in
+        the run cache.
+        """
+        index, totals, profiles, grid = self._candidate_grid(kernel, requested)
         utilization_columns = [
             (component, profiles.utilizations[component])
             for component in ALL_COMPONENTS
         ]
 
         for config in requested:
-            applied = config
-            if self.tdp_policy.enabled:
-                core = config.core_mhz
-                # Same walk as TDPPolicy.apply, against the batched powers.
-                while totals[index[(core, config.memory_mhz)]] > self.spec.tdp_watts:
-                    lower = closest_lower_level(
-                        core, self.spec.core_frequencies_mhz
-                    )
-                    if lower is None:
-                        break
-                    core = lower
-                if core != config.core_mhz:
-                    applied = self._validated(
-                        FrequencyConfig(core, config.memory_mhz)
-                    )
+            applied = self._applied_for(config, totals, index)
             i = index[(applied.core_mhz, applied.memory_mhz)]
             profile = ExecutionProfile(
                 kernel=kernel,

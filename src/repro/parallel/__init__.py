@@ -15,32 +15,81 @@ from repro.parallel.executor import (
     collect_campaign_sharded,
     collect_training_dataset_sharded,
     merge_measurements,
+    plan_row_shards,
 )
-from repro.parallel.sharding import Cell, Shard, covered_cells, partition_grid
+from repro.parallel.planner import (
+    FALLBACK_MIN_CELLS,
+    SHM_MIN_CELLS,
+    CampaignPlan,
+    plan_campaign,
+    resolve_workers,
+    should_fallback,
+    usable_cpu_count,
+)
+from repro.parallel.pool import WorkerPool, shared_pool, shutdown_shared_pool
+from repro.parallel.sharding import (
+    Cell,
+    RowShard,
+    Shard,
+    covered_cells,
+    partition_grid,
+    partition_kernel_rows,
+)
 from repro.parallel.spec import DeviceSpec
+from repro.parallel.transport import (
+    ArenaHandle,
+    ColumnArena,
+    ColumnBlock,
+    pack_columns,
+    unpack_columns,
+)
 from repro.parallel.worker import (
     MeasureTaskResult,
     ProfileTaskResult,
+    ShardColumnsResult,
     ShardCrashError,
     WorkerStats,
     measure_shard,
+    prepare_worker,
     profile_kernels,
+    run_shard_columns,
 )
 
 __all__ = [
+    "ArenaHandle",
+    "CampaignPlan",
     "Cell",
+    "ColumnArena",
+    "ColumnBlock",
     "DeviceSpec",
+    "FALLBACK_MIN_CELLS",
     "MeasureTaskResult",
     "PROFILE_CHUNK_KERNELS",
     "ProfileTaskResult",
+    "RowShard",
+    "SHM_MIN_CELLS",
     "Shard",
+    "ShardColumnsResult",
     "ShardCrashError",
+    "WorkerPool",
     "WorkerStats",
     "collect_campaign_sharded",
     "collect_training_dataset_sharded",
     "covered_cells",
     "measure_shard",
     "merge_measurements",
+    "pack_columns",
     "partition_grid",
+    "partition_kernel_rows",
+    "plan_campaign",
+    "plan_row_shards",
+    "prepare_worker",
     "profile_kernels",
+    "resolve_workers",
+    "run_shard_columns",
+    "shared_pool",
+    "should_fallback",
+    "shutdown_shared_pool",
+    "unpack_columns",
+    "usable_cpu_count",
 ]

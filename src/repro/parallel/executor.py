@@ -1,25 +1,47 @@
 """The sharded campaign executor: process-pool fan-out, deterministic merge.
 
-Drop-in parallel twin of :func:`repro.core.dataset.collect_campaign`. The
-(kernel x configuration) grid is partitioned into deterministic shards
-(:mod:`repro.parallel.sharding`), each shard is measured by a worker that
-rebuilds the device from a :class:`~repro.parallel.spec.DeviceSpec`
-(:mod:`repro.parallel.worker`), and the results are merged **in shard
-order** — futures are consumed by index, never by completion — so the
-output is a pure function of (device spec, kernels, configurations,
-shard size): the merged :class:`~repro.core.dataset.TrainingDataset` is
-bitwise identical to the serial campaign's for every worker count,
-including under an active fault plan and with telemetry enabled.
+Drop-in parallel twin of :func:`repro.core.dataset.collect_campaign`, with
+two transports chosen by the session's telemetry mode:
 
-Crash recovery follows the campaign's existing skip-and-record contract: a
-shard whose worker raises degrades into skipped cells on the
-:class:`~repro.core.dataset.CampaignReport` (a crashed profile chunk into
-skipped kernels) instead of aborting the run.
+* **Columnar zero-copy path** (telemetry off — the fast path): the grid is
+  split into whole-kernel-row shards (:mod:`repro.parallel.sharding`), each
+  worker runs the combined profile+measure task
+  (:func:`repro.parallel.worker.run_shard_columns`) through the vectorized
+  :meth:`~repro.driver.session.ProfilingSession.measure_grid_columns`
+  fast path — no per-cell measurement objects anywhere — and writes its
+  power/clock/quality column slice straight into a parent-owned
+  shared-memory arena (:mod:`repro.parallel.transport`; packed byte blobs
+  below the arena threshold). The parent assembles a
+  :class:`~repro.core.dataset.TrainingDataset` directly from the merged
+  columns; rows materialize lazily, bitwise identical to the serial
+  campaign's. Workers come from the persistent shared pool
+  (:mod:`repro.parallel.pool`), so repeated campaigns pay fork and device
+  build once.
+
+* **Legacy object path** (telemetry on): the original two-phase
+  profile/measure fan-out, which ships full measurement objects and worker
+  trace recorders so the parent can absorb per-task traces in
+  deterministic shard order — preserving the golden-trace contract that
+  merged traces are invariant under worker count.
+
+Both paths merge **in shard order** — futures are consumed by index, never
+by completion — so the output is a pure function of (device spec, kernels,
+configurations, shard plan): datasets, reports, backoff replay and merged
+traces are bitwise identical to the serial campaign for every worker
+count, including under an active fault plan.
+
+Crash recovery follows the campaign's skip-and-record contract: an
+injected shard failure (``fail_shards``) degrades into skipped cells with
+utilizations intact; a genuinely crashed columnar task (which would have
+carried the profiling results too) degrades into skipped kernels; a
+:class:`~concurrent.futures.process.BrokenProcessPool` additionally marks
+the shared pool for replacement.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import Executor, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import (
     Collection,
     Dict,
@@ -30,8 +52,12 @@ from typing import (
     Tuple,
 )
 
+import numpy as np
+
 from repro.core.dataset import (
     CampaignReport,
+    DatasetColumns,
+    QualityTally,
     TrainingDataset,
     TrainingRow,
     build_campaign_report,
@@ -42,28 +68,42 @@ from repro.driver.session import ProfilingSession
 from repro.errors import ValidationError
 from repro.hardware.specs import FrequencyConfig
 from repro.kernels.kernel import KernelDescriptor
+from repro.parallel import pool as poollib
 from repro.parallel import worker as workerlib
-from repro.parallel.sharding import Cell, Shard, partition_grid
+from repro.parallel.planner import plan_campaign
+from repro.parallel.sharding import (
+    Cell,
+    RowShard,
+    Shard,
+    partition_grid,
+    partition_kernel_rows,
+)
 from repro.parallel.spec import DeviceSpec
-from repro.parallel.worker import KernelCells, MeasureTaskResult
+from repro.parallel.transport import ColumnArena, unpack_columns
+from repro.parallel.worker import (
+    KernelCells,
+    MeasureTaskResult,
+    ShardColumnsResult,
+)
 
 __all__ = [
     "PROFILE_CHUNK_KERNELS",
     "collect_campaign_sharded",
     "collect_training_dataset_sharded",
     "merge_measurements",
+    "plan_row_shards",
 ]
 
-#: Kernels per phase-1 profiling task. Fixed (never derived from the worker
-#: count) so the order in which worker recorders are absorbed — and hence
-#: the merged trace — depends only on the workload.
+#: Kernels per phase-1 profiling task (legacy object path). Fixed (never
+#: derived from the worker count) so the order in which worker recorders
+#: are absorbed — and hence the merged trace — depends only on the workload.
 PROFILE_CHUNK_KERNELS = 8
 
-#: Default phase-2 shard size, in whole kernel rows. Several rows per shard
-#: keep the batched grid path wide inside each worker while still cutting
-#: the campaign into enough shards for any sane worker count; like the
-#: profile chunking, the default never depends on the worker count.
+#: Default phase-2 shard size of the legacy object path, in whole kernel
+#: rows; like the profile chunking, it never depends on the worker count.
 DEFAULT_SHARD_KERNELS = 4
+
+_UNREADABLE_BIT = faultlib.QUALITY_BITS[faultlib.UNREADABLE]
 
 
 def _profile_chunks(
@@ -90,6 +130,24 @@ def _shard_groups(
         (kernel_index, kernels[kernel_index], tuple(cells))
         for kernel_index, cells in grouped.items()
     )
+
+
+def plan_row_shards(
+    n_kernels: int,
+    n_configs: int,
+    workers: int,
+    shard_size: Optional[int] = None,
+) -> Tuple[RowShard, ...]:
+    """The columnar path's shard partition, exposed for tests/tools.
+
+    Whole kernel rows, width picked by the adaptive planner (or derived
+    from a legacy ``shard_size`` in cells) — see
+    :func:`repro.parallel.planner.plan_campaign`.
+    """
+    plan = plan_campaign(
+        n_kernels, n_configs, workers, shard_size=shard_size
+    )
+    return partition_kernel_rows(n_kernels, plan.shard_kernels)
 
 
 def merge_measurements(
@@ -147,27 +205,274 @@ def collect_campaign_sharded(
     shard_size: Optional[int] = None,
     fail_shards: Collection[int] = (),
     executor: Optional[Executor] = None,
+    transport: Optional[str] = None,
 ) -> Tuple[TrainingDataset, CampaignReport]:
     """Run the measurement campaign sharded across worker processes.
 
     Bitwise-equivalent to :func:`repro.core.dataset.collect_campaign` on
     the grid path: same dataset, same report (fault tallies and virtual
     backoff are folded back into ``session``'s stats, so the report deltas
-    match the serial session's). ``fail_shards`` injects
-    :class:`~repro.parallel.worker.ShardCrashError` into the named
-    phase-2 shards to exercise crash recovery. Pass ``executor`` to reuse
-    a live pool across campaigns (``workers`` then only caps pool creation,
-    not the partition, which depends solely on ``shard_size``).
+    match the serial session's). Telemetry-off sessions take the columnar
+    zero-copy path; tracing sessions take the legacy object path so the
+    merged trace stays worker-count invariant. ``fail_shards`` injects
+    :class:`~repro.parallel.worker.ShardCrashError` into the named shards
+    to exercise crash recovery. Pass ``executor`` to force a specific pool
+    (default: the persistent shared pool / a private pool for the traced
+    path); ``transport`` overrides the planner's ``"shm"``/``"bytes"``
+    choice on the columnar path.
     """
     if not kernels:
         raise ValidationError("no kernels supplied for training")
-    if workers < 1:
+    if not isinstance(workers, str) and workers < 1:
         raise ValidationError(f"workers must be >= 1, got {workers}")
     spec = session.gpu.spec
     if configs is None:
         configs = spec.all_configurations()
     requested = tuple(spec.validate_configuration(c) for c in configs)
     device = DeviceSpec.from_session(session)
+    if device.telemetry:
+        return _collect_campaign_traced(
+            session,
+            tuple(kernels),
+            requested,
+            device,
+            workers=workers if not isinstance(workers, str) else 2,
+            shard_size=shard_size,
+            fail_shards=fail_shards,
+            executor=executor,
+        )
+    return _collect_campaign_columns(
+        session,
+        tuple(kernels),
+        requested,
+        device,
+        workers=workers,
+        shard_size=shard_size,
+        fail_shards=fail_shards,
+        executor=executor,
+        transport=transport,
+    )
+
+
+# ----------------------------------------------------------------------
+# Columnar zero-copy path (telemetry off)
+# ----------------------------------------------------------------------
+def _collect_campaign_columns(
+    session: ProfilingSession,
+    kernels: Tuple[KernelDescriptor, ...],
+    requested: Tuple[FrequencyConfig, ...],
+    device: DeviceSpec,
+    *,
+    workers,
+    shard_size: Optional[int],
+    fail_shards: Collection[int],
+    executor: Optional[Executor],
+    transport: Optional[str],
+) -> Tuple[TrainingDataset, CampaignReport]:
+    spec = session.gpu.spec
+    recorder = session.recorder
+    stats = session.fault_stats
+    baseline = (
+        stats.read_faults,
+        stats.clock_faults,
+        stats.event_faults,
+        stats.dropped_samples,
+        stats.injected_throttles,
+        stats.corrupted_counters,
+    )
+    backoff_before = session.backoff_clock.total_seconds
+
+    plan = plan_campaign(
+        len(kernels),
+        len(requested),
+        workers,
+        shard_size=shard_size,
+        transport=transport,
+    )
+    shards = partition_kernel_rows(len(kernels), plan.shard_kernels)
+    n_configs = len(requested)
+    n_cells = len(kernels) * n_configs
+    fail_set = frozenset(fail_shards)
+
+    pool: Optional[poollib.WorkerPool] = None
+    if executor is not None:
+        submit = executor.submit
+    else:
+        pool = poollib.shared_pool(plan.workers)
+        submit = pool.submit
+
+    use_arena = plan.transport == "shm" and n_cells > 0
+    results: List[Optional[ShardColumnsResult]] = []
+    failed_tasks = 0
+
+    def _consume(futures) -> None:
+        nonlocal failed_tasks
+        for future in futures:
+            try:
+                results.append(future.result())
+            except Exception as error:
+                # A crashed columnar task loses its profiling results too:
+                # the shard's kernels degrade to skipped kernels (the
+                # injected-crash hook returns crashed=True instead and
+                # keeps its utilizations).
+                failed_tasks += 1
+                recorder.add("shards.failed")
+                if pool is not None and isinstance(error, BrokenProcessPool):
+                    pool.broken = True
+                results.append(None)
+
+    def _submit_all(arena_handle) -> None:
+        futures = [
+            submit(
+                workerlib.run_shard_columns,
+                device,
+                shard.index,
+                kernels[
+                    shard.kernel_start : shard.kernel_start
+                    + shard.kernel_count
+                ],
+                requested,
+                shard.row_range(n_configs)[0],
+                arena_handle,
+                shard.index in fail_set,
+            )
+            for shard in shards
+        ]
+        _consume(futures)
+
+    if use_arena:
+        with ColumnArena(n_cells) as arena:
+            _submit_all(arena.handle)
+            block = arena.read()
+        watts_all = block.watts
+        core_all = block.core_mhz
+        memory_all = block.memory_mhz
+        quality_all = block.quality
+    else:
+        _submit_all(None)
+        watts_all = np.zeros(n_cells, dtype=np.float64)
+        core_all = np.zeros(n_cells, dtype=np.float64)
+        memory_all = np.zeros(n_cells, dtype=np.float64)
+        quality_all = np.zeros(n_cells, dtype=np.uint8)
+        for shard, result in zip(shards, results):
+            if result is None or result.payload is None:
+                continue
+            start, stop = shard.row_range(n_configs)
+            piece = unpack_columns(result.payload)
+            watts_all[start:stop] = piece.watts
+            core_all[start:stop] = piece.core_mhz
+            memory_all[start:stop] = piece.memory_mhz
+            quality_all[start:stop] = piece.quality
+
+    # Fault counters are commutative; fold them per shard. Backoff is not
+    # (float addition): replay every shard's profile sleeps, then every
+    # shard's measure sleeps, in shard order — exactly the serial
+    # campaign's profile-everything-then-measure-everything sequence.
+    clock = session.backoff_clock
+    for result in results:
+        if result is not None:
+            workerlib.apply_stats(stats, clock, result.stats)
+    for phase_sleeps in (
+        (r.profile_sleeps for r in results if r is not None),
+        (r.measure_sleeps for r in results if r is not None),
+    ):
+        for sleeps in phase_sleeps:
+            for seconds in sleeps:
+                clock.total_seconds += seconds
+                clock.sleep_log.append(seconds)
+
+    # Merge kernel-major: walk shards (contiguous kernel ranges in order)
+    # and classify each kernel, then select its usable cells.
+    kernel_names_block: List[str] = []
+    utilization_block: List[UtilizationVector] = []
+    skipped_kernels: List[str] = []
+    skipped_cells: List[Tuple[str, FrequencyConfig]] = []
+    kept_slices: List[Tuple[int, np.ndarray]] = []  # (block index, cell idx)
+
+    for shard, result in zip(shards, results):
+        shard_kernels = kernels[
+            shard.kernel_start : shard.kernel_start + shard.kernel_count
+        ]
+        if result is None:
+            skipped_kernels.extend(k.name for k in shard_kernels)
+            continue
+        for position, kernel in enumerate(shard_kernels):
+            name, utilization = result.utilizations[position]
+            if utilization is None:
+                skipped_kernels.append(name)
+                continue
+            block_index = len(kernel_names_block)
+            kernel_names_block.append(name)
+            utilization_block.append(utilization)
+            if result.crashed:
+                skipped_cells.extend(
+                    (name, config) for config in requested
+                )
+                continue
+            start = (shard.kernel_start + position) * n_configs
+            cell_indices = np.arange(start, start + n_configs)
+            unreadable = (
+                quality_all[cell_indices] & _UNREADABLE_BIT
+            ).astype(bool)
+            if unreadable.any():
+                skipped_cells.extend(
+                    (name, requested[int(offset)])
+                    for offset in np.nonzero(unreadable)[0]
+                )
+                cell_indices = cell_indices[~unreadable]
+            kept_slices.append((block_index, cell_indices))
+
+    if not kept_slices:
+        raise ValidationError(
+            "measurement campaign produced no usable rows (every kernel or "
+            "cell was skipped)"
+        )
+    kept = np.concatenate([indices for _, indices in kept_slices])
+    kernel_indices = np.concatenate(
+        [
+            np.full(len(indices), block_index, dtype=int)
+            for block_index, indices in kept_slices
+        ]
+    )
+    columns = DatasetColumns(
+        kernel_names=tuple(kernel_names_block),
+        utilizations=tuple(utilization_block),
+        kernel_indices=kernel_indices,
+        core_mhz=core_all[kept],
+        memory_mhz=memory_all[kept],
+        measured_watts=watts_all[kept],
+        quality_codes=quality_all[kept],
+    )
+    dataset = TrainingDataset(spec=spec, columns=columns)
+    report = build_campaign_report(
+        session,
+        spec=spec,
+        surviving_count=len(kernel_names_block),
+        config_count=n_configs,
+        skipped_cells=tuple(skipped_cells),
+        skipped_kernels=tuple(skipped_kernels),
+        stats_baseline=baseline,
+        backoff_before=backoff_before,
+        quality=QualityTally.from_codes(columns.quality_codes),
+    )
+    return dataset, report
+
+
+# ----------------------------------------------------------------------
+# Legacy object path (telemetry on)
+# ----------------------------------------------------------------------
+def _collect_campaign_traced(
+    session: ProfilingSession,
+    kernels: Tuple[KernelDescriptor, ...],
+    requested: Tuple[FrequencyConfig, ...],
+    device: DeviceSpec,
+    *,
+    workers: int,
+    shard_size: Optional[int],
+    fail_shards: Collection[int],
+    executor: Optional[Executor],
+) -> Tuple[TrainingDataset, CampaignReport]:
+    spec = session.gpu.spec
     recorder = session.recorder
     stats = session.fault_stats
     baseline = (
@@ -313,6 +618,7 @@ def collect_training_dataset_sharded(
     workers: int = 2,
     shard_size: Optional[int] = None,
     executor: Optional[Executor] = None,
+    transport: Optional[str] = None,
 ) -> TrainingDataset:
     """Sharded twin of :func:`repro.core.dataset.collect_training_dataset`."""
     return collect_campaign_sharded(
@@ -322,4 +628,5 @@ def collect_training_dataset_sharded(
         workers=workers,
         shard_size=shard_size,
         executor=executor,
+        transport=transport,
     )[0]

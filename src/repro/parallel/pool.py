@@ -1,0 +1,104 @@
+"""Persistent worker pool for the sharded campaign executor.
+
+A :class:`concurrent.futures.ProcessPoolExecutor` pays its fork cost on the
+first submit and its import/device-build cost on the first task per worker.
+Campaigns that run back to back (the benchmark's repeat loop, an
+estimation sweep over shard sizes, the CLI's fit-then-evaluate flow) should
+pay that once, not per campaign — so the executor draws its pool from this
+module's process-wide :func:`shared_pool` instead of creating one per call.
+
+The pool is resize-on-demand (asking for more workers than the current
+pool has replaces it with a bigger one), self-healing (a pool whose
+process died — :class:`~concurrent.futures.process.BrokenProcessPool` — is
+marked broken and silently replaced on next acquisition), and shut down at
+interpreter exit. Determinism is unaffected: workers cache rebuilt devices
+keyed by the full :class:`~repro.parallel.spec.DeviceSpec`, and every
+measurement is a pure function of (spec, labels), so reusing processes
+across campaigns changes no output bit.
+"""
+
+from __future__ import annotations
+
+import atexit
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Callable, List, Optional
+
+from repro.errors import ValidationError
+from repro.parallel.spec import DeviceSpec
+
+__all__ = ["WorkerPool", "shared_pool", "shutdown_shared_pool"]
+
+
+class WorkerPool:
+    """A lazily started, reusable process pool of a fixed worker count."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        #: Set when a task died with the pool (BrokenProcessPool): the
+        #: executor degrades the affected shards, and :func:`shared_pool`
+        #: replaces the pool on next acquisition.
+        self.broken = False
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    @property
+    def executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def submit(self, fn: Callable, *args) -> Future:
+        return self.executor.submit(fn, *args)
+
+    def warm(self, device: DeviceSpec) -> None:
+        """Spawn every worker process and pre-build the device in each.
+
+        Best-effort: one prepare task per worker forces the executor to
+        fork all processes now (outside any timed region) and populates
+        each worker's device cache. A fast worker may steal a second
+        prepare task — the fork cost is still paid for all of them.
+        """
+        from repro.parallel import worker as workerlib
+
+        futures: List[Future] = [
+            self.submit(workerlib.prepare_worker, device)
+            for _ in range(self.workers)
+        ]
+        for future in futures:
+            try:
+                future.result()
+            except Exception:
+                self.broken = True
+
+    def shutdown(self) -> None:
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+
+_SHARED: Optional[WorkerPool] = None
+
+
+def shared_pool(workers: int) -> WorkerPool:
+    """The process-wide pool, grown or replaced to satisfy ``workers``."""
+    global _SHARED
+    pool = _SHARED
+    if pool is not None and (pool.broken or pool.workers < workers):
+        pool.shutdown()
+        pool = None
+    if pool is None:
+        pool = WorkerPool(workers)
+        _SHARED = pool
+    return pool
+
+
+def shutdown_shared_pool() -> None:
+    """Tear down the process-wide pool (also runs at interpreter exit)."""
+    global _SHARED
+    pool, _SHARED = _SHARED, None
+    if pool is not None:
+        pool.shutdown()
+
+
+atexit.register(shutdown_shared_pool)

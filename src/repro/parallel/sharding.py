@@ -16,7 +16,14 @@ from typing import Optional, Sequence, Tuple
 
 from repro.errors import ValidationError
 
-__all__ = ["Cell", "Shard", "covered_cells", "partition_grid"]
+__all__ = [
+    "Cell",
+    "RowShard",
+    "Shard",
+    "covered_cells",
+    "partition_grid",
+    "partition_kernel_rows",
+]
 
 #: One grid cell as (kernel index, configuration index).
 Cell = Tuple[int, int]
@@ -67,3 +74,49 @@ def partition_grid(
 def covered_cells(shards: Sequence[Shard]) -> Tuple[Cell, ...]:
     """Every cell of a shard list, concatenated in shard order."""
     return tuple(cell for shard in shards for cell in shard.cells)
+
+
+@dataclass(frozen=True)
+class RowShard:
+    """A contiguous run of whole kernel rows — one columnar shard.
+
+    The zero-copy executor always shards on whole rows: each worker then
+    drives the batched per-kernel grid path at full width and its column
+    slice is one contiguous arena range, ``[kernel_start * n_configs,
+    (kernel_start + kernel_count) * n_configs)``.
+    """
+
+    index: int
+    kernel_start: int
+    kernel_count: int
+
+    def row_range(self, n_configs: int) -> Tuple[int, int]:
+        """The shard's global cell range as ``(start, stop)``."""
+        start = self.kernel_start * n_configs
+        return start, start + self.kernel_count * n_configs
+
+
+def partition_kernel_rows(
+    n_kernels: int, shard_kernels: int
+) -> Tuple[RowShard, ...]:
+    """Split ``n_kernels`` rows into shards of ``shard_kernels`` rows.
+
+    Like :func:`partition_grid`, a pure function of its arguments — worker
+    count and scheduling never shift shard boundaries.
+    """
+    if n_kernels < 0:
+        raise ValidationError(
+            f"kernel count must be non-negative, got {n_kernels}"
+        )
+    if shard_kernels < 1:
+        raise ValidationError(
+            f"shard width must be >= 1 kernel row, got {shard_kernels}"
+        )
+    return tuple(
+        RowShard(
+            index=index,
+            kernel_start=start,
+            kernel_count=min(shard_kernels, n_kernels - start),
+        )
+        for index, start in enumerate(range(0, n_kernels, shard_kernels))
+    )

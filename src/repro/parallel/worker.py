@@ -22,6 +22,8 @@ import pickle
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+import numpy as np
+
 from repro.core.metrics import MetricCalculator, UtilizationVector
 from repro.driver import faults as faultlib
 from repro.driver.faults import BackoffClock, FaultStats
@@ -33,16 +35,20 @@ from repro.hardware.specs import FrequencyConfig
 from repro.kernels.kernel import KernelDescriptor
 from repro.parallel.sharding import Cell
 from repro.parallel.spec import DeviceSpec
+from repro.parallel.transport import ArenaHandle, pack_columns, write_arena_slice
 from repro.telemetry.recorder import TelemetryRecorder
 
 __all__ = [
     "KernelCells",
     "MeasureTaskResult",
     "ProfileTaskResult",
+    "ShardColumnsResult",
     "ShardCrashError",
     "WorkerStats",
     "measure_shard",
+    "prepare_worker",
     "profile_kernels",
+    "run_shard_columns",
 ]
 
 
@@ -246,6 +252,127 @@ def measure_shard(
         measurements=tuple(measurements),
         stats=_stats_of(session),
         recorder=recorder if device.telemetry else None,
+    )
+
+
+@dataclass(frozen=True)
+class ShardColumnsResult:
+    """One columnar shard's outcome: utilizations + column slices.
+
+    The power/clock/quality columns themselves travel out of band — written
+    straight into the parent's shared-memory arena (``payload is None``) or
+    packed into one byte blob for small campaigns. Only this thin envelope
+    is pickled. ``profile_sleeps``/``measure_sleeps`` are kept separate so
+    the parent can replay *all* profile backoffs before *all* measure
+    backoffs, matching the serial campaign's phase order bit for bit
+    (float addition is not associative); :attr:`stats` carries the fault
+    counters only (its sleep log is empty — replay is the executor's job).
+    """
+
+    shard_index: int
+    #: Per shard kernel, in shard order (``None`` marks a skipped kernel).
+    utilizations: Tuple[Tuple[str, Optional[UtilizationVector]], ...]
+    stats: WorkerStats
+    profile_sleeps: Tuple[float, ...]
+    measure_sleeps: Tuple[float, ...]
+    payload: Optional[bytes]
+    #: Injected crash (the chaos hook): utilizations survive, the shard's
+    #: cells degrade to skipped — mirroring the legacy two-phase behavior
+    #: where only the measure task crashed.
+    crashed: bool = False
+
+
+def prepare_worker(device: DeviceSpec) -> bool:
+    """Warm task: rebuild (and cache) the device so later tasks start hot."""
+    _session_for(device)
+    return True
+
+
+def run_shard_columns(
+    device: DeviceSpec,
+    shard_index: int,
+    kernels: Tuple[KernelDescriptor, ...],
+    configs: Tuple[FrequencyConfig, ...],
+    row_start: int,
+    arena: Optional[ArenaHandle] = None,
+    fail: bool = False,
+) -> ShardColumnsResult:
+    """Combined single-phase task: profile + measure whole kernel rows.
+
+    The zero-copy fast path (telemetry off): events/utilizations for every
+    kernel of the shard, then the full power grid of the surviving kernels
+    through :meth:`~repro.driver.session.ProfilingSession.measure_grid_columns`
+    — no per-cell measurement objects anywhere. The shard's column slice
+    (``len(kernels) * len(configs)`` cells, kernel-major, zeros where a
+    kernel was skipped) lands in the parent's arena at ``row_start`` or
+    comes back packed as bytes.
+    """
+    session = _session_for(device)
+    clock = session.backoff_clock
+    calculator = MetricCalculator(device.gpu_spec)
+    collected = []
+    surviving: list = []
+    for position, kernel in enumerate(kernels):
+        try:
+            record = session.collect_events(kernel)
+        except PersistentDriverError:
+            collected.append((kernel.name, None))
+            continue
+        collected.append((kernel.name, calculator.utilizations(record)))
+        surviving.append((position, kernel))
+    profile_sleep_count = len(clock.sleep_log)
+
+    def _result(payload: Optional[bytes], crashed: bool) -> ShardColumnsResult:
+        stats = _stats_of(session)
+        sleeps = stats.sleep_log
+        return ShardColumnsResult(
+            shard_index=shard_index,
+            utilizations=tuple(collected),
+            stats=WorkerStats(
+                read_faults=stats.read_faults,
+                clock_faults=stats.clock_faults,
+                event_faults=stats.event_faults,
+                unreadable_cells=stats.unreadable_cells,
+                dropped_samples=stats.dropped_samples,
+                injected_throttles=stats.injected_throttles,
+                corrupted_counters=stats.corrupted_counters,
+            ),
+            profile_sleeps=sleeps[:profile_sleep_count],
+            measure_sleeps=sleeps[profile_sleep_count:],
+            payload=payload,
+            crashed=crashed,
+        )
+
+    if fail:
+        return _result(payload=None, crashed=True)
+
+    n_configs = len(configs)
+    n_cells = len(kernels) * n_configs
+    watts = np.zeros(n_cells, dtype=np.float64)
+    core_mhz = np.zeros(n_cells, dtype=np.float64)
+    memory_mhz = np.zeros(n_cells, dtype=np.float64)
+    quality = np.zeros(n_cells, dtype=np.uint8)
+    if surviving and n_configs:
+        columns = session.measure_grid_columns(
+            [kernel for _, kernel in surviving],
+            configs,
+            on_unreadable="skip",
+        )
+        for j, (position, _) in enumerate(surviving):
+            src = slice(j * n_configs, (j + 1) * n_configs)
+            dst = slice(position * n_configs, (position + 1) * n_configs)
+            watts[dst] = columns.watts[src]
+            core_mhz[dst] = columns.applied_core_mhz[src]
+            memory_mhz[dst] = columns.applied_mem_mhz[src]
+            quality[dst] = columns.quality[src]
+    if arena is not None:
+        write_arena_slice(
+            arena, row_start, watts, core_mhz, memory_mhz, quality
+        )
+        return _result(payload=None, crashed=False)
+    return _result(
+        payload=pack_columns(watts, core_mhz, memory_mhz, quality),
+        crashed=False,
     )
 
 

@@ -19,6 +19,11 @@ pure function of the workload, not of the worker count).
 
 The matrix runs on a reduced (kernels x configs) tier so the whole file
 stays in tier-1 time; ``--runslow`` adds the full-suite, full-grid sweep.
+Because the reduced tier sits below the adaptive planner's
+``FALLBACK_MIN_CELLS`` threshold (ISSUE 6), every sharded call here pins
+``fallback="never"`` — the point is to exercise the sharded executor, not
+the small-grid serial fallback (which has its own tests in
+``test_parallel_transport.py``).
 """
 
 from __future__ import annotations
@@ -43,6 +48,7 @@ from repro.parallel import (
     measure_shard,
     merge_measurements,
     partition_grid,
+    partition_kernel_rows,
 )
 from repro.parallel.executor import _shard_groups
 from repro.telemetry import TraceRecorder
@@ -121,6 +127,7 @@ class TestShardedEqualsSerial:
             tier_kernels(),
             tier_configs(spec),
             workers=workers,
+            fallback="never",
         )
         # Dataclass == compares every float bitwise: rows, utilizations,
         # quality flags, fault tallies and the virtual backoff total.
@@ -138,6 +145,7 @@ def test_shard_size_never_changes_the_dataset(serial_results, shard_size):
         tier_configs(GTX_TITAN_X),
         workers=2,
         shard_size=shard_size,
+        fallback="never",
     )
     assert dataset == serial_dataset
     assert report == serial_report
@@ -147,7 +155,11 @@ def test_collect_training_dataset_threads_workers(serial_results):
     serial_dataset, _ = serial_results("Tesla K40c", False)
     session = make_session(TESLA_K40C, False)
     dataset = collect_training_dataset(
-        session, tier_kernels(), tier_configs(TESLA_K40C), workers=2
+        session,
+        tier_kernels(),
+        tier_configs(TESLA_K40C),
+        workers=2,
+        fallback="never",
     )
     assert dataset == serial_dataset
 
@@ -321,27 +333,44 @@ class TestCrashRecovery:
         spec = TESLA_K40C
         serial_dataset, serial_report = serial_results("Tesla K40c", False)
         session = make_session(spec, False)
+        configs = tier_configs(spec)
         dataset, report = collect_campaign_sharded(
             session,
             tier_kernels(),
-            tier_configs(spec),
+            configs,
             workers=2,
             shard_size=7,
             fail_shards={1},
         )
         assert not report.complete
-        # The crashed shard's cells are reported as skipped...
-        shards = partition_grid(
-            TIER_KERNELS, len(tier_configs(spec)), 7
+        # Columnar shards are whole kernel rows: shard_size=7 with 8
+        # configs rounds down to one kernel per shard, so shard 1 is
+        # exactly kernel #1's row and its crash skips that kernel's
+        # every config.
+        shards = partition_kernel_rows(
+            TIER_KERNELS, max(1, 7 // len(configs))
         )
-        crashed = shards[1].cells
-        assert len(report.skipped_cells) == len(crashed)
+        crashed_kernels = [
+            tier_kernels()[k]
+            for k in range(
+                shards[1].kernel_start,
+                shards[1].kernel_start + shards[1].kernel_count,
+            )
+        ]
+        crashed_names = {kernel.name for kernel in crashed_kernels}
+        assert len(report.skipped_cells) == len(crashed_kernels) * len(
+            configs
+        )
+        assert {name for name, _ in report.skipped_cells} == crashed_names
         # ...and every surviving row is bitwise identical to its serial twin.
         serial_rows = {
             (row.kernel_name, row.config): row for row in serial_dataset.rows
         }
-        assert len(dataset.rows) == len(serial_dataset.rows) - len(crashed)
+        assert len(dataset.rows) == len(serial_dataset.rows) - len(
+            report.skipped_cells
+        )
         for row in dataset.rows:
+            assert row.kernel_name not in crashed_names
             assert row == serial_rows[(row.kernel_name, row.config)]
 
     def test_every_shard_failing_raises(self):
@@ -423,6 +452,7 @@ class TestTelemetryMerge:
             tier_kernels(),
             tier_configs(GTX_TITAN_X),
             workers=workers,
+            fallback="never",
         )
         assert recorder.open_spans == 0
         return recorder

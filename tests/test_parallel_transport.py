@@ -1,0 +1,573 @@
+"""Unit and property tests for the zero-copy columnar transport (ISSUE 6).
+
+Covers the pieces under the sharded executor's bitwise contract that the
+differential harness (``test_parallel_equivalence.py``) exercises only
+end-to-end:
+
+* the quality-flag bitmask codec (``encode_quality``/``decode_quality``),
+* packed-bytes and shared-memory column round-trips,
+* ``/dev/shm`` hygiene — no leaked segments after clean runs, injected
+  shard failures, or a genuinely crashed worker process,
+* the adaptive planner (``workers="auto"``, small-grid fallback, shard
+  width, transport choice) and the whole-kernel-row partition,
+* column blocks -> :class:`TrainingDataset` -> rows materialization
+  (hypothesis: bitwise equal to a rows-built dataset),
+* the persistent shared worker pool's reuse/growth/replacement rules.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import MASTER_SEED
+from repro.core.dataset import (
+    DatasetColumns,
+    TrainingDataset,
+    TrainingRow,
+    collect_campaign,
+)
+from repro.core.metrics import ALL_COMPONENTS, UtilizationVector
+from repro.driver import faults as faultlib
+from repro.driver.faults import FaultPlan
+from repro.driver.session import ProfilingSession
+from repro.errors import ValidationError
+from repro.hardware.gpu import SimulatedGPU
+from repro.hardware.specs import GTX_TITAN_X, FrequencyConfig
+from repro.microbench import build_suite
+from repro.parallel import (
+    FALLBACK_MIN_CELLS,
+    SHM_MIN_CELLS,
+    ArenaHandle,
+    ColumnArena,
+    WorkerPool,
+    collect_campaign_sharded,
+    pack_columns,
+    partition_kernel_rows,
+    plan_campaign,
+    resolve_workers,
+    should_fallback,
+    unpack_columns,
+    usable_cpu_count,
+)
+from repro.parallel import pool as poollib
+from repro.parallel.transport import write_arena_slice
+from repro.telemetry import TraceRecorder
+
+TIER_KERNELS = 10
+TIER_CONFIGS = 8
+
+
+def tier_kernels():
+    return build_suite()[:TIER_KERNELS]
+
+
+def tier_configs(spec):
+    configs = spec.all_configurations()
+    chosen = [spec.reference]
+    stride = max(1, len(configs) // TIER_CONFIGS)
+    for config in configs[::stride]:
+        if config != spec.reference and len(chosen) < TIER_CONFIGS:
+            chosen.append(config)
+    return tuple(chosen)
+
+
+def make_session(spec, chaos: bool, recorder=None) -> ProfilingSession:
+    fault_plan = (
+        FaultPlan.transient(0.05, seed=MASTER_SEED) if chaos else None
+    )
+    if recorder is None:
+        gpu = SimulatedGPU(spec, fault_plan=fault_plan)
+    else:
+        gpu = SimulatedGPU(spec, fault_plan=fault_plan, recorder=recorder)
+    return ProfilingSession(gpu)
+
+
+# ----------------------------------------------------------------------
+# Quality bitmask codec
+# ----------------------------------------------------------------------
+_READABLE_FLAGS = (
+    faultlib.RETRIED,
+    faultlib.THROTTLE_INJECTED,
+    faultlib.DROPOUTS,
+)
+
+
+class TestQualityCodec:
+    @given(
+        flags=st.sets(st.sampled_from(_READABLE_FLAGS)),
+        order_seed=st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_is_order_canonical(self, flags, order_seed):
+        shuffled = list(flags)
+        order_seed.shuffle(shuffled)
+        code = faultlib.encode_quality(shuffled)
+        decoded = faultlib.decode_quality(code)
+        # Decoding yields the canonical emission order, independent of the
+        # order the flags were encoded in.
+        assert decoded == tuple(
+            flag for flag in _READABLE_FLAGS if flag in flags
+        )
+        assert faultlib.encode_quality(decoded) == code
+
+    @given(code=st.integers(min_value=0, max_value=7))
+    @settings(max_examples=16, deadline=None)
+    def test_every_readable_code_round_trips(self, code):
+        assert faultlib.encode_quality(faultlib.decode_quality(code)) == code
+
+    def test_unreadable_travels_alone(self):
+        code = faultlib.encode_quality((faultlib.UNREADABLE,))
+        assert faultlib.decode_quality(code) == (faultlib.UNREADABLE,)
+        with pytest.raises(ValueError, match="no other quality flag"):
+            faultlib.decode_quality(
+                code | faultlib.QUALITY_BITS[faultlib.RETRIED]
+            )
+
+    def test_bad_inputs_raise(self):
+        with pytest.raises(ValueError, match="unknown quality flag"):
+            faultlib.encode_quality(("made-up",))
+        with pytest.raises(ValueError, match="out of range"):
+            faultlib.decode_quality(16)
+        with pytest.raises(ValueError):
+            faultlib.decode_quality(-1)
+
+
+# ----------------------------------------------------------------------
+# Column transport round-trips
+# ----------------------------------------------------------------------
+def _random_columns(rng: np.random.Generator, n: int):
+    watts = rng.normal(150.0, 40.0, size=n)
+    core = rng.choice([405.0, 810.0, 1202.0], size=n)
+    memory = rng.choice([810.0, 3505.0], size=n)
+    quality = rng.integers(0, 8, size=n, dtype=np.uint8)
+    return watts, core, memory, quality
+
+
+class TestPackedColumns:
+    @given(n=st.integers(min_value=0, max_value=64), seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_pack_unpack_is_bitwise(self, n, seed):
+        watts, core, memory, quality = _random_columns(
+            np.random.default_rng(seed), n
+        )
+        block = unpack_columns(pack_columns(watts, core, memory, quality))
+        assert block.watts.tobytes() == watts.tobytes()
+        assert block.core_mhz.tobytes() == core.tobytes()
+        assert block.memory_mhz.tobytes() == memory.tobytes()
+        assert block.quality.tobytes() == quality.tobytes()
+
+    def test_ragged_payload_rejected(self):
+        with pytest.raises(ValidationError, match="not a"):
+            unpack_columns(b"\x00" * 26)
+
+
+class TestColumnArena:
+    def test_shard_slices_reassemble_bitwise(self):
+        rng = np.random.default_rng(7)
+        n = 40
+        watts, core, memory, quality = _random_columns(rng, n)
+        with ColumnArena(n) as arena:
+            # Two "workers" writing disjoint slices, out of order.
+            for start, stop in ((24, 40), (0, 24)):
+                write_arena_slice(
+                    arena.handle,
+                    start,
+                    watts[start:stop],
+                    core[start:stop],
+                    memory[start:stop],
+                    quality[start:stop],
+                )
+            block = arena.read()
+        assert block.watts.tobytes() == watts.tobytes()
+        assert block.core_mhz.tobytes() == core.tobytes()
+        assert block.memory_mhz.tobytes() == memory.tobytes()
+        assert block.quality.tobytes() == quality.tobytes()
+
+    def test_out_of_bounds_slice_rejected(self):
+        ones = np.ones(4)
+        with ColumnArena(8) as arena:
+            with pytest.raises(ValidationError, match="exceeds arena"):
+                write_arena_slice(
+                    arena.handle, 6, ones, ones, ones, ones.astype(np.uint8)
+                )
+
+    def test_destroy_is_idempotent_and_unlinks(self):
+        arena = ColumnArena(16)
+        with pytest.raises(ValidationError, match="not open"):
+            arena.handle
+        with arena:
+            name = arena.handle.name
+            assert name.lstrip("/") in os.listdir("/dev/shm")
+        assert name.lstrip("/") not in os.listdir("/dev/shm")
+        arena.destroy()  # second destroy is a no-op
+
+    def test_rejects_empty_arena(self):
+        with pytest.raises(ValidationError, match="at least one cell"):
+            ColumnArena(0)
+
+    def test_stale_handle_write_fails_cleanly(self):
+        with ColumnArena(4) as arena:
+            handle = arena.handle
+        ones = np.ones(4)
+        with pytest.raises(FileNotFoundError):
+            write_arena_slice(
+                handle, 0, ones, ones, ones, ones.astype(np.uint8)
+            )
+
+
+# ----------------------------------------------------------------------
+# /dev/shm hygiene across the executor
+# ----------------------------------------------------------------------
+def _shm_segments():
+    return {name for name in os.listdir("/dev/shm") if name.startswith("psm_")}
+
+
+def _crash_hard(*args, **kwargs):  # pragma: no cover - runs in a subprocess
+    os._exit(13)
+
+
+class TestNoShmLeaks:
+    def test_clean_campaign_leaves_no_segments(self):
+        before = _shm_segments()
+        session = make_session(GTX_TITAN_X, True)
+        serial_session = make_session(GTX_TITAN_X, True)
+        dataset, report = collect_campaign_sharded(
+            session,
+            tier_kernels(),
+            tier_configs(GTX_TITAN_X),
+            workers=2,
+            transport="shm",
+        )
+        serial_dataset, serial_report = collect_campaign(
+            serial_session, tier_kernels(), tier_configs(GTX_TITAN_X)
+        )
+        # Forcing the arena below SHM_MIN_CELLS must not change a bit.
+        assert dataset == serial_dataset
+        assert report == serial_report
+        assert _shm_segments() == before
+
+    def test_all_shards_failing_leaves_no_segments(self):
+        before = _shm_segments()
+        session = make_session(GTX_TITAN_X, False)
+        with pytest.raises(ValidationError, match="no usable rows"):
+            collect_campaign_sharded(
+                session,
+                tier_kernels(),
+                tier_configs(GTX_TITAN_X),
+                workers=2,
+                shard_size=TIER_CONFIGS,
+                fail_shards=set(range(TIER_KERNELS)),
+                transport="shm",
+            )
+        assert _shm_segments() == before
+
+    def test_crashed_worker_process_leaves_no_segments(self, monkeypatch):
+        """A worker that dies mid-task (BrokenProcessPool) must not leak.
+
+        The task function is patched to ``os._exit`` before the pool forks,
+        so every shard dies with its process; the parent degrades them all
+        to skipped kernels, raises, and still unlinks the arena.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.parallel import worker as workerlib
+
+        monkeypatch.setattr(workerlib, "run_shard_columns", _crash_hard)
+        before = _shm_segments()
+        session = make_session(GTX_TITAN_X, False)
+        with ProcessPoolExecutor(max_workers=2) as crashing_pool:
+            with pytest.raises(ValidationError, match="no usable rows"):
+                collect_campaign_sharded(
+                    session,
+                    tier_kernels(),
+                    tier_configs(GTX_TITAN_X),
+                    workers=2,
+                    executor=crashing_pool,
+                    transport="shm",
+                )
+        assert session.recorder is not None  # session intact after failure
+        assert _shm_segments() == before
+
+
+# ----------------------------------------------------------------------
+# Planner
+# ----------------------------------------------------------------------
+class TestPlanner:
+    def test_resolve_workers(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers("auto") == usable_cpu_count()
+        assert resolve_workers("auto") >= 1
+        for bad in (0, -2, "three"):
+            with pytest.raises(ValidationError):
+                resolve_workers(bad)
+
+    def test_should_fallback(self):
+        # Grids below the cell threshold, or fewer than two workers,
+        # stay serial.
+        assert should_fallback(10, 8, 2)  # 80 cells
+        assert should_fallback(83, 64, 1)  # single worker
+        assert not should_fallback(83, 64, 2)  # 5312 cells
+        assert FALLBACK_MIN_CELLS <= SHM_MIN_CELLS
+
+    def test_adaptive_width_scales_with_grid(self):
+        small = plan_campaign(10, 8, 2)
+        assert small.shard_kernels == 3  # ceil(10 / 4)
+        assert small.transport == "bytes"
+        big = plan_campaign(83, 64, 2)
+        assert big.shard_kernels == 4  # capped at the legacy default
+        assert big.transport == "shm"
+        assert big.workers == 2
+
+    def test_explicit_shard_size_rounds_to_whole_rows(self):
+        plan = plan_campaign(10, 8, 2, shard_size=20)
+        assert plan.shard_kernels == 2  # 20 cells // 8 configs
+        assert plan_campaign(10, 8, 2, shard_size=3).shard_kernels == 1
+        with pytest.raises(ValidationError):
+            plan_campaign(10, 8, 2, shard_size=0)
+
+    def test_transport_override_validated(self):
+        assert plan_campaign(10, 8, 2, transport="shm").transport == "shm"
+        assert plan_campaign(83, 64, 2, transport="bytes").transport == "bytes"
+        with pytest.raises(ValidationError, match="transport"):
+            plan_campaign(10, 8, 2, transport="carrier-pigeon")
+
+    @given(
+        n_kernels=st.integers(min_value=1, max_value=120),
+        shard_kernels=st.integers(min_value=1, max_value=16),
+        n_configs=st.integers(min_value=1, max_value=80),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_row_partition_is_a_disjoint_cover(
+        self, n_kernels, shard_kernels, n_configs
+    ):
+        shards = partition_kernel_rows(n_kernels, shard_kernels)
+        assert [s.index for s in shards] == list(range(len(shards)))
+        covered = [
+            k
+            for s in shards
+            for k in range(s.kernel_start, s.kernel_start + s.kernel_count)
+        ]
+        assert covered == list(range(n_kernels))
+        # Row ranges tile the flattened kernel-major grid contiguously.
+        ranges = [s.row_range(n_configs) for s in shards]
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == n_kernels * n_configs
+        for (_, stop), (start, _) in zip(ranges, ranges[1:]):
+            assert stop == start
+
+    def test_row_partition_rejects_bad_arguments(self):
+        with pytest.raises(ValidationError):
+            partition_kernel_rows(-1, 4)
+        with pytest.raises(ValidationError):
+            partition_kernel_rows(4, 0)
+
+
+# ----------------------------------------------------------------------
+# Column blocks -> TrainingDataset -> rows
+# ----------------------------------------------------------------------
+_GRID = (
+    FrequencyConfig(405.0, 810.0),
+    FrequencyConfig(810.0, 3505.0),
+    FrequencyConfig(1202.0, 3505.0),
+)
+
+
+def _utilization(rng: np.random.Generator) -> UtilizationVector:
+    return UtilizationVector(
+        {c: float(rng.uniform(0.0, 1.0)) for c in ALL_COMPONENTS}
+    )
+
+
+class TestColumnsToDataset:
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n_kernels=st.integers(min_value=1, max_value=4),
+        rows_per_kernel=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_materialized_rows_match_hand_built(
+        self, seed, n_kernels, rows_per_kernel
+    ):
+        rng = np.random.default_rng(seed)
+        names = tuple(f"kernel_{i}" for i in range(n_kernels))
+        utilizations = tuple(_utilization(rng) for _ in range(n_kernels))
+        n = n_kernels * rows_per_kernel
+        kernel_indices = np.repeat(np.arange(n_kernels), rows_per_kernel)
+        config_picks = rng.integers(0, len(_GRID), size=n)
+        watts = rng.normal(150.0, 40.0, size=n)
+        quality = rng.integers(0, 8, size=n, dtype=np.uint8)
+        columns = DatasetColumns(
+            kernel_names=names,
+            utilizations=utilizations,
+            kernel_indices=kernel_indices,
+            core_mhz=np.asarray([_GRID[i].core_mhz for i in config_picks]),
+            memory_mhz=np.asarray(
+                [_GRID[i].memory_mhz for i in config_picks]
+            ),
+            measured_watts=watts,
+            quality_codes=quality,
+        )
+        expected = tuple(
+            TrainingRow(
+                kernel_name=names[int(kernel_indices[r])],
+                config=_GRID[int(config_picks[r])],
+                measured_watts=float(watts[r]),
+                utilizations=utilizations[int(kernel_indices[r])],
+                quality=faultlib.decode_quality(int(quality[r])),
+            )
+            for r in range(n)
+        )
+        dataset = TrainingDataset(spec=GTX_TITAN_X, columns=columns)
+        assert dataset.rows == expected
+        assert dataset.row_count() == n
+        # The columnar dataset is indistinguishable from a rows-built one:
+        # equality, pickling and the SoA accessors all agree.
+        twin = TrainingDataset(spec=GTX_TITAN_X, rows=expected)
+        assert dataset == twin
+        clone = pickle.loads(pickle.dumps(dataset))
+        assert clone == dataset
+        assert np.array_equal(dataset.measured_vector(), twin.measured_vector())
+
+    def test_unreadable_rows_are_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValidationError, match="unreadable"):
+            DatasetColumns(
+                kernel_names=("k",),
+                utilizations=(_utilization(rng),),
+                kernel_indices=np.zeros(1, dtype=int),
+                core_mhz=np.asarray([405.0]),
+                memory_mhz=np.asarray([810.0]),
+                measured_watts=np.asarray([100.0]),
+                quality_codes=np.asarray(
+                    [faultlib.QUALITY_BITS[faultlib.UNREADABLE]],
+                    dtype=np.uint8,
+                ),
+            )
+
+    def test_misaligned_columns_are_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValidationError, match="entries"):
+            DatasetColumns(
+                kernel_names=("k",),
+                utilizations=(_utilization(rng),),
+                kernel_indices=np.zeros(2, dtype=int),
+                core_mhz=np.asarray([405.0]),
+                memory_mhz=np.asarray([810.0]),
+                measured_watts=np.asarray([100.0]),
+                quality_codes=np.zeros(1, dtype=np.uint8),
+            )
+
+
+# ----------------------------------------------------------------------
+# Transport equivalence: shm vs bytes vs serial
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("transport", ["shm", "bytes"])
+def test_transport_never_changes_the_campaign(transport):
+    serial = collect_campaign(
+        make_session(GTX_TITAN_X, True),
+        tier_kernels(),
+        tier_configs(GTX_TITAN_X),
+    )
+    sharded = collect_campaign_sharded(
+        make_session(GTX_TITAN_X, True),
+        tier_kernels(),
+        tier_configs(GTX_TITAN_X),
+        workers=2,
+        transport=transport,
+    )
+    assert sharded[0] == serial[0]
+    assert sharded[1] == serial[1]
+
+
+# ----------------------------------------------------------------------
+# Small-grid fallback
+# ----------------------------------------------------------------------
+class TestFallback:
+    def test_small_grid_falls_back_to_serial_with_counter(self):
+        recorder = TraceRecorder()
+        session = make_session(GTX_TITAN_X, True, recorder=recorder)
+        serial_dataset, serial_report = collect_campaign(
+            make_session(GTX_TITAN_X, True),
+            tier_kernels(),
+            tier_configs(GTX_TITAN_X),
+        )
+        dataset, report = collect_campaign(
+            session,
+            tier_kernels(),
+            tier_configs(GTX_TITAN_X),
+            workers=2,
+        )
+        assert recorder.counters()["parallel.fallback"] == 1
+        assert dataset == serial_dataset
+
+    def test_auto_workers_resolve_through_the_campaign(self):
+        # "auto" on a small grid resolves and falls back serially; the
+        # result must still be the plain serial campaign's.
+        serial_dataset, _ = collect_campaign(
+            make_session(GTX_TITAN_X, False),
+            tier_kernels(),
+            tier_configs(GTX_TITAN_X),
+        )
+        dataset, _ = collect_campaign(
+            make_session(GTX_TITAN_X, False),
+            tier_kernels(),
+            tier_configs(GTX_TITAN_X),
+            workers="auto",
+        )
+        assert dataset == serial_dataset
+
+    def test_fallback_mode_is_validated(self):
+        session = make_session(GTX_TITAN_X, False)
+        with pytest.raises(ValidationError, match="fallback"):
+            collect_campaign(
+                session, tier_kernels(), workers=2, fallback="sometimes"
+            )
+
+    def test_cli_workers_argument_parser(self):
+        import argparse
+
+        from repro.cli import _workers_arg
+
+        assert _workers_arg("auto") == "auto"
+        assert _workers_arg("4") == 4
+        for bad in ("0", "-1", "many"):
+            with pytest.raises(argparse.ArgumentTypeError):
+                _workers_arg(bad)
+
+
+# ----------------------------------------------------------------------
+# Persistent shared pool
+# ----------------------------------------------------------------------
+class TestSharedPool:
+    def test_reuse_growth_and_broken_replacement(self):
+        poollib.shutdown_shared_pool()
+        try:
+            first = poollib.shared_pool(2)
+            assert poollib.shared_pool(2) is first
+            # A smaller request reuses the existing, bigger pool.
+            assert poollib.shared_pool(1) is first
+            grown = poollib.shared_pool(4)
+            assert grown is not first
+            assert grown.workers == 4
+            grown.broken = True
+            replaced = poollib.shared_pool(2)
+            assert replaced is not grown
+            assert not replaced.broken
+        finally:
+            poollib.shutdown_shared_pool()
+
+    def test_worker_count_validated(self):
+        with pytest.raises(ValidationError):
+            WorkerPool(0)
+
+    def test_shutdown_without_start_is_safe(self):
+        pool = WorkerPool(2)
+        pool.shutdown()  # never started an executor
+        assert pool._executor is None
