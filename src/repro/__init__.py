@@ -89,8 +89,11 @@ from repro.analysis.voltage import fit_voltage_regions
 from repro.analysis.dvfs import DVFSAdvisor
 from repro.serialization import load_model, save_model
 from repro.serving import (
+    FleetConfig,
+    FleetRouter,
     ModelRegistry,
     PredictionEngine,
+    PredictionFleet,
     PredictionServer,
     ServerConfig,
 )
@@ -138,6 +141,7 @@ __all__ = [
     "save_model", "load_model",
     # serving
     "ModelRegistry", "PredictionEngine", "PredictionServer", "ServerConfig",
+    "PredictionFleet", "FleetConfig", "FleetRouter",
     # sharded campaign
     "DeviceSpec", "Shard", "partition_grid",
     "collect_campaign_sharded", "collect_training_dataset_sharded",

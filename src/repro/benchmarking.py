@@ -41,6 +41,12 @@ planner fell back to the serial path (``--quick`` grids do). An optional
 ``--min-sharded-speedup`` turns ``speedup_vs_grid_collect`` into a hard
 gate (used by CI's perf-gate job on the large-grid devices).
 
+:class:`BenchmarkRegression` is the shared currency of every perf gate in
+the repo: the serving loadgen's fleet gate
+(:func:`repro.serving.loadgen.check_fleet_gate`, CLI
+``load-test --min-fleet-speedup``, CI's serving-perf job) raises the same
+class, so one except-clause catches any benchmark floor violation.
+
 Usage::
 
     python benchmarks/bench_pipeline.py                 # full grid, all devices

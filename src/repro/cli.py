@@ -415,8 +415,9 @@ def cmd_load_test(args: argparse.Namespace) -> int:
     import tempfile
     from pathlib import Path
 
+    from repro.benchmarking import BenchmarkRegression
     from repro.serving import LoadTestPlan, ModelRegistry, run_load_test
-    from repro.serving.loadgen import summarize
+    from repro.serving.loadgen import check_fleet_gate, summarize
 
     if args.quick:
         plan = LoadTestPlan.quick_tier(args.device)
@@ -428,6 +429,14 @@ def cmd_load_test(args: argparse.Namespace) -> int:
         plan = dataclasses.replace(
             plan, concurrency_levels=tuple(args.concurrency)
         )
+    if args.fleet_workers:
+        plan = dataclasses.replace(
+            plan, fleet_workers=tuple(args.fleet_workers)
+        )
+    if args.chunk_rows:
+        plan = dataclasses.replace(plan, chunk_rows=args.chunk_rows)
+    if args.shape:
+        plan = dataclasses.replace(plan, shapes=tuple(args.shape))
 
     if args.registry:
         report = run_load_test(ModelRegistry(args.registry), plan)
@@ -439,8 +448,17 @@ def cmd_load_test(args: argparse.Namespace) -> int:
     path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"report written to {path}")
     if not report["acceptance"]["pass"]:
-        print("error: warm-cache throughput below the floor", file=sys.stderr)
+        print(
+            "error: warm-cache throughput or fleet speedup below the floor",
+            file=sys.stderr,
+        )
         return 1
+    if args.min_fleet_speedup is not None:
+        try:
+            check_fleet_gate(report, args.min_fleet_speedup)
+        except BenchmarkRegression as regression:
+            print(f"error: {regression}", file=sys.stderr)
+            return 1
     if args.strict and report["errors_total"] > 0:
         print(
             f"error: {report['errors_total']} rejected/timed-out requests "
@@ -692,6 +710,32 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         type=int,
         help="concurrency level (repeatable; default: plan levels)",
+    )
+    load_test.add_argument(
+        "--fleet-workers",
+        action="append",
+        type=int,
+        help="fleet worker count to sweep (repeatable; default: plan sweep)",
+    )
+    load_test.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=0,
+        help="requests per fleet dispatch chunk (0 = plan default)",
+    )
+    load_test.add_argument(
+        "--shape",
+        action="append",
+        choices=("diurnal", "burst", "mixed"),
+        help="traffic shape to replay (repeatable; default: all three)",
+    )
+    load_test.add_argument(
+        "--min-fleet-speedup",
+        type=float,
+        default=None,
+        help="perf gate: fail unless the fleet's warm throughput at the "
+        "largest worker count reaches this multiple of the "
+        "single-process server's warm best",
     )
     load_test.add_argument(
         "--quick",

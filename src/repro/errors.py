@@ -132,3 +132,22 @@ class RequestTimeoutError(ServingError):
 
 class ServerClosedError(ServingError):
     """A request was submitted to a server that is not running."""
+
+
+class RoutingError(ServingError):
+    """The fleet router received an unroutable request (unknown tenant,
+    or a non-monotonic virtual arrival time)."""
+
+
+class FleetError(ServingError):
+    """A multi-process prediction fleet operation failed (worker startup,
+    a stream that wedged past its progress deadline, a worker-side
+    computation error)."""
+
+
+class FleetBrokenError(FleetError):
+    """Every worker process of the fleet has died.
+
+    Requests in flight when the last worker went down cannot be rerouted;
+    the fleet must be stopped and restarted.
+    """

@@ -37,9 +37,12 @@ from repro.errors import ValidationError
 
 __all__ = [
     "ArenaHandle",
+    "BlobArena",
+    "BlobHandle",
     "ColumnArena",
     "ColumnBlock",
     "pack_columns",
+    "read_blob",
     "unpack_columns",
     "write_arena_slice",
 ]
@@ -190,6 +193,91 @@ def write_arena_slice(
         arena_memory[row_start : row_start + n] = memory_mhz
         arena_quality[row_start : row_start + n] = quality
         del arena_watts, arena_core, arena_memory, arena_quality
+    finally:
+        shm.close()
+
+
+@dataclass(frozen=True)
+class BlobHandle:
+    """Picklable pointer to a parent-owned immutable shared byte blob."""
+
+    name: str
+    #: Logical payload length — the segment itself may be page-rounded.
+    size: int
+
+
+class BlobArena:
+    """Parent-owned shared-memory segment holding one immutable byte blob.
+
+    The serving fleet maps the registry's content-hashed model artifacts
+    through this: the parent writes the artifact bytes once, every worker
+    process attaches read-only and parses its own engine from the same
+    physical pages. Same lifecycle discipline as :class:`ColumnArena` —
+    the parent creates and unlinks (``destroy`` in a ``finally``, even
+    when every worker crashes); workers attach, copy, close, with
+    ``resource_tracker`` registration suppressed so a dying worker can
+    never unlink the parent's live segment.
+    """
+
+    def __init__(self, payload: bytes) -> None:
+        if not payload:
+            raise ValidationError("blob arena needs a non-empty payload")
+        self._payload: Optional[bytes] = bytes(payload)
+        self._size = len(payload)
+        self._shm: Optional[shared_memory.SharedMemory] = None
+
+    def open(self) -> BlobHandle:
+        """Create the segment and copy the payload in (idempotent)."""
+        if self._shm is None:
+            if self._payload is None:
+                raise ValidationError("blob arena has been destroyed")
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=self._size
+            )
+            self._shm.buf[: self._size] = self._payload
+        return self.handle
+
+    def __enter__(self) -> "BlobArena":
+        self.open()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.destroy()
+
+    @property
+    def handle(self) -> BlobHandle:
+        if self._shm is None:
+            raise ValidationError("blob arena is not open")
+        return BlobHandle(name=self._shm.name, size=self._size)
+
+    def destroy(self) -> None:
+        """Close and unlink the segment (idempotent)."""
+        shm, self._shm = self._shm, None
+        self._payload = None
+        if shm is None:
+            return
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+def read_blob(handle: BlobHandle) -> bytes:
+    """Worker side: copy the blob out of the parent's segment.
+
+    Registration with the worker's ``resource_tracker`` is suppressed for
+    the same reason as in :func:`write_arena_slice`: the parent owns
+    cleanup, and under fork the tracker process is shared.
+    """
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        shm = shared_memory.SharedMemory(name=handle.name)
+    finally:
+        resource_tracker.register = original_register
+    try:
+        return bytes(shm.buf[: handle.size])
     finally:
         shm.close()
 

@@ -17,32 +17,58 @@ concurrent, cached prediction service:
   an LRU prediction cache keyed by (model version, quantized utilization
   vector), bounded worker concurrency, per-request timeouts, queue-full
   fast rejection and graceful degradation to the last good model version;
+* :class:`PredictionFleet` — a multi-process worker pool mapping the
+  registry's content-hashed artifacts through shared memory
+  (:class:`~repro.parallel.transport.BlobArena`), with chunked dispatch,
+  crash rerouting and bitwise-identical answers at any worker count;
+* :class:`FleetRouter` — per-tenant token-bucket quotas, a global backlog
+  model and fast-503 load-shedding, all in deterministic virtual time;
 * :func:`run_load_test` — the seeded load generator behind
-  ``repro.cli load-test`` and ``BENCH_serving.json``.
+  ``repro.cli load-test`` and ``BENCH_serving.json``: flat concurrency
+  levels, the fleet worker sweep, and seeded traffic shapes
+  (:mod:`repro.serving.traffic`).
 """
 
 from repro.serving.cache import CacheStats, PredictionCache
 from repro.serving.engine import BatchBreakdown, PredictionEngine
+from repro.serving.fleet import FleetConfig, FleetStreamReport, PredictionFleet
 from repro.serving.loadgen import LoadTestPlan, run_load_test
 from repro.serving.registry import ArtifactRecord, ModelRegistry
+from repro.serving.router import (
+    AdmissionDecision,
+    FleetRouter,
+    RouterConfig,
+    TenantTier,
+)
 from repro.serving.server import (
     PredictionResponse,
     PredictionServer,
     ServerConfig,
     serve_tcp,
 )
+from repro.serving.traffic import TrafficShape, sample_arrivals, shape_by_name
 
 __all__ = [
+    "AdmissionDecision",
     "ArtifactRecord",
     "BatchBreakdown",
     "CacheStats",
+    "FleetConfig",
+    "FleetRouter",
+    "FleetStreamReport",
     "LoadTestPlan",
     "ModelRegistry",
     "PredictionCache",
     "PredictionEngine",
+    "PredictionFleet",
     "PredictionResponse",
     "PredictionServer",
+    "RouterConfig",
     "ServerConfig",
+    "TenantTier",
+    "TrafficShape",
     "run_load_test",
+    "sample_arrivals",
     "serve_tcp",
+    "shape_by_name",
 ]

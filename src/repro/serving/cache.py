@@ -31,6 +31,29 @@ DEFAULT_QUANTUM = 1e-6
 CacheKey = Tuple[str, Tuple[int, ...]]
 
 
+def quantize_matrix(
+    matrix: np.ndarray, quantum: float = DEFAULT_QUANTUM
+) -> np.ndarray:
+    """Bucket indices of a whole ``(batch, components)`` matrix at once.
+
+    Element-for-element identical to :meth:`PredictionCache.quantize` on
+    each row: both round half-to-even (``np.rint`` and Python's
+    ``round`` on floats), so the fleet's vectorized admission path and the
+    single-process server's scalar path always agree on the key space.
+    """
+    return np.rint(
+        np.asarray(matrix, dtype=np.float64) / quantum
+    ).astype(np.int64)
+
+
+def dequantize_matrix(
+    buckets: np.ndarray, quantum: float = DEFAULT_QUANTUM
+) -> np.ndarray:
+    """Canonical utilization rows of a bucket matrix — the exact values
+    the engine predicts, mirroring :meth:`PredictionCache.dequantize`."""
+    return np.asarray(buckets).astype(np.float64) * quantum
+
+
 @dataclass(frozen=True)
 class CacheStats:
     """Counters snapshot of one cache."""

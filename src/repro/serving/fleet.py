@@ -1,0 +1,682 @@
+"""Multi-process prediction fleet over shared-memory model artifacts.
+
+One asyncio :class:`~repro.serving.server.PredictionServer` tops out around
+~29k warm predictions/s — per-request event-loop overhead dominates long
+before the NumPy engine does. The fleet scales past that by changing the
+execution model, the same move the sharded campaign executor made in
+:mod:`repro.parallel`: requests travel in **chunks** of contiguous rows,
+each chunk is answered by one vectorized
+:meth:`~repro.serving.engine.PredictionEngine.predict_batch` pass inside a
+worker *process*, and the per-request cost collapses to a few array writes.
+
+Model distribution reuses the zero-copy substrate of
+:mod:`repro.parallel.transport`: the parent reads the registry's
+content-hashed artifact once, re-verifies its SHA-256, and publishes the
+bytes through a :class:`~repro.parallel.transport.BlobArena` — a
+parent-owned ``multiprocessing.shared_memory`` segment that every worker
+maps read-only (attach, copy, close, with ``resource_tracker``
+registration suppressed). The parent creates and unlinks the segment in a
+``finally``, so even a fleet whose every worker is SIGKILLed leaves
+``/dev/shm`` clean; each worker independently re-hashes the mapped bytes
+before building its engine.
+
+Every answer is **bitwise identical** to the single-process path. Workers
+quantize incoming rows with the cache's quantum
+(:func:`~repro.serving.cache.quantize_matrix`, element-identical to the
+scalar :meth:`~repro.serving.cache.PredictionCache.quantize`), predict the
+dequantized rows, and :meth:`PredictionEngine.predict_batch` is row-wise
+independent — so chunk boundaries, worker count, routing, rerouting and
+the per-worker :class:`~repro.serving.cache.PredictionCache` change no
+output bit. The differential harness (``tests/test_serving_fleet.py``)
+pins this for worker counts {1, 2, 4}, cache on and off.
+
+Crash handling: chunks are routed round-robin; the parent keeps each
+chunk's payload until its answer arrives, polls worker liveness while
+collecting, and re-dispatches the outstanding chunks of a dead worker to
+the survivors (``fleet.worker_deaths`` / ``fleet.reroutes`` counters).
+Only when *every* worker is gone does a stream fail, with
+:class:`~repro.errors.FleetBrokenError`.
+
+Telemetry (parent side): ``fleet.chunks``, ``fleet.requests``,
+``fleet.responses``, ``fleet.reroutes``, ``fleet.worker_deaths``,
+``fleet.errors``, plus a ``fleet.stream`` span per request stream.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import queue as queuelib
+import signal
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import (
+    FleetBrokenError,
+    FleetError,
+    RegistryError,
+    ServingError,
+)
+from repro.hardware.components import ALL_COMPONENTS
+from repro.parallel.transport import BlobArena, BlobHandle, read_blob
+from repro.serialization import model_from_dict
+from repro.serving.cache import (
+    DEFAULT_QUANTUM,
+    PredictionCache,
+    dequantize_matrix,
+    quantize_matrix,
+)
+from repro.serving.engine import PredictionEngine
+from repro.serving.registry import ArtifactRecord, ModelRegistry, _sha256
+from repro.telemetry import NULL_RECORDER, TelemetryRecorder
+
+__all__ = [
+    "FleetConfig",
+    "FleetStreamReport",
+    "PredictionFleet",
+]
+
+#: Columns of one request row (canonical ``ALL_COMPONENTS`` order).
+_N_COMPONENTS = len(ALL_COMPONENTS)
+
+#: Artifacts below this many bytes ship inline through the fork instead of
+#: a shared segment (one page of JSON is cheaper to copy than to map).
+SHM_MIN_ARTIFACT_BYTES = 4096
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Tunable limits of one prediction fleet."""
+
+    #: Worker processes.
+    workers: int = 2
+    #: Requests per dispatch chunk — the vectorized batch width.
+    chunk_rows: int = 256
+    #: Per-worker result memoization (bitwise-neutral; see module docs).
+    cache_enabled: bool = True
+    #: LRU entries per worker cache.
+    cache_capacity: int = 4096
+    #: Utilization quantum of the admission key space.
+    utilization_quantum: float = DEFAULT_QUANTUM
+    #: A stream with no progress (no response, no detected death) for this
+    #: long is declared wedged and fails with :class:`FleetError`.
+    progress_timeout_seconds: float = 30.0
+    #: How long the collector blocks on the response queue between
+    #: liveness sweeps.
+    poll_interval_seconds: float = 0.05
+    #: ``"shm"`` forces the artifact through the shared arena, ``"bytes"``
+    #: forces the inline-fork path, ``"auto"`` switches on artifact size.
+    artifact_transport: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ServingError("fleet needs at least one worker")
+        if self.chunk_rows < 1:
+            raise ServingError("chunk_rows must be >= 1")
+        if self.cache_capacity < 1:
+            raise ServingError("cache_capacity must be >= 1")
+        if not 0.0 < self.utilization_quantum <= 1.0:
+            raise ServingError("utilization quantum must be in (0, 1]")
+        if self.progress_timeout_seconds <= 0:
+            raise ServingError("progress_timeout_seconds must be positive")
+        if self.poll_interval_seconds <= 0:
+            raise ServingError("poll_interval_seconds must be positive")
+        if self.artifact_transport not in ("auto", "shm", "bytes"):
+            raise ServingError(
+                f"unknown artifact transport "
+                f"{self.artifact_transport!r} (auto, shm, bytes)"
+            )
+
+
+@dataclass(frozen=True)
+class FleetStreamReport:
+    """Outcome of one request stream through the fleet."""
+
+    #: ``(n,)`` watts at the reference configuration, or ``(n, C)`` grids.
+    values: np.ndarray
+    wall_seconds: float
+    chunk_count: int
+    #: Per-request service latency: time from chunk dispatch to chunk
+    #: answer, shared by every request of the chunk.
+    request_latencies_ms: np.ndarray
+    #: Chunks re-dispatched after their worker died.
+    reroutes: int
+    #: Workers that died during this stream.
+    worker_deaths: int
+
+    @property
+    def requests(self) -> int:
+        return len(self.request_latencies_ms)
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.requests / self.wall_seconds
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _load_engine(
+    artifact: bytes, expected_sha256: str
+) -> PredictionEngine:
+    """Artifact bytes -> verified engine (worker side and tests)."""
+    digest = _sha256(artifact)
+    if digest != expected_sha256:
+        raise RegistryError(
+            f"fleet artifact hash {digest[:12]} does not match the "
+            f"manifest's {expected_sha256[:12]}"
+        )
+    return PredictionEngine(model_from_dict(json.loads(artifact.decode())))
+
+
+def _answer_chunk(
+    engine: PredictionEngine,
+    cache: Optional[PredictionCache],
+    version_key: str,
+    quantum: float,
+    mode: str,
+    matrix: np.ndarray,
+) -> np.ndarray:
+    """Grid (or reference-config watts) answers for one chunk of rows.
+
+    The computation is identical with and without the cache: entries store
+    the full-grid vector of the *dequantized* key, and ``predict_batch``
+    is row-wise independent, so assembling a chunk from hits plus one
+    batched pass over the misses reproduces the uncached pass bit for bit.
+    """
+    if mode not in ("watts", "grid"):
+        raise ServingError(f"unknown chunk mode {mode!r}")
+    buckets = quantize_matrix(matrix, quantum)
+    if cache is None:
+        grids = engine.predict_batch(dequantize_matrix(buckets, quantum))
+    else:
+        grids = np.empty((len(buckets), engine.grid_size))
+        misses: List[int] = []
+        miss_keys: List[Tuple[str, Tuple[int, ...]]] = []
+        pending: Dict[Tuple[str, Tuple[int, ...]], List[int]] = {}
+        for index in range(len(buckets)):
+            key = (version_key, tuple(buckets[index].tolist()))
+            hit = cache.get(key)
+            if hit is not None:
+                grids[index] = hit
+            elif key in pending:
+                pending[key].append(index)
+            else:
+                pending[key] = [index]
+                misses.append(index)
+                miss_keys.append(key)
+        if misses:
+            computed = engine.predict_batch(
+                dequantize_matrix(buckets[misses], quantum)
+            )
+            for row, key in enumerate(miss_keys):
+                cache.put(key, computed[row])
+                for index in pending[key]:
+                    grids[index] = computed[row]
+    if mode == "grid":
+        return grids
+    return grids[:, engine.config_index(engine.spec.reference)]
+
+
+def _fleet_worker_main(
+    index: int,
+    artifact: Optional[bytes],
+    arena_handle: Optional[BlobHandle],
+    expected_sha256: str,
+    version_key: str,
+    config: FleetConfig,
+    request_queue,
+    response_queue,
+) -> None:
+    """One worker process: map the artifact, answer chunks until stopped.
+
+    Also runnable in a thread with plain queues — the unit tests drive the
+    loop in-process that way.
+    """
+    try:
+        if artifact is None:
+            artifact = read_blob(arena_handle)
+        engine = _load_engine(artifact, expected_sha256)
+        cache = (
+            PredictionCache(
+                capacity=config.cache_capacity,
+                quantum=config.utilization_quantum,
+            )
+            if config.cache_enabled
+            else None
+        )
+    except Exception as failure:
+        response_queue.put(("failed", index, repr(failure)))
+        return
+    response_queue.put(("ready", index, engine.grid_size))
+    while True:
+        message = request_queue.get()
+        if message is None:
+            return
+        kind = message[0]
+        if kind == "crash":
+            # Test/chaos hook: die the hard way, mid-stream, like a worker
+            # taken out by the OOM killer — no cleanup, no goodbye.
+            os._exit(13)
+        _, chunk_id, mode, n_rows, payload = message
+        try:
+            matrix = np.frombuffer(payload, dtype=np.float64).reshape(
+                n_rows, _N_COMPONENTS
+            )
+            values = _answer_chunk(
+                engine,
+                cache,
+                version_key,
+                config.utilization_quantum,
+                mode,
+                matrix,
+            )
+        except Exception as failure:
+            response_queue.put(("error", chunk_id, index, repr(failure)))
+            continue
+        response_queue.put(
+            ("ok", chunk_id, index, np.ascontiguousarray(values).tobytes())
+        )
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+@dataclass
+class _Chunk:
+    """One in-flight chunk: kept until answered so it can be rerouted."""
+
+    chunk_id: int
+    start: int
+    stop: int
+    payload: bytes
+    worker: int
+    submitted_at: float
+
+
+class PredictionFleet:
+    """Serve one registry model from a pool of worker processes."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        model_name: str,
+        config: Optional[FleetConfig] = None,
+        version: Optional[int] = None,
+        recorder: TelemetryRecorder = NULL_RECORDER,
+    ) -> None:
+        self.registry = registry
+        self.model_name = model_name
+        self.config = config or FleetConfig()
+        self.recorder = recorder
+        self._requested_version = version
+        self._record: Optional[ArtifactRecord] = None
+        self._arena: Optional[BlobArena] = None
+        self._processes: List[Optional[multiprocessing.Process]] = []
+        self._request_queues: List = []
+        self._response_queue = None
+        self._alive: List[bool] = []
+        self._grid_size: Optional[int] = None
+        self._running = False
+        self._next_chunk_id = 0
+        self._deaths = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> ArtifactRecord:
+        """Verify the artifact, publish it, spawn and handshake workers."""
+        if self._running:
+            raise FleetError("fleet is already running")
+        record = self.registry.resolve(
+            self.model_name, self._requested_version
+        )
+        try:
+            payload = record.path.read_bytes()
+        except OSError as gone:
+            raise RegistryError(
+                f"artifact {record.path} of {record.version_key} is "
+                f"unreadable: {gone}"
+            ) from gone
+        if _sha256(payload) != record.sha256:
+            raise RegistryError(
+                f"artifact {record.path} of {record.version_key} is "
+                "corrupt: content hash does not match the manifest"
+            )
+        use_arena = self.config.artifact_transport == "shm" or (
+            self.config.artifact_transport == "auto"
+            and len(payload) >= SHM_MIN_ARTIFACT_BYTES
+        )
+        context = multiprocessing.get_context()
+        try:
+            handle: Optional[BlobHandle] = None
+            inline: Optional[bytes] = None
+            if use_arena:
+                self._arena = BlobArena(payload)
+                handle = self._arena.open()
+            else:
+                inline = payload
+            self._response_queue = context.Queue()
+            self._request_queues = [
+                context.Queue() for _ in range(self.config.workers)
+            ]
+            self._alive = [True] * self.config.workers
+            self._processes = []
+            for index in range(self.config.workers):
+                process = context.Process(
+                    target=_fleet_worker_main,
+                    args=(
+                        index,
+                        inline,
+                        handle,
+                        record.sha256,
+                        record.version_key,
+                        self.config,
+                        self._request_queues[index],
+                        self._response_queue,
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                self._processes.append(process)
+            self._record = record
+            self._handshake()
+        except BaseException:
+            self._running = True  # let stop() tear everything down
+            self.stop()
+            raise
+        self._running = True
+        return record
+
+    def _handshake(self) -> None:
+        """Block until every worker reports ready (or failed)."""
+        deadline = time.monotonic() + self.config.progress_timeout_seconds
+        ready = 0
+        while ready < self.config.workers:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise FleetError(
+                    f"fleet startup wedged: {ready}/"
+                    f"{self.config.workers} workers ready within "
+                    f"{self.config.progress_timeout_seconds:.1f}s"
+                )
+            try:
+                message = self._response_queue.get(timeout=min(remaining, 0.1))
+            except queuelib.Empty:
+                for index, process in enumerate(self._processes):
+                    if self._alive[index] and not process.is_alive():
+                        raise FleetError(
+                            f"fleet worker {index} died during startup "
+                            f"(exit code {process.exitcode})"
+                        )
+                continue
+            if message[0] == "failed":
+                raise FleetError(
+                    f"fleet worker {message[1]} failed to load the "
+                    f"artifact: {message[2]}"
+                )
+            if message[0] == "ready":
+                self._grid_size = int(message[2])
+                ready += 1
+
+    def stop(self) -> None:
+        """Stop the workers and unlink the artifact segment (idempotent)."""
+        if not self._running and self._arena is None and not self._processes:
+            return
+        self._running = False
+        try:
+            for index, process in enumerate(self._processes):
+                if process is not None and process.is_alive():
+                    try:
+                        self._request_queues[index].put(None)
+                    except (OSError, ValueError):  # pragma: no cover
+                        pass
+            for process in self._processes:
+                if process is not None:
+                    process.join(timeout=2.0)
+                    if process.is_alive():  # pragma: no cover - stuck worker
+                        process.terminate()
+                        process.join(timeout=2.0)
+            for request_queue in self._request_queues:
+                request_queue.close()
+                request_queue.cancel_join_thread()
+            if self._response_queue is not None:
+                self._response_queue.close()
+                self._response_queue.cancel_join_thread()
+        finally:
+            self._processes = []
+            self._request_queues = []
+            self._response_queue = None
+            self._alive = []
+            arena, self._arena = self._arena, None
+            if arena is not None:
+                arena.destroy()
+
+    def __enter__(self) -> "PredictionFleet":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def record(self) -> ArtifactRecord:
+        if self._record is None:
+            raise FleetError("fleet has not been started")
+        return self._record
+
+    @property
+    def grid_size(self) -> int:
+        if self._grid_size is None:
+            raise FleetError("fleet has not been started")
+        return self._grid_size
+
+    @property
+    def workers_alive(self) -> int:
+        return sum(self._alive)
+
+    @property
+    def worker_deaths(self) -> int:
+        return self._deaths
+
+    # ------------------------------------------------------------------
+    # Chaos hooks
+    # ------------------------------------------------------------------
+    def inject_crash(self, worker_index: int) -> None:
+        """Queue a hard ``os._exit`` for one worker (crash-recovery hook)."""
+        if not self._running:
+            raise FleetError("fleet is not running")
+        self._request_queues[worker_index].put(("crash",))
+
+    def kill_worker(self, worker_index: int) -> None:
+        """SIGKILL one worker outright — no queue, no warning."""
+        if not self._running:
+            raise FleetError("fleet is not running")
+        process = self._processes[worker_index]
+        if process is not None and process.pid is not None:
+            os.kill(process.pid, signal.SIGKILL)
+            process.join(timeout=2.0)
+
+    # ------------------------------------------------------------------
+    # Streams
+    # ------------------------------------------------------------------
+    def predict_stream(
+        self, matrix: np.ndarray, grid: bool = False
+    ) -> np.ndarray:
+        """Answers for a whole request stream, in request order."""
+        return self.run_stream(matrix, grid=grid).values
+
+    def run_stream(
+        self, matrix: np.ndarray, grid: bool = False
+    ) -> FleetStreamReport:
+        """Chunk the stream, dispatch round-robin, collect with rerouting."""
+        if not self._running:
+            raise FleetError("fleet is not running")
+        matrix = np.ascontiguousarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != _N_COMPONENTS:
+            raise ServingError(
+                f"request stream must be (n, {_N_COMPONENTS}), "
+                f"got {matrix.shape}"
+            )
+        n = matrix.shape[0]
+        if n < 1:
+            raise ServingError("request stream must be non-empty")
+        mode = "grid" if grid else "watts"
+        values = np.empty((n, self.grid_size) if grid else n)
+        latencies = np.empty(n)
+        reroutes = 0
+        deaths_before = self._deaths
+
+        chunk_rows = self.config.chunk_rows
+        bounds = [
+            (start, min(start + chunk_rows, n))
+            for start in range(0, n, chunk_rows)
+        ]
+        with self.recorder.span(
+            "fleet.stream", requests=n, chunks=len(bounds), mode=mode
+        ):
+            self.recorder.add("fleet.requests", n)
+            self.recorder.add("fleet.chunks", len(bounds))
+            wall_start = time.perf_counter()
+            pending: Dict[int, _Chunk] = {}
+            targets = self._alive_workers()
+            for position, (start, stop) in enumerate(bounds):
+                chunk = _Chunk(
+                    chunk_id=self._next_chunk_id,
+                    start=start,
+                    stop=stop,
+                    payload=matrix[start:stop].tobytes(),
+                    worker=targets[position % len(targets)],
+                    submitted_at=0.0,
+                )
+                self._next_chunk_id += 1
+                pending[chunk.chunk_id] = chunk
+                self._dispatch(chunk, mode)
+
+            last_progress = time.monotonic()
+            while pending:
+                try:
+                    message = self._response_queue.get(
+                        timeout=self.config.poll_interval_seconds
+                    )
+                except queuelib.Empty:
+                    rerouted = self._reroute_dead(pending, mode)
+                    if rerouted:
+                        reroutes += rerouted
+                        last_progress = time.monotonic()
+                    elif (
+                        time.monotonic() - last_progress
+                        > self.config.progress_timeout_seconds
+                    ):
+                        raise FleetError(
+                            f"fleet stream wedged: {len(pending)} chunks "
+                            "outstanding with no progress for "
+                            f"{self.config.progress_timeout_seconds:.1f}s"
+                        )
+                    continue
+                last_progress = time.monotonic()
+                kind = message[0]
+                if kind == "error":
+                    _, chunk_id, worker_index, failure = message
+                    self.recorder.add("fleet.errors")
+                    raise FleetError(
+                        f"fleet worker {worker_index} failed on chunk "
+                        f"{chunk_id}: {failure}"
+                    )
+                if kind != "ok":  # late "ready" from a restarted handshake
+                    continue
+                _, chunk_id, worker_index, payload = message
+                chunk = pending.pop(chunk_id, None)
+                if chunk is None:
+                    continue  # duplicate after a reroute race: first wins
+                answered = np.frombuffer(payload, dtype=np.float64)
+                if grid:
+                    answered = answered.reshape(
+                        chunk.stop - chunk.start, self.grid_size
+                    )
+                values[chunk.start : chunk.stop] = answered
+                latencies[chunk.start : chunk.stop] = (
+                    time.perf_counter() - chunk.submitted_at
+                ) * 1000.0
+                self.recorder.add("fleet.responses")
+            wall = time.perf_counter() - wall_start
+        return FleetStreamReport(
+            values=values,
+            wall_seconds=wall,
+            chunk_count=len(bounds),
+            request_latencies_ms=latencies,
+            reroutes=reroutes,
+            worker_deaths=self._deaths - deaths_before,
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatch / rerouting internals
+    # ------------------------------------------------------------------
+    def _alive_workers(self) -> List[int]:
+        self._sweep_liveness()
+        alive = [index for index, up in enumerate(self._alive) if up]
+        if not alive:
+            raise FleetBrokenError(
+                f"all {self.config.workers} fleet workers have died"
+            )
+        return alive
+
+    def _sweep_liveness(self) -> List[int]:
+        """Mark freshly dead workers; returns their indices."""
+        died = []
+        for index, process in enumerate(self._processes):
+            if self._alive[index] and not process.is_alive():
+                self._alive[index] = False
+                self._deaths += 1
+                died.append(index)
+                self.recorder.add("fleet.worker_deaths")
+        return died
+
+    def _dispatch(self, chunk: _Chunk, mode: str) -> None:
+        chunk.submitted_at = time.perf_counter()
+        self._request_queues[chunk.worker].put(
+            (
+                "chunk",
+                chunk.chunk_id,
+                mode,
+                chunk.stop - chunk.start,
+                chunk.payload,
+            )
+        )
+
+    def _reroute_dead(self, pending: Dict[int, _Chunk], mode: str) -> int:
+        """Re-dispatch the outstanding chunks of every dead worker."""
+        self._sweep_liveness()
+        orphaned = [
+            chunk
+            for chunk in pending.values()
+            if not self._alive[chunk.worker]
+        ]
+        if not orphaned:
+            return 0
+        survivors = [index for index, up in enumerate(self._alive) if up]
+        if not survivors:
+            raise FleetBrokenError(
+                f"all {self.config.workers} fleet workers died with "
+                f"{len(pending)} chunks outstanding"
+            )
+        for position, chunk in enumerate(
+            sorted(orphaned, key=lambda c: c.chunk_id)
+        ):
+            chunk.worker = survivors[position % len(survivors)]
+            self._dispatch(chunk, mode)
+            self.recorder.add("fleet.reroutes")
+        return len(orphaned)

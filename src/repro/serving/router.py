@@ -1,0 +1,231 @@
+"""Tenant-aware admission control in front of the prediction fleet.
+
+The router decides, per request, whether the fleet will see it at all.
+Three outcomes, mirroring a production front door:
+
+* **admitted** — within the tenant's quota and the global backlog bound;
+* **shed (quota)** — the tenant's token bucket is empty: a fast 503
+  (:class:`~repro.errors.ServerOverloadedError`) without touching the
+  fleet, so one noisy tenant cannot starve the others;
+* **shed (backlog)** — the modelled global queue is full: load-shedding
+  under aggregate overload, again a fast 503.
+
+Admission runs in **virtual time**: decisions are a pure function of the
+arrival timestamps the traffic shapes generate (see
+:mod:`repro.serving.traffic`), never of the wall clock. That is what makes
+the loadgen's shed/admit counts seed-deterministic — the same seeded shape
+replayed twice yields byte-identical admission logs — while real wall
+time is only ever measured *downstream*, for the latency of requests that
+were actually admitted.
+
+Quotas are classic token buckets: a tenant's bucket holds at most
+``burst`` tokens, refills at ``rate_rps``, and each admitted request
+spends one. The global backlog is a fluid model of the fleet's queue: it
+grows by one per admitted request and drains at ``service_rate_rps``
+between arrivals. Both are exact closed-form updates — no timers, no
+background tasks.
+
+Telemetry: ``router.admitted``, ``router.shed_quota``,
+``router.shed_backlog`` (each also labelled per tenant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import RoutingError, ServerOverloadedError, ServingError
+from repro.telemetry import NULL_RECORDER, TelemetryRecorder
+
+__all__ = [
+    "AdmissionDecision",
+    "FleetRouter",
+    "RouterConfig",
+    "TenantTier",
+    "DEFAULT_TIERS",
+]
+
+#: Decision reasons, in the order they are checked.
+REASON_OK = "ok"
+REASON_QUOTA = "quota"
+REASON_BACKLOG = "backlog"
+
+
+@dataclass(frozen=True)
+class TenantTier:
+    """Quota envelope of one tenant class."""
+
+    name: str
+    #: Sustained request rate the tenant may hold indefinitely.
+    rate_rps: float
+    #: Bucket depth: how far above the sustained rate a burst may spike.
+    burst: int
+
+    def __post_init__(self) -> None:
+        if self.rate_rps <= 0:
+            raise ServingError(
+                f"tenant tier {self.name!r} needs a positive rate"
+            )
+        if self.burst < 1:
+            raise ServingError(
+                f"tenant tier {self.name!r} needs a burst depth >= 1"
+            )
+
+
+#: Stock tiers the loadgen's shapes exercise. The paid tier is quota'd
+#: *above* the router's modelled service rate, so a paid flash crowd sheds
+#: on global **backlog** (aggregate overload), while the free tier's tight
+#: quota makes its share of a mixed crest shed on **quota** long before
+#: the fleet feels it.
+DEFAULT_TIERS: Tuple[TenantTier, ...] = (
+    TenantTier(name="paid", rate_rps=8000.0, burst=2000),
+    TenantTier(name="free", rate_rps=200.0, burst=50),
+)
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Global admission limits shared by every tenant."""
+
+    #: Modelled drain rate of the fleet behind this router.
+    service_rate_rps: float = 5000.0
+    #: Maximum modelled backlog before aggregate load-shedding starts.
+    max_backlog: int = 512
+
+    def __post_init__(self) -> None:
+        if self.service_rate_rps <= 0:
+            raise ServingError("router service rate must be positive")
+        if self.max_backlog < 1:
+            raise ServingError("router max_backlog must be >= 1")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """One request's fate at the front door."""
+
+    tenant: str
+    arrival_s: float
+    admitted: bool
+    #: ``"ok"``, ``"quota"`` or ``"backlog"``.
+    reason: str
+
+
+@dataclass
+class _Bucket:
+    tokens: float
+    last_refill_s: float
+
+
+class FleetRouter:
+    """Virtual-time token-bucket admission for a set of tenants."""
+
+    def __init__(
+        self,
+        tiers: Iterable[TenantTier] = DEFAULT_TIERS,
+        config: Optional[RouterConfig] = None,
+        recorder: TelemetryRecorder = NULL_RECORDER,
+    ) -> None:
+        self.config = config or RouterConfig()
+        self.recorder = recorder
+        self._tiers: Dict[str, TenantTier] = {}
+        for tier in tiers:
+            if tier.name in self._tiers:
+                raise ServingError(f"duplicate tenant tier {tier.name!r}")
+            self._tiers[tier.name] = tier
+        if not self._tiers:
+            raise ServingError("router needs at least one tenant tier")
+        self._buckets: Dict[str, _Bucket] = {
+            name: _Bucket(tokens=float(tier.burst), last_refill_s=0.0)
+            for name, tier in self._tiers.items()
+        }
+        self._backlog = 0.0
+        self._last_arrival_s = 0.0
+        self._admitted = 0
+        self._shed_quota = 0
+        self._shed_backlog = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def tenants(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._tiers))
+
+    def tier(self, tenant: str) -> TenantTier:
+        if tenant not in self._tiers:
+            raise RoutingError(
+                f"unknown tenant {tenant!r} (known: {list(self.tenants)})"
+            )
+        return self._tiers[tenant]
+
+    def counts(self) -> Dict[str, int]:
+        """Admission counters so far."""
+        return {
+            "admitted": self._admitted,
+            "shed_quota": self._shed_quota,
+            "shed_backlog": self._shed_backlog,
+        }
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def admit(self, tenant: str, arrival_s: float) -> AdmissionDecision:
+        """Decide one request at its virtual arrival time.
+
+        Arrivals must be non-decreasing — the traffic shapes emit them
+        sorted, and a rewind would make the fluid models meaningless.
+        """
+        tier = self.tier(tenant)
+        if arrival_s < self._last_arrival_s:
+            raise RoutingError(
+                f"non-monotonic virtual time: arrival {arrival_s:.6f}s "
+                f"after {self._last_arrival_s:.6f}s"
+            )
+        # Drain the modelled backlog for the elapsed virtual interval.
+        elapsed = arrival_s - self._last_arrival_s
+        self._backlog = max(
+            0.0, self._backlog - elapsed * self.config.service_rate_rps
+        )
+        self._last_arrival_s = arrival_s
+
+        # Refill the tenant's bucket to the same instant.
+        bucket = self._buckets[tenant]
+        bucket.tokens = min(
+            float(tier.burst),
+            bucket.tokens
+            + (arrival_s - bucket.last_refill_s) * tier.rate_rps,
+        )
+        bucket.last_refill_s = arrival_s
+
+        if bucket.tokens < 1.0:
+            self._shed_quota += 1
+            self.recorder.add("router.shed_quota", tenant=tenant)
+            return AdmissionDecision(tenant, arrival_s, False, REASON_QUOTA)
+        if self._backlog + 1.0 > self.config.max_backlog:
+            self._shed_backlog += 1
+            self.recorder.add("router.shed_backlog", tenant=tenant)
+            return AdmissionDecision(tenant, arrival_s, False, REASON_BACKLOG)
+        bucket.tokens -= 1.0
+        self._backlog += 1.0
+        self._admitted += 1
+        self.recorder.add("router.admitted", tenant=tenant)
+        return AdmissionDecision(tenant, arrival_s, True, REASON_OK)
+
+    def admit_or_raise(self, tenant: str, arrival_s: float) -> AdmissionDecision:
+        """:meth:`admit`, raising the fast 503 on a shed request."""
+        decision = self.admit(tenant, arrival_s)
+        if not decision.admitted:
+            raise ServerOverloadedError(
+                f"request from tenant {tenant!r} shed on "
+                f"{decision.reason} at t={arrival_s:.3f}s"
+            )
+        return decision
+
+    def admit_stream(
+        self, tenants: Iterable[str], arrivals: Iterable[float]
+    ) -> List[AdmissionDecision]:
+        """Decide a whole arrival stream; pure in (tenants, arrivals)."""
+        return [
+            self.admit(tenant, float(arrival))
+            for tenant, arrival in zip(tenants, arrivals)
+        ]

@@ -207,10 +207,12 @@ class TestLoadTest:
         assert "serving load test" in out
         assert "report written" in out
         report = json.loads(output.read_text())
-        assert report["schema"] == "repro.serving.bench/v1"
+        assert report["schema"] == "repro.serving.bench/v2"
         assert report["device"] == "Tesla K40c"
         assert report["requests_per_phase"] == 60
         assert [l["concurrency"] for l in report["levels"]] == [4]
+        assert [e["workers"] for e in report["fleet"]["by_workers"]] == [1, 2]
+        assert [s["shape"] for s in report["shapes"]] == ["burst"]
         # The model the run fitted stays published for reuse.
         assert (registry / "tesla-k40c" / "manifest.json").exists()
 
@@ -219,10 +221,43 @@ class TestLoadTest:
             [
                 "load-test", "--quick", "--device", "Tesla K40c",
                 "--requests", "40", "--concurrency", "2", "--strict",
+                "--min-fleet-speedup", "1.5",
                 "--output", str(tmp_path / "bench.json"),
             ]
         )
         assert code == 0
+
+    def test_unreachable_fleet_gate_fails(self, tmp_path, capsys):
+        code = main(
+            [
+                "load-test", "--quick", "--device", "Tesla K40c",
+                "--requests", "40", "--concurrency", "2",
+                "--min-fleet-speedup", "1e9",
+                "--output", str(tmp_path / "bench.json"),
+            ]
+        )
+        assert code == 1
+        assert "below the required" in capsys.readouterr().err
+
+    def test_shape_and_fleet_flags_reach_the_plan(self, tmp_path):
+        output = tmp_path / "bench.json"
+        code = main(
+            [
+                "load-test", "--quick", "--device", "Tesla K40c",
+                "--requests", "40", "--concurrency", "2",
+                "--fleet-workers", "2", "--chunk-rows", "8",
+                "--shape", "mixed", "--shape", "diurnal",
+                "--output", str(output),
+            ]
+        )
+        # The report is written before any gate check; a 40-request
+        # 8-row-chunk fleet pass is too small to hold the 3x floor
+        # reliably, and this test pins flag plumbing, not the gate.
+        assert code in (0, 1)
+        report = json.loads(output.read_text())
+        assert report["fleet"]["worker_counts"] == [2]
+        assert report["fleet"]["chunk_rows"] == 8
+        assert [s["shape"] for s in report["shapes"]] == ["mixed", "diurnal"]
 
 
 class TestServeSmoke:

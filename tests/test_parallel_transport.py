@@ -57,7 +57,7 @@ from repro.parallel import (
     usable_cpu_count,
 )
 from repro.parallel import pool as poollib
-from repro.parallel.transport import write_arena_slice
+from repro.parallel.transport import BlobArena, read_blob, write_arena_slice
 from repro.telemetry import TraceRecorder
 
 TIER_KERNELS = 10
@@ -220,6 +220,87 @@ class TestColumnArena:
             write_arena_slice(
                 handle, 0, ones, ones, ones, ones.astype(np.uint8)
             )
+
+
+# ----------------------------------------------------------------------
+# Blob arena (shared immutable artifacts for the serving fleet)
+# ----------------------------------------------------------------------
+class TestBlobArena:
+    def test_round_trip_is_bitwise(self):
+        payload = np.random.default_rng(5).bytes(10_000)
+        with BlobArena(payload) as arena:
+            assert read_blob(arena.handle) == payload
+
+    def test_logical_size_survives_page_rounding(self):
+        # /dev/shm segments are page-rounded; the handle must carry the
+        # payload's true length so readers never see padding bytes.
+        payload = b"short"
+        with BlobArena(payload) as arena:
+            assert arena.handle.size == len(payload)
+            assert read_blob(arena.handle) == payload
+
+    def test_open_is_idempotent(self):
+        arena = BlobArena(b"abc")
+        try:
+            assert arena.open() == arena.open() == arena.handle
+        finally:
+            arena.destroy()
+
+    def test_destroy_is_idempotent_and_unlinks(self):
+        before = _shm_segments()
+        arena = BlobArena(b"payload")
+        arena.open()
+        assert _shm_segments() != before
+        arena.destroy()
+        arena.destroy()
+        assert _shm_segments() == before
+
+    def test_destroyed_arena_cannot_reopen(self):
+        arena = BlobArena(b"payload")
+        arena.open()
+        arena.destroy()
+        with pytest.raises(ValidationError, match="destroyed"):
+            arena.open()
+
+    def test_handle_requires_open(self):
+        with pytest.raises(ValidationError, match="not open"):
+            BlobArena(b"payload").handle
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            BlobArena(b"")
+
+    def test_stale_handle_read_fails_cleanly(self):
+        arena = BlobArena(b"data")
+        handle = arena.open()
+        arena.destroy()
+        with pytest.raises(FileNotFoundError):
+            read_blob(handle)
+
+    def test_worker_crash_cannot_unlink_parent_segment(self):
+        """A forked reader that dies hard must not take the segment with
+        it — the resource-tracker suppression in read_blob is what keeps
+        the parent's artifact alive (same discipline as the column arena).
+        """
+        import multiprocessing
+
+        before = _shm_segments()
+        with BlobArena(b"artifact-bytes" * 64) as arena:
+            handle = arena.handle
+
+            def read_then_die(handle=handle):  # pragma: no cover - child
+                read_blob(handle)
+                os._exit(13)
+
+            process = multiprocessing.get_context().Process(
+                target=read_then_die
+            )
+            process.start()
+            process.join(timeout=10.0)
+            assert process.exitcode == 13
+            # The parent can still read its own segment afterwards.
+            assert read_blob(handle) == b"artifact-bytes" * 64
+        assert _shm_segments() == before
 
 
 # ----------------------------------------------------------------------

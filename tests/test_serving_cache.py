@@ -1,12 +1,27 @@
-"""LRU prediction-cache tests (:mod:`repro.serving.cache`)."""
+"""LRU prediction-cache tests (:mod:`repro.serving.cache`).
+
+The hypothesis section pins the quantized-key contract the whole serving
+layer leans on: ``1e-6`` bucketing is stable under float round-trips
+(re-quantizing a canonical row is the identity), keys never collide across
+distinct artifact ``version_key``s, and the fleet's vectorized
+``quantize_matrix``/``dequantize_matrix`` agree element-for-element with
+the scalar path the asyncio server uses.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ServingError
-from repro.serving.cache import DEFAULT_QUANTUM, PredictionCache
+from repro.serving.cache import (
+    DEFAULT_QUANTUM,
+    PredictionCache,
+    dequantize_matrix,
+    quantize_matrix,
+)
 
 
 def key_of(cache, *values, version="m@v1:abc"):
@@ -109,6 +124,63 @@ class TestStats:
 
     def test_hit_rate_of_idle_cache_is_zero(self):
         assert PredictionCache().stats().hit_rate == 0.0
+
+
+#: Utilizations as the metric layer produces them: finite, in [0, 1].
+unit_floats = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+utilization_rows = st.lists(unit_floats, min_size=1, max_size=7)
+version_keys = st.text(min_size=1, max_size=24)
+
+
+class TestQuantizationProperties:
+    @given(utilization_rows)
+    @settings(max_examples=200, deadline=None)
+    def test_bucketing_is_stable_under_float_round_trips(self, values):
+        """quantize ∘ dequantize is the identity on bucket space."""
+        cache = PredictionCache()
+        buckets = cache.quantize(values)
+        canonical = cache.dequantize(buckets)
+        assert cache.quantize(list(canonical)) == buckets
+        # And once canonical, the row is a fixed point of the round trip.
+        again = cache.dequantize(cache.quantize(list(canonical)))
+        assert again.tobytes() == canonical.tobytes()
+
+    @given(utilization_rows, version_keys, version_keys)
+    @settings(max_examples=200, deadline=None)
+    def test_keys_never_collide_across_version_keys(
+        self, values, first_version, second_version
+    ):
+        cache = PredictionCache()
+        first = cache.key(first_version, values)
+        second = cache.key(second_version, values)
+        assert (first == second) == (first_version == second_version)
+
+    @given(st.lists(utilization_rows.map(lambda r: (r + [0.0] * 7)[:7]),
+                    min_size=1, max_size=12))
+    @settings(max_examples=200, deadline=None)
+    def test_vectorized_path_matches_scalar_bitwise(self, rows):
+        """The fleet's matrix helpers and the server's scalar path agree
+        on every bucket and on every dequantized byte."""
+        cache = PredictionCache()
+        buckets = quantize_matrix(rows)
+        rows_back = dequantize_matrix(buckets)
+        for index, row in enumerate(rows):
+            scalar = cache.quantize(row)
+            assert tuple(buckets[index].tolist()) == scalar
+            assert (
+                rows_back[index].tobytes()
+                == cache.dequantize(scalar).tobytes()
+            )
+
+    @given(unit_floats, st.integers(min_value=-1, max_value=1))
+    @settings(max_examples=200, deadline=None)
+    def test_neighbouring_buckets_stay_distinct(self, value, offset):
+        """Shifting any value by one full quantum always changes its key
+        (at a round-half-even tie it may hop two buckets — never zero)."""
+        cache = PredictionCache()
+        shifted = value + offset * cache.quantum
+        (a,), (b,) = cache.quantize([value]), cache.quantize([shifted])
+        assert (a == b) == (offset == 0)
 
 
 class TestValidation:

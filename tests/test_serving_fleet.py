@@ -1,0 +1,398 @@
+"""Differential fleet-equivalence harness (:mod:`repro.serving.fleet`).
+
+The headline contract of ISSUE 7: an N-worker fleet's responses are
+**bitwise equal** to the single-process :class:`PredictionEngine` on the
+same request stream — for N in {1, 2, 4}, with and without the per-worker
+cache, for scalar-watts and full-grid responses, through the shared-memory
+artifact path and the inline-bytes path alike.
+
+Degradation is covered from both directions: a worker killed mid-stream
+(cooperative ``os._exit`` sentinel and raw SIGKILL) must be detected, its
+outstanding chunks rerouted to survivors, and the answers stay bitwise
+identical; only a fleet with *no* survivors raises
+:class:`~repro.errors.FleetBrokenError`. Every crash scenario also asserts
+``/dev/shm`` hygiene — the parent-owned artifact segment is unlinked no
+matter how the workers die (mirroring the ``BrokenProcessPool`` checks in
+``test_parallel_transport.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue as queuelib
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    FleetBrokenError,
+    FleetError,
+    RegistryError,
+    ServingError,
+)
+from repro.hardware.components import ALL_COMPONENTS
+from repro.serving.cache import (
+    PredictionCache,
+    dequantize_matrix,
+    quantize_matrix,
+)
+from repro.serving.engine import PredictionEngine
+from repro.serving.fleet import (
+    FleetConfig,
+    PredictionFleet,
+    _answer_chunk,
+    _fleet_worker_main,
+    _load_engine,
+)
+from repro.serving.registry import ModelRegistry
+from repro.telemetry import TraceRecorder
+
+N_COMPONENTS = len(ALL_COMPONENTS)
+
+
+def _shm_segments():
+    return {name for name in os.listdir("/dev/shm") if name.startswith("psm_")}
+
+
+@pytest.fixture(scope="module")
+def k40c_model(lab):
+    return lab.model("Tesla K40c")
+
+
+@pytest.fixture()
+def registry(tmp_path, k40c_model):
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.publish(k40c_model)
+    return registry
+
+
+@pytest.fixture(scope="module")
+def stream():
+    """A seeded request stream with repeats (cache-friendly) and noise."""
+    rng = np.random.default_rng(1807)
+    base = rng.uniform(0.0, 1.0, size=(12, N_COMPONENTS))
+    picks = rng.integers(0, len(base), size=400)
+    matrix = base[picks].copy()
+    jitter = rng.integers(0, 2, size=400).astype(bool)
+    matrix[jitter] = np.clip(
+        matrix[jitter] + rng.uniform(-5e-3, 5e-3, size=(jitter.sum(), N_COMPONENTS)),
+        0.0,
+        1.0,
+    )
+    return matrix
+
+
+def reference_answers(registry, matrix):
+    """The single-process ground truth the fleet must match bit for bit."""
+    model, record = registry.load("tesla-k40c")
+    engine = PredictionEngine(model)
+    grids = engine.predict_batch(dequantize_matrix(quantize_matrix(matrix)))
+    watts = grids[:, engine.config_index(engine.spec.reference)]
+    return engine, watts, grids
+
+
+# ----------------------------------------------------------------------
+# The differential harness
+# ----------------------------------------------------------------------
+class TestFleetEquivalence:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("cache_enabled", [True, False])
+    def test_fleet_matches_engine_bitwise(
+        self, registry, stream, workers, cache_enabled
+    ):
+        _, watts, grids = reference_answers(registry, stream)
+        config = FleetConfig(
+            workers=workers, chunk_rows=32, cache_enabled=cache_enabled
+        )
+        with PredictionFleet(registry, "tesla-k40c", config) as fleet:
+            got_watts = fleet.predict_stream(stream)
+            got_grids = fleet.predict_stream(stream, grid=True)
+            # A second pass (warm per-worker caches) must not change a bit.
+            rerun = fleet.predict_stream(stream)
+        assert got_watts.tobytes() == watts.tobytes()
+        assert got_grids.tobytes() == grids.tobytes()
+        assert rerun.tobytes() == watts.tobytes()
+
+    def test_inline_bytes_transport_is_equivalent(self, registry, stream):
+        _, watts, _ = reference_answers(registry, stream)
+        config = FleetConfig(
+            workers=2, chunk_rows=32, artifact_transport="bytes"
+        )
+        with PredictionFleet(registry, "tesla-k40c", config) as fleet:
+            assert fleet.predict_stream(stream).tobytes() == watts.tobytes()
+
+    def test_chunk_width_never_changes_answers(self, registry, stream):
+        _, watts, _ = reference_answers(registry, stream)
+        outputs = []
+        for chunk_rows in (7, 64, 1024):
+            config = FleetConfig(workers=2, chunk_rows=chunk_rows)
+            with PredictionFleet(registry, "tesla-k40c", config) as fleet:
+                outputs.append(fleet.predict_stream(stream).tobytes())
+        assert all(out == watts.tobytes() for out in outputs)
+
+
+# ----------------------------------------------------------------------
+# The worker compute kernel, in-process
+# ----------------------------------------------------------------------
+class TestAnswerChunk:
+    def test_cache_assembly_is_bitwise_neutral(self, registry, stream):
+        engine, _, grids = reference_answers(registry, stream)
+        record = registry.latest("tesla-k40c")
+        cache = PredictionCache(capacity=4096)
+        cached = _answer_chunk(
+            engine, cache, record.version_key, cache.quantum, "grid", stream
+        )
+        warm = _answer_chunk(
+            engine, cache, record.version_key, cache.quantum, "grid", stream
+        )
+        uncached = _answer_chunk(
+            engine, None, record.version_key, cache.quantum, "grid", stream
+        )
+        assert cached.tobytes() == uncached.tobytes() == grids.tobytes()
+        # The warm pass is all hits — and still the same bytes.
+        assert warm.tobytes() == grids.tobytes()
+        assert cache.stats().hits == len(stream)
+
+    def test_duplicate_rows_within_one_chunk_compute_once(self, registry):
+        engine, _, _ = reference_answers(
+            registry, np.zeros((1, N_COMPONENTS))
+        )
+        record = registry.latest("tesla-k40c")
+        cache = PredictionCache()
+        chunk = np.tile(np.full((1, N_COMPONENTS), 0.25), (6, 1))
+        result = _answer_chunk(
+            engine, cache, record.version_key, cache.quantum, "watts", chunk
+        )
+        assert len(set(result.tolist())) == 1
+        assert cache.stats().misses == 6  # six lookups...
+        assert len(cache) == 1  # ...but one computed entry
+
+    def test_unknown_mode_rejected(self, registry, stream):
+        engine, _, _ = reference_answers(registry, stream)
+        with pytest.raises(ServingError, match="unknown chunk mode"):
+            _answer_chunk(engine, None, "k", 1e-6, "median", stream)
+
+
+# ----------------------------------------------------------------------
+# The worker main loop, driven in a thread (coverage without a fork)
+# ----------------------------------------------------------------------
+class TestWorkerLoop:
+    def _payload(self, registry):
+        record = registry.latest("tesla-k40c")
+        return record, record.path.read_bytes()
+
+    def test_loop_answers_chunks_until_stopped(self, registry, stream):
+        record, payload = self._payload(registry)
+        _, watts, _ = reference_answers(registry, stream)
+        requests, responses = queuelib.Queue(), queuelib.Queue()
+        worker = threading.Thread(
+            target=_fleet_worker_main,
+            args=(
+                0,
+                payload,
+                None,
+                record.sha256,
+                record.version_key,
+                FleetConfig(workers=1),
+                requests,
+                responses,
+            ),
+        )
+        worker.start()
+        try:
+            kind, index, grid_size = responses.get(timeout=5.0)
+            assert (kind, index) == ("ready", 0)
+            chunk = stream[:50]
+            requests.put(("chunk", 7, "watts", 50, chunk.tobytes()))
+            kind, chunk_id, index, answer = responses.get(timeout=5.0)
+            assert (kind, chunk_id, index) == ("ok", 7, 0)
+            assert answer == watts[:50].tobytes()
+            # A malformed chunk reports an error but keeps the loop alive.
+            requests.put(("chunk", 8, "watts", 3, b"not-a-matrix"))
+            kind, chunk_id, index, message = responses.get(timeout=5.0)
+            assert (kind, chunk_id, index) == ("error", 8, 0)
+        finally:
+            requests.put(None)
+            worker.join(timeout=5.0)
+        assert not worker.is_alive()
+
+    def test_tampered_artifact_reports_failed(self, registry):
+        record, payload = self._payload(registry)
+        requests, responses = queuelib.Queue(), queuelib.Queue()
+        _fleet_worker_main(
+            3,
+            payload + b" ",
+            None,
+            record.sha256,
+            record.version_key,
+            FleetConfig(workers=1),
+            requests,
+            responses,
+        )
+        kind, index, message = responses.get_nowait()
+        assert (kind, index) == ("failed", 3)
+        assert "does not match" in message
+
+    def test_load_engine_verifies_hash(self, registry, k40c_model):
+        record, payload = self._payload(registry)
+        engine = _load_engine(payload, record.sha256)
+        assert engine.grid_size == len(k40c_model.known_configurations())
+        with pytest.raises(RegistryError, match="does not match"):
+            _load_engine(payload + b"x", record.sha256)
+
+
+# ----------------------------------------------------------------------
+# Crash degradation + /dev/shm hygiene
+# ----------------------------------------------------------------------
+class TestCrashDegradation:
+    def test_cooperative_crash_mid_stream_reroutes(self, registry, stream):
+        _, watts, _ = reference_answers(registry, stream)
+        before = _shm_segments()
+        recorder = TraceRecorder()
+        config = FleetConfig(
+            workers=2, chunk_rows=16, artifact_transport="shm"
+        )
+        with PredictionFleet(
+            registry, "tesla-k40c", config, recorder=recorder
+        ) as fleet:
+            # The crash message sits at the head of worker 0's queue, so
+            # it dies after dispatch but before answering anything.
+            fleet.inject_crash(0)
+            report = fleet.run_stream(stream)
+            assert fleet.workers_alive == 1
+        assert report.values.tobytes() == watts.tobytes()
+        assert report.worker_deaths == 1
+        assert report.reroutes >= 1
+        assert recorder.counter("fleet.worker_deaths") == 1
+        assert recorder.counter("fleet.reroutes") == report.reroutes
+        assert _shm_segments() == before
+
+    def test_sigkill_mid_stream_reroutes(self, registry, stream):
+        _, watts, _ = reference_answers(registry, stream)
+        before = _shm_segments()
+        config = FleetConfig(
+            workers=4, chunk_rows=16, artifact_transport="shm"
+        )
+        with PredictionFleet(registry, "tesla-k40c", config) as fleet:
+            fleet.kill_worker(2)
+            report = fleet.run_stream(stream)
+            assert fleet.workers_alive == 3
+            assert fleet.worker_deaths == 1
+        assert report.values.tobytes() == watts.tobytes()
+        assert _shm_segments() == before
+
+    def test_all_workers_dead_raises_fleet_broken(self, registry, stream):
+        before = _shm_segments()
+        config = FleetConfig(workers=2, artifact_transport="shm")
+        with PredictionFleet(registry, "tesla-k40c", config) as fleet:
+            fleet.kill_worker(0)
+            fleet.kill_worker(1)
+            with pytest.raises(FleetBrokenError, match="all 2"):
+                fleet.run_stream(stream)
+        assert _shm_segments() == before
+
+    def test_last_worker_dying_mid_stream_raises(self, registry, stream):
+        before = _shm_segments()
+        config = FleetConfig(
+            workers=1, chunk_rows=16, artifact_transport="shm"
+        )
+        with PredictionFleet(registry, "tesla-k40c", config) as fleet:
+            fleet.inject_crash(0)
+            with pytest.raises(FleetBrokenError):
+                fleet.run_stream(stream)
+        assert _shm_segments() == before
+
+    def test_stop_after_sigkill_everything_leaves_no_segments(
+        self, registry
+    ):
+        before = _shm_segments()
+        config = FleetConfig(workers=2, artifact_transport="shm")
+        fleet = PredictionFleet(registry, "tesla-k40c", config)
+        fleet.start()
+        assert _shm_segments() != before  # the artifact segment is live
+        fleet.kill_worker(0)
+        fleet.kill_worker(1)
+        fleet.stop()
+        fleet.stop()  # idempotent
+        assert _shm_segments() == before
+
+    def test_corrupt_artifact_fails_start_without_leaking(
+        self, registry
+    ):
+        record = registry.latest("tesla-k40c")
+        record.path.write_bytes(b'{"tampered": true}')
+        before = _shm_segments()
+        fleet = PredictionFleet(registry, "tesla-k40c", FleetConfig(workers=2))
+        with pytest.raises(RegistryError, match="corrupt"):
+            fleet.start()
+        assert not fleet.running
+        assert _shm_segments() == before
+
+
+# ----------------------------------------------------------------------
+# Lifecycle, validation, telemetry
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_stream_requires_running_fleet(self, registry, stream):
+        fleet = PredictionFleet(registry, "tesla-k40c")
+        with pytest.raises(FleetError, match="not running"):
+            fleet.run_stream(stream)
+        with pytest.raises(FleetError, match="not been started"):
+            fleet.record
+        with pytest.raises(FleetError, match="not been started"):
+            fleet.grid_size
+
+    def test_double_start_rejected(self, registry):
+        with PredictionFleet(registry, "tesla-k40c") as fleet:
+            with pytest.raises(FleetError, match="already running"):
+                fleet.start()
+
+    def test_bad_streams_rejected(self, registry):
+        with PredictionFleet(
+            registry, "tesla-k40c", FleetConfig(workers=1)
+        ) as fleet:
+            with pytest.raises(ServingError, match="must be"):
+                fleet.run_stream(np.zeros((3, 2)))
+            with pytest.raises(ServingError, match="non-empty"):
+                fleet.run_stream(np.zeros((0, N_COMPONENTS)))
+
+    def test_unknown_model_fails_start(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "empty")
+        with pytest.raises(RegistryError, match="unknown model"):
+            PredictionFleet(registry, "nope").start()
+
+    @pytest.mark.parametrize(
+        "overrides, match",
+        [
+            (dict(workers=0), "at least one worker"),
+            (dict(chunk_rows=0), "chunk_rows"),
+            (dict(cache_capacity=0), "cache_capacity"),
+            (dict(utilization_quantum=0.0), "quantum"),
+            (dict(progress_timeout_seconds=0.0), "progress_timeout"),
+            (dict(poll_interval_seconds=0.0), "poll_interval"),
+            (dict(artifact_transport="carrier-pigeon"), "transport"),
+        ],
+    )
+    def test_config_validation(self, overrides, match):
+        with pytest.raises(ServingError, match=match):
+            FleetConfig(**overrides)
+
+    def test_telemetry_counters_and_report_shape(self, registry, stream):
+        recorder = TraceRecorder()
+        config = FleetConfig(workers=2, chunk_rows=50)
+        with PredictionFleet(
+            registry, "tesla-k40c", config, recorder=recorder
+        ) as fleet:
+            report = fleet.run_stream(stream)
+        assert report.requests == len(stream)
+        assert report.chunk_count == 8  # ceil(400 / 50)
+        assert report.throughput_rps > 0
+        assert len(report.request_latencies_ms) == len(stream)
+        assert (report.request_latencies_ms >= 0).all()
+        assert recorder.counter("fleet.requests") == len(stream)
+        assert recorder.counter("fleet.chunks") == 8
+        assert recorder.counter("fleet.responses") == 8
+        assert recorder.counter("fleet.worker_deaths") == 0

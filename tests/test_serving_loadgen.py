@@ -4,13 +4,18 @@ from __future__ import annotations
 
 import pytest
 
+from repro.benchmarking import BenchmarkRegression
 from repro.serving.loadgen import (
     BENCH_SCHEMA,
+    FLEET_SPEEDUP_FLOOR,
     LoadTestPlan,
+    SLO_P99_MS,
     THROUGHPUT_FLOOR_RPS,
     build_stream,
+    check_fleet_gate,
     ensure_model,
     run_load_test,
+    scrub_wall_clock,
     summarize,
 )
 from repro.serving.registry import ModelRegistry
@@ -27,6 +32,9 @@ def tiny_plan():
         device="Tesla K40c",
         requests=80,
         concurrency_levels=(4,),
+        fleet_workers=(1, 2),
+        chunk_rows=16,
+        shapes=("burst", "mixed"),
         quick=True,
     )
 
@@ -101,9 +109,48 @@ class TestReport:
         acceptance = report["acceptance"]
         assert acceptance["threshold_rps"] == THROUGHPUT_FLOOR_RPS
         assert acceptance["warm_throughput_rps"] > 0
+        assert acceptance["fleet_speedup_floor"] == FLEET_SPEEDUP_FLOOR
+        assert acceptance["fleet_gate_workers"] == 2
         assert acceptance["pass"] == (
             acceptance["warm_throughput_rps"] >= THROUGHPUT_FLOOR_RPS
+            and acceptance["fleet_speedup"] >= FLEET_SPEEDUP_FLOOR
         )
+
+    def test_fleet_section_sweeps_worker_counts(self, report, tiny_plan):
+        fleet = report["fleet"]
+        assert fleet["worker_counts"] == [1, 2]
+        assert fleet["chunk_rows"] == tiny_plan.chunk_rows
+        assert fleet["baseline_server_warm_rps"] > 0
+        for entry in fleet["by_workers"]:
+            for phase in ("cold", "warm"):
+                stats = entry[phase]
+                assert stats["requests"] == tiny_plan.requests
+                assert stats["chunks"] == 5  # ceil(80 / 16)
+                assert stats["throughput_rps"] > 0
+                assert stats["worker_deaths"] == 0
+            assert entry["speedup_vs_server_warm"] > 0
+
+    def test_shape_section_records_admission_and_slo(self, report):
+        shapes = {shape["shape"]: shape for shape in report["shapes"]}
+        assert set(shapes) == {"burst", "mixed"}
+        for shape in shapes.values():
+            total = (
+                shape["admitted"]
+                + shape["shed_quota"]
+                + shape["shed_backlog"]
+            )
+            assert total == shape["requests"]
+            assert sum(shape["tenants"].values()) == shape["requests"]
+            assert sum(shape["shed_by_tenant"].values()) == (
+                shape["shed_quota"] + shape["shed_backlog"]
+            )
+            assert shape["slo"]["p99_target_ms"] == SLO_P99_MS
+        assert set(shapes["mixed"]["tenants"]) == {"paid", "free"}
+
+    def test_fleet_gate_raises_on_regression(self, report):
+        check_fleet_gate(report, 0.0)  # any positive speedup clears 0
+        with pytest.raises(BenchmarkRegression, match="below the required"):
+            check_fleet_gate(report, 1e9)
 
     def test_summary_mentions_verdict_and_device(self, report):
         text = summarize(report)
@@ -122,4 +169,49 @@ class TestQuickTier:
         assert plan.quick is True
         assert plan.requests == 300
         assert plan.concurrency_levels == (1, 8)
+        assert plan.fleet_workers == (1, 2)
+        assert plan.shapes == ("burst",)
         assert plan.device == "Titan Xp"
+
+    def test_bad_fleet_workers_rejected(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "registry")
+        with pytest.raises(ValueError, match="worker counts"):
+            run_load_test(registry, LoadTestPlan(fleet_workers=(0,)))
+
+
+class TestSeedDeterminism:
+    """Same seed + same plan → identical report modulo wall-clock fields.
+
+    Everything the wall clock cannot touch — the request stream, the
+    traffic timelines, every admission/shed count, tenant mixes, chunk
+    counts, the model identity — must be byte-identical between two runs.
+    """
+
+    def test_two_runs_scrub_to_the_same_report(self, tiny_plan, tmp_path):
+        registry = ModelRegistry(tmp_path / "registry")
+        first = run_load_test(registry, tiny_plan)
+        second = run_load_test(registry, tiny_plan)
+        assert scrub_wall_clock(first) == scrub_wall_clock(second)
+
+    def test_different_seed_changes_the_scrubbed_report(
+        self, tiny_plan, tmp_path
+    ):
+        import dataclasses
+
+        registry = ModelRegistry(tmp_path / "registry")
+        first = run_load_test(registry, tiny_plan)
+        reseeded = run_load_test(
+            registry, dataclasses.replace(tiny_plan, seed=tiny_plan.seed + 1)
+        )
+        assert scrub_wall_clock(first) != scrub_wall_clock(reseeded)
+
+    def test_scrub_removes_only_wall_clock_fields(self, report):
+        scrubbed = scrub_wall_clock(report)
+        assert scrubbed["requests_per_phase"] == report["requests_per_phase"]
+        assert scrubbed["unique_vectors"] == report["unique_vectors"]
+        for shape, original in zip(scrubbed["shapes"], report["shapes"]):
+            assert shape["admitted"] == original["admitted"]
+            assert shape["latency_ms"] is None
+        assert scrubbed["acceptance"]["fleet_speedup"] is None
+        # The original report is untouched (deep copy).
+        assert report["acceptance"]["fleet_speedup"] is not None

@@ -1,0 +1,227 @@
+"""Tenant router + traffic-shape tests (:mod:`repro.serving.router`,
+:mod:`repro.serving.traffic`).
+
+The router's admission log must be a pure function of the virtual arrival
+timeline — no wall clock anywhere — and each stock traffic shape must
+exercise its designed regime: diurnal admits cleanly, a paid flash crowd
+sheds on global backlog, and the mixed shape's free tenant sheds on quota
+while the paid majority is untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    RoutingError,
+    ServerOverloadedError,
+    ServingError,
+    ValidationError,
+)
+from repro.serving.router import (
+    DEFAULT_TIERS,
+    AdmissionDecision,
+    FleetRouter,
+    RouterConfig,
+    TenantTier,
+)
+from repro.serving.traffic import (
+    SHAPE_NAMES,
+    TrafficShape,
+    sample_arrivals,
+    shape_by_name,
+)
+from repro.telemetry import TraceRecorder
+
+
+class TestTokenBuckets:
+    def test_burst_depth_then_quota_shedding(self):
+        router = FleetRouter(
+            tiers=[TenantTier(name="t", rate_rps=10.0, burst=3)]
+        )
+        # Three instantaneous arrivals drain the bucket; the fourth sheds.
+        decisions = [router.admit("t", 0.0) for _ in range(4)]
+        assert [d.admitted for d in decisions] == [True, True, True, False]
+        assert decisions[-1].reason == "quota"
+
+    def test_bucket_refills_at_the_tier_rate(self):
+        router = FleetRouter(
+            tiers=[TenantTier(name="t", rate_rps=10.0, burst=1)]
+        )
+        assert router.admit("t", 0.0).admitted
+        assert not router.admit("t", 0.05).admitted  # 0.5 tokens back
+        assert router.admit("t", 0.15).admitted  # >= 1 token again
+
+    def test_tenants_are_isolated(self):
+        router = FleetRouter(
+            tiers=[
+                TenantTier(name="noisy", rate_rps=10.0, burst=1),
+                TenantTier(name="calm", rate_rps=10.0, burst=1),
+            ]
+        )
+        assert router.admit("noisy", 0.0).admitted
+        assert not router.admit("noisy", 0.0).admitted
+        # The noisy tenant's empty bucket never touches the calm one.
+        assert router.admit("calm", 0.0).admitted
+
+    def test_backlog_sheds_under_aggregate_overload(self):
+        router = FleetRouter(
+            tiers=[TenantTier(name="t", rate_rps=1e6, burst=10**6)],
+            config=RouterConfig(service_rate_rps=100.0, max_backlog=5),
+        )
+        decisions = [router.admit("t", 0.0) for _ in range(8)]
+        assert sum(d.admitted for d in decisions) == 5
+        assert {d.reason for d in decisions if not d.admitted} == {"backlog"}
+        # Virtual time passing drains the modelled backlog again.
+        assert router.admit("t", 1.0).admitted
+
+    def test_counts_match_decisions(self):
+        router = FleetRouter(
+            tiers=[TenantTier(name="t", rate_rps=10.0, burst=2)]
+        )
+        router.admit_stream(["t"] * 5, [0.0, 0.0, 0.0, 0.0, 10.0])
+        assert router.counts() == {
+            "admitted": 3,
+            "shed_quota": 2,
+            "shed_backlog": 0,
+        }
+
+    def test_telemetry_labels_per_tenant(self):
+        recorder = TraceRecorder()
+        router = FleetRouter(recorder=recorder)
+        router.admit("paid", 0.0)
+        router.admit("free", 0.0)
+        assert recorder.counter("router.admitted", tenant="paid") == 1
+        assert recorder.counter("router.admitted", tenant="free") == 1
+
+
+class TestRoutingErrors:
+    def test_unknown_tenant_rejected(self):
+        router = FleetRouter()
+        with pytest.raises(RoutingError, match="unknown tenant"):
+            router.admit("stranger", 0.0)
+
+    def test_non_monotonic_virtual_time_rejected(self):
+        router = FleetRouter()
+        router.admit("paid", 1.0)
+        with pytest.raises(RoutingError, match="non-monotonic"):
+            router.admit("paid", 0.5)
+
+    def test_admit_or_raise_is_a_fast_503(self):
+        router = FleetRouter(
+            tiers=[TenantTier(name="t", rate_rps=10.0, burst=1)]
+        )
+        router.admit_or_raise("t", 0.0)
+        with pytest.raises(ServerOverloadedError, match="shed on quota"):
+            router.admit_or_raise("t", 0.0)
+
+    @pytest.mark.parametrize(
+        "build, match",
+        [
+            (lambda: TenantTier(name="t", rate_rps=0.0, burst=1), "rate"),
+            (lambda: TenantTier(name="t", rate_rps=1.0, burst=0), "burst"),
+            (lambda: RouterConfig(service_rate_rps=0.0), "service rate"),
+            (lambda: RouterConfig(max_backlog=0), "max_backlog"),
+            (lambda: FleetRouter(tiers=[]), "at least one"),
+            (
+                lambda: FleetRouter(tiers=list(DEFAULT_TIERS) * 2),
+                "duplicate",
+            ),
+        ],
+    )
+    def test_config_validation(self, build, match):
+        with pytest.raises(ServingError, match=match):
+            build()
+
+
+class TestTrafficShapes:
+    @pytest.mark.parametrize("name", SHAPE_NAMES)
+    def test_same_seed_same_timeline_bitwise(self, name):
+        shape = shape_by_name(name)
+        first = sample_arrivals(shape, 500, seed=42)
+        second = sample_arrivals(shape, 500, seed=42)
+        assert first.times_s.tobytes() == second.times_s.tobytes()
+        assert first.tenants == second.tenants
+        different = sample_arrivals(shape, 500, seed=43)
+        assert first.times_s.tobytes() != different.times_s.tobytes()
+
+    @pytest.mark.parametrize("name", SHAPE_NAMES)
+    def test_timelines_are_sorted_and_in_horizon(self, name):
+        timeline = sample_arrivals(shape_by_name(name), 500, seed=7)
+        times = timeline.times_s
+        assert len(timeline) == 500
+        assert (np.diff(times) >= 0).all()
+        assert times[0] >= 0.0
+        assert times[-1] <= timeline.shape.duration_s
+        assert sum(timeline.tenant_counts().values()) == 500
+
+    def test_diurnal_concentrates_arrivals_at_midday(self):
+        shape = shape_by_name("diurnal")
+        times = sample_arrivals(shape, 4000, seed=3).times_s
+        midday = ((times > 0.25) & (times < 0.75)).mean()
+        assert midday > 0.6  # crest carries well over half the traffic
+
+    def test_burst_concentrates_arrivals_in_the_window(self):
+        shape = shape_by_name("burst")
+        times = sample_arrivals(shape, 4000, seed=3).times_s
+        lo, hi = shape.burst_window
+        in_window = (
+            (times >= lo * shape.duration_s) & (times < hi * shape.duration_s)
+        ).mean()
+        # The 10% window at 25x the base rate holds most of the arrivals.
+        assert in_window > 0.5
+
+    def test_mixed_shape_carries_both_tenants(self):
+        counts = sample_arrivals(
+            shape_by_name("mixed"), 2000, seed=9
+        ).tenant_counts()
+        assert set(counts) == {"paid", "free"}
+        assert counts["paid"] > counts["free"] > 0
+
+    def test_designed_shed_regimes(self):
+        """Each stock shape exercises its own admission regime."""
+        outcomes = {}
+        for index, name in enumerate(SHAPE_NAMES):
+            timeline = sample_arrivals(shape_by_name(name), 2000, seed=index)
+            router = FleetRouter()
+            router.admit_stream(timeline.tenants, timeline.times_s)
+            outcomes[name] = router.counts()
+        assert outcomes["diurnal"]["shed_quota"] == 0
+        assert outcomes["diurnal"]["shed_backlog"] == 0
+        assert outcomes["burst"]["shed_backlog"] > 0
+        assert outcomes["burst"]["shed_quota"] == 0
+        assert outcomes["mixed"]["shed_quota"] > 0
+        assert outcomes["mixed"]["shed_backlog"] == 0
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValidationError, match="unknown traffic shape"):
+            shape_by_name("tsunami")
+
+    @pytest.mark.parametrize(
+        "overrides, match",
+        [
+            (dict(kind="square"), "envelope"),
+            (dict(duration_s=0.0), "duration"),
+            (dict(base_rps=0.0), "base_rps"),
+            (dict(peak_rps=0.5), "base_rps"),
+            (dict(burst_window=(0.9, 0.1)), "burst window"),
+            (dict(tenants=()), "tenant"),
+        ],
+    )
+    def test_shape_validation(self, overrides, match):
+        fields = dict(
+            name="x", kind="flat", duration_s=1.0, base_rps=1.0, peak_rps=1.0
+        )
+        fields.update(overrides)
+        with pytest.raises(ValidationError, match=match):
+            TrafficShape(**fields)
+
+    def test_empty_timeline_rejected(self):
+        with pytest.raises(ValidationError, match="at least one"):
+            sample_arrivals(shape_by_name("burst"), 0, seed=1)
+
+    def test_decisions_expose_their_inputs(self):
+        router = FleetRouter()
+        decision = router.admit("paid", 0.25)
+        assert decision == AdmissionDecision("paid", 0.25, True, "ok")

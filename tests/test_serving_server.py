@@ -294,6 +294,112 @@ class TestBackpressureAndDeadlines:
         run(scenario())
 
 
+class TestDeadlineQueueRaces:
+    """Deadline expiry vs. queue-full rejection (ISSUE 7 satellite).
+
+    ``workers=0`` freezes the drain side, so each race interleaving can be
+    staged deterministically and the queue resolved by hand. The shield in
+    ``predict`` preserves the queued computation past its waiter's
+    deadline — that must warm the cache, not leak cancelled futures or
+    leave the queue counter skewed.
+    """
+
+    def test_expired_waiter_leaves_no_leaked_state(self, registry):
+        async def scenario():
+            server = make_server(registry, workers=0, max_queue=4)
+            await server.start()
+            try:
+                row = {name: 0.3 for name in _NAMES}
+                with pytest.raises(RequestTimeoutError):
+                    await server.predict(row, timeout=0.01)
+                # The waiter is gone but its shielded computation is not:
+                # still one queued batch, one in-flight future — no skew.
+                assert server.queue_depth == 1
+                assert len(server._inflight) == 1
+                (shared,) = server._inflight.values()
+                assert not shared.cancelled()
+
+                server._process_batch([server._queue.get_nowait()])
+                assert server._inflight == {}
+                assert server.queue_depth == 0
+                # The expired waiter's work warmed the cache: the same
+                # vector now answers instantly, even with no workers.
+                response = await server.predict(row, timeout=0.01)
+                assert response.cached is True
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_late_waiter_coalesces_onto_expired_computation(self, registry):
+        async def scenario():
+            server = make_server(registry, workers=0, max_queue=2)
+            await server.start()
+            try:
+                row = {name: 0.4 for name in _NAMES}
+                with pytest.raises(RequestTimeoutError):
+                    await server.predict(row, timeout=0.01)
+                # A second waiter for the same vector must coalesce onto
+                # the surviving future instead of enqueueing again.
+                later = asyncio.ensure_future(
+                    server.predict(row, timeout=5.0)
+                )
+                await asyncio.sleep(0)
+                assert server.queue_depth == 1
+
+                server._process_batch([server._queue.get_nowait()])
+                response = await later
+                assert response.cached is False
+                assert response.watts is not None
+                assert server.queue_depth == 0
+                assert server._inflight == {}
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_queue_full_rejection_leaves_no_trace(self, registry):
+        async def scenario():
+            server = make_server(registry, workers=0, max_queue=2)
+            await server.start()
+            rows = [
+                {name: round(0.1 * (index + 1), 3) for name in _NAMES}
+                for index in range(3)
+            ]
+            try:
+                first = asyncio.ensure_future(
+                    server.predict(rows[0], timeout=5.0)
+                )
+                second = asyncio.ensure_future(
+                    server.predict(rows[1], timeout=5.0)
+                )
+                await asyncio.sleep(0)  # both enqueue; queue now full
+                with pytest.raises(ServerOverloadedError):
+                    await server.predict(rows[2], timeout=5.0)
+                # The rejected vector never touched queue or in-flight
+                # state — the counter is not skewed by the rejection.
+                assert server.queue_depth == 2
+                assert len(server._inflight) == 2
+                rejected_key = (
+                    server.record.version_key,
+                    server.cache.quantize(
+                        [rows[2][name] for name in _NAMES]
+                    ),
+                )
+                assert rejected_key not in server._inflight
+
+                batch = [server._queue.get_nowait() for _ in range(2)]
+                server._process_batch(batch)
+                answered = await asyncio.gather(first, second)
+                assert all(r.watts is not None for r in answered)
+                assert server._inflight == {}
+                assert server.queue_depth == 0
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+
 class TestRollout:
     def test_refresh_swaps_to_newer_version(
         self, registry, k40c_model, quiet_lab
