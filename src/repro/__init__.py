@@ -78,6 +78,14 @@ from repro.core.estimation import (
     ModelEstimator,
     fit_power_model,
 )
+from repro.core.perf_estimation import (
+    DevicePerformanceModel,
+    EnergyModel,
+    KernelPerformanceModel,
+    PerformanceEstimator,
+    PerformanceEstimatorReport,
+    fit_performance_model,
+)
 from repro.core.baselines import (
     AbeLinearModel,
     FixedConfigurationModel,
@@ -87,7 +95,12 @@ from repro.analysis.validation import ValidationResult, validate_model
 from repro.analysis.breakdown import BreakdownReport, breakdown_report
 from repro.analysis.voltage import fit_voltage_regions
 from repro.analysis.dvfs import DVFSAdvisor
-from repro.serialization import load_model, save_model
+from repro.serialization import (
+    load_model,
+    load_performance_model,
+    save_model,
+    save_performance_model,
+)
 from repro.serving import (
     FleetConfig,
     FleetRouter,
@@ -133,12 +146,17 @@ __all__ = [
     "CampaignReport", "collect_campaign",
     "ModelEstimator", "EstimatorReport", "fit_power_model",
     "AbeLinearModel", "LinearFrequencyModel", "FixedConfigurationModel",
+    # performance + energy model
+    "PerformanceEstimator", "PerformanceEstimatorReport",
+    "DevicePerformanceModel", "KernelPerformanceModel",
+    "EnergyModel", "fit_performance_model",
     # analysis
     "ValidationResult", "validate_model",
     "BreakdownReport", "breakdown_report",
     "fit_voltage_regions", "DVFSAdvisor",
     # serialization
     "save_model", "load_model",
+    "save_performance_model", "load_performance_model",
     # serving
     "ModelRegistry", "PredictionEngine", "PredictionServer", "ServerConfig",
     "PredictionFleet", "FleetConfig", "FleetRouter",

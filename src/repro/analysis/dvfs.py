@@ -20,13 +20,14 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.metrics import MetricCalculator
 from repro.core.model import DVFSPowerModel
+from repro.core.perf_estimation import DevicePerformanceModel
 from repro.driver.session import ProfilingSession
 from repro.errors import ValidationError
 from repro.hardware.specs import FrequencyConfig
 from repro.kernels.kernel import KernelDescriptor
 
 #: Supported optimization objectives.
-OBJECTIVES = ("energy", "edp", "power")
+OBJECTIVES = ("energy", "edp", "ed2p", "power")
 
 
 @dataclass(frozen=True)
@@ -46,11 +47,18 @@ class ConfigurationScore:
         """Energy-delay product (J*s)."""
         return self.energy_joules * self.time_seconds
 
+    @property
+    def ed2p(self) -> float:
+        """Energy-delay-squared product (J*s^2) — weights runtime harder."""
+        return self.edp * self.time_seconds
+
     def objective_value(self, objective: str) -> float:
         if objective == "energy":
             return self.energy_joules
         if objective == "edp":
             return self.edp
+        if objective == "ed2p":
+            return self.ed2p
         if objective == "power":
             return self.predicted_power_watts
         raise ValidationError(
@@ -68,13 +76,32 @@ class DVFSAdvisor:
         time_estimator: Optional[
             Callable[[KernelDescriptor, FrequencyConfig], float]
         ] = None,
+        performance: Optional["DevicePerformanceModel"] = None,
+        oracle_times: bool = False,
     ) -> None:
-        """``time_estimator`` supplies execution times per configuration;
-        the default measures them on the device (the paper's iterative-kernel
-        scenario measures the first kernel invocation the same way)."""
+        """``time_estimator`` supplies execution times per configuration.
+
+        Precedence: an explicit ``time_estimator`` wins; otherwise a fitted
+        ``performance`` model predicts the durations (the fully model-driven
+        advisor — one profiling pass, zero extra executions); otherwise the
+        advisor measures them on the device (the paper's iterative-kernel
+        scenario measures the first kernel invocation the same way).
+        ``oracle_times=True`` ignores ``performance`` and keeps the measured
+        durations — the comparison baseline the regret tests use.
+        """
         self.model = model
         self.session = session
-        self._time_estimator = time_estimator or session.measure_time
+        self.performance = performance
+        if time_estimator is not None:
+            self._time_estimator = time_estimator
+        elif performance is not None and not oracle_times:
+            self._time_estimator = (
+                lambda kernel, config: performance.predict_runtime(
+                    kernel.name, config
+                )
+            )
+        else:
+            self._time_estimator = session.measure_time
         self._calculator = MetricCalculator(session.gpu.spec)
 
     # ------------------------------------------------------------------

@@ -52,7 +52,7 @@ EXPERIMENTS = (
     "table1", "table2", "table3", "fig1",
     "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
     "baselines", "ablations", "discovery", "sensitivity", "dvfs_savings",
-    "noise_sweep", "transfer",
+    "noise_sweep", "transfer", "perf_validation",
 )
 
 
@@ -138,6 +138,7 @@ def cmd_fit(args: argparse.Namespace) -> int:
                 else ""
             )
         )
+    dataset = None
     if args.chaos > 0:
         from repro.core.dataset import collect_campaign
         from repro.core.estimation import ModelEstimator
@@ -157,10 +158,47 @@ def cmd_fit(args: argparse.Namespace) -> int:
         model, report = ModelEstimator(
             dataset, recorder=session.recorder
         ).estimate()
+    elif args.perf:
+        # The performance fit reuses the campaign's reference counters, so
+        # collect the dataset explicitly instead of letting fit_power_model
+        # hide it.
+        from repro.core.dataset import collect_training_dataset
+        from repro.core.estimation import ModelEstimator
+        from repro.microbench import build_suite
+
+        dataset = collect_training_dataset(
+            session,
+            build_suite(),
+            workers=args.workers,
+            shard_size=args.shard_size,
+        )
+        model, report = ModelEstimator(
+            dataset, recorder=session.recorder
+        ).estimate()
     else:
         model, report = fit_power_model(
             session, workers=args.workers, shard_size=args.shard_size
         )
+    perf_model = None
+    if args.perf:
+        from repro.core.perf_estimation import PerformanceEstimator
+        from repro.microbench import build_suite
+
+        print("fitting the runtime model (timing probes + NNLS)...")
+        # Fit the microbenchmarks plus the Table-III workloads: the energy
+        # predictions of `predict --energy` target the real workloads, and
+        # kernels absent from the dataset profile their counters on demand.
+        perf_kernels = list(build_suite())
+        seen_names = {kernel.name for kernel in perf_kernels}
+        perf_kernels.extend(
+            kernel
+            for kernel in all_workloads()
+            if kernel.name not in seen_names
+        )
+        perf_estimator = PerformanceEstimator(
+            dataset, session, perf_kernels, recorder=session.recorder
+        )
+        perf_model, perf_report = perf_estimator.estimate()
     if args.telemetry:
         trace_path = write_trace(
             recorder, args.telemetry, format=args.telemetry_format
@@ -179,6 +217,27 @@ def cmd_fit(args: argparse.Namespace) -> int:
     print(model.describe())
     path = save_model(model, args.output)
     print(f"model written to {path}")
+    if perf_model is not None:
+        from pathlib import Path
+
+        from repro.serialization import save_performance_model
+
+        print(
+            format_kv(
+                {
+                    "kernels fitted": perf_report.kernels,
+                    "timing probes": perf_report.probes,
+                    "probe-fit MAE": f"{perf_report.train_mae_percent:.4f}%",
+                },
+                title=perf_model.describe(),
+            )
+        )
+        perf_output = args.perf_output
+        if perf_output is None:
+            stem = Path(args.output)
+            perf_output = stem.with_name(stem.stem + ".perf.json")
+        perf_path = save_performance_model(perf_model, perf_output)
+        print(f"performance model written to {perf_path}")
     return 0
 
 
@@ -217,7 +276,98 @@ def _read_batch_rows(path: str):
     return rows
 
 
+def _predict_energy(args: argparse.Namespace) -> int:
+    """The joint power x runtime query behind ``predict --energy``."""
+    from repro.core.perf_estimation import EnergyModel
+    from repro.serialization import load_performance_model
+
+    if not args.perf_model:
+        raise ReproError("predict --energy needs --perf-model PATH")
+    if not args.workload:
+        raise ReproError("predict --energy needs --workload")
+    model = load_model(args.model)
+    performance = load_performance_model(args.perf_model)
+    energy = EnergyModel(model, performance)
+    session = _session_for(model.spec.name, args.noiseless)
+    kernel = workload_by_name(args.workload)
+    utilizations = MetricCalculator(model.spec).utilizations(
+        session.collect_events(kernel)
+    )
+    if not performance.has_kernel(kernel.name):
+        raise ReproError(
+            f"performance model {args.perf_model} does not know workload "
+            f"{kernel.name!r}; refit with `fit --perf` or pick one of "
+            f"{performance.known_kernels()[:5]}..."
+        )
+    if args.grid:
+        configs = model.spec.all_configurations()
+        rows = []
+        breakdowns = [
+            energy.breakdown(utilizations, kernel.name, config)
+            for config in sorted(
+                configs, key=lambda c: (-c.memory_mhz, -c.core_mhz)
+            )
+        ]
+        for item in breakdowns:
+            rows.append(
+                (
+                    f"{item.config.core_mhz:.0f}",
+                    f"{item.config.memory_mhz:.0f}",
+                    f"{item.power_watts:.1f}",
+                    f"{item.runtime_seconds * 1e3:.3f}",
+                    f"{item.energy_joules:.3f}",
+                    f"{item.edp * 1e3:.4f}",
+                    f"{item.ed2p * 1e6:.5f}",
+                )
+            )
+        print(
+            format_table(
+                [
+                    "fcore (MHz)", "fmem (MHz)", "power (W)", "time (ms)",
+                    "energy (J)", "EDP (mJ*s)", "ED2P (uJ*s^2)",
+                ],
+                rows,
+                title=f"{args.workload} on {model.spec.name}",
+            )
+        )
+        for objective in ("energy", "edp", "ed2p"):
+            best = min(
+                breakdowns,
+                key=lambda item: {
+                    "energy": item.energy_joules,
+                    "edp": item.edp,
+                    "ed2p": item.ed2p,
+                }[objective],
+            )
+            print(
+                f"best {objective}: {best.config} "
+                f"({best.energy_joules:.3f} J, "
+                f"{best.runtime_seconds * 1e3:.3f} ms)"
+            )
+        return 0
+    config = FrequencyConfig(
+        args.core or model.spec.default_core_mhz,
+        args.memory or model.spec.default_memory_mhz,
+    )
+    item = energy.breakdown(utilizations, kernel.name, config)
+    print(
+        format_kv(
+            {
+                "power": f"{item.power_watts:.1f} W",
+                "runtime": f"{item.runtime_seconds * 1e3:.3f} ms",
+                "energy": f"{item.energy_joules:.3f} J",
+                "EDP": f"{item.edp * 1e3:.4f} mJ*s",
+                "ED2P": f"{item.ed2p * 1e6:.5f} uJ*s^2",
+            },
+            title=f"{args.workload} @ {config} on {model.spec.name}",
+        )
+    )
+    return 0
+
+
 def cmd_predict(args: argparse.Namespace) -> int:
+    if args.energy:
+        return _predict_energy(args)
     model = load_model(args.model)
     if args.batch:
         from repro.serving.engine import PredictionEngine
@@ -336,7 +486,10 @@ def cmd_validate(args: argparse.Namespace) -> int:
 
 def cmd_experiment(args: argparse.Namespace) -> int:
     module = importlib.import_module(f"repro.experiments.{args.name}")
-    module.main()
+    if args.experiment_args:
+        module.main(args.experiment_args)
+    else:
+        module.main()
     return 0
 
 
@@ -559,6 +712,20 @@ def build_parser() -> argparse.ArgumentParser:
         "the grid, never on scheduling",
     )
     fit.add_argument(
+        "--perf",
+        action="store_true",
+        help="also fit the runtime model (reference counters + timing "
+        "probes, NNLS in the T^p domain) and save it beside the power "
+        "model; enables `predict --energy`",
+    )
+    fit.add_argument(
+        "--perf-output",
+        default=None,
+        metavar="PATH",
+        help="where to write the performance model (default: the power "
+        "model's path with a .perf.json suffix)",
+    )
+    fit.add_argument(
         "--telemetry-format",
         choices=("jsonl", "prom"),
         default="jsonl",
@@ -590,6 +757,19 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument(
         "--grid", action="store_true", help="predict every configuration"
     )
+    predict.add_argument(
+        "--energy",
+        action="store_true",
+        help="joint power x runtime prediction (energy/EDP/ED2P); needs "
+        "--perf-model and --workload, composes with --grid",
+    )
+    predict.add_argument(
+        "--perf-model",
+        default=None,
+        metavar="PATH",
+        help="performance model written by `fit --perf` (required with "
+        "--energy)",
+    )
     predict.add_argument("--noiseless", action="store_true")
     predict.set_defaults(handler=cmd_predict)
 
@@ -618,6 +798,11 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment", help="run one paper table/figure experiment"
     )
     experiment.add_argument("name", choices=EXPERIMENTS)
+    experiment.add_argument(
+        "experiment_args",
+        nargs=argparse.REMAINDER,
+        help="flags forwarded to the experiment (e.g. --quick)",
+    )
     experiment.set_defaults(handler=cmd_experiment)
 
     bench = sub.add_parser(

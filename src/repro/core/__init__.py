@@ -10,6 +10,8 @@
   pool-adjacent-violators isotonic regression used for the voltage
   monotonicity constraint of Eq. 12;
 * :mod:`repro.core.estimation` — the iterative estimator of Sec. III-D;
+* :mod:`repro.core.perf_estimation` — the fitted runtime model
+  ``T(f_core, f_mem)`` and the joint power x runtime ``EnergyModel``;
 * :mod:`repro.core.baselines` — prior-work models the paper compares
   against (Abe et al. linear regression, GPUWattch-style linear-frequency
   scaling, fixed-configuration statistical models).
@@ -19,6 +21,15 @@ from repro.core.metrics import MetricCalculator, UtilizationVector
 from repro.core.model import DVFSPowerModel, ModelParameters, PredictedBreakdown
 from repro.core.dataset import TrainingDataset, TrainingRow, collect_training_dataset
 from repro.core.estimation import EstimatorReport, ModelEstimator, fit_power_model
+from repro.core.perf_estimation import (
+    DevicePerformanceModel,
+    EnergyBreakdown,
+    EnergyModel,
+    KernelPerformanceModel,
+    PerformanceEstimator,
+    PerformanceEstimatorReport,
+    fit_performance_model,
+)
 
 __all__ = [
     "MetricCalculator",
@@ -32,4 +43,11 @@ __all__ = [
     "EstimatorReport",
     "ModelEstimator",
     "fit_power_model",
+    "DevicePerformanceModel",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "KernelPerformanceModel",
+    "PerformanceEstimator",
+    "PerformanceEstimatorReport",
+    "fit_performance_model",
 ]

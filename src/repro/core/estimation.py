@@ -62,11 +62,72 @@ class EstimatorReport:
 
     @property
     def final_rmse(self) -> float:
+        """RMSE after the last recorded pass.
+
+        A report whose ``rmse_history`` is empty cannot answer this (it
+        would otherwise surface as an opaque ``IndexError`` or a silent
+        NaN downstream), so it raises :class:`EstimationError` instead.
+        """
+        if not self.rmse_history:
+            raise EstimationError(
+                "estimator report carries no RMSE history (no estimation "
+                "pass was recorded); final_rmse is undefined"
+            )
         return self.rmse_history[-1]
 
 
 def _key(config: FrequencyConfig) -> Tuple[float, float]:
     return (round(config.core_mhz, 1), round(config.memory_mhz, 1))
+
+
+def select_bootstrap_configs(
+    spec,
+    available: Optional[Sequence[FrequencyConfig]] = None,
+) -> List[FrequencyConfig]:
+    """The near-reference F1/F2/F3 configurations of estimation step 1.
+
+    F1 is the reference itself, F2 the core level closest to 85 % of the
+    reference core frequency, F3 the memory level closest to the reference
+    memory frequency (single-memory devices substitute a second core
+    level). The same selection seeds the power estimator's bootstrap and
+    the performance estimator's timing probes, so both models train on the
+    same near-reference neighbourhood. ``available`` restricts the result
+    to configurations present in a dataset; an empty intersection raises.
+    """
+    reference = spec.reference
+    configs = [reference]
+    core_levels = sorted(spec.core_frequencies_mhz)
+    other_cores = [f for f in core_levels if f != reference.core_mhz]
+    if other_cores:
+        # F2: core frequency closest to 85 % of the reference — near
+        # enough for the constant-voltage assumption to be tolerable.
+        target = 0.85 * reference.core_mhz
+        core2 = min(other_cores, key=lambda f: abs(f - target))
+        configs.append(FrequencyConfig(core2, reference.memory_mhz))
+    memory_levels = sorted(spec.memory_frequencies_mhz)
+    other_memories = [f for f in memory_levels if f != reference.memory_mhz]
+    if other_memories:
+        # F3: the memory level closest to the reference.
+        mem2 = min(
+            other_memories, key=lambda f: abs(f - reference.memory_mhz)
+        )
+        configs.append(FrequencyConfig(reference.core_mhz, mem2))
+    elif len(other_cores) >= 2:
+        # Single-memory devices (Tesla K40c): use a second core level.
+        core3 = min(
+            (f for f in other_cores if f != configs[-1].core_mhz),
+            key=lambda f: abs(f - reference.core_mhz),
+        )
+        configs.append(FrequencyConfig(core3, reference.memory_mhz))
+    if available is None:
+        return configs
+    keys = {_key(c) for c in available}
+    chosen = [c for c in configs if _key(c) in keys]
+    if not chosen:
+        raise EstimationError(
+            "none of the bootstrap configurations appear in the dataset"
+        )
+    return chosen
 
 
 class ModelEstimator:
@@ -227,38 +288,7 @@ class ModelEstimator:
         return self._bootstrap_configs()
 
     def _bootstrap_configs(self) -> List[FrequencyConfig]:
-        reference = self.spec.reference
-        configs = [reference]
-        core_levels = sorted(self.spec.core_frequencies_mhz)
-        other_cores = [f for f in core_levels if f != reference.core_mhz]
-        if other_cores:
-            # F2: core frequency closest to 85 % of the reference — near
-            # enough for the constant-voltage assumption to be tolerable.
-            target = 0.85 * reference.core_mhz
-            core2 = min(other_cores, key=lambda f: abs(f - target))
-            configs.append(FrequencyConfig(core2, reference.memory_mhz))
-        memory_levels = sorted(self.spec.memory_frequencies_mhz)
-        other_memories = [f for f in memory_levels if f != reference.memory_mhz]
-        if other_memories:
-            # F3: the memory level closest to the reference.
-            mem2 = min(
-                other_memories, key=lambda f: abs(f - reference.memory_mhz)
-            )
-            configs.append(FrequencyConfig(reference.core_mhz, mem2))
-        elif len(other_cores) >= 2:
-            # Single-memory devices (Tesla K40c): use a second core level.
-            core3 = min(
-                (f for f in other_cores if f != configs[-1].core_mhz),
-                key=lambda f: abs(f - reference.core_mhz),
-            )
-            configs.append(FrequencyConfig(core3, reference.memory_mhz))
-        available = {_key(c) for c in self._configs}
-        chosen = [c for c in configs if _key(c) in available]
-        if not chosen:
-            raise EstimationError(
-                "none of the bootstrap configurations appear in the dataset"
-            )
-        return chosen
+        return select_bootstrap_configs(self.spec, self._configs)
 
     def _bootstrap_mask(self) -> np.ndarray:
         keys = {_key(c) for c in self._bootstrap_configs()}

@@ -1,0 +1,749 @@
+"""Fitted performance estimation: runtime across the V-F grid from
+reference-configuration counters plus a handful of near-reference timing
+probes.
+
+The paper predicts *power* only, but the question users actually bring to
+a DVFS power model is "which configuration minimizes my kernel's energy
+(or EDP, or ED²P)?" — and that needs predicted *runtime* too. Wang & Chu
+(arXiv 1701.05308) showed runtime across core/memory frequency scaling is
+predictable from counters measured at one configuration; this module fits
+that model beside :class:`~repro.core.estimation.ModelEstimator`, with the
+same ingredients the power fit uses:
+
+* the :class:`~repro.core.dataset.TrainingDataset` counters measured at
+  the reference configuration (they set the per-component decomposition of
+  each kernel's core-side service time);
+* the F1/F2/F3 near-reference bootstrap configurations of estimation
+  step 1 (:func:`~repro.core.estimation.select_bootstrap_configs`), reused
+  as timing-probe points;
+* a non-negative least squares fit
+  (:func:`~repro.core.regression.nonnegative_least_squares`).
+
+The model is bottleneck-shaped: per-component service-time terms, scaled
+by the frequency ratio of their clock domain (core-side terms stretch as
+``f_core`` drops, the DRAM term as ``f_mem`` drops), combined with a
+p-norm smooth maximum. In the ``T^p`` domain that law is *linear* in two
+aggregates — one core-clocked, one memory-clocked — so per kernel the fit
+is a tiny NNLS over the probe timings:
+
+    (T_i / T_ref)^p  ≈  a · (f_core_ref / f_core_i)^p
+                      + b · (f_mem_ref  / f_mem_i)^p,   a, b >= 0.
+
+The probes are taken at *applied* (post-throttle) configurations via
+:meth:`~repro.driver.session.ProfilingSession.measure_elapsed`, so TDP
+throttling cannot skew the design matrix. The smooth-max exponent is a
+hyperparameter (:data:`DEFAULT_OVERLAP_EXPONENT`, selected by held-out
+runtime validation — see ``experiments/perf_validation.py``); like every
+estimator in :mod:`repro.core` this module consumes only what the driver
+layer exposes, never the hidden ground truth in :mod:`repro.hardware`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dataset import TrainingDataset
+from repro.core.estimation import select_bootstrap_configs
+from repro.core.metrics import MetricCalculator, UtilizationVector
+from repro.core.model import DVFSPowerModel
+from repro.core.regression import nonnegative_least_squares
+from repro.driver.session import ProfilingSession, TimingMeasurement
+from repro.errors import EstimationError, NotFittedError
+from repro.hardware.components import ALL_COMPONENTS, CORE_COMPONENTS, Component
+from repro.hardware.specs import FrequencyConfig, GPUSpec
+from repro.kernels.kernel import KernelDescriptor
+from repro.telemetry.recorder import NULL_RECORDER, TelemetryRecorder
+from repro.units import mean_absolute_percentage_error
+
+#: Smooth-maximum exponent of the fitted bottleneck law. A model-selection
+#: hyperparameter (larger = closer to a hard max; validated against held-out
+#: runtimes in ``experiments/perf_validation.py``) — deliberately defined
+#: here rather than imported from the hidden hardware layer.
+DEFAULT_OVERLAP_EXPONENT = 6.0
+
+#: How many distinct applied probe configurations the per-kernel fit wants.
+PROBE_TARGET = 3
+
+
+def _key(config: FrequencyConfig) -> Tuple[float, float]:
+    return (round(config.core_mhz, 1), round(config.memory_mhz, 1))
+
+
+def _polish_nonnegative(
+    design: np.ndarray, target: np.ndarray, coefficients: np.ndarray
+) -> np.ndarray:
+    """Active-set polish of a non-negative least-squares solution.
+
+    ``lsq_linear`` terminates on an optimality tolerance (~1e-10), which is
+    plenty for the power fit but not here: the runtime fit extrapolates in
+    the ``T^p`` domain, where far-from-reference configurations multiply a
+    coefficient error by ``(f_ref / f)^p`` — up to ~1e4 on a wide memory
+    range. The true solution is a least-squares solve on some support of
+    non-negative coefficients, so enumerate the supports (two columns →
+    three candidates), solve each exactly, and keep the feasible candidate
+    with the smallest residual.
+    """
+    columns = design.shape[1]
+    best = coefficients
+    best_residual = float(np.linalg.norm(design @ best - target))
+    for bits in range(1, 2**columns):
+        mask = np.asarray(
+            [(bits >> index) & 1 == 1 for index in range(columns)]
+        )
+        solution, *_ = np.linalg.lstsq(design[:, mask], target, rcond=None)
+        if np.any(solution < 0.0):
+            continue
+        candidate = np.zeros(columns)
+        candidate[mask] = solution
+        residual = float(np.linalg.norm(design @ candidate - target))
+        if residual < best_residual:
+            best = candidate
+            best_residual = residual
+    return best
+
+
+def _python_pow(values: np.ndarray, exponent: float) -> np.ndarray:
+    """Element-wise power through Python-float ``**``.
+
+    numpy's pow differs from libm by one ulp on some inputs, which would
+    break the bitwise scalar/grid equality contract the serving and
+    equivalence layers rely on (same trick as the hardware grid fast
+    path). The loop is one pow per configuration — negligible.
+    """
+    return np.asarray([value**exponent for value in values.tolist()])
+
+
+@dataclass(frozen=True)
+class KernelPerformanceModel:
+    """Fitted runtime model ``T(f_core, f_mem)`` of one kernel.
+
+    ``component_seconds`` holds the per-component service-time terms at the
+    reference configuration; ``latency_seconds`` is the core-clocked
+    residual the counters cannot attribute (dependency-chain latency floor
+    plus dispatch overhead, absorbed by the probe fit). Core-side terms
+    scale with ``f_core_ref / f_core``, the DRAM term with
+    ``f_mem_ref / f_mem``, and the prediction is their p-norm smooth
+    maximum.
+    """
+
+    kernel_name: str
+    reference: FrequencyConfig
+    overlap_exponent: float
+    component_seconds: Mapping[Component, float]
+    latency_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.overlap_exponent < 1.0:
+            raise EstimationError("overlap exponent must be >= 1")
+        for component in ALL_COMPONENTS:
+            if component not in self.component_seconds:
+                raise EstimationError(
+                    f"kernel {self.kernel_name!r}: missing service-time term "
+                    f"for {component}"
+                )
+            if self.component_seconds[component] < 0.0:
+                raise EstimationError(
+                    f"kernel {self.kernel_name!r}: negative service time for "
+                    f"{component}"
+                )
+        if self.latency_seconds < 0.0:
+            raise EstimationError(
+                f"kernel {self.kernel_name!r}: negative latency residual"
+            )
+        total = self.latency_seconds + sum(
+            self.component_seconds[c] for c in ALL_COMPONENTS
+        )
+        if total <= 0.0:
+            raise EstimationError(
+                f"kernel {self.kernel_name!r}: model has no positive "
+                "service-time term"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def core_seconds(self) -> float:
+        """Aggregate core-clocked service time (p-norm of the core terms)."""
+        p = self.overlap_exponent
+        total = self.latency_seconds**p
+        for component in CORE_COMPONENTS:
+            total += self.component_seconds[component] ** p
+        return total ** (1.0 / p)
+
+    @property
+    def memory_seconds(self) -> float:
+        """Aggregate memory-clocked service time (the DRAM term)."""
+        return self.component_seconds[Component.DRAM]
+
+    # ------------------------------------------------------------------
+    def predict_runtime(self, config: FrequencyConfig) -> float:
+        """Predicted elapsed seconds of one kernel run at a configuration."""
+        rc = self.reference.core_mhz / config.core_mhz
+        rm = self.reference.memory_mhz / config.memory_mhz
+        p = self.overlap_exponent
+        total = 0.0
+        for component in CORE_COMPONENTS:
+            scaled = self.component_seconds[component] * rc
+            total = total + scaled**p
+        scaled = self.latency_seconds * rc
+        total = total + scaled**p
+        scaled = self.component_seconds[Component.DRAM] * rm
+        total = total + scaled**p
+        return total ** (1.0 / p)
+
+    def predict_runtime_grid(
+        self, configs: Sequence[FrequencyConfig]
+    ) -> np.ndarray:
+        """Vectorized :meth:`predict_runtime` over many configurations.
+
+        Replicates the scalar arithmetic operation by operation — same
+        expression shapes, same accumulation order, outer/inner pow through
+        Python floats — so every entry is **bitwise identical** to the
+        scalar loop (the contract the serving grid path asserts with
+        ``==``).
+        """
+        core = np.asarray([c.core_mhz for c in configs], dtype=float)
+        memory = np.asarray([c.memory_mhz for c in configs], dtype=float)
+        rc = self.reference.core_mhz / core
+        rm = self.reference.memory_mhz / memory
+        p = self.overlap_exponent
+        total = np.zeros(core.size)
+        for component in CORE_COMPONENTS:
+            scaled = self.component_seconds[component] * rc
+            total = total + _python_pow(scaled, p)
+        scaled = self.latency_seconds * rc
+        total = total + _python_pow(scaled, p)
+        scaled = self.component_seconds[Component.DRAM] * rm
+        total = total + _python_pow(scaled, p)
+        return _python_pow(total, 1.0 / p)
+
+
+class DevicePerformanceModel:
+    """Per-kernel runtime models of one device, keyed by kernel name."""
+
+    def __init__(
+        self,
+        spec: GPUSpec,
+        kernels: Mapping[str, KernelPerformanceModel],
+        overlap_exponent: float = DEFAULT_OVERLAP_EXPONENT,
+    ) -> None:
+        if not kernels:
+            raise EstimationError("performance model holds no fitted kernels")
+        self.spec = spec
+        self.overlap_exponent = overlap_exponent
+        self._kernels: Dict[str, KernelPerformanceModel] = dict(kernels)
+
+    # ------------------------------------------------------------------
+    def known_kernels(self) -> List[str]:
+        return list(self._kernels)
+
+    def has_kernel(self, kernel_name: str) -> bool:
+        return kernel_name in self._kernels
+
+    def kernel_model(self, kernel_name: str) -> KernelPerformanceModel:
+        if kernel_name not in self._kernels:
+            raise NotFittedError(
+                f"no performance model fitted for kernel {kernel_name!r} "
+                f"on {self.spec.name} ({len(self._kernels)} kernels known)"
+            )
+        return self._kernels[kernel_name]
+
+    # ------------------------------------------------------------------
+    def predict_runtime(
+        self, kernel_name: str, config: FrequencyConfig
+    ) -> float:
+        config = self.spec.validate_configuration(config)
+        return self.kernel_model(kernel_name).predict_runtime(config)
+
+    def predict_runtime_grid(
+        self,
+        kernel_name: str,
+        configs: Optional[Sequence[FrequencyConfig]] = None,
+    ) -> np.ndarray:
+        """Predicted runtimes over many configurations (default: full grid).
+
+        Bitwise identical to per-configuration :meth:`predict_runtime`
+        calls, entry for entry.
+        """
+        if configs is None:
+            configs = self.spec.all_configurations()
+        validated = [self.spec.validate_configuration(c) for c in configs]
+        return self.kernel_model(kernel_name).predict_runtime_grid(validated)
+
+    def describe(self) -> str:
+        return (
+            f"performance model for {self.spec.name}: "
+            f"{len(self._kernels)} kernels, smooth-max exponent "
+            f"{self.overlap_exponent:g}"
+        )
+
+
+@dataclass(frozen=True)
+class PerformanceEstimatorReport:
+    """Diagnostics of one performance-estimation run.
+
+    ``rmse_history`` holds one per-kernel probe-fit RMSE (seconds) in fit
+    order; ``train_mae_percent`` is the MAE of the fitted models against
+    the probe timings they trained on.
+    """
+
+    kernels: int
+    probes: int
+    rmse_history: Tuple[float, ...]
+    train_mae_percent: float
+
+    @property
+    def final_rmse(self) -> float:
+        """Probe-fit RMSE of the last fitted kernel.
+
+        Same empty-history guard as
+        :attr:`~repro.core.estimation.EstimatorReport.final_rmse`: an empty
+        report raises :class:`EstimationError` instead of failing with an
+        opaque ``IndexError`` or propagating NaN.
+        """
+        if not self.rmse_history:
+            raise EstimationError(
+                "performance-estimator report carries no RMSE history "
+                "(no kernel was fitted); final_rmse is undefined"
+            )
+        return self.rmse_history[-1]
+
+    @property
+    def worst_rmse(self) -> float:
+        if not self.rmse_history:
+            raise EstimationError(
+                "performance-estimator report carries no RMSE history "
+                "(no kernel was fitted); worst_rmse is undefined"
+            )
+        return max(self.rmse_history)
+
+
+class PerformanceEstimator:
+    """Fits a :class:`DevicePerformanceModel` from reference counters plus
+    near-reference timing probes.
+
+    ``dataset`` supplies the reference-configuration utilizations that set
+    each kernel's per-component decomposition (kernels absent from the
+    dataset fall back to a fresh event collection through the session —
+    still driver-exposed data only). ``kernels`` names what to fit; the
+    timing probes are the F1/F2/F3 bootstrap configurations the power fit
+    uses, extended deterministically with further core levels when TDP
+    throttling collapses probes onto the same applied configuration.
+    """
+
+    def __init__(
+        self,
+        dataset: Optional[TrainingDataset],
+        session: ProfilingSession,
+        kernels: Sequence[KernelDescriptor],
+        overlap_exponent: float = DEFAULT_OVERLAP_EXPONENT,
+        recorder: Optional[TelemetryRecorder] = None,
+    ) -> None:
+        if overlap_exponent < 1.0:
+            raise EstimationError("overlap exponent must be >= 1")
+        if not kernels:
+            raise EstimationError(
+                "performance estimator received no kernels to fit"
+            )
+        self.session = session
+        self.spec = session.gpu.spec
+        if dataset is not None and dataset.spec.name != self.spec.name:
+            raise EstimationError(
+                f"dataset was collected on {dataset.spec.name!r} but the "
+                f"session drives {self.spec.name!r}"
+            )
+        self.dataset = dataset
+        self.kernels: Tuple[KernelDescriptor, ...] = tuple(kernels)
+        self.overlap_exponent = overlap_exponent
+        if recorder is None:
+            recorder = getattr(session, "recorder", None) or NULL_RECORDER
+        self.recorder = recorder
+        self._calculator = MetricCalculator(self.spec)
+        self._dataset_utilizations: Dict[str, UtilizationVector] = {}
+        if dataset is not None:
+            for row in dataset.rows:
+                if row.kernel_name not in self._dataset_utilizations:
+                    self._dataset_utilizations[row.kernel_name] = (
+                        row.utilizations
+                    )
+
+    # ------------------------------------------------------------------
+    def probe_configurations(self) -> List[FrequencyConfig]:
+        """The deterministic probe schedule: F1/F2/F3, then the remaining
+        core levels by distance to the reference (throttle insurance)."""
+        reference = self.spec.reference
+        probes = select_bootstrap_configs(self.spec)
+        seen = {_key(c) for c in probes}
+        extra_cores = sorted(
+            (f for f in self.spec.core_frequencies_mhz),
+            key=lambda f: (abs(f - reference.core_mhz), f),
+        )
+        for core in extra_cores:
+            candidate = FrequencyConfig(core, reference.memory_mhz)
+            if _key(candidate) not in seen:
+                probes.append(candidate)
+                seen.add(_key(candidate))
+        return probes
+
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+    ) -> Tuple[DevicePerformanceModel, PerformanceEstimatorReport]:
+        """Fit every kernel; returns the device model plus diagnostics."""
+        recorder = self.recorder
+        fitted: Dict[str, KernelPerformanceModel] = {}
+        rmse_history: List[float] = []
+        measured_all: List[float] = []
+        predicted_all: List[float] = []
+        probe_total = 0
+        with recorder.span(
+            "perf_estimate", device=self.spec.name, kernels=len(self.kernels)
+        ) as estimate_span:
+            for kernel in self.kernels:
+                with recorder.span("perf_fit", kernel=kernel.name) as fit_span:
+                    model, probes = self._fit_kernel(kernel)
+                    fitted[kernel.name] = model
+                    probe_total += len(probes)
+                    measured = [probe.seconds for probe in probes]
+                    predicted = [
+                        model.predict_runtime(probe.applied_config)
+                        for probe in probes
+                    ]
+                    residual = np.asarray(predicted) - np.asarray(measured)
+                    rmse = float(np.sqrt(np.mean(residual**2)))
+                    rmse_history.append(rmse)
+                    measured_all.extend(measured)
+                    predicted_all.extend(predicted)
+                    fit_span.set(probes=len(probes), rmse=rmse)
+                recorder.add("perf.kernels")
+                recorder.add("perf.probes", float(len(probes)))
+            estimate_span.set(probes=probe_total)
+        device_model = DevicePerformanceModel(
+            spec=self.spec,
+            kernels=fitted,
+            overlap_exponent=self.overlap_exponent,
+        )
+        report = PerformanceEstimatorReport(
+            kernels=len(fitted),
+            probes=probe_total,
+            rmse_history=tuple(rmse_history),
+            train_mae_percent=mean_absolute_percentage_error(
+                measured_all, predicted_all
+            ),
+        )
+        return device_model, report
+
+    # ------------------------------------------------------------------
+    def _collect_probes(
+        self, kernel: KernelDescriptor
+    ) -> List[TimingMeasurement]:
+        probes: List[TimingMeasurement] = []
+        seen: set = set()
+        for config in self.probe_configurations():
+            measurement = self.session.measure_elapsed(kernel, config)
+            key = _key(measurement.applied_config)
+            if key in seen:
+                continue
+            seen.add(key)
+            probes.append(measurement)
+            if len(probes) >= PROBE_TARGET:
+                break
+        if not probes:  # pragma: no cover - the first probe always lands
+            raise EstimationError(
+                f"kernel {kernel.name!r}: no probe configuration produced a "
+                "timing measurement"
+            )
+        return probes
+
+    def _fit_kernel(
+        self, kernel: KernelDescriptor
+    ) -> Tuple[KernelPerformanceModel, List[TimingMeasurement]]:
+        probes = self._collect_probes(kernel)
+        p = self.overlap_exponent
+        anchor = probes[0]
+        if anchor.seconds <= 0.0:
+            raise EstimationError(
+                f"kernel {kernel.name!r}: non-positive probe runtime at "
+                f"{anchor.applied_config}"
+            )
+        anchor_config = anchor.applied_config
+        if len(probes) == 1:
+            # TDP throttling collapsed every probe onto one applied
+            # configuration — possible only on single-memory-level devices
+            # whose power ceiling pins the core clock too. The fit
+            # degenerates to splitting the anchor runtime by the reference
+            # counters; every *reachable* configuration maps to this same
+            # applied point, so the anchor-exact split is also
+            # prediction-exact wherever a prediction can be checked.
+            return self._fit_single_probe(kernel, anchor), probes
+
+        # NNLS in the normalized T^p domain, where the bottleneck law is
+        # linear in the two clock-domain aggregates.
+        design = np.asarray(
+            [
+                [
+                    (anchor_config.core_mhz / m.applied_config.core_mhz) ** p,
+                    (anchor_config.memory_mhz / m.applied_config.memory_mhz)
+                    ** p,
+                ]
+                for m in probes
+            ],
+            dtype=float,
+        )
+        target = np.asarray(
+            [(m.seconds / anchor.seconds) ** p for m in probes], dtype=float
+        )
+        coefficients = _polish_nonnegative(
+            design, target, nonnegative_least_squares(design, target)
+        )
+
+        # Back out the aggregate service seconds, re-anchored from the
+        # probe anchor (which TDP throttling may have moved) to the
+        # requested reference configuration.
+        reference = self.spec.reference
+        core_aggregate = (
+            coefficients[0] ** (1.0 / p)
+            * anchor.seconds
+            * (anchor_config.core_mhz / reference.core_mhz)
+        )
+        memory_aggregate = (
+            coefficients[1] ** (1.0 / p)
+            * anchor.seconds
+            * (anchor_config.memory_mhz / reference.memory_mhz)
+        )
+        if core_aggregate <= 0.0 and memory_aggregate <= 0.0:
+            raise EstimationError(
+                f"kernel {kernel.name!r}: probe fit produced no positive "
+                "service-time aggregate"
+            )
+
+        component_seconds, latency = self._decompose(
+            kernel, core_aggregate, memory_aggregate
+        )
+        return (
+            KernelPerformanceModel(
+                kernel_name=kernel.name,
+                reference=reference,
+                overlap_exponent=p,
+                component_seconds=component_seconds,
+                latency_seconds=latency,
+            ),
+            probes,
+        )
+
+    def _fit_single_probe(
+        self, kernel: KernelDescriptor, anchor: TimingMeasurement
+    ) -> KernelPerformanceModel:
+        """Degenerate one-probe fit: split the anchor runtime by counters.
+
+        The DRAM share is taken straight from the reference utilization
+        (``u_dram * T`` is the DRAM service time at the anchor); the rest of
+        the ``T^p`` mass is core-clocked. Both aggregates are re-anchored to
+        the requested reference configuration like the regular fit.
+        """
+        p = self.overlap_exponent
+        reference = self.spec.reference
+        anchor_config = anchor.applied_config
+        utilizations = self._reference_utilizations(kernel)
+        memory_at_anchor = utilizations[Component.DRAM] * anchor.seconds
+        core_mass = anchor.seconds**p - memory_at_anchor**p
+        core_at_anchor = max(core_mass, 0.0) ** (1.0 / p)
+        core_aggregate = core_at_anchor * (
+            anchor_config.core_mhz / reference.core_mhz
+        )
+        memory_aggregate = memory_at_anchor * (
+            anchor_config.memory_mhz / reference.memory_mhz
+        )
+        component_seconds, latency = self._decompose(
+            kernel, core_aggregate, memory_aggregate
+        )
+        return KernelPerformanceModel(
+            kernel_name=kernel.name,
+            reference=reference,
+            overlap_exponent=p,
+            component_seconds=component_seconds,
+            latency_seconds=latency,
+        )
+
+    def _decompose(
+        self,
+        kernel: KernelDescriptor,
+        core_aggregate: float,
+        memory_aggregate: float,
+    ) -> Tuple[Dict[Component, float], float]:
+        """Distribute the fitted core-side aggregate across the
+        counter-visible components.
+
+        The counters expose the *relative* sizes of the core-side service
+        times (utilization ratios at the reference configuration); the
+        probe fit pins the aggregate, which also absorbs what no Table-I
+        event can see — the latency floor and the dispatch overhead.
+        Kernels with no counter-visible core activity keep the whole
+        aggregate as the latency residual.
+        """
+        p = self.overlap_exponent
+        utilizations = self._reference_utilizations(kernel)
+        weights = np.asarray(
+            [utilizations[c] for c in CORE_COMPONENTS], dtype=float
+        )
+        norm_p = float(np.sum(weights**p))
+        component_seconds: Dict[Component, float] = {
+            component: 0.0 for component in ALL_COMPONENTS
+        }
+        component_seconds[Component.DRAM] = memory_aggregate
+        if norm_p > 0.0:
+            norm = norm_p ** (1.0 / p)
+            for index, component in enumerate(CORE_COMPONENTS):
+                component_seconds[component] = core_aggregate * (
+                    float(weights[index]) / norm
+                )
+            latency = 0.0
+        else:
+            latency = core_aggregate
+        return component_seconds, latency
+
+    def _reference_utilizations(
+        self, kernel: KernelDescriptor
+    ) -> UtilizationVector:
+        cached = self._dataset_utilizations.get(kernel.name)
+        if cached is not None:
+            return cached
+        utilizations = self._calculator.utilizations(
+            self.session.collect_events(kernel)
+        )
+        self._dataset_utilizations[kernel.name] = utilizations
+        return utilizations
+
+
+# ----------------------------------------------------------------------
+# Energy model: power × runtime
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joint prediction of one kernel at one configuration."""
+
+    config: FrequencyConfig
+    power_watts: float
+    runtime_seconds: float
+    energy_joules: float
+    edp: float
+    ed2p: float
+
+
+class EnergyModel:
+    """Joint power + performance model: ``E = P × T`` and its products.
+
+    ``predict_energy`` is *exactly* the product of the two underlying
+    predictions (a property test asserts ``==``), so any power-model or
+    runtime-model validation carries over multiplicatively.
+    """
+
+    def __init__(
+        self, power: DVFSPowerModel, performance: DevicePerformanceModel
+    ) -> None:
+        if power.spec.name != performance.spec.name:
+            raise EstimationError(
+                f"power model is for {power.spec.name!r} but the performance "
+                f"model is for {performance.spec.name!r}"
+            )
+        self.power = power
+        self.performance = performance
+        self.spec = power.spec
+
+    # ------------------------------------------------------------------
+    def predict_power(
+        self, utilizations: UtilizationVector, config: FrequencyConfig
+    ) -> float:
+        return self.power.predict_power(utilizations, config)
+
+    def predict_runtime(
+        self, kernel_name: str, config: FrequencyConfig
+    ) -> float:
+        return self.performance.predict_runtime(kernel_name, config)
+
+    def predict_energy(
+        self,
+        utilizations: UtilizationVector,
+        kernel_name: str,
+        config: FrequencyConfig,
+    ) -> float:
+        """Predicted energy (J) = predicted power × predicted runtime."""
+        return self.predict_power(utilizations, config) * self.predict_runtime(
+            kernel_name, config
+        )
+
+    def predict_edp(
+        self,
+        utilizations: UtilizationVector,
+        kernel_name: str,
+        config: FrequencyConfig,
+    ) -> float:
+        """Predicted energy-delay product (J·s)."""
+        runtime = self.predict_runtime(kernel_name, config)
+        return self.predict_power(utilizations, config) * runtime * runtime
+
+    def predict_ed2p(
+        self,
+        utilizations: UtilizationVector,
+        kernel_name: str,
+        config: FrequencyConfig,
+    ) -> float:
+        """Predicted energy-delay-squared product (J·s²)."""
+        runtime = self.predict_runtime(kernel_name, config)
+        return (
+            self.predict_power(utilizations, config)
+            * runtime
+            * runtime
+            * runtime
+        )
+
+    def breakdown(
+        self,
+        utilizations: UtilizationVector,
+        kernel_name: str,
+        config: FrequencyConfig,
+    ) -> EnergyBreakdown:
+        """All joint metrics of one configuration in one object."""
+        config = self.spec.validate_configuration(config)
+        power = self.predict_power(utilizations, config)
+        runtime = self.predict_runtime(kernel_name, config)
+        energy = power * runtime
+        edp = energy * runtime
+        return EnergyBreakdown(
+            config=config,
+            power_watts=power,
+            runtime_seconds=runtime,
+            energy_joules=energy,
+            edp=edp,
+            ed2p=edp * runtime,
+        )
+
+
+def fit_performance_model(
+    session: ProfilingSession,
+    kernels: Optional[Sequence[KernelDescriptor]] = None,
+    dataset: Optional[TrainingDataset] = None,
+    overlap_exponent: float = DEFAULT_OVERLAP_EXPONENT,
+) -> Tuple[DevicePerformanceModel, PerformanceEstimatorReport]:
+    """Fit the runtime model for a device in one call.
+
+    ``kernels`` defaults to the full microbenchmark suite. ``dataset`` is
+    optional: when the power-fit campaign's dataset is at hand its
+    reference-configuration counters are reused for the per-component
+    decomposition; otherwise each kernel's events are collected once at
+    the reference configuration.
+    """
+    if kernels is None:
+        from repro.microbench import build_suite
+
+        kernels = build_suite()
+    estimator = PerformanceEstimator(
+        dataset,
+        session,
+        kernels,
+        overlap_exponent=overlap_exponent,
+        recorder=session.recorder,
+    )
+    return estimator.estimate()

@@ -35,6 +35,28 @@ from repro.telemetry.recorder import NULL_RECORDER, TelemetryRecorder
 
 
 @dataclass(frozen=True)
+class TimingMeasurement:
+    """Host-side timing of one kernel launch, with the throttle outcome.
+
+    TDP throttling can run a kernel at a lower core frequency than
+    requested (Fig. 9 footnote), so timing-sensitive consumers — the
+    performance estimator's probe fit, the runtime validation sweep — need
+    the *applied* configuration next to the elapsed seconds. A bare
+    :meth:`ProfilingSession.measure_time` keeps returning the float for
+    callers that don't care.
+    """
+
+    kernel_name: str
+    requested_config: FrequencyConfig
+    applied_config: FrequencyConfig
+    seconds: float
+
+    @property
+    def throttled(self) -> bool:
+        return self.requested_config != self.applied_config
+
+
+@dataclass(frozen=True)
 class KernelObservation:
     """Everything measured about one kernel at one configuration."""
 
@@ -194,6 +216,24 @@ class ProfilingSession:
     ) -> float:
         """Host-side execution time of one kernel launch, in seconds."""
         return self.gpu.run(kernel, config or self.reference).duration_seconds
+
+    def measure_elapsed(
+        self, kernel: KernelDescriptor, config: Optional[FrequencyConfig] = None
+    ) -> TimingMeasurement:
+        """Host-side execution time plus the applied (post-throttle) clocks.
+
+        Identical timing source as :meth:`measure_time`; the richer return
+        type exists for consumers that must anchor a model or a comparison
+        at the configuration the board actually ran (the performance
+        estimator and the runtime-MAE validation harness).
+        """
+        result = self.gpu.run(kernel, config or self.reference)
+        return TimingMeasurement(
+            kernel_name=kernel.name,
+            requested_config=result.requested_config,
+            applied_config=result.applied_config,
+            seconds=result.duration_seconds,
+        )
 
     def observe(
         self,

@@ -17,6 +17,11 @@ from repro.config import DEFAULT_SETTINGS, SimulationSettings
 from repro.core.dataset import TrainingDataset, collect_training_dataset
 from repro.core.estimation import EstimatorReport, ModelEstimator
 from repro.core.model import DVFSPowerModel
+from repro.core.perf_estimation import (
+    DevicePerformanceModel,
+    PerformanceEstimator,
+    PerformanceEstimatorReport,
+)
 from repro.driver.session import ProfilingSession
 from repro.hardware.gpu import SimulatedGPU
 from repro.hardware.specs import GPUSpec, gpu_spec_by_name
@@ -47,6 +52,9 @@ class Lab:
         self._sessions: Dict[str, ProfilingSession] = {}
         self._datasets: Dict[str, TrainingDataset] = {}
         self._models: Dict[str, Tuple[DVFSPowerModel, EstimatorReport]] = {}
+        self._performance: Dict[
+            str, Tuple[DevicePerformanceModel, PerformanceEstimatorReport]
+        ] = {}
         self._validations: Dict[str, ValidationResult] = {}
         self._suite: Optional[Tuple[KernelDescriptor, ...]] = None
 
@@ -102,6 +110,25 @@ class Lab:
                 estimator = ModelEstimator(self.dataset(name))
                 self._models[name] = estimator.estimate()
             return self._models[name]
+
+    def performance_model(self, device: str) -> DevicePerformanceModel:
+        """Fitted runtime model over the microbenchmark suite."""
+        return self._fitted_performance(device)[0]
+
+    def performance_report(self, device: str) -> PerformanceEstimatorReport:
+        return self._fitted_performance(device)[1]
+
+    def _fitted_performance(
+        self, device: str
+    ) -> Tuple[DevicePerformanceModel, PerformanceEstimatorReport]:
+        name = self.spec(device).name
+        with self._lock:
+            if name not in self._performance:
+                estimator = PerformanceEstimator(
+                    self.dataset(name), self.session(name), self.suite
+                )
+                self._performance[name] = estimator.estimate()
+            return self._performance[name]
 
     # ------------------------------------------------------------------
     def workloads(self, device: str) -> Sequence[KernelDescriptor]:

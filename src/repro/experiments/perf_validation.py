@@ -1,0 +1,208 @@
+"""Runtime-model validation — a Table-III-style MAE report for the
+performance estimator.
+
+Fits a :class:`~repro.core.perf_estimation.PerformanceEstimator` on the
+Table-III validation workloads of each device and grades its runtime
+predictions against the device's measured execution times over the V-F
+grid — the differential harness the power model's Fig. 7 sweep provides,
+applied to time instead of watts. Predictions are made at the *applied*
+(post-throttle) configuration of every measurement, mirroring the power
+validation's methodology.
+
+Run via ``python -m repro.cli experiment perf_validation`` or directly as
+``python -m repro.experiments.perf_validation [--quick] [--output PATH]``.
+``--quick`` restricts the sweep to one device, a workload subset and a
+strided configuration sample — the CI-friendly mode.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.perf_estimation import PerformanceEstimator
+from repro.driver.session import ProfilingSession
+from repro.experiments.common import DEVICE_NAMES, Lab, get_lab
+from repro.hardware.specs import FrequencyConfig
+from repro.kernels.kernel import KernelDescriptor
+from repro.reporting.tables import format_table
+from repro.units import mean_absolute_percentage_error
+
+#: Schema identifier of the JSON report this experiment writes.
+REPORT_SCHEMA = "repro.perf_validation/v1"
+
+QUICK_DEVICE = "GTX Titan X"
+QUICK_WORKLOADS = 8
+QUICK_CONFIG_STRIDE = 4
+
+
+@dataclass(frozen=True)
+class RuntimeRecord:
+    """One (workload, configuration) runtime comparison."""
+
+    workload: str
+    config: FrequencyConfig
+    measured_seconds: float
+    predicted_seconds: float
+
+    @property
+    def error_fraction(self) -> float:
+        return (
+            self.predicted_seconds - self.measured_seconds
+        ) / self.measured_seconds
+
+    @property
+    def absolute_error_percent(self) -> float:
+        return abs(self.error_fraction) * 100.0
+
+
+@dataclass(frozen=True)
+class PerfValidationResult:
+    """Runtime-MAE summary of one device's sweep."""
+
+    device_name: str
+    records: Tuple[RuntimeRecord, ...]
+
+    @property
+    def mean_absolute_error_percent(self) -> float:
+        return mean_absolute_percentage_error(
+            [r.measured_seconds for r in self.records],
+            [r.predicted_seconds for r in self.records],
+        )
+
+    @property
+    def max_absolute_error_percent(self) -> float:
+        return max(r.absolute_error_percent for r in self.records)
+
+    def by_workload(self) -> Dict[str, float]:
+        """Per-workload runtime MAE (%), in first-seen order."""
+        grouped: Dict[str, List[RuntimeRecord]] = {}
+        for record in self.records:
+            grouped.setdefault(record.workload, []).append(record)
+        return {
+            name: mean_absolute_percentage_error(
+                [r.measured_seconds for r in records],
+                [r.predicted_seconds for r in records],
+            )
+            for name, records in grouped.items()
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "device": self.device_name,
+            "comparisons": len(self.records),
+            "runtime_mae_percent": self.mean_absolute_error_percent,
+            "runtime_max_error_percent": self.max_absolute_error_percent,
+            "by_workload": self.by_workload(),
+        }
+
+
+def validate_performance(
+    model,
+    session: ProfilingSession,
+    workloads: Sequence[KernelDescriptor],
+    configs: Optional[Sequence[FrequencyConfig]] = None,
+) -> PerfValidationResult:
+    """Grade runtime predictions against measured times over ``configs``.
+
+    Every measurement is taken through
+    :meth:`~repro.driver.session.ProfilingSession.measure_elapsed` and the
+    prediction evaluated at its applied configuration — TDP throttling
+    grades the model at the clocks the board actually ran.
+    """
+    spec = session.gpu.spec
+    if configs is None:
+        configs = spec.all_configurations()
+    records: List[RuntimeRecord] = []
+    for kernel in workloads:
+        for config in configs:
+            measurement = session.measure_elapsed(kernel, config)
+            predicted = model.predict_runtime(
+                kernel.name, measurement.applied_config
+            )
+            records.append(
+                RuntimeRecord(
+                    workload=kernel.name,
+                    config=measurement.applied_config,
+                    measured_seconds=measurement.seconds,
+                    predicted_seconds=predicted,
+                )
+            )
+    return PerfValidationResult(
+        device_name=spec.name, records=tuple(records)
+    )
+
+
+def run(
+    lab: Optional[Lab] = None, quick: bool = False
+) -> Dict[str, PerfValidationResult]:
+    """The sweep: fit on the validation workloads, grade over the grid.
+
+    Full mode covers all three devices, every Table-III workload and every
+    V-F configuration; ``quick`` covers one device, the first
+    :data:`QUICK_WORKLOADS` workloads and every
+    :data:`QUICK_CONFIG_STRIDE`-th configuration.
+    """
+    lab = lab or get_lab()
+    devices = (QUICK_DEVICE,) if quick else DEVICE_NAMES
+    results: Dict[str, PerfValidationResult] = {}
+    for device in devices:
+        session = lab.session(device)
+        workloads = list(lab.workloads(device))
+        configs: Optional[Sequence[FrequencyConfig]] = None
+        if quick:
+            workloads = workloads[:QUICK_WORKLOADS]
+            configs = session.gpu.spec.all_configurations()[
+                ::QUICK_CONFIG_STRIDE
+            ]
+        estimator = PerformanceEstimator(None, session, workloads)
+        model, _report = estimator.estimate()
+        results[device] = validate_performance(
+            model, session, workloads, configs
+        )
+    return results
+
+
+def main(argv: Optional[Sequence[str]] = None) -> Dict[str, PerfValidationResult]:
+    # parse_known_args: the CLI's `experiment` command calls main() with
+    # its own leftovers still in sys.argv.
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--output", default="PERF_validation.json")
+    args, _ = parser.parse_known_args(argv)
+
+    results = run(quick=args.quick)
+    print("=== Runtime-model validation (Table-III workloads) ===")
+    rows = []
+    for device, result in results.items():
+        rows.append(
+            (
+                device,
+                str(len(result.records)),
+                f"{result.mean_absolute_error_percent:.4f}",
+                f"{result.max_absolute_error_percent:.4f}",
+            )
+        )
+    print(
+        format_table(
+            ["device", "comparisons", "runtime MAE %", "max error %"], rows
+        )
+    )
+    report = {
+        "schema": REPORT_SCHEMA,
+        "quick": args.quick,
+        "devices": {
+            device: result.to_dict() for device, result in results.items()
+        },
+    }
+    path = Path(args.output)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nreport written to {path}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

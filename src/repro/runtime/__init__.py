@@ -23,6 +23,7 @@ use cases:
 """
 
 from repro.runtime.policies import (
+    Ed2pPolicy,
     EnergyPolicy,
     EdpPolicy,
     PowerCapPolicy,
@@ -39,6 +40,7 @@ from repro.runtime.virtual import (
 )
 
 __all__ = [
+    "Ed2pPolicy",
     "EnergyPolicy",
     "EdpPolicy",
     "PowerCapPolicy",

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.analysis.dvfs import ConfigurationScore
 from repro.core.metrics import MetricCalculator, UtilizationVector
 from repro.core.model import DVFSPowerModel
+from repro.core.perf_estimation import DevicePerformanceModel
 from repro.driver.session import ProfilingSession
 from repro.hardware.specs import FrequencyConfig
 from repro.kernels.kernel import KernelDescriptor
@@ -65,14 +66,28 @@ class OnlineDVFSManager:
         policy: FrequencyPolicy,
         candidate_configs: Optional[Sequence[FrequencyConfig]] = None,
         recorder: Optional[TelemetryRecorder] = None,
+        performance: Optional["DevicePerformanceModel"] = None,
+        oracle_durations: bool = False,
     ) -> None:
         """``recorder`` defaults to the session's; it traces one ``plan``
         span per profiled kernel plus ``runtime.plans`` /
         ``runtime.plan_cache_hits`` counters and a ``trace`` span per
-        executed application trace."""
+        executed application trace.
+
+        ``performance`` (a fitted
+        :class:`~repro.core.perf_estimation.DevicePerformanceModel`) makes
+        planning fully model-driven: candidate durations come from
+        ``predict_runtime`` instead of per-candidate executions. Kernels the
+        model does not know fall back to measurement. ``oracle_durations=
+        True`` keeps measured durations even when ``performance`` is set —
+        the comparison baseline for policy-regret evaluation. Energy
+        *accounting* (``run_trace``) always uses measured power and time,
+        so reports grade the plans against ground truth either way."""
         self.model = model
         self.session = session
         self.policy = policy
+        self.performance = performance
+        self.oracle_durations = oracle_durations
         if recorder is None:
             recorder = getattr(session, "recorder", None) or NULL_RECORDER
         self.recorder = recorder
@@ -189,7 +204,7 @@ class OnlineDVFSManager:
             reference_score: Optional[ConfigurationScore] = None
             for config in self.candidates:
                 predicted = self.model.predict_power(utilizations, config)
-                time = self.session.measure_time(kernel, config)
+                time = self._plan_time(kernel, config)
                 score = ConfigurationScore(
                     config=config,
                     predicted_power_watts=predicted,
@@ -206,9 +221,7 @@ class OnlineDVFSManager:
                     predicted_power_watts=self.model.predict_power(
                         utilizations, spec.reference
                     ),
-                    time_seconds=self.session.measure_time(
-                        kernel, spec.reference
-                    ),
+                    time_seconds=self._plan_time(kernel, spec.reference),
                 )
             chosen = self.policy.choose(scores, reference_score)
             plan_span.set(
@@ -286,6 +299,19 @@ class OnlineDVFSManager:
         return executions, profiled
 
     # ------------------------------------------------------------------
+    def _plan_time(
+        self, kernel: KernelDescriptor, config: FrequencyConfig
+    ) -> float:
+        """Candidate duration during planning: predicted when a performance
+        model knows the kernel (and oracle mode is off), measured otherwise."""
+        if (
+            self.performance is not None
+            and not self.oracle_durations
+            and self.performance.has_kernel(kernel.name)
+        ):
+            return self.performance.predict_runtime(kernel.name, config)
+        return self.session.measure_time(kernel, config)
+
     def _invocation_time(
         self, kernel: KernelDescriptor, config: FrequencyConfig
     ) -> float:

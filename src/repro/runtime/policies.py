@@ -86,6 +86,15 @@ class EdpPolicy(FrequencyPolicy):
 
 
 @dataclass
+class Ed2pPolicy(FrequencyPolicy):
+    """Minimum energy-delay-squared product (performance-leaning)."""
+
+    def choose(self, scores, reference):
+        scores = self._require_scores(scores)
+        return min(scores, key=lambda score: score.ed2p)
+
+
+@dataclass
 class PerformanceConstrainedEnergyPolicy(FrequencyPolicy):
     """Minimum energy among configurations at least as fast as a target.
 

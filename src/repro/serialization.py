@@ -19,13 +19,25 @@ from pathlib import Path
 from typing import Any, Dict, Union
 
 from repro.core.model import DVFSPowerModel, ModelParameters, VoltageEstimate
+from repro.core.perf_estimation import (
+    DevicePerformanceModel,
+    KernelPerformanceModel,
+)
 from repro.errors import SerializationError
-from repro.hardware.components import CORE_COMPONENTS, Component
+from repro.hardware.components import (
+    ALL_COMPONENTS,
+    CORE_COMPONENTS,
+    Component,
+)
 from repro.hardware.specs import FrequencyConfig, GPUSpec, gpu_spec_by_name
 
 #: Format identifier stored in every serialized model.
 FORMAT = "repro-dvfs-power-model"
 FORMAT_VERSION = 1
+
+#: Format identifier stored in every serialized performance model.
+PERF_FORMAT = "repro-dvfs-performance-model"
+PERF_FORMAT_VERSION = 1
 
 
 def model_to_dict(model: DVFSPowerModel) -> Dict[str, Any]:
@@ -120,6 +132,135 @@ def model_from_dict(
     if not voltages:
         raise SerializationError("serialized model carries no voltage estimates")
     return DVFSPowerModel(spec=spec, parameters=parameters, voltages=voltages)
+
+
+def performance_model_to_dict(
+    model: DevicePerformanceModel,
+) -> Dict[str, Any]:
+    """Plain-data representation of a fitted performance model.
+
+    Kernels are emitted sorted by name and floats pass through JSON's
+    shortest-round-trip repr, so equal models serialize to byte-identical
+    documents (the registry's sha256 idempotence relies on this).
+    """
+    return {
+        "format": PERF_FORMAT,
+        "version": PERF_FORMAT_VERSION,
+        "device": model.spec.name,
+        "overlap_exponent": model.overlap_exponent,
+        "kernels": [
+            {
+                "name": name,
+                "reference": {
+                    "core_mhz": float(kernel.reference.core_mhz),
+                    "memory_mhz": float(kernel.reference.memory_mhz),
+                },
+                "latency_seconds": kernel.latency_seconds,
+                "components": {
+                    component.value: kernel.component_seconds[component]
+                    for component in ALL_COMPONENTS
+                },
+            }
+            for name, kernel in sorted(
+                (
+                    (name, model.kernel_model(name))
+                    for name in model.known_kernels()
+                ),
+                key=lambda pair: pair[0],
+            )
+        ],
+    }
+
+
+def performance_model_from_dict(
+    data: Dict[str, Any], spec: Union[GPUSpec, None] = None
+) -> DevicePerformanceModel:
+    """Rebuild a performance model from :func:`performance_model_to_dict`."""
+    if not isinstance(data, dict):
+        raise SerializationError(
+            "serialized performance model must be a JSON object, got "
+            f"{type(data).__name__}"
+        )
+    if data.get("format") != PERF_FORMAT:
+        raise SerializationError(
+            "not a serialized performance model "
+            f"(format={data.get('format')!r})"
+        )
+    if "version" not in data:
+        raise SerializationError(
+            "serialized performance model carries no format version "
+            f"(expected version={PERF_FORMAT_VERSION})"
+        )
+    if data["version"] != PERF_FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported performance-model format version "
+            f"{data['version']!r} (this build reads version "
+            f"{PERF_FORMAT_VERSION})"
+        )
+    try:
+        if spec is None:
+            spec = gpu_spec_by_name(data["device"])
+        overlap_exponent = float(data["overlap_exponent"])
+        kernels = {}
+        for entry in data["kernels"]:
+            reference = FrequencyConfig(
+                float(entry["reference"]["core_mhz"]),
+                float(entry["reference"]["memory_mhz"]),
+            )
+            kernels[entry["name"]] = KernelPerformanceModel(
+                kernel_name=entry["name"],
+                reference=reference,
+                overlap_exponent=overlap_exponent,
+                component_seconds={
+                    Component(name): float(value)
+                    for name, value in entry["components"].items()
+                },
+                latency_seconds=float(entry["latency_seconds"]),
+            )
+    except KeyError as missing:
+        raise SerializationError(
+            f"serialized performance model is missing required field "
+            f"{missing}"
+        ) from missing
+    except (TypeError, ValueError) as bad:
+        raise SerializationError(
+            f"serialized performance model carries a malformed field: {bad}"
+        ) from bad
+    if not kernels:
+        raise SerializationError(
+            "serialized performance model carries no kernels"
+        )
+    return DevicePerformanceModel(
+        spec=spec, kernels=kernels, overlap_exponent=overlap_exponent
+    )
+
+
+def save_performance_model(
+    model: DevicePerformanceModel, path: Union[str, Path]
+) -> Path:
+    """Write a fitted performance model to a JSON file; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(performance_model_to_dict(model), indent=2))
+    return path
+
+
+def load_performance_model(
+    path: Union[str, Path], spec: Union[GPUSpec, None] = None
+) -> DevicePerformanceModel:
+    """Read a performance model back from :func:`save_performance_model`.
+
+    Same error discipline as :func:`load_model`: corrupt files raise
+    :class:`~repro.errors.SerializationError`, never a bare JSON error.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as bad:
+        raise SerializationError(
+            f"performance-model file {path} is not valid JSON "
+            f"(truncated or corrupt): {bad}"
+        ) from bad
+    return performance_model_from_dict(data, spec=spec)
 
 
 def save_model(model: DVFSPowerModel, path: Union[str, Path]) -> Path:

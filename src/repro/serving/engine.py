@@ -33,7 +33,9 @@ from repro.hardware.components import (
     Component,
 )
 from repro.hardware.specs import FrequencyConfig
+from repro.core.perf_estimation import DevicePerformanceModel
 from repro.runtime.policies import (
+    Ed2pPolicy,
     EdpPolicy,
     EnergyPolicy,
     FrequencyPolicy,
@@ -309,18 +311,51 @@ class PredictionEngine:
         the stock energy or EDP policy.
         """
         if policy is None:
-            if objective == "energy":
-                policy = EnergyPolicy()
-            elif objective == "edp":
-                policy = EdpPolicy()
-            else:
-                raise ValidationError(
-                    f"unknown objective {objective!r} (known: energy, edp); "
-                    "pass a FrequencyPolicy for anything richer"
-                )
+            policy = self._objective_policy(objective)
         scores = self.score_grid(utilizations, times_seconds)
         reference = self._reference_score(scores, utilizations)
         return policy.choose(scores, reference)
+
+    def best_energy_configuration(
+        self,
+        utilizations: Union[UtilizationVector, Mapping[Component, float]],
+        performance: DevicePerformanceModel,
+        kernel_name: str,
+        objective: str = "energy",
+        policy: Optional[FrequencyPolicy] = None,
+    ) -> ConfigurationScore:
+        """The optimal configuration with *predicted* runtimes on the grid.
+
+        The joint query the power model alone cannot answer: per-config
+        durations come from the fitted performance model's vectorized grid
+        path (bitwise equal to its scalar predictions), so energy / EDP /
+        ED²P orderings are real instead of the unit-runtime collapse of
+        :meth:`best_configuration` without ``times_seconds``.
+        """
+        if performance.spec.name != self.spec.name:
+            raise ServingError(
+                f"performance model is for {performance.spec.name!r} but the "
+                f"engine serves {self.spec.name!r}"
+            )
+        times = performance.predict_runtime_grid(kernel_name, self.configs)
+        if policy is None:
+            policy = self._objective_policy(objective)
+        scores = self.score_grid(utilizations, times_seconds=times.tolist())
+        reference = self._reference_score(scores, utilizations)
+        return policy.choose(scores, reference)
+
+    @staticmethod
+    def _objective_policy(objective: str) -> FrequencyPolicy:
+        if objective == "energy":
+            return EnergyPolicy()
+        if objective == "edp":
+            return EdpPolicy()
+        if objective == "ed2p":
+            return Ed2pPolicy()
+        raise ValidationError(
+            f"unknown objective {objective!r} (known: energy, edp, ed2p); "
+            "pass a FrequencyPolicy for anything richer"
+        )
 
     def _reference_score(
         self,

@@ -31,11 +31,22 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.core.model import DVFSPowerModel
+from repro.core.perf_estimation import DevicePerformanceModel
 from repro.errors import RegistryError, SerializationError
-from repro.serialization import model_from_dict, model_to_dict
+from repro.serialization import (
+    model_from_dict,
+    model_to_dict,
+    performance_model_from_dict,
+    performance_model_to_dict,
+)
 
 #: Manifest schema identifier, bumped on incompatible layout changes.
 MANIFEST_SCHEMA = "repro.registry/v1"
+
+#: Artifact kinds. Manifests written before kinds existed carry no ``kind``
+#: field; those entries read back as power models (the only kind then).
+POWER_KIND = "power/v1"
+PERF_KIND = "perf/v1"
 
 _MANIFEST_FILE = "manifest.json"
 
@@ -63,6 +74,7 @@ class ArtifactRecord:
     device: str
     configurations: int
     path: Path
+    kind: str = POWER_KIND
 
     @property
     def version_key(self) -> str:
@@ -120,22 +132,38 @@ class ModelRegistry:
             device=str(entry["device"]),
             configurations=int(entry["configurations"]),
             path=self._model_dir(name) / str(entry["file"]),
+            kind=str(entry.get("kind", POWER_KIND)),
         )
 
     # ------------------------------------------------------------------
     # Publishing
     # ------------------------------------------------------------------
     def publish(
-        self, model: DVFSPowerModel, name: Optional[str] = None
+        self,
+        model: Union[DVFSPowerModel, DevicePerformanceModel],
+        name: Optional[str] = None,
     ) -> ArtifactRecord:
         """Store a fitted model; returns the minted (or matched) version.
 
-        The artifact bytes are exactly ``save_model`` output; re-publishing
-        a model whose bytes hash to the newest version is a no-op that
-        returns the existing record.
+        Power models store as ``power/v1`` (bytes exactly ``save_model``
+        output), performance models as ``perf/v1`` (bytes exactly
+        ``save_performance_model`` output, ``configurations`` counting the
+        fitted kernels); the default name of a performance model carries a
+        ``-perf`` suffix so the two kinds of one device never share a
+        version line. Re-publishing a model whose bytes hash to the newest
+        version is a no-op that returns the existing record.
         """
-        name = name or slugify(model.spec.name)
-        payload = json.dumps(model_to_dict(model), indent=2).encode()
+        if isinstance(model, DevicePerformanceModel):
+            kind = PERF_KIND
+            name = name or slugify(model.spec.name) + "-perf"
+            document = performance_model_to_dict(model)
+            configurations = len(model.known_kernels())
+        else:
+            kind = POWER_KIND
+            name = name or slugify(model.spec.name)
+            document = model_to_dict(model)
+            configurations = len(model.known_configurations())
+        payload = json.dumps(document, indent=2).encode()
         digest = _sha256(payload)
 
         directory = self._model_dir(name)
@@ -150,6 +178,13 @@ class ModelRegistry:
                 "versions": [],
             }
         versions: List[Dict[str, Any]] = manifest["versions"]
+        if versions:
+            last_kind = str(versions[-1].get("kind", POWER_KIND))
+            if last_kind != kind:
+                raise RegistryError(
+                    f"model {name!r} holds {last_kind} artifacts; refusing "
+                    f"to publish a {kind} artifact under the same name"
+                )
         if versions and versions[-1]["sha256"] == digest:
             return self._record(name, versions[-1])
 
@@ -161,7 +196,8 @@ class ModelRegistry:
             "file": filename,
             "sha256": digest,
             "device": model.spec.name,
-            "configurations": len(model.known_configurations()),
+            "configurations": configurations,
+            "kind": kind,
         }
         versions.append(entry)
         self._write_manifest(name, manifest)
@@ -239,13 +275,16 @@ class ModelRegistry:
     # ------------------------------------------------------------------
     def load(
         self, name: str, version: Optional[int] = None
-    ) -> Tuple[DVFSPowerModel, ArtifactRecord]:
+    ) -> Tuple[
+        Union[DVFSPowerModel, DevicePerformanceModel], ArtifactRecord
+    ]:
         """Load a model after verifying its artifact against the manifest.
 
         The file's bytes are re-hashed before parsing; any mismatch —
         truncation, bit-rot, manual edits — raises
         :class:`~repro.errors.RegistryError` so callers can fall back to a
-        different version instead of serving corrupt predictions.
+        different version instead of serving corrupt predictions. The
+        record's ``kind`` selects the parser (``power/v1`` or ``perf/v1``).
         """
         record = self.resolve(name, version)
         try:
@@ -261,8 +300,17 @@ class ModelRegistry:
                 f"artifact {record.path} of {record.version_key} is corrupt: "
                 f"content hash {digest[:12]} does not match the manifest"
             )
+        if record.kind == PERF_KIND:
+            parse = performance_model_from_dict
+        elif record.kind == POWER_KIND:
+            parse = model_from_dict
+        else:
+            raise RegistryError(
+                f"artifact {record.version_key} has unsupported kind "
+                f"{record.kind!r} (known: {POWER_KIND}, {PERF_KIND})"
+            )
         try:
-            model = model_from_dict(json.loads(payload.decode()))
+            model = parse(json.loads(payload.decode()))
         except (SerializationError, json.JSONDecodeError, UnicodeDecodeError) as bad:
             raise RegistryError(
                 f"artifact {record.path} of {record.version_key} does not "

@@ -31,7 +31,7 @@ class TestParser:
             "table1", "table2", "table3", "fig1", "fig2", "fig5", "fig6", "fig7",
             "fig8", "fig9", "fig10", "baselines", "ablations",
             "discovery", "sensitivity", "dvfs_savings", "noise_sweep",
-            "transfer",
+            "transfer", "perf_validation",
         }
 
 
@@ -361,3 +361,68 @@ class TestTelemetryFlag:
         }
         assert counters.get("faults.injected", 0) > 0
         assert counters.get("backoff.virtual_seconds", 0) > 0
+
+
+class TestEnergyCommands:
+    """The joint power x runtime CLI surface: fit --perf / predict --energy."""
+
+    @pytest.fixture(scope="class")
+    def perf_paths(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-perf") / "k40c.json"
+        code = main(
+            ["fit", "--device", "Tesla K40c", "--perf", "--output", str(path)]
+        )
+        assert code == 0
+        perf_path = path.with_name("k40c.perf.json")
+        assert perf_path.exists()
+        return path, perf_path
+
+    def test_fit_perf_writes_valid_performance_model(self, perf_paths):
+        _power, perf_path = perf_paths
+        data = json.loads(perf_path.read_text())
+        assert data["format"] == "repro-dvfs-performance-model"
+        assert data["device"] == "Tesla K40c"
+        names = {entry["name"] for entry in data["kernels"]}
+        # Microbenchmarks and the Table-III workloads are both fitted.
+        assert "blackscholes" in names
+        assert len(names) > 83
+
+    def test_predict_energy_single_config(self, perf_paths, capsys):
+        power, perf = perf_paths
+        code = main(
+            [
+                "predict", "--energy", "--model", str(power),
+                "--perf-model", str(perf),
+                "--workload", "blackscholes", "--core", "745",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "energy" in out
+        assert "EDP" in out
+
+    def test_predict_energy_grid(self, perf_paths, capsys):
+        power, perf = perf_paths
+        code = main(
+            [
+                "predict", "--energy", "--model", str(power),
+                "--perf-model", str(perf),
+                "--workload", "blackscholes", "--grid",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best energy" in out
+        assert "best edp" in out
+        assert "best ed2p" in out
+
+    def test_predict_energy_requires_perf_model(self, perf_paths, capsys):
+        power, _perf = perf_paths
+        code = main(
+            [
+                "predict", "--energy", "--model", str(power),
+                "--workload", "blackscholes",
+            ]
+        )
+        assert code != 0
+        assert "--perf-model" in capsys.readouterr().err

@@ -52,3 +52,34 @@ class TestHeadlineNumbers:
         assert lab.report("Tesla K40c").train_mae_percent == pytest.approx(
             9.13, abs=0.7
         )
+
+
+#: Timing-probe counts of the suite-wide performance fit. Deterministic:
+#: the probe schedule is fixed and the boards throttle reproducibly (the
+#: Tesla K40c's lower count is its TDP limiter collapsing probe requests
+#: onto fewer applied configurations).
+GOLDEN_PERF_PROBES = {
+    "Titan Xp": 249,
+    "GTX Titan X": 249,
+    "Tesla K40c": 245,
+}
+
+
+class TestPerformanceFitNumbers:
+    """Pins of the runtime-model fit riding the same Lab artefacts."""
+
+    @pytest.mark.parametrize("device", sorted(GOLDEN_PERF_PROBES))
+    def test_probe_counts_pinned(self, lab, device):
+        report = lab.performance_report(device)
+        assert report.kernels == len(lab.suite)
+        assert report.probes == GOLDEN_PERF_PROBES[device], (
+            f"{device}: probe schedule drifted; observed {report.probes}"
+        )
+
+    @pytest.mark.parametrize("device", sorted(GOLDEN_PERF_PROBES))
+    def test_probe_fit_mae_is_zero(self, lab, device):
+        # The fitted law matches the probe timings to float precision
+        # (observed ~4e-14 %); drift here means the fit math changed.
+        report = lab.performance_report(device)
+        assert report.train_mae_percent <= 1e-10, device
+        assert report.worst_rmse <= 1e-12, device

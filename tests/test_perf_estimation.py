@@ -1,0 +1,365 @@
+"""Differential validation of the fitted performance estimator
+(:mod:`repro.core.perf_estimation`) against the hidden ground-truth timing
+model, plus the estimator's structural contracts.
+
+The simulated boards are deterministic (memoized runs, noise-free
+timing), so the error bands are tight and exact — a genuine model change
+fails loudly, numerical-library jitter does not. The differential sweep
+never imports :mod:`repro.hardware.performance`; it only compares against
+what the driver layer measures, the same blindness the estimator works
+under.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimation import EstimatorReport
+from repro.core.metrics import MetricCalculator
+from repro.core.perf_estimation import (
+    DevicePerformanceModel,
+    EnergyModel,
+    KernelPerformanceModel,
+    PerformanceEstimator,
+    PerformanceEstimatorReport,
+)
+from repro.errors import EstimationError, NotFittedError
+from repro.hardware.components import ALL_COMPONENTS, Component
+from repro.hardware.specs import FrequencyConfig, GTX_TITAN_X
+
+DEVICES = ("Titan Xp", "GTX Titan X", "Tesla K40c")
+
+#: Per-device runtime-MAE ceilings (percent) over the full V-F grid. The
+#: observed values sit at ~1e-12 %; the bands leave several orders of
+#: magnitude of slack while still catching any real modeling regression.
+MAE_BAND_PERCENT = {
+    "Titan Xp": 1e-6,
+    "GTX Titan X": 1e-6,
+    "Tesla K40c": 1e-6,
+}
+MAX_ERROR_BAND_PERCENT = 1e-4
+
+
+@pytest.fixture(scope="module", params=DEVICES)
+def fitted(request, lab):
+    """(device, session, model, report) with the Lab's suite-wide fit."""
+    device = request.param
+    return (
+        device,
+        lab.session(device),
+        lab.performance_model(device),
+        lab.performance_report(device),
+    )
+
+
+class TestDifferentialRuntime:
+    """Predictions vs measured elapsed times over the whole grid."""
+
+    def test_runtime_mae_within_band(self, fitted, lab):
+        device, session, model, _report = fitted
+        kernels = lab.suite[::9]  # ~10 kernels, spread across the suite
+        errors = []
+        for kernel in kernels:
+            for config in session.gpu.spec.all_configurations():
+                measurement = session.measure_elapsed(kernel, config)
+                predicted = model.predict_runtime(
+                    kernel.name, measurement.applied_config
+                )
+                errors.append(
+                    abs(predicted - measurement.seconds)
+                    / measurement.seconds
+                    * 100.0
+                )
+        mae = sum(errors) / len(errors)
+        assert mae <= MAE_BAND_PERCENT[device], (
+            f"{device}: runtime MAE {mae:.3e}% exceeded the band"
+        )
+        assert max(errors) <= MAX_ERROR_BAND_PERCENT, (
+            f"{device}: max runtime error {max(errors):.3e}% exceeded the band"
+        )
+
+    def test_probe_fit_is_near_exact(self, fitted):
+        device, _session, _model, report = fitted
+        assert report.train_mae_percent <= 1e-6, device
+        assert report.worst_rmse <= 1e-9, device
+
+    def test_report_counts(self, fitted, lab):
+        _device, _session, model, report = fitted
+        assert report.kernels == len(lab.suite)
+        assert sorted(model.known_kernels()) == sorted(
+            k.name for k in lab.suite
+        )
+        # Every kernel contributes at least one probe, at most the target.
+        assert report.kernels <= report.probes <= 3 * report.kernels
+        assert len(report.rmse_history) == report.kernels
+        assert report.final_rmse == report.rmse_history[-1]
+
+
+class TestVectorizedEquality:
+    def test_grid_bitwise_equals_scalar(self, fitted):
+        _device, session, model, _report = fitted
+        configs = session.gpu.spec.all_configurations()
+        for name in model.known_kernels()[::17]:
+            grid = model.predict_runtime_grid(name, configs)
+            scalar = [model.predict_runtime(name, c) for c in configs]
+            assert grid.tolist() == scalar, name
+
+    def test_default_grid_is_full_grid(self, fitted):
+        _device, session, model, _report = fitted
+        name = model.known_kernels()[0]
+        full = model.predict_runtime_grid(name)
+        explicit = model.predict_runtime_grid(
+            name, session.gpu.spec.all_configurations()
+        )
+        assert full.tolist() == explicit.tolist()
+
+
+# ----------------------------------------------------------------------
+# Hypothesis properties on the model law itself
+# ----------------------------------------------------------------------
+service_seconds = st.floats(
+    min_value=0.0, max_value=1e-2, allow_nan=False, allow_infinity=False
+)
+
+
+def _kernel_model(values, latency):
+    components = dict(zip(ALL_COMPONENTS, values))
+    return KernelPerformanceModel(
+        kernel_name="prop",
+        reference=GTX_TITAN_X.reference,
+        overlap_exponent=6.0,
+        component_seconds=components,
+        latency_seconds=latency,
+    )
+
+
+class TestModelProperties:
+    @given(
+        values=st.lists(
+            service_seconds,
+            min_size=len(ALL_COMPONENTS),
+            max_size=len(ALL_COMPONENTS),
+        ),
+        latency=service_seconds,
+        memory=st.sampled_from(GTX_TITAN_X.memory_frequencies_mhz),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_runtime_monotone_in_core_frequency(self, values, latency, memory):
+        if sum(values) + latency <= 0.0:
+            values = list(values)
+            values[0] = 1e-6
+        model = _kernel_model(values, latency)
+        cores = sorted(GTX_TITAN_X.core_frequencies_mhz)
+        times = [
+            model.predict_runtime(FrequencyConfig(core, memory))
+            for core in cores
+        ]
+        for slower, faster in zip(times, times[1:]):
+            assert faster <= slower * (1.0 + 1e-12)
+
+    @given(
+        values=st.lists(
+            service_seconds,
+            min_size=len(ALL_COMPONENTS),
+            max_size=len(ALL_COMPONENTS),
+        ),
+        latency=service_seconds,
+        core=st.sampled_from(GTX_TITAN_X.core_frequencies_mhz),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_runtime_monotone_in_memory_frequency(self, values, latency, core):
+        if sum(values) + latency <= 0.0:
+            values = list(values)
+            values[0] = 1e-6
+        model = _kernel_model(values, latency)
+        memories = sorted(GTX_TITAN_X.memory_frequencies_mhz)
+        times = [
+            model.predict_runtime(FrequencyConfig(core, memory))
+            for memory in memories
+        ]
+        for slower, faster in zip(times, times[1:]):
+            assert faster <= slower * (1.0 + 1e-12)
+
+    @given(
+        # Bounded away from zero: a term below ~1e-51 underflows to 0.0
+        # when raised to the 6th power, which is an IEEE artifact rather
+        # than a property of the law.
+        values=st.lists(
+            st.floats(min_value=1e-9, max_value=1e-2),
+            min_size=len(ALL_COMPONENTS),
+            max_size=len(ALL_COMPONENTS),
+        ),
+        latency=st.floats(min_value=1e-9, max_value=1e-2),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_runtime_bounded_by_bottleneck_and_sum(self, values, latency):
+        """The smooth max sits between the hard max and the plain sum."""
+        model = _kernel_model(values, latency)
+        time = model.predict_runtime(GTX_TITAN_X.reference)
+        terms = list(values) + [latency]
+        assert time >= max(terms) * (1.0 - 1e-12)
+        assert time <= sum(terms) * (1.0 + 1e-12)
+
+
+class TestEnergyModel:
+    @pytest.fixture(scope="class")
+    def joint(self, lab):
+        device = "GTX Titan X"
+        return (
+            lab.session(device),
+            EnergyModel(lab.model(device), lab.performance_model(device)),
+        )
+
+    @given(config_index=st.integers(0, 35), kernel_index=st.integers(0, 82))
+    @settings(max_examples=40, deadline=None)
+    def test_energy_is_exactly_power_times_runtime(
+        self, joint, lab, config_index, kernel_index
+    ):
+        session, joint_model = joint
+        spec = session.gpu.spec
+        configs = spec.all_configurations()
+        config = configs[config_index % len(configs)]
+        kernel = lab.suite[kernel_index % len(lab.suite)]
+        utilizations = MetricCalculator(spec).utilizations(
+            session.collect_events(kernel)
+        )
+        energy = joint_model.predict_energy(utilizations, kernel.name, config)
+        assert energy == joint_model.predict_power(
+            utilizations, config
+        ) * joint_model.predict_runtime(kernel.name, config)
+        runtime = joint_model.predict_runtime(kernel.name, config)
+        assert joint_model.predict_edp(
+            utilizations, kernel.name, config
+        ) == pytest.approx(energy * runtime, rel=1e-12)
+        assert joint_model.predict_ed2p(
+            utilizations, kernel.name, config
+        ) == pytest.approx(energy * runtime * runtime, rel=1e-12)
+
+    def test_breakdown_is_consistent(self, joint, lab):
+        session, joint_model = joint
+        kernel = lab.suite[5]
+        config = session.gpu.spec.all_configurations()[3]
+        utilizations = MetricCalculator(session.gpu.spec).utilizations(
+            session.collect_events(kernel)
+        )
+        breakdown = joint_model.breakdown(utilizations, kernel.name, config)
+        assert breakdown.energy_joules == pytest.approx(
+            breakdown.power_watts * breakdown.runtime_seconds, rel=1e-12
+        )
+        assert breakdown.edp == pytest.approx(
+            breakdown.energy_joules * breakdown.runtime_seconds, rel=1e-12
+        )
+        assert breakdown.ed2p == pytest.approx(
+            breakdown.edp * breakdown.runtime_seconds, rel=1e-12
+        )
+
+    def test_spec_mismatch_rejected(self, lab):
+        with pytest.raises(EstimationError):
+            EnergyModel(
+                lab.model("GTX Titan X"), lab.performance_model("Titan Xp")
+            )
+
+
+class TestGuardsAndErrors:
+    def test_unknown_kernel_raises_not_fitted(self, lab):
+        model = lab.performance_model("GTX Titan X")
+        with pytest.raises(NotFittedError):
+            model.predict_runtime("no-such-kernel", GTX_TITAN_X.reference)
+
+    def test_empty_perf_report_final_rmse_raises(self):
+        report = PerformanceEstimatorReport(
+            kernels=0, probes=0, rmse_history=(), train_mae_percent=0.0
+        )
+        with pytest.raises(EstimationError):
+            report.final_rmse
+        with pytest.raises(EstimationError):
+            report.worst_rmse
+
+    def test_empty_power_report_final_rmse_raises(self):
+        # Regression: this used to be an opaque IndexError.
+        report = EstimatorReport(
+            iterations=0,
+            converged=False,
+            rmse_history=(),
+            train_mae_percent=float("nan"),
+        )
+        with pytest.raises(EstimationError):
+            report.final_rmse
+
+    def test_estimator_rejects_empty_kernel_list(self, lab):
+        with pytest.raises(EstimationError):
+            PerformanceEstimator(None, lab.session("GTX Titan X"), [])
+
+    def test_estimator_rejects_mismatched_dataset(self, lab):
+        with pytest.raises(EstimationError):
+            PerformanceEstimator(
+                lab.dataset("Titan Xp"),
+                lab.session("GTX Titan X"),
+                lab.suite[:1],
+            )
+
+    def test_estimator_rejects_bad_exponent(self, lab):
+        with pytest.raises(EstimationError):
+            PerformanceEstimator(
+                None, lab.session("GTX Titan X"), lab.suite[:1],
+                overlap_exponent=0.5,
+            )
+
+    def test_kernel_model_validates_terms(self):
+        components = {c: 0.0 for c in ALL_COMPONENTS}
+        with pytest.raises(EstimationError):
+            KernelPerformanceModel(
+                kernel_name="zero",
+                reference=GTX_TITAN_X.reference,
+                overlap_exponent=6.0,
+                component_seconds=components,
+            )
+        with pytest.raises(EstimationError):
+            KernelPerformanceModel(
+                kernel_name="negative",
+                reference=GTX_TITAN_X.reference,
+                overlap_exponent=6.0,
+                component_seconds={
+                    **components, Component.DRAM: -1.0
+                },
+            )
+        missing = {c: 1e-3 for c in ALL_COMPONENTS if c != Component.L2}
+        with pytest.raises(EstimationError):
+            KernelPerformanceModel(
+                kernel_name="missing",
+                reference=GTX_TITAN_X.reference,
+                overlap_exponent=6.0,
+                component_seconds=missing,
+            )
+
+    def test_device_model_rejects_empty(self):
+        with pytest.raises(EstimationError):
+            DevicePerformanceModel(spec=GTX_TITAN_X, kernels={})
+
+
+class TestProbeSchedule:
+    def test_probe_schedule_is_deterministic(self, lab):
+        estimator = PerformanceEstimator(
+            None, lab.session("GTX Titan X"), lab.suite[:1]
+        )
+        first = estimator.probe_configurations()
+        second = estimator.probe_configurations()
+        assert first == second
+        keys = [(c.core_mhz, c.memory_mhz) for c in first]
+        assert len(keys) == len(set(keys))
+
+    def test_throttled_device_still_fits(self, lab):
+        """Tesla K40c: TDP throttling collapses heavy kernels onto one
+        applied configuration; the single-probe fallback must still produce
+        a model whose anchor prediction is exact."""
+        session = lab.session("Tesla K40c")
+        model = lab.performance_model("Tesla K40c")
+        spec = session.gpu.spec
+        for kernel in lab.suite[:6]:
+            measurement = session.measure_elapsed(kernel, spec.reference)
+            predicted = model.predict_runtime(
+                kernel.name, measurement.applied_config
+            )
+            assert predicted == pytest.approx(measurement.seconds, rel=1e-9)

@@ -1,0 +1,243 @@
+"""Policy-regret tests: planning with *predicted* durations must not cost
+more than a sliver of the true energy savings that planning with *measured*
+(oracle) durations achieves.
+
+Two :class:`~repro.runtime.manager.OnlineDVFSManager` instances share the
+same power model, session and policy; one plans from the fitted
+performance model's predicted runtimes, the other from measured runtimes
+(``oracle_durations=True``). Both plans are then graded on the *measured*
+energy of their chosen configuration — the regret bound is on ground
+truth, not on the model's own scoring. Everything is deterministic
+(memoized runs, fixed probe schedule), so the bounds are exact gates, not
+statistical ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.runtime.manager import OnlineDVFSManager
+from repro.runtime.policies import (
+    Ed2pPolicy,
+    EdpPolicy,
+    EnergyPolicy,
+    PowerCapPolicy,
+    StaticPolicy,
+)
+
+DEVICES = ("Titan Xp", "GTX Titan X", "Tesla K40c")
+
+#: Maximum fraction of true energy savings the predicted-duration plan may
+#: lose against the oracle-duration plan. The runtime model is near-exact,
+#: so the two plans should coincide; the bound gives deliberate slack for
+#: knife-edge ties between configurations with near-identical energy.
+REGRET_BOUND = 0.02
+
+POLICIES = {
+    "energy": lambda: EnergyPolicy(),
+    "edp": lambda: EdpPolicy(),
+    "ed2p": lambda: Ed2pPolicy(),
+}
+
+
+def _true_energy(session, kernel, config):
+    """Measured energy (J) of one invocation — the grading oracle."""
+    measurement = session.measure_power(kernel, config, median=False)
+    return measurement.average_watts * session.measure_time(kernel, config)
+
+
+def _savings(session, kernel, chosen_config, reference_config):
+    reference = _true_energy(session, kernel, reference_config)
+    chosen = _true_energy(session, kernel, chosen_config)
+    if reference <= 0.0:
+        return 0.0
+    return 1.0 - chosen / reference
+
+
+@pytest.fixture(scope="module", params=DEVICES)
+def device_setup(request, lab):
+    device = request.param
+    return (
+        device,
+        lab.model(device),
+        lab.session(device),
+        lab.performance_model(device),
+    )
+
+
+class TestPolicyRegret:
+    @pytest.mark.parametrize("policy_name", sorted(POLICIES))
+    def test_predicted_durations_match_oracle_savings(
+        self, device_setup, lab, policy_name
+    ):
+        device, model, session, performance = device_setup
+        spec = session.gpu.spec
+        predicted_manager = OnlineDVFSManager(
+            model, session, POLICIES[policy_name](), performance=performance
+        )
+        oracle_manager = OnlineDVFSManager(
+            model,
+            session,
+            POLICIES[policy_name](),
+            performance=performance,
+            oracle_durations=True,
+        )
+        kernels = lab.suite[::13]  # ~7 kernels across the suite spectrum
+        for kernel in kernels:
+            predicted_plan = predicted_manager.plan_for(kernel)
+            oracle_plan = oracle_manager.plan_for(kernel)
+            predicted_savings = _savings(
+                session, kernel, predicted_plan.config, spec.reference
+            )
+            oracle_savings = _savings(
+                session, kernel, oracle_plan.config, spec.reference
+            )
+            regret = oracle_savings - predicted_savings
+            assert regret <= REGRET_BOUND, (
+                f"{device}/{policy_name}/{kernel.name}: predicted-duration "
+                f"plan loses {regret:.1%} of true savings "
+                f"(chose {predicted_plan.config}, oracle chose "
+                f"{oracle_plan.config})"
+            )
+
+    def test_planning_is_deterministic(self, device_setup, lab):
+        _device, model, session, performance = device_setup
+        kernel = lab.suite[4]
+        first = OnlineDVFSManager(
+            model, session, EnergyPolicy(), performance=performance
+        ).plan_for(kernel)
+        second = OnlineDVFSManager(
+            model, session, EnergyPolicy(), performance=performance
+        ).plan_for(kernel)
+        assert first.config == second.config
+        assert first.chosen.energy_joules == second.chosen.energy_joules
+
+    def test_oracle_flag_keeps_measured_durations(self, device_setup, lab):
+        """With oracle_durations=True the scored time is the measured one
+        even though a performance model is attached."""
+        _device, model, session, performance = device_setup
+        kernel = lab.suite[4]
+        manager = OnlineDVFSManager(
+            model,
+            session,
+            EnergyPolicy(),
+            performance=performance,
+            oracle_durations=True,
+        )
+        plan = manager.plan_for(kernel)
+        assert plan.chosen.time_seconds == session.measure_time(
+            kernel, plan.config
+        )
+
+    def test_predicted_durations_are_used_when_known(self, device_setup, lab):
+        _device, model, session, performance = device_setup
+        kernel = lab.suite[4]
+        manager = OnlineDVFSManager(
+            model, session, EnergyPolicy(), performance=performance
+        )
+        plan = manager.plan_for(kernel)
+        assert plan.chosen.time_seconds == performance.predict_runtime(
+            kernel.name, plan.config
+        )
+
+    def test_unknown_kernel_falls_back_to_measurement(self, lab):
+        device = "GTX Titan X"
+        session = lab.session(device)
+        performance = lab.performance_model(device)
+        kernel = lab.workloads(device)[0]  # Table-III workload, not fitted
+        assert not performance.has_kernel(kernel.name)
+        manager = OnlineDVFSManager(
+            lab.model(device),
+            session,
+            EnergyPolicy(),
+            performance=performance,
+        )
+        plan = manager.plan_for(kernel)
+        assert plan.chosen.time_seconds == session.measure_time(
+            kernel, plan.config
+        )
+
+
+class TestCapAndStaticInteraction:
+    @pytest.fixture(scope="class")
+    def setup(self, lab):
+        device = "GTX Titan X"
+        return (
+            lab.model(device),
+            lab.session(device),
+            lab.performance_model(device),
+        )
+
+    def test_power_cap_respected_with_predicted_durations(self, setup, lab):
+        model, session, performance = setup
+        kernel = lab.suite[20]
+        cap = 150.0
+        manager = OnlineDVFSManager(
+            model,
+            session,
+            PowerCapPolicy(cap_watts=cap),
+            performance=performance,
+        )
+        plan = manager.plan_for(kernel)
+        assert plan.chosen.predicted_power_watts <= cap
+        # Among capped candidates the policy picks the fastest; check
+        # against an explicit scan of the same scored grid.
+        utilizations = plan.utilizations
+        fastest = min(
+            (
+                (
+                    performance.predict_runtime(kernel.name, config),
+                    model.predict_power(utilizations, config),
+                    config,
+                )
+                for config in session.gpu.spec.all_configurations()
+                if model.predict_power(utilizations, config) <= cap
+            ),
+        )
+        assert plan.config == fastest[2]
+
+    def test_impossible_cap_falls_back_to_lowest_power(self, setup, lab):
+        model, session, performance = setup
+        kernel = lab.suite[20]
+        manager = OnlineDVFSManager(
+            model,
+            session,
+            PowerCapPolicy(cap_watts=1.0),
+            performance=performance,
+        )
+        plan = manager.plan_for(kernel)
+        utilizations = plan.utilizations
+        lowest = min(
+            session.gpu.spec.all_configurations(),
+            key=lambda config: model.predict_power(utilizations, config),
+        )
+        assert plan.config == lowest
+
+    def test_static_policy_pins_and_validates(self, setup, lab):
+        model, session, performance = setup
+        kernel = lab.suite[20]
+        target = session.gpu.spec.all_configurations()[2]
+        manager = OnlineDVFSManager(
+            model,
+            session,
+            StaticPolicy(config=target),
+            performance=performance,
+        )
+        assert manager.plan_for(kernel).config == target
+
+    def test_static_policy_outside_candidates_raises(self, setup, lab):
+        model, session, performance = setup
+        spec = session.gpu.spec
+        candidates = spec.all_configurations()[:3]
+        pinned = spec.all_configurations()[-1]
+        assert pinned not in candidates
+        manager = OnlineDVFSManager(
+            model,
+            session,
+            StaticPolicy(config=pinned),
+            candidate_configs=candidates,
+            performance=performance,
+        )
+        with pytest.raises(ValidationError):
+            manager.plan_for(lab.suite[21])

@@ -197,3 +197,72 @@ class TestOptimalConfiguration:
         engine = PredictionEngine(lab.model("Tesla K40c"))
         with pytest.raises(ServingError, match="times_seconds"):
             engine.score_grid(sample_vectors(3)[0], times_seconds=[1.0])
+
+
+class TestBestEnergyConfiguration:
+    """The joint power x runtime serving query."""
+
+    @pytest.fixture(scope="class")
+    def setup(self, lab):
+        device = "GTX Titan X"
+        return (
+            lab.session(device),
+            PredictionEngine(lab.model(device)),
+            lab.performance_model(device),
+        )
+
+    def test_matches_explicit_scan(self, setup, lab):
+        from repro.core.metrics import MetricCalculator
+
+        session, engine, performance = setup
+        kernel = lab.suite[10]
+        utilizations = MetricCalculator(session.gpu.spec).utilizations(
+            session.collect_events(kernel)
+        )
+        best = engine.best_energy_configuration(
+            utilizations, performance, kernel.name
+        )
+        expected = min(
+            (
+                (
+                    engine.model.predict_power(utilizations, config)
+                    * performance.predict_runtime(kernel.name, config),
+                    config,
+                )
+                for config in session.gpu.spec.all_configurations()
+            ),
+        )
+        assert best.config == expected[1]
+        assert best.energy_joules == pytest.approx(expected[0], rel=1e-12)
+
+    def test_objectives_accepted(self, setup, lab):
+        from repro.core.metrics import MetricCalculator
+
+        session, engine, performance = setup
+        kernel = lab.suite[10]
+        utilizations = MetricCalculator(session.gpu.spec).utilizations(
+            session.collect_events(kernel)
+        )
+        for objective in ("energy", "edp", "ed2p"):
+            score = engine.best_energy_configuration(
+                utilizations, performance, kernel.name, objective=objective
+            )
+            assert score.energy_joules > 0
+        with pytest.raises(ValidationError):
+            engine.best_energy_configuration(
+                utilizations, performance, kernel.name, objective="speed"
+            )
+
+    def test_device_mismatch_rejected(self, setup, lab):
+        from repro.core.metrics import MetricCalculator
+
+        session, engine, _performance = setup
+        other = lab.performance_model("Titan Xp")
+        kernel = lab.suite[10]
+        utilizations = MetricCalculator(session.gpu.spec).utilizations(
+            session.collect_events(kernel)
+        )
+        with pytest.raises(ServingError):
+            engine.best_energy_configuration(
+                utilizations, other, kernel.name
+            )

@@ -210,5 +210,45 @@ class TestDeterminism:
         assert manifest["schema"] == MANIFEST_SCHEMA
         assert set(manifest) == {"schema", "model", "pinned", "versions"}
         assert set(manifest["versions"][0]) == {
-            "version", "file", "sha256", "device", "configurations",
+            "version", "file", "sha256", "device", "configurations", "kind",
         }
+
+
+class TestPerformanceArtifacts:
+    """perf/v1 artifacts share the registry with power/v1 models."""
+
+    @pytest.fixture(scope="class")
+    def perf_model(self, lab):
+        return lab.performance_model("Tesla K40c")
+
+    def test_publish_and_load_round_trip(self, registry, perf_model):
+        from repro.serialization import performance_model_to_dict
+
+        record = registry.publish(perf_model)
+        assert record.kind == "perf/v1"
+        assert record.name == "tesla-k40c-perf"
+        loaded, loaded_record = registry.load(record.name)
+        assert loaded_record == record
+        assert performance_model_to_dict(loaded) == performance_model_to_dict(
+            perf_model
+        )
+
+    def test_republish_is_idempotent(self, registry, perf_model):
+        first = registry.publish(perf_model)
+        second = registry.publish(perf_model)
+        assert first == second
+        assert first.version == 1
+
+    def test_mixed_kinds_under_one_name_rejected(
+        self, registry, perf_model, k40c_model
+    ):
+        record = registry.publish(perf_model)
+        with pytest.raises(RegistryError):
+            registry.publish(k40c_model, name=record.name)
+        power_record = registry.publish(k40c_model, name="shared")
+        with pytest.raises(RegistryError):
+            registry.publish(perf_model, name=power_record.name)
+
+    def test_power_records_default_kind(self, registry, k40c_model):
+        record = registry.publish(k40c_model)
+        assert record.kind == "power/v1"
