@@ -1,0 +1,26 @@
+#!/usr/bin/env python
+"""Cluster benchmark harness — runnable wrapper around the CLI gate.
+
+Fits one oracle per device type, sweeps every fleet scheduler over the
+three arrival shapes on the full 2048-node fleet (12k jobs), gates the
+deadline-aware scheduler on energy savings and miss rate, and writes
+``BENCH_cluster.json``::
+
+    python benchmarks/bench_cluster.py              # full fleet gate
+    python benchmarks/bench_cluster.py --quick      # CI smoke tier
+    python benchmarks/bench_cluster.py --min-energy-savings 0.15
+
+Equivalent: ``python -m repro.cli cluster --bench ...``.
+"""
+
+import sys
+from pathlib import Path
+
+try:
+    from repro.cli import main
+except ImportError:  # running from a source checkout without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["cluster", "--bench", *sys.argv[1:]]))

@@ -117,6 +117,26 @@ from repro.parallel import (
     collect_training_dataset_sharded,
     partition_grid,
 )
+from repro.traffic import TrafficShape, sample_arrivals, shape_by_name
+from repro.cluster import (
+    ClusterReport,
+    ClusterSimulator,
+    DeadlineAwareEdfScheduler,
+    DeviceOracle,
+    EnergyGreedyScheduler,
+    GPUNode,
+    Job,
+    JobRecord,
+    JobTrace,
+    MaxClocksFifoScheduler,
+    NodeFailurePlan,
+    PowerCappedEdfScheduler,
+    Scheduler,
+    build_fleet,
+    fleet_reference_seconds,
+    generate_job_trace,
+    scheduler_by_name,
+)
 
 __version__ = "1.0.0"
 
@@ -163,4 +183,13 @@ __all__ = [
     # sharded campaign
     "DeviceSpec", "Shard", "partition_grid",
     "collect_campaign_sharded", "collect_training_dataset_sharded",
+    # traffic shapes
+    "TrafficShape", "shape_by_name", "sample_arrivals",
+    # cluster scheduling
+    "Job", "JobTrace", "generate_job_trace", "fleet_reference_seconds",
+    "DeviceOracle", "GPUNode", "build_fleet",
+    "Scheduler", "MaxClocksFifoScheduler", "EnergyGreedyScheduler",
+    "DeadlineAwareEdfScheduler", "PowerCappedEdfScheduler",
+    "scheduler_by_name", "NodeFailurePlan",
+    "ClusterSimulator", "ClusterReport", "JobRecord",
 ]

@@ -52,7 +52,7 @@ EXPERIMENTS = (
     "table1", "table2", "table3", "fig1",
     "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
     "baselines", "ablations", "discovery", "sensitivity", "dvfs_savings",
-    "noise_sweep", "transfer", "perf_validation",
+    "noise_sweep", "transfer", "perf_validation", "cluster_savings",
 )
 
 
@@ -622,6 +622,104 @@ def cmd_load_test(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """Simulate fleet-level energy scheduling; optionally gate a bench."""
+    import json
+    from pathlib import Path
+
+    from repro.benchmarking import BenchmarkRegression
+
+    if args.bench:
+        from repro.cluster.bench import run_cluster_bench
+
+        try:
+            report = run_cluster_bench(
+                quick=args.quick,
+                seed=args.seed,
+                nodes=args.nodes,
+                jobs=args.jobs,
+                min_energy_savings=args.min_energy_savings,
+                max_deadline_miss_rate=args.max_deadline_miss_rate,
+                output=args.output or "BENCH_cluster.json",
+            )
+        except BenchmarkRegression as regression:
+            print(f"error: {regression}", file=sys.stderr)
+            return 1
+        headline = report["headline"]
+        print(
+            f"cluster bench pass: edf saves >= "
+            f"{headline['min_savings_vs_max_clocks'] * 100:.1f}% fleet "
+            f"energy on every shape at <= "
+            f"{headline['max_deadline_miss_rate'] * 100:.2f}% miss rate"
+        )
+        print(f"report written to {args.output or 'BENCH_cluster.json'}")
+        return 0
+
+    from repro.cluster import (
+        ClusterSimulator,
+        NodeFailurePlan,
+        build_fleet,
+        fleet_reference_seconds,
+        generate_job_trace,
+        scheduler_by_name,
+    )
+    from repro.experiments.cluster_savings import (
+        HORIZON_S,
+        QUICK_WORKLOADS,
+        build_oracles,
+        default_mix,
+    )
+    from repro.experiments.common import get_lab
+
+    lab = get_lab()
+    kernels = tuple(lab.workloads("Titan Xp"))
+    if args.quick:
+        kernels = kernels[:QUICK_WORKLOADS]
+    oracles = build_oracles(kernels, lab=lab)
+    nodes = build_fleet(oracles, default_mix(args.nodes or 20))
+    references = fleet_reference_seconds(
+        [oracles[device] for device in sorted(oracles)], kernels
+    )
+    trace = generate_job_trace(
+        args.shape,
+        args.jobs or 240,
+        args.seed,
+        kernels,
+        references,
+        horizon_s=HORIZON_S,
+    )
+    failure_plan = None
+    if args.chaos_mtbf is not None:
+        failure_plan = NodeFailurePlan(
+            mtbf_s=args.chaos_mtbf, mttr_s=args.chaos_mttr, seed=args.seed
+        )
+    simulator = ClusterSimulator(
+        nodes, scheduler_by_name(args.scheduler), failure_plan=failure_plan
+    )
+    report = simulator.run(trace)
+    print(
+        format_kv(
+            {
+                "scheduler": report.scheduler,
+                "shape": report.shape_name,
+                "nodes": str(report.n_nodes),
+                "jobs": str(report.n_jobs),
+                "fleet energy (J)": f"{report.fleet_energy_joules:.2f}",
+                "deadline misses": str(report.deadline_misses),
+                "miss rate": f"{report.miss_rate * 100:.2f}%",
+                "makespan (s)": f"{report.makespan_s:.3f}",
+                "rescheduled": str(report.rescheduled),
+                "node failures": str(report.node_failures),
+            }
+        )
+    )
+    if args.output:
+        path = Path(args.output)
+        path.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+        print(f"report written to {path}")
+    return 0
+
+
 def cmd_sources(args: argparse.Namespace) -> int:
     """Dump the microbenchmark suite's CUDA (and PTX) sources — the
     released-artifact side of the paper (Fig. 3/4)."""
@@ -833,6 +931,57 @@ def build_parser() -> argparse.ArgumentParser:
         "the grid fast path (CI perf gate)",
     )
     bench.set_defaults(handler=cmd_bench)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help=(
+            "simulate deadline-aware energy scheduling over a GPU fleet "
+            "(--bench gates BENCH_cluster.json)"
+        ),
+    )
+    cluster.add_argument(
+        "--bench",
+        action="store_true",
+        help="run the full scheduler x shape sweep and gate the savings",
+    )
+    cluster.add_argument("--quick", action="store_true")
+    cluster.add_argument(
+        "--scheduler",
+        default="edf",
+        choices=("max-clocks", "energy-greedy", "edf", "powercap-edf"),
+    )
+    cluster.add_argument(
+        "--shape", default="burst", choices=("diurnal", "burst", "mixed")
+    )
+    cluster.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        help="total fleet size, split 40/40/20 across device types",
+    )
+    cluster.add_argument("--jobs", type=int, default=None)
+    cluster.add_argument("--seed", type=int, default=MASTER_SEED)
+    cluster.add_argument(
+        "--chaos-mtbf",
+        type=float,
+        default=None,
+        help="enable seeded node failures with this mean time between them",
+    )
+    cluster.add_argument("--chaos-mttr", type=float, default=0.1)
+    cluster.add_argument(
+        "--min-energy-savings",
+        type=float,
+        default=0.10,
+        help="bench gate: minimum edf savings vs max-clocks on every shape",
+    )
+    cluster.add_argument(
+        "--max-deadline-miss-rate",
+        type=float,
+        default=0.05,
+        help="bench gate: maximum edf deadline-miss rate on every shape",
+    )
+    cluster.add_argument("--output", default=None)
+    cluster.set_defaults(handler=cmd_cluster)
 
     sources = sub.add_parser(
         "sources",

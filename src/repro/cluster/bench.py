@@ -1,0 +1,113 @@
+"""The cluster benchmark gate: ``BENCH_cluster.json``.
+
+Wraps the :mod:`repro.experiments.cluster_savings` sweep with the repo's
+standard pass/fail discipline
+(:class:`~repro.benchmarking.BenchmarkRegression`): the deadline-aware
+``edf`` scheduler must beat the max-clocks FIFO baseline by at least
+``--min-energy-savings`` on *every* traffic shape while holding its
+deadline-miss rate under ``--max-deadline-miss-rate``, and the chaos
+scenario must complete every job despite node churn. A vacuous pass is
+refused — zero jobs or a non-positive baseline energy is a failure, not
+a green light.
+
+All pass/fail inputs are virtual-time quantities, so the gate verdict is
+seed-deterministic; wall-clock timings are recorded for context only and
+live under the ``wall_seconds`` keys the determinism tests scrub.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.benchmarking import BenchmarkRegression
+from repro.config import MASTER_SEED
+from repro.experiments import cluster_savings
+
+__all__ = ["run_cluster_bench", "check_cluster_gate", "DEFAULT_MIN_SAVINGS"]
+
+#: The acceptance bar: >= 10 % fleet energy off the max-clocks baseline.
+DEFAULT_MIN_SAVINGS = 0.10
+
+#: Bounded miss rate the savings must be delivered at.
+DEFAULT_MAX_MISS_RATE = 0.05
+
+#: The scheduler the gate grades.
+GATED_SCHEDULER = "edf"
+
+
+def check_cluster_gate(
+    report: Dict[str, object],
+    min_energy_savings: float,
+    max_deadline_miss_rate: float,
+) -> None:
+    """Raise :class:`BenchmarkRegression` unless every shape passes."""
+    shapes = report.get("shapes") or {}
+    if not shapes:
+        raise BenchmarkRegression(
+            "cluster gate refused: report contains no shapes (vacuous pass)"
+        )
+    failures = []
+    for shape, by_scheduler in sorted(shapes.items()):
+        entry = by_scheduler.get(GATED_SCHEDULER)
+        if entry is None:
+            failures.append(f"{shape}: no {GATED_SCHEDULER!r} run")
+            continue
+        if not entry["jobs"]:
+            failures.append(f"{shape}: zero jobs (vacuous pass)")
+            continue
+        savings = entry["savings_vs_max_clocks"]
+        miss_rate = entry["deadline_miss_rate"]
+        if savings < min_energy_savings:
+            failures.append(
+                f"{shape}: savings {savings:.3f} < {min_energy_savings:.3f}"
+            )
+        if miss_rate > max_deadline_miss_rate:
+            failures.append(
+                f"{shape}: miss rate {miss_rate:.3f} > "
+                f"{max_deadline_miss_rate:.3f}"
+            )
+    chaos = report.get("chaos") or {}
+    if chaos and chaos.get("completed", 0) < report.get("jobs", 0):
+        failures.append(
+            f"chaos: only {chaos.get('completed')} of {report.get('jobs')} "
+            "jobs completed under node churn"
+        )
+    if failures:
+        raise BenchmarkRegression(
+            "cluster gate failed: " + "; ".join(failures)
+        )
+
+
+def run_cluster_bench(
+    quick: bool = False,
+    seed: int = MASTER_SEED,
+    nodes: Optional[int] = None,
+    jobs: Optional[int] = None,
+    min_energy_savings: float = DEFAULT_MIN_SAVINGS,
+    max_deadline_miss_rate: float = DEFAULT_MAX_MISS_RATE,
+    output: str = "BENCH_cluster.json",
+    lab=None,
+) -> Dict[str, object]:
+    """Run the sweep, gate it, and write ``BENCH_cluster.json``."""
+    mix = cluster_savings.default_mix(nodes) if nodes is not None else None
+    result = cluster_savings.run(
+        lab=lab, quick=quick, seed=seed, mix=mix, n_jobs=jobs
+    )
+    report: Dict[str, object] = {
+        "benchmark": "cluster",
+        "schema": cluster_savings.REPORT_SCHEMA,
+        "mode": "quick" if quick else "full",
+    }
+    report.update(result.to_dict())
+    report["gate"] = {
+        "scheduler": GATED_SCHEDULER,
+        "min_energy_savings": min_energy_savings,
+        "max_deadline_miss_rate": max_deadline_miss_rate,
+    }
+    check_cluster_gate(report, min_energy_savings, max_deadline_miss_rate)
+    report["gate"]["pass"] = True
+    path = Path(output)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return report

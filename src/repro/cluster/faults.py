@@ -1,0 +1,54 @@
+"""Seeded node failure/recovery plans — the chaos layer at fleet scale.
+
+The driver-level :class:`~repro.driver.faults.FaultPlan` perturbs single
+measurements; a cluster additionally loses whole *nodes*. This module
+gives the simulator the same discipline for that: a frozen plan whose
+outage draws are pure functions of ``(seed, node name)`` through
+:func:`repro.config.rng_for` label derivation. Failure interarrivals and
+repair durations are exponential (the classic MTBF/MTTR renewal
+process); each node owns an independent stream, so the outage schedule
+of node ``k40c-0007`` never depends on how many other nodes exist or in
+what order the event loop touches them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import MASTER_SEED, rng_for
+from repro.errors import ValidationError
+
+__all__ = ["NodeFailurePlan"]
+
+
+@dataclass(frozen=True)
+class NodeFailurePlan:
+    """Exponential MTBF/MTTR outage schedules, seeded per node name."""
+
+    #: Mean virtual seconds between failures of one node.
+    mtbf_s: float
+    #: Mean virtual seconds a failed node stays down.
+    mttr_s: float
+    seed: int = MASTER_SEED
+
+    def __post_init__(self) -> None:
+        if self.mtbf_s <= 0 or self.mttr_s <= 0:
+            raise ValidationError(
+                "node failure plan needs positive mtbf_s and mttr_s"
+            )
+
+    def stream(self, node_name: str) -> np.random.Generator:
+        """The node's private outage stream (deterministic per name)."""
+        return rng_for(
+            "cluster-fault", node_name, master_seed=self.seed
+        )
+
+    def time_to_failure(self, rng: np.random.Generator) -> float:
+        """Draw the next up-time (seconds until the node fails)."""
+        return float(rng.exponential(self.mtbf_s))
+
+    def repair_time(self, rng: np.random.Generator) -> float:
+        """Draw the outage duration (seconds until the node recovers)."""
+        return float(rng.exponential(self.mttr_s))

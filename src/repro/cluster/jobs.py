@@ -1,0 +1,192 @@
+"""Seeded job traces: arrival shapes turned into deadline-carrying jobs.
+
+A cluster job is a kernel workload replayed ``invocations`` times on one
+node. Arrival times come from the shared :mod:`repro.traffic` sampler —
+the exact same inhomogeneous-Poisson machinery the serving loadgen uses,
+so "diurnal", "burst" and "mixed" mean one thing across the repo. On top
+of the timeline, a second seeded stream draws each job's kernel, its size
+and its *slack factor*; the deadline is then
+
+    deadline = arrival + slack × invocations × reference_service[kernel]
+
+where ``reference_service`` is the caller-supplied per-kernel service
+estimate (use :func:`fleet_reference_seconds` for the worst-case-device
+reference time, so slack 1.0 means "one worst-case service time of room
+from arrival" and queueing delay — not placement luck — is what turns
+into deadline misses).
+
+Everything is a pure function of ``(shape, n_jobs, seed, ...)``: two
+calls with equal arguments produce equal traces, element for element —
+the property suite pins exact counts, monotone virtual timestamps and
+bitwise seed determinism.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple, Union
+
+from repro.config import rng_for
+from repro.errors import ValidationError
+from repro.kernels.kernel import KernelDescriptor
+from repro.traffic import TrafficShape, sample_arrivals, shape_by_name
+
+__all__ = [
+    "Job",
+    "JobTrace",
+    "generate_job_trace",
+    "fleet_reference_seconds",
+]
+
+#: Default per-job invocation-count range (inclusive).
+DEFAULT_SIZE_RANGE = (1, 64)
+
+#: Default slack-factor range: a few tight jobs (the EDF pressure), a
+#: long loose tail (the energy-saving opportunity).
+DEFAULT_SLACK_RANGE = (1.5, 8.0)
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of fleet work: a kernel replayed ``invocations`` times."""
+
+    job_id: int
+    kernel: KernelDescriptor
+    #: Virtual arrival time (seconds from trace start).
+    arrival_s: float
+    #: How many back-to-back launches the job performs.
+    invocations: int
+    #: Virtual completion deadline (absolute, same clock as ``arrival_s``).
+    deadline_s: float
+
+    @property
+    def name(self) -> str:
+        return self.kernel.name
+
+    def __post_init__(self) -> None:
+        if self.invocations < 1:
+            raise ValidationError("a job needs at least one invocation")
+        if self.deadline_s <= self.arrival_s:
+            raise ValidationError(
+                f"job {self.job_id} deadline {self.deadline_s} must fall "
+                f"after its arrival {self.arrival_s}"
+            )
+
+
+@dataclass(frozen=True)
+class JobTrace:
+    """A seeded, arrival-ordered job stream over one traffic shape."""
+
+    shape: TrafficShape
+    seed: int
+    jobs: Tuple[Job, ...]
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def horizon_s(self) -> float:
+        """The shape's virtual horizon (arrivals all fall inside it)."""
+        return self.shape.duration_s
+
+    @property
+    def total_invocations(self) -> int:
+        return sum(job.invocations for job in self.jobs)
+
+    def kernel_names(self) -> Tuple[str, ...]:
+        """Distinct kernel names in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for job in self.jobs:
+            seen.setdefault(job.kernel.name, None)
+        return tuple(seen)
+
+
+def fleet_reference_seconds(
+    oracles: Sequence[object], kernels: Sequence[KernelDescriptor]
+) -> Dict[str, float]:
+    """Worst-case-device reference service time per kernel (seconds).
+
+    ``oracles`` is any sequence of :class:`~repro.cluster.node.DeviceOracle`
+    (anything with a ``reference_seconds(kernel)`` method). Taking the max
+    over device types makes deadlines feasible on *every* node of a
+    heterogeneous fleet, so misses measure scheduling, not hardware mix.
+    """
+    if not oracles:
+        raise ValidationError("fleet reference times need at least one oracle")
+    return {
+        kernel.name: max(
+            oracle.reference_seconds(kernel) for oracle in oracles
+        )
+        for kernel in kernels
+    }
+
+
+def generate_job_trace(
+    shape: Union[str, TrafficShape],
+    n_jobs: int,
+    seed: int,
+    kernels: Sequence[KernelDescriptor],
+    reference_seconds: Mapping[str, float],
+    horizon_s: float = None,
+    size_range: Tuple[int, int] = DEFAULT_SIZE_RANGE,
+    slack_range: Tuple[float, float] = DEFAULT_SLACK_RANGE,
+) -> JobTrace:
+    """Exactly ``n_jobs`` seeded jobs distributed as the traffic shape.
+
+    ``shape`` is a stock shape name (``diurnal``/``burst``/``mixed``) or
+    any :class:`~repro.traffic.TrafficShape`; ``horizon_s`` rescales its
+    virtual duration (arrival *shapes* are rate-invariant once the count
+    is fixed, so only the envelope matters). ``kernels`` is the pool jobs
+    draw from; ``reference_seconds`` maps every pool kernel to its
+    reference service estimate, which sizes the deadline slack.
+
+    Deterministic in all arguments: arrivals come from
+    :func:`repro.traffic.sample_arrivals` under ``seed`` and the
+    kernel/size/slack draws from a ``rng_for``-derived stream labelled by
+    ``(shape.name, n_jobs)`` under the same seed.
+    """
+    if isinstance(shape, str):
+        shape = shape_by_name(shape)
+    if horizon_s is not None:
+        shape = dataclasses.replace(shape, duration_s=float(horizon_s))
+    if not kernels:
+        raise ValidationError("job trace needs a non-empty kernel pool")
+    missing = [k.name for k in kernels if k.name not in reference_seconds]
+    if missing:
+        raise ValidationError(
+            f"reference_seconds missing kernels: {sorted(missing)}"
+        )
+    size_lo, size_hi = size_range
+    if size_lo < 1 or size_hi < size_lo:
+        raise ValidationError(
+            f"size range {size_range} must satisfy 1 <= lo <= hi"
+        )
+    slack_lo, slack_hi = slack_range
+    if slack_lo <= 0 or slack_hi < slack_lo:
+        raise ValidationError(
+            f"slack range {slack_range} must satisfy 0 < lo <= hi"
+        )
+
+    timeline = sample_arrivals(shape, n_jobs, seed)
+    rng = rng_for("cluster-trace", shape.name, n_jobs, master_seed=seed)
+    kernel_picks = rng.integers(0, len(kernels), size=n_jobs)
+    sizes = rng.integers(size_lo, size_hi, size=n_jobs, endpoint=True)
+    slacks = rng.uniform(slack_lo, slack_hi, size=n_jobs)
+
+    jobs = []
+    for index in range(n_jobs):
+        kernel = kernels[int(kernel_picks[index])]
+        invocations = int(sizes[index])
+        arrival = float(timeline.times_s[index])
+        service = invocations * reference_seconds[kernel.name]
+        jobs.append(
+            Job(
+                job_id=index,
+                kernel=kernel,
+                arrival_s=arrival,
+                invocations=invocations,
+                deadline_s=arrival + float(slacks[index]) * service,
+            )
+        )
+    return JobTrace(shape=shape, seed=seed, jobs=tuple(jobs))

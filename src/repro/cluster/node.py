@@ -1,0 +1,366 @@
+"""Per-device model oracles and the lightweight GPU node state machine.
+
+A fleet with thousands of nodes cannot afford per-node model fits or
+per-node measurement caches — and does not need them: simulated
+measurements are pure functions of ``(device seed, kernel, config)``, so
+every node of a device type shares one :class:`DeviceOracle`. The oracle
+bundles the fitted power model, the fitted runtime model and their
+product (:class:`~repro.core.perf_estimation.EnergyModel`), precomputes
+per-kernel **score tables** over the full V-F grid, and memoizes the
+ground-truth (watts, seconds) the simulator charges at dispatch time.
+
+The oracle also exposes the **energy frontier** of a kernel: scores
+sorted by predicted runtime with prefix-minimum energies, so "cheapest
+configuration that finishes within this budget" is one binary search —
+the query the deadline-aware scheduler asks per (job, device type).
+
+:class:`GPUNode` itself is deliberately tiny (``__slots__``, no model
+state): name, shared oracle, and the mutable run/failure state the event
+loop drives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.dvfs import ConfigurationScore
+from repro.core.metrics import MetricCalculator, UtilizationVector
+from repro.core.model import DVFSPowerModel
+from repro.core.perf_estimation import (
+    DevicePerformanceModel,
+    EnergyModel,
+    PerformanceEstimator,
+)
+from repro.driver.session import ProfilingSession
+from repro.errors import ValidationError
+from repro.hardware.specs import FrequencyConfig, GPUSpec
+from repro.kernels.kernel import KernelDescriptor
+from repro.runtime.manager import OnlineDVFSManager
+from repro.runtime.policies import FrequencyPolicy
+from repro.telemetry.recorder import NULL_RECORDER, TelemetryRecorder
+
+__all__ = [
+    "DeviceOracle",
+    "EnergyFrontier",
+    "GPUNode",
+    "ActiveRun",
+    "build_fleet",
+]
+
+
+@dataclass(frozen=True)
+class EnergyFrontier:
+    """Scores of one kernel sorted by predicted runtime, with prefix-min
+    energies — O(log n) "cheapest config within a time budget" queries."""
+
+    #: Predicted per-invocation seconds, ascending.
+    seconds: np.ndarray
+    #: ``scores[best_index[i]]`` is the min-energy score among the first
+    #: ``i + 1`` (fastest) entries; ties keep the faster configuration.
+    best_index: np.ndarray
+    scores: Tuple[ConfigurationScore, ...]
+
+    def best_within(self, budget_s: float) -> Optional[ConfigurationScore]:
+        """Min-predicted-energy score with runtime <= budget, else None."""
+        index = int(np.searchsorted(self.seconds, budget_s, side="right")) - 1
+        if index < 0:
+            return None
+        return self.scores[int(self.best_index[index])]
+
+    @property
+    def fastest(self) -> ConfigurationScore:
+        """The minimum-predicted-runtime score (lateness minimizer)."""
+        return self.scores[0]
+
+    @staticmethod
+    def build(scores: Sequence[ConfigurationScore]) -> "EnergyFrontier":
+        if not scores:
+            raise ValidationError("energy frontier needs at least one score")
+        ordered = sorted(
+            scores,
+            key=lambda s: (
+                s.time_seconds,
+                s.energy_joules,
+                -s.config.core_mhz,
+                -s.config.memory_mhz,
+            ),
+        )
+        best_index = np.empty(len(ordered), dtype=np.int64)
+        best = 0
+        for i, score in enumerate(ordered):
+            if score.energy_joules < ordered[best].energy_joules:
+                best = i
+            best_index[i] = best
+        return EnergyFrontier(
+            seconds=np.asarray([s.time_seconds for s in ordered]),
+            best_index=best_index,
+            scores=tuple(ordered),
+        )
+
+
+class DeviceOracle:
+    """Shared per-device-type model bundle with memoized predictions.
+
+    One oracle serves every node of its device type: predicted score
+    tables and energy frontiers are built once per kernel, ground-truth
+    measurements once per (kernel, configuration). ``manager`` hands out
+    cached :class:`~repro.runtime.manager.OnlineDVFSManager` instances so
+    policy-driven schedulers reuse the exact runtime-layer planning path.
+    """
+
+    def __init__(
+        self,
+        session: ProfilingSession,
+        power: DVFSPowerModel,
+        performance: DevicePerformanceModel,
+        recorder: Optional[TelemetryRecorder] = None,
+    ) -> None:
+        spec = session.gpu.spec
+        if power.spec.name != spec.name:
+            raise ValidationError(
+                f"power model is for {power.spec.name!r} but the session "
+                f"drives {spec.name!r}"
+            )
+        self.session = session
+        self.energy = EnergyModel(power, performance)
+        self.recorder = recorder or NULL_RECORDER
+        self._calculator = MetricCalculator(spec)
+        self._grid = spec.all_configurations()
+        self._utilizations: Dict[str, UtilizationVector] = {}
+        self._scores: Dict[str, Tuple[ConfigurationScore, ...]] = {}
+        self._score_at: Dict[Tuple[str, float, float], ConfigurationScore] = {}
+        self._frontiers: Dict[Tuple[str, Optional[float]], EnergyFrontier] = {}
+        self._truth: Dict[Tuple[str, float, float], Tuple[float, float]] = {}
+        self._managers: Dict[str, OnlineDVFSManager] = {}
+
+    @classmethod
+    def fit(
+        cls,
+        device: str,
+        kernels: Sequence[KernelDescriptor],
+        lab=None,
+        recorder: Optional[TelemetryRecorder] = None,
+    ) -> "DeviceOracle":
+        """Fit an oracle for one device over a job-kernel pool.
+
+        Reuses the lab's cached training dataset and power model; the
+        runtime model is fitted over ``kernels`` specifically (the lab's
+        cached performance model covers the microbenchmark suite, not the
+        validation workloads jobs are made of).
+        """
+        from repro.experiments.common import get_lab
+
+        lab = lab or get_lab()
+        session = lab.session(device)
+        performance, _ = PerformanceEstimator(
+            lab.dataset(device), session, kernels
+        ).estimate()
+        return cls(
+            session=session,
+            power=lab.model(device),
+            performance=performance,
+            recorder=recorder,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> GPUSpec:
+        return self.session.gpu.spec
+
+    @property
+    def device_name(self) -> str:
+        return self.spec.name
+
+    def utilizations(self, kernel: KernelDescriptor) -> UtilizationVector:
+        """Reference-configuration utilizations (Eq. 8-10), cached."""
+        if kernel.name not in self._utilizations:
+            events = self.session.collect_events(kernel)
+            self._utilizations[kernel.name] = self._calculator.utilizations(
+                events
+            )
+        return self._utilizations[kernel.name]
+
+    def scores(self, kernel: KernelDescriptor) -> Tuple[ConfigurationScore, ...]:
+        """Predicted (power, runtime) scores over the full V-F grid."""
+        if kernel.name not in self._scores:
+            utilizations = self.utilizations(kernel)
+            runtimes = self.energy.performance.predict_runtime_grid(
+                kernel.name, self._grid
+            )
+            table = tuple(
+                ConfigurationScore(
+                    config=config,
+                    predicted_power_watts=self.energy.predict_power(
+                        utilizations, config
+                    ),
+                    time_seconds=float(runtimes[index]),
+                )
+                for index, config in enumerate(self._grid)
+            )
+            self._scores[kernel.name] = table
+            for score in table:
+                key = (
+                    kernel.name,
+                    score.config.core_mhz,
+                    score.config.memory_mhz,
+                )
+                self._score_at[key] = score
+        return self._scores[kernel.name]
+
+    def score_at(
+        self, kernel: KernelDescriptor, config: FrequencyConfig
+    ) -> ConfigurationScore:
+        """The grid score at one configuration (max-clocks baseline path)."""
+        self.scores(kernel)
+        key = (kernel.name, config.core_mhz, config.memory_mhz)
+        if key not in self._score_at:
+            raise ValidationError(
+                f"configuration {config} is not on the {self.device_name!r} "
+                "V-F grid"
+            )
+        return self._score_at[key]
+
+    def frontier(
+        self, kernel: KernelDescriptor, cap_watts: Optional[float] = None
+    ) -> EnergyFrontier:
+        """The kernel's energy frontier, optionally under a power cap.
+
+        With ``cap_watts`` set, only configurations predicted to stay
+        under the cap enter the frontier; an empty admissible set falls
+        back to the full frontier (the caller's policy handles capping —
+        see :class:`~repro.runtime.policies.PowerCapPolicy`).
+        """
+        key = (kernel.name, cap_watts)
+        if key not in self._frontiers:
+            scores = self.scores(kernel)
+            if cap_watts is not None:
+                admissible = tuple(
+                    s for s in scores if s.predicted_power_watts <= cap_watts
+                )
+                scores = admissible or scores
+            self._frontiers[key] = EnergyFrontier.build(scores)
+        return self._frontiers[key]
+
+    # ------------------------------------------------------------------
+    def reference_seconds(self, kernel: KernelDescriptor) -> float:
+        """Measured per-invocation seconds at the reference configuration."""
+        return self.measured(kernel, self.spec.reference)[1]
+
+    def measured(
+        self, kernel: KernelDescriptor, config: FrequencyConfig
+    ) -> Tuple[float, float]:
+        """Ground-truth ``(watts, seconds)`` of one invocation, memoized.
+
+        The same accounting the online manager uses: measured average
+        power (no median smoothing) times measured single-launch elapsed
+        time at the applied configuration.
+        """
+        key = (kernel.name, config.core_mhz, config.memory_mhz)
+        if key not in self._truth:
+            watts = self.session.measure_power(
+                kernel, config, median=False
+            ).average_watts
+            seconds = self.session.measure_time(kernel, config)
+            self._truth[key] = (watts, seconds)
+        return self._truth[key]
+
+    def manager(self, policy: FrequencyPolicy) -> OnlineDVFSManager:
+        """A cached online manager planning with this oracle's models."""
+        key = repr(policy)
+        if key not in self._managers:
+            self._managers[key] = OnlineDVFSManager(
+                model=self.energy.power,
+                session=self.session,
+                policy=policy,
+                recorder=self.recorder,
+                performance=self.energy.performance,
+            )
+        return self._managers[key]
+
+
+@dataclass(frozen=True)
+class ActiveRun:
+    """The run currently occupying a node."""
+
+    job: object  # repro.cluster.jobs.Job (kept loose to avoid a cycle)
+    config: FrequencyConfig
+    start_s: float
+    finish_s: float
+    #: Ground-truth average watts while the run executes.
+    watts: float
+    #: Ground-truth energy of the full job (all invocations).
+    energy_joules: float
+
+
+class GPUNode:
+    """One simulated cluster node: a name, a shared oracle, run state."""
+
+    __slots__ = (
+        "name",
+        "oracle",
+        "online",
+        "running",
+        "epoch",
+        "energy_joules",
+        "jobs_completed",
+    )
+
+    def __init__(self, name: str, oracle: DeviceOracle) -> None:
+        self.name = name
+        self.oracle = oracle
+        self.reset()
+
+    def reset(self) -> None:
+        self.online = True
+        self.running: Optional[ActiveRun] = None
+        self.epoch = 0
+        self.energy_joules = 0.0
+        self.jobs_completed = 0
+
+    @property
+    def spec(self) -> GPUSpec:
+        return self.oracle.spec
+
+    @property
+    def device_name(self) -> str:
+        return self.oracle.device_name
+
+    @property
+    def is_free(self) -> bool:
+        return self.online and self.running is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "free" if self.is_free else ("down" if not self.online else "busy")
+        return f"GPUNode({self.name!r}, {self.device_name!r}, {state})"
+
+
+def _slug(device: str) -> str:
+    return device.lower().replace(" ", "-")
+
+
+def build_fleet(
+    oracles: Mapping[str, DeviceOracle], counts: Mapping[str, int]
+) -> List[GPUNode]:
+    """Instantiate a heterogeneous fleet, name-sorted and deterministic.
+
+    ``counts`` maps device names to node counts; every device must have
+    an oracle. Node names are ``<device-slug>-<index:04d>``.
+    """
+    nodes: List[GPUNode] = []
+    for device in sorted(counts):
+        count = counts[device]
+        if count < 1:
+            raise ValidationError(
+                f"device {device!r} needs a positive node count, got {count}"
+            )
+        if device not in oracles:
+            raise ValidationError(f"no oracle fitted for device {device!r}")
+        oracle = oracles[device]
+        nodes.extend(
+            GPUNode(f"{_slug(device)}-{index:04d}", oracle)
+            for index in range(count)
+        )
+    return sorted(nodes, key=lambda node: node.name)

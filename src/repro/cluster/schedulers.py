@@ -1,0 +1,261 @@
+"""Pluggable fleet schedulers: who runs next, where, and at what clocks.
+
+A scheduler sees the pending queue, the free nodes and the virtual clock,
+and returns assignments — each one a (job, node, V-F configuration)
+triple plus the model's predictions for it. All decisions run on the
+shared :class:`~repro.cluster.node.DeviceOracle` tables, so evaluating a
+fleet of thousands of nodes costs one lookup per *device type*, not per
+node; within a type, nodes are interchangeable and the name-sorted first
+free node is taken (a deterministic tie-break, like every other ordering
+here).
+
+The four strategies:
+
+* :class:`MaxClocksFifoScheduler` — the datacenter default and the bench
+  baseline: FIFO order, every job at the device's maximum clocks.
+* :class:`EnergyGreedyScheduler` — FIFO order, but each job is planned by
+  the runtime layer's :class:`~repro.runtime.policies.EnergyPolicy`
+  through a real :class:`~repro.runtime.manager.OnlineDVFSManager`, and
+  placed on the device type with the lowest predicted job energy.
+  Deadline-blind: maximum savings, worst miss rate.
+* :class:`DeadlineAwareEdfScheduler` — earliest deadline first; per job
+  the cheapest configuration *predicted to make the deadline* (an energy
+  frontier binary search per device type), falling back to the fastest
+  configuration when no candidate fits the remaining budget.
+* :class:`PowerCappedEdfScheduler` — EDF under a fleet power-budget: the
+  frontier only admits configurations predicted under ``cap_watts``;
+  when none fits, the choice defers to the runtime layer's
+  :class:`~repro.runtime.policies.PowerCapPolicy` fallback.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.dvfs import ConfigurationScore
+from repro.cluster.jobs import Job
+from repro.cluster.node import EnergyFrontier, GPUNode
+from repro.errors import ValidationError
+from repro.runtime.policies import EnergyPolicy, PowerCapPolicy
+
+__all__ = [
+    "Assignment",
+    "Scheduler",
+    "MaxClocksFifoScheduler",
+    "EnergyGreedyScheduler",
+    "DeadlineAwareEdfScheduler",
+    "PowerCappedEdfScheduler",
+    "SCHEDULER_NAMES",
+    "scheduler_by_name",
+]
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One dispatch decision with the oracle's predictions attached."""
+
+    job: Job
+    node: GPUNode
+    score: ConfigurationScore
+
+    @property
+    def predicted_seconds(self) -> float:
+        """Predicted duration of the full job (all invocations)."""
+        return self.score.time_seconds * self.job.invocations
+
+    @property
+    def predicted_energy_joules(self) -> float:
+        return self.score.energy_joules * self.job.invocations
+
+
+def _device_groups(
+    free_nodes: Sequence[GPUNode],
+) -> List[Tuple[str, List[GPUNode]]]:
+    """Free nodes bucketed by device type, everything name-sorted."""
+    buckets: Dict[str, List[GPUNode]] = {}
+    for node in free_nodes:
+        buckets.setdefault(node.device_name, []).append(node)
+    return [
+        (device, sorted(buckets[device], key=lambda n: n.name))
+        for device in sorted(buckets)
+    ]
+
+
+class Scheduler(abc.ABC):
+    """Strategy interface: turn (pending, free, now) into assignments.
+
+    Implementations must be pure functions of their arguments and their
+    own configuration — no wall clock, no unseeded randomness — so that
+    same-seed simulations replay bitwise-identically.
+    """
+
+    name: str = "scheduler"
+
+    @abc.abstractmethod
+    def dispatch(
+        self, pending: Sequence[Job], free_nodes: Sequence[GPUNode], now: float
+    ) -> List[Assignment]:
+        """Assignments for distinct pending jobs on distinct free nodes."""
+
+
+def _fifo(pending: Sequence[Job]) -> List[Job]:
+    return sorted(pending, key=lambda job: (job.arrival_s, job.job_id))
+
+
+def _edf(pending: Sequence[Job]) -> List[Job]:
+    return sorted(
+        pending, key=lambda job: (job.deadline_s, job.arrival_s, job.job_id)
+    )
+
+
+class MaxClocksFifoScheduler(Scheduler):
+    """FIFO at maximum clocks — the no-model datacenter baseline."""
+
+    name = "max-clocks"
+
+    def dispatch(self, pending, free_nodes, now):
+        assignments: List[Assignment] = []
+        queue = _fifo(pending)
+        nodes = sorted(free_nodes, key=lambda n: n.name)
+        for job, node in zip(queue, nodes):
+            score = node.oracle.score_at(job.kernel, node.spec.max_configuration)
+            assignments.append(Assignment(job=job, node=node, score=score))
+        return assignments
+
+
+@dataclass
+class EnergyGreedyScheduler(Scheduler):
+    """FIFO order, min-predicted-energy placement and clocks.
+
+    Each (kernel, device) plan comes from a cached
+    :class:`~repro.runtime.manager.OnlineDVFSManager` running
+    :class:`~repro.runtime.policies.EnergyPolicy` — the same planning
+    path the single-node runtime layer ships, lifted to fleet placement.
+    """
+
+    max_slowdown: Optional[float] = None
+    name: str = field(default="energy-greedy", init=False)
+
+    def dispatch(self, pending, free_nodes, now):
+        assignments: List[Assignment] = []
+        groups = _device_groups(free_nodes)
+        policy = EnergyPolicy(max_slowdown=self.max_slowdown)
+        for job in _fifo(pending):
+            best: Optional[Tuple[float, str, ConfigurationScore]] = None
+            for device, nodes in groups:
+                if not nodes:
+                    continue
+                plan = nodes[0].oracle.manager(policy).plan_for(job.kernel)
+                candidate = (plan.chosen.energy_joules, device, plan.chosen)
+                if best is None or candidate[:2] < best[:2]:
+                    best = candidate
+            if best is None:
+                break
+            _, device, score = best
+            nodes = dict(groups)[device]
+            assignments.append(
+                Assignment(job=job, node=nodes.pop(0), score=score)
+            )
+        return assignments
+
+
+class DeadlineAwareEdfScheduler(Scheduler):
+    """Earliest deadline first, cheapest configuration that makes it.
+
+    Per job and device type: binary-search the kernel's energy frontier
+    for the min-predicted-energy configuration whose predicted job
+    duration fits the remaining deadline budget; place on the device
+    type minimizing predicted energy among the feasible, else minimize
+    predicted lateness with the fastest configuration anywhere.
+    """
+
+    name = "edf"
+
+    def _frontier(self, node: GPUNode, job: Job):
+        return node.oracle.frontier(job.kernel)
+
+    def dispatch(self, pending, free_nodes, now):
+        assignments: List[Assignment] = []
+        groups = _device_groups(free_nodes)
+        for job in _edf(pending):
+            budget = (job.deadline_s - now) / job.invocations
+            feasible: Optional[Tuple[float, str, ConfigurationScore]] = None
+            fallback: Optional[Tuple[float, str, ConfigurationScore]] = None
+            for device, nodes in groups:
+                if not nodes:
+                    continue
+                frontier = self._frontier(nodes[0], job)
+                score = frontier.best_within(budget)
+                if score is not None:
+                    candidate = (score.energy_joules, device, score)
+                    if feasible is None or candidate[:2] < feasible[:2]:
+                        feasible = candidate
+                fastest = frontier.fastest
+                candidate = (fastest.time_seconds, device, fastest)
+                if fallback is None or candidate[:2] < fallback[:2]:
+                    fallback = candidate
+            chosen = feasible or fallback
+            if chosen is None:
+                break
+            _, device, score = chosen
+            nodes = dict(groups)[device]
+            assignments.append(
+                Assignment(job=job, node=nodes.pop(0), score=score)
+            )
+        return assignments
+
+
+@dataclass
+class PowerCappedEdfScheduler(DeadlineAwareEdfScheduler):
+    """EDF whose candidate set is bounded by a per-node power cap.
+
+    The frontier admits only configurations predicted under
+    ``cap_watts``; if the cap excludes the whole grid the choice falls
+    back to :class:`~repro.runtime.policies.PowerCapPolicy`, i.e. the
+    minimum-predicted-power configuration.
+    """
+
+    cap_watts: float = 200.0
+    name: str = field(default="powercap-edf", init=False)
+
+    def __post_init__(self) -> None:
+        if self.cap_watts <= 0:
+            raise ValidationError("power cap must be positive")
+
+    def _frontier(self, node: GPUNode, job: Job):
+        oracle = node.oracle
+        scores = oracle.scores(job.kernel)
+        if all(s.predicted_power_watts > self.cap_watts for s in scores):
+            # Nothing fits the cap: defer to the runtime layer's policy
+            # (min predicted power) and pin the frontier to that choice.
+            policy = PowerCapPolicy(cap_watts=self.cap_watts)
+            reference = oracle.score_at(job.kernel, oracle.spec.reference)
+            chosen = policy.choose(list(scores), reference)
+            return EnergyFrontier.build([chosen])
+        return oracle.frontier(job.kernel, cap_watts=self.cap_watts)
+
+
+#: Registry order mirrors the report columns.
+SCHEDULER_NAMES: Tuple[str, ...] = (
+    "max-clocks",
+    "energy-greedy",
+    "edf",
+    "powercap-edf",
+)
+
+
+def scheduler_by_name(name: str, **kwargs) -> Scheduler:
+    """Instantiate a scheduler from its registry name."""
+    registry = {
+        "max-clocks": MaxClocksFifoScheduler,
+        "energy-greedy": EnergyGreedyScheduler,
+        "edf": DeadlineAwareEdfScheduler,
+        "powercap-edf": PowerCappedEdfScheduler,
+    }
+    if name not in registry:
+        raise ValidationError(
+            f"unknown scheduler {name!r} (known: {sorted(registry)})"
+        )
+    return registry[name](**kwargs)

@@ -1,0 +1,312 @@
+"""Fleet energy savings under deadline constraints — the cluster sweep.
+
+Runs every fleet scheduler over every stock traffic shape on one
+heterogeneous fleet and reports fleet energy versus the max-clocks FIFO
+baseline plus deadline-miss rates — the paper's per-kernel power model,
+cashed out as datacenter-level numbers. A chaos scenario (seeded node
+failures with job rescheduling) rides along to prove the simulator keeps
+its completion guarantee under churn.
+
+Full mode drives a 2048-node fleet (800 Titan Xp + 800 GTX Titan X +
+448 Tesla K40c) through 12 000 jobs per shape; ``--quick`` shrinks that
+to 20 nodes and 240 jobs for CI. Everything is virtual-time and seeded:
+the only wall-clock numbers are the ``wall_seconds`` timings, which the
+determinism tests scrub.
+
+Run via ``python -m repro.cli experiment cluster_savings`` or directly
+as ``python -m repro.experiments.cluster_savings [--quick] [--output
+PATH]``; the gated benchmark wrapper is ``python -m repro.cli cluster
+--bench`` (see :mod:`repro.cluster.bench`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.cluster.faults import NodeFailurePlan
+from repro.cluster.jobs import (
+    JobTrace,
+    fleet_reference_seconds,
+    generate_job_trace,
+)
+from repro.cluster.node import DeviceOracle, build_fleet
+from repro.cluster.schedulers import SCHEDULER_NAMES, scheduler_by_name
+from repro.cluster.simulator import ClusterReport, ClusterSimulator
+from repro.config import MASTER_SEED
+from repro.errors import ValidationError
+from repro.experiments.common import DEVICE_NAMES, Lab, get_lab
+from repro.reporting.tables import format_table
+from repro.traffic import SHAPE_NAMES
+
+#: Schema identifier of the JSON report this experiment writes.
+REPORT_SCHEMA = "repro.cluster_savings/v1"
+
+#: The baseline every savings number is relative to.
+BASELINE_SCHEDULER = "max-clocks"
+
+#: Full-tier fleet: thousands of nodes, K40c as the TDP-bound minority.
+FULL_MIX = {"Titan Xp": 800, "GTX Titan X": 800, "Tesla K40c": 448}
+FULL_JOBS = 12_000
+
+#: CI-tier fleet, same 40/40/20 proportions.
+QUICK_MIX = {"Titan Xp": 8, "GTX Titan X": 8, "Tesla K40c": 4}
+QUICK_JOBS = 240
+QUICK_WORKLOADS = 8
+
+#: Virtual horizon arrivals span (seconds).
+HORIZON_S = 1.0
+
+#: Chaos scenario: seeded node churn during the burst shape.
+CHAOS_MTBF_S = 0.5
+CHAOS_MTTR_S = 0.1
+
+
+def default_mix(total_nodes: int) -> Dict[str, int]:
+    """The canonical 40/40/20 heterogeneous split of ``total_nodes``."""
+    if total_nodes < len(DEVICE_NAMES):
+        raise ValidationError(
+            f"fleet needs at least {len(DEVICE_NAMES)} nodes, "
+            f"got {total_nodes}"
+        )
+    weights = {"Titan Xp": 0.4, "GTX Titan X": 0.4, "Tesla K40c": 0.2}
+    mix = {
+        device: max(1, int(total_nodes * weight))
+        for device, weight in weights.items()
+    }
+    # Hand rounding leftovers to the first device, deterministically.
+    mix["Titan Xp"] += total_nodes - sum(mix.values())
+    return mix
+
+
+@dataclass(frozen=True)
+class ClusterSavingsResult:
+    """One full sweep: per-shape per-scheduler reports plus the chaos run."""
+
+    device_mix: Tuple[Tuple[str, int], ...]
+    n_jobs: int
+    seed: int
+    #: ``shapes[shape][scheduler]`` -> finished :class:`ClusterReport`.
+    shapes: Mapping[str, Mapping[str, ClusterReport]]
+    #: ``(shape, scheduler)`` -> wall seconds of that simulation.
+    wall_seconds: Mapping[Tuple[str, str], float]
+    chaos: ClusterReport
+
+    def savings(self, shape: str, scheduler: str) -> float:
+        """Fleet-energy saving of a scheduler vs the max-clocks baseline."""
+        baseline = self.shapes[shape][BASELINE_SCHEDULER].fleet_energy_joules
+        if baseline <= 0:
+            raise ValidationError(
+                f"baseline fleet energy for shape {shape!r} is not positive"
+            )
+        return 1.0 - self.shapes[shape][scheduler].fleet_energy_joules / baseline
+
+    def headline(self, scheduler: str = "edf") -> Dict[str, float]:
+        """Worst-case-over-shapes summary of one scheduler."""
+        return {
+            "scheduler": scheduler,
+            "min_savings_vs_max_clocks": min(
+                self.savings(shape, scheduler) for shape in self.shapes
+            ),
+            "max_deadline_miss_rate": max(
+                self.shapes[shape][scheduler].miss_rate
+                for shape in self.shapes
+            ),
+            "baseline_max_deadline_miss_rate": max(
+                self.shapes[shape][BASELINE_SCHEDULER].miss_rate
+                for shape in self.shapes
+            ),
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        shapes: Dict[str, object] = {}
+        for shape, by_scheduler in self.shapes.items():
+            shapes[shape] = {
+                scheduler: {
+                    "fleet_energy_joules": report.fleet_energy_joules,
+                    "savings_vs_max_clocks": self.savings(shape, scheduler),
+                    "deadline_misses": report.deadline_misses,
+                    "deadline_miss_rate": report.miss_rate,
+                    "jobs": report.n_jobs,
+                    "rescheduled": report.rescheduled,
+                    "node_failures": report.node_failures,
+                    "makespan_s": report.makespan_s,
+                    "energy_by_device": dict(report.energy_by_device),
+                    "wall_seconds": self.wall_seconds[(shape, scheduler)],
+                }
+                for scheduler, report in by_scheduler.items()
+            }
+        return {
+            "device_mix": dict(self.device_mix),
+            "nodes": sum(count for _, count in self.device_mix),
+            "jobs": self.n_jobs,
+            "seed": self.seed,
+            "horizon_s": HORIZON_S,
+            "shapes": shapes,
+            "chaos": {
+                "shape": self.chaos.shape_name,
+                "scheduler": self.chaos.scheduler,
+                "mtbf_s": CHAOS_MTBF_S,
+                "mttr_s": CHAOS_MTTR_S,
+                "node_failures": self.chaos.node_failures,
+                "rescheduled": self.chaos.rescheduled,
+                "completed": self.chaos.n_jobs,
+                "deadline_miss_rate": self.chaos.miss_rate,
+            },
+            "headline": self.headline(),
+        }
+
+
+def build_oracles(
+    kernels: Sequence, lab: Optional[Lab] = None, recorder=None
+) -> Dict[str, DeviceOracle]:
+    """One fitted oracle per device type, over the job kernel pool."""
+    lab = lab or get_lab()
+    return {
+        device: DeviceOracle.fit(device, kernels, lab=lab, recorder=recorder)
+        for device in DEVICE_NAMES
+    }
+
+
+def run(
+    lab: Optional[Lab] = None,
+    quick: bool = False,
+    seed: int = MASTER_SEED,
+    mix: Optional[Mapping[str, int]] = None,
+    n_jobs: Optional[int] = None,
+    schedulers: Sequence[str] = SCHEDULER_NAMES,
+    recorder=None,
+) -> ClusterSavingsResult:
+    """The sweep: every scheduler over every stock shape, plus chaos.
+
+    All simulations of one shape share the same trace and the same fresh
+    fleet (nodes are reset per run), so energy differences are purely
+    scheduling. The chaos run replays the burst trace under a seeded
+    :class:`~repro.cluster.faults.NodeFailurePlan` with the ``edf``
+    scheduler.
+    """
+    lab = lab or get_lab()
+    kernels = tuple(lab.workloads(DEVICE_NAMES[0]))
+    if quick:
+        kernels = kernels[:QUICK_WORKLOADS]
+    mix = dict(mix) if mix is not None else (dict(QUICK_MIX) if quick else dict(FULL_MIX))
+    n_jobs = n_jobs if n_jobs is not None else (QUICK_JOBS if quick else FULL_JOBS)
+    if BASELINE_SCHEDULER not in schedulers:
+        raise ValidationError(
+            f"sweep needs the {BASELINE_SCHEDULER!r} baseline scheduler"
+        )
+
+    oracles = build_oracles(kernels, lab=lab, recorder=recorder)
+    references = fleet_reference_seconds(
+        [oracles[device] for device in sorted(oracles)], kernels
+    )
+    nodes = build_fleet(oracles, mix)
+
+    shapes: Dict[str, Dict[str, ClusterReport]] = {}
+    walls: Dict[Tuple[str, str], float] = {}
+    traces: Dict[str, JobTrace] = {}
+    for shape in SHAPE_NAMES:
+        trace = generate_job_trace(
+            shape, n_jobs, seed, kernels, references, horizon_s=HORIZON_S
+        )
+        traces[shape] = trace
+        by_scheduler: Dict[str, ClusterReport] = {}
+        for name in schedulers:
+            simulator = ClusterSimulator(
+                nodes, scheduler_by_name(name), recorder=recorder
+            )
+            started = time.perf_counter()
+            by_scheduler[name] = simulator.run(trace)
+            walls[(shape, name)] = time.perf_counter() - started
+        shapes[shape] = by_scheduler
+
+    chaos_sim = ClusterSimulator(
+        nodes,
+        scheduler_by_name("edf"),
+        recorder=recorder,
+        failure_plan=NodeFailurePlan(
+            mtbf_s=CHAOS_MTBF_S, mttr_s=CHAOS_MTTR_S, seed=seed
+        ),
+    )
+    chaos = chaos_sim.run(traces["burst"])
+
+    return ClusterSavingsResult(
+        device_mix=tuple(sorted((d, int(c)) for d, c in mix.items())),
+        n_jobs=n_jobs,
+        seed=seed,
+        shapes=shapes,
+        wall_seconds=walls,
+        chaos=chaos,
+    )
+
+
+def summarize(result: ClusterSavingsResult) -> str:
+    """Human-readable per-shape scheduler comparison."""
+    rows = []
+    for shape, by_scheduler in result.shapes.items():
+        for scheduler, report in by_scheduler.items():
+            rows.append(
+                (
+                    shape,
+                    scheduler,
+                    f"{report.fleet_energy_joules:.1f}",
+                    f"{result.savings(shape, scheduler) * 100:.1f}%",
+                    f"{report.miss_rate * 100:.2f}%",
+                    f"{report.makespan_s:.3f}",
+                )
+            )
+    return format_table(
+        ["shape", "scheduler", "energy (J)", "savings", "miss rate", "makespan (s)"],
+        rows,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> ClusterSavingsResult:
+    # parse_known_args: the CLI's `experiment` command calls main() with
+    # its own leftovers still in sys.argv.
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--seed", type=int, default=MASTER_SEED)
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        help="total fleet size (split 40/40/20 across device types)",
+    )
+    parser.add_argument("--output", default="CLUSTER_savings.json")
+    args, _ = parser.parse_known_args(argv)
+
+    mix = default_mix(args.nodes) if args.nodes is not None else None
+    result = run(
+        quick=args.quick, seed=args.seed, mix=mix, n_jobs=args.jobs
+    )
+    print("=== Cluster energy scheduling (fitted model as oracle) ===")
+    print(summarize(result))
+    headline = result.headline()
+    print(
+        f"\nedf worst-case over shapes: "
+        f"{headline['min_savings_vs_max_clocks'] * 100:.1f}% savings, "
+        f"{headline['max_deadline_miss_rate'] * 100:.2f}% miss rate "
+        f"(baseline {headline['baseline_max_deadline_miss_rate'] * 100:.2f}%)"
+    )
+    chaos = result.chaos
+    print(
+        f"chaos: {chaos.node_failures} failures, {chaos.rescheduled} "
+        f"rescheduled, all {chaos.n_jobs} jobs completed"
+    )
+
+    report = {"schema": REPORT_SCHEMA, "quick": args.quick}
+    report.update(result.to_dict())
+    path = Path(args.output)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nreport written to {path}")
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -55,7 +55,7 @@ from repro.serving.fleet import FleetConfig, PredictionFleet
 from repro.serving.registry import ArtifactRecord, ModelRegistry, slugify
 from repro.serving.router import FleetRouter
 from repro.serving.server import PredictionServer, ServerConfig
-from repro.serving.traffic import SHAPE_NAMES, sample_arrivals, shape_by_name
+from repro.traffic import SHAPE_NAMES, sample_arrivals, shape_by_name
 from repro.telemetry import TraceRecorder
 from repro.workloads import all_workloads
 

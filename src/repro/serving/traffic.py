@@ -1,35 +1,21 @@
-"""Seeded traffic shapes: arrival timelines beyond flat concurrency.
+"""Seeded traffic shapes — re-export of :mod:`repro.traffic`.
 
-The v1 loadgen replayed a request stream as fast as a semaphore allowed —
-a throughput probe, but nothing like production arrival processes. This
-module generates **virtual arrival timelines** for three canonical shapes:
-
-* ``diurnal`` — one smooth day-cycle: rate swings sinusoidally between a
-  night-time trough and a daytime peak;
-* ``burst`` — a flat baseline with a flash crowd: a short window in which
-  the rate multiplies (the shape that exercises backlog shedding);
-* ``mixed`` — the diurnal envelope shared by two tenants, a well-behaved
-  ``paid`` majority plus a ``free`` minority whose own flash crowd blows
-  through its quota (the shape that exercises per-tenant shedding).
-
-Sampling is exact and fully seeded: the cumulative intensity
-:math:`\\Lambda(t)` of the shape is integrated on a fine grid, ``n``
-sorted uniforms over :math:`[0, \\Lambda(T))` are inverted through it
-(the order-statistics view of an inhomogeneous Poisson process,
-conditioned on exactly ``n`` arrivals), and tenants are drawn from the
-shape's mix with the same generator. Same seed + same shape → bitwise
-identical timelines, which is what makes the router's admission log and
-the BENCH shape summaries deterministic.
+The arrival-timeline sampler grew a second consumer (the cluster
+simulator's job-trace generators, :mod:`repro.cluster.jobs`), so the
+implementation moved up to :mod:`repro.traffic`. This module keeps the
+historical ``repro.serving.traffic`` import path alive; both consumers
+share exactly one sampler — no copy-paste drift.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Tuple
-
-import numpy as np
-
-from repro.errors import ValidationError
+from repro.traffic import (
+    SHAPE_NAMES,
+    ArrivalTimeline,
+    TrafficShape,
+    sample_arrivals,
+    shape_by_name,
+)
 
 __all__ = [
     "ArrivalTimeline",
@@ -38,160 +24,3 @@ __all__ = [
     "shape_by_name",
     "sample_arrivals",
 ]
-
-#: Integration grid resolution for the cumulative intensity.
-_GRID_POINTS = 4096
-
-
-@dataclass(frozen=True)
-class TrafficShape:
-    """One named arrival-rate profile over a fixed virtual horizon."""
-
-    name: str
-    #: ``"flat"``, ``"diurnal"`` or ``"burst"`` — the rate envelope.
-    kind: str
-    #: Virtual horizon the shape spans.
-    duration_s: float
-    #: Baseline rate (trough of the diurnal cycle, floor of the burst).
-    base_rps: float
-    #: Peak rate (diurnal crest / burst plateau; equals base for flat).
-    peak_rps: float
-    #: Burst window as fractions of the horizon (burst kind only).
-    burst_window: Tuple[float, float] = (0.45, 0.55)
-    #: Tenant mix: ``(tenant, weight)`` pairs, weights need not sum to 1.
-    tenants: Tuple[Tuple[str, float], ...] = (("paid", 1.0),)
-
-    def __post_init__(self) -> None:
-        if self.kind not in ("flat", "diurnal", "burst"):
-            raise ValidationError(
-                f"unknown traffic envelope {self.kind!r} "
-                "(flat, diurnal, burst)"
-            )
-        if self.duration_s <= 0:
-            raise ValidationError("shape duration must be positive")
-        if self.base_rps <= 0 or self.peak_rps < self.base_rps:
-            raise ValidationError(
-                "shape rates must satisfy 0 < base_rps <= peak_rps"
-            )
-        lo, hi = self.burst_window
-        if not 0.0 <= lo < hi <= 1.0:
-            raise ValidationError(
-                f"burst window {self.burst_window} must be an ordered "
-                "sub-interval of [0, 1]"
-            )
-        if not self.tenants or any(w <= 0 for _, w in self.tenants):
-            raise ValidationError(
-                "shape needs at least one tenant with positive weight"
-            )
-
-    def rate_at(self, t: np.ndarray) -> np.ndarray:
-        """Instantaneous arrival rate (rps) at virtual times ``t``."""
-        t = np.asarray(t, dtype=np.float64)
-        if self.kind == "flat":
-            return np.full_like(t, self.peak_rps)
-        if self.kind == "diurnal":
-            # Trough at t=0 and t=T, crest at midday.
-            phase = 0.5 * (1.0 - np.cos(2.0 * np.pi * t / self.duration_s))
-            return self.base_rps + (self.peak_rps - self.base_rps) * phase
-        lo, hi = self.burst_window
-        in_burst = (t >= lo * self.duration_s) & (t < hi * self.duration_s)
-        return np.where(in_burst, self.peak_rps, self.base_rps)
-
-
-@dataclass(frozen=True)
-class ArrivalTimeline:
-    """A sampled arrival stream: sorted times plus per-request tenants."""
-
-    shape: TrafficShape
-    times_s: np.ndarray
-    tenants: Tuple[str, ...]
-
-    def __len__(self) -> int:
-        return len(self.times_s)
-
-    def tenant_counts(self) -> Dict[str, int]:
-        counts: Dict[str, int] = {}
-        for tenant in self.tenants:
-            counts[tenant] = counts.get(tenant, 0) + 1
-        return dict(sorted(counts.items()))
-
-
-def _stock_shapes() -> Dict[str, TrafficShape]:
-    return {
-        shape.name: shape
-        for shape in (
-            TrafficShape(
-                name="diurnal",
-                kind="diurnal",
-                duration_s=1.0,
-                base_rps=400.0,
-                peak_rps=4000.0,
-            ),
-            TrafficShape(
-                name="burst",
-                kind="burst",
-                duration_s=1.0,
-                base_rps=800.0,
-                # Well past RouterConfig.service_rate_rps: the flash
-                # crowd must drive the modelled backlog into shedding.
-                peak_rps=20000.0,
-            ),
-            TrafficShape(
-                name="mixed",
-                kind="diurnal",
-                duration_s=1.0,
-                base_rps=600.0,
-                peak_rps=3000.0,
-                # The free tier's stock quota (200 rps, burst 50) cannot
-                # carry a 25% share of the crest: quota shedding is
-                # guaranteed while the paid majority sails through.
-                tenants=(("paid", 3.0), ("free", 1.0)),
-            ),
-        )
-    }
-
-
-#: The canonical shape names the loadgen sweeps.
-SHAPE_NAMES: Tuple[str, ...] = ("diurnal", "burst", "mixed")
-
-
-def shape_by_name(name: str) -> TrafficShape:
-    """The stock shape registry (``diurnal``, ``burst``, ``mixed``)."""
-    shapes = _stock_shapes()
-    if name not in shapes:
-        raise ValidationError(
-            f"unknown traffic shape {name!r} (known: {sorted(shapes)})"
-        )
-    return shapes[name]
-
-
-def sample_arrivals(
-    shape: TrafficShape, n_requests: int, seed: int
-) -> ArrivalTimeline:
-    """Exactly ``n_requests`` seeded arrivals distributed as the shape.
-
-    Conditioned on its total count, an inhomogeneous Poisson process is
-    just ``n`` iid draws with density proportional to the rate — so the
-    sampler inverts ``n`` sorted uniforms through the numerically
-    integrated cumulative intensity. Deterministic in ``(shape, n, seed)``.
-    """
-    if n_requests < 1:
-        raise ValidationError("timeline needs at least one arrival")
-    rng = np.random.default_rng(seed)
-    grid = np.linspace(0.0, shape.duration_s, _GRID_POINTS)
-    rate = shape.rate_at(grid)
-    cumulative = np.concatenate(
-        ([0.0], np.cumsum((rate[1:] + rate[:-1]) * 0.5 * np.diff(grid)))
-    )
-    total = cumulative[-1]
-    targets = np.sort(rng.uniform(0.0, total, size=n_requests))
-    times = np.interp(targets, cumulative, grid)
-
-    names = [tenant for tenant, _ in shape.tenants]
-    weights = np.asarray([w for _, w in shape.tenants], dtype=np.float64)
-    picks = rng.choice(len(names), size=n_requests, p=weights / weights.sum())
-    return ArrivalTimeline(
-        shape=shape,
-        times_s=times,
-        tenants=tuple(names[int(pick)] for pick in picks),
-    )

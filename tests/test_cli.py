@@ -31,7 +31,7 @@ class TestParser:
             "table1", "table2", "table3", "fig1", "fig2", "fig5", "fig6", "fig7",
             "fig8", "fig9", "fig10", "baselines", "ablations",
             "discovery", "sensitivity", "dvfs_savings", "noise_sweep",
-            "transfer", "perf_validation",
+            "transfer", "perf_validation", "cluster_savings",
         }
 
 
@@ -98,6 +98,36 @@ class TestCommands:
     def test_experiment_table2(self, capsys):
         assert main(["experiment", "table2"]) == 0
         assert "Table II" in capsys.readouterr().out
+
+    def test_cluster_single_run(self, tmp_path, capsys):
+        report_path = tmp_path / "cluster.json"
+        code = main(
+            [
+                "cluster", "--quick", "--nodes", "6", "--jobs", "30",
+                "--scheduler", "edf", "--shape", "burst",
+                "--output", str(report_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet energy" in out
+        report = json.loads(report_path.read_text())
+        assert report["scheduler"] == "edf"
+        assert report["jobs"] == 30
+        assert len(report["records"]) == 30
+
+    def test_cluster_bench_gate_failure_exits_nonzero(self, tmp_path, capsys):
+        # An impossible savings floor must fail the gate, not pass it.
+        code = main(
+            [
+                "cluster", "--bench", "--quick",
+                "--jobs", "40", "--nodes", "6",
+                "--min-energy-savings", "0.99",
+                "--output", str(tmp_path / "BENCH_cluster.json"),
+            ]
+        )
+        assert code == 1
+        assert "cluster gate failed" in capsys.readouterr().err
 
     def test_sources_dump(self, tmp_path, capsys):
         code = main(["sources", "--output", str(tmp_path / "src")])

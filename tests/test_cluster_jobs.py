@@ -1,0 +1,172 @@
+"""Property suite for the cluster job-trace generator and failure plans.
+
+The generator's contract is exactly what the simulator's determinism
+rests on: exact job counts, monotone virtual timestamps inside the
+horizon, and bitwise seed determinism — pinned here with hypothesis
+across shapes, counts and seeds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.faults import NodeFailurePlan
+from repro.cluster.jobs import (
+    DEFAULT_SIZE_RANGE,
+    generate_job_trace,
+)
+from repro.errors import ValidationError
+from repro.traffic import SHAPE_NAMES, shape_by_name
+from repro.workloads import all_workloads
+
+KERNELS = tuple(all_workloads())[:5]
+REFERENCE = {kernel.name: 0.002 for kernel in KERNELS}
+
+shape_names = st.sampled_from(SHAPE_NAMES)
+job_counts = st.integers(min_value=1, max_value=200)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestTraceProperties:
+    @given(shape=shape_names, n=job_counts, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_exact_job_count(self, shape, n, seed):
+        trace = generate_job_trace(shape, n, seed, KERNELS, REFERENCE)
+        assert len(trace) == n
+        assert [job.job_id for job in trace.jobs] == list(range(n))
+
+    @given(shape=shape_names, n=job_counts, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_timestamps_within_horizon(self, shape, n, seed):
+        trace = generate_job_trace(shape, n, seed, KERNELS, REFERENCE)
+        times = [job.arrival_s for job in trace.jobs]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+        assert times[0] >= 0.0
+        assert times[-1] <= trace.horizon_s
+
+    @given(shape=shape_names, n=job_counts, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_seed_determinism_bitwise(self, shape, n, seed):
+        first = generate_job_trace(shape, n, seed, KERNELS, REFERENCE)
+        second = generate_job_trace(shape, n, seed, KERNELS, REFERENCE)
+        assert first.jobs == second.jobs  # dataclass equality is bitwise
+        assert first.shape == second.shape
+
+    @given(shape=shape_names, n=job_counts, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_job_invariants(self, shape, n, seed):
+        trace = generate_job_trace(shape, n, seed, KERNELS, REFERENCE)
+        lo, hi = DEFAULT_SIZE_RANGE
+        pool = {kernel.name for kernel in KERNELS}
+        for job in trace.jobs:
+            assert lo <= job.invocations <= hi
+            assert job.kernel.name in pool
+            assert job.deadline_s > job.arrival_s
+
+    def test_different_seeds_differ(self):
+        a = generate_job_trace("diurnal", 50, 1, KERNELS, REFERENCE)
+        b = generate_job_trace("diurnal", 50, 2, KERNELS, REFERENCE)
+        assert a.jobs != b.jobs
+
+    def test_horizon_rescaling(self):
+        short = generate_job_trace(
+            "burst", 80, 3, KERNELS, REFERENCE, horizon_s=0.5
+        )
+        long = generate_job_trace(
+            "burst", 80, 3, KERNELS, REFERENCE, horizon_s=2.0
+        )
+        assert short.horizon_s == 0.5
+        assert long.horizon_s == 2.0
+        assert max(j.arrival_s for j in long.jobs) > max(
+            j.arrival_s for j in short.jobs
+        )
+
+    def test_trace_accessors(self):
+        trace = generate_job_trace("mixed", 30, 9, KERNELS, REFERENCE)
+        assert trace.total_invocations == sum(
+            job.invocations for job in trace.jobs
+        )
+        assert set(trace.kernel_names()) <= {k.name for k in KERNELS}
+
+
+class TestTraceValidation:
+    def test_empty_kernel_pool(self):
+        with pytest.raises(ValidationError):
+            generate_job_trace("burst", 10, 0, (), {})
+
+    def test_missing_reference_seconds(self):
+        with pytest.raises(ValidationError, match="missing kernels"):
+            generate_job_trace("burst", 10, 0, KERNELS, {})
+
+    def test_bad_size_range(self):
+        with pytest.raises(ValidationError, match="size range"):
+            generate_job_trace(
+                "burst", 10, 0, KERNELS, REFERENCE, size_range=(0, 4)
+            )
+
+    def test_bad_slack_range(self):
+        with pytest.raises(ValidationError, match="slack range"):
+            generate_job_trace(
+                "burst", 10, 0, KERNELS, REFERENCE, slack_range=(2.0, 1.0)
+            )
+
+    def test_unknown_shape_name(self):
+        with pytest.raises(ValidationError):
+            generate_job_trace("weekly", 10, 0, KERNELS, REFERENCE)
+
+    def test_custom_shape_accepted(self):
+        shape = dataclasses.replace(shape_by_name("burst"), name="flash")
+        trace = generate_job_trace(shape, 12, 5, KERNELS, REFERENCE)
+        assert trace.shape.name == "flash"
+
+
+class TestSharedTrafficImplementation:
+    def test_serving_reexport_is_the_same_object(self):
+        import repro.serving.traffic as serving_traffic
+        import repro.traffic as traffic
+
+        assert serving_traffic.sample_arrivals is traffic.sample_arrivals
+        assert serving_traffic.TrafficShape is traffic.TrafficShape
+        assert serving_traffic.shape_by_name is traffic.shape_by_name
+
+
+class TestNodeFailurePlan:
+    def test_streams_deterministic_per_name(self):
+        plan = NodeFailurePlan(mtbf_s=0.5, mttr_s=0.1, seed=7)
+        draws_a = [plan.time_to_failure(plan.stream("node-a")) for _ in range(3)]
+        draws_b = [plan.time_to_failure(plan.stream("node-a")) for _ in range(3)]
+        assert draws_a == draws_b
+        assert draws_a[0] != plan.time_to_failure(plan.stream("node-b"))
+
+    def test_streams_independent_of_other_nodes(self):
+        plan = NodeFailurePlan(mtbf_s=0.5, mttr_s=0.1, seed=7)
+        rng = plan.stream("node-a")
+        lone = [plan.time_to_failure(rng) for _ in range(4)]
+        rng_a = plan.stream("node-a")
+        rng_b = plan.stream("node-b")
+        interleaved = []
+        for _ in range(4):
+            interleaved.append(plan.time_to_failure(rng_a))
+            plan.time_to_failure(rng_b)
+        assert lone == interleaved
+
+    @given(
+        mtbf=st.floats(min_value=1e-3, max_value=10, allow_nan=False),
+        mttr=st.floats(min_value=1e-3, max_value=10, allow_nan=False),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_draws_positive(self, mtbf, mttr):
+        plan = NodeFailurePlan(mtbf_s=mtbf, mttr_s=mttr)
+        rng = plan.stream("n")
+        assert plan.time_to_failure(rng) > 0
+        assert plan.repair_time(rng) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            NodeFailurePlan(mtbf_s=0.0, mttr_s=0.1)
+        with pytest.raises(ValidationError):
+            NodeFailurePlan(mtbf_s=0.1, mttr_s=-1.0)

@@ -84,6 +84,60 @@ class TestFigureExperiments:
         assert not result.size(64).throttled_levels()
 
 
+class TestClusterSavingsExperiment:
+    def test_structure_and_headline(self, lab):
+        from repro.experiments import cluster_savings
+
+        result = cluster_savings.run(
+            lab=lab,
+            quick=True,
+            mix={"Titan Xp": 2, "GTX Titan X": 2, "Tesla K40c": 1},
+            n_jobs=40,
+        )
+        assert set(result.shapes) == {"diurnal", "burst", "mixed"}
+        for by_scheduler in result.shapes.values():
+            assert set(by_scheduler) == set(
+                ("max-clocks", "energy-greedy", "edf", "powercap-edf")
+            )
+            for report in by_scheduler.values():
+                assert report.n_jobs == 40
+        headline = result.headline()
+        assert headline["scheduler"] == "edf"
+        assert -1.0 < headline["min_savings_vs_max_clocks"] < 1.0
+        # Chaos run completes every job despite node churn.
+        assert result.chaos.n_jobs == 40
+
+    def test_report_dict_schema_fields(self, lab):
+        from repro.experiments import cluster_savings
+
+        result = cluster_savings.run(
+            lab=lab,
+            quick=True,
+            mix={"Titan Xp": 2, "GTX Titan X": 2, "Tesla K40c": 1},
+            n_jobs=40,
+        )
+        payload = result.to_dict()
+        assert payload["nodes"] == 5
+        assert payload["jobs"] == 40
+        for shape_entry in payload["shapes"].values():
+            for entry in shape_entry.values():
+                assert "savings_vs_max_clocks" in entry
+                assert "deadline_miss_rate" in entry
+                assert "wall_seconds" in entry
+        assert payload["chaos"]["completed"] == 40
+
+    def test_default_mix_proportions(self):
+        from repro.errors import ValidationError
+        from repro.experiments.cluster_savings import default_mix
+
+        mix = default_mix(20)
+        assert sum(mix.values()) == 20
+        assert mix == {"Titan Xp": 8, "GTX Titan X": 8, "Tesla K40c": 4}
+        assert sum(default_mix(7).values()) == 7
+        with pytest.raises(ValidationError):
+            default_mix(2)
+
+
 class TestLabCaching:
     def test_models_are_cached(self, lab):
         assert lab.model("GTX Titan X") is lab.model("GTX Titan X")

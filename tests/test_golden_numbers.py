@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import pytest
 
+from repro.config import MASTER_SEED
+
 
 GOLDEN_MAE = {
     "Titan Xp": 6.14,
@@ -83,3 +85,51 @@ class TestPerformanceFitNumbers:
         report = lab.performance_report(device)
         assert report.train_mae_percent <= 1e-10, device
         assert report.worst_rmse <= 1e-12, device
+
+
+#: One small single-device cluster scenario per device (4 nodes, 40 burst
+#: jobs, 5-kernel pool, edf scheduler, MASTER_SEED): fleet energy in
+#: joules and the saving against the max-clocks FIFO baseline. The Tesla
+#: K40c's ~0 saving is real — its TDP limiter throttles the max clocks to
+#: the reference, so there is almost no grid to exploit.
+GOLDEN_CLUSTER = {
+    "Titan Xp": (206.58, 0.1026),
+    "GTX Titan X": (286.28, 0.2496),
+    "Tesla K40c": (353.87, 0.0000),
+}
+
+
+class TestClusterScenarioNumbers:
+    """Pins of the fleet-scheduling simulator riding the same Lab."""
+
+    @pytest.mark.parametrize("device", sorted(GOLDEN_CLUSTER))
+    def test_edf_energy_and_savings_pinned(self, lab, device):
+        from repro.cluster import (
+            ClusterSimulator,
+            DeviceOracle,
+            build_fleet,
+            fleet_reference_seconds,
+            generate_job_trace,
+            scheduler_by_name,
+        )
+
+        kernels = tuple(lab.workloads(device))[:5]
+        oracle = DeviceOracle.fit(device, kernels, lab=lab)
+        references = fleet_reference_seconds([oracle], kernels)
+        trace = generate_job_trace(
+            "burst", 40, MASTER_SEED, kernels, references, horizon_s=1.0
+        )
+        nodes = build_fleet({device: oracle}, {device: 4})
+        edf = ClusterSimulator(nodes, scheduler_by_name("edf")).run(trace)
+        baseline = ClusterSimulator(
+            nodes, scheduler_by_name("max-clocks")
+        ).run(trace)
+        golden_energy, golden_savings = GOLDEN_CLUSTER[device]
+        assert edf.fleet_energy_joules == pytest.approx(
+            golden_energy, rel=0.01
+        ), (
+            f"{device}: edf fleet energy moved from the recorded scenario; "
+            "update the pin if the shift is intentional"
+        )
+        savings = 1.0 - edf.fleet_energy_joules / baseline.fleet_energy_joules
+        assert savings == pytest.approx(golden_savings, abs=0.01), device

@@ -22,8 +22,19 @@ class TestPublicSurface:
             "SimulatedGPU", "ProfilingSession", "fit_power_model",
             "MetricCalculator", "validate_model", "DVFSAdvisor",
             "save_model", "load_model", "build_suite", "all_workloads",
+            "ClusterSimulator", "ClusterReport", "JobTrace",
+            "generate_job_trace", "scheduler_by_name", "NodeFailurePlan",
+            "TrafficShape", "sample_arrivals",
         ):
             assert name in repro.__all__, name
+
+    def test_scheduler_variants_exported(self):
+        from repro.cluster import SCHEDULER_NAMES
+
+        for name in SCHEDULER_NAMES:
+            variant = repro.scheduler_by_name(name)
+            assert isinstance(variant, repro.Scheduler)
+            assert variant.name == name
 
     @pytest.mark.parametrize(
         "module",
@@ -33,7 +44,8 @@ class TestPublicSurface:
             "repro.analysis", "repro.runtime", "repro.simulator",
             "repro.discovery", "repro.codegen", "repro.experiments",
             "repro.reporting", "repro.serialization", "repro.cli",
-            "repro.parallel",
+            "repro.parallel", "repro.traffic", "repro.cluster",
+            "repro.serving.traffic",
         ],
     )
     def test_subpackages_import_cleanly(self, module):
