@@ -55,6 +55,20 @@ from repro.hardware.specs import (
     gpu_spec_by_name,
 )
 from repro.hardware.gpu import KernelRunResult, SimulatedGPU
+from repro.hardware.scaling import (
+    CONSERVATIVE,
+    ITRS,
+    SCALING_TABLES,
+    TECH_NODES,
+    ScalingFactors,
+    ScalingTable,
+    scaling_table,
+)
+from repro.hardware.families import (
+    DeviceFamily,
+    FamilyMember,
+    standard_members,
+)
 from repro.driver.session import ProfilingSession
 from repro.driver.nvml import NVMLDevice
 from repro.driver.cupti import CuptiContext
@@ -96,8 +110,10 @@ from repro.analysis.breakdown import BreakdownReport, breakdown_report
 from repro.analysis.voltage import fit_voltage_regions
 from repro.analysis.dvfs import DVFSAdvisor
 from repro.serialization import (
+    load_family_member,
     load_model,
     load_performance_model,
+    save_family_member,
     save_model,
     save_performance_model,
 )
@@ -154,6 +170,10 @@ __all__ = [
     "Component", "Domain", "GPUSpec", "FrequencyConfig",
     "TITAN_XP", "GTX_TITAN_X", "TESLA_K40C", "ALL_GPUS", "gpu_spec_by_name",
     "SimulatedGPU", "KernelRunResult",
+    # technology scaling & synthetic device families
+    "ScalingTable", "ScalingFactors", "ITRS", "CONSERVATIVE",
+    "SCALING_TABLES", "TECH_NODES", "scaling_table",
+    "DeviceFamily", "FamilyMember", "standard_members",
     # driver
     "ProfilingSession", "NVMLDevice", "CuptiContext",
     # kernels & workloads
@@ -177,6 +197,7 @@ __all__ = [
     # serialization
     "save_model", "load_model",
     "save_performance_model", "load_performance_model",
+    "save_family_member", "load_family_member",
     # serving
     "ModelRegistry", "PredictionEngine", "PredictionServer", "ServerConfig",
     "PredictionFleet", "FleetConfig", "FleetRouter",

@@ -53,6 +53,7 @@ EXPERIMENTS = (
     "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
     "baselines", "ablations", "discovery", "sensitivity", "dvfs_savings",
     "noise_sweep", "transfer", "perf_validation", "cluster_savings",
+    "fewshot",
 )
 
 
@@ -493,6 +494,19 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fewshot(args: argparse.Namespace) -> int:
+    """Few-shot calibration sweep over the synthetic device families."""
+    from repro.experiments import fewshot
+
+    argv = ["--output", args.output]
+    if args.quick:
+        argv.append("--quick")
+    if args.no_gate:
+        argv.append("--no-gate")
+    fewshot.main(argv)
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """Time the collect/estimate/validate pipeline (fast vs scalar path)."""
     import json
@@ -902,6 +916,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="flags forwarded to the experiment (e.g. --quick)",
     )
     experiment.set_defaults(handler=cmd_experiment)
+
+    fewshot = sub.add_parser(
+        "fewshot",
+        help="few-shot calibration sweep over synthetic device families "
+        "(writes FEWSHOT.json)",
+    )
+    fewshot.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI tier: fewer probe budgets, thinned validation sweep",
+    )
+    fewshot.add_argument("--output", default="FEWSHOT.json")
+    fewshot.add_argument(
+        "--no-gate",
+        action="store_true",
+        help="report only; do not fail when band coverage misses the floors",
+    )
+    fewshot.set_defaults(handler=cmd_fewshot)
 
     bench = sub.add_parser(
         "bench",

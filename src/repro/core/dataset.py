@@ -343,6 +343,17 @@ class TrainingDataset:
             rows.extend(self.rows_at(config))
         return TrainingDataset(spec=self.spec, rows=tuple(rows))
 
+    def subset_kernels(self, kernel_names: Iterable[str]) -> "TrainingDataset":
+        """Dataset restricted to a set of kernels (row order preserved).
+
+        The few-shot calibration experiment leans on this: collect the full
+        campaign once, then fit k-probe models on kernel-filtered views
+        without re-measuring anything.
+        """
+        wanted = set(kernel_names)
+        rows = tuple(r for r in self.rows if r.kernel_name in wanted)
+        return TrainingDataset(spec=self.spec, rows=rows)
+
     def kernel_names(self) -> List[str]:
         names: List[str] = []
         for row in self.rows:

@@ -25,6 +25,7 @@ module                reproduces
 ``dvfs_savings``      Sec. V-B use case 3 (measured energy savings)
 ``noise_sweep``       the Kepler explanation as a noise curve
 ``transfer``          cross-device transfer (per-device fitting)
+``fewshot``           few-shot calibration on synthetic families
 ====================  =========================================
 """
 

@@ -23,6 +23,7 @@ from repro.core.perf_estimation import (
     PerformanceEstimatorReport,
 )
 from repro.driver.session import ProfilingSession
+from repro.hardware.families import FamilyMember
 from repro.hardware.gpu import SimulatedGPU
 from repro.hardware.specs import GPUSpec, gpu_spec_by_name
 from repro.kernels.kernel import KernelDescriptor
@@ -57,18 +58,41 @@ class Lab:
         ] = {}
         self._validations: Dict[str, ValidationResult] = {}
         self._suite: Optional[Tuple[KernelDescriptor, ...]] = None
+        self._members: Dict[str, FamilyMember] = {}
 
     # ------------------------------------------------------------------
+    def register_member(self, member: FamilyMember) -> str:
+        """Make a synthetic family member resolvable by device name.
+
+        Once registered, every Lab accessor — ``gpu``/``session``/
+        ``dataset``/``model``/``validation`` and the cluster's
+        ``DeviceOracle.fit`` — works on the member's name exactly as on
+        the paper's three devices. Returns the registered name.
+        """
+        with self._lock:
+            self._members[member.spec.name.lower()] = member
+        return member.spec.name
+
     def spec(self, device: str) -> GPUSpec:
+        with self._lock:
+            member = self._members.get(device.strip().lower())
+        if member is not None:
+            return member.spec
         return gpu_spec_by_name(device)
 
     def gpu(self, device: str) -> SimulatedGPU:
         name = self.spec(device).name
         with self._lock:
             if name not in self._gpus:
-                self._gpus[name] = SimulatedGPU(
-                    self.spec(name), settings=self.settings
-                )
+                member = self._members.get(name.lower())
+                if member is not None:
+                    self._gpus[name] = member.build_gpu(
+                        settings=self.settings
+                    )
+                else:
+                    self._gpus[name] = SimulatedGPU(
+                        self.spec(name), settings=self.settings
+                    )
             return self._gpus[name]
 
     def session(self, device: str) -> ProfilingSession:

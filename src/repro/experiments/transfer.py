@@ -12,6 +12,12 @@ Transfer keeps the source's hardware coefficients and assumes V = 1
 everywhere (the source's voltage table is meaningless on the target's
 frequency grid). Expected shape: transferred models lose badly — several
 times the native error — in both directions.
+
+The few-shot extension (:mod:`repro.experiments.fewshot`) continues the
+question onto the synthetic device families: :func:`transplant` provides
+its zero-probe baseline (a transplanted seed model on the generated
+device's grid), and the sweep measures how many calibration
+microbenchmarks close the gap to the Table-III bands.
 """
 
 from __future__ import annotations

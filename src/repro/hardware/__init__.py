@@ -10,7 +10,9 @@ paper (Titan Xp, GTX Titan X, Tesla K40c). It provides:
 * :mod:`repro.hardware.performance` — a bottleneck kernel-timing model;
 * :mod:`repro.hardware.noise` — sensor and counter noise;
 * :mod:`repro.hardware.thermal` — TDP throttling (Fig. 9 footnote);
-* :mod:`repro.hardware.gpu` — :class:`SimulatedGPU`, the device itself.
+* :mod:`repro.hardware.gpu` — :class:`SimulatedGPU`, the device itself;
+* :mod:`repro.hardware.scaling` — ITRS/conservative tech-scaling tables;
+* :mod:`repro.hardware.families` — synthetic device-family generator.
 
 The power-model estimation code in :mod:`repro.core` never touches the hidden
 ground truth directly; it only sees what the driver layer
@@ -27,17 +29,39 @@ from repro.hardware.specs import (
     gpu_spec_by_name,
 )
 
-_LAZY_EXPORTS = ("SimulatedGPU", "KernelRunResult")
+from repro.hardware.scaling import (
+    CONSERVATIVE,
+    ITRS,
+    SCALING_TABLES,
+    TECH_NODES,
+    ScalingFactors,
+    ScalingTable,
+    scaling_table,
+)
+
+_LAZY_EXPORTS = (
+    "SimulatedGPU",
+    "KernelRunResult",
+    "DeviceFamily",
+    "FamilyMember",
+    "standard_members",
+)
 
 
 def __getattr__(name):
     # SimulatedGPU pulls in the kernel-descriptor layer, which itself uses
     # repro.hardware.components; importing it lazily keeps
-    # ``import repro.kernels`` free of a circular import.
-    if name in _LAZY_EXPORTS:
+    # ``import repro.kernels`` free of a circular import. The family
+    # generator sits above SimulatedGPU and the parallel executor, so it
+    # is lazy for the same reason.
+    if name in ("SimulatedGPU", "KernelRunResult"):
         from repro.hardware import gpu as _gpu
 
         return getattr(_gpu, name)
+    if name in ("DeviceFamily", "FamilyMember", "standard_members"):
+        from repro.hardware import families as _families
+
+        return getattr(_families, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -53,4 +77,14 @@ __all__ = [
     "gpu_spec_by_name",
     "SimulatedGPU",
     "KernelRunResult",
+    "ScalingTable",
+    "ScalingFactors",
+    "ITRS",
+    "CONSERVATIVE",
+    "SCALING_TABLES",
+    "TECH_NODES",
+    "scaling_table",
+    "DeviceFamily",
+    "FamilyMember",
+    "standard_members",
 ]

@@ -1,0 +1,403 @@
+"""Synthetic GPU device families via technology scaling.
+
+A :class:`DeviceFamily` takes one of the paper's calibrated devices as a
+*seed* and a :class:`~repro.hardware.scaling.ScalingTable`, and derives
+valid :class:`~repro.hardware.specs.GPUSpec` instances — plus the hidden
+ground-truth physics behind them — at any (tech node, SM count,
+memory-domain count) coordinate:
+
+* the frequency grids scale with the table's per-node clock factor (grid
+  shape controlled by ``core_levels``/``core_span``);
+* the hidden per-component power parameters come from
+  :func:`repro.hardware.custom.scaled_ground_truth` (throughput-scaled
+  from the Maxwell calibration) multiplied by the node's power factor, so
+  a 8 nm part both clocks higher and draws less per circuit;
+* the TDP is derived from the generated draw itself — ``tdp_headroom``
+  times the all-components-saturated reference draw — keeping the limiter
+  meaningful at every node (a headroom below 1 produces a K40c-style
+  power-capped part whose heavy kernels throttle);
+* the sensor period and the hidden voltage-curve shape are drawn from a
+  generator seeded by ``(master seed, family, coordinates)``, so
+  generation is bitwise deterministic across processes and platforms.
+
+Members are frozen and picklable: :meth:`FamilyMember.device_spec` yields
+the :class:`~repro.parallel.spec.DeviceSpec` closure the sharded campaign
+executor ships to workers, and :meth:`FamilyMember.build_session` a live
+profiling session for in-process use. The fleet the few-shot calibration
+experiment sweeps comes from :func:`standard_members`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Tuple
+
+from repro.config import DEFAULT_SETTINGS, MASTER_SEED, SimulationSettings, rng_for
+from repro.driver.session import ProfilingSession
+from repro.errors import SpecError
+from repro.hardware.custom import evenly_spaced_levels, scaled_ground_truth
+from repro.hardware.gpu import SimulatedGPU
+from repro.hardware.power import GroundTruthParameters
+from repro.hardware.scaling import (
+    CONSERVATIVE,
+    ITRS,
+    ScalingFactors,
+    ScalingTable,
+)
+from repro.hardware.specs import (
+    GPUSpec,
+    GTX_TITAN_X,
+    TESLA_K40C,
+    TITAN_XP,
+)
+from repro.hardware.voltage import (
+    VoltageCurve,
+    VoltageTable,
+    default_voltage_table,
+)
+from repro.parallel.spec import DeviceSpec
+from repro.telemetry.recorder import NULL_RECORDER, TelemetryRecorder
+
+__all__ = [
+    "DeviceFamily",
+    "FamilyMember",
+    "standard_members",
+]
+
+#: Sensor refresh periods (ms) a generated part may ship with — the three
+#: observed NVML periods of the paper's devices plus a common 50 ms tier.
+SENSOR_PERIODS_MS = (15.0, 35.0, 50.0, 100.0)
+
+
+def _scale_watts(
+    base: GroundTruthParameters, factor: float
+) -> GroundTruthParameters:
+    """Every watts field multiplied by the node's power factor."""
+    return GroundTruthParameters(
+        static_core_watts=base.static_core_watts * factor,
+        static_mem_watts=base.static_mem_watts * factor,
+        idle_core_watts=base.idle_core_watts * factor,
+        idle_mem_watts=base.idle_mem_watts * factor,
+        dynamic_full_watts={
+            component: watts * factor
+            for component, watts in base.dynamic_full_watts.items()
+        },
+        issue_full_watts=base.issue_full_watts * factor,
+    )
+
+
+def saturated_draw_watts(parameters: GroundTruthParameters) -> float:
+    """Reference-configuration draw with every component at 100%.
+
+    No real kernel reaches it (compute and memory cannot all saturate at
+    once), so a TDP above it never throttles, and the interesting capped
+    regimes live around half of it.
+    """
+    return (
+        parameters.static_core_watts
+        + parameters.static_mem_watts
+        + parameters.idle_core_watts
+        + parameters.idle_mem_watts
+        + sum(parameters.dynamic_full_watts.values())
+        + parameters.issue_full_watts
+    )
+
+
+@dataclass(frozen=True)
+class FamilyMember:
+    """One generated device: spec, hidden physics and provenance.
+
+    Frozen and picklable. Equality is field-wise, so two same-seed
+    generations compare equal (and pickle to identical bytes) — the
+    determinism contract the property suite pins.
+    """
+
+    family: str
+    seed_device: str
+    table_name: str
+    factors: ScalingFactors
+    spec: GPUSpec
+    parameters: GroundTruthParameters
+    voltage_flat_level: float
+    voltage_breakpoint_fraction: float
+    tdp_headroom: float
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def node_nm(self) -> int:
+        return self.factors.node_nm
+
+    @property
+    def power_capped(self) -> bool:
+        """Whether the TDP sits below the saturated draw (heavy kernels
+        will throttle, K40c-style)."""
+        return self.tdp_headroom < 1.0
+
+    # ------------------------------------------------------------------
+    def voltage_table(self) -> VoltageTable:
+        """The hidden V(f) table — the Fig. 6 flat-then-linear shape with
+        this member's drawn flat level and breakpoint."""
+        frequencies = self.spec.core_frequencies_mhz
+        breakpoint = min(frequencies) + self.voltage_breakpoint_fraction * (
+            max(frequencies) - min(frequencies)
+        )
+        return VoltageTable(
+            core_curve=VoltageCurve.through_reference(
+                flat_level=self.voltage_flat_level,
+                breakpoint_mhz=breakpoint,
+                reference_mhz=self.spec.default_core_mhz,
+            ),
+            memory_curve=default_voltage_table(self.spec).memory_curve,
+            default_memory_mhz=self.spec.default_memory_mhz,
+        )
+
+    def build_gpu(
+        self,
+        settings: SimulationSettings = DEFAULT_SETTINGS,
+        recorder: TelemetryRecorder = NULL_RECORDER,
+    ) -> SimulatedGPU:
+        """A live simulated board with this member's hidden physics."""
+        return SimulatedGPU(
+            self.spec,
+            settings=settings,
+            parameters=self.parameters,
+            voltage_table=self.voltage_table(),
+            tdp_throttling=True,
+            recorder=recorder,
+        )
+
+    def build_session(
+        self,
+        settings: SimulationSettings = DEFAULT_SETTINGS,
+        recorder: TelemetryRecorder = NULL_RECORDER,
+    ) -> ProfilingSession:
+        return ProfilingSession(
+            self.build_gpu(settings=settings, recorder=recorder),
+            settings=settings,
+            recorder=recorder,
+        )
+
+    def device_spec(
+        self, settings: SimulationSettings = DEFAULT_SETTINGS
+    ) -> DeviceSpec:
+        """The sharded executor's picklable closure for this member."""
+        return DeviceSpec(
+            gpu_spec=self.spec,
+            settings=settings,
+            parameters=self.parameters,
+            voltage_table=self.voltage_table(),
+            tdp_throttling=True,
+        )
+
+
+@dataclass(frozen=True)
+class DeviceFamily:
+    """Generator of scaled variants of one seed device.
+
+    ``core_levels`` bounds the generated core ladder (campaign cost grows
+    linearly in grid size; eight levels keep a full fit under a second),
+    ``master_seed`` re-rolls every drawn attribute while keeping the
+    deterministic-generation contract.
+    """
+
+    seed_spec: GPUSpec
+    table: ScalingTable
+    master_seed: int = MASTER_SEED
+    core_levels: int = 8
+
+    @property
+    def name(self) -> str:
+        return f"{self.seed_spec.name}/{self.table.name}"
+
+    # ------------------------------------------------------------------
+    def member(
+        self,
+        node_nm: int,
+        sm_count: Optional[int] = None,
+        memory_domains: Optional[int] = None,
+        *,
+        core_span: Optional[float] = None,
+        tdp_headroom: float = 1.6,
+        recorder: TelemetryRecorder = NULL_RECORDER,
+    ) -> FamilyMember:
+        """Generate the member at one (node, SM count, domain) coordinate.
+
+        ``core_span`` replaces the seed's full core-frequency range with a
+        narrow band of ``+-span`` around the default clock (useful for
+        power-capped parts whose whole ladder should sit near the limiter);
+        ``tdp_headroom`` scales the derived TDP relative to the saturated
+        reference draw.
+        """
+        seed = self.seed_spec
+        factors = self.table.factors(node_nm)
+        sm = sm_count if sm_count is not None else seed.sm_count
+        if sm <= 0:
+            raise SpecError(f"{self.name}: sm_count must be positive, got {sm}")
+        available = len(seed.memory_frequencies_mhz)
+        domains = (
+            memory_domains
+            if memory_domains is not None
+            else min(2, available)
+        )
+        if not 1 <= domains <= available:
+            raise SpecError(
+                f"{self.name}: memory_domains must be in [1, {available}], "
+                f"got {domains}"
+            )
+        if tdp_headroom <= 0:
+            raise SpecError(
+                f"{self.name}: tdp_headroom must be positive, got {tdp_headroom}"
+            )
+
+        # Every drawn attribute comes from this one generator, in a fixed
+        # order — bitwise deterministic for a given (seed, coordinate).
+        rng = rng_for(
+            "family",
+            seed.name,
+            self.table.name,
+            node_nm,
+            sm,
+            domains,
+            master_seed=self.master_seed,
+        )
+        period_ms = SENSOR_PERIODS_MS[int(rng.integers(len(SENSOR_PERIODS_MS)))]
+        flat_level = round(0.84 + 0.08 * float(rng.random()), 4)
+        breakpoint_fraction = round(0.45 + 0.20 * float(rng.random()), 4)
+
+        # Core ladder: the seed's range (or a narrow band around the
+        # default) scaled by the node's clock factor.
+        default_core = round(seed.default_core_mhz * factors.frequency)
+        if core_span is None:
+            low = min(seed.core_frequencies_mhz)
+            high = max(seed.core_frequencies_mhz)
+        else:
+            if not 0.0 < core_span < 1.0:
+                raise SpecError(
+                    f"{self.name}: core_span must be in (0, 1), got {core_span}"
+                )
+            low = seed.default_core_mhz * (1.0 - core_span)
+            high = seed.default_core_mhz * (1.0 + core_span)
+        core_ladder = evenly_spaced_levels(
+            round(low * factors.frequency),
+            round(high * factors.frequency),
+            self.core_levels,
+            float(default_core),
+        )
+
+        # Memory ladder: the seed default plus its highest other levels,
+        # scaled by the same clock factor.
+        ordered = sorted(seed.memory_frequencies_mhz, reverse=True)
+        chosen = [seed.default_memory_mhz]
+        for level in ordered:
+            if len(chosen) >= domains:
+                break
+            if level != seed.default_memory_mhz:
+                chosen.append(level)
+        memory_ladder = tuple(
+            float(round(level * factors.frequency))
+            for level in sorted(chosen, reverse=True)
+        )
+        default_memory = float(round(seed.default_memory_mhz * factors.frequency))
+
+        name = (
+            f"{seed.name} {self.table.name}-{node_nm}nm-{sm}sm-{domains}m"
+        )
+        if tdp_headroom < 1.0:
+            name += "-capped"
+
+        draft = GPUSpec(
+            name=name,
+            architecture=f"{seed.architecture}@{node_nm}nm",
+            compute_capability=seed.compute_capability,
+            sm_count=sm,
+            warp_size=seed.warp_size,
+            core_frequencies_mhz=core_ladder,
+            memory_frequencies_mhz=memory_ladder,
+            default_core_mhz=float(default_core),
+            default_memory_mhz=default_memory,
+            sp_int_units_per_sm=seed.sp_int_units_per_sm,
+            dp_units_per_sm=seed.dp_units_per_sm,
+            sf_units_per_sm=seed.sf_units_per_sm,
+            shared_memory_banks=seed.shared_memory_banks,
+            shared_bank_bytes=seed.shared_bank_bytes,
+            memory_bus_width_bytes=seed.memory_bus_width_bytes,
+            memory_data_rate=seed.memory_data_rate,
+            l2_bytes_per_cycle=seed.l2_bytes_per_cycle,
+            tdp_watts=seed.tdp_watts,  # placeholder until the draw is known
+            nvml_refresh_ms=period_ms,
+            dram_subpartitions=seed.dram_subpartitions,
+            l2_subpartitions=seed.l2_subpartitions,
+        )
+        # Hidden physics: throughput-scaled from Maxwell, then shrunk by
+        # the node's power factor; the TDP follows the generated draw so
+        # the limiter stays meaningful at every node.
+        parameters = _scale_watts(scaled_ground_truth(draft), factors.power)
+        tdp = round(tdp_headroom * saturated_draw_watts(parameters), 1)
+        spec = replace(draft, tdp_watts=tdp)
+
+        with recorder.span(
+            "family_member",
+            family=self.name,
+            device=spec.name,
+            node_nm=node_nm,
+            sm_count=sm,
+            memory_domains=domains,
+        ):
+            recorder.add("family.members")
+
+        return FamilyMember(
+            family=self.name,
+            seed_device=seed.name,
+            table_name=self.table.name,
+            factors=factors,
+            spec=spec,
+            parameters=parameters,
+            voltage_flat_level=flat_level,
+            voltage_breakpoint_fraction=breakpoint_fraction,
+            tdp_headroom=tdp_headroom,
+        )
+
+    def generate(
+        self,
+        nodes: Sequence[int],
+        recorder: TelemetryRecorder = NULL_RECORDER,
+    ) -> Tuple[FamilyMember, ...]:
+        """Members at several tech nodes (seed SM/domain defaults)."""
+        with recorder.span(
+            "family_generate", family=self.name, nodes=len(nodes)
+        ):
+            return tuple(
+                self.member(node, recorder=recorder) for node in nodes
+            )
+
+
+def standard_members(
+    master_seed: int = MASTER_SEED,
+    recorder: TelemetryRecorder = NULL_RECORDER,
+) -> Tuple[FamilyMember, ...]:
+    """The reference synthetic fleet of the few-shot experiment.
+
+    Seven members across five tech nodes: a Maxwell-seeded ITRS family, a
+    Pascal-seeded conservative family, and one Kepler-seeded power-capped
+    part (single memory domain, narrow ladder, TDP at roughly half the
+    saturated draw) that exercises the throttle-collapse paths.
+    """
+    maxwell = DeviceFamily(GTX_TITAN_X, ITRS, master_seed=master_seed)
+    pascal = DeviceFamily(TITAN_XP, CONSERVATIVE, master_seed=master_seed)
+    kepler = DeviceFamily(TESLA_K40C, CONSERVATIVE, master_seed=master_seed)
+    return (
+        maxwell.generate((45, 22, 11), recorder=recorder)
+        + pascal.generate((32, 16, 8), recorder=recorder)
+        + (
+            kepler.member(
+                16,
+                memory_domains=1,
+                core_span=0.08,
+                tdp_headroom=0.42,
+                recorder=recorder,
+            ),
+        )
+    )

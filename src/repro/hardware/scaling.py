@@ -1,0 +1,173 @@
+"""Technology-scaling tables — ITRS and conservative projections.
+
+Lumos-style voltage/frequency/power scaling factors keyed by CMOS tech
+node (45/32/22/16/11/8 nm), normalized to the 45 nm baseline. Two
+projections are provided: the ITRS roadmap numbers (aggressive frequency
+growth, steep power reduction) and a conservative extrapolation (modest
+frequency gains, slower power reduction). The area factor halves per node
+in both projections (classic Dennard-era density doubling).
+
+These tables are the generator substrate of
+:mod:`repro.hardware.families`: a scaled device keeps its seed's
+microarchitecture (unit counts, bus widths) while its frequency grid,
+supply voltage and power budget move with the node. The 8 nm ITRS
+frequency factor *drops* relative to 11 nm — the roadmap itself predicts
+the end of frequency scaling — so only the power column is guaranteed
+monotone; consumers that need monotone frequency should use the
+conservative table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+from repro.errors import SpecError
+
+#: Supported tech nodes in nm, largest (oldest) first.
+TECH_NODES: Tuple[int, ...] = (45, 32, 22, 16, 11, 8)
+
+#: The node every factor is normalized to.
+BASE_NODE = 45
+
+
+@dataclass(frozen=True)
+class ScalingFactors:
+    """The factors one (table, node) coordinate applies to a seed device."""
+
+    node_nm: int
+    vdd: float
+    frequency: float
+    power: float
+    area: float
+
+
+@dataclass(frozen=True)
+class ScalingTable:
+    """One projection: per-node vdd/frequency/power factors vs 45 nm.
+
+    Frozen and picklable; validation runs at construction so a table that
+    reaches user code is always complete (every node of
+    :data:`TECH_NODES`), normalized (``1.0`` at :data:`BASE_NODE`) and has
+    a strictly decreasing power column — the invariant the synthetic
+    device families lean on.
+    """
+
+    name: str
+    vdd_scale: Mapping[int, float] = field(repr=False)
+    frequency_scale: Mapping[int, float] = field(repr=False)
+    power_scale: Mapping[int, float] = field(repr=False)
+
+    def __post_init__(self) -> None:
+        for label, column in (
+            ("vdd", self.vdd_scale),
+            ("frequency", self.frequency_scale),
+            ("power", self.power_scale),
+        ):
+            missing = [node for node in TECH_NODES if node not in column]
+            if missing:
+                raise SpecError(
+                    f"scaling table {self.name!r}: {label} column is missing "
+                    f"nodes {missing}"
+                )
+            if any(column[node] <= 0 for node in TECH_NODES):
+                raise SpecError(
+                    f"scaling table {self.name!r}: {label} factors must be "
+                    "positive"
+                )
+            if column[BASE_NODE] != 1.0:
+                raise SpecError(
+                    f"scaling table {self.name!r}: {label} factor at the "
+                    f"{BASE_NODE} nm base node must be 1.0"
+                )
+        powers = [self.power_scale[node] for node in TECH_NODES]
+        if any(b >= a for a, b in zip(powers, powers[1:])):
+            raise SpecError(
+                f"scaling table {self.name!r}: power factors must strictly "
+                "decrease with the node"
+            )
+        vdds = [self.vdd_scale[node] for node in TECH_NODES]
+        if any(b > a for a, b in zip(vdds, vdds[1:])):
+            raise SpecError(
+                f"scaling table {self.name!r}: vdd factors must not increase "
+                "with the node"
+            )
+
+    # ------------------------------------------------------------------
+    def _lookup(self, column: Mapping[int, float], node_nm: int) -> float:
+        if node_nm not in column:
+            raise SpecError(
+                f"scaling table {self.name!r} has no {node_nm} nm node "
+                f"(known: {list(TECH_NODES)})"
+            )
+        return float(column[node_nm])
+
+    def vdd(self, node_nm: int) -> float:
+        """Supply-voltage factor vs the 45 nm baseline."""
+        return self._lookup(self.vdd_scale, node_nm)
+
+    def frequency(self, node_nm: int) -> float:
+        """Achievable-clock factor vs the 45 nm baseline."""
+        return self._lookup(self.frequency_scale, node_nm)
+
+    def power(self, node_nm: int) -> float:
+        """Power-per-circuit factor vs the 45 nm baseline."""
+        return self._lookup(self.power_scale, node_nm)
+
+    def area(self, node_nm: int) -> float:
+        """Area factor: halves per node step from the baseline."""
+        if node_nm not in TECH_NODES:
+            raise SpecError(
+                f"scaling table {self.name!r} has no {node_nm} nm node "
+                f"(known: {list(TECH_NODES)})"
+            )
+        return 0.5 ** TECH_NODES.index(node_nm)
+
+    def factors(self, node_nm: int) -> ScalingFactors:
+        """All factors of one node as a single frozen record."""
+        return ScalingFactors(
+            node_nm=node_nm,
+            vdd=self.vdd(node_nm),
+            frequency=self.frequency(node_nm),
+            power=self.power(node_nm),
+            area=self.area(node_nm),
+        )
+
+
+#: ITRS roadmap projection (lumos ``tech: itrs``): frequency rises steeply
+#: through 11 nm then falls back at 8 nm; power per circuit drops ~8x over
+#: the range.
+ITRS = ScalingTable(
+    name="itrs",
+    vdd_scale={45: 1.0, 32: 0.93, 22: 0.84, 16: 0.75, 11: 0.68, 8: 0.62},
+    frequency_scale={45: 1.0, 32: 1.09, 22: 2.38, 16: 3.21, 11: 4.17, 8: 3.85},
+    power_scale={45: 1.0, 32: 0.66, 22: 0.54, 16: 0.38, 11: 0.25, 8: 0.12},
+)
+
+#: Conservative projection (lumos ``tech: cons``): ~10% frequency per node,
+#: power falling to ~0.22x — the post-Dennard reality check.
+CONSERVATIVE = ScalingTable(
+    name="conservative",
+    vdd_scale={45: 1.0, 32: 0.93, 22: 0.88, 16: 0.86, 11: 0.84, 8: 0.84},
+    frequency_scale={45: 1.0, 32: 1.10, 22: 1.19, 16: 1.25, 11: 1.30, 8: 1.34},
+    power_scale={45: 1.0, 32: 0.71, 22: 0.52, 16: 0.39, 11: 0.29, 8: 0.22},
+)
+
+#: All projections by name (aliases included).
+SCALING_TABLES: Dict[str, ScalingTable] = {
+    "itrs": ITRS,
+    "conservative": CONSERVATIVE,
+    "cons": CONSERVATIVE,
+}
+
+
+def scaling_table(name: str) -> ScalingTable:
+    """Look up a projection by name (case-insensitive; ``cons`` aliases
+    ``conservative``)."""
+    key = name.strip().lower()
+    if key not in SCALING_TABLES:
+        known = sorted({table.name for table in SCALING_TABLES.values()})
+        raise SpecError(
+            f"unknown scaling table {name!r}; known projections: {known}"
+        )
+    return SCALING_TABLES[key]

@@ -10,6 +10,15 @@ provides JSON.
 Only the *fitted artefacts* are serialized — the parameter vector and the
 per-configuration voltage estimates — plus the device name for spec lookup.
 The training data never leaves the fitting host.
+
+Synthetic devices (the generated family members of
+:mod:`repro.hardware.families`) are not resolvable by name, so their
+model documents additionally embed the full spec (``spec_to_dict``) and
+deserialization falls back to it; documents of the paper's three devices
+are byte-for-byte what they always were (the registry's content hashes
+rely on this). Family members themselves serialize through
+:func:`family_member_to_dict` — spec, hidden physics and provenance — so
+a generated device can be published as a registry artifact.
 """
 
 from __future__ import annotations
@@ -23,12 +32,15 @@ from repro.core.perf_estimation import (
     DevicePerformanceModel,
     KernelPerformanceModel,
 )
-from repro.errors import SerializationError
+from repro.errors import SerializationError, SpecError
 from repro.hardware.components import (
     ALL_COMPONENTS,
     CORE_COMPONENTS,
     Component,
 )
+from repro.hardware.families import FamilyMember
+from repro.hardware.power import GroundTruthParameters
+from repro.hardware.scaling import ScalingFactors
 from repro.hardware.specs import FrequencyConfig, GPUSpec, gpu_spec_by_name
 
 #: Format identifier stored in every serialized model.
@@ -39,14 +51,121 @@ FORMAT_VERSION = 1
 PERF_FORMAT = "repro-dvfs-performance-model"
 PERF_FORMAT_VERSION = 1
 
+#: Format identifier stored in every serialized family member.
+FAMILY_FORMAT = "repro-device-family-member"
+FAMILY_FORMAT_VERSION = 1
+
+
+def _known_device(name: str) -> bool:
+    """Whether ``name`` resolves through the built-in spec table."""
+    try:
+        gpu_spec_by_name(name)
+    except SpecError:
+        return False
+    return True
+
+
+def spec_to_dict(spec: GPUSpec) -> Dict[str, Any]:
+    """Plain-data representation of a :class:`GPUSpec` (synthetic devices
+    embed this in their model documents; the paper's devices never do)."""
+    return {
+        "name": spec.name,
+        "architecture": spec.architecture,
+        "compute_capability": spec.compute_capability,
+        "sm_count": spec.sm_count,
+        "warp_size": spec.warp_size,
+        "core_frequencies_mhz": [float(f) for f in spec.core_frequencies_mhz],
+        "memory_frequencies_mhz": [
+            float(f) for f in spec.memory_frequencies_mhz
+        ],
+        "default_core_mhz": float(spec.default_core_mhz),
+        "default_memory_mhz": float(spec.default_memory_mhz),
+        "sp_int_units_per_sm": spec.sp_int_units_per_sm,
+        "dp_units_per_sm": spec.dp_units_per_sm,
+        "sf_units_per_sm": spec.sf_units_per_sm,
+        "shared_memory_banks": spec.shared_memory_banks,
+        "shared_bank_bytes": spec.shared_bank_bytes,
+        "memory_bus_width_bytes": spec.memory_bus_width_bytes,
+        "memory_data_rate": spec.memory_data_rate,
+        "l2_bytes_per_cycle": float(spec.l2_bytes_per_cycle),
+        "tdp_watts": float(spec.tdp_watts),
+        "nvml_refresh_ms": float(spec.nvml_refresh_ms),
+        "dram_subpartitions": spec.dram_subpartitions,
+        "l2_subpartitions": spec.l2_subpartitions,
+    }
+
+
+def spec_from_dict(data: Dict[str, Any]) -> GPUSpec:
+    """Rebuild a :class:`GPUSpec` from :func:`spec_to_dict` output."""
+    try:
+        return GPUSpec(
+            name=str(data["name"]),
+            architecture=str(data["architecture"]),
+            compute_capability=str(data["compute_capability"]),
+            sm_count=int(data["sm_count"]),
+            warp_size=int(data["warp_size"]),
+            core_frequencies_mhz=tuple(
+                float(f) for f in data["core_frequencies_mhz"]
+            ),
+            memory_frequencies_mhz=tuple(
+                float(f) for f in data["memory_frequencies_mhz"]
+            ),
+            default_core_mhz=float(data["default_core_mhz"]),
+            default_memory_mhz=float(data["default_memory_mhz"]),
+            sp_int_units_per_sm=int(data["sp_int_units_per_sm"]),
+            dp_units_per_sm=int(data["dp_units_per_sm"]),
+            sf_units_per_sm=int(data["sf_units_per_sm"]),
+            shared_memory_banks=int(data["shared_memory_banks"]),
+            shared_bank_bytes=int(data["shared_bank_bytes"]),
+            memory_bus_width_bytes=int(data["memory_bus_width_bytes"]),
+            memory_data_rate=int(data["memory_data_rate"]),
+            l2_bytes_per_cycle=float(data["l2_bytes_per_cycle"]),
+            tdp_watts=float(data["tdp_watts"]),
+            nvml_refresh_ms=float(data["nvml_refresh_ms"]),
+            dram_subpartitions=int(data["dram_subpartitions"]),
+            l2_subpartitions=int(data["l2_subpartitions"]),
+        )
+    except KeyError as missing:
+        raise SerializationError(
+            f"serialized spec is missing required field {missing}"
+        ) from missing
+    except (TypeError, ValueError, SpecError) as bad:
+        raise SerializationError(
+            f"serialized spec carries a malformed field: {bad}"
+        ) from bad
+
+
+def _resolve_spec(data: Dict[str, Any], label: str) -> GPUSpec:
+    """Device lookup with the synthetic-device fallback: by name first,
+    then from the document's embedded spec."""
+    device = data["device"]
+    if _known_device(str(device)):
+        return gpu_spec_by_name(str(device))
+    embedded = data.get("spec")
+    if embedded is None:
+        raise SerializationError(
+            f"serialized {label} is for unknown device {device!r} and "
+            "embeds no spec"
+        )
+    return spec_from_dict(embedded)
+
 
 def model_to_dict(model: DVFSPowerModel) -> Dict[str, Any]:
-    """Plain-data representation of a fitted model."""
+    """Plain-data representation of a fitted model.
+
+    Models of unknown (synthetic) devices embed the full spec so they can
+    be deserialized anywhere; documents of the built-in devices are
+    unchanged byte-for-byte.
+    """
     parameters = model.parameters
-    return {
+    document: Dict[str, Any] = {
         "format": FORMAT,
         "version": FORMAT_VERSION,
         "device": model.spec.name,
+    }
+    if not _known_device(model.spec.name):
+        document["spec"] = spec_to_dict(model.spec)
+    document.update({
         "parameters": {
             "beta0": parameters.beta0,
             "beta1": parameters.beta1,
@@ -70,7 +189,8 @@ def model_to_dict(model: DVFSPowerModel) -> Dict[str, Any]:
                 key=lambda c: (c.memory_mhz, c.core_mhz),
             )
         ],
-    }
+    })
+    return document
 
 
 def model_from_dict(
@@ -101,7 +221,7 @@ def model_from_dict(
         )
     try:
         if spec is None:
-            spec = gpu_spec_by_name(data["device"])
+            spec = _resolve_spec(data, "power model")
 
         raw = data["parameters"]
         parameters = ModelParameters(
@@ -141,12 +261,17 @@ def performance_model_to_dict(
 
     Kernels are emitted sorted by name and floats pass through JSON's
     shortest-round-trip repr, so equal models serialize to byte-identical
-    documents (the registry's sha256 idempotence relies on this).
+    documents (the registry's sha256 idempotence relies on this). Unknown
+    (synthetic) devices embed their spec, exactly like power models.
     """
-    return {
+    document: Dict[str, Any] = {
         "format": PERF_FORMAT,
         "version": PERF_FORMAT_VERSION,
         "device": model.spec.name,
+    }
+    if not _known_device(model.spec.name):
+        document["spec"] = spec_to_dict(model.spec)
+    document.update({
         "overlap_exponent": model.overlap_exponent,
         "kernels": [
             {
@@ -169,7 +294,8 @@ def performance_model_to_dict(
                 key=lambda pair: pair[0],
             )
         ],
-    }
+    })
+    return document
 
 
 def performance_model_from_dict(
@@ -199,7 +325,7 @@ def performance_model_from_dict(
         )
     try:
         if spec is None:
-            spec = gpu_spec_by_name(data["device"])
+            spec = _resolve_spec(data, "performance model")
         overlap_exponent = float(data["overlap_exponent"])
         kernels = {}
         for entry in data["kernels"]:
@@ -288,3 +414,132 @@ def load_model(
             f"model file {path} is not valid JSON (truncated or corrupt): {bad}"
         ) from bad
     return model_from_dict(data, spec=spec)
+
+
+# ----------------------------------------------------------------------
+# Synthetic family members (repro.hardware.families)
+# ----------------------------------------------------------------------
+
+def family_member_to_dict(member: FamilyMember) -> Dict[str, Any]:
+    """Plain-data representation of a generated family member.
+
+    Everything needed to rebuild the member — spec, hidden ground-truth
+    physics, voltage-curve shape and scaling provenance — so a registry
+    holding the artifact can re-instantiate the device on any host.
+    Components are emitted in the canonical order and floats round-trip
+    exactly, so equal members serialize to byte-identical documents.
+    """
+    factors = member.factors
+    parameters = member.parameters
+    return {
+        "format": FAMILY_FORMAT,
+        "version": FAMILY_FORMAT_VERSION,
+        "device": member.spec.name,
+        "family": member.family,
+        "seed_device": member.seed_device,
+        "table": member.table_name,
+        "factors": {
+            "node_nm": factors.node_nm,
+            "vdd": factors.vdd,
+            "frequency": factors.frequency,
+            "power": factors.power,
+            "area": factors.area,
+        },
+        "spec": spec_to_dict(member.spec),
+        "parameters": {
+            "static_core_watts": parameters.static_core_watts,
+            "static_mem_watts": parameters.static_mem_watts,
+            "idle_core_watts": parameters.idle_core_watts,
+            "idle_mem_watts": parameters.idle_mem_watts,
+            "issue_full_watts": parameters.issue_full_watts,
+            "dynamic_full_watts": {
+                component.value: parameters.dynamic_full_watts[component]
+                for component in ALL_COMPONENTS
+            },
+        },
+        "voltage_flat_level": member.voltage_flat_level,
+        "voltage_breakpoint_fraction": member.voltage_breakpoint_fraction,
+        "tdp_headroom": member.tdp_headroom,
+    }
+
+
+def family_member_from_dict(data: Dict[str, Any]) -> FamilyMember:
+    """Rebuild a family member from :func:`family_member_to_dict`."""
+    if not isinstance(data, dict):
+        raise SerializationError(
+            "serialized family member must be a JSON object, got "
+            f"{type(data).__name__}"
+        )
+    if data.get("format") != FAMILY_FORMAT:
+        raise SerializationError(
+            f"not a serialized family member (format={data.get('format')!r})"
+        )
+    if data.get("version") != FAMILY_FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported family-member format version {data.get('version')!r} "
+            f"(this build reads version {FAMILY_FORMAT_VERSION})"
+        )
+    try:
+        raw_factors = data["factors"]
+        factors = ScalingFactors(
+            node_nm=int(raw_factors["node_nm"]),
+            vdd=float(raw_factors["vdd"]),
+            frequency=float(raw_factors["frequency"]),
+            power=float(raw_factors["power"]),
+            area=float(raw_factors["area"]),
+        )
+        raw_parameters = data["parameters"]
+        parameters = GroundTruthParameters(
+            static_core_watts=float(raw_parameters["static_core_watts"]),
+            static_mem_watts=float(raw_parameters["static_mem_watts"]),
+            idle_core_watts=float(raw_parameters["idle_core_watts"]),
+            idle_mem_watts=float(raw_parameters["idle_mem_watts"]),
+            dynamic_full_watts={
+                Component(name): float(value)
+                for name, value in raw_parameters[
+                    "dynamic_full_watts"
+                ].items()
+            },
+            issue_full_watts=float(raw_parameters["issue_full_watts"]),
+        )
+        return FamilyMember(
+            family=str(data["family"]),
+            seed_device=str(data["seed_device"]),
+            table_name=str(data["table"]),
+            factors=factors,
+            spec=spec_from_dict(data["spec"]),
+            parameters=parameters,
+            voltage_flat_level=float(data["voltage_flat_level"]),
+            voltage_breakpoint_fraction=float(
+                data["voltage_breakpoint_fraction"]
+            ),
+            tdp_headroom=float(data["tdp_headroom"]),
+        )
+    except KeyError as missing:
+        raise SerializationError(
+            f"serialized family member is missing required field {missing}"
+        ) from missing
+    except (TypeError, ValueError) as bad:
+        raise SerializationError(
+            f"serialized family member carries a malformed field: {bad}"
+        ) from bad
+
+
+def save_family_member(member: FamilyMember, path: Union[str, Path]) -> Path:
+    """Write a family member to a JSON file; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(family_member_to_dict(member), indent=2))
+    return path
+
+
+def load_family_member(path: Union[str, Path]) -> FamilyMember:
+    """Read a family member back from :func:`save_family_member` output."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as bad:
+        raise SerializationError(
+            f"family-member file {path} is not valid JSON "
+            f"(truncated or corrupt): {bad}"
+        ) from bad
+    return family_member_from_dict(data)

@@ -33,7 +33,10 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from repro.core.model import DVFSPowerModel
 from repro.core.perf_estimation import DevicePerformanceModel
 from repro.errors import RegistryError, SerializationError
+from repro.hardware.families import FamilyMember
 from repro.serialization import (
+    family_member_from_dict,
+    family_member_to_dict,
     model_from_dict,
     model_to_dict,
     performance_model_from_dict,
@@ -47,6 +50,7 @@ MANIFEST_SCHEMA = "repro.registry/v1"
 #: field; those entries read back as power models (the only kind then).
 POWER_KIND = "power/v1"
 PERF_KIND = "perf/v1"
+FAMILY_KIND = "family/v1"
 
 _MANIFEST_FILE = "manifest.json"
 
@@ -140,7 +144,7 @@ class ModelRegistry:
     # ------------------------------------------------------------------
     def publish(
         self,
-        model: Union[DVFSPowerModel, DevicePerformanceModel],
+        model: Union[DVFSPowerModel, DevicePerformanceModel, FamilyMember],
         name: Optional[str] = None,
     ) -> ArtifactRecord:
         """Store a fitted model; returns the minted (or matched) version.
@@ -150,10 +154,19 @@ class ModelRegistry:
         ``save_performance_model`` output, ``configurations`` counting the
         fitted kernels); the default name of a performance model carries a
         ``-perf`` suffix so the two kinds of one device never share a
-        version line. Re-publishing a model whose bytes hash to the newest
-        version is a no-op that returns the existing record.
+        version line. Synthetic family members store as ``family/v1``
+        (bytes exactly ``save_family_member`` output, ``configurations``
+        counting the member's V-F grid) — a registry can ship the device
+        generator's output alongside the models fitted on it.
+        Re-publishing a model whose bytes hash to the newest version is a
+        no-op that returns the existing record.
         """
-        if isinstance(model, DevicePerformanceModel):
+        if isinstance(model, FamilyMember):
+            kind = FAMILY_KIND
+            name = name or slugify(model.spec.name)
+            document = family_member_to_dict(model)
+            configurations = len(model.spec.all_configurations())
+        elif isinstance(model, DevicePerformanceModel):
             kind = PERF_KIND
             name = name or slugify(model.spec.name) + "-perf"
             document = performance_model_to_dict(model)
@@ -276,7 +289,8 @@ class ModelRegistry:
     def load(
         self, name: str, version: Optional[int] = None
     ) -> Tuple[
-        Union[DVFSPowerModel, DevicePerformanceModel], ArtifactRecord
+        Union[DVFSPowerModel, DevicePerformanceModel, FamilyMember],
+        ArtifactRecord,
     ]:
         """Load a model after verifying its artifact against the manifest.
 
@@ -284,7 +298,8 @@ class ModelRegistry:
         truncation, bit-rot, manual edits — raises
         :class:`~repro.errors.RegistryError` so callers can fall back to a
         different version instead of serving corrupt predictions. The
-        record's ``kind`` selects the parser (``power/v1`` or ``perf/v1``).
+        record's ``kind`` selects the parser (``power/v1``, ``perf/v1`` or
+        ``family/v1``).
         """
         record = self.resolve(name, version)
         try:
@@ -304,10 +319,13 @@ class ModelRegistry:
             parse = performance_model_from_dict
         elif record.kind == POWER_KIND:
             parse = model_from_dict
+        elif record.kind == FAMILY_KIND:
+            parse = family_member_from_dict
         else:
             raise RegistryError(
                 f"artifact {record.version_key} has unsupported kind "
-                f"{record.kind!r} (known: {POWER_KIND}, {PERF_KIND})"
+                f"{record.kind!r} (known: {POWER_KIND}, {PERF_KIND}, "
+                f"{FAMILY_KIND})"
             )
         try:
             model = parse(json.loads(payload.decode()))

@@ -31,7 +31,7 @@ class TestParser:
             "table1", "table2", "table3", "fig1", "fig2", "fig5", "fig6", "fig7",
             "fig8", "fig9", "fig10", "baselines", "ablations",
             "discovery", "sensitivity", "dvfs_savings", "noise_sweep",
-            "transfer", "perf_validation", "cluster_savings",
+            "transfer", "perf_validation", "cluster_savings", "fewshot",
         }
 
 
@@ -115,6 +115,25 @@ class TestCommands:
         assert report["scheduler"] == "edf"
         assert report["jobs"] == 30
         assert len(report["records"]) == 30
+
+    def test_fewshot_writes_report(self, tmp_path, capsys, monkeypatch):
+        # One synthetic device keeps the verb fast; the full fleet (and
+        # its gate) runs in the dedicated CI job.
+        from repro.experiments import fewshot
+        from repro.hardware.families import standard_members
+
+        monkeypatch.setattr(
+            fewshot, "standard_members", lambda: standard_members()[:1]
+        )
+        report_path = tmp_path / "fewshot.json"
+        code = main(
+            ["fewshot", "--quick", "--no-gate", "--output", str(report_path)]
+        )
+        assert code == 0
+        assert "Table-III band" in capsys.readouterr().out
+        report = json.loads(report_path.read_text())
+        assert report["schema"] == "repro.fewshot/v1"
+        assert report["devices_in_band"] == 1
 
     def test_cluster_bench_gate_failure_exits_nonzero(self, tmp_path, capsys):
         # An impossible savings floor must fail the gate, not pass it.

@@ -1,0 +1,345 @@
+"""Property suite for the technology-scaling tables and device families.
+
+The generator's contract is that every member it emits is a *valid* device
+(the spec constructor's invariants hold), that its grids and physics follow
+the scaling table exactly, and that generation is bitwise deterministic —
+the same (master seed, coordinates) always yields the same member, across
+processes and through pickle. Hypothesis drives the coordinates; the
+fixed-fleet and integration checks ride the shared Lab.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RegistryError, SpecError
+from repro.hardware.custom import scaled_ground_truth
+from repro.hardware.families import (
+    SENSOR_PERIODS_MS,
+    DeviceFamily,
+    FamilyMember,
+    _scale_watts,
+    saturated_draw_watts,
+    standard_members,
+)
+from repro.hardware.scaling import (
+    BASE_NODE,
+    CONSERVATIVE,
+    ITRS,
+    SCALING_TABLES,
+    TECH_NODES,
+    ScalingTable,
+    scaling_table,
+)
+from repro.hardware.specs import GTX_TITAN_X, TESLA_K40C, TITAN_XP
+from repro.serialization import (
+    family_member_from_dict,
+    family_member_to_dict,
+    load_family_member,
+    save_family_member,
+)
+from repro.serving.registry import FAMILY_KIND, ModelRegistry
+
+SEED_SPECS = (TITAN_XP, GTX_TITAN_X, TESLA_K40C)
+TABLES = (ITRS, CONSERVATIVE)
+
+seed_specs = st.sampled_from(SEED_SPECS)
+tables = st.sampled_from(TABLES)
+nodes = st.sampled_from(TECH_NODES)
+sm_counts = st.integers(min_value=4, max_value=64)
+master_seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+# ----------------------------------------------------------------------
+# Scaling tables
+# ----------------------------------------------------------------------
+class TestScalingTables:
+    @pytest.mark.parametrize("table", TABLES, ids=lambda t: t.name)
+    def test_power_column_strictly_decreases(self, table):
+        powers = [table.power(node) for node in TECH_NODES]
+        assert all(b < a for a, b in zip(powers, powers[1:]))
+
+    @pytest.mark.parametrize("table", TABLES, ids=lambda t: t.name)
+    def test_vdd_column_never_increases(self, table):
+        vdds = [table.vdd(node) for node in TECH_NODES]
+        assert all(b <= a for a, b in zip(vdds, vdds[1:]))
+
+    @pytest.mark.parametrize("table", TABLES, ids=lambda t: t.name)
+    def test_base_node_is_identity(self, table):
+        factors = table.factors(BASE_NODE)
+        assert (factors.vdd, factors.frequency, factors.power) == (1, 1, 1)
+        assert factors.area == 1.0
+
+    @pytest.mark.parametrize("table", TABLES, ids=lambda t: t.name)
+    def test_area_halves_per_node(self, table):
+        for index, node in enumerate(TECH_NODES):
+            assert table.area(node) == pytest.approx(0.5**index)
+
+    def test_lookup_by_name_and_alias(self):
+        assert scaling_table("itrs") is ITRS
+        assert scaling_table("ITRS") is ITRS
+        assert scaling_table(" conservative ") is CONSERVATIVE
+        assert scaling_table("cons") is CONSERVATIVE
+        assert set(SCALING_TABLES) == {"itrs", "conservative", "cons"}
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(SpecError, match="unknown scaling table"):
+            scaling_table("moore")
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(SpecError, match="no 7 nm node"):
+            ITRS.factors(7)
+
+    def test_incomplete_column_rejected(self):
+        vdd = {node: 1.0 if node == BASE_NODE else 0.9 for node in TECH_NODES}
+        freq = dict(vdd)
+        power = {
+            node: 1.0 / (index + 1) for index, node in enumerate(TECH_NODES)
+        }
+        del freq[8]
+        with pytest.raises(SpecError, match="missing"):
+            ScalingTable("partial", vdd, freq, power)
+
+    def test_non_monotone_power_rejected(self):
+        vdd = {node: 1.0 if node == BASE_NODE else 0.9 for node in TECH_NODES}
+        power = {45: 1.0, 32: 0.7, 22: 0.8, 16: 0.5, 11: 0.4, 8: 0.3}
+        with pytest.raises(SpecError, match="strictly"):
+            ScalingTable("bumpy", vdd, dict(vdd), power)
+
+    def test_unnormalized_base_rejected(self):
+        vdd = {node: 0.9 for node in TECH_NODES}
+        power = {
+            node: 1.0 / (index + 1) for index, node in enumerate(TECH_NODES)
+        }
+        power[BASE_NODE] = 1.0
+        with pytest.raises(SpecError, match="must be 1.0"):
+            ScalingTable("off-base", vdd, dict(vdd), power)
+
+
+# ----------------------------------------------------------------------
+# Member generation properties
+# ----------------------------------------------------------------------
+class TestMemberProperties:
+    @given(seed=seed_specs, table=tables, node=nodes, sm=sm_counts)
+    @settings(max_examples=60, deadline=None)
+    def test_generated_spec_is_valid(self, seed, table, node, sm):
+        """Construction succeeding IS the spec validating (GPUSpec's
+        __post_init__ runs); on top, the grid invariants the campaign
+        machinery leans on hold at every coordinate."""
+        member = DeviceFamily(seed, table).member(node, sm_count=sm)
+        spec = member.spec
+        assert spec.sm_count == sm
+        assert spec.default_core_mhz in spec.core_frequencies_mhz
+        assert spec.default_memory_mhz in spec.memory_frequencies_mhz
+        assert len(set(spec.core_frequencies_mhz)) == len(
+            spec.core_frequencies_mhz
+        )
+        assert spec.tdp_watts > 0
+        assert spec.nvml_refresh_ms in SENSOR_PERIODS_MS
+        assert len(spec.memory_frequencies_mhz) == min(
+            2, len(seed.memory_frequencies_mhz)
+        )
+        assert f"{node}nm" in spec.name
+        assert 0.84 <= member.voltage_flat_level <= 0.92
+        assert 0.45 <= member.voltage_breakpoint_fraction <= 0.65
+
+    @given(seed=seed_specs, table=tables, node=nodes)
+    @settings(max_examples=40, deadline=None)
+    def test_frequencies_scale_per_table(self, seed, table, node):
+        member = DeviceFamily(seed, table).member(node)
+        factor = table.frequency(node)
+        spec = member.spec
+        assert spec.default_core_mhz == round(seed.default_core_mhz * factor)
+        assert spec.default_memory_mhz == round(
+            seed.default_memory_mhz * factor
+        )
+        low = round(min(seed.core_frequencies_mhz) * factor)
+        high = round(max(seed.core_frequencies_mhz) * factor)
+        assert low - 1 <= min(spec.core_frequencies_mhz)
+        assert max(spec.core_frequencies_mhz) <= high + 1
+
+    @given(seed=seed_specs, table=tables, node=nodes, sm=sm_counts)
+    @settings(max_examples=40, deadline=None)
+    def test_hidden_power_follows_power_factor(self, seed, table, node, sm):
+        """The member's ground truth is exactly the throughput-scaled
+        Maxwell calibration shrunk by the node's power factor — so across
+        nodes the per-circuit draw inherits the table's strictly-decreasing
+        power column."""
+        member = DeviceFamily(seed, table).member(node, sm_count=sm)
+        expected = _scale_watts(
+            scaled_ground_truth(member.spec), table.power(node)
+        )
+        assert member.parameters.static_core_watts == pytest.approx(
+            expected.static_core_watts
+        )
+        assert member.parameters.issue_full_watts == pytest.approx(
+            expected.issue_full_watts
+        )
+        for component, watts in expected.dynamic_full_watts.items():
+            assert member.parameters.dynamic_full_watts[
+                component
+            ] == pytest.approx(watts)
+        assert member.spec.tdp_watts == pytest.approx(
+            round(
+                member.tdp_headroom * saturated_draw_watts(member.parameters),
+                1,
+            )
+        )
+
+    @given(
+        seed=seed_specs,
+        table=tables,
+        node=nodes,
+        sm=sm_counts,
+        master=master_seeds,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_same_seed_generation_is_bitwise_deterministic(
+        self, seed, table, node, sm, master
+    ):
+        first = DeviceFamily(seed, table, master_seed=master).member(
+            node, sm_count=sm
+        )
+        second = DeviceFamily(seed, table, master_seed=master).member(
+            node, sm_count=sm
+        )
+        assert first == second
+        assert pickle.dumps(first) == pickle.dumps(second)
+
+    @given(seed=seed_specs, table=tables, node=nodes)
+    @settings(max_examples=25, deadline=None)
+    def test_member_pickle_round_trip(self, seed, table, node):
+        member = DeviceFamily(seed, table).member(node)
+        clone = pickle.loads(pickle.dumps(member))
+        assert clone == member
+        assert clone.spec == member.spec
+        assert clone.voltage_table() == member.voltage_table()
+
+    @given(seed=seed_specs, table=tables, node=nodes)
+    @settings(max_examples=15, deadline=None)
+    def test_device_spec_closure_round_trips(self, seed, table, node):
+        """The sharded executor ships members as pickled DeviceSpec
+        closures; a worker must rebuild the identical board."""
+        member = DeviceFamily(seed, table).member(node)
+        device_spec = pickle.loads(pickle.dumps(member.device_spec()))
+        gpu = device_spec.build_gpu()
+        assert gpu.spec == member.spec
+
+    def test_invalid_coordinates_rejected(self):
+        family = DeviceFamily(GTX_TITAN_X, ITRS)
+        with pytest.raises(SpecError, match="sm_count"):
+            family.member(22, sm_count=0)
+        with pytest.raises(SpecError, match="memory_domains"):
+            family.member(22, memory_domains=99)
+        with pytest.raises(SpecError, match="tdp_headroom"):
+            family.member(22, tdp_headroom=0.0)
+        with pytest.raises(SpecError, match="core_span"):
+            family.member(22, core_span=1.5)
+
+    def test_master_seed_changes_draws(self):
+        base = DeviceFamily(GTX_TITAN_X, ITRS, master_seed=0).member(22)
+        other = DeviceFamily(GTX_TITAN_X, ITRS, master_seed=1).member(22)
+        assert (
+            base.voltage_flat_level,
+            base.voltage_breakpoint_fraction,
+            base.spec.nvml_refresh_ms,
+        ) != (
+            other.voltage_flat_level,
+            other.voltage_breakpoint_fraction,
+            other.spec.nvml_refresh_ms,
+        )
+
+
+# ----------------------------------------------------------------------
+# Serialization and registry
+# ----------------------------------------------------------------------
+class TestFamilySerialization:
+    @given(seed=seed_specs, table=tables, node=nodes)
+    @settings(max_examples=20, deadline=None)
+    def test_document_round_trip(self, seed, table, node):
+        member = DeviceFamily(seed, table).member(node)
+        document = json.loads(json.dumps(family_member_to_dict(member)))
+        assert family_member_from_dict(document) == member
+
+    def test_file_round_trip(self, tmp_path):
+        member = standard_members()[0]
+        path = tmp_path / "member.json"
+        save_family_member(member, path)
+        assert load_family_member(path) == member
+
+    def test_registry_publish_and_load(self, tmp_path):
+        member = standard_members()[0]
+        registry = ModelRegistry(tmp_path)
+        record = registry.publish(member)
+        assert record.kind == FAMILY_KIND
+        assert record.device == member.spec.name
+        assert record.configurations == len(member.spec.all_configurations())
+        loaded, loaded_record = registry.load(record.name)
+        assert isinstance(loaded, FamilyMember)
+        assert loaded == member
+        assert loaded_record.version == 1
+        # Idempotent re-publish: identical bytes mint no new version.
+        assert registry.publish(member).version == 1
+
+    def test_registry_refuses_kind_mixing(self, tmp_path, lab):
+        member = standard_members()[0]
+        registry = ModelRegistry(tmp_path)
+        record = registry.publish(member)
+        with pytest.raises(RegistryError, match="refusing"):
+            registry.publish(lab.model("GTX Titan X"), name=record.name)
+
+
+# ----------------------------------------------------------------------
+# The standard fleet and Lab integration
+# ----------------------------------------------------------------------
+class TestStandardFleet:
+    def test_fleet_shape(self):
+        members = standard_members()
+        assert len(members) == 7
+        assert len({m.name for m in members}) == 7
+        assert len({m.node_nm for m in members}) >= 5
+        capped = [m for m in members if m.power_capped]
+        assert len(capped) == 1
+        assert capped[0].seed_device == "Tesla K40c"
+        assert len(capped[0].spec.memory_frequencies_mhz) == 1
+        assert capped[0].spec.tdp_watts < saturated_draw_watts(
+            capped[0].parameters
+        )
+
+    def test_fleet_is_deterministic(self):
+        assert standard_members() == standard_members()
+        assert pickle.dumps(standard_members()) == pickle.dumps(
+            standard_members()
+        )
+
+    def test_lab_resolves_registered_member(self, lab):
+        member = standard_members()[0]
+        name = lab.register_member(member)
+        assert lab.spec(name) == member.spec
+        assert lab.spec(name.upper()) == member.spec
+        gpu = lab.gpu(name)
+        assert gpu.spec == member.spec
+        assert lab.session(name).gpu is gpu
+
+    def test_cluster_oracle_and_mixed_fleet(self, lab):
+        """A synthetic member drops into the cluster simulator next to a
+        real device — DeviceOracle.fit resolves it through the Lab."""
+        from repro.cluster import DeviceOracle, build_fleet
+
+        member = standard_members()[-1]
+        name = lab.register_member(member)
+        kernels = tuple(lab.workloads(name))[:3]
+        synthetic = DeviceOracle.fit(name, kernels, lab=lab)
+        real = DeviceOracle.fit("GTX Titan X", kernels, lab=lab)
+        nodes = build_fleet(
+            {name: synthetic, "GTX Titan X": real},
+            {name: 1, "GTX Titan X": 1},
+        )
+        assert len(nodes) == 2
+        devices = {node.oracle.device_name for node in nodes}
+        assert devices == {name, "GTX Titan X"}

@@ -1,0 +1,317 @@
+"""Differential tests of the few-shot calibration experiment.
+
+Three claims are pinned: the probe schedule is a deterministic prefix
+family covering the component groups early; fitting on the *full* probe
+budget is byte-identical to fitting on the full dataset (the subset path
+introduces nothing); and on synthetic devices the k-probe MAE curve
+descends into the seed's Table-III band while the zero-probe transplant
+baseline stays far outside it — the non-vacuous version of "calibration
+data helps". The power-capped member exercises the single-probe fallback
+of the runtime fit: its TDP collapses every requested core level of a
+heavy kernel onto the floor, leaving one distinct applied configuration.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimation import ModelEstimator
+from repro.core.perf_estimation import PerformanceEstimator
+from repro.errors import ValidationError
+from repro.experiments import fewshot
+from repro.experiments.fewshot import (
+    GROUP_ORDER,
+    MIN_PROBES,
+    QUICK_BUDGETS,
+    TABLE3_BANDS_PERCENT,
+    DeviceFewshotResult,
+    FewshotResult,
+    ProbePoint,
+    probe_schedule,
+    run,
+    sweep_device,
+)
+from repro.hardware.families import standard_members
+from repro.microbench import build_suite
+from repro.microbench.suite import suite_group
+from repro.telemetry import TraceRecorder
+
+SUITE_SIZE = len(build_suite())
+
+#: Curve tolerance: more probes may be locally *worse* by up to this many
+#: percentage points (small-k fits ride noise), but never more.
+MONOTONE_TOLERANCE_PP = 2.0
+
+
+# ----------------------------------------------------------------------
+# Probe schedule
+# ----------------------------------------------------------------------
+class TestProbeSchedule:
+    @given(k=st.integers(min_value=MIN_PROBES, max_value=SUITE_SIZE))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_size_unique_and_known(self, k):
+        schedule = probe_schedule(k)
+        assert len(schedule) == k
+        assert len(set(schedule)) == k
+        names = {kernel.name for kernel in build_suite()}
+        assert set(schedule) <= names
+
+    @given(
+        small=st.integers(min_value=MIN_PROBES, max_value=SUITE_SIZE),
+        large=st.integers(min_value=MIN_PROBES, max_value=SUITE_SIZE),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_schedules_form_a_prefix_family(self, small, large):
+        """Growing the budget only appends probes — a field engineer can
+        extend a campaign without re-running anything."""
+        if small > large:
+            small, large = large, small
+        assert probe_schedule(large)[:small] == probe_schedule(small)
+
+    def test_first_round_covers_distinct_groups(self):
+        group_of = {}
+        for group in GROUP_ORDER:
+            for kernel in suite_group(group):
+                group_of[kernel.name] = group
+        first = probe_schedule(len(GROUP_ORDER))
+        assert [group_of[name] for name in first] == list(GROUP_ORDER)
+
+    def test_full_budget_is_the_whole_suite(self):
+        assert set(probe_schedule(SUITE_SIZE)) == {
+            kernel.name for kernel in build_suite()
+        }
+
+    @pytest.mark.parametrize("k", [0, MIN_PROBES - 1, SUITE_SIZE + 1])
+    def test_out_of_range_budget_rejected(self, k):
+        with pytest.raises(ValidationError, match="probe budget"):
+            probe_schedule(k)
+
+
+# ----------------------------------------------------------------------
+# Dataset subsetting
+# ----------------------------------------------------------------------
+class TestSubsetKernels:
+    def test_subset_filters_and_preserves_order(self, lab):
+        member = standard_members()[0]
+        name = lab.register_member(member)
+        dataset = lab.dataset(name)
+        wanted = probe_schedule(6)
+        subset = dataset.subset_kernels(wanted)
+        assert subset.spec == dataset.spec
+        assert {row.kernel_name for row in subset.rows} == set(wanted)
+        expected = tuple(
+            row for row in dataset.rows if row.kernel_name in set(wanted)
+        )
+        assert subset.rows == expected
+
+    def test_subset_with_all_kernels_is_identity(self, lab):
+        member = standard_members()[0]
+        dataset = lab.dataset(lab.register_member(member))
+        assert (
+            dataset.subset_kernels(probe_schedule(SUITE_SIZE)).rows
+            == dataset.rows
+        )
+
+    def test_subset_with_unknown_names_rejected(self, lab):
+        """Datasets must not be empty, so a subset that matches nothing
+        fails loudly instead of producing an unfittable dataset."""
+        member = standard_members()[0]
+        dataset = lab.dataset(lab.register_member(member))
+        with pytest.raises(ValidationError, match="empty"):
+            dataset.subset_kernels(["no-such-kernel"])
+
+
+# ----------------------------------------------------------------------
+# Differential: subset fit vs full fit, k-probe curve vs bands
+# ----------------------------------------------------------------------
+class TestFewshotDifferential:
+    def test_full_budget_fit_equals_full_dataset_fit(self, lab):
+        """The k = 83 point of every curve is exactly the headline fit —
+        the subset machinery adds no degrees of freedom."""
+        member = standard_members()[0]
+        name = lab.register_member(member)
+        dataset = lab.dataset(name)
+        subset = dataset.subset_kernels(probe_schedule(SUITE_SIZE))
+        model, _ = ModelEstimator(subset).estimate()
+        assert model.parameters == lab.model(name).parameters
+
+    @pytest.fixture(scope="class")
+    def swept(self, lab):
+        """One uncapped member swept at the quick tier (cached campaign)."""
+        member = standard_members()[0]
+        return member, sweep_device(
+            lab, member, budgets=QUICK_BUDGETS, quick=True
+        )
+
+    def test_curve_reaches_band_and_transplant_does_not(self, swept):
+        member, result = swept
+        assert result.band_percent == TABLE3_BANDS_PERCENT[member.seed_device]
+        assert result.in_band
+        assert result.probes_to_band <= 12
+        assert result.full_mae_percent <= result.band_percent
+        # Non-vacuous: the zero-probe transplant sits far outside the band,
+        # so crossing it required the calibration data.
+        assert result.transplant_mae_percent > result.band_percent
+
+    def test_curve_budgets_match_and_descend_within_tolerance(self, swept):
+        _, result = swept
+        assert tuple(p.budget for p in result.curve) == QUICK_BUDGETS
+        maes = [p.mae_percent for p in result.curve]
+        assert all(mae is not None for mae in maes)
+        for previous, current in zip(maes, maes[1:]):
+            assert current <= previous + MONOTONE_TOLERANCE_PP
+        # End-to-end the curve must actually descend (not merely wiggle).
+        assert maes[-1] < maes[0]
+
+    def test_capped_member_sweeps_into_its_band(self, lab):
+        capped = standard_members()[-1]
+        result = sweep_device(lab, capped, budgets=QUICK_BUDGETS, quick=True)
+        assert capped.power_capped
+        assert result.in_band
+        assert result.full_mae_percent <= TABLE3_BANDS_PERCENT["Tesla K40c"]
+
+    def test_run_on_explicit_members(self, lab):
+        member = standard_members()[0]
+        result = run(lab=lab, quick=True, members=[member])
+        assert isinstance(result, FewshotResult)
+        assert result.budgets == QUICK_BUDGETS
+        assert len(result.devices) == 1
+        assert result.devices_in_band == 1
+        assert not result.passes_gate  # one device cannot clear the floor
+
+
+# ----------------------------------------------------------------------
+# Single-probe fallback on the power-capped member
+# ----------------------------------------------------------------------
+class TestCappedSingleProbeFallback:
+    def test_heavy_kernels_collapse_to_one_probe(self, lab):
+        """On the capped member the TDP limiter pushes heavy kernels to
+        the bottom core level at *every* requested probe, so the runtime
+        fit sees one distinct applied configuration and must take the
+        single-probe path; light kernels keep their full ladder."""
+        capped = standard_members()[-1]
+        name = lab.register_member(capped)
+        recorder = TraceRecorder()
+        estimator = PerformanceEstimator(
+            lab.dataset(name), lab.session(name), lab.suite, recorder=recorder
+        )
+        model, report = estimator.estimate()
+        probes_per_kernel = [
+            span.attributes["probes"]
+            for span in recorder.finished_spans()
+            if span.name == "perf_fit"
+        ]
+        assert report.kernels == SUITE_SIZE
+        assert probes_per_kernel.count(1) >= 30
+        assert max(probes_per_kernel) >= 2  # light kernels keep a ladder
+        assert report.probes == sum(probes_per_kernel)
+        assert report.probes < 3 * report.kernels
+        # The fallback law still reproduces its anchor probe exactly.
+        assert report.train_mae_percent <= 1e-10
+
+    def test_uncapped_member_keeps_full_probe_ladder(self, lab):
+        member = standard_members()[0]
+        name = lab.register_member(member)
+        recorder = TraceRecorder()
+        PerformanceEstimator(
+            lab.dataset(name), lab.session(name), lab.suite, recorder=recorder
+        ).estimate()
+        probes_per_kernel = [
+            span.attributes["probes"]
+            for span in recorder.finished_spans()
+            if span.name == "perf_fit"
+        ]
+        assert probes_per_kernel.count(1) == 0
+
+
+# ----------------------------------------------------------------------
+# Result objects, report schema and the CLI gate
+# ----------------------------------------------------------------------
+def _device_result(node_nm: int, budgets=(4, 83), mae=5.0):
+    return DeviceFewshotResult(
+        device=f"synthetic-{node_nm}",
+        family="GTX Titan X/itrs",
+        seed_device="GTX Titan X",
+        table="itrs",
+        node_nm=node_nm,
+        band_percent=6.59,
+        transplant_mae_percent=40.0,
+        curve=tuple(ProbePoint(budget=b, mae_percent=mae) for b in budgets),
+    )
+
+
+class TestResultObjects:
+    def test_probes_to_band_picks_first_crossing(self):
+        result = DeviceFewshotResult(
+            device="d", family="f", seed_device="GTX Titan X", table="itrs",
+            node_nm=22, band_percent=6.59, transplant_mae_percent=40.0,
+            curve=(
+                ProbePoint(4, None),
+                ProbePoint(6, 9.0),
+                ProbePoint(12, 5.0),
+                ProbePoint(83, 4.0),
+            ),
+        )
+        assert result.probes_to_band == 12
+        assert result.in_band
+        assert result.full_mae_percent == 4.0
+
+    def test_out_of_band_device(self):
+        result = _device_result(22, mae=50.0)
+        assert result.probes_to_band is None
+        assert not result.in_band
+
+    def test_gate_needs_devices_and_nodes(self):
+        six_one_node = FewshotResult(
+            devices=tuple(_device_result(22) for _ in range(6)),
+            budgets=(4, 83),
+            quick=True,
+        )
+        assert six_one_node.devices_in_band == 6
+        assert six_one_node.nodes_in_band == 1
+        assert not six_one_node.passes_gate
+
+        six_three_nodes = FewshotResult(
+            devices=tuple(
+                _device_result(node) for node in (45, 45, 22, 22, 11, 11)
+            ),
+            budgets=(4, 83),
+            quick=True,
+        )
+        assert six_three_nodes.passes_gate
+
+    def test_report_dict_schema(self):
+        result = FewshotResult(
+            devices=(_device_result(22),), budgets=(4, 83), quick=True
+        )
+        report = result.to_dict()
+        assert report["schema"] == fewshot.REPORT_SCHEMA
+        assert report["budgets"] == [4, 83]
+        assert report["quick"] is True
+        (device,) = report["devices"]
+        assert device["curve"] == [
+            {"budget": 4, "mae_percent": 5.0},
+            {"budget": 83, "mae_percent": 5.0},
+        ]
+        json.dumps(report)  # must be JSON-serializable as-is
+
+
+class TestMain:
+    def test_main_writes_report_and_gates(self, lab, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            fewshot, "standard_members", lambda: standard_members()[:1]
+        )
+        monkeypatch.setattr(fewshot, "get_lab", lambda: lab)
+        output = tmp_path / "FEWSHOT.json"
+        result = fewshot.main(["--quick", "--output", str(output), "--no-gate"])
+        report = json.loads(output.read_text())
+        assert report["schema"] == fewshot.REPORT_SCHEMA
+        assert report["devices_in_band"] == 1
+        assert not result.passes_gate
+        # Without --no-gate a one-device fleet must fail the CI gate.
+        with pytest.raises(SystemExit):
+            fewshot.main(["--quick", "--output", str(output)])

@@ -133,3 +133,62 @@ class TestClusterScenarioNumbers:
         )
         savings = 1.0 - edf.fleet_energy_joules / baseline.fleet_energy_joules
         assert savings == pytest.approx(golden_savings, abs=0.01), device
+
+
+#: Pins of the power-capped synthetic family member (Tesla K40c seed,
+#: conservative table, 16 nm, single memory domain, TDP at 0.42x the
+#: saturated draw). Generation is seeded, so these are as stable as the
+#: Table-II device numbers: the probe counts are exact (the TDP limiter
+#: collapses 39 of the 83 kernels onto a single applied configuration),
+#: the MAE carries the usual ±0.5 pp band.
+GOLDEN_SYNTHETIC = {
+    "device": "Tesla K40c conservative-16nm-15sm-1m-capped",
+    "power_mae_percent": 2.53,
+    "perf_probes": 169,
+    "single_probe_kernels": 39,
+}
+
+
+class TestSyntheticMemberNumbers:
+    """Pins of the generated power-capped device riding the same Lab."""
+
+    @pytest.fixture(scope="class")
+    def capped_name(self, lab):
+        from repro.hardware.families import standard_members
+
+        member = standard_members()[-1]
+        name = lab.register_member(member)
+        assert name == GOLDEN_SYNTHETIC["device"], (
+            "the standard fleet's capped member moved; regenerate the pins"
+        )
+        return name
+
+    def test_power_mae_pinned(self, lab, capped_name):
+        mae = lab.validation(capped_name).mean_absolute_error_percent
+        assert mae == pytest.approx(
+            GOLDEN_SYNTHETIC["power_mae_percent"], abs=0.5
+        ), "capped-member validation MAE moved; update the pin if intended"
+
+    def test_perf_probe_counts_pinned(self, lab, capped_name):
+        from repro.core.perf_estimation import PerformanceEstimator
+        from repro.telemetry import TraceRecorder
+
+        recorder = TraceRecorder()
+        _, report = PerformanceEstimator(
+            lab.dataset(capped_name),
+            lab.session(capped_name),
+            lab.suite,
+            recorder=recorder,
+        ).estimate()
+        assert report.kernels == len(lab.suite)
+        assert report.probes == GOLDEN_SYNTHETIC["perf_probes"], (
+            f"probe schedule drifted; observed {report.probes}"
+        )
+        single = sum(
+            1
+            for span in recorder.finished_spans()
+            if span.name == "perf_fit" and span.attributes["probes"] == 1
+        )
+        assert single == GOLDEN_SYNTHETIC["single_probe_kernels"], (
+            f"throttle-collapse count drifted; observed {single}"
+        )
